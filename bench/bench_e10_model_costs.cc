@@ -1,0 +1,112 @@
+// E10 — Model accounting across the three models of §1 (CONGEST, beeping,
+// CONGESTED-CLIQUE): rounds, messages, bits, beeps for every algorithm on a
+// fixed workload. Not a theorem of the paper, but the bookkeeping every
+// claim is stated in — and the sanity check that each engine charges its
+// own currency (beeping moves no messages; CONGEST stays within B bits per
+// edge per round; the clique pays for routing).
+#include <iostream>
+
+#include "bench_common.h"
+#include "graph/generators.h"
+#include "mis/beeping.h"
+#include "mis/clique_mis.h"
+#include "mis/ghaffari.h"
+#include "mis/luby.h"
+#include "mis/sparsified.h"
+#include "util/table.h"
+
+namespace dmis {
+namespace {
+
+void run() {
+  bench::print_banner(
+      "E10 / model accounting",
+      "All algorithms on G(n=4096, avg deg 32), same seed: rounds / "
+      "messages / bits / beeps\nper model.");
+  const NodeId n = 4096;
+  const Graph g = gnp(n, 32.0 / (n - 1), 55);
+  const std::uint64_t seed = 99;
+  TextTable table({"algorithm", "model", "rounds", "messages", "Mbits",
+                   "beeps", "mis_size"});
+
+  {
+    LubyOptions o;
+    o.randomness = RandomSource(seed);
+    const MisRun r = luby_mis(g, o);
+    table.row()
+        .cell("luby")
+        .cell("CONGEST")
+        .cell(r.rounds)
+        .cell(r.costs.messages)
+        .cell(static_cast<double>(r.costs.bits) / 1e6, 2)
+        .cell(r.costs.beeps)
+        .cell(r.mis_size());
+  }
+  {
+    GhaffariOptions o;
+    o.randomness = RandomSource(seed);
+    const MisRun r = ghaffari_mis(g, o);
+    table.row()
+        .cell("ghaffari16")
+        .cell("CONGEST")
+        .cell(r.rounds)
+        .cell(r.costs.messages)
+        .cell(static_cast<double>(r.costs.bits) / 1e6, 2)
+        .cell(r.costs.beeps)
+        .cell(r.mis_size());
+  }
+  {
+    BeepingOptions o;
+    o.randomness = RandomSource(seed);
+    const MisRun r = beeping_mis(g, o);
+    table.row()
+        .cell("beeping")
+        .cell("BEEP")
+        .cell(r.rounds)
+        .cell(r.costs.messages)
+        .cell(static_cast<double>(r.costs.bits) / 1e6, 2)
+        .cell(r.costs.beeps)
+        .cell(r.mis_size());
+  }
+  {
+    SparsifiedOptions o;
+    o.params = SparsifiedParams::from_n(n);
+    o.randomness = RandomSource(seed);
+    const MisRun r = sparsified_mis(g, o);
+    table.row()
+        .cell("sparsified")
+        .cell("CONGEST")
+        .cell(r.rounds)
+        .cell(r.costs.messages)
+        .cell(static_cast<double>(r.costs.bits) / 1e6, 2)
+        .cell(r.costs.beeps)
+        .cell(r.mis_size());
+  }
+  {
+    CliqueMisOptions o;
+    o.params = SparsifiedParams::from_n(n);
+    o.randomness = RandomSource(seed);
+    const CliqueMisResult r = clique_mis(g, o);
+    table.row()
+        .cell("clique_sim")
+        .cell("CLIQUE")
+        .cell(r.run.rounds)
+        .cell(r.run.costs.messages)
+        .cell(static_cast<double>(r.run.costs.bits) / 1e6, 2)
+        .cell(r.run.costs.beeps)
+        .cell(r.run.mis_size());
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected: the beeping row moves zero messages (1-bit "
+               "carrier detection\nonly); the clique pays more bits "
+               "(routing) to buy fewer rounds per\nsimulated iteration as R "
+               "grows; MIS sizes all land in the same band.\n";
+}
+
+}  // namespace
+}  // namespace dmis
+
+int main() {
+  dmis::run();
+  return 0;
+}

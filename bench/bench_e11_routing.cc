@@ -1,0 +1,107 @@
+// E11 — routing substrate: accounted Lenzen cost (the proven 2 rounds per
+// feasible batch [25]) vs the measured cost of a real two-hop Valiant
+// scheduler that enforces one packet per ordered node pair per round.
+//
+// Lenzen's theorem says the optimum is 2; Valiant's randomized intermediates
+// pay a max-load penalty of O(log n / log log n) at full load. The table
+// shows the accounted substitution is *conservative by a small factor* —
+// supporting the substitution note in DESIGN.md §5.
+#include <iostream>
+
+#include "bench_common.h"
+#include "clique/network.h"
+#include "rng/mix.h"
+#include "util/table.h"
+
+namespace dmis {
+namespace {
+
+std::vector<Packet> permutation_load(NodeId n, std::uint64_t seed) {
+  // Each node sends one packet to a pseudo-random distinct destination.
+  std::vector<Packet> packets;
+  for (NodeId s = 0; s < n; ++s) {
+    packets.push_back({s, static_cast<NodeId>((s + 1 + mix64(seed, s) %
+                                                       (n - 1)) %
+                                              n),
+                       0, 0});
+  }
+  return packets;
+}
+
+std::vector<Packet> all_to_all(NodeId n) {
+  std::vector<Packet> packets;
+  for (NodeId s = 0; s < n; ++s) {
+    for (NodeId d = 0; d < n; ++d) {
+      packets.push_back({s, d, 0, 0});
+    }
+  }
+  return packets;
+}
+
+std::vector<Packet> hotspot(NodeId n, int k) {
+  // Every node sends k packets to node 0 (dest load = k*n).
+  std::vector<Packet> packets;
+  for (NodeId s = 0; s < n; ++s) {
+    for (int i = 0; i < k; ++i) packets.push_back({s, 0, 0, 0});
+  }
+  return packets;
+}
+
+void run() {
+  bench::print_banner(
+      "E11 / routing substrate",
+      "Accounted Lenzen rounds vs measured Valiant scheduling rounds on "
+      "canonical loads.");
+  TextTable table({"workload", "n", "packets", "lenzen_batches",
+                   "lenzen_rounds", "scheduled_rounds", "valiant_rounds",
+                   "valiant/lenzen"});
+  struct W {
+    const char* name;
+    NodeId n;
+    std::vector<Packet> packets;
+  };
+  std::vector<W> workloads;
+  workloads.push_back({"permutation", 1024, permutation_load(1024, 4)});
+  workloads.push_back({"all_to_all", 256, all_to_all(256)});
+  workloads.push_back({"hotspot_k4", 512, hotspot(512, 4)});
+  workloads.push_back({"hotspot_k16", 256, hotspot(256, 16)});
+  for (auto& w : workloads) {
+    auto copy1 = w.packets;
+    CliqueNetwork lenzen(w.n, RandomSource(1), RouteMode::kAccountedLenzen);
+    const RouteReport lr = lenzen.route(copy1);
+    auto copy2 = w.packets;
+    CliqueNetwork scheduled(w.n, RandomSource(1),
+                            RouteMode::kLenzenScheduled);
+    const RouteReport sr = scheduled.route(copy2);
+    auto copy3 = w.packets;
+    CliqueNetwork valiant(w.n, RandomSource(1), RouteMode::kValiant);
+    const RouteReport vr = valiant.route(copy3);
+    table.row()
+        .cell(w.name)
+        .cell(static_cast<std::uint64_t>(w.n))
+        .cell(lr.packets)
+        .cell(lr.batches)
+        .cell(lr.rounds)
+        .cell(sr.rounds)
+        .cell(vr.rounds)
+        .cell(static_cast<double>(vr.rounds) /
+                  static_cast<double>(lr.rounds),
+              2);
+  }
+  table.print(std::cout);
+  std::cout
+      << "\nExpected: scheduled_rounds == lenzen_rounds on every load — the "
+         "2-rounds-per-\nfeasible-batch claim is realized by an explicitly "
+         "constructed and verified\nschedule (Kőnig edge coloring of the "
+         "demand multigraph), not just accounted.\nValiant's random "
+         "intermediates pay the balls-in-bins factor, largest for\n"
+         "all-to-all at full load.\n";
+}
+
+}  // namespace
+}  // namespace dmis
+
+int main() {
+  dmis::run();
+  return 0;
+}

@@ -1,0 +1,191 @@
+// E12 — microbenchmarks (google-benchmark): throughput of the substrate
+// pieces the experiments lean on. Not a paper claim; a performance floor
+// for anyone extending the library.
+#include <benchmark/benchmark.h>
+
+#include "clique/gather.h"
+#include "clique/lenzen_schedule.h"
+#include "clique/mst.h"
+#include "clique/triangles.h"
+#include "mis/local_oracle.h"
+#include "graph/generators.h"
+#include "graph/ops.h"
+#include "mis/beeping.h"
+#include "mis/clique_mis.h"
+#include "mis/greedy.h"
+#include "mis/luby.h"
+#include "mis/sparsified.h"
+#include "rng/pow2_prob.h"
+
+namespace dmis {
+namespace {
+
+void BM_GnpGeneration(benchmark::State& state) {
+  const NodeId n = static_cast<NodeId>(state.range(0));
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gnp(n, 16.0 / (n - 1), ++seed));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_GnpGeneration)->Arg(1 << 12)->Arg(1 << 15);
+
+void BM_GraphBuild(benchmark::State& state) {
+  const NodeId n = static_cast<NodeId>(state.range(0));
+  const Graph src = gnp(n, 16.0 / (n - 1), 1);
+  const auto edges = src.edges();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph_from_edges(n, edges));
+  }
+  state.SetItemsProcessed(state.iterations() * edges.size());
+}
+BENCHMARK(BM_GraphBuild)->Arg(1 << 12)->Arg(1 << 15);
+
+void BM_BfsBall(benchmark::State& state) {
+  const Graph g = random_regular(1 << 14, 4, 2);
+  NodeId v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bfs_ball(g, v, 6));
+    v = (v + 1) % g.node_count();
+  }
+}
+BENCHMARK(BM_BfsBall);
+
+void BM_Pow2ProbSample(benchmark::State& state) {
+  std::uint64_t acc = 0;
+  std::uint64_t i = 0;
+  const Pow2Prob p(7);
+  for (auto _ : state) {
+    acc += p.sample(mix64(++i)) ? 1 : 0;
+  }
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Pow2ProbSample);
+
+void BM_GreedyMis(benchmark::State& state) {
+  const NodeId n = static_cast<NodeId>(state.range(0));
+  const Graph g = gnp(n, 32.0 / (n - 1), 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(greedy_mis(g));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_GreedyMis)->Arg(1 << 12)->Arg(1 << 15);
+
+void BM_LubyMis(benchmark::State& state) {
+  const NodeId n = static_cast<NodeId>(state.range(0));
+  const Graph g = gnp(n, 32.0 / (n - 1), 4);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    LubyOptions opts;
+    opts.randomness = RandomSource(++seed);
+    benchmark::DoNotOptimize(luby_mis(g, opts));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_LubyMis)->Arg(1 << 12);
+
+void BM_BeepingMis(benchmark::State& state) {
+  const NodeId n = static_cast<NodeId>(state.range(0));
+  const Graph g = gnp(n, 32.0 / (n - 1), 5);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    BeepingOptions opts;
+    opts.randomness = RandomSource(++seed);
+    benchmark::DoNotOptimize(beeping_mis(g, opts));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_BeepingMis)->Arg(1 << 12);
+
+void BM_SparsifiedMis(benchmark::State& state) {
+  const NodeId n = static_cast<NodeId>(state.range(0));
+  const Graph g = gnp(n, 32.0 / (n - 1), 6);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    SparsifiedOptions opts;
+    opts.params = SparsifiedParams::from_n(n);
+    opts.randomness = RandomSource(++seed);
+    benchmark::DoNotOptimize(sparsified_mis(g, opts));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SparsifiedMis)->Arg(1 << 12);
+
+void BM_CliqueMis(benchmark::State& state) {
+  const NodeId n = static_cast<NodeId>(state.range(0));
+  const Graph g = gnp(n, 32.0 / (n - 1), 7);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    CliqueMisOptions opts;
+    opts.params = SparsifiedParams::from_n(n);
+    opts.randomness = RandomSource(++seed);
+    benchmark::DoNotOptimize(clique_mis(g, opts));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_CliqueMis)->Arg(1 << 11);
+
+void BM_LenzenSchedule(benchmark::State& state) {
+  const NodeId n = 128;
+  std::vector<Packet> packets;
+  for (NodeId s = 0; s < n; ++s) {
+    for (NodeId d = 0; d < n; ++d) packets.push_back({s, d, 0, 0});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lenzen_schedule(packets, n));
+  }
+  state.SetItemsProcessed(state.iterations() * packets.size());
+}
+BENCHMARK(BM_LenzenSchedule);
+
+void BM_CliqueMst(benchmark::State& state) {
+  const Graph g = gnp(1 << 12, 8.0 / ((1 << 12) - 1), 10);
+  const WeightFn w = hashed_weights(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(clique_mst(g, w, {}));
+  }
+  state.SetItemsProcessed(state.iterations() * g.node_count());
+}
+BENCHMARK(BM_CliqueMst);
+
+void BM_CliqueTriangles(benchmark::State& state) {
+  const Graph g = gnp(1 << 11, 16.0 / ((1 << 11) - 1), 11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(clique_triangle_count(g, {}));
+  }
+  state.SetItemsProcessed(state.iterations() * g.edge_count());
+}
+BENCHMARK(BM_CliqueTriangles);
+
+void BM_LocalOracleQuery(benchmark::State& state) {
+  const Graph g = random_geometric(1 << 13, 0.015, 12);
+  LocalMisOracle::Options opts;
+  opts.randomness = RandomSource(13);
+  opts.simulated_iterations = 3;
+  LocalMisOracle oracle(g, opts);
+  NodeId v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(oracle.in_mis(v));
+    v = (v + 97) % g.node_count();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LocalOracleQuery);
+
+void BM_GatherBalls(benchmark::State& state) {
+  const Graph g = random_regular(1 << 11, 4, 8);
+  std::vector<std::vector<std::uint64_t>> ann(g.node_count());
+  for (NodeId v = 0; v < g.node_count(); ++v) ann[v] = {v, v, v};
+  for (auto _ : state) {
+    CliqueNetwork net(g.node_count(), RandomSource(9));
+    benchmark::DoNotOptimize(gather_balls(net, g, ann, 2));
+  }
+}
+BENCHMARK(BM_GatherBalls);
+
+}  // namespace
+}  // namespace dmis
+
+BENCHMARK_MAIN();

@@ -1,0 +1,150 @@
+// E13 — the paper's §1.1 extension claim: "By standard reductions (with
+// minor modifications) [28], this round complexity also extends to
+// [maximal matching, (Δ+1)-vertex-coloring, (2Δ−1)-edge-coloring]" — plus
+// ruling sets, the relaxation the congested-clique related work [7, 18]
+// studies.
+//
+// Each derived problem = MIS on a derived graph whose maximum degree is
+// O(Δ); the table reports the derived sizes and the clique-solver rounds,
+// which track the base MIS cost up to the degree blow-up the reductions
+// promise.
+#include <iostream>
+
+#include "bench_common.h"
+#include "graph/generators.h"
+#include "graph/ops.h"
+#include "graph/transforms.h"
+#include "mis/clique_mis.h"
+#include "mis/reductions.h"
+#include "mis/ruling_clique.h"
+#include "mis/ruling_clique.h"
+#include "util/check.h"
+#include "util/table.h"
+
+namespace dmis {
+namespace {
+
+/// A clique solver that records the rounds of its most recent run, so the
+/// reduction's cost is measured without solving each instance twice.
+MisSolver recording_clique_solver(std::uint64_t seed,
+                                  std::uint64_t* last_rounds) {
+  return [seed, last_rounds](const Graph& g) {
+    CliqueMisOptions opts;
+    opts.params = SparsifiedParams::from_n(g.node_count());
+    opts.randomness = RandomSource(seed);
+    CliqueMisResult result = clique_mis(g, opts);
+    *last_rounds = result.run.rounds;
+    return result.run.in_mis;
+  };
+}
+
+void run() {
+  bench::print_banner(
+      "E13 / reductions (paper §1.1, via [28])",
+      "Maximal matching, (Delta+1)-coloring, (2Delta-1)-edge-coloring and "
+      "2-ruling sets,\nall solved through the congested-clique MIS on "
+      "derived graphs.");
+
+  TextTable table({"base graph", "n", "Delta", "problem", "derived n",
+                   "derived Delta", "clique rounds", "valid"});
+  struct W {
+    const char* name;
+    Graph g;
+  };
+  std::vector<W> workloads;
+  workloads.push_back({"gnp256_d10", gnp(256, 10.0 / 255, 5)});
+  workloads.push_back({"regular256_d6", random_regular(256, 6, 6)});
+  workloads.push_back({"grid16x16", grid2d(16, 16)});
+
+  const std::uint64_t seed = 17;
+  std::uint64_t rounds = 0;
+  const MisSolver solver = recording_clique_solver(seed, &rounds);
+  for (const auto& w : workloads) {
+    const Graph& g = w.g;
+    {
+      const LineGraph lg = line_graph(g);
+      const MatchingResult m = maximal_matching(g, solver);
+      table.row()
+          .cell(w.name)
+          .cell(static_cast<std::uint64_t>(g.node_count()))
+          .cell(static_cast<std::uint64_t>(g.max_degree()))
+          .cell("maximal matching")
+          .cell(static_cast<std::uint64_t>(lg.graph.node_count()))
+          .cell(static_cast<std::uint64_t>(lg.graph.max_degree()))
+          .cell(rounds)
+          .cell(is_maximal_matching(g, m.matching) ? "yes" : "NO");
+    }
+    {
+      const std::uint32_t palette = g.max_degree() + 1;
+      const Graph product = color_product(g, palette);
+      const ColoringResult c = vertex_coloring(g, solver);
+      table.row()
+          .cell(w.name)
+          .cell(static_cast<std::uint64_t>(g.node_count()))
+          .cell(static_cast<std::uint64_t>(g.max_degree()))
+          .cell("(D+1)-coloring")
+          .cell(static_cast<std::uint64_t>(product.node_count()))
+          .cell(static_cast<std::uint64_t>(product.max_degree()))
+          .cell(rounds)
+          .cell(is_proper_coloring(g, c.colors) ? "yes" : "NO");
+    }
+    {
+      const EdgeColoringResult c = edge_coloring(g, solver);
+      const LineGraph lg = line_graph(g);
+      const Graph product = color_product(lg.graph, c.palette);
+      table.row()
+          .cell(w.name)
+          .cell(static_cast<std::uint64_t>(g.node_count()))
+          .cell(static_cast<std::uint64_t>(g.max_degree()))
+          .cell("(2D-1)-edge-col")
+          .cell(static_cast<std::uint64_t>(product.node_count()))
+          .cell(static_cast<std::uint64_t>(product.max_degree()))
+          .cell(rounds)
+          .cell(is_proper_edge_coloring(g, c.edges, c.colors) ? "yes"
+                                                              : "NO");
+    }
+    {
+      const Graph g2 = graph_power(g, 2);
+      const RulingSetResult r = ruling_set(g, 2, solver);
+      table.row()
+          .cell(w.name)
+          .cell(static_cast<std::uint64_t>(g.node_count()))
+          .cell(static_cast<std::uint64_t>(g.max_degree()))
+          .cell("2-ruling (MIS G^2)")
+          .cell(static_cast<std::uint64_t>(g2.node_count()))
+          .cell(static_cast<std::uint64_t>(g2.max_degree()))
+          .cell(rounds)
+          .cell(is_ruling_set(g, r.in_set, 2) ? "yes" : "NO");
+    }
+    {
+      // The direct sample-to-leader algorithm ([7, 18]-style): ruling sets
+      // are *much* cheaper than MIS in the clique — the reason the related
+      // work could reach O(log log n) for this relaxation.
+      CliqueRulingOptions ro;
+      ro.randomness = RandomSource(seed);
+      const CliqueRulingResult r2 = clique_two_ruling_set(g, ro);
+      table.row()
+          .cell(w.name)
+          .cell(static_cast<std::uint64_t>(g.node_count()))
+          .cell(static_cast<std::uint64_t>(g.max_degree()))
+          .cell("2-ruling (direct)")
+          .cell(static_cast<std::uint64_t>(g.node_count()))
+          .cell(static_cast<std::uint64_t>(g.max_degree()))
+          .cell(r2.costs.rounds)
+          .cell(is_ruling_set(g, r2.in_set, 2) ? "yes" : "NO");
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected: derived Delta = O(Delta) (line graph: 2D-2; "
+               "product: D+1; G^2: D^2),\nand clique rounds track the base "
+               "MIS cost through log(derived Delta) — the\n\"minor "
+               "modifications\" of the paper's reduction claim.\n";
+}
+
+}  // namespace
+}  // namespace dmis
+
+int main() {
+  dmis::run();
+  return 0;
+}

@@ -1,0 +1,96 @@
+// E14 — the footnote-2 comparison: full-duplex beeping MIS (§2.2, the
+// paper's model) vs MIS in the strictly weaker half-duplex model
+// (Holzer–Lynch [20, 21], where a beeping node cannot carrier-sense).
+//
+// Our half-duplex construction (mis/halfduplex_beeping.h) pays a
+// deterministic ceil(log2 n)-round id-verification per iteration — the
+// model's price for losing collision awareness. The table shows both total
+// rounds and the "iterations" view (rounds normalized by iteration length),
+// which should roughly agree: the dynamics converge in similar iteration
+// counts; only the per-iteration round cost differs.
+#include <iostream>
+
+#include "bench_common.h"
+#include "graph/generators.h"
+#include "graph/properties.h"
+#include "mis/beeping.h"
+#include "mis/halfduplex_beeping.h"
+#include "util/bits.h"
+#include "util/check.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace dmis {
+namespace {
+
+void run() {
+  bench::print_banner(
+      "E14 / duplex comparison (paper footnote 2)",
+      "Full-duplex beeping MIS (paper 2.2) vs half-duplex with id "
+      "verification:\nthe Theta(log n) per-iteration price of losing "
+      "carrier sensing.");
+  TextTable table({"workload", "n", "model", "rounds(mean)", "iters(mean)",
+                   "beeps(mean)", "decide_iter_p95"});
+  struct W {
+    const char* name;
+    Graph g;
+  };
+  std::vector<W> workloads;
+  workloads.push_back({"gnp1024_d16", gnp(1024, 16.0 / 1023, 31)});
+  workloads.push_back({"regular1024_d8", random_regular(1024, 8, 32)});
+  workloads.push_back({"geo1024", random_geometric(1024, 0.05, 33)});
+  const int kSeeds = 6;
+  for (const auto& w : workloads) {
+    const std::uint64_t half_len =
+        2 + static_cast<std::uint64_t>(bits_for_range(w.g.node_count()));
+    for (const bool half : {false, true}) {
+      Accumulator rounds;
+      Accumulator beeps;
+      std::vector<double> decide;
+      for (int seed = 0; seed < kSeeds; ++seed) {
+        MisRun run;
+        if (half) {
+          HalfDuplexBeepingOptions o;
+          o.randomness = RandomSource(4000 + seed);
+          run = halfduplex_beeping_mis(w.g, o);
+        } else {
+          BeepingOptions o;
+          o.randomness = RandomSource(4000 + seed);
+          run = beeping_mis(w.g, o);
+        }
+        DMIS_CHECK(is_maximal_independent_set(w.g, run.in_mis), "invalid");
+        rounds.add(static_cast<double>(run.rounds));
+        beeps.add(static_cast<double>(run.costs.beeps));
+        for (const std::uint32_t r : run.decided_round) {
+          decide.push_back(static_cast<double>(r));
+        }
+      }
+      const double iter_len = half ? static_cast<double>(half_len) : 2.0;
+      table.row()
+          .cell(w.name)
+          .cell(static_cast<std::uint64_t>(w.g.node_count()))
+          .cell(half ? "half-duplex" : "full-duplex")
+          .cell(rounds.mean(), 1)
+          .cell(rounds.mean() / iter_len, 1)
+          .cell(beeps.mean(), 0)
+          .cell(percentile(decide, 0.95), 1);
+    }
+  }
+  table.print(std::cout);
+  std::cout
+      << "\nExpected: total rounds ~3x larger for half-duplex — less than "
+         "the naive\n(2 + log2 n)/2 iteration-length ratio because the id "
+         "verification is not\njust overhead: within any clump of "
+         "candidates it deterministically elects\na winner, so half-duplex "
+         "iterations are individually far more productive\n(see the "
+         "iters(mean) column). The models trade carrier sensing for\n"
+         "resolution rounds; the product is the footnote-2 gap.\n";
+}
+
+}  // namespace
+}  // namespace dmis
+
+int main() {
+  dmis::run();
+  return 0;
+}

@@ -1,0 +1,81 @@
+// E15 — the paper's §1.2 closing conjecture, made measurable: Linial's
+// locality argument turns the O(log Δ)-iteration dynamic into a *local
+// computation algorithm* — "is v in the MIS?" answered from a radius-O(log Δ)
+// ball, consistently across queries (mis/local_oracle.h).
+//
+// The LCA figure of merit is per-query probe complexity: work must depend on
+// Δ (ball growth), NOT on n. The table sweeps n at fixed Δ and Δ at fixed n;
+// columns report balls simulated and the largest ball touched per query,
+// amortized over a random query sample.
+#include <iostream>
+
+#include "bench_common.h"
+#include "graph/generators.h"
+#include "mis/local_oracle.h"
+#include "rng/mix.h"
+#include "util/table.h"
+
+namespace dmis {
+namespace {
+
+void run() {
+  bench::print_banner(
+      "E15 / local computation (paper §1.2)",
+      "Per-query cost of the MIS oracle: flat in n at fixed Delta, growing "
+      "only with\nball volume (Delta^{O(log Delta)} worst case; polynomial "
+      "on bounded-growth\nfamilies).");
+  TextTable table({"graph", "n", "Delta", "T", "queries", "balls/query",
+                   "max_ball", "max_residual_comp"});
+  struct W {
+    const char* name;
+    Graph g;
+    int iterations;
+  };
+  std::vector<W> workloads;
+  workloads.push_back({"cycle4096", cycle(4096), 4});
+  workloads.push_back({"cycle65536", cycle(65536), 4});
+  workloads.push_back({"grid48x48", grid2d(48, 48), 3});
+  workloads.push_back({"grid96x96", grid2d(96, 96), 3});
+  workloads.push_back({"geo8192", random_geometric(8192, 0.012, 5), 3});
+  workloads.push_back({"geo32768", random_geometric(32768, 0.006, 6), 3});
+  const int kQueries = 64;
+  for (const auto& w : workloads) {
+    LocalMisOracle::Options opts;
+    opts.randomness = RandomSource(11);
+    opts.simulated_iterations = w.iterations;
+    LocalMisOracle oracle(w.g, opts);
+    for (int q = 0; q < kQueries; ++q) {
+      const NodeId v = static_cast<NodeId>(
+          mix64(static_cast<std::uint64_t>(q), 99) % w.g.node_count());
+      oracle.in_mis(v);
+    }
+    const auto& s = oracle.stats();
+    table.row()
+        .cell(w.name)
+        .cell(static_cast<std::uint64_t>(w.g.node_count()))
+        .cell(static_cast<std::uint64_t>(w.g.max_degree()))
+        .cell(w.iterations)
+        .cell(s.queries)
+        .cell(static_cast<double>(s.balls_simulated) /
+                  static_cast<double>(s.queries),
+              2)
+        .cell(s.max_ball_nodes)
+        .cell(s.max_component_nodes);
+  }
+  table.print(std::cout);
+  std::cout
+      << "\nExpected: max_ball and max_residual_comp identical between the "
+         "small and the\nlarger instance of each family — the per-query "
+         "work bound is independent of n,\nthe defining LCA property. "
+         "(balls/query may drift with n: on a smaller graph\nrandom queries "
+         "share residual components more often, so the memo cache "
+         "absorbs\nmore of the work.)\n";
+}
+
+}  // namespace
+}  // namespace dmis
+
+int main() {
+  dmis::run();
+  return 0;
+}

@@ -1,0 +1,64 @@
+// E17 — triangle counting in the clique (Dolev–Lenzen–Peled [11], cited in
+// the paper's §1 as one of the model's early wins): the n^{1/3}-group
+// partition scheme. Rounds are driven by the heaviest owner's batch count —
+// Θ((n/k)²/n) = Θ(n^{1/3}) at constant density — while correctness is exact
+// (checked against the centralized counter on every run).
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.h"
+#include "clique/triangles.h"
+#include "graph/generators.h"
+#include "graph/properties.h"
+#include "util/check.h"
+#include "util/table.h"
+
+namespace dmis {
+namespace {
+
+void run() {
+  bench::print_banner(
+      "E17 / clique triangle counting ([11])",
+      "n^(1/3)-group partition: exact counts, O(n^(1/3))-ish routed "
+      "batches.");
+  TextTable table({"graph", "n", "m", "k=n^(1/3)", "edge_packets", "rounds",
+                   "triangles", "exact"});
+  struct W {
+    const char* name;
+    Graph g;
+  };
+  std::vector<W> workloads;
+  workloads.push_back({"gnp512_d16", gnp(512, 16.0 / 511, 1)});
+  workloads.push_back({"gnp2048_d16", gnp(2048, 16.0 / 2047, 2)});
+  workloads.push_back({"gnp8192_d16", gnp(8192, 16.0 / 8191, 3)});
+  workloads.push_back({"ba2048", barabasi_albert(2048, 6, 3, 4)});
+  workloads.push_back({"geo2048", random_geometric(2048, 0.04, 5)});
+  for (const auto& w : workloads) {
+    CliqueTriangleOptions opts;
+    opts.randomness = RandomSource(9);
+    const CliqueTriangleResult r = clique_triangle_count(w.g, opts);
+    const std::uint64_t expected = triangle_count(w.g);
+    DMIS_CHECK(r.triangles == expected, "count mismatch on " << w.name);
+    table.row()
+        .cell(w.name)
+        .cell(static_cast<std::uint64_t>(w.g.node_count()))
+        .cell(w.g.edge_count())
+        .cell(static_cast<std::uint64_t>(r.groups))
+        .cell(r.edge_packets)
+        .cell(r.costs.rounds)
+        .cell(r.triangles)
+        .cell("yes");
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected: exact counts everywhere; rounds grow mildly "
+               "with n (the heaviest\nowner's load ~ (n/k)^2 = n^{4/3} "
+               "packets -> ~n^{1/3} batches at fixed density).\n";
+}
+
+}  // namespace
+}  // namespace dmis
+
+int main() {
+  dmis::run();
+  return 0;
+}

@@ -1,0 +1,141 @@
+// E1 — Theorem 1.1: MIS in Õ(log Δ / sqrt(log n) + 1) congested-clique
+// rounds, vs O(log n) [Luby '86] and O(log Δ) [Ghaffari SODA'16].
+//
+// Series: for each (n, Δ) cell, total rounds of
+//   * Luby (runs unchanged in the clique, paper §1.1),
+//   * the SODA'16 dynamic (CONGEST; also unchanged in the clique),
+//   * the sparsified algorithm run directly in CONGEST (§2.3),
+//   * the congested-clique simulation (§2.4).
+// Also prints the per-phase cost model: direct = 1 + 2R rounds per phase vs
+// clique = 3 + 2*ceil(log2(2R+1)) + cleanup; the asymptotic win of Theorem
+// 1.1 is the statement that the latter is o(R) as R = Θ(sqrt(log n)) grows —
+// the table's "phase cost" columns expose exactly where the crossover sits.
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.h"
+#include "graph/generators.h"
+#include "graph/properties.h"
+#include "mis/clique_mis.h"
+#include "mis/ghaffari.h"
+#include "mis/luby.h"
+#include "mis/sparsified.h"
+#include "util/check.h"
+#include "util/table.h"
+
+namespace dmis {
+namespace {
+
+void run() {
+  bench::print_banner(
+      "E1 / Theorem 1.1",
+      "Congested-clique MIS rounds vs the O(log n) and O(log Delta) "
+      "baselines.\nExpected shape: for fixed Delta, clique rounds shrink as "
+      "n grows (more\niterations per phase); Luby tracks log n; Ghaffari'16 "
+      "tracks log Delta.");
+
+  TextTable table({"n", "Delta", "R", "luby", "ghaffari16", "sparsified",
+                   "clique", "clique/phase", "direct/phase", "phases",
+                   "residual_edges"});
+
+  const std::uint64_t seed = 20170725;  // PODC'17 conference date
+  for (const NodeId n : {512u, 2048u, 8192u}) {
+    for (const NodeId d : {8u, 64u}) {
+      if (d >= n) continue;
+      const Graph g = random_regular(n, d, seed + n + d);
+
+      LubyOptions lo;
+      lo.randomness = RandomSource(seed);
+      const MisRun luby = luby_mis(g, lo);
+      DMIS_CHECK(is_maximal_independent_set(g, luby.in_mis), "luby invalid");
+
+      GhaffariOptions go;
+      go.randomness = RandomSource(seed);
+      const MisRun gh = ghaffari_mis(g, go);
+      DMIS_CHECK(is_maximal_independent_set(g, gh.in_mis),
+                 "ghaffari invalid");
+
+      const SparsifiedParams params = SparsifiedParams::from_n(n);
+      SparsifiedOptions so;
+      so.params = params;
+      so.randomness = RandomSource(seed);
+      const MisRun sp = sparsified_mis(g, so);
+      DMIS_CHECK(is_maximal_independent_set(g, sp.in_mis),
+                 "sparsified invalid");
+
+      CliqueMisOptions co;
+      co.params = params;
+      co.randomness = RandomSource(seed);
+      const CliqueMisResult cq = clique_mis(g, co);
+      DMIS_CHECK(is_maximal_independent_set(g, cq.run.in_mis),
+                 "clique invalid");
+
+      const int R = params.phase_length;
+      table.row()
+          .cell(static_cast<std::uint64_t>(n))
+          .cell(static_cast<std::uint64_t>(g.max_degree()))
+          .cell(R)
+          .cell(luby.rounds)
+          .cell(gh.rounds)
+          .cell(sp.rounds)
+          .cell(cq.run.rounds)
+          .cell(3 + kLenzenRoundsPerBatch * gather_steps_for_radius(2 * R))
+          .cell(1 + 2 * R)
+          .cell(cq.stats.phases)
+          .cell(cq.stats.residual_edges);
+    }
+  }
+  table.print(std::cout);
+
+  std::cout
+      << "\nCrossover model: a clique phase costs 3 + "
+         "2*ceil(log2(2R+1)) rounds and\nsimulates R CONGEST iterations "
+         "(direct cost 1 + 2R). With the paper's\nconstants R = "
+         "sqrt(delta log n)/2 stays tiny at in-memory n (the win is\n"
+         "asymptotic, at R >= 6 i.e. n ~ 2^144 for delta = 1). The second "
+         "table makes\nthe crossover *measurable* by raising delta on a "
+         "linear-growth graph, where\nlarge-R balls stay small:\n\n";
+
+  // (b) Measured crossover: sweep R at fixed n on a cycle (balls grow
+  // linearly, so radius-2R gathering stays cheap even for large R).
+  TextTable xover({"graph", "n", "delta", "R", "clique_rounds",
+                   "direct_congest_rounds", "clique/phase", "direct/phase"});
+  const NodeId n = 2048;
+  const Graph g = cycle(n);
+  for (const double delta : {1.0, 9.0, 25.0}) {
+    const SparsifiedParams params = SparsifiedParams::from_n(n, delta);
+    SparsifiedOptions so;
+    so.params = params;
+    so.randomness = RandomSource(seed);
+    const MisRun sp = sparsified_mis(g, so);
+    DMIS_CHECK(is_maximal_independent_set(g, sp.in_mis), "invalid");
+    CliqueMisOptions co;
+    co.params = params;
+    co.randomness = RandomSource(seed);
+    const CliqueMisResult cq = clique_mis(g, co);
+    DMIS_CHECK(is_maximal_independent_set(g, cq.run.in_mis), "invalid");
+    const int R = params.phase_length;
+    xover.row()
+        .cell("cycle")
+        .cell(static_cast<std::uint64_t>(n))
+        .cell(delta, 0)
+        .cell(R)
+        .cell(cq.run.rounds)
+        .cell(sp.rounds)
+        .cell(3 + kLenzenRoundsPerBatch * gather_steps_for_radius(2 * R))
+        .cell(1 + 2 * R);
+  }
+  xover.print(std::cout);
+  std::cout << "\nExpected: as R grows the clique's per-phase cost grows "
+               "only like log R\nwhile it simulates R iterations — "
+               "clique_rounds drops below the direct\nCONGEST rounds, the "
+               "content of Theorem 1.1.\n";
+}
+
+}  // namespace
+}  // namespace dmis
+
+int main() {
+  dmis::run();
+  return 0;
+}

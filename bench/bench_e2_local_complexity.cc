@@ -1,0 +1,101 @@
+// E2 — Theorem 2.1: in the Beeping MIS algorithm each node v is decided
+// within C (log deg(v) + log 1/eps) iterations with probability >= 1 - eps.
+//
+// Two views:
+//  (a) decision time stratified by initial degree on a heavy-tailed graph —
+//      the p95/max columns must stay within the C(log deg + log 1/eps)
+//      envelope (hubs actually decide *fastest* — they are covered by a
+//      joining neighbor almost immediately; the theorem is an upper bound);
+//  (b) survival curves — fraction of nodes still undecided after t
+//      iterations should decay exponentially beyond ~C log Delta.
+#include <cmath>
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "bench_common.h"
+#include "graph/generators.h"
+#include "mis/beeping.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace dmis {
+namespace {
+
+void degree_stratified() {
+  std::cout << "(a) decision iteration by initial degree "
+               "(Barabasi-Albert n=4096, 10 seeds)\n\n";
+  const Graph g = barabasi_albert(4096, 6, 3, 99);
+  std::map<int, Accumulator> by_log_degree;
+  std::map<int, std::vector<double>> samples;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    BeepingOptions opts;
+    opts.randomness = RandomSource(1000 + seed);
+    const MisRun run = beeping_mis(g, opts);
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      const int bucket =
+          static_cast<int>(std::floor(std::log2(g.degree(v) + 1.0)));
+      by_log_degree[bucket].add(static_cast<double>(run.decided_round[v]));
+      samples[bucket].push_back(static_cast<double>(run.decided_round[v]));
+    }
+  }
+  TextTable table({"log2(deg)", "nodes", "mean_decide_iter", "p95", "max"});
+  for (auto& [bucket, acc] : by_log_degree) {
+    table.row()
+        .cell(bucket)
+        .cell(acc.count())
+        .cell(acc.mean(), 2)
+        .cell(percentile(samples[bucket], 0.95), 1)
+        .cell(acc.max(), 0);
+  }
+  table.print(std::cout);
+}
+
+void survival_curves() {
+  std::cout << "\n(b) survival: fraction undecided after t iterations "
+               "(random-regular, 10 seeds)\n\n";
+  TextTable table(
+      {"Delta", "t=2", "t=4", "t=8", "t=16", "t=24", "t=32", "t=48"});
+  const std::vector<std::uint32_t> checkpoints{2, 4, 8, 16, 24, 32, 48};
+  for (const NodeId d : {4u, 16u, 64u}) {
+    const NodeId n = 4096;
+    const Graph g = random_regular(n, d, 7 + d);
+    std::vector<double> undecided(checkpoints.size(), 0.0);
+    const int kSeeds = 10;
+    for (int seed = 0; seed < kSeeds; ++seed) {
+      BeepingOptions opts;
+      opts.randomness = RandomSource(2000 + seed);
+      const MisRun run = beeping_mis(g, opts);
+      for (std::size_t c = 0; c < checkpoints.size(); ++c) {
+        for (NodeId v = 0; v < n; ++v) {
+          if (run.decided_round[v] >= checkpoints[c]) {
+            undecided[c] += 1.0;
+          }
+        }
+      }
+    }
+    auto& row = table.row();
+    row.cell(static_cast<std::uint64_t>(d));
+    for (std::size_t c = 0; c < checkpoints.size(); ++c) {
+      row.cell(undecided[c] / (kSeeds * static_cast<double>(n)), 5);
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected: each column drop is ~geometric once t exceeds "
+               "C log2(Delta);\nhigher Delta shifts the knee right by "
+               "log2(Delta).\n";
+}
+
+}  // namespace
+}  // namespace dmis
+
+int main() {
+  dmis::bench::print_banner(
+      "E2 / Theorem 2.1",
+      "Beeping MIS local complexity: node v decides within "
+      "C(log deg v + log 1/eps)\niterations w.p. >= 1-eps, with an "
+      "exponential tail.");
+  dmis::degree_stratified();
+  dmis::survival_curves();
+  return 0;
+}

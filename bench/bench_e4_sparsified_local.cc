@@ -1,0 +1,86 @@
+// E4 — Theorem 2.6: the *sparsified* algorithm (§2.3) keeps the Theorem 2.1
+// local complexity: decided within C(log deg + log 1/eps) iterations with
+// exponential tails — super-heavy stabilization does not slow nodes down.
+//
+// Side-by-side survival curves, beeping (§2.2) vs sparsified (§2.3), same
+// graphs, same seeds.
+#include <iostream>
+#include <vector>
+
+#include "bench_common.h"
+#include "graph/generators.h"
+#include "mis/beeping.h"
+#include "mis/sparsified.h"
+#include "util/table.h"
+
+namespace dmis {
+namespace {
+
+std::vector<double> survival(const Graph& g,
+                             const std::vector<std::uint32_t>& checkpoints,
+                             bool sparsified, std::uint64_t base_seed,
+                             int seeds) {
+  std::vector<double> undecided(checkpoints.size(), 0.0);
+  for (int s = 0; s < seeds; ++s) {
+    MisRun run;
+    if (sparsified) {
+      SparsifiedOptions opts;
+      opts.params = SparsifiedParams::from_n(g.node_count());
+      opts.randomness = RandomSource(base_seed + s);
+      run = sparsified_mis(g, opts);
+    } else {
+      BeepingOptions opts;
+      opts.randomness = RandomSource(base_seed + s);
+      run = beeping_mis(g, opts);
+    }
+    for (std::size_t c = 0; c < checkpoints.size(); ++c) {
+      for (NodeId v = 0; v < g.node_count(); ++v) {
+        if (run.decided_round[v] >= checkpoints[c]) undecided[c] += 1.0;
+      }
+    }
+  }
+  for (double& u : undecided) {
+    u /= seeds * static_cast<double>(g.node_count());
+  }
+  return undecided;
+}
+
+void run() {
+  bench::print_banner(
+      "E4 / Theorem 2.6",
+      "Sparsified algorithm retains the beeping algorithm's local "
+      "complexity:\nmatched survival curves (fraction undecided after t "
+      "iterations).");
+  const std::vector<std::uint32_t> checkpoints{2, 4, 8, 16, 24, 32, 48};
+  TextTable table(
+      {"workload", "algorithm", "t=2", "t=4", "t=8", "t=16", "t=24", "t=32",
+       "t=48"});
+  struct W {
+    const char* name;
+    Graph g;
+  };
+  std::vector<W> workloads;
+  workloads.push_back({"regular4096_d16", random_regular(4096, 16, 11)});
+  workloads.push_back({"gnp4096_d32", gnp(4096, 32.0 / 4095, 12)});
+  workloads.push_back({"ba4096", barabasi_albert(4096, 5, 3, 13)});
+  for (const auto& w : workloads) {
+    for (const bool sparse : {false, true}) {
+      const auto curve = survival(w.g, checkpoints, sparse, 900, 8);
+      auto& row = table.row();
+      row.cell(w.name).cell(sparse ? "sparsified" : "beeping");
+      for (const double u : curve) row.cell(u, 5);
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected: per workload, the two curves nearly coincide — "
+               "Theorem 2.6's\nclaim that sparsification preserves the "
+               "local guarantee.\n";
+}
+
+}  // namespace
+}  // namespace dmis
+
+int main() {
+  dmis::run();
+  return 0;
+}

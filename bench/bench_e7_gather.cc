@@ -1,0 +1,95 @@
+// E7 — Lemma 2.14: R-hop balls of a low-degree decorated graph are gathered
+// in O(log R) doubling steps = O(log log n) congested-clique rounds, with
+// per-node packet loads within Lenzen's routing capacity.
+//
+// Two tables:
+//  (a) standalone gather on bounded-degree graphs: steps/rounds vs radius
+//      (rounds = 2*ceil(log2(radius+1)) when every batch is feasible);
+//  (b) loads observed inside the full clique-MIS run (balls in G*[S]).
+#include <iostream>
+
+#include "bench_common.h"
+#include "clique/gather.h"
+#include "graph/generators.h"
+#include "mis/clique_mis.h"
+#include "util/table.h"
+
+namespace dmis {
+namespace {
+
+void standalone() {
+  std::cout << "(a) standalone gather: rounds vs radius\n\n";
+  TextTable table({"graph", "n", "radius", "steps", "rounds", "packets",
+                   "max_src_load", "max_dst_load"});
+  struct W {
+    const char* name;
+    Graph g;
+    std::vector<int> radii;  // kept within the feasible ball-growth regime
+  };
+  std::vector<W> workloads;
+  workloads.push_back({"cycle4096", cycle(4096), {1, 2, 4, 8}});
+  workloads.push_back({"grid32x32", grid2d(32, 32), {1, 2, 4}});
+  workloads.push_back({"regular2048_d4", random_regular(2048, 4, 9), {1, 2}});
+  for (const auto& w : workloads) {
+    for (const int radius : w.radii) {
+      CliqueNetwork net(w.g.node_count(), RandomSource(5));
+      std::vector<std::vector<std::uint64_t>> ann(w.g.node_count());
+      for (NodeId v = 0; v < w.g.node_count(); ++v) ann[v] = {v};
+      const GatherResult r = gather_balls(net, w.g, ann, radius);
+      table.row()
+          .cell(w.name)
+          .cell(static_cast<std::uint64_t>(w.g.node_count()))
+          .cell(radius)
+          .cell(r.stats.steps)
+          .cell(r.stats.rounds)
+          .cell(r.stats.packets)
+          .cell(r.stats.max_source_load)
+          .cell(r.stats.max_dest_load);
+    }
+  }
+  table.print(std::cout);
+}
+
+void inside_clique_mis() {
+  std::cout << "\n(b) gather loads inside the full clique-MIS run "
+               "(balls of G*[S])\n\n";
+  TextTable table({"n", "avg_deg", "R", "max_ball", "max_src_load",
+                   "max_dst_load", "n (capacity)", "gather_rounds"});
+  for (const NodeId n : {2048u, 8192u}) {
+    for (const double target_deg : {16.0, 96.0}) {
+      const Graph g = gnp(n, target_deg / (n - 1), 600 + n);
+      CliqueMisOptions opts;
+      opts.params = SparsifiedParams::from_n(n);
+      opts.randomness = RandomSource(61);
+      const CliqueMisResult result = clique_mis(g, opts);
+      table.row()
+          .cell(static_cast<std::uint64_t>(n))
+          .cell(g.average_degree(), 1)
+          .cell(opts.params.phase_length)
+          .cell(result.stats.max_ball_members)
+          .cell(result.stats.max_gather_source_load)
+          .cell(result.stats.max_gather_dest_load)
+          .cell(static_cast<std::uint64_t>(n))
+          .cell(result.stats.gather_rounds);
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected: (a) rounds = 2*steps = 2*ceil(log2(radius+1)), "
+               "flat in n;\n(b) balls of G*[S] stay tiny relative to n "
+               "(S-degrees are constant, E6)\nand loads exceed n only by a "
+               "small factor — each doubling step costs a\nhandful of "
+               "Lenzen batches (asymptotically n^{o(1)}/n -> O(1)).\n";
+}
+
+}  // namespace
+}  // namespace dmis
+
+int main() {
+  dmis::bench::print_banner(
+      "E7 / Lemma 2.14",
+      "Ball gathering by graph exponentiation: O(log log n) rounds, "
+      "Lenzen-feasible loads.");
+  dmis::standalone();
+  dmis::inside_clique_mis();
+  return 0;
+}

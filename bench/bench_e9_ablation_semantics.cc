@@ -1,0 +1,121 @@
+// E9 — Ablation of the phase-commit semantics (DESIGN.md §3).
+//
+// The paper leaves the mid-phase removal of super-heavy nodes unspecified;
+// we defined the simulable "phase-commit" semantics (a super-heavy node
+// beeps its committed vector to the phase boundary). This ablation compares
+// it with eager ("immediate") removal: identical local-complexity profile
+// and round counts within noise — evidence the choice does not change the
+// algorithm's behavior, only its simulability.
+#include <iostream>
+
+#include "bench_common.h"
+#include "graph/generators.h"
+#include "graph/properties.h"
+#include "mis/sparsified.h"
+#include "util/check.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace dmis {
+namespace {
+
+void run() {
+  bench::print_banner(
+      "E9 / ablation",
+      "Phase-commit vs immediate super-heavy removal: rounds, MIS size, "
+      "decision times\n(8 seeds each; mean +- stddev).");
+  TextTable table({"workload", "semantics", "sh_engagements",
+                   "rounds(mean)", "rounds(sd)", "mis_size(mean)",
+                   "decide_iter(mean)", "decide_p95"});
+  // The semantics can only differ where super-heavy nodes exist at all:
+  // with R = 4 the threshold is d0 >= 2^8, i.e. degrees >= ~512. Dense
+  // workloads on purpose.
+  struct W {
+    const char* name;
+    Graph g;
+  };
+  std::vector<W> workloads;
+  workloads.push_back({"gnp2048_p.4", gnp(2048, 0.4, 21)});
+  workloads.push_back({"gnp4096_p.2", gnp(4096, 0.2, 22)});
+  workloads.push_back({"cliques3x700", disjoint_cliques(3, 700)});
+  workloads.push_back({"bipartite1Kx1K", complete_bipartite(1024, 1024)});
+  {
+    // The adversarial shape where the semantics can actually diverge: a
+    // super-heavy hub (600 leaves -> d0 = 300 >= 2^8) whose leaves join
+    // early; under phase-commit the removed hub keeps beeping at its
+    // remaining leaves, under immediate removal it falls silent. On natural
+    // dense graphs SH nodes are never adjacent to early joiners (their
+    // whole region is beep-saturated), so only this shape probes the
+    // difference.
+    const NodeId kStars = 8;
+    const NodeId kLeaves = 600;
+    GraphBuilder b(kStars * (kLeaves + 1));
+    for (NodeId s = 0; s < kStars; ++s) {
+      const NodeId hub = s * (kLeaves + 1);
+      for (NodeId l = 1; l <= kLeaves; ++l) b.add_edge(hub, hub + l);
+    }
+    workloads.push_back({"sh_stars8x600", std::move(b).build()});
+  }
+  for (const auto& w : workloads) {
+    for (const bool immediate : {false, true}) {
+      Accumulator rounds;
+      Accumulator mis_size;
+      Accumulator decide;
+      std::vector<double> decide_all;
+      std::uint64_t sh_engagements = 0;
+      for (int seed = 0; seed < 8; ++seed) {
+        SparsifiedOptions opts;
+        // Pin R = 4: with R = 1 (the from_n default at this n) deferral to
+        // the phase boundary coincides with immediate removal and the
+        // ablation is vacuous. Longer phases are where the semantics can
+        // actually diverge.
+        opts.params.phase_length = 4;
+        opts.params.superheavy_log2_threshold = 8;
+        opts.params.sample_boost = 4;
+        opts.params.immediate_superheavy_removal = immediate;
+        opts.randomness = RandomSource(3000 + seed);
+        opts.trace = [&sh_engagements](const SparsifiedPhaseRecord& r) {
+          for (const char c : r.superheavy) {
+            sh_engagements += (c != 0) ? 1 : 0;
+          }
+        };
+        const MisRun run = sparsified_mis(w.g, opts);
+        DMIS_CHECK(is_maximal_independent_set(w.g, run.in_mis),
+                   "invalid MIS");
+        rounds.add(static_cast<double>(run.rounds));
+        mis_size.add(static_cast<double>(run.mis_size()));
+        for (NodeId v = 0; v < w.g.node_count(); ++v) {
+          decide.add(static_cast<double>(run.decided_round[v]));
+          decide_all.push_back(static_cast<double>(run.decided_round[v]));
+        }
+      }
+      table.row()
+          .cell(w.name)
+          .cell(immediate ? "immediate" : "phase-commit")
+          .cell(sh_engagements)
+          .cell(rounds.mean(), 1)
+          .cell(rounds.stddev(), 1)
+          .cell(mis_size.mean(), 1)
+          .cell(decide.mean(), 2)
+          .cell(percentile(decide_all, 0.95), 1);
+    }
+  }
+  table.print(std::cout);
+  std::cout
+      << "\nExpected: on every natural workload the two semantics produce "
+         "*identical*\nexecutions — a super-heavy node's region is "
+         "beep-saturated, so no neighbor\nof one ever joins mid-phase and "
+         "the deferred removal never differs. Only the\nengineered hub+"
+         "pendant stars make them diverge, and there only the decision\n"
+         "*times* move (zombie hub beeps delay its surviving leaves "
+         "slightly under\nphase-commit); rounds and MIS sizes agree within "
+         "noise. The commit\nconvention is behaviorally invisible.\n";
+}
+
+}  // namespace
+}  // namespace dmis
+
+int main() {
+  dmis::run();
+  return 0;
+}

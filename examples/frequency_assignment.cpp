@@ -1,0 +1,55 @@
+// Frequency assignment: give every base station a channel such that no two
+// interfering stations share one, using at most Δ+1 channels — the
+// (Δ+1)-vertex-coloring that the paper's §1.1 says inherits the MIS round
+// complexity through Linial's reduction [28].
+//
+//   ./frequency_assignment [stations] [interference_range_millis] [seed]
+//
+// Pipeline: random geometric interference graph → Linial product graph →
+// congested-clique MIS (the paper's algorithm) → channel per station.
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+#include <map>
+
+#include "graph/generators.h"
+#include "mis/reductions.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  const dmis::NodeId stations =
+      argc > 1 ? static_cast<dmis::NodeId>(std::atoi(argv[1])) : 600;
+  const double range = (argc > 2 ? std::atof(argv[2]) : 60.0) / 1000.0;
+  const std::uint64_t seed = argc > 3 ? std::atoll(argv[3]) : 5;
+
+  const dmis::Graph interference =
+      dmis::random_geometric(stations, range, seed);
+  std::cout << "interference graph: " << stations << " stations, "
+            << interference.edge_count() << " conflicts, max degree "
+            << interference.max_degree() << "\n";
+
+  // Channels via the clique-MIS-backed coloring reduction.
+  const dmis::ColoringResult channels = dmis::vertex_coloring(
+      interference, dmis::clique_solver(seed));
+  const bool valid =
+      dmis::is_proper_coloring(interference, channels.colors);
+
+  // Channel usage histogram.
+  std::map<std::uint32_t, std::uint64_t> usage;
+  for (const std::uint32_t c : channels.colors) ++usage[c];
+  dmis::TextTable table({"channel", "stations"});
+  std::uint64_t shown = 0;
+  for (const auto& [channel, count] : usage) {
+    if (shown++ >= 12) break;  // first dozen channels
+    table.row().cell(static_cast<std::uint64_t>(channel)).cell(count);
+  }
+  table.print(std::cout);
+
+  std::cout << "\nchannels available (Delta+1): " << channels.palette
+            << ", actually used: " << usage.size() << "\n"
+            << "no interfering pair shares a channel: "
+            << (valid ? "yes" : "NO (bug!)") << "\n"
+            << "(the busiest channels form large independent sets — "
+               "exactly the MIS\nlayers the reduction extracts)\n";
+  return valid ? 0 : 1;
+}

@@ -1,0 +1,113 @@
+// Model comparison: one workload, every MIS algorithm in the suite, side by
+// side across the three distributed models of the paper's §1 —
+// CONGEST, full-duplex beeping, and the congested clique.
+//
+//   ./model_comparison [family] [n] [param] [seed]
+//
+// family ∈ {gnp, regular, ba, geometric, grid, cycle}; param is the average
+// degree (gnp), degree (regular), attachments (ba), radius*1000 (geometric),
+// or ignored.
+#include <cstdlib>
+#include <cmath>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "graph/generators.h"
+#include "graph/properties.h"
+#include "mis/beeping.h"
+#include "mis/clique_mis.h"
+#include "mis/ghaffari.h"
+#include "mis/greedy.h"
+#include "mis/luby.h"
+#include "mis/sparsified.h"
+#include "util/table.h"
+
+namespace {
+
+dmis::Graph make_graph(const std::string& family, dmis::NodeId n,
+                       double param, std::uint64_t seed) {
+  if (family == "gnp") return dmis::gnp(n, param / (n - 1), seed);
+  if (family == "regular") {
+    return dmis::random_regular(n, static_cast<dmis::NodeId>(param), seed);
+  }
+  if (family == "ba") {
+    const auto m = static_cast<dmis::NodeId>(param);
+    return dmis::barabasi_albert(n, m + 1, m, seed);
+  }
+  if (family == "geometric") {
+    return dmis::random_geometric(n, param / 1000.0, seed);
+  }
+  if (family == "grid") {
+    const auto side = static_cast<dmis::NodeId>(std::sqrt(double(n)));
+    return dmis::grid2d(side, side);
+  }
+  if (family == "cycle") return dmis::cycle(n);
+  std::cerr << "unknown family '" << family
+            << "' (use gnp|regular|ba|geometric|grid|cycle)\n";
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string family = argc > 1 ? argv[1] : "gnp";
+  const dmis::NodeId n =
+      argc > 2 ? static_cast<dmis::NodeId>(std::atoi(argv[2])) : 2048;
+  const double param = argc > 3 ? std::atof(argv[3]) : 24.0;
+  const std::uint64_t seed = argc > 4 ? std::atoll(argv[4]) : 7;
+
+  const dmis::Graph g = make_graph(family, n, param, seed);
+  std::cout << "workload: " << family << " n=" << g.node_count()
+            << " m=" << g.edge_count() << " Delta=" << g.max_degree()
+            << " seed=" << seed << "\n\n";
+
+  dmis::TextTable table({"algorithm", "model", "rounds", "messages", "beeps",
+                         "mis_size", "valid"});
+  auto add = [&](const char* name, const char* model, const dmis::MisRun& r) {
+    table.row()
+        .cell(name)
+        .cell(model)
+        .cell(r.rounds)
+        .cell(r.costs.messages)
+        .cell(r.costs.beeps)
+        .cell(r.mis_size())
+        .cell(dmis::is_maximal_independent_set(g, r.in_mis) ? "yes" : "NO");
+  };
+
+  {
+    dmis::MisRun r;
+    r.in_mis = dmis::greedy_mis(g);
+    r.decided_round.assign(g.node_count(), 0);
+    add("greedy (sequential)", "-", r);
+  }
+  {
+    dmis::LubyOptions o;
+    o.randomness = dmis::RandomSource(seed);
+    add("luby'86", "CONGEST", dmis::luby_mis(g, o));
+  }
+  {
+    dmis::GhaffariOptions o;
+    o.randomness = dmis::RandomSource(seed);
+    add("ghaffari'16", "CONGEST", dmis::ghaffari_mis(g, o));
+  }
+  {
+    dmis::BeepingOptions o;
+    o.randomness = dmis::RandomSource(seed);
+    add("beeping (paper 2.2)", "BEEP", dmis::beeping_mis(g, o));
+  }
+  {
+    dmis::SparsifiedOptions o;
+    o.params = dmis::SparsifiedParams::from_n(g.node_count());
+    o.randomness = dmis::RandomSource(seed);
+    add("sparsified (paper 2.3)", "CONGEST", dmis::sparsified_mis(g, o));
+  }
+  {
+    dmis::CliqueMisOptions o;
+    o.params = dmis::SparsifiedParams::from_n(g.node_count());
+    o.randomness = dmis::RandomSource(seed);
+    add("clique sim (paper 2.4)", "CLIQUE", dmis::clique_mis(g, o).run);
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Shattering explorer: watch the sparsified algorithm (paper §2.3) break a
+// graph down, phase by phase — the effect Lemma 2.11 quantifies and the
+// congested-clique algorithm's O(1)-round cleanup (§2.4 part 2) relies on.
+//
+//   ./shattering_explorer [n] [degree] [seed]
+//
+// After each phase: live nodes, live edges, largest residual component, and
+// a crude bar chart of the survivor count.
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "graph/generators.h"
+#include "graph/ops.h"
+#include "mis/sparsified.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  const dmis::NodeId n =
+      argc > 1 ? static_cast<dmis::NodeId>(std::atoi(argv[1])) : 4096;
+  const dmis::NodeId degree =
+      argc > 2 ? static_cast<dmis::NodeId>(std::atoi(argv[2])) : 32;
+  const std::uint64_t seed = argc > 3 ? std::atoll(argv[3]) : 3;
+
+  const dmis::Graph g = dmis::random_regular(n, degree, seed);
+  std::cout << "graph: " << degree << "-regular, n=" << n
+            << ", m=" << g.edge_count() << "\n\n";
+
+  dmis::SparsifiedOptions options;
+  options.params = dmis::SparsifiedParams::from_n(n);
+  options.randomness = dmis::RandomSource(seed);
+  std::cout << "phase length R=" << options.params.phase_length
+            << ", super-heavy threshold d >= 2^"
+            << options.params.superheavy_log2_threshold << "\n\n";
+
+  dmis::TextTable table({"phase", "live_nodes", "live_edges",
+                         "largest_comp", "superheavy", "|S|", "survivors"});
+  options.trace = [&](const dmis::SparsifiedPhaseRecord& r) {
+    // Residual graph *after* this phase = nodes alive at the next phase;
+    // recompute from alive_start minus this phase's removals.
+    std::vector<char> alive_after(g.node_count(), 0);
+    std::uint64_t live = 0;
+    std::uint64_t sh = 0;
+    std::uint64_t s = 0;
+    for (dmis::NodeId v = 0; v < g.node_count(); ++v) {
+      sh += (r.superheavy[v] != 0) ? 1 : 0;
+      s += (r.sampled[v] != 0) ? 1 : 0;
+      if (r.alive_start[v] != 0 && r.join_iter[v] == dmis::kNeverDecided &&
+          r.removed_iter[v] == dmis::kNeverDecided) {
+        alive_after[v] = 1;
+        ++live;
+      }
+    }
+    const dmis::InducedSubgraph residual =
+        dmis::induced_subgraph(g, alive_after);
+    const auto comps = dmis::connected_component_sizes(residual.graph);
+    const int bar_len =
+        static_cast<int>(40.0 * static_cast<double>(live) / g.node_count());
+    table.row()
+        .cell(r.phase)
+        .cell(live)
+        .cell(residual.graph.edge_count())
+        .cell(comps.empty() ? std::uint64_t{0}
+                            : static_cast<std::uint64_t>(comps[0]))
+        .cell(sh)
+        .cell(s)
+        .cell(std::string(static_cast<std::size_t>(bar_len), '#'));
+  };
+
+  const dmis::MisRun run = dmis::sparsified_mis(g, options);
+  table.print(std::cout);
+  std::cout << "\nfinal MIS size: " << run.mis_size() << " after "
+            << run.rounds << " CONGEST rounds\n"
+            << "Lemma 2.11's shape: once ~log2(Delta)="
+            << static_cast<int>(std::log2(double(degree)))
+            << " iterations pass, the residual collapses to scattered "
+               "fragments\n(O(n) edges) — exactly what the clique "
+               "algorithm ships to the leader.\n";
+  return 0;
+}

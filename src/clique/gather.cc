@@ -1,0 +1,135 @@
+#include "clique/gather.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/bits.h"
+#include "util/check.h"
+
+namespace dmis {
+namespace {
+
+// Packet record encoding. `a` layout: [63:62] kind, [61:32] aux, [31:0] node.
+constexpr std::uint64_t kKindEdge = 1;
+constexpr std::uint64_t kKindAnnotation = 2;
+
+constexpr std::uint64_t encode_head(std::uint64_t kind, std::uint64_t aux,
+                                    NodeId node) {
+  return (kind << 62) | (aux << 32) | node;
+}
+
+struct Knowledge {
+  std::vector<NodeId> members;  // sorted unique
+  std::unordered_set<std::uint64_t> edge_keys;
+  std::vector<Edge> edges;
+  std::unordered_map<NodeId, std::vector<std::uint64_t>> annotations;
+
+  void add_member(NodeId v) {
+    const auto it = std::lower_bound(members.begin(), members.end(), v);
+    if (it == members.end() || *it != v) members.insert(it, v);
+  }
+
+  void add_edge(NodeId u, NodeId v) {
+    if (u > v) std::swap(u, v);
+    const std::uint64_t key = (static_cast<std::uint64_t>(u) << 32) | v;
+    if (edge_keys.insert(key).second) {
+      edges.emplace_back(u, v);
+      add_member(u);
+      add_member(v);
+    }
+  }
+
+  void set_annotation_word(NodeId v, std::uint32_t idx, std::uint64_t word) {
+    auto& words = annotations[v];
+    if (words.size() <= idx) words.resize(idx + 1, 0);
+    words[idx] = word;
+    add_member(v);
+  }
+};
+
+}  // namespace
+
+int gather_steps_for_radius(int radius) {
+  DMIS_CHECK(radius >= 1, "radius must be >= 1, got " << radius);
+  int steps = 0;
+  // Least k with 2^k - 1 >= radius.
+  while ((1 << steps) - 1 < radius) ++steps;
+  return steps;
+}
+
+GatherResult gather_balls(
+    CliqueNetwork& net, const Graph& graph,
+    std::span<const std::vector<std::uint64_t>> annotations, int radius) {
+  const NodeId n = graph.node_count();
+  DMIS_CHECK(annotations.size() == n,
+             "annotation count " << annotations.size() << " != n " << n);
+
+  GatherResult result;
+  result.stats.steps = static_cast<std::uint64_t>(
+      n == 0 ? 0 : gather_steps_for_radius(radius));
+
+  // Initial knowledge: incident edges plus own annotation.
+  std::vector<Knowledge> know(n);
+  for (NodeId v = 0; v < n; ++v) {
+    know[v].add_member(v);
+    for (const NodeId u : graph.neighbors(v)) know[v].add_edge(v, u);
+    for (std::uint32_t i = 0; i < annotations[v].size(); ++i) {
+      know[v].set_annotation_word(v, i, annotations[v][i]);
+    }
+  }
+
+  std::vector<Packet> packets;
+  for (std::uint64_t step = 0; step < result.stats.steps; ++step) {
+    packets.clear();
+    for (NodeId v = 0; v < n; ++v) {
+      const Knowledge& k = know[v];
+      for (const NodeId dst : k.members) {
+        if (dst == v) continue;
+        for (const auto& [eu, ev] : k.edges) {
+          packets.push_back({v, dst, encode_head(kKindEdge, 0, eu), ev});
+        }
+        for (const auto& [node, words] : k.annotations) {
+          for (std::uint32_t i = 0; i < words.size(); ++i) {
+            packets.push_back(
+                {v, dst, encode_head(kKindAnnotation, i, node), words[i]});
+          }
+        }
+      }
+    }
+    const RouteReport report = net.route(packets);
+    result.stats.rounds += report.rounds;
+    result.stats.packets += report.packets;
+    result.stats.max_source_load =
+        std::max(result.stats.max_source_load, report.max_source_load);
+    result.stats.max_dest_load =
+        std::max(result.stats.max_dest_load, report.max_dest_load);
+
+    // Merge delivered knowledge. Packets were snapshotted pre-merge, so
+    // merging in place is a plain monotone union.
+    for (const Packet& p : packets) {
+      const std::uint64_t kind = p.a >> 62;
+      const auto aux = static_cast<std::uint32_t>((p.a >> 32) & 0x3fffffffULL);
+      const auto node = static_cast<NodeId>(p.a & 0xffffffffULL);
+      Knowledge& k = know[p.dst];
+      if (kind == kKindEdge) {
+        k.add_edge(node, static_cast<NodeId>(p.b));
+      } else {
+        DMIS_ASSERT(kind == kKindAnnotation, "bad record kind " << kind);
+        k.set_annotation_word(node, aux, p.b);
+      }
+    }
+  }
+
+  result.balls.resize(n);
+  for (NodeId v = 0; v < n; ++v) {
+    GatheredBall& ball = result.balls[v];
+    ball.center = v;
+    ball.members = std::move(know[v].members);
+    ball.edges = std::move(know[v].edges);
+    std::sort(ball.edges.begin(), ball.edges.end());
+    ball.annotations = std::move(know[v].annotations);
+  }
+  return result;
+}
+
+}  // namespace dmis

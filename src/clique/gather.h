@@ -1,0 +1,58 @@
+// Neighborhood gathering by graph exponentiation (paper Lemma 2.14).
+//
+// Every node starts knowing its incident edges in the gather graph plus an
+// opaque per-node annotation (the paper's "decorated graph G*[S]": beep-vector
+// ORs and per-round randomness, encoded by the caller as 64-bit words). In
+// each step, every node ships its entire current knowledge to every node it
+// knows of, as O(log n)-bit packets through CliqueNetwork::route — squaring
+// the known radius. After k steps each node knows:
+//   * members up to distance 2^k,
+//   * all edges incident to nodes within distance 2^k - 1, and
+//   * annotations of nodes within distance 2^k - 1,
+// which suffices to replay `radius` rounds locally when 2^k - 1 >= radius
+// (Lemma 2.13's cone-of-influence argument).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "clique/network.h"
+#include "graph/graph.h"
+
+namespace dmis {
+
+/// One node's gathered knowledge after the exponentiation steps.
+struct GatheredBall {
+  NodeId center = kInvalidNode;
+  std::vector<NodeId> members;  ///< sorted; includes the center
+  std::vector<Edge> edges;      ///< unique, u < v
+  std::unordered_map<NodeId, std::vector<std::uint64_t>> annotations;
+};
+
+struct GatherStats {
+  std::uint64_t steps = 0;
+  std::uint64_t rounds = 0;  ///< clique rounds charged by routing
+  std::uint64_t packets = 0;
+  std::uint64_t max_source_load = 0;
+  std::uint64_t max_dest_load = 0;
+};
+
+struct GatherResult {
+  std::vector<GatheredBall> balls;  ///< indexed by node id of `graph`
+  GatherStats stats;
+};
+
+/// Number of doubling steps needed to replay `radius` rounds: the least k
+/// with 2^k - 1 >= radius.
+int gather_steps_for_radius(int radius);
+
+/// Gathers every node's ball in `graph` (ids are graph-local; the caller maps
+/// to/from original ids). `annotations[v]` is node v's opaque decoration.
+/// Costs are charged to `net` (one routed batch per step).
+GatherResult gather_balls(CliqueNetwork& net, const Graph& graph,
+                          std::span<const std::vector<std::uint64_t>> annotations,
+                          int radius);
+
+}  // namespace dmis

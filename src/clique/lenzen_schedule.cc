@@ -1,0 +1,135 @@
+#include "clique/lenzen_schedule.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/check.h"
+
+namespace dmis {
+namespace {
+
+/// Color slots of one side of the bipartite demand multigraph:
+/// slot[node][color] = packet index currently colored `color` at `node`.
+using SideSlots = std::vector<std::unordered_map<std::uint32_t, std::int64_t>>;
+
+std::uint32_t first_free_color(
+    const std::unordered_map<std::uint32_t, std::int64_t>& used,
+    std::uint32_t palette) {
+  for (std::uint32_t c = 0; c < palette; ++c) {
+    if (!used.contains(c)) return c;
+  }
+  DMIS_ASSERT(false, "no free color within the palette — Kőnig violated");
+}
+
+}  // namespace
+
+TwoRoundSchedule lenzen_schedule(std::span<const Packet> packets, NodeId n) {
+  // Demand degrees = per-source / per-destination loads; the palette is the
+  // multigraph's maximum degree (Kőnig: exactly enough).
+  std::vector<std::uint32_t> out_deg(n, 0);
+  std::vector<std::uint32_t> in_deg(n, 0);
+  for (const Packet& p : packets) {
+    DMIS_CHECK(p.src < n && p.dst < n, "packet endpoint out of range");
+    ++out_deg[p.src];
+    ++in_deg[p.dst];
+  }
+  std::uint32_t palette = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    palette = std::max({palette, out_deg[v], in_deg[v]});
+    DMIS_CHECK(out_deg[v] <= n && in_deg[v] <= n,
+               "batch not Lenzen-feasible at node " << v);
+  }
+
+  TwoRoundSchedule schedule;
+  schedule.intermediate.assign(packets.size(), kInvalidNode);
+  if (packets.empty()) return schedule;
+  schedule.colors_used = palette;
+
+  SideSlots left(n);   // senders
+  SideSlots right(n);  // destinations
+  std::vector<std::uint32_t> color(packets.size(), 0);
+
+  for (std::int64_t e = 0; e < static_cast<std::int64_t>(packets.size());
+       ++e) {
+    const NodeId u = packets[e].src;
+    const NodeId v = packets[e].dst;
+    const std::uint32_t a = first_free_color(left[u], palette);
+    const std::uint32_t b = first_free_color(right[v], palette);
+    std::uint32_t chosen = a;
+    if (a != b) {
+      // Kempe chain: the maximal alternating path from u starting with a
+      // b-colored edge, colors alternating b, a, b, ... Kőnig's parity
+      // argument guarantees it never reaches v, so flipping it frees b at u
+      // while b stays free at v.
+      std::vector<std::int64_t> path;
+      bool at_left = true;
+      NodeId current = u;
+      std::uint32_t want = b;
+      for (;;) {
+        const auto& slots = at_left ? left[current] : right[current];
+        const auto it = slots.find(want);
+        if (it == slots.end()) break;
+        const std::int64_t edge = it->second;
+        path.push_back(edge);
+        current = at_left ? packets[edge].dst : packets[edge].src;
+        at_left = !at_left;
+        want = (want == b) ? a : b;
+      }
+      // Two-pass flip: consecutive path edges share endpoints, so erasing
+      // and reinserting one edge at a time would collide with the not-yet-
+      // flipped neighbor's slot. Clear every path edge first, then reinsert
+      // all under the flipped colors.
+      for (const std::int64_t edge : path) {
+        left[packets[edge].src].erase(color[edge]);
+        right[packets[edge].dst].erase(color[edge]);
+      }
+      for (const std::int64_t edge : path) {
+        const std::uint32_t new_color = (color[edge] == a) ? b : a;
+        color[edge] = new_color;
+        const bool left_ok =
+            left[packets[edge].src].emplace(new_color, edge).second;
+        const bool right_ok =
+            right[packets[edge].dst].emplace(new_color, edge).second;
+        DMIS_ASSERT(left_ok && right_ok, "Kempe flip slot collision");
+      }
+      DMIS_ASSERT(!left[u].contains(b) && !right[v].contains(b),
+                  "Kempe flip failed to free the color");
+      chosen = b;
+    }
+    color[e] = chosen;
+    left[u].emplace(chosen, e);
+    right[v].emplace(chosen, e);
+  }
+
+  // The color IS the intermediate node id (palette <= n).
+  for (std::size_t e = 0; e < packets.size(); ++e) {
+    schedule.intermediate[e] = static_cast<NodeId>(color[e]);
+  }
+  return schedule;
+}
+
+void validate_two_round_schedule(std::span<const Packet> packets,
+                                 std::span<const NodeId> intermediate,
+                                 NodeId n) {
+  DMIS_CHECK(packets.size() == intermediate.size(), "size mismatch");
+  std::unordered_map<std::uint64_t, std::uint32_t> hop1;
+  std::unordered_map<std::uint64_t, std::uint32_t> hop2;
+  hop1.reserve(packets.size() * 2);
+  hop2.reserve(packets.size() * 2);
+  for (std::size_t e = 0; e < packets.size(); ++e) {
+    const NodeId mid = intermediate[e];
+    DMIS_ASSERT(mid < n, "intermediate out of range");
+    const std::uint64_t k1 =
+        (static_cast<std::uint64_t>(packets[e].src) << 32) | mid;
+    const std::uint64_t k2 =
+        (static_cast<std::uint64_t>(mid) << 32) | packets[e].dst;
+    DMIS_ASSERT(++hop1[k1] <= 1,
+                "round-1 pair collision at src=" << packets[e].src
+                                                 << " mid=" << mid);
+    DMIS_ASSERT(++hop2[k2] <= 1,
+                "round-2 pair collision at mid=" << mid << " dst="
+                                                 << packets[e].dst);
+  }
+}
+
+}  // namespace dmis

@@ -1,0 +1,47 @@
+// Deterministic two-round delivery schedules for Lenzen-feasible batches —
+// the combinatorial core of Lenzen's routing theorem [25], constructed
+// explicitly instead of merely accounted for.
+//
+// Claim: if every node is the source of at most n packets and the
+// destination of at most n packets, all packets can be delivered in 2
+// all-to-all rounds (each ordered node pair carrying at most one packet per
+// round):
+//   round 1: packet (s → d) travels s → mid(s, d);
+//   round 2: mid(s, d) → d.
+// Feasibility of the round constraints says exactly that `mid` is a proper
+// EDGE COLORING of the bipartite demand multigraph (senders × destinations,
+// one edge per packet): "≤ 1 packet per (s, mid) pair" = color used at most
+// once per sender; "≤ 1 per (mid, d) pair" = at most once per destination.
+// By Kőnig's edge-coloring theorem a bipartite multigraph of maximum degree
+// Δ is Δ-edge-colorable, and Δ ≤ n for a feasible batch — so n intermediates
+// always suffice. We implement the classical constructive proof (Kempe
+// alternating-chain recoloring), which uses exactly Δ colors.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "clique/network.h"
+
+namespace dmis {
+
+struct TwoRoundSchedule {
+  /// Per packet (same order as the input): the intermediate node.
+  std::vector<NodeId> intermediate;
+  /// Number of distinct intermediates used (= demand multigraph max degree).
+  std::uint32_t colors_used = 0;
+};
+
+/// Builds the schedule. Precondition: per-source and per-destination loads
+/// are at most n (throws otherwise).
+TwoRoundSchedule lenzen_schedule(std::span<const Packet> packets, NodeId n);
+
+/// Verifies the two-round constraints: every ordered pair carries at most
+/// one packet in round 1 (src → mid) and round 2 (mid → dst). Throws
+/// InvariantError on violation.
+void validate_two_round_schedule(std::span<const Packet> packets,
+                                 std::span<const NodeId> intermediate,
+                                 NodeId n);
+
+}  // namespace dmis

@@ -1,0 +1,189 @@
+#include "clique/mst.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+
+#include "graph/dsu.h"
+#include "util/bits.h"
+#include "util/check.h"
+
+namespace dmis {
+namespace {
+
+struct Candidate {
+  std::uint64_t w = 0;
+  NodeId u = kInvalidNode;
+  NodeId v = kInvalidNode;
+
+  bool better_than(const Candidate& o) const {
+    if (o.u == kInvalidNode) return true;
+    if (w != o.w) return w < o.w;
+    if (u != o.u) return u < o.u;
+    return v < o.v;
+  }
+};
+
+constexpr std::uint64_t pack_edge(NodeId u, NodeId v) {
+  return (static_cast<std::uint64_t>(u) << 32) | v;
+}
+
+}  // namespace
+
+CliqueMstResult clique_mst(const Graph& g, const WeightFn& weight,
+                           const CliqueMstOptions& options) {
+  const NodeId n = g.node_count();
+  CliqueMstResult result;
+  if (n == 0) return result;
+
+  CliqueNetwork net(n, options.randomness.fork(0x357cULL),
+                    options.route_mode);
+  std::vector<NodeId> label(n);
+  for (NodeId v = 0; v < n; ++v) label[v] = v;
+  std::set<Edge> forest;
+
+  std::uint64_t phase = 0;
+  for (; phase < options.max_phases; ++phase) {
+    // 1. Every node announces its label to its neighbors (one round).
+    std::uint64_t directed = 0;
+    for (NodeId v = 0; v < n; ++v) directed += g.degree(v);
+    net.charge_neighborhood_round(directed, bits_for_range(n));
+
+    // 2. Lightest outgoing edge per node; convergecast to component leader.
+    //    Every node reports in (presence keeps leaders' member lists
+    //    complete so relabeling reaches everyone).
+    bool any_outgoing = false;
+    std::vector<Packet> up;
+    up.reserve(n);
+    for (NodeId v = 0; v < n; ++v) {
+      Candidate best;
+      for (const NodeId u : g.neighbors(v)) {
+        if (label[u] == label[v]) continue;
+        const NodeId lo = std::min(u, v);
+        const NodeId hi = std::max(u, v);
+        const Candidate c{weight(lo, hi), lo, hi};
+        if (c.better_than(best)) best = c;
+      }
+      if (best.u != kInvalidNode) {
+        any_outgoing = true;
+        up.push_back({v, label[v], best.w, pack_edge(best.u, best.v)});
+      } else {
+        up.push_back({v, label[v], ~0ULL, pack_edge(kInvalidNode, 0)});
+      }
+    }
+    if (!any_outgoing) break;  // spanning forest complete
+    net.route(up);
+
+    // Leaders: pick the component's lightest outgoing edge; remember
+    // members for the relabel broadcast.
+    std::unordered_map<NodeId, Candidate> comp_best;
+    std::unordered_map<NodeId, std::vector<NodeId>> members;
+    for (const Packet& p : up) {
+      members[p.dst].push_back(p.src);
+      if (p.a == ~0ULL) continue;
+      const Candidate c{p.a, static_cast<NodeId>(p.b >> 32),
+                        static_cast<NodeId>(p.b & 0xffffffffULL)};
+      auto [it, inserted] = comp_best.emplace(p.dst, c);
+      if (!inserted && c.better_than(it->second)) it->second = c;
+    }
+
+    // 3. Chosen edges to the coordinator (node 0).
+    std::vector<Packet> chosen;
+    chosen.reserve(comp_best.size());
+    for (const auto& [leader, c] : comp_best) {
+      chosen.push_back({leader, 0, c.w, pack_edge(c.u, c.v)});
+    }
+    net.route(chosen);
+
+    // Coordinator: contract the component pseudoforest, assign new labels
+    // (min old label per merged component = min member id overall).
+    DisjointSets dsu(n);
+    for (const Packet& p : chosen) {
+      const NodeId u = static_cast<NodeId>(p.b >> 32);
+      const NodeId v = static_cast<NodeId>(p.b & 0xffffffffULL);
+      if (dsu.unite(label[u], label[v])) {
+        forest.insert({u, v});
+        result.total_weight += p.a;
+      }
+    }
+    std::unordered_map<NodeId, NodeId> new_label_of;  // old leader -> new
+    for (const auto& [leader, c] : comp_best) {
+      (void)c;
+      // New label = the DSU root's minimal old label. Roots are old labels
+      // themselves; the minimal old label in a merged set is found by
+      // scanning chosen endpoints — instead, use: min over the set, tracked
+      // via a second pass below.
+      new_label_of.emplace(leader, leader);
+    }
+    // Min old label per DSU component.
+    std::unordered_map<NodeId, NodeId> min_of_root;
+    for (auto& [leader, nl] : new_label_of) {
+      const NodeId root = dsu.find(leader);
+      auto [it, inserted] = min_of_root.emplace(root, leader);
+      if (!inserted) it->second = std::min(it->second, leader);
+    }
+    for (auto& [leader, nl] : new_label_of) {
+      nl = min_of_root.at(dsu.find(leader));
+    }
+
+    // Coordinator -> leaders (new labels), leaders -> members.
+    std::vector<Packet> down;
+    down.reserve(new_label_of.size());
+    for (const auto& [leader, nl] : new_label_of) {
+      down.push_back({0, leader, nl, 0});
+    }
+    net.route(down);
+    std::vector<Packet> fanout;
+    fanout.reserve(n);
+    for (const auto& [leader, member_list] : members) {
+      // Components with no outgoing edge this phase keep their label.
+      const auto it = new_label_of.find(leader);
+      const NodeId nl = it == new_label_of.end() ? leader : it->second;
+      for (const NodeId m : member_list) {
+        fanout.push_back({leader, m, nl, 0});
+      }
+    }
+    net.route(fanout);
+    for (const Packet& p : fanout) {
+      label[p.dst] = static_cast<NodeId>(p.a);
+    }
+  }
+  DMIS_ASSERT(phase < options.max_phases,
+              "Borůvka did not converge within " << options.max_phases
+                                                 << " phases");
+
+  result.boruvka_phases = phase;
+  result.edges.assign(forest.begin(), forest.end());
+  DisjointSets final_components(n);
+  for (const auto& [u, v] : result.edges) final_components.unite(u, v);
+  result.components = final_components.component_count();
+  result.costs = net.costs();
+  return result;
+}
+
+CliqueComponentsResult clique_connected_components(
+    const Graph& g, const CliqueMstOptions& options) {
+  // Unit weights: any spanning forest identifies the components. The forest
+  // construction already propagates min-id labels; recover them from the
+  // forest edges.
+  const WeightFn unit = [](NodeId, NodeId) -> std::uint64_t { return 1; };
+  const CliqueMstResult mst = clique_mst(g, unit, options);
+  CliqueComponentsResult result;
+  result.costs = mst.costs;
+  result.component_count = mst.components;
+  DisjointSets dsu(g.node_count());
+  for (const auto& [u, v] : mst.edges) dsu.unite(u, v);
+  // Min id per component.
+  result.component.assign(g.node_count(), kInvalidNode);
+  std::vector<NodeId> min_of(g.node_count(), kInvalidNode);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    const NodeId root = dsu.find(v);
+    if (min_of[root] == kInvalidNode) min_of[root] = v;  // ids ascend
+  }
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    result.component[v] = min_of[dsu.find(v)];
+  }
+  return result;
+}
+
+}  // namespace dmis

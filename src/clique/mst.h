@@ -1,0 +1,65 @@
+// Minimum spanning forest in the congested clique — Borůvka phases with
+// O(1) clique rounds each.
+//
+// MST is where the congested-clique model began: Lotker et al. [29, 30]
+// (the paper's §1 cites them as the model's origin) gave O(log log n)
+// rounds. We implement the clean Borůvka baseline the literature measures
+// against: O(log n) phases, each a constant number of all-to-all rounds —
+// already exponentially below any CONGEST-model diameter bound, and a
+// faithful exercise of the same substrate primitives the MIS algorithm uses
+// (neighborhood rounds + Lenzen-routed convergecast to leaders).
+//
+// Phase structure (each O(1) rounds):
+//   1. label round: every node tells its neighbors its component label
+//      (the minimum node id of its component);
+//   2. candidate convergecast: every node routes its lightest outgoing edge
+//      to its component leader (= the label); the leader selects the
+//      component's overall lightest outgoing edge;
+//   3. merge resolution: component leaders route their chosen edges to the
+//      global coordinator (node 0), which contracts the component graph
+//      (the chosen edges form a pseudoforest) and routes every leader its
+//      new label; leaders route members theirs.
+// Ties are broken by (weight, min id, max id), making the MSF unique — the
+// result must equal Kruskal's edge-for-edge (graph/mst_reference.h).
+#pragma once
+
+#include <cstdint>
+
+#include "clique/network.h"
+#include "graph/graph.h"
+#include "graph/mst_reference.h"
+#include "rng/random_source.h"
+#include "runtime/cost.h"
+
+namespace dmis {
+
+struct CliqueMstOptions {
+  RandomSource randomness{0};
+  RouteMode route_mode = RouteMode::kAccountedLenzen;
+  std::uint64_t max_phases = 64;
+};
+
+struct CliqueMstResult {
+  std::vector<Edge> edges;  ///< the forest, sorted
+  std::uint64_t total_weight = 0;
+  NodeId components = 0;
+  std::uint64_t boruvka_phases = 0;
+  CostAccounting costs;  ///< congested-clique rounds/messages/bits
+};
+
+CliqueMstResult clique_mst(const Graph& g, const WeightFn& weight,
+                           const CliqueMstOptions& options);
+
+struct CliqueComponentsResult {
+  /// Per node: the minimum node id of its connected component.
+  std::vector<NodeId> component;
+  NodeId component_count = 0;
+  CostAccounting costs;
+};
+
+/// Connected components = Borůvka over unit weights (every outgoing edge is
+/// minimal; ties broken by ids). O(log n) phases of O(1) clique rounds.
+CliqueComponentsResult clique_connected_components(
+    const Graph& g, const CliqueMstOptions& options);
+
+}  // namespace dmis

@@ -1,0 +1,105 @@
+// Congested-clique communication substrate (paper §1, model (3)).
+//
+// Per round, each node may send B = O(log n) bits to *each* other node. The
+// primitive everything else is built on is many-to-many packet routing under
+// Lenzen's precondition [25]: if every node is the source of at most n
+// packets and the destination of at most n packets (each O(log n) bits),
+// all packets can be delivered in 2 rounds.
+//
+// Two routing modes (DESIGN.md §5, substitution 2):
+//  * kAccountedLenzen — validates the precondition, charges the proven
+//    2 rounds per batch, delivers. Overloaded workloads are split into the
+//    minimal number of Lenzen-feasible batches (each charged 2 rounds).
+//  * kValiant — actually schedules every packet over a two-hop random
+//    intermediate path, enforcing that each ordered node pair carries at
+//    most one packet per round; returns the measured round count.
+//
+// A packet carries two 64-bit words. With 32-bit node ids this is the
+// model's O(log n) with constant 4; the engine's bandwidth check uses
+// kPacketBits accordingly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "rng/random_source.h"
+#include "runtime/cost.h"
+
+namespace dmis {
+
+struct Packet {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+
+  friend bool operator==(const Packet&, const Packet&) = default;
+};
+
+inline constexpr int kPacketBits = 128;
+/// Rounds Lenzen's deterministic routing needs per feasible batch [25].
+inline constexpr int kLenzenRoundsPerBatch = 2;
+
+enum class RouteMode {
+  /// Validate feasibility, charge the proven 2 rounds per batch.
+  kAccountedLenzen,
+  /// Actually construct the deterministic two-round schedule (intermediate
+  /// per packet via Kőnig edge coloring, clique/lenzen_schedule.h), verify
+  /// both rounds' pair constraints, charge 2 rounds per batch.
+  kLenzenScheduled,
+  /// Random two-hop scheduling with measured (not constant) round cost.
+  kValiant,
+};
+
+struct RouteReport {
+  std::uint64_t packets = 0;
+  std::uint64_t rounds = 0;         ///< rounds charged/measured for delivery
+  std::uint64_t batches = 0;        ///< Lenzen-feasible batches used
+  std::uint64_t max_source_load = 0;
+  std::uint64_t max_dest_load = 0;
+};
+
+class CliqueNetwork {
+ public:
+  CliqueNetwork(NodeId node_count, RandomSource randomness,
+                RouteMode mode = RouteMode::kAccountedLenzen);
+
+  NodeId node_count() const { return node_count_; }
+  RouteMode mode() const { return mode_; }
+
+  /// Delivers `packets` (validated: src/dst < n). On return the vector is
+  /// sorted by (dst, src) — the per-destination inboxes. Costs are charged
+  /// to this network's accounting and summarized in the report.
+  RouteReport route(std::vector<Packet>& packets);
+
+  /// One synchronous all-to-all round in which a subset of nodes broadcast
+  /// up to `bits` bits to everyone (e.g. "MIS joiners announce"): charges
+  /// one round and the corresponding messages/bits.
+  void charge_broadcast_round(std::uint64_t broadcasting_nodes, int bits);
+
+  /// One round in which each node sends up to `bits` to its graph neighbors
+  /// only (a CONGEST-style round executed inside the clique, e.g. the
+  /// p_t(v) exchange opening each phase of §2.3).
+  void charge_neighborhood_round(std::uint64_t messages, int bits);
+
+  /// Leader election: everyone announces its id; minimum wins. One round.
+  NodeId elect_leader();
+
+  const CostAccounting& costs() const { return costs_; }
+
+ private:
+  std::uint64_t valiant_rounds(const std::vector<Packet>& packets);
+  /// Partitions into feasible batches, builds and verifies a real two-round
+  /// schedule for each, returns total rounds (2 per batch).
+  std::uint64_t scheduled_rounds(const std::vector<Packet>& packets,
+                                 std::uint64_t* batches_out);
+
+  NodeId node_count_;
+  RandomSource randomness_;
+  RouteMode mode_;
+  CostAccounting costs_;
+  std::uint64_t route_invocations_ = 0;
+};
+
+}  // namespace dmis

@@ -1,0 +1,145 @@
+#include "clique/triangles.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "util/check.h"
+
+namespace dmis {
+namespace {
+
+struct Triple {
+  std::uint32_t i, j, l;  // i <= j <= l
+  friend bool operator<(const Triple& a, const Triple& b) {
+    if (a.i != b.i) return a.i < b.i;
+    if (a.j != b.j) return a.j < b.j;
+    return a.l < b.l;
+  }
+  friend bool operator==(const Triple& a, const Triple& b) {
+    return a.i == b.i && a.j == b.j && a.l == b.l;
+  }
+};
+
+Triple sorted_triple(std::uint32_t a, std::uint32_t b, std::uint32_t c) {
+  std::uint32_t x[3] = {a, b, c};
+  std::sort(x, x + 3);
+  return {x[0], x[1], x[2]};
+}
+
+}  // namespace
+
+CliqueTriangleResult clique_triangle_count(
+    const Graph& g, const CliqueTriangleOptions& options) {
+  const NodeId n = g.node_count();
+  CliqueTriangleResult result;
+  if (n < 3) return result;
+
+  CliqueNetwork net(n, options.randomness.fork(0x7219ULL),
+                    options.route_mode);
+  const auto k = static_cast<std::uint32_t>(
+      std::ceil(std::cbrt(static_cast<double>(n))));
+  result.groups = k;
+  const NodeId group_size = static_cast<NodeId>((n + k - 1) / k);
+  auto group_of = [group_size](NodeId v) {
+    return static_cast<std::uint32_t>(v / group_size);
+  };
+
+  // Shared deterministic triple enumeration (every node derives the same
+  // table from n and k — public knowledge).
+  std::map<Triple, std::uint32_t> triple_index;
+  std::vector<Triple> triple_of_index;
+  {
+    std::uint32_t idx = 0;
+    for (std::uint32_t i = 0; i < k; ++i) {
+      for (std::uint32_t j = i; j < k; ++j) {
+        for (std::uint32_t l = j; l < k; ++l) {
+          triple_index.emplace(Triple{i, j, l}, idx++);
+          triple_of_index.push_back({i, j, l});
+        }
+      }
+    }
+  }
+  auto owner_of = [n](std::uint32_t idx) {
+    return static_cast<NodeId>(idx % n);
+  };
+
+  // Route every edge to the owner of every triple containing both endpoint
+  // groups (k copies: one per choice of third group).
+  std::vector<Packet> packets;
+  packets.reserve(g.edge_count() * k);
+  for (NodeId u = 0; u < n; ++u) {
+    for (const NodeId w : g.neighbors(u)) {
+      if (w <= u) continue;
+      const std::uint32_t gu = group_of(u);
+      const std::uint32_t gw = group_of(w);
+      for (std::uint32_t c = 0; c < k; ++c) {
+        const std::uint32_t idx = triple_index.at(sorted_triple(gu, gw, c));
+        packets.push_back({u, owner_of(idx),
+                           (static_cast<std::uint64_t>(u) << 32) | w, idx});
+      }
+    }
+  }
+  result.edge_packets = packets.size();
+  net.route(packets);
+
+  // Owners: per owned triple, rebuild the tagged edge set and count the
+  // triangles whose sorted group signature equals the triple.
+  std::unordered_map<std::uint32_t, std::vector<Edge>> by_triple;
+  for (const Packet& p : packets) {
+    by_triple[static_cast<std::uint32_t>(p.b)].push_back(
+        {static_cast<NodeId>(p.a >> 32),
+         static_cast<NodeId>(p.a & 0xffffffffULL)});
+  }
+  std::unordered_map<NodeId, std::uint64_t> owner_counts;
+  for (auto& [idx, edges] : by_triple) {
+    const Triple t = triple_of_index[idx];
+    std::unordered_map<NodeId, std::vector<NodeId>> adj;
+    for (const auto& [u, w] : edges) {
+      adj[u].push_back(w);
+      adj[w].push_back(u);
+    }
+    for (auto& [v, nbrs] : adj) std::sort(nbrs.begin(), nbrs.end());
+    std::uint64_t count = 0;
+    for (const auto& [u, w] : edges) {
+      const NodeId a = std::min(u, w);
+      const NodeId b = std::max(u, w);
+      // Common neighbors greater than b.
+      const auto& na = adj.at(a);
+      const auto& nb = adj.at(b);
+      auto ia = std::lower_bound(na.begin(), na.end(), b + 1);
+      auto ib = std::lower_bound(nb.begin(), nb.end(), b + 1);
+      while (ia != na.end() && ib != nb.end()) {
+        if (*ia < *ib) {
+          ++ia;
+        } else if (*ib < *ia) {
+          ++ib;
+        } else {
+          const Triple sig =
+              sorted_triple(group_of(a), group_of(b), group_of(*ia));
+          if (sig == t) ++count;
+          ++ia;
+          ++ib;
+        }
+      }
+    }
+    if (count > 0) owner_counts[owner_of(idx)] += count;
+  }
+
+  // Convergecast the per-owner counts to a leader.
+  const NodeId leader = net.elect_leader();
+  std::vector<Packet> sums;
+  sums.reserve(owner_counts.size());
+  for (const auto& [owner, count] : owner_counts) {
+    sums.push_back({owner, leader, count, 0});
+  }
+  net.route(sums);
+  for (const Packet& p : sums) result.triangles += p.a;
+
+  result.costs = net.costs();
+  return result;
+}
+
+}  // namespace dmis

@@ -1,0 +1,42 @@
+// Triangle counting in the congested clique — Dolev, Lenzen & Peled's
+// "Tri, Tri Again" partition scheme [11], one of the model's early
+// showcases (cited in the paper's §1 alongside MST and sorting).
+//
+// Nodes are split into k = ⌈n^{1/3}⌉ groups. Every unordered group triple
+// (i ≤ j ≤ l) is owned by one node; each graph edge is routed to every
+// owner whose triple contains both endpoint groups (k copies per edge).
+// An owner counts exactly the triangles whose sorted group signature equals
+// its triple — so every triangle is counted exactly once — and the counts
+// are converged at a leader.
+//
+// Per-owner load is O((n/k)²) = O(n^{4/3}) packets, i.e. O(n^{1/3}) routed
+// batches: the O(n^{1/3}) round complexity of [11] (they shave a log with
+// deterministic balancing). Output is verified against the centralized
+// counter (graph/properties.h) in the tests.
+#pragma once
+
+#include <cstdint>
+
+#include "clique/network.h"
+#include "graph/graph.h"
+#include "rng/random_source.h"
+#include "runtime/cost.h"
+
+namespace dmis {
+
+struct CliqueTriangleOptions {
+  RandomSource randomness{0};
+  RouteMode route_mode = RouteMode::kAccountedLenzen;
+};
+
+struct CliqueTriangleResult {
+  std::uint64_t triangles = 0;
+  std::uint32_t groups = 0;        ///< k
+  std::uint64_t edge_packets = 0;  ///< m * k copies routed
+  CostAccounting costs;
+};
+
+CliqueTriangleResult clique_triangle_count(
+    const Graph& g, const CliqueTriangleOptions& options);
+
+}  // namespace dmis

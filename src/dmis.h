@@ -1,0 +1,47 @@
+// Umbrella header: the whole public API in one include.
+//
+//   #include "dmis.h"
+//
+// Fine-grained headers remain the canonical interface (and what this
+// repository's own code uses); this is a convenience for downstream
+// quick-starts. See docs/ALGORITHMS.md for the map from the paper's
+// sections to these components.
+#pragma once
+
+// Substrates.
+#include "graph/dsu.h"            // IWYU pragma: export
+#include "graph/generators.h"     // IWYU pragma: export
+#include "graph/graph.h"          // IWYU pragma: export
+#include "graph/io.h"             // IWYU pragma: export
+#include "graph/mst_reference.h"  // IWYU pragma: export
+#include "graph/ops.h"            // IWYU pragma: export
+#include "graph/properties.h"     // IWYU pragma: export
+#include "graph/transforms.h"     // IWYU pragma: export
+#include "rng/mix.h"              // IWYU pragma: export
+#include "rng/pow2_prob.h"        // IWYU pragma: export
+#include "rng/random_source.h"    // IWYU pragma: export
+
+// Distributed runtimes.
+#include "clique/gather.h"           // IWYU pragma: export
+#include "clique/lenzen_schedule.h"  // IWYU pragma: export
+#include "clique/mst.h"              // IWYU pragma: export
+#include "clique/network.h"          // IWYU pragma: export
+#include "clique/triangles.h"        // IWYU pragma: export
+#include "runtime/beeping.h"         // IWYU pragma: export
+#include "runtime/congest.h"         // IWYU pragma: export
+#include "runtime/cost.h"            // IWYU pragma: export
+
+// The paper's algorithms and their companions.
+#include "mis/beeping.h"             // IWYU pragma: export
+#include "mis/clique_mis.h"          // IWYU pragma: export
+#include "mis/ghaffari.h"            // IWYU pragma: export
+#include "mis/greedy.h"              // IWYU pragma: export
+#include "mis/halfduplex_beeping.h"  // IWYU pragma: export
+#include "mis/instrumentation.h"     // IWYU pragma: export
+#include "mis/local_oracle.h"        // IWYU pragma: export
+#include "mis/lowdeg.h"              // IWYU pragma: export
+#include "mis/luby.h"                // IWYU pragma: export
+#include "mis/reductions.h"          // IWYU pragma: export
+#include "mis/ruling_clique.h"       // IWYU pragma: export
+#include "mis/sparsified.h"          // IWYU pragma: export
+#include "mis/sparsified_congest.h"  // IWYU pragma: export

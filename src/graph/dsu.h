@@ -1,0 +1,52 @@
+// Disjoint-set union with union by size and path compression.
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/check.h"
+
+namespace dmis {
+
+class DisjointSets {
+ public:
+  explicit DisjointSets(NodeId n) : parent_(n), size_(n, 1), components_(n) {
+    std::iota(parent_.begin(), parent_.end(), NodeId{0});
+  }
+
+  NodeId find(NodeId v) {
+    DMIS_CHECK(v < parent_.size(), "node out of range: " << v);
+    NodeId root = v;
+    while (parent_[root] != root) root = parent_[root];
+    while (parent_[v] != root) {
+      const NodeId next = parent_[v];
+      parent_[v] = root;
+      v = next;
+    }
+    return root;
+  }
+
+  /// Returns true if the two were in different sets (and merges them).
+  bool unite(NodeId a, NodeId b) {
+    NodeId ra = find(a);
+    NodeId rb = find(b);
+    if (ra == rb) return false;
+    if (size_[ra] < size_[rb]) std::swap(ra, rb);
+    parent_[rb] = ra;
+    size_[ra] += size_[rb];
+    --components_;
+    return true;
+  }
+
+  bool same(NodeId a, NodeId b) { return find(a) == find(b); }
+  NodeId component_count() const { return components_; }
+
+ private:
+  std::vector<NodeId> parent_;
+  std::vector<NodeId> size_;
+  NodeId components_;
+};
+
+}  // namespace dmis

@@ -1,0 +1,431 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+#include <vector>
+
+#include "rng/mix.h"
+#include "util/check.h"
+
+namespace dmis {
+namespace {
+
+/// Packs an unordered pair into a set key (u < v).
+std::uint64_t pair_key(NodeId u, NodeId v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<std::uint64_t>(u) << 32) | v;
+}
+
+}  // namespace
+
+Graph gnp(NodeId n, double p, std::uint64_t seed) {
+  DMIS_CHECK(p >= 0.0 && p <= 1.0, "p out of [0,1]: " << p);
+  GraphBuilder b(n);
+  if (n < 2 || p == 0.0) return std::move(b).build();
+  SplitMix64 rng(mix64(seed, 0x676e70ULL));  // "gnp"
+  if (p == 1.0) return complete(n);
+  // Enumerate candidate pairs (u,v), u < v, in lexicographic order, jumping
+  // geometric(1-p) gaps between successive present edges.
+  const double log1mp = std::log1p(-p);
+  std::uint64_t idx = 0;  // linear index into the pair sequence
+  const std::uint64_t total = static_cast<std::uint64_t>(n) * (n - 1) / 2;
+  // Row cursor advancing monotonically with idx: row `u` covers linear
+  // indices [row_base, row_base + n-1-u). Amortized O(1) per visited edge.
+  NodeId u = 0;
+  std::uint64_t row_base = 0;
+  auto unrank = [&](std::uint64_t k) -> Edge {
+    while (k - row_base >= static_cast<std::uint64_t>(n) - 1 - u) {
+      row_base += static_cast<std::uint64_t>(n) - 1 - u;
+      ++u;
+    }
+    return {u, static_cast<NodeId>(u + 1 + (k - row_base))};
+  };
+  while (true) {
+    const double r = rng.next_double();
+    const double gap = std::floor(std::log1p(-r) / log1mp);
+    // gap is the number of skipped absent pairs before the next edge.
+    if (gap >= static_cast<double>(total - idx)) break;
+    idx += static_cast<std::uint64_t>(gap);
+    if (idx >= total) break;
+    const auto [eu, ev] = unrank(idx);
+    b.add_edge(eu, ev);
+    ++idx;
+    if (idx >= total) break;
+  }
+  return std::move(b).build();
+}
+
+Graph gnm(NodeId n, std::uint64_t m, std::uint64_t seed) {
+  const std::uint64_t total =
+      (n < 2) ? 0 : static_cast<std::uint64_t>(n) * (n - 1) / 2;
+  DMIS_CHECK(m <= total, "m=" << m << " exceeds max edges " << total);
+  GraphBuilder b(n);
+  SplitMix64 rng(mix64(seed, 0x676e6dULL));  // "gnm"
+  std::unordered_set<std::uint64_t> chosen;
+  chosen.reserve(m * 2);
+  while (chosen.size() < m) {
+    const NodeId u = static_cast<NodeId>(rng.next_below(n));
+    const NodeId v = static_cast<NodeId>(rng.next_below(n));
+    if (u == v) continue;
+    if (chosen.insert(pair_key(u, v)).second) b.add_edge(u, v);
+  }
+  return std::move(b).build();
+}
+
+Graph random_regular(NodeId n, NodeId d, std::uint64_t seed,
+                     int max_restarts) {
+  DMIS_CHECK(d < n, "degree " << d << " must be < n " << n);
+  DMIS_CHECK((static_cast<std::uint64_t>(n) * d) % 2 == 0,
+             "n*d must be even: n=" << n << " d=" << d);
+  if (d == 0) return empty_graph(n);
+  SplitMix64 rng(mix64(seed, 0x726567ULL));  // "reg"
+  std::vector<NodeId> stubs(static_cast<std::size_t>(n) * d);
+  for (NodeId v = 0; v < n; ++v) {
+    for (NodeId i = 0; i < d; ++i) stubs[static_cast<std::size_t>(v) * d + i] = v;
+  }
+  for (int attempt = 0; attempt <= max_restarts; ++attempt) {
+    // Fisher–Yates shuffle, then pair consecutive stubs.
+    for (std::size_t i = stubs.size() - 1; i > 0; --i) {
+      const std::size_t j = rng.next_below(i + 1);
+      std::swap(stubs[i], stubs[j]);
+    }
+    std::unordered_set<std::uint64_t> seen;
+    seen.reserve(stubs.size());
+    bool simple = true;
+    for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+      const NodeId u = stubs[i];
+      const NodeId v = stubs[i + 1];
+      if (u == v || !seen.insert(pair_key(u, v)).second) {
+        simple = false;
+        break;
+      }
+    }
+    if (simple || attempt == max_restarts) {
+      // On the final attempt, drop conflicting pairs instead of restarting.
+      GraphBuilder b(n);
+      std::unordered_set<std::uint64_t> emitted;
+      emitted.reserve(stubs.size());
+      for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+        const NodeId u = stubs[i];
+        const NodeId v = stubs[i + 1];
+        if (u == v || !emitted.insert(pair_key(u, v)).second) continue;
+        b.add_edge(u, v);
+      }
+      return std::move(b).build();
+    }
+  }
+  DMIS_ASSERT(false, "unreachable");
+}
+
+Graph barabasi_albert(NodeId n, NodeId initial, NodeId attach,
+                      std::uint64_t seed) {
+  DMIS_CHECK(attach >= 1 && attach <= initial,
+             "need 1 <= attach <= initial, got attach=" << attach
+                                                        << " initial="
+                                                        << initial);
+  DMIS_CHECK(initial < n, "initial " << initial << " must be < n " << n);
+  SplitMix64 rng(mix64(seed, 0x6261ULL));  // "ba"
+  GraphBuilder b(n);
+  // Endpoint list: each edge contributes both endpoints, so sampling a
+  // uniform element is degree-proportional sampling.
+  std::vector<NodeId> endpoints;
+  for (NodeId u = 0; u < initial; ++u) {
+    for (NodeId v = static_cast<NodeId>(u + 1); v < initial; ++v) {
+      b.add_edge(u, v);
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+  std::vector<NodeId> targets;
+  for (NodeId v = initial; v < n; ++v) {
+    targets.clear();
+    while (targets.size() < attach) {
+      const NodeId t = endpoints[rng.next_below(endpoints.size())];
+      if (std::find(targets.begin(), targets.end(), t) == targets.end()) {
+        targets.push_back(t);
+      }
+    }
+    for (const NodeId t : targets) {
+      b.add_edge(v, t);
+      endpoints.push_back(v);
+      endpoints.push_back(t);
+    }
+  }
+  return std::move(b).build();
+}
+
+Graph random_geometric(NodeId n, double radius, std::uint64_t seed) {
+  DMIS_CHECK(radius >= 0.0, "negative radius");
+  SplitMix64 rng(mix64(seed, 0x726767ULL));  // "rgg"
+  std::vector<double> x(n);
+  std::vector<double> y(n);
+  for (NodeId v = 0; v < n; ++v) {
+    x[v] = rng.next_double();
+    y[v] = rng.next_double();
+  }
+  GraphBuilder b(n);
+  if (n == 0 || radius == 0.0) return std::move(b).build();
+  // Grid bucketing with cell size = radius: neighbors live in the 3x3 block.
+  const int cells = std::max(1, static_cast<int>(std::floor(1.0 / radius)));
+  auto cell_of = [&](NodeId v) {
+    const int cx = std::min(cells - 1, static_cast<int>(x[v] * cells));
+    const int cy = std::min(cells - 1, static_cast<int>(y[v] * cells));
+    return cy * cells + cx;
+  };
+  std::vector<std::vector<NodeId>> grid(
+      static_cast<std::size_t>(cells) * cells);
+  for (NodeId v = 0; v < n; ++v) grid[cell_of(v)].push_back(v);
+  const double r2 = radius * radius;
+  for (NodeId v = 0; v < n; ++v) {
+    const int cx = std::min(cells - 1, static_cast<int>(x[v] * cells));
+    const int cy = std::min(cells - 1, static_cast<int>(y[v] * cells));
+    for (int dy = -1; dy <= 1; ++dy) {
+      for (int dx = -1; dx <= 1; ++dx) {
+        const int nx = cx + dx;
+        const int ny = cy + dy;
+        if (nx < 0 || ny < 0 || nx >= cells || ny >= cells) continue;
+        for (const NodeId u : grid[static_cast<std::size_t>(ny) * cells + nx]) {
+          if (u <= v) continue;
+          const double ddx = x[u] - x[v];
+          const double ddy = y[u] - y[v];
+          if (ddx * ddx + ddy * ddy <= r2) b.add_edge(v, u);
+        }
+      }
+    }
+  }
+  return std::move(b).build();
+}
+
+Graph cycle(NodeId n) {
+  GraphBuilder b(n);
+  if (n >= 3) {
+    for (NodeId v = 0; v < n; ++v) {
+      b.add_edge(v, static_cast<NodeId>((v + 1) % n));
+    }
+  } else if (n == 2) {
+    b.add_edge(0, 1);
+  }
+  return std::move(b).build();
+}
+
+Graph path(NodeId n) {
+  GraphBuilder b(n);
+  for (NodeId v = 0; v + 1 < n; ++v) b.add_edge(v, v + 1);
+  return std::move(b).build();
+}
+
+Graph complete(NodeId n) {
+  GraphBuilder b(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = static_cast<NodeId>(u + 1); v < n; ++v) b.add_edge(u, v);
+  }
+  return std::move(b).build();
+}
+
+Graph complete_bipartite(NodeId a, NodeId b_size) {
+  GraphBuilder b(static_cast<NodeId>(a + b_size));
+  for (NodeId u = 0; u < a; ++u) {
+    for (NodeId v = 0; v < b_size; ++v) {
+      b.add_edge(u, static_cast<NodeId>(a + v));
+    }
+  }
+  return std::move(b).build();
+}
+
+Graph star(NodeId n) {
+  GraphBuilder b(n);
+  for (NodeId v = 1; v < n; ++v) b.add_edge(0, v);
+  return std::move(b).build();
+}
+
+Graph grid2d(NodeId rows, NodeId cols) {
+  GraphBuilder b(static_cast<NodeId>(rows * cols));
+  auto id = [cols](NodeId r, NodeId c) {
+    return static_cast<NodeId>(r * cols + c);
+  };
+  for (NodeId r = 0; r < rows; ++r) {
+    for (NodeId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) b.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) b.add_edge(id(r, c), id(r + 1, c));
+    }
+  }
+  return std::move(b).build();
+}
+
+Graph empty_graph(NodeId n) {
+  GraphBuilder b(n);
+  return std::move(b).build();
+}
+
+Graph disjoint_cliques(NodeId count, NodeId size) {
+  GraphBuilder b(static_cast<NodeId>(count * size));
+  for (NodeId k = 0; k < count; ++k) {
+    const NodeId base = static_cast<NodeId>(k * size);
+    for (NodeId u = 0; u < size; ++u) {
+      for (NodeId v = static_cast<NodeId>(u + 1); v < size; ++v) {
+        b.add_edge(static_cast<NodeId>(base + u),
+                   static_cast<NodeId>(base + v));
+      }
+    }
+  }
+  return std::move(b).build();
+}
+
+Graph planted_independent_set(NodeId n, NodeId planted, double p,
+                              std::uint64_t seed) {
+  DMIS_CHECK(planted < n, "planted " << planted << " must be < n " << n);
+  DMIS_CHECK(p >= 0.0 && p <= 1.0, "p out of [0,1]: " << p);
+  SplitMix64 rng(mix64(seed, 0x706973ULL));  // "pis"
+  GraphBuilder b(n);
+  // Edges among the non-planted part and across, ER with probability p;
+  // never among the planted prefix.
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = static_cast<NodeId>(u + 1); v < n; ++v) {
+      if (v < planted) continue;  // both in planted prefix
+      if (rng.next_double() < p) b.add_edge(u, v);
+    }
+  }
+  // Guarantee each planted node is attached to the rest.
+  for (NodeId u = 0; u < planted; ++u) {
+    const NodeId v =
+        static_cast<NodeId>(planted + rng.next_below(n - planted));
+    b.add_edge(u, v);
+  }
+  return std::move(b).build();
+}
+
+Graph hypercube(int dimensions) {
+  DMIS_CHECK(dimensions >= 0 && dimensions <= 24,
+             "hypercube dimension out of [0,24]: " << dimensions);
+  const NodeId n = static_cast<NodeId>(1u << dimensions);
+  GraphBuilder b(n);
+  for (NodeId v = 0; v < n; ++v) {
+    for (int bit = 0; bit < dimensions; ++bit) {
+      const NodeId u = v ^ (1u << bit);
+      if (u > v) b.add_edge(v, u);
+    }
+  }
+  return std::move(b).build();
+}
+
+Graph binary_tree(NodeId n) {
+  GraphBuilder b(n);
+  for (NodeId v = 1; v < n; ++v) {
+    b.add_edge(v, (v - 1) / 2);
+  }
+  return std::move(b).build();
+}
+
+Graph caterpillar(NodeId spine, NodeId legs) {
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(spine) * (1 + legs);
+  DMIS_CHECK(total <= kInvalidNode, "caterpillar too large");
+  GraphBuilder b(static_cast<NodeId>(total));
+  for (NodeId s = 0; s < spine; ++s) {
+    if (s + 1 < spine) b.add_edge(s, s + 1);
+    for (NodeId l = 0; l < legs; ++l) {
+      b.add_edge(s, static_cast<NodeId>(spine + s * legs + l));
+    }
+  }
+  return std::move(b).build();
+}
+
+Graph watts_strogatz(NodeId n, NodeId k, double beta, std::uint64_t seed) {
+  DMIS_CHECK(k >= 1, "k must be >= 1");
+  DMIS_CHECK(2 * k < n - 1, "need 2k < n-1: n=" << n << " k=" << k);
+  DMIS_CHECK(beta >= 0.0 && beta <= 1.0, "beta out of [0,1]: " << beta);
+  SplitMix64 rng(mix64(seed, 0x7773ULL));  // "ws"
+  GraphBuilder b(n);
+  for (NodeId v = 0; v < n; ++v) {
+    for (NodeId j = 1; j <= k; ++j) {
+      NodeId target = static_cast<NodeId>((v + j) % n);
+      if (rng.next_double() < beta) {
+        // Rewire to a uniform non-self target (duplicates collapse later —
+        // standard small-world construction).
+        do {
+          target = static_cast<NodeId>(rng.next_below(n));
+        } while (target == v);
+      }
+      b.add_edge(v, target);
+    }
+  }
+  return std::move(b).build();
+}
+
+Graph margulis_expander(NodeId m) {
+  DMIS_CHECK(m >= 2, "expander side must be >= 2");
+  const std::uint64_t total = static_cast<std::uint64_t>(m) * m;
+  DMIS_CHECK(total <= kInvalidNode, "expander too large");
+  GraphBuilder b(static_cast<NodeId>(total));
+  auto id = [m](NodeId x, NodeId y) {
+    return static_cast<NodeId>(y * m + x);
+  };
+  for (NodeId y = 0; y < m; ++y) {
+    for (NodeId x = 0; x < m; ++x) {
+      const NodeId v = id(x, y);
+      // Margulis maps: (x±2y, y), (x, y±2x) — with the ±1 shifts folded in
+      // via the classic variant (x+2y, y), (x+2y+1, y), (x, y+2x),
+      // (x, y+2x+1) and their inverses (added implicitly as undirected
+      // edges).
+      const NodeId t1 = id(static_cast<NodeId>((x + 2 * y) % m), y);
+      const NodeId t2 = id(static_cast<NodeId>((x + 2 * y + 1) % m), y);
+      const NodeId t3 = id(x, static_cast<NodeId>((y + 2 * x) % m));
+      const NodeId t4 = id(x, static_cast<NodeId>((y + 2 * x + 1) % m));
+      for (const NodeId t : {t1, t2, t3, t4}) {
+        if (t != v) b.add_edge(v, t);
+      }
+    }
+  }
+  return std::move(b).build();
+}
+
+Graph barbell(NodeId clique_size, NodeId bridge) {
+  DMIS_CHECK(clique_size >= 1, "clique size must be >= 1");
+  const std::uint64_t total =
+      2ULL * clique_size + static_cast<std::uint64_t>(bridge);
+  DMIS_CHECK(total <= kInvalidNode, "barbell too large");
+  GraphBuilder b(static_cast<NodeId>(total));
+  auto add_clique = [&b](NodeId base, NodeId size) {
+    for (NodeId u = 0; u < size; ++u) {
+      for (NodeId v = static_cast<NodeId>(u + 1); v < size; ++v) {
+        b.add_edge(static_cast<NodeId>(base + u),
+                   static_cast<NodeId>(base + v));
+      }
+    }
+  };
+  add_clique(0, clique_size);
+  add_clique(static_cast<NodeId>(clique_size + bridge), clique_size);
+  // Bridge path between node clique_size-1 (left) and clique_size+bridge
+  // (right end's first node).
+  NodeId prev = static_cast<NodeId>(clique_size - 1);
+  for (NodeId i = 0; i < bridge; ++i) {
+    const NodeId cur = static_cast<NodeId>(clique_size + i);
+    b.add_edge(prev, cur);
+    prev = cur;
+  }
+  b.add_edge(prev, static_cast<NodeId>(clique_size + bridge));
+  return std::move(b).build();
+}
+
+Graph lollipop(NodeId clique_size, NodeId tail) {
+  DMIS_CHECK(clique_size >= 1, "clique size must be >= 1");
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(clique_size) + tail;
+  DMIS_CHECK(total <= kInvalidNode, "lollipop too large");
+  GraphBuilder b(static_cast<NodeId>(total));
+  for (NodeId u = 0; u < clique_size; ++u) {
+    for (NodeId v = static_cast<NodeId>(u + 1); v < clique_size; ++v) {
+      b.add_edge(u, v);
+    }
+  }
+  NodeId prev = static_cast<NodeId>(clique_size - 1);
+  for (NodeId i = 0; i < tail; ++i) {
+    const NodeId cur = static_cast<NodeId>(clique_size + i);
+    b.add_edge(prev, cur);
+    prev = cur;
+  }
+  return std::move(b).build();
+}
+
+}  // namespace dmis

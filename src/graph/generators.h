@@ -1,0 +1,95 @@
+// Workload generators for the experiment suite.
+//
+// The paper's bounds are parameterized by n and the maximum degree Δ; the
+// generator suite exists to sweep both independently:
+//   * gnp / gnm            — classic Erdős–Rényi, Δ ≈ np concentration;
+//   * random_regular       — pins Δ exactly (every degree = d);
+//   * barabasi_albert      — heavy-tailed degrees (stress for per-degree
+//                            local-complexity claims, E2/E4);
+//   * random_geometric     — the wireless topology motivating the beeping
+//                            model (§2.2 references [1, 10, 14]);
+//   * structured families  — cycles, paths, grids, stars, cliques, complete
+//                            bipartite, disjoint cliques: adversarial shapes
+//                            with known MIS structure for unit tests;
+//   * planted_independent_set — a known maximum independent set to sanity-
+//                            check output quality.
+//
+// All generators are deterministic functions of their seed.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace dmis {
+
+/// Erdős–Rényi G(n, p) via geometric edge skipping: O(n + m) expected time.
+Graph gnp(NodeId n, double p, std::uint64_t seed);
+
+/// Erdős–Rényi G(n, m): exactly m distinct edges (m <= n(n-1)/2).
+Graph gnm(NodeId n, std::uint64_t m, std::uint64_t seed);
+
+/// Random d-regular graph via the configuration model with restarts; falls
+/// back to dropping the (rare) leftover conflicting pairs after
+/// `max_restarts`, so degrees are then in {d-1, d}. n*d must be even.
+Graph random_regular(NodeId n, NodeId d, std::uint64_t seed,
+                     int max_restarts = 32);
+
+/// Barabási–Albert preferential attachment: starts from a clique on
+/// `initial` nodes, each new node attaches to `attach` distinct existing
+/// nodes sampled proportionally to degree. attach <= initial < n.
+Graph barabasi_albert(NodeId n, NodeId initial, NodeId attach,
+                      std::uint64_t seed);
+
+/// Random geometric graph on the unit square with connection radius r,
+/// built with grid bucketing in O(n + m) expected time.
+Graph random_geometric(NodeId n, double radius, std::uint64_t seed);
+
+Graph cycle(NodeId n);
+Graph path(NodeId n);
+Graph complete(NodeId n);
+Graph complete_bipartite(NodeId a, NodeId b);
+/// Star: node 0 is the hub of n-1 leaves.
+Graph star(NodeId n);
+Graph grid2d(NodeId rows, NodeId cols);
+Graph empty_graph(NodeId n);
+/// `count` disjoint cliques of `size` nodes each.
+Graph disjoint_cliques(NodeId count, NodeId size);
+
+/// The first `planted` nodes form an independent set; every other pair is an
+/// edge independently with probability p, and each planted node gets at
+/// least one edge to the rest (so the planted set is also maximal whenever
+/// the rest is covered). Requires planted < n.
+Graph planted_independent_set(NodeId n, NodeId planted, double p,
+                              std::uint64_t seed);
+
+/// The d-dimensional hypercube Q_d: 2^d nodes, edges between ids differing
+/// in one bit. Δ = d; a classic symmetric benchmark topology. d <= 24.
+Graph hypercube(int dimensions);
+
+/// Complete binary tree with n nodes (children of i at 2i+1, 2i+2).
+Graph binary_tree(NodeId n);
+
+/// Caterpillar: a spine path of `spine` nodes, each with `legs` pendant
+/// leaves — bounded-degree, linear ball growth (good low-degree workload).
+Graph caterpillar(NodeId spine, NodeId legs);
+
+/// Watts–Strogatz small world: ring lattice (each node to its k nearest on
+/// each side), each right-edge rewired with probability beta. k >= 1,
+/// 2k < n-1.
+Graph watts_strogatz(NodeId n, NodeId k, double beta, std::uint64_t seed);
+
+/// Margulis-style 8-regular expander on m x m = n vertices (Z_m x Z_m with
+/// the classic affine neighbor maps; parallel edges collapse, so degrees
+/// are <= 8). Ball growth is exponential — the adversarial regime for the
+/// §2.5 fast path.
+Graph margulis_expander(NodeId m);
+
+/// Barbell: two k-cliques joined by a path of `bridge` nodes — dense blobs
+/// with a long sparse corridor (stress for shattering and ruling sets).
+Graph barbell(NodeId clique_size, NodeId bridge);
+
+/// Lollipop: a k-clique with a path tail of `tail` nodes.
+Graph lollipop(NodeId clique_size, NodeId tail);
+
+}  // namespace dmis

@@ -1,0 +1,109 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace dmis {
+
+NodeId Graph::degree(NodeId v) const {
+  DMIS_CHECK(v < node_count_, "node out of range: " << v);
+  return static_cast<NodeId>(offsets_[v + 1] - offsets_[v]);
+}
+
+std::span<const NodeId> Graph::neighbors(NodeId v) const {
+  DMIS_CHECK(v < node_count_, "node out of range: " << v);
+  return {adj_.data() + offsets_[v], adj_.data() + offsets_[v + 1]};
+}
+
+bool Graph::has_edge(NodeId u, NodeId v) const {
+  DMIS_CHECK(u < node_count_ && v < node_count_,
+             "edge endpoint out of range: {" << u << "," << v << "}");
+  if (u == v) return false;
+  // Search the smaller adjacency list.
+  if (degree(u) > degree(v)) std::swap(u, v);
+  const auto nb = neighbors(u);
+  return std::binary_search(nb.begin(), nb.end(), v);
+}
+
+std::vector<Edge> Graph::edges() const {
+  std::vector<Edge> out;
+  out.reserve(edge_count());
+  for (NodeId u = 0; u < node_count_; ++u) {
+    for (const NodeId v : neighbors(u)) {
+      if (u < v) out.emplace_back(u, v);
+    }
+  }
+  return out;
+}
+
+double Graph::average_degree() const {
+  if (node_count_ == 0) return 0.0;
+  return 2.0 * static_cast<double>(edge_count()) /
+         static_cast<double>(node_count_);
+}
+
+GraphBuilder::GraphBuilder(NodeId node_count) : node_count_(node_count) {}
+
+void GraphBuilder::add_edge(NodeId u, NodeId v) {
+  DMIS_CHECK(u < node_count_ && v < node_count_,
+             "edge endpoint out of range: {" << u << "," << v << "} with n="
+                                             << node_count_);
+  DMIS_CHECK(u != v, "self-loop at node " << u);
+  half_edges_.emplace_back(u, v);
+  half_edges_.emplace_back(v, u);
+}
+
+Graph GraphBuilder::build() && {
+  // Counting sort by source, then sort+dedup each adjacency range.
+  Graph g;
+  g.node_count_ = node_count_;
+  g.offsets_.assign(static_cast<std::size_t>(node_count_) + 1, 0);
+  for (const auto& [src, dst] : half_edges_) {
+    (void)dst;
+    ++g.offsets_[src + 1];
+  }
+  for (NodeId v = 0; v < node_count_; ++v) {
+    g.offsets_[v + 1] += g.offsets_[v];
+  }
+  g.adj_.resize(half_edges_.size());
+  {
+    std::vector<std::uint64_t> cursor(g.offsets_.begin(),
+                                      g.offsets_.end() - 1);
+    for (const auto& [src, dst] : half_edges_) {
+      g.adj_[cursor[src]++] = dst;
+    }
+  }
+  half_edges_.clear();
+
+  // Sort and deduplicate each range in place, compacting the arrays.
+  std::uint64_t write = 0;
+  std::uint64_t range_begin = 0;
+  for (NodeId v = 0; v < node_count_; ++v) {
+    const std::uint64_t range_end = g.offsets_[v + 1];
+    const auto first = g.adj_.begin() + static_cast<std::ptrdiff_t>(range_begin);
+    const auto last = g.adj_.begin() + static_cast<std::ptrdiff_t>(range_end);
+    std::sort(first, last);
+    const auto unique_end = std::unique(first, last);
+    const std::uint64_t deg =
+        static_cast<std::uint64_t>(unique_end - first);
+    std::move(first, unique_end,
+              g.adj_.begin() + static_cast<std::ptrdiff_t>(write));
+    g.offsets_[v] = write;
+    write += deg;
+    range_begin = range_end;
+    g.max_degree_ = std::max<NodeId>(g.max_degree_, static_cast<NodeId>(deg));
+  }
+  g.offsets_[node_count_] = write;
+  g.adj_.resize(write);
+  g.adj_.shrink_to_fit();
+  return g;
+}
+
+Graph graph_from_edges(NodeId node_count, std::span<const Edge> edges) {
+  GraphBuilder b(node_count);
+  for (const auto& [u, v] : edges) b.add_edge(u, v);
+  return std::move(b).build();
+}
+
+}  // namespace dmis

@@ -1,0 +1,79 @@
+// Immutable undirected simple graph in CSR form, plus its builder.
+//
+// All algorithms in this repository treat the graph as read-only shared
+// topology ("initially each node knows only its neighbors", paper §1);
+// node removal during an execution is handled by per-algorithm alive masks,
+// or by materializing induced subgraphs (ops.h) when a residual graph is
+// handed off (e.g. the leader cleanup of paper §2.4).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace dmis {
+
+using NodeId = std::uint32_t;
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+/// An undirected edge as an (u, v) pair; orientation is not meaningful.
+using Edge = std::pair<NodeId, NodeId>;
+
+class Graph {
+ public:
+  /// Empty graph with zero nodes.
+  Graph() = default;
+
+  NodeId node_count() const { return node_count_; }
+  /// Number of undirected edges.
+  std::uint64_t edge_count() const { return adj_.size() / 2; }
+
+  NodeId degree(NodeId v) const;
+  NodeId max_degree() const { return max_degree_; }
+
+  /// Neighbors of v, sorted ascending.
+  std::span<const NodeId> neighbors(NodeId v) const;
+
+  /// O(log deg) adjacency test.
+  bool has_edge(NodeId u, NodeId v) const;
+
+  /// All undirected edges with u < v, in lexicographic order.
+  std::vector<Edge> edges() const;
+
+  /// Average degree (0 for the empty graph).
+  double average_degree() const;
+
+ private:
+  friend class GraphBuilder;
+
+  NodeId node_count_ = 0;
+  NodeId max_degree_ = 0;
+  std::vector<std::uint64_t> offsets_;  // size node_count_ + 1
+  std::vector<NodeId> adj_;             // sorted within each node's range
+};
+
+/// Accumulates edges, then builds a Graph. Self-loops are rejected; parallel
+/// edges are deduplicated (generators may propose duplicates).
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(NodeId node_count);
+
+  /// Adds the undirected edge {u, v}. u != v; both < node_count.
+  void add_edge(NodeId u, NodeId v);
+
+  std::uint64_t pending_edge_count() const { return half_edges_.size() / 2; }
+
+  /// Builds and resets the builder. Duplicate edges are merged.
+  Graph build() &&;
+
+ private:
+  NodeId node_count_;
+  // Flat list of (src, dst) half-edges; both directions are stored.
+  std::vector<std::pair<NodeId, NodeId>> half_edges_;
+};
+
+/// Convenience: build from an explicit edge list.
+Graph graph_from_edges(NodeId node_count, std::span<const Edge> edges);
+
+}  // namespace dmis

@@ -1,0 +1,49 @@
+#include "graph/io.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "util/check.h"
+
+namespace dmis {
+
+void write_edge_list(const Graph& g, std::ostream& os) {
+  os << g.node_count() << ' ' << g.edge_count() << '\n';
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    for (const NodeId v : g.neighbors(u)) {
+      if (u < v) os << u << ' ' << v << '\n';
+    }
+  }
+  DMIS_CHECK(os.good(), "write failed");
+}
+
+Graph read_edge_list(std::istream& is) {
+  std::uint64_t n = 0;
+  std::uint64_t m = 0;
+  DMIS_CHECK(static_cast<bool>(is >> n >> m), "malformed header");
+  DMIS_CHECK(n <= kInvalidNode, "node count too large: " << n);
+  GraphBuilder b(static_cast<NodeId>(n));
+  for (std::uint64_t i = 0; i < m; ++i) {
+    std::uint64_t u = 0;
+    std::uint64_t v = 0;
+    DMIS_CHECK(static_cast<bool>(is >> u >> v),
+               "malformed edge line " << i << " of " << m);
+    b.add_edge(static_cast<NodeId>(u), static_cast<NodeId>(v));
+  }
+  return std::move(b).build();
+}
+
+void write_edge_list_file(const Graph& g, const std::string& path) {
+  std::ofstream os(path);
+  DMIS_CHECK(os.is_open(), "cannot open for writing: " << path);
+  write_edge_list(g, os);
+}
+
+Graph read_edge_list_file(const std::string& path) {
+  std::ifstream is(path);
+  DMIS_CHECK(is.is_open(), "cannot open for reading: " << path);
+  return read_edge_list(is);
+}
+
+}  // namespace dmis

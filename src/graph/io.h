@@ -1,0 +1,19 @@
+// Plain-text edge-list serialization:
+//   line 1: "<node_count> <edge_count>"
+//   then one "u v" pair per line (u < v).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace dmis {
+
+void write_edge_list(const Graph& g, std::ostream& os);
+Graph read_edge_list(std::istream& is);
+
+void write_edge_list_file(const Graph& g, const std::string& path);
+Graph read_edge_list_file(const std::string& path);
+
+}  // namespace dmis

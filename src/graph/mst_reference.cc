@@ -1,0 +1,49 @@
+#include "graph/mst_reference.h"
+
+#include <algorithm>
+
+#include "graph/dsu.h"
+#include "rng/mix.h"
+#include "util/check.h"
+
+namespace dmis {
+
+WeightFn hashed_weights(std::uint64_t seed, std::uint32_t max_weight) {
+  DMIS_CHECK(max_weight >= 1, "max_weight must be >= 1");
+  return [seed, max_weight](NodeId u, NodeId v) -> std::uint64_t {
+    if (u > v) std::swap(u, v);
+    return mix64(seed, u, v) % max_weight;
+  };
+}
+
+MstResult kruskal_msf(const Graph& g, const WeightFn& weight) {
+  struct Entry {
+    std::uint64_t w;
+    NodeId u;
+    NodeId v;
+  };
+  std::vector<Entry> entries;
+  entries.reserve(g.edge_count());
+  for (const auto& [u, v] : g.edges()) {
+    entries.push_back({weight(u, v), u, v});
+  }
+  std::sort(entries.begin(), entries.end(), [](const Entry& a,
+                                               const Entry& b) {
+    if (a.w != b.w) return a.w < b.w;
+    if (a.u != b.u) return a.u < b.u;
+    return a.v < b.v;
+  });
+  MstResult result;
+  DisjointSets dsu(g.node_count());
+  for (const Entry& e : entries) {
+    if (dsu.unite(e.u, e.v)) {
+      result.edges.push_back({e.u, e.v});
+      result.total_weight += e.w;
+    }
+  }
+  std::sort(result.edges.begin(), result.edges.end());
+  result.components = dsu.component_count();
+  return result;
+}
+
+}  // namespace dmis

@@ -1,0 +1,32 @@
+// Centralized minimum-spanning-forest reference (Kruskal), ground truth for
+// the congested-clique MST (clique/mst.h).
+//
+// Edge weights are an arbitrary function of the endpoints; ties are broken
+// by the edge's (min id, max id), which makes the MSF *unique* — so the
+// distributed and centralized algorithms must agree edge-for-edge, not just
+// in total weight.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace dmis {
+
+using WeightFn = std::function<std::uint64_t(NodeId, NodeId)>;
+
+/// Deterministic pseudo-random weights derived from the endpoints — handy
+/// default for experiments. Symmetric in (u, v).
+WeightFn hashed_weights(std::uint64_t seed, std::uint32_t max_weight = 1u << 20);
+
+struct MstResult {
+  std::vector<Edge> edges;  ///< sorted (u < v per edge, lexicographic)
+  std::uint64_t total_weight = 0;
+  NodeId components = 0;  ///< of the input graph (forest trees)
+};
+
+MstResult kruskal_msf(const Graph& g, const WeightFn& weight);
+
+}  // namespace dmis

@@ -1,0 +1,125 @@
+#include "graph/ops.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/check.h"
+
+namespace dmis {
+
+InducedSubgraph induced_subgraph(const Graph& g,
+                                 std::span<const NodeId> nodes) {
+  std::vector<NodeId> sorted(nodes.begin(), nodes.end());
+  std::sort(sorted.begin(), sorted.end());
+  DMIS_CHECK(std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end(),
+             "duplicate node in induced_subgraph selection");
+  std::vector<NodeId> old_to_new(g.node_count(), kInvalidNode);
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    DMIS_CHECK(sorted[i] < g.node_count(),
+               "node out of range: " << sorted[i]);
+    old_to_new[sorted[i]] = static_cast<NodeId>(i);
+  }
+  GraphBuilder b(static_cast<NodeId>(sorted.size()));
+  for (const NodeId u : sorted) {
+    for (const NodeId v : g.neighbors(u)) {
+      if (u < v && old_to_new[v] != kInvalidNode) {
+        b.add_edge(old_to_new[u], old_to_new[v]);
+      }
+    }
+  }
+  return InducedSubgraph{std::move(b).build(), std::move(sorted)};
+}
+
+InducedSubgraph induced_subgraph(const Graph& g,
+                                 const std::vector<char>& keep) {
+  DMIS_CHECK(keep.size() == g.node_count(),
+             "mask size " << keep.size() << " != n " << g.node_count());
+  std::vector<NodeId> nodes;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (keep[v] != 0) nodes.push_back(v);
+  }
+  return induced_subgraph(g, nodes);
+}
+
+std::vector<NodeId> bfs_ball(const Graph& g, NodeId v, int radius) {
+  DMIS_CHECK(v < g.node_count(), "node out of range: " << v);
+  DMIS_CHECK(radius >= 0, "negative radius: " << radius);
+  std::vector<std::uint32_t> dist(g.node_count(), kUnreachable);
+  std::vector<NodeId> out;
+  std::deque<NodeId> queue;
+  dist[v] = 0;
+  queue.push_back(v);
+  out.push_back(v);
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop_front();
+    if (dist[u] == static_cast<std::uint32_t>(radius)) continue;
+    for (const NodeId w : g.neighbors(u)) {
+      if (dist[w] == kUnreachable) {
+        dist[w] = dist[u] + 1;
+        queue.push_back(w);
+        out.push_back(w);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::uint32_t> bfs_distances(const Graph& g, NodeId v) {
+  DMIS_CHECK(v < g.node_count(), "node out of range: " << v);
+  std::vector<std::uint32_t> dist(g.node_count(), kUnreachable);
+  std::deque<NodeId> queue;
+  dist[v] = 0;
+  queue.push_back(v);
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop_front();
+    for (const NodeId w : g.neighbors(u)) {
+      if (dist[w] == kUnreachable) {
+        dist[w] = dist[u] + 1;
+        queue.push_back(w);
+      }
+    }
+  }
+  return dist;
+}
+
+Graph graph_power(const Graph& g, int k) {
+  DMIS_CHECK(k >= 1, "graph power needs k >= 1, got " << k);
+  GraphBuilder b(g.node_count());
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    for (const NodeId u : bfs_ball(g, v, k)) {
+      if (u > v) b.add_edge(v, u);
+    }
+  }
+  return std::move(b).build();
+}
+
+std::vector<std::uint32_t> connected_component_sizes(const Graph& g) {
+  std::vector<char> seen(g.node_count(), 0);
+  std::vector<std::uint32_t> sizes;
+  std::deque<NodeId> queue;
+  for (NodeId s = 0; s < g.node_count(); ++s) {
+    if (seen[s] != 0) continue;
+    std::uint32_t size = 0;
+    seen[s] = 1;
+    queue.push_back(s);
+    while (!queue.empty()) {
+      const NodeId u = queue.front();
+      queue.pop_front();
+      ++size;
+      for (const NodeId w : g.neighbors(u)) {
+        if (seen[w] == 0) {
+          seen[w] = 1;
+          queue.push_back(w);
+        }
+      }
+    }
+    sizes.push_back(size);
+  }
+  std::sort(sizes.rbegin(), sizes.rend());
+  return sizes;
+}
+
+}  // namespace dmis

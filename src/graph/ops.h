@@ -1,0 +1,40 @@
+// Structural graph operations: induced subgraphs, BFS balls, graph powers.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace dmis {
+
+/// An induced subgraph together with the node-id mapping back to the parent.
+struct InducedSubgraph {
+  Graph graph;
+  /// new id -> old id; sorted ascending.
+  std::vector<NodeId> to_parent;
+};
+
+/// Subgraph induced by `nodes` (need not be sorted; duplicates rejected).
+InducedSubgraph induced_subgraph(const Graph& g, std::span<const NodeId> nodes);
+
+/// Subgraph induced by { v : keep[v] != 0 }. keep.size() == g.node_count().
+InducedSubgraph induced_subgraph(const Graph& g,
+                                 const std::vector<char>& keep);
+
+/// All nodes within distance <= radius of v (including v), sorted ascending.
+std::vector<NodeId> bfs_ball(const Graph& g, NodeId v, int radius);
+
+/// Distance from v to every node (kUnreachable where disconnected).
+inline constexpr std::uint32_t kUnreachable = static_cast<std::uint32_t>(-1);
+std::vector<std::uint32_t> bfs_distances(const Graph& g, NodeId v);
+
+/// The graph power G^k: an edge {u,v} iff 1 <= dist_G(u,v) <= k.
+/// Intended for moderate sizes (used by tests validating the congested-clique
+/// exponentiation against ground truth).
+Graph graph_power(const Graph& g, int k);
+
+/// Sizes of connected components, sorted descending.
+std::vector<std::uint32_t> connected_component_sizes(const Graph& g);
+
+}  // namespace dmis

@@ -1,0 +1,114 @@
+#include "graph/properties.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace dmis {
+
+bool is_independent_set(const Graph& g, const std::vector<char>& in_set) {
+  DMIS_CHECK(in_set.size() == g.node_count(), "mask size mismatch");
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    if (in_set[u] == 0) continue;
+    for (const NodeId v : g.neighbors(u)) {
+      if (v > u && in_set[v] != 0) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<NodeId> uncovered_nodes(const Graph& g,
+                                    const std::vector<char>& in_set) {
+  DMIS_CHECK(in_set.size() == g.node_count(), "mask size mismatch");
+  std::vector<NodeId> out;
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    if (in_set[u] != 0) continue;
+    bool covered = false;
+    for (const NodeId v : g.neighbors(u)) {
+      if (in_set[v] != 0) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) out.push_back(u);
+  }
+  return out;
+}
+
+bool is_maximal_independent_set(const Graph& g,
+                                const std::vector<char>& in_set) {
+  return is_independent_set(g, in_set) && uncovered_nodes(g, in_set).empty();
+}
+
+std::uint32_t degeneracy(const Graph& g) {
+  const NodeId n = g.node_count();
+  if (n == 0) return 0;
+  std::vector<std::uint32_t> deg(n);
+  std::uint32_t max_deg = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    deg[v] = g.degree(v);
+    max_deg = std::max(max_deg, deg[v]);
+  }
+  // Bucket queue over current degrees.
+  std::vector<std::vector<NodeId>> buckets(max_deg + 1);
+  for (NodeId v = 0; v < n; ++v) buckets[deg[v]].push_back(v);
+  std::vector<char> removed(n, 0);
+  std::uint32_t result = 0;
+  std::uint32_t cursor = 0;
+  NodeId processed = 0;
+  while (processed < n) {
+    // Find the lowest bucket holding a current entry. A removal decrements
+    // neighbor degrees by exactly one and the removed node had the minimum
+    // degree, so valid entries never appear below cursor - 1: rewinding by
+    // one per step is sufficient. Entries whose recorded bucket no longer
+    // matches the node's degree are stale and skipped.
+    cursor = (cursor == 0) ? 0 : cursor - 1;
+    NodeId v = kInvalidNode;
+    while (v == kInvalidNode) {
+      while (buckets[cursor].empty()) ++cursor;
+      const NodeId cand = buckets[cursor].back();
+      buckets[cursor].pop_back();
+      if (removed[cand] == 0 && deg[cand] == cursor) v = cand;
+    }
+    removed[v] = 1;
+    ++processed;
+    result = std::max(result, cursor);
+    for (const NodeId u : g.neighbors(v)) {
+      if (removed[u] == 0) {
+        --deg[u];
+        buckets[deg[u]].push_back(u);
+      }
+    }
+  }
+  return result;
+}
+
+std::uint64_t triangle_count(const Graph& g) {
+  // Count ordered triples u < v < w with all three edges, using sorted
+  // adjacency intersections on the two smaller endpoints.
+  std::uint64_t count = 0;
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    const auto nu = g.neighbors(u);
+    for (const NodeId v : nu) {
+      if (v <= u) continue;
+      const auto nv = g.neighbors(v);
+      // Intersect neighbors greater than v.
+      auto iu = std::lower_bound(nu.begin(), nu.end(), v + 1);
+      auto iv = std::lower_bound(nv.begin(), nv.end(), v + 1);
+      while (iu != nu.end() && iv != nv.end()) {
+        if (*iu < *iv) {
+          ++iu;
+        } else if (*iv < *iu) {
+          ++iv;
+        } else {
+          ++count;
+          ++iu;
+          ++iv;
+        }
+      }
+    }
+  }
+  return count;
+}
+
+}  // namespace dmis

@@ -1,0 +1,31 @@
+// Verification predicates and structural measures.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace dmis {
+
+/// True iff no two set members are adjacent. `in_set.size() == n`.
+bool is_independent_set(const Graph& g, const std::vector<char>& in_set);
+
+/// True iff `in_set` is independent AND every non-member has a member
+/// neighbor — the correctness predicate for every MIS algorithm here.
+bool is_maximal_independent_set(const Graph& g,
+                                const std::vector<char>& in_set);
+
+/// Nodes with no neighbor in the set and not in it themselves (the
+/// "uncovered" nodes; empty iff the independent set is maximal).
+std::vector<NodeId> uncovered_nodes(const Graph& g,
+                                    const std::vector<char>& in_set);
+
+/// Graph degeneracy (max over the degeneracy ordering of the min degree),
+/// computed by the standard peeling algorithm in O(n + m).
+std::uint32_t degeneracy(const Graph& g);
+
+/// Number of triangles (for generator sanity tests).
+std::uint64_t triangle_count(const Graph& g);
+
+}  // namespace dmis

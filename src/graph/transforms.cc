@@ -1,0 +1,57 @@
+#include "graph/transforms.h"
+
+#include "util/check.h"
+
+namespace dmis {
+
+LineGraph line_graph(const Graph& g) {
+  LineGraph out;
+  out.vertex_to_edge = g.edges();
+  const auto m = static_cast<std::uint64_t>(out.vertex_to_edge.size());
+  DMIS_CHECK(m <= kInvalidNode, "too many edges for a line graph: " << m);
+
+  // Index edges by endpoint, then connect all pairs sharing an endpoint.
+  std::vector<std::vector<NodeId>> incident(g.node_count());
+  for (NodeId e = 0; e < m; ++e) {
+    incident[out.vertex_to_edge[e].first].push_back(e);
+    incident[out.vertex_to_edge[e].second].push_back(e);
+  }
+  GraphBuilder b(static_cast<NodeId>(m));
+  for (const auto& edges_at : incident) {
+    for (std::size_t i = 0; i < edges_at.size(); ++i) {
+      for (std::size_t j = i + 1; j < edges_at.size(); ++j) {
+        b.add_edge(edges_at[i], edges_at[j]);
+      }
+    }
+  }
+  out.graph = std::move(b).build();
+  return out;
+}
+
+Graph color_product(const Graph& g, std::uint32_t k) {
+  DMIS_CHECK(k >= 1, "color product needs k >= 1");
+  const std::uint64_t total = static_cast<std::uint64_t>(g.node_count()) * k;
+  DMIS_CHECK(total <= kInvalidNode,
+             "color product too large: " << total << " vertices");
+  GraphBuilder b(static_cast<NodeId>(total));
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    // The palette clique at v.
+    for (std::uint32_t i = 0; i < k; ++i) {
+      for (std::uint32_t j = i + 1; j < k; ++j) {
+        b.add_edge(color_product_vertex(v, i, k),
+                   color_product_vertex(v, j, k));
+      }
+    }
+    // Same-color conflicts across each edge.
+    for (const NodeId u : g.neighbors(v)) {
+      if (u <= v) continue;
+      for (std::uint32_t i = 0; i < k; ++i) {
+        b.add_edge(color_product_vertex(v, i, k),
+                   color_product_vertex(u, i, k));
+      }
+    }
+  }
+  return std::move(b).build();
+}
+
+}  // namespace dmis

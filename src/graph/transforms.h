@@ -1,0 +1,45 @@
+// Graph transformations backing the classic reductions of Linial [28] that
+// the paper's §1.1 invokes: "By standard reductions (with minor
+// modifications), this round complexity also extends to [maximal matching,
+// (Δ+1)-vertex-coloring, (2Δ−1)-edge-coloring]".
+//
+//  * line_graph(G): vertices are G's edges; two are adjacent iff the edges
+//    share an endpoint. MIS(L(G)) = maximal matching of G.
+//  * color_product(G, k): Linial's G × K_k — vertices (v, i) for i < k;
+//    (v,i)~(v,j) for i≠j and (u,i)~(v,i) for u~v. When k = Δ+1, any MIS
+//    picks exactly one (v, i) per v, which is a proper (Δ+1)-coloring.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace dmis {
+
+/// Line graph plus the mapping from its vertices back to G's edges.
+struct LineGraph {
+  Graph graph;
+  /// Line-graph vertex i corresponds to this edge of the base graph.
+  std::vector<Edge> vertex_to_edge;
+};
+
+LineGraph line_graph(const Graph& g);
+
+/// Linial's coloring-product graph G × K_k (k >= 1). Vertex (v, i) has the
+/// id v*k + i; helpers below decode.
+Graph color_product(const Graph& g, std::uint32_t k);
+
+inline NodeId color_product_vertex(NodeId v, std::uint32_t color,
+                                   std::uint32_t k) {
+  return static_cast<NodeId>(static_cast<std::uint64_t>(v) * k + color);
+}
+inline NodeId color_product_base(NodeId product_vertex, std::uint32_t k) {
+  return product_vertex / k;
+}
+inline std::uint32_t color_product_color(NodeId product_vertex,
+                                         std::uint32_t k) {
+  return product_vertex % k;
+}
+
+}  // namespace dmis

@@ -1,0 +1,106 @@
+#include "mis/beeping.h"
+
+#include <memory>
+
+#include "rng/pow2_prob.h"
+#include "runtime/beeping.h"
+#include "util/check.h"
+
+namespace dmis {
+namespace {
+
+class BeepingMisProgram final : public BeepProgram {
+ public:
+  BeepingMisProgram(NodeId self, const RandomSource& rs)
+      : self_(self), rs_(rs) {}
+
+  BeepAction act(std::uint64_t round) override {
+    if (round % 2 == 0) {
+      // R1: beep with probability p_t.
+      const std::uint64_t t = round / 2;
+      beeped_ = p_.sample(rs_.word(RngStream::kBeep, self_, t));
+      return beeped_ ? BeepAction::kBeep : BeepAction::kListen;
+    }
+    // R2: MIS members beep.
+    return joined_ ? BeepAction::kBeep : BeepAction::kListen;
+  }
+
+  void feedback(std::uint64_t round, bool heard_beep) override {
+    if (round % 2 == 0) {
+      joined_ = beeped_ && !heard_beep;
+      p_ = heard_beep ? p_.halved() : p_.doubled_capped();
+    } else {
+      if (joined_) {
+        halted_ = true;
+        decided_round_ = static_cast<std::uint32_t>(round / 2);
+      } else if (heard_beep) {
+        halted_ = true;
+        decided_round_ = static_cast<std::uint32_t>(round / 2);
+      }
+    }
+  }
+
+  bool halted() const override { return halted_; }
+  bool joined() const { return joined_ && halted_; }
+  std::uint32_t decided_round() const { return decided_round_; }
+  int p_exp() const { return p_.neg_exp(); }
+
+ private:
+  NodeId self_;
+  RandomSource rs_;
+  Pow2Prob p_ = Pow2Prob::half();
+  bool beeped_ = false;
+  bool joined_ = false;
+  bool halted_ = false;
+  std::uint32_t decided_round_ = kNeverDecided;
+};
+
+}  // namespace
+
+MisRun beeping_mis(const Graph& g, const BeepingOptions& options) {
+  const NodeId n = g.node_count();
+  std::vector<std::unique_ptr<BeepProgram>> programs;
+  programs.reserve(n);
+  std::vector<const BeepingMisProgram*> views;
+  views.reserve(n);
+  for (NodeId v = 0; v < n; ++v) {
+    auto p = std::make_unique<BeepingMisProgram>(v, options.randomness);
+    views.push_back(p.get());
+    programs.push_back(std::move(p));
+  }
+  BeepEngine engine(g, std::move(programs));
+
+  std::vector<char> alive(n, 1);
+  std::vector<int> p_exp(n, 1);
+  for (std::uint64_t iter = 0;
+       iter < options.max_iterations && !engine.all_halted(); ++iter) {
+    if (options.auditor != nullptr) {
+      for (NodeId v = 0; v < n; ++v) {
+        alive[v] = views[v]->halted() ? 0 : 1;
+        p_exp[v] = views[v]->p_exp();
+      }
+      options.auditor->begin_iteration(alive, p_exp, {});
+    }
+    engine.step();  // R1
+    engine.step();  // R2
+    if (options.auditor != nullptr) {
+      for (NodeId v = 0; v < n; ++v) {
+        alive[v] = views[v]->halted() ? 0 : 1;
+      }
+      options.auditor->end_iteration(alive);
+    }
+  }
+
+  MisRun run;
+  run.in_mis.resize(n, 0);
+  run.decided_round.resize(n, kNeverDecided);
+  for (NodeId v = 0; v < n; ++v) {
+    run.in_mis[v] = views[v]->joined() ? 1 : 0;
+    run.decided_round[v] = views[v]->decided_round();
+  }
+  run.costs = engine.costs();
+  run.rounds = run.costs.rounds;
+  return run;
+}
+
+}  // namespace dmis

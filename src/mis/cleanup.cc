@@ -1,0 +1,75 @@
+#include "mis/cleanup.h"
+
+#include <unordered_map>
+
+#include "mis/greedy.h"
+#include "util/check.h"
+
+namespace dmis {
+
+CleanupStats clique_leader_cleanup(CliqueNetwork& net, const Graph& g,
+                                   const std::vector<char>& alive,
+                                   std::vector<char>& in_mis,
+                                   std::vector<std::uint32_t>& decided_round,
+                                   std::uint32_t final_round) {
+  DMIS_CHECK(alive.size() == g.node_count() &&
+                 in_mis.size() == g.node_count() &&
+                 decided_round.size() == g.node_count(),
+             "mask size mismatch");
+  CleanupStats stats;
+  std::vector<NodeId> residual;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (alive[v] != 0) residual.push_back(v);
+  }
+  stats.residual_nodes = residual.size();
+  if (residual.empty()) return stats;
+
+  const std::uint64_t rounds_before = net.costs().rounds;
+  const NodeId leader = net.elect_leader();
+
+  // Record kinds in the top two bits of `a`: 1 = presence, 2 = edge.
+  std::vector<Packet> packets;
+  for (const NodeId v : residual) {
+    packets.push_back({v, leader, (1ULL << 62) | v, 0});
+    for (const NodeId u : g.neighbors(v)) {
+      if (u > v && alive[u] != 0) {
+        packets.push_back({v, leader, (2ULL << 62) | v, u});
+        ++stats.residual_edges;
+      }
+    }
+  }
+  net.route(packets);
+
+  // Leader side: rebuild G[B] and solve it greedily.
+  std::unordered_map<NodeId, NodeId> to_local;
+  to_local.reserve(residual.size());
+  for (std::size_t i = 0; i < residual.size(); ++i) {
+    to_local.emplace(residual[i], static_cast<NodeId>(i));
+  }
+  GraphBuilder builder(static_cast<NodeId>(residual.size()));
+  for (const Packet& p : packets) {
+    if ((p.a >> 62) == 2) {
+      builder.add_edge(to_local.at(static_cast<NodeId>(p.a & 0xffffffffULL)),
+                       to_local.at(static_cast<NodeId>(p.b)));
+    }
+  }
+  const Graph residual_graph = std::move(builder).build();
+  const std::vector<char> residual_mis = greedy_mis(residual_graph);
+
+  // Route the decisions back.
+  std::vector<Packet> decisions;
+  decisions.reserve(residual.size());
+  for (std::size_t i = 0; i < residual.size(); ++i) {
+    decisions.push_back(
+        {leader, residual[i], residual_mis[i] != 0 ? 1ULL : 0ULL, 0});
+  }
+  net.route(decisions);
+  for (const Packet& p : decisions) {
+    if (p.a != 0) in_mis[p.dst] = 1;
+    decided_round[p.dst] = final_round;
+  }
+  stats.rounds = net.costs().rounds - rounds_before;
+  return stats;
+}
+
+}  // namespace dmis

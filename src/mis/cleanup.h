@@ -1,0 +1,30 @@
+// Part 2 of the congested-clique algorithms (paper §2.4, §2.5): the residual
+// graph — O(n) edges after shattering, Lemma 2.11 — is shipped to an elected
+// leader with Lenzen routing, solved greedily there, and the decisions are
+// routed back. O(1) clique rounds per Lenzen-feasible batch.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "clique/network.h"
+#include "graph/graph.h"
+
+namespace dmis {
+
+struct CleanupStats {
+  std::uint64_t residual_nodes = 0;
+  std::uint64_t residual_edges = 0;
+  std::uint64_t rounds = 0;
+};
+
+/// Completes `in_mis` to a maximal independent set of `g` restricted to the
+/// still-`alive` nodes. Every decided node gets `final_round` stamped into
+/// `decided_round`. No-op (zero rounds) when nothing is alive.
+CleanupStats clique_leader_cleanup(CliqueNetwork& net, const Graph& g,
+                                   const std::vector<char>& alive,
+                                   std::vector<char>& in_mis,
+                                   std::vector<std::uint32_t>& decided_round,
+                                   std::uint32_t final_round);
+
+}  // namespace dmis

@@ -1,0 +1,396 @@
+#include "mis/clique_mis.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "graph/ops.h"
+#include "mis/cleanup.h"
+#include "mis/phase_wire.h"
+#include "rng/pow2_prob.h"
+#include "util/bits.h"
+#include "util/check.h"
+
+namespace dmis {
+
+PhaseReplayOutcome replay_phase_center(const GatheredBall& ball,
+                                       const SparsifiedParams& prm) {
+  const int R = prm.phase_length;
+  // The simulatable set: annotated ball members (all are S nodes, hence not
+  // super-heavy). Members beyond the annotation radius are outside the
+  // exactness cone for the center and are ignored.
+  std::vector<NodeId> nodes;
+  nodes.reserve(ball.annotations.size());
+  for (const auto& [node, words] : ball.annotations) {
+    (void)words;
+    nodes.push_back(node);
+  }
+  std::sort(nodes.begin(), nodes.end());
+  std::unordered_map<NodeId, int> index;
+  index.reserve(nodes.size());
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    index.emplace(nodes[i], static_cast<int>(i));
+  }
+  DMIS_CHECK(index.contains(ball.center),
+             "ball center " << ball.center << " has no annotation");
+
+  const int k = static_cast<int>(nodes.size());
+  std::vector<PhaseDecoration> deco(k);
+  for (int i = 0; i < k; ++i) {
+    deco[i] = decode_decoration(ball.annotations.at(nodes[i]));
+  }
+  std::vector<std::vector<int>> adj(k);
+  for (const auto& [u, v] : ball.edges) {
+    const auto iu = index.find(u);
+    const auto iv = index.find(v);
+    if (iu != index.end() && iv != index.end()) {
+      adj[iu->second].push_back(iv->second);
+      adj[iv->second].push_back(iu->second);
+    }
+  }
+
+  std::vector<int> p_exp(k);
+  for (int i = 0; i < k; ++i) p_exp[i] = deco[i].p0_exp;
+  std::vector<char> removed(k, 0);
+  std::vector<char> joined(k, 0);
+  std::vector<char> beeps(k, 0);
+  std::vector<char> heard(k, 0);
+  std::vector<std::uint32_t> join_iter(k, kNeverDecided);
+  std::vector<std::uint32_t> removed_iter(k, kNeverDecided);
+  std::vector<std::uint64_t> realized(k, 0);
+
+  for (int it = 0; it < R; ++it) {
+    // Mirrors sparsified_mis exactly: beeps -> heard -> joins -> removals ->
+    // probability updates (skipping nodes removed this iteration).
+    for (int i = 0; i < k; ++i) {
+      beeps[i] = 0;
+      if (removed[i] != 0) continue;
+      if (Pow2Prob(p_exp[i]).sample(
+              sparsified_beep_word(deco[i].phase_seed, it))) {
+        beeps[i] = 1;
+        realized[i] |= (1ULL << it);
+      }
+    }
+    for (int i = 0; i < k; ++i) {
+      heard[i] = 0;
+      if (removed[i] != 0) continue;
+      if (((deco[i].superheavy_or_mask >> it) & 1) != 0) {
+        heard[i] = 1;
+        continue;
+      }
+      for (const int j : adj[i]) {
+        if (beeps[j] != 0) {
+          heard[i] = 1;
+          break;
+        }
+      }
+    }
+    std::vector<int> joiners;
+    for (int i = 0; i < k; ++i) {
+      if (removed[i] != 0) continue;
+      if (beeps[i] != 0 && heard[i] == 0) {
+        joined[i] = 1;
+        join_iter[i] = static_cast<std::uint32_t>(it);
+        joiners.push_back(i);
+      }
+    }
+    for (const int i : joiners) {
+      removed[i] = 1;
+      removed_iter[i] = static_cast<std::uint32_t>(it);
+      for (const int j : adj[i]) {
+        if (removed[j] == 0) {
+          removed[j] = 1;
+          removed_iter[j] = static_cast<std::uint32_t>(it);
+        }
+      }
+    }
+    for (int i = 0; i < k; ++i) {
+      if (removed[i] != 0) continue;
+      const Pow2Prob p(p_exp[i]);
+      p_exp[i] = (heard[i] != 0 ? p.halved() : p.doubled_capped()).neg_exp();
+    }
+  }
+
+  const int c = index.at(ball.center);
+  PhaseReplayOutcome out;
+  out.joined = joined[c] != 0;
+  out.join_iter = join_iter[c];
+  out.removed = removed[c] != 0;
+  out.removed_iter = removed_iter[c];
+  out.realized_beeps = realized[c];
+  out.p_exp_end = p_exp[c];
+  return out;
+}
+
+CliqueMisResult clique_mis(const Graph& g, const CliqueMisOptions& options) {
+  const NodeId n = g.node_count();
+  const SparsifiedParams& prm = options.params;
+  DMIS_CHECK(!prm.immediate_superheavy_removal,
+             "clique simulation requires phase-commit semantics");
+  DMIS_CHECK(prm.phase_length >= 1 && prm.phase_length <= 63,
+             "phase_length out of [1,63]: " << prm.phase_length);
+  const int R = prm.phase_length;
+  const double superheavy_threshold =
+      std::ldexp(1.0, prm.superheavy_log2_threshold);
+
+  CliqueMisResult result;
+  MisRun& run = result.run;
+  run.in_mis.assign(n, 0);
+  run.decided_round.assign(n, kNeverDecided);
+  if (n == 0) return result;
+
+  CliqueNetwork net(n, options.randomness.fork(0xc11c), options.route_mode);
+
+  std::uint64_t max_phases = options.max_phases;
+  if (max_phases == 0) {
+    const double logd = std::log2(static_cast<double>(g.max_degree()) + 2.0);
+    max_phases = static_cast<std::uint64_t>(
+        std::ceil(options.budget_constant * logd / static_cast<double>(R)));
+    max_phases = std::max<std::uint64_t>(max_phases, 1);
+  }
+
+  std::vector<char> alive(n, 1);
+  std::vector<int> p_exp(n, 1);
+  std::uint64_t live = n;
+
+  std::vector<char> superheavy(n, 0);
+  std::vector<char> sampled(n, 0);
+  std::vector<std::uint64_t> seeds(n, 0);
+  std::vector<std::uint64_t> committed(n, 0);   // super-heavy beep vectors
+  std::vector<std::uint64_t> sh_or(n, 0);       // OR of SH neighbors' vectors
+  std::vector<std::uint64_t> realized(n, 0);    // per-phase realized beeps
+  std::vector<std::uint32_t> join_iter(n, kNeverDecided);
+  std::vector<std::uint32_t> removed_iter(n, kNeverDecided);
+  std::vector<int> p_exp_end(n, 1);
+
+  std::uint64_t phase = 0;
+  for (; phase < max_phases && live > 0; ++phase) {
+    const std::uint64_t t0 = phase * static_cast<std::uint64_t>(R);
+
+    SparsifiedPhaseRecord record;
+    const bool tracing = static_cast<bool>(options.trace);
+    if (tracing) {
+      record.phase = phase;
+      record.live_at_start = live;
+      record.alive_start.assign(alive.begin(), alive.end());
+      record.p_exp_start.assign(p_exp.begin(), p_exp.end());
+    }
+
+    // --- Step 1: one clique round exchanging p_{t0}(v) over graph edges. ---
+    std::uint64_t directed_live_pairs = 0;
+    for (NodeId v = 0; v < n; ++v) {
+      if (alive[v] == 0) continue;
+      for (const NodeId u : g.neighbors(v)) {
+        if (alive[u] != 0) ++directed_live_pairs;
+      }
+    }
+    net.charge_neighborhood_round(directed_live_pairs, 8);
+
+    for (NodeId v = 0; v < n; ++v) {
+      superheavy[v] = 0;
+      sampled[v] = 0;
+      committed[v] = 0;
+      sh_or[v] = 0;
+      realized[v] = 0;
+      join_iter[v] = kNeverDecided;
+      removed_iter[v] = kNeverDecided;
+      if (alive[v] == 0) continue;
+      double d0 = 0.0;
+      for (const NodeId u : g.neighbors(v)) {
+        if (alive[u] != 0) d0 += Pow2Prob(p_exp[u]).value();
+      }
+      superheavy[v] = (d0 >= superheavy_threshold) ? 1 : 0;
+      seeds[v] = sparsified_phase_seed(options.randomness, v, phase);
+    }
+
+    // --- Step 2: super-heavy nodes commit and send their beep vectors. ---
+    std::uint64_t sh_messages = 0;
+    for (NodeId v = 0; v < n; ++v) {
+      if (alive[v] == 0 || superheavy[v] == 0) continue;
+      int exp = p_exp[v];
+      for (int i = 0; i < R; ++i) {
+        if (Pow2Prob(exp).sample(sparsified_beep_word(seeds[v], i))) {
+          committed[v] |= (1ULL << i);
+        }
+        exp = Pow2Prob(exp).halved().neg_exp();
+      }
+      for (const NodeId u : g.neighbors(v)) {
+        if (alive[u] != 0) ++sh_messages;
+      }
+    }
+    net.charge_neighborhood_round(sh_messages, R);
+    for (NodeId v = 0; v < n; ++v) {
+      if (alive[v] == 0) continue;
+      for (const NodeId u : g.neighbors(v)) {
+        if (alive[u] != 0 && superheavy[u] != 0) sh_or[v] |= committed[u];
+      }
+    }
+
+    // --- Step 3: the sampled set S (locally decidable). ---
+    std::vector<NodeId> s_nodes;
+    for (NodeId v = 0; v < n; ++v) {
+      if (alive[v] == 0 || superheavy[v] != 0) continue;
+      const Pow2Prob p0(p_exp[v]);
+      for (int i = 0; i < R; ++i) {
+        if (p0.sample_boosted(sparsified_beep_word(seeds[v], i),
+                              prm.sample_boost)) {
+          sampled[v] = 1;
+          s_nodes.push_back(v);
+          break;
+        }
+      }
+    }
+    result.stats.max_sampled_size =
+        std::max<std::uint64_t>(result.stats.max_sampled_size, s_nodes.size());
+
+    // --- Step 4: gather balls in the decorated graph G*[S]. ---
+    std::vector<PhaseReplayOutcome> outcomes(s_nodes.size());
+    if (!s_nodes.empty()) {
+      const InducedSubgraph sub = induced_subgraph(g, s_nodes);
+      std::vector<std::vector<std::uint64_t>> annotations(s_nodes.size());
+      for (std::size_t i = 0; i < sub.to_parent.size(); ++i) {
+        const NodeId orig = sub.to_parent[i];
+        annotations[i] = encode_decoration(
+            {p_exp[orig], sh_or[orig], seeds[orig]});
+      }
+      const GatherResult gathered =
+          gather_balls(net, sub.graph, annotations, 2 * R);
+      result.stats.gather_rounds += gathered.stats.rounds;
+      result.stats.gather_packets += gathered.stats.packets;
+      result.stats.max_gather_source_load =
+          std::max(result.stats.max_gather_source_load,
+                   gathered.stats.max_source_load);
+      result.stats.max_gather_dest_load = std::max(
+          result.stats.max_gather_dest_load, gathered.stats.max_dest_load);
+
+      for (std::size_t i = 0; i < s_nodes.size(); ++i) {
+        const GatheredBall& ball = gathered.balls[i];
+        result.stats.max_ball_members = std::max<std::uint64_t>(
+            result.stats.max_ball_members, ball.members.size());
+        std::uint64_t deg_s = 0;
+        for (const NodeId u : g.neighbors(s_nodes[i])) {
+          if (sampled[u] != 0) ++deg_s;
+        }
+        result.stats.max_sampled_degree =
+            std::max(result.stats.max_sampled_degree, deg_s);
+        if (tracing) {
+          record.max_sampled_degree =
+              std::max(record.max_sampled_degree, deg_s);
+        }
+        // --- Step 5: local replay (Lemma 2.13). ---
+        outcomes[i] = replay_phase_center(ball, prm);
+      }
+    }
+
+    // --- Step 6: S nodes broadcast realized beep vector + join iteration. ---
+    std::uint64_t s_messages = 0;
+    for (std::size_t i = 0; i < s_nodes.size(); ++i) {
+      const NodeId v = s_nodes[i];
+      realized[v] = outcomes[i].realized_beeps;
+      join_iter[v] = outcomes[i].join_iter;
+      for (const NodeId u : g.neighbors(v)) {
+        if (alive[u] != 0) ++s_messages;
+      }
+    }
+    net.charge_neighborhood_round(s_messages, R + 7);
+    // Super-heavy nodes realize exactly their committed vector (phase-commit
+    // semantics); recording it keeps the trace comparable with the direct
+    // run. It adds nothing to heard masks (already in sh_or).
+    for (NodeId v = 0; v < n; ++v) {
+      if (alive[v] != 0 && superheavy[v] != 0) realized[v] = committed[v];
+    }
+
+    // --- Local reconstruction: every node derives its own end-of-phase
+    // state from the received vectors. ---
+    for (NodeId v = 0; v < n; ++v) {
+      if (alive[v] == 0) continue;
+      // When does a neighbor join? (Joiners are S nodes.)
+      std::uint32_t first_neighbor_join = kNeverDecided;
+      std::uint64_t heard_mask = sh_or[v];
+      for (const NodeId u : g.neighbors(v)) {
+        if (alive[u] == 0) continue;
+        heard_mask |= realized[u];
+        first_neighbor_join = std::min(first_neighbor_join, join_iter[u]);
+      }
+      if (superheavy[v] != 0) {
+        // Forced halving all phase; removal (if any) at the phase boundary.
+        int exp = p_exp[v];
+        for (int i = 0; i < R; ++i) exp = Pow2Prob(exp).halved().neg_exp();
+        p_exp_end[v] = exp;
+        removed_iter[v] = first_neighbor_join;  // kNeverDecided if none
+        continue;
+      }
+      // Non-super-heavy: replay the p rule against the heard mask. The node
+      // freezes at the iteration it is removed (own join or neighbor join).
+      const std::uint32_t own_join = sampled[v] != 0 ? join_iter[v]
+                                                     : kNeverDecided;
+      const std::uint32_t frozen_at = std::min(own_join, first_neighbor_join);
+      int exp = p_exp[v];
+      for (int i = 0; i < R; ++i) {
+        if (static_cast<std::uint32_t>(i) >= frozen_at) break;
+        const Pow2Prob p(exp);
+        const bool h = ((heard_mask >> i) & 1) != 0;
+        exp = (h ? p.halved() : p.doubled_capped()).neg_exp();
+      }
+      p_exp_end[v] = exp;
+      removed_iter[v] = frozen_at;
+      if (sampled[v] != 0) {
+        // Cross-check the reconstruction against the ball replay.
+        const auto it =
+            std::lower_bound(s_nodes.begin(), s_nodes.end(), v);
+        const std::size_t i = static_cast<std::size_t>(it - s_nodes.begin());
+        DMIS_ASSERT(outcomes[i].removed_iter == frozen_at ||
+                        (!outcomes[i].removed && frozen_at == kNeverDecided),
+                    "replay/reconstruction removal mismatch at node " << v);
+        DMIS_ASSERT(frozen_at != kNeverDecided ||
+                        outcomes[i].p_exp_end == exp,
+                    "replay/reconstruction p mismatch at node " << v);
+      }
+    }
+
+    // --- Apply the phase outcome. ---
+    for (NodeId v = 0; v < n; ++v) {
+      if (alive[v] == 0) continue;
+      // Dying nodes freeze their p at the removal point too, matching the
+      // direct run's persistent array (trace comparability across phases).
+      p_exp[v] = p_exp_end[v];
+      if (sampled[v] != 0 && join_iter[v] != kNeverDecided) {
+        run.in_mis[v] = 1;
+        run.decided_round[v] = static_cast<std::uint32_t>(t0 + join_iter[v]);
+        alive[v] = 0;
+        --live;
+      } else if (removed_iter[v] != kNeverDecided) {
+        run.decided_round[v] = static_cast<std::uint32_t>(t0 + removed_iter[v]);
+        alive[v] = 0;
+        --live;
+      }
+    }
+
+    if (tracing) {
+      record.superheavy.assign(superheavy.begin(), superheavy.end());
+      record.sampled.assign(sampled.begin(), sampled.end());
+      record.realized_beeps.assign(realized.begin(), realized.end());
+      record.join_iter.assign(join_iter.begin(), join_iter.end());
+      record.removed_iter.assign(removed_iter.begin(), removed_iter.end());
+      record.p_exp_end.assign(p_exp_end.begin(), p_exp_end.end());
+      options.trace(record);
+    }
+  }
+  result.stats.phases = phase;
+
+  // --- Part 2: solve the residual graph at an elected leader (Lemma 2.11
+  // guarantees it is small). ---
+  const auto final_round =
+      static_cast<std::uint32_t>(phase * static_cast<std::uint64_t>(R));
+  const CleanupStats cleanup = clique_leader_cleanup(
+      net, g, alive, run.in_mis, run.decided_round, final_round);
+  result.stats.residual_nodes = cleanup.residual_nodes;
+  result.stats.residual_edges = cleanup.residual_edges;
+  result.stats.cleanup_rounds = cleanup.rounds;
+
+  run.costs = net.costs();
+  run.rounds = run.costs.rounds;
+  return result;
+}
+
+}  // namespace dmis

@@ -1,0 +1,93 @@
+// MIS in Õ(sqrt(log Δ)) rounds of the congested clique — paper §2.4, the
+// headline algorithm (Theorem 1.1).
+//
+// Part 1 simulates O(log Δ) iterations of the sparsified algorithm (§2.3) a
+// phase at a time. Each phase of R iterations costs O(log log n) clique
+// rounds:
+//   1. one round: live nodes exchange p_{t0}(v); super-heavy status decided;
+//   2. one round: super-heavy nodes send their committed beep vector (their
+//      p halves deterministically, so the whole phase's beeps are
+//      predictable) to neighbors;
+//   3. every node locally determines membership in the sampled set S
+//      (∃ iteration i: r_i(v) <= 2^boost · p_{t0}(v)) — a superset of every
+//      node that could beep this phase;
+//   4. ball gathering on the decorated graph G*[S] by graph exponentiation
+//      (clique/gather.h, Lemma 2.14), O(1) routed batches per doubling;
+//   5. every S node *locally replays* the phase from its gathered ball
+//      (Lemma 2.13) — replay_phase_center below;
+//   6. one round: S nodes send their realized beep vector and MIS-join
+//      iteration to neighbors; every node then reconstructs its own p
+//      trajectory and removal locally.
+// Part 2: the residual graph (O(n) edges after Θ(log Δ) iterations, Lemma
+// 2.11) is routed to an elected leader, which solves it greedily and
+// announces — O(1) rounds.
+//
+// Exactness: the gathered radius is 2R, not the paper's R. A join at
+// iteration i silences the joiner's whole neighborhood from iteration i+1,
+// so influence travels 2 hops per iteration; radius 2R makes the center's
+// replay provably exact, and the equivalence test demands bit-identical
+// agreement with the direct run of sparsified_mis under the same seed.
+#pragma once
+
+#include <cstdint>
+
+#include "clique/gather.h"
+#include "clique/network.h"
+#include "graph/graph.h"
+#include "mis/common.h"
+#include "mis/sparsified.h"
+
+namespace dmis {
+
+struct CliqueMisOptions {
+  /// Must use phase-commit semantics (immediate_superheavy_removal = false).
+  SparsifiedParams params;
+  RandomSource randomness{0};
+  RouteMode route_mode = RouteMode::kAccountedLenzen;
+  /// Phases simulated before the cleanup. 0 = derive from the graph:
+  /// ceil(budget_constant * log2(Δ+2) / R).
+  std::uint64_t max_phases = 0;
+  double budget_constant = 6.0;
+  /// Optional per-phase trace (same record type as the direct run, so the
+  /// equivalence test can compare field by field).
+  SparsifiedTraceSink trace;
+};
+
+struct CliqueMisStats {
+  std::uint64_t phases = 0;
+  std::uint64_t gather_rounds = 0;
+  std::uint64_t gather_packets = 0;
+  std::uint64_t max_gather_source_load = 0;
+  std::uint64_t max_gather_dest_load = 0;
+  std::uint64_t max_sampled_degree = 0;  ///< over all phases (Lemma 2.12)
+  std::uint64_t max_ball_members = 0;
+  std::uint64_t max_sampled_size = 0;
+  std::uint64_t residual_nodes = 0;  ///< |B| entering part 2
+  std::uint64_t residual_edges = 0;  ///< |E(G[B])| (Lemma 2.11)
+  std::uint64_t cleanup_rounds = 0;
+};
+
+struct CliqueMisResult {
+  MisRun run;  ///< costs are congested-clique rounds/messages/bits
+  CliqueMisStats stats;
+};
+
+CliqueMisResult clique_mis(const Graph& g, const CliqueMisOptions& options);
+
+/// Outcome of one node's local phase replay (exposed for unit tests).
+struct PhaseReplayOutcome {
+  bool joined = false;
+  std::uint32_t join_iter = kNeverDecided;
+  bool removed = false;
+  std::uint32_t removed_iter = kNeverDecided;
+  std::uint64_t realized_beeps = 0;
+  int p_exp_end = 1;
+};
+
+/// Replays one phase from a gathered ball and returns the center's exact
+/// behaviour (Lemma 2.13). Ball members without annotations are outside the
+/// exactness cone and ignored.
+PhaseReplayOutcome replay_phase_center(const GatheredBall& ball,
+                                       const SparsifiedParams& params);
+
+}  // namespace dmis

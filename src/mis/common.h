@@ -1,0 +1,51 @@
+// Shared result types for every MIS algorithm in the suite.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "runtime/cost.h"
+
+namespace dmis {
+
+inline constexpr std::uint32_t kNeverDecided = static_cast<std::uint32_t>(-1);
+
+/// Outcome of one algorithm execution.
+struct MisRun {
+  /// Final membership mask (size n). For partial runs (fixed round budgets)
+  /// this is the independent set computed so far.
+  std::vector<char> in_mis;
+  /// Per node: the algorithm round in which it became decided — joined the
+  /// MIS or got an MIS neighbor. kNeverDecided for still-live nodes.
+  std::vector<std::uint32_t> decided_round;
+  /// Rounds of the algorithm's own model (CONGEST rounds for CONGEST
+  /// algorithms, beep rounds for beeping, clique rounds for clique).
+  std::uint64_t rounds = 0;
+  CostAccounting costs;
+
+  std::uint64_t mis_size() const {
+    std::uint64_t s = 0;
+    for (const char c : in_mis) s += (c != 0) ? 1 : 0;
+    return s;
+  }
+
+  std::uint64_t undecided_count() const {
+    std::uint64_t s = 0;
+    for (const std::uint32_t r : decided_round) {
+      s += (r == kNeverDecided) ? 1 : 0;
+    }
+    return s;
+  }
+
+  /// Mask of nodes still undecided (the residual set B of paper §2.4).
+  std::vector<char> undecided_mask() const {
+    std::vector<char> mask(decided_round.size(), 0);
+    for (std::size_t v = 0; v < decided_round.size(); ++v) {
+      mask[v] = (decided_round[v] == kNeverDecided) ? 1 : 0;
+    }
+    return mask;
+  }
+};
+
+}  // namespace dmis

@@ -1,0 +1,183 @@
+#include "mis/ghaffari.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "rng/mix.h"
+#include "rng/pow2_prob.h"
+#include "runtime/congest.h"
+#include "util/check.h"
+
+namespace dmis {
+
+std::uint64_t ghaffari_personal_seed(const RandomSource& rs, NodeId v) {
+  return rs.word(RngStream::kGhaffariMark, v, 0);
+}
+
+std::uint64_t ghaffari_mark_word(std::uint64_t personal_seed,
+                                 std::uint64_t t) {
+  return mix64(personal_seed, t);
+}
+
+namespace {
+
+class GhaffariProgram final : public CongestProgram {
+ public:
+  GhaffariProgram(NodeId self, const RandomSource& rs)
+      : self_(self), seed_(ghaffari_personal_seed(rs, self)) {}
+
+  void send(std::uint64_t round, std::vector<Outgoing>& out) override {
+    if (round % 2 == 0) {
+      const std::uint64_t t = round / 2;
+      marked_ = p_.sample(ghaffari_mark_word(seed_, t));
+      // Payload: [0] marked flag, [7:1] probability exponent.
+      const std::uint64_t payload =
+          (static_cast<std::uint64_t>(p_.neg_exp()) << 1) |
+          (marked_ ? 1u : 0u);
+      out.push_back({kAllNeighbors, payload, 8});
+    } else if (joined_) {
+      out.push_back({kAllNeighbors, 1, 1});
+    }
+  }
+
+  void receive(std::uint64_t round,
+               std::span<const CongestMessage> inbox) override {
+    if (round % 2 == 0) {
+      double d = 0.0;
+      bool marked_neighbor = false;
+      for (const CongestMessage& m : inbox) {
+        const int exp = static_cast<int>(m.payload >> 1);
+        d += Pow2Prob(exp).value();
+        marked_neighbor = marked_neighbor || ((m.payload & 1) != 0);
+      }
+      joined_ = marked_ && !marked_neighbor;
+      p_ = (d >= 2.0) ? p_.halved() : p_.doubled_capped();
+    } else {
+      if (joined_) {
+        halted_ = true;
+        decided_round_ = static_cast<std::uint32_t>(round / 2);
+      } else if (!inbox.empty()) {
+        halted_ = true;
+        decided_round_ = static_cast<std::uint32_t>(round / 2);
+      }
+    }
+  }
+
+  bool halted() const override { return halted_; }
+  bool joined() const { return joined_ && halted_; }
+  std::uint32_t decided_round() const { return decided_round_; }
+
+ private:
+  NodeId self_;
+  std::uint64_t seed_;
+  Pow2Prob p_ = Pow2Prob::half();
+  bool marked_ = false;
+  bool joined_ = false;
+  bool halted_ = false;
+  std::uint32_t decided_round_ = kNeverDecided;
+};
+
+}  // namespace
+
+GhaffariBallOutcome ghaffari_simulate_ball(const Graph& g,
+                                           std::span<const NodeId> members,
+                                           NodeId center, int iterations,
+                                           const RandomSource& randomness) {
+  DMIS_CHECK(std::is_sorted(members.begin(), members.end()),
+             "members must be sorted");
+  const int k = static_cast<int>(members.size());
+  auto local_index = [&](NodeId u) -> int {
+    const auto it = std::lower_bound(members.begin(), members.end(), u);
+    return (it != members.end() && *it == u)
+               ? static_cast<int>(it - members.begin())
+               : -1;
+  };
+  const int c = local_index(center);
+  DMIS_CHECK(c >= 0, "center " << center << " not among members");
+
+  std::vector<std::uint64_t> seed(k);
+  std::vector<std::vector<int>> adj(k);
+  for (int i = 0; i < k; ++i) {
+    seed[i] = ghaffari_personal_seed(randomness, members[i]);
+    for (const NodeId u : g.neighbors(members[i])) {
+      const int j = local_index(u);
+      if (j >= 0) adj[i].push_back(j);
+    }
+  }
+
+  std::vector<int> p_exp(k, 1);
+  std::vector<char> live(k, 1);
+  std::vector<char> marked(k, 0);
+  GhaffariBallOutcome out;
+  for (int t = 0; t < iterations; ++t) {
+    for (int i = 0; i < k; ++i) {
+      marked[i] = (live[i] != 0 &&
+                   Pow2Prob(p_exp[i]).sample(ghaffari_mark_word(seed[i], t)))
+                      ? 1
+                      : 0;
+    }
+    std::vector<char> joins(k, 0);
+    std::vector<int> new_p(p_exp);
+    for (int i = 0; i < k; ++i) {
+      if (live[i] == 0) continue;
+      double d = 0.0;
+      bool marked_neighbor = false;
+      for (const int j : adj[i]) {
+        if (live[j] == 0) continue;
+        d += Pow2Prob(p_exp[j]).value();
+        marked_neighbor = marked_neighbor || (marked[j] != 0);
+      }
+      joins[i] = (marked[i] != 0 && !marked_neighbor) ? 1 : 0;
+      const Pow2Prob p(p_exp[i]);
+      new_p[i] = (d >= 2.0 ? p.halved() : p.doubled_capped()).neg_exp();
+    }
+    p_exp = std::move(new_p);
+    for (int i = 0; i < k; ++i) {
+      if (joins[i] == 0) continue;
+      if (live[i] != 0 && i == c && !out.decided) {
+        out.decided = true;
+        out.joined = true;
+        out.decided_iter = static_cast<std::uint32_t>(t);
+      }
+      live[i] = 0;
+      for (const int j : adj[i]) {
+        if (live[j] != 0) {
+          live[j] = 0;
+          if (j == c && !out.decided) {
+            out.decided = true;
+            out.decided_iter = static_cast<std::uint32_t>(t);
+          }
+        }
+      }
+    }
+    if (live[c] == 0) break;
+  }
+  return out;
+}
+
+MisRun ghaffari_mis(const Graph& g, const GhaffariOptions& options) {
+  const NodeId n = g.node_count();
+  std::vector<std::unique_ptr<CongestProgram>> programs;
+  programs.reserve(n);
+  std::vector<const GhaffariProgram*> views;
+  views.reserve(n);
+  for (NodeId v = 0; v < n; ++v) {
+    auto p = std::make_unique<GhaffariProgram>(v, options.randomness);
+    views.push_back(p.get());
+    programs.push_back(std::move(p));
+  }
+  CongestEngine engine(g, std::move(programs), congest_bandwidth_bits(n));
+  engine.run(options.max_iterations * 2);
+  MisRun run;
+  run.in_mis.resize(n, 0);
+  run.decided_round.resize(n, kNeverDecided);
+  for (NodeId v = 0; v < n; ++v) {
+    run.in_mis[v] = views[v]->joined() ? 1 : 0;
+    run.decided_round[v] = views[v]->decided_round();
+  }
+  run.costs = engine.costs();
+  run.rounds = run.costs.rounds;
+  return run;
+}
+
+}  // namespace dmis

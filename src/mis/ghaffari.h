@@ -1,0 +1,57 @@
+// The O(log Δ)-round CONGEST MIS dynamic of [Ghaffari, SODA'16] as recapped
+// in paper §2.1 — the starting point the sparsified algorithm refines, the
+// baseline the headline result improves on (E1), and the algorithm the
+// low-degree fast path (§2.5) replays locally.
+//
+// Per iteration (two CONGEST rounds):
+//   A) every live node v marks itself with probability p_t(v) and broadcasts
+//      (p_t(v), marked). If v is marked and no neighbor is marked, v joins
+//      the MIS. Then p_{t+1}(v) = p_t(v)/2 if d_t(v) = Σ_{u∈N(v)} p_t(u) >= 2,
+//      else min{2 p_t(v), 1/2}.
+//   B) joiners announce; joiners and their neighbors halt.
+//
+// Marking randomness is r_t(v) = mix64(seed_v, t) with a per-node personal
+// seed — the same derivation the §2.5 local replay uses, so the two can be
+// compared bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "graph/graph.h"
+#include "mis/common.h"
+#include "rng/random_source.h"
+
+namespace dmis {
+
+struct GhaffariOptions {
+  RandomSource randomness{0};
+  /// Cap on iterations (each = 2 CONGEST rounds). The run stops early once
+  /// all nodes decide. Set to C*log2(Δ) to study partial (shattering) runs.
+  std::uint64_t max_iterations = 4096;
+};
+
+/// Personal marking seed of node v (shared with the §2.5 local replay).
+std::uint64_t ghaffari_personal_seed(const RandomSource& rs, NodeId v);
+
+/// Marking word of node v at iteration t.
+std::uint64_t ghaffari_mark_word(std::uint64_t personal_seed, std::uint64_t t);
+
+MisRun ghaffari_mis(const Graph& g, const GhaffariOptions& options);
+
+/// Centralized ball replay of the dynamic: simulates `iterations` over the
+/// subgraph induced by `members` (sorted node ids) and returns the exact
+/// outcome of `center`, provided members ⊇ the radius-2·iterations ball of
+/// center (influence travels 2 hops per iteration). Mirrors ghaffari_mis
+/// bit for bit; used by the local-computation oracle (mis/local_oracle.h).
+struct GhaffariBallOutcome {
+  bool decided = false;
+  bool joined = false;
+  std::uint32_t decided_iter = kNeverDecided;
+};
+GhaffariBallOutcome ghaffari_simulate_ball(const Graph& g,
+                                           std::span<const NodeId> members,
+                                           NodeId center, int iterations,
+                                           const RandomSource& randomness);
+
+}  // namespace dmis

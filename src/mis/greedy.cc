@@ -1,0 +1,33 @@
+#include "mis/greedy.h"
+
+#include <numeric>
+
+#include "util/check.h"
+
+namespace dmis {
+
+std::vector<char> greedy_mis(const Graph& g) {
+  std::vector<NodeId> order(g.node_count());
+  std::iota(order.begin(), order.end(), NodeId{0});
+  return greedy_mis(g, order);
+}
+
+std::vector<char> greedy_mis(const Graph& g, std::span<const NodeId> order) {
+  DMIS_CHECK(order.size() == g.node_count(),
+             "order size " << order.size() << " != n " << g.node_count());
+  std::vector<char> in_mis(g.node_count(), 0);
+  std::vector<char> blocked(g.node_count(), 0);
+  std::vector<char> seen(g.node_count(), 0);
+  for (const NodeId v : order) {
+    DMIS_CHECK(v < g.node_count(), "order entry out of range: " << v);
+    DMIS_CHECK(seen[v] == 0, "order is not a permutation (repeat " << v << ")");
+    seen[v] = 1;
+    if (blocked[v] != 0) continue;
+    in_mis[v] = 1;
+    blocked[v] = 1;
+    for (const NodeId u : g.neighbors(v)) blocked[u] = 1;
+  }
+  return in_mis;
+}
+
+}  // namespace dmis

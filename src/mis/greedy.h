@@ -1,0 +1,18 @@
+// Sequential greedy MIS — the classic baseline, and the subroutine the
+// congested-clique leader runs on the residual graph (paper §2.4, part 2).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace dmis {
+
+/// Greedy MIS scanning nodes in id order.
+std::vector<char> greedy_mis(const Graph& g);
+
+/// Greedy MIS scanning nodes in the given order (a permutation of 0..n-1).
+std::vector<char> greedy_mis(const Graph& g, std::span<const NodeId> order);
+
+}  // namespace dmis

@@ -1,0 +1,134 @@
+#include "mis/halfduplex_beeping.h"
+
+#include <memory>
+
+#include "rng/pow2_prob.h"
+#include "runtime/beeping.h"
+#include "util/bits.h"
+#include "util/check.h"
+
+namespace dmis {
+namespace {
+
+class HalfDuplexProgram final : public BeepProgram {
+ public:
+  HalfDuplexProgram(NodeId self, NodeId n, const RandomSource& rs)
+      : self_(self), id_bits_(bits_for_range(n < 2 ? 2 : n)), rs_(rs) {}
+
+  BeepAction act(std::uint64_t round) override {
+    const std::uint64_t len = iteration_length();
+    const std::uint64_t pos = round % len;
+    if (pos == 0) {
+      const std::uint64_t iter = round / len;
+      candidate_ =
+          p_.sample(rs_.word(RngStream::kBeep, self_, iter));
+      aborted_ = false;
+      heard_candidacy_ = false;
+      return candidate_ ? BeepAction::kBeep : BeepAction::kListen;
+    }
+    if (pos <= static_cast<std::uint64_t>(id_bits_)) {
+      // Verification: surviving candidates play their id, MSB first.
+      if (candidate_ && !aborted_) {
+        const int bit_index = id_bits_ - static_cast<int>(pos);
+        const bool bit = ((self_ >> bit_index) & 1u) != 0;
+        verifying_bit_ = bit;
+        return bit ? BeepAction::kBeep : BeepAction::kListen;
+      }
+      verifying_bit_ = false;
+      return BeepAction::kListen;
+    }
+    // Announce round.
+    if (candidate_ && !aborted_) {
+      joined_ = true;
+      return BeepAction::kBeep;
+    }
+    return BeepAction::kListen;
+  }
+
+  void feedback(std::uint64_t round, bool heard) override {
+    const std::uint64_t len = iteration_length();
+    const std::uint64_t pos = round % len;
+    if (pos == 0) {
+      // Only listeners get real feedback in half duplex; the engine hands
+      // beeping nodes `false` already.
+      heard_candidacy_ = heard;
+      return;
+    }
+    if (pos <= static_cast<std::uint64_t>(id_bits_)) {
+      if (candidate_ && !aborted_ && !verifying_bit_ && heard) {
+        aborted_ = true;
+      }
+      return;
+    }
+    // Announce feedback: decide, halt, or update p for the next iteration.
+    const auto iter = static_cast<std::uint32_t>(round / len);
+    if (joined_) {
+      halted_ = true;
+      decided_round_ = iter;
+      return;
+    }
+    if (heard) {
+      halted_ = true;  // an MIS neighbor announced
+      decided_round_ = iter;
+      return;
+    }
+    if (candidate_) {
+      // Lost verification: contention witnessed — halve.
+      p_ = p_.halved();
+    } else {
+      p_ = heard_candidacy_ ? p_.halved() : p_.doubled_capped();
+    }
+  }
+
+  bool halted() const override { return halted_; }
+  bool joined() const { return joined_; }
+  std::uint32_t decided_round() const { return decided_round_; }
+  std::uint64_t iteration_length() const {
+    return 2 + static_cast<std::uint64_t>(id_bits_);
+  }
+
+ private:
+  NodeId self_;
+  int id_bits_;
+  RandomSource rs_;
+  Pow2Prob p_ = Pow2Prob::half();
+  bool candidate_ = false;
+  bool aborted_ = false;
+  bool verifying_bit_ = false;
+  bool heard_candidacy_ = false;
+  bool joined_ = false;
+  bool halted_ = false;
+  std::uint32_t decided_round_ = kNeverDecided;
+};
+
+}  // namespace
+
+MisRun halfduplex_beeping_mis(const Graph& g,
+                              const HalfDuplexBeepingOptions& options) {
+  const NodeId n = g.node_count();
+  std::vector<std::unique_ptr<BeepProgram>> programs;
+  programs.reserve(n);
+  std::vector<const HalfDuplexProgram*> views;
+  views.reserve(n);
+  for (NodeId v = 0; v < n; ++v) {
+    auto p = std::make_unique<HalfDuplexProgram>(v, n, options.randomness);
+    views.push_back(p.get());
+    programs.push_back(std::move(p));
+  }
+  BeepEngine engine(g, std::move(programs), DuplexMode::kHalfDuplex);
+  const std::uint64_t len =
+      2 + static_cast<std::uint64_t>(bits_for_range(n < 2 ? 2 : n));
+  engine.run(options.max_iterations * len);
+  MisRun run;
+  run.in_mis.resize(n, 0);
+  run.decided_round.resize(n, kNeverDecided);
+  for (NodeId v = 0; v < n; ++v) {
+    run.in_mis[v] = views[v]->joined() ? 1 : 0;
+    run.decided_round[v] = views[v]->decided_round();
+  }
+  run.costs = engine.costs();
+  run.rounds = run.costs.rounds;
+  return run;
+}
+
+}  // namespace dmis

@@ -1,0 +1,45 @@
+// MIS in the HALF-duplex beeping model — the strictly weaker model the
+// paper's footnote 2 discusses (Holzer–Lynch [20, 21]): a beeping node
+// cannot carrier-sense, so the §2.2 rule "join if you beeped and heard
+// nothing" is unsound (two adjacent beepers hear nothing and would both
+// join).
+//
+// The fix is the classic collision-resolution pattern of the beeping
+// literature (cf. Afek et al. [1]): an iteration has three stages —
+//   1. *Candidacy* (1 round): each live node beeps with probability p_t(v).
+//      Listeners update p exactly as in §2.2 (heard → halve, else double-
+//      capped); a candidate that loses verification also halves (it just
+//      witnessed contention).
+//   2. *Verification* (ceil(log2 n) rounds): every candidate plays its own
+//      id, MSB first — beep on a 1 bit, listen on a 0 bit. A candidate that
+//      hears a beep while listening aborts (and goes silent). For any two
+//      adjacent candidates, at the first differing bit exactly one beeps
+//      and the other, still listening, aborts: NO two adjacent candidates
+//      survive — deterministically, unlike a random-bits variant.
+//   3. *Announce* (1 round): survivors join the MIS and beep; every
+//      listener that hears learns it has an MIS neighbor. Joiners and their
+//      neighbors leave.
+//
+// Cost: Θ(log n) rounds per iteration instead of 2 — the qualitative price
+// of losing full duplex that footnote 2's comparison is about (experiment
+// E14 measures it side by side).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "mis/common.h"
+#include "rng/random_source.h"
+
+namespace dmis {
+
+struct HalfDuplexBeepingOptions {
+  RandomSource randomness{0};
+  /// Cap on iterations (each = 2 + ceil(log2 n) beep rounds).
+  std::uint64_t max_iterations = 8192;
+};
+
+MisRun halfduplex_beeping_mis(const Graph& g,
+                              const HalfDuplexBeepingOptions& options);
+
+}  // namespace dmis

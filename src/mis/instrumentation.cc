@@ -1,0 +1,122 @@
+#include "mis/instrumentation.h"
+
+#include <cmath>
+
+#include "rng/pow2_prob.h"
+#include "util/check.h"
+
+namespace dmis {
+namespace {
+
+// Thresholds exactly as defined in paper §2.2/§2.3.
+constexpr double kLightD = 0.02;       // golden-1 / wrong-move-1 threshold
+constexpr double kGolden2D = 0.01;     // d_t(v) > 0.01
+constexpr double kGolden2Ratio = 0.01; // d' >= 0.01 d
+constexpr double kHeavyD = 10.0;       // heavy node: d_t(u) > 10
+constexpr double kShrink = 0.6;        // wrong-move-2: d_{t+1} > 0.6 d_t
+
+}  // namespace
+
+GoldenRoundAuditor::GoldenRoundAuditor(const Graph& graph) : graph_(graph) {
+  const NodeId n = graph_.node_count();
+  report_.node_golden.assign(n, 0);
+  report_.node_rounds_alive.assign(n, 0);
+  prev_d_.assign(n, 0.0);
+  prev_dprime_.assign(n, 0.0);
+  prev_p_exp_.assign(n, 0);
+  prev_alive_.assign(n, 0);
+  prev_superheavy_.assign(n, 0);
+  golden_this_iter_.assign(n, 0);
+  alive_this_iter_.assign(n, 0);
+}
+
+void GoldenRoundAuditor::begin_iteration(std::span<const char> alive,
+                                         std::span<const int> p_exp,
+                                         std::span<const char> superheavy) {
+  const NodeId n = graph_.node_count();
+  DMIS_CHECK(alive.size() == n && p_exp.size() == n, "snapshot size mismatch");
+  DMIS_CHECK(superheavy.empty() || superheavy.size() == n,
+             "superheavy mask size mismatch");
+  auto is_sh = [&](NodeId v) {
+    return !superheavy.empty() && superheavy[v] != 0;
+  };
+
+  // d_t over live nodes, then the heavy classification, then d'_t.
+  std::vector<double> d(n, 0.0);
+  std::vector<double> dprime(n, 0.0);
+  for (NodeId v = 0; v < n; ++v) {
+    if (alive[v] == 0) continue;
+    double sum = 0.0;
+    for (const NodeId u : graph_.neighbors(v)) {
+      if (alive[u] != 0) sum += Pow2Prob(p_exp[u]).value();
+    }
+    d[v] = sum;
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    if (alive[v] == 0) continue;
+    double sum = 0.0;
+    for (const NodeId u : graph_.neighbors(v)) {
+      if (alive[u] == 0) continue;
+      const bool heavy = is_sh(u) || d[u] > kHeavyD;
+      if (!heavy) sum += Pow2Prob(p_exp[u]).value();
+    }
+    dprime[v] = sum;
+  }
+
+  // Classify golden rounds and, against the previous snapshot, wrong moves.
+  for (NodeId v = 0; v < n; ++v) {
+    golden_this_iter_[v] = 0;
+    alive_this_iter_[v] = alive[v];
+    if (alive[v] == 0) continue;
+    ++report_.observed_node_rounds;
+    ++report_.node_rounds_alive[v];
+    const bool golden1 =
+        p_exp[v] == 1 && !is_sh(v) && d[v] <= kLightD;
+    const bool golden2 =
+        d[v] > kGolden2D && dprime[v] >= kGolden2Ratio * d[v];
+    if (golden1) ++report_.golden1;
+    if (golden2) ++report_.golden2;
+    if (golden1 || golden2) {
+      golden_this_iter_[v] = 1;
+      ++report_.node_golden[v];
+      ++report_.golden_rounds_total;
+    }
+    if (have_prev_ && prev_alive_[v] != 0) {
+      // Wrong move (1): light and not super-heavy, yet p halved.
+      if (prev_d_[v] <= kLightD && prev_superheavy_[v] == 0 &&
+          p_exp[v] == prev_p_exp_[v] + 1) {
+        ++report_.wrong_moves;
+      }
+      // Wrong move (2): heavy-dominated neighborhood failed to shrink.
+      else if (prev_d_[v] > kGolden2D &&
+               prev_dprime_[v] < kGolden2Ratio * prev_d_[v] &&
+               d[v] > kShrink * prev_d_[v]) {
+        ++report_.wrong_moves;
+      }
+    }
+  }
+
+  prev_d_ = std::move(d);
+  prev_dprime_ = std::move(dprime);
+  prev_p_exp_.assign(p_exp.begin(), p_exp.end());
+  prev_alive_.assign(alive.begin(), alive.end());
+  if (superheavy.empty()) {
+    prev_superheavy_.assign(n, 0);
+  } else {
+    prev_superheavy_.assign(superheavy.begin(), superheavy.end());
+  }
+  have_prev_ = true;
+}
+
+void GoldenRoundAuditor::end_iteration(std::span<const char> alive_after) {
+  const NodeId n = graph_.node_count();
+  DMIS_CHECK(alive_after.size() == n, "snapshot size mismatch");
+  for (NodeId v = 0; v < n; ++v) {
+    if (golden_this_iter_[v] != 0 && alive_this_iter_[v] != 0 &&
+        alive_after[v] == 0) {
+      ++report_.golden_rounds_with_removal;
+    }
+  }
+}
+
+}  // namespace dmis

@@ -1,0 +1,89 @@
+// Analysis-side instrumentation for the paper's key lemmas (E3).
+//
+// The golden-round machinery (paper §2.2 and §2.3) is *analysis*, not
+// algorithm: d_t(v) and d'_t(v) are quantities an omniscient observer
+// computes, never communicated. The auditor watches a beeping or sparsified
+// execution from outside and tallies, per node:
+//   * golden type-1 rounds:  p_t(v) = 1/2, v not super-heavy, d_t(v) <= 0.02
+//   * golden type-2 rounds:  d_t(v) > 0.01 and d'_t(v) >= 0.01 d_t(v)
+//   * wrong moves:   (1) d_t(v) <= 0.02, v not super-heavy, yet p halves
+//                    (2) d_t(v) > 0.01, d'_t(v) < 0.01 d_t(v), yet
+//                        d_{t+1}(v) > 0.6 d_t(v)
+//   * removals that happen in golden rounds (the empirical γ of Lemma 2.2).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace dmis {
+
+struct GoldenRoundReport {
+  std::uint64_t observed_node_rounds = 0;  ///< Σ over (live node, round)
+  std::uint64_t golden1 = 0;
+  std::uint64_t golden2 = 0;
+  std::uint64_t wrong_moves = 0;
+  /// Rounds in which a wrong move was *possible* (denominator for the
+  /// <= 0.02 probability claim of Lemmas 2.4/2.5): every observed live
+  /// node-round is an opportunity.
+  std::uint64_t golden_rounds_with_removal = 0;
+  std::uint64_t golden_rounds_total = 0;
+
+  // Per-node tallies, for the "every node has >= 0.05 T golden rounds" form
+  // of Lemmas 2.3/2.8.
+  std::vector<std::uint32_t> node_golden;
+  std::vector<std::uint32_t> node_rounds_alive;
+
+  double golden_fraction() const {
+    return observed_node_rounds == 0
+               ? 0.0
+               : static_cast<double>(golden1 + golden2) /
+                     static_cast<double>(observed_node_rounds);
+  }
+  double wrong_move_rate() const {
+    return observed_node_rounds == 0
+               ? 0.0
+               : static_cast<double>(wrong_moves) /
+                     static_cast<double>(observed_node_rounds);
+  }
+  /// Empirical removal probability within golden rounds (Lemmas 2.2/2.7's γ).
+  double gamma() const {
+    return golden_rounds_total == 0
+               ? 0.0
+               : static_cast<double>(golden_rounds_with_removal) /
+                     static_cast<double>(golden_rounds_total);
+  }
+};
+
+class GoldenRoundAuditor {
+ public:
+  explicit GoldenRoundAuditor(const Graph& graph);
+
+  /// Called before each iteration's R1 with the pre-round state. `superheavy`
+  /// may be empty (plain beeping algorithm: nobody is super-heavy).
+  void begin_iteration(std::span<const char> alive, std::span<const int> p_exp,
+                       std::span<const char> superheavy);
+
+  /// Called after the iteration's R2 with post-removal liveness.
+  void end_iteration(std::span<const char> alive_after);
+
+  const GoldenRoundReport& report() const { return report_; }
+
+ private:
+  const Graph& graph_;
+  GoldenRoundReport report_;
+  // State carried across iterations for the wrong-move-(2) and p-halving
+  // detection.
+  bool have_prev_ = false;
+  std::vector<double> prev_d_;
+  std::vector<double> prev_dprime_;
+  std::vector<int> prev_p_exp_;
+  std::vector<char> prev_alive_;
+  std::vector<char> prev_superheavy_;
+  std::vector<char> golden_this_iter_;
+  std::vector<char> alive_this_iter_;
+};
+
+}  // namespace dmis

@@ -1,0 +1,94 @@
+#include "mis/local_oracle.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "graph/ops.h"
+#include "mis/ghaffari.h"
+#include "mis/greedy.h"
+#include "util/check.h"
+
+namespace dmis {
+
+LocalMisOracle::LocalMisOracle(const Graph& g, const Options& options)
+    : graph_(g), options_(options) {
+  iterations_ = options.simulated_iterations;
+  if (iterations_ == 0) {
+    iterations_ = static_cast<int>(std::ceil(
+        2.0 * std::log2(static_cast<double>(g.max_degree()) + 2.0)));
+  }
+  DMIS_CHECK(iterations_ >= 1, "iterations must be >= 1");
+}
+
+LocalMisOracle::Phase1 LocalMisOracle::phase1_outcome(NodeId v) {
+  const auto it = phase1_cache_.find(v);
+  if (it != phase1_cache_.end()) return it->second;
+  const auto ball = bfs_ball(graph_, v, 2 * iterations_);
+  ++stats_.balls_simulated;
+  stats_.max_ball_nodes =
+      std::max<std::uint64_t>(stats_.max_ball_nodes, ball.size());
+  const GhaffariBallOutcome out = ghaffari_simulate_ball(
+      graph_, ball, v, iterations_, options_.randomness);
+  const Phase1 result = !out.decided  ? Phase1::kResidual
+                        : out.joined ? Phase1::kJoined
+                                     : Phase1::kRemoved;
+  phase1_cache_.emplace(v, result);
+  return result;
+}
+
+void LocalMisOracle::resolve_component(NodeId v) {
+  // Explore v's residual connected component, deciding each touched node
+  // exactly via its own ball replay.
+  std::vector<NodeId> component{v};
+  std::deque<NodeId> frontier{v};
+  std::unordered_map<NodeId, char> seen{{v, 1}};
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop_front();
+    for (const NodeId w : graph_.neighbors(u)) {
+      if (seen.contains(w)) continue;
+      seen.emplace(w, 1);
+      if (phase1_outcome(w) != Phase1::kResidual) continue;
+      component.push_back(w);
+      frontier.push_back(w);
+      DMIS_CHECK(component.size() <= options_.max_component,
+                 "residual component around node "
+                     << v << " exceeds " << options_.max_component
+                     << " nodes — raise simulated_iterations");
+    }
+  }
+  stats_.max_component_nodes =
+      std::max<std::uint64_t>(stats_.max_component_nodes, component.size());
+  std::sort(component.begin(), component.end());
+  // Greedy by (global) node id within the component — the same rule the
+  // §2.5 leader applies to the whole residual at once, so per-component
+  // resolution composes to the identical global set.
+  const InducedSubgraph sub = induced_subgraph(graph_, component);
+  const std::vector<char> mis = greedy_mis(sub.graph);
+  for (std::size_t i = 0; i < component.size(); ++i) {
+    answer_cache_[sub.to_parent[i]] = (mis[i] != 0);
+  }
+}
+
+bool LocalMisOracle::in_mis(NodeId v) {
+  DMIS_CHECK(v < graph_.node_count(), "node out of range: " << v);
+  ++stats_.queries;
+  const auto cached = answer_cache_.find(v);
+  if (cached != answer_cache_.end()) return cached->second;
+  switch (phase1_outcome(v)) {
+    case Phase1::kJoined:
+      answer_cache_[v] = true;
+      return true;
+    case Phase1::kRemoved:
+      answer_cache_[v] = false;
+      return false;
+    case Phase1::kResidual:
+      break;
+  }
+  ++stats_.residual_queries;
+  resolve_component(v);
+  return answer_cache_.at(v);
+}
+
+}  // namespace dmis

@@ -1,0 +1,78 @@
+// A local computation algorithm (LCA) for MIS, in the sense of Rubinfeld et
+// al. [38] / Alon et al. [4], built from the paper's machinery.
+//
+// The paper's §1.2 closes with exactly this connection: Linial's locality
+// argument turns an r-round distributed algorithm into a centralized oracle
+// that answers "is v in the MIS?" by inspecting only v's r-hop ball, and
+// conjectures local sparsification may advance LCAs for high-degree graphs.
+//
+// This oracle answers queries consistently — all answers together form one
+// fixed maximal independent set of the whole graph — while reading only a
+// ball around the queried node:
+//   1. replay T = O(log Δ) iterations of the SODA'16 dynamic (§2.1) on the
+//      radius-2T ball (influence travels 2 hops/iteration; the center's
+//      outcome is exact — same cone argument as Lemma 2.13);
+//   2. if the node is still undecided, the shattering guarantee (Lemma
+//      2.11's machinery) makes its residual component small w.h.p.; the
+//      oracle explores that component (deciding each member exactly via its
+//      own ball replay) and resolves it greedily by node id — a rule that is
+//      query-order independent.
+//
+// Consistency is testable: querying every node yields exactly the MIS that
+// lowdeg_mis (§2.5) computes with the same window and seed, because the
+// leader's greedy-by-id over the residual equals per-component greedy-by-id.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.h"
+#include "rng/random_source.h"
+
+namespace dmis {
+
+class LocalMisOracle {
+ public:
+  struct Options {
+    RandomSource randomness{0};
+    /// Simulated iterations T; 0 = ceil(2 log2(Δ+2)) (as in lowdeg_mis).
+    int simulated_iterations = 0;
+    /// Guard: a residual component larger than this aborts the query (the
+    /// w.h.p. shattering failed / T was too small for the graph).
+    std::uint64_t max_component = 100000;
+  };
+
+  struct Stats {
+    std::uint64_t queries = 0;
+    std::uint64_t balls_simulated = 0;
+    std::uint64_t residual_queries = 0;  ///< needed component resolution
+    std::uint64_t max_ball_nodes = 0;
+    std::uint64_t max_component_nodes = 0;
+  };
+
+  LocalMisOracle(const Graph& g, const Options& options);
+
+  /// Is v in the (one, fixed) maximal independent set this oracle defines?
+  bool in_mis(NodeId v);
+
+  int simulated_iterations() const { return iterations_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  enum class Phase1 : std::uint8_t { kJoined, kRemoved, kResidual };
+
+  /// Exact phase-1 outcome of v (memoized ball replay).
+  Phase1 phase1_outcome(NodeId v);
+  /// Resolves v's residual component greedily by id (memoizes all members).
+  void resolve_component(NodeId v);
+
+  const Graph& graph_;
+  Options options_;
+  int iterations_;
+  Stats stats_;
+  std::unordered_map<NodeId, Phase1> phase1_cache_;
+  std::unordered_map<NodeId, bool> answer_cache_;
+};
+
+}  // namespace dmis

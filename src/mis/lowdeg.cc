@@ -1,0 +1,191 @@
+#include "mis/lowdeg.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "clique/gather.h"
+#include "graph/ops.h"
+#include "mis/cleanup.h"
+#include "mis/ghaffari.h"
+#include "rng/pow2_prob.h"
+#include "util/check.h"
+
+namespace dmis {
+namespace {
+
+/// Replays T iterations of the §2.1 dynamic from a gathered ball and returns
+/// the center's (joined, decided_iteration). Mirrors GhaffariProgram exactly:
+/// per iteration — marks, d from live neighbors' p, joins, p updates (also
+/// for nodes halting this iteration), then removals.
+struct GhaffariReplayOutcome {
+  bool joined = false;
+  std::uint32_t decided_iter = kNeverDecided;
+};
+
+GhaffariReplayOutcome ghaffari_replay_center(const GatheredBall& ball,
+                                             int iterations) {
+  std::vector<NodeId> nodes;
+  nodes.reserve(ball.annotations.size());
+  for (const auto& [node, words] : ball.annotations) {
+    (void)words;
+    nodes.push_back(node);
+  }
+  std::sort(nodes.begin(), nodes.end());
+  std::unordered_map<NodeId, int> index;
+  index.reserve(nodes.size());
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    index.emplace(nodes[i], static_cast<int>(i));
+  }
+  DMIS_CHECK(index.contains(ball.center), "ball center lacks annotation");
+
+  const int k = static_cast<int>(nodes.size());
+  std::vector<std::uint64_t> seed(k);
+  for (int i = 0; i < k; ++i) {
+    const auto& words = ball.annotations.at(nodes[i]);
+    DMIS_CHECK(words.size() == 1, "lowdeg annotation must be one word");
+    seed[i] = words[0];
+  }
+  std::vector<std::vector<int>> adj(k);
+  for (const auto& [u, v] : ball.edges) {
+    const auto iu = index.find(u);
+    const auto iv = index.find(v);
+    if (iu != index.end() && iv != index.end()) {
+      adj[iu->second].push_back(iv->second);
+      adj[iv->second].push_back(iu->second);
+    }
+  }
+
+  std::vector<int> p_exp(k, 1);
+  std::vector<char> live(k, 1);
+  std::vector<char> marked(k, 0);
+  std::vector<char> joined(k, 0);
+  const int c = index.at(ball.center);
+  GhaffariReplayOutcome out;
+
+  for (int t = 0; t < iterations; ++t) {
+    for (int i = 0; i < k; ++i) {
+      marked[i] = (live[i] != 0 &&
+                   Pow2Prob(p_exp[i]).sample(ghaffari_mark_word(seed[i], t)))
+                      ? 1
+                      : 0;
+    }
+    std::vector<char> joins(k, 0);
+    std::vector<int> new_p(p_exp);
+    for (int i = 0; i < k; ++i) {
+      if (live[i] == 0) continue;
+      double d = 0.0;
+      bool marked_neighbor = false;
+      for (const int j : adj[i]) {
+        if (live[j] == 0) continue;
+        d += Pow2Prob(p_exp[j]).value();
+        marked_neighbor = marked_neighbor || (marked[j] != 0);
+      }
+      joins[i] = (marked[i] != 0 && !marked_neighbor) ? 1 : 0;
+      const Pow2Prob p(p_exp[i]);
+      new_p[i] = (d >= 2.0 ? p.halved() : p.doubled_capped()).neg_exp();
+    }
+    p_exp = std::move(new_p);
+    for (int i = 0; i < k; ++i) {
+      if (joins[i] == 0) continue;
+      joined[i] = 1;
+      if (live[i] != 0 && i == c && out.decided_iter == kNeverDecided) {
+        out.joined = true;
+        out.decided_iter = static_cast<std::uint32_t>(t);
+      }
+      live[i] = 0;
+      for (const int j : adj[i]) {
+        if (live[j] != 0) {
+          live[j] = 0;
+          if (j == c && out.decided_iter == kNeverDecided) {
+            out.decided_iter = static_cast<std::uint32_t>(t);
+          }
+        }
+      }
+    }
+    if (live[c] == 0) break;
+  }
+  (void)joined;
+  return out;
+}
+
+}  // namespace
+
+LowDegResult lowdeg_mis(const Graph& g, const LowDegOptions& options) {
+  const NodeId n = g.node_count();
+  LowDegResult result;
+  result.run.in_mis.assign(n, 0);
+  result.run.decided_round.assign(n, kNeverDecided);
+  if (n == 0) return result;
+
+  int iterations = options.simulated_iterations;
+  if (iterations == 0) {
+    iterations = static_cast<int>(std::ceil(
+        2.0 * std::log2(static_cast<double>(g.max_degree()) + 2.0)));
+  }
+  DMIS_CHECK(iterations >= 1, "iterations must be >= 1");
+  const int radius = 2 * iterations;
+  result.stats.iterations = iterations;
+  result.stats.gather_radius = radius;
+
+  // Precondition (the lemma's Δ <= 2^{c sqrt(δ log n)} smallness): replay
+  // balls must stay "n^δ"-sized, and the gather traffic — each node ships
+  // ~|ball| records to each of ~|ball| members — must stay materializable.
+  // Checked exactly, up front.
+  std::uint64_t packet_estimate = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    const auto ball = bfs_ball(g, v, radius);
+    result.stats.max_ball_members =
+        std::max<std::uint64_t>(result.stats.max_ball_members, ball.size());
+    const std::uint64_t b = ball.size();
+    packet_estimate += b * b * 3;
+  }
+  DMIS_CHECK(result.stats.max_ball_members <= options.max_ball_members,
+             "graph too dense for the low-degree fast path: radius-"
+                 << radius << " ball of " << result.stats.max_ball_members
+                 << " nodes exceeds " << options.max_ball_members);
+  DMIS_CHECK(packet_estimate <= options.max_packet_estimate,
+             "graph too dense for the low-degree fast path: gather would "
+             "move ~"
+                 << packet_estimate << " packets (limit "
+                 << options.max_packet_estimate
+                 << "); shrink simulated_iterations or use clique_mis");
+
+  CliqueNetwork net(n, options.randomness.fork(0x10deULL),
+                    options.route_mode);
+
+  std::vector<std::vector<std::uint64_t>> annotations(n);
+  for (NodeId v = 0; v < n; ++v) {
+    annotations[v] = {ghaffari_personal_seed(options.randomness, v)};
+  }
+  const GatherResult gathered = gather_balls(net, g, annotations, radius);
+  result.stats.gather_steps = gathered.stats.steps;
+  result.stats.gather_rounds = gathered.stats.rounds;
+  result.stats.gather_packets = gathered.stats.packets;
+  result.stats.max_gather_source_load = gathered.stats.max_source_load;
+  result.stats.max_gather_dest_load = gathered.stats.max_dest_load;
+
+  std::vector<char> alive(n, 1);
+  for (NodeId v = 0; v < n; ++v) {
+    const GhaffariReplayOutcome out =
+        ghaffari_replay_center(gathered.balls[v], iterations);
+    if (out.decided_iter != kNeverDecided) {
+      alive[v] = 0;
+      result.run.in_mis[v] = out.joined ? 1 : 0;
+      result.run.decided_round[v] = out.decided_iter;
+    }
+  }
+
+  const CleanupStats cleanup = clique_leader_cleanup(
+      net, g, alive, result.run.in_mis, result.run.decided_round,
+      static_cast<std::uint32_t>(iterations));
+  result.stats.residual_nodes = cleanup.residual_nodes;
+  result.stats.residual_edges = cleanup.residual_edges;
+  result.stats.cleanup_rounds = cleanup.rounds;
+
+  result.run.costs = net.costs();
+  result.run.rounds = result.run.costs.rounds;
+  return result;
+}
+
+}  // namespace dmis

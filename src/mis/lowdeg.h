@@ -1,0 +1,63 @@
+// Faster MIS in low-degree graphs — paper §2.5 (Lemma 2.15).
+//
+// When Δ <= 2^{c sqrt(δ log n)}, each node can afford to learn its whole
+// O(log Δ)-hop neighborhood of G directly (graph exponentiation, Lemma 2.14,
+// O(log log Δ) clique rounds), locally replay T = O(log Δ) iterations of the
+// Ghaffari SODA'16 dynamic (§2.1), and hand the leftover O(n)-edge graph to
+// the leader — O(log log Δ) congested-clique rounds in total.
+//
+// Applicability is a real precondition, not a formality: the replay needs
+// radius-2T balls of at most ~n^δ nodes (influence travels 2 hops per
+// iteration — see clique_mis.h). The implementation verifies the ball bound
+// up front and throws PreconditionError when the graph is too dense for the
+// fast path, which is exactly the regime where the general algorithm (§2.4)
+// must be used instead. Bounded-growth families (cycles, grids, geometric
+// graphs) are the natural inputs; expanders of degree >= 3 violate the
+// premise at any laptop-scale n.
+#pragma once
+
+#include <cstdint>
+
+#include "clique/network.h"
+#include "graph/graph.h"
+#include "mis/common.h"
+#include "rng/random_source.h"
+
+namespace dmis {
+
+struct LowDegOptions {
+  RandomSource randomness{0};
+  RouteMode route_mode = RouteMode::kAccountedLenzen;
+  /// Iterations of the §2.1 dynamic to replay; 0 = ceil(2 log2(Δ+2)).
+  int simulated_iterations = 0;
+  /// Precondition guard: the largest radius-2T ball allowed ("n^δ").
+  std::uint64_t max_ball_members = 100000;
+  /// Second guard: the gather's traffic is ~ Σ_v |ball_v|² records; the
+  /// estimate must stay below this before we materialize any packets.
+  std::uint64_t max_packet_estimate = 80000000;
+};
+
+struct LowDegStats {
+  int iterations = 0;        ///< T
+  int gather_radius = 0;     ///< 2T
+  std::uint64_t gather_steps = 0;
+  std::uint64_t gather_rounds = 0;
+  std::uint64_t gather_packets = 0;
+  std::uint64_t max_gather_source_load = 0;
+  std::uint64_t max_gather_dest_load = 0;
+  std::uint64_t max_ball_members = 0;
+  std::uint64_t residual_nodes = 0;
+  std::uint64_t residual_edges = 0;
+  std::uint64_t cleanup_rounds = 0;
+};
+
+struct LowDegResult {
+  MisRun run;  ///< costs in congested-clique rounds
+  LowDegStats stats;
+};
+
+/// Throws PreconditionError if some radius-2T ball exceeds
+/// options.max_ball_members (graph too dense for the fast path).
+LowDegResult lowdeg_mis(const Graph& g, const LowDegOptions& options);
+
+}  // namespace dmis

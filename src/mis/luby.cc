@@ -1,0 +1,101 @@
+#include "mis/luby.h"
+
+#include <memory>
+
+#include "runtime/congest.h"
+#include "util/bits.h"
+#include "util/check.h"
+
+namespace dmis {
+namespace {
+
+/// Priority width: 3*ceil(log2 n) random bits plus the id as tiebreak keeps
+/// local minima unique w.h.p. while fitting comfortably inside B.
+int priority_bits(NodeId n) { return 3 * bits_for_range(n < 2 ? 2 : n); }
+
+class LubyProgram final : public CongestProgram {
+ public:
+  LubyProgram(NodeId self, NodeId n, const RandomSource& rs)
+      : self_(self), rand_bits_(priority_bits(n)), rs_(rs) {}
+
+  void send(std::uint64_t round, std::vector<Outgoing>& out) override {
+    if (round % 2 == 0) {
+      // Round A: broadcast this iteration's priority.
+      priority_ = rs_.word(RngStream::kLubyPriority, self_, round / 2) >>
+                  (64 - rand_bits_);
+      out.push_back({kAllNeighbors, priority_, rand_bits_});
+    } else if (joined_) {
+      // Round B: announce membership.
+      out.push_back({kAllNeighbors, 1, 1});
+    }
+  }
+
+  void receive(std::uint64_t round,
+               std::span<const CongestMessage> inbox) override {
+    if (round % 2 == 0) {
+      bool local_min = true;
+      for (const CongestMessage& m : inbox) {
+        // Strict comparison on (priority, id): lower wins.
+        if (m.payload < priority_ ||
+            (m.payload == priority_ && m.src < self_)) {
+          local_min = false;
+          break;
+        }
+      }
+      joined_ = local_min;
+    } else {
+      if (joined_) {
+        halted_ = true;
+        decided_round_ = static_cast<std::uint32_t>(round / 2);
+      } else if (!inbox.empty()) {
+        halted_ = true;  // an MIS neighbor announced
+        decided_round_ = static_cast<std::uint32_t>(round / 2);
+      }
+    }
+  }
+
+  bool halted() const override { return halted_; }
+  bool joined() const { return joined_ && halted_; }
+  std::uint32_t decided_round() const { return decided_round_; }
+
+ private:
+  NodeId self_;
+  int rand_bits_;
+  RandomSource rs_;
+  std::uint64_t priority_ = 0;
+  bool joined_ = false;
+  bool halted_ = false;
+  std::uint32_t decided_round_ = kNeverDecided;
+};
+
+}  // namespace
+
+MisRun luby_mis(const Graph& g, const LubyOptions& options) {
+  const NodeId n = g.node_count();
+  std::vector<std::unique_ptr<CongestProgram>> programs;
+  programs.reserve(n);
+  std::vector<const LubyProgram*> views;
+  views.reserve(n);
+  for (NodeId v = 0; v < n; ++v) {
+    auto p = std::make_unique<LubyProgram>(v, n, options.randomness);
+    views.push_back(p.get());
+    programs.push_back(std::move(p));
+  }
+  CongestEngine engine(g, std::move(programs), congest_bandwidth_bits(n));
+  engine.run(options.max_iterations * 2);
+  DMIS_ASSERT(engine.all_halted(),
+              "Luby did not terminate within " << options.max_iterations
+                                               << " iterations");
+  MisRun run;
+  run.in_mis.resize(n, 0);
+  run.decided_round.resize(n, kNeverDecided);
+  for (NodeId v = 0; v < n; ++v) {
+    run.in_mis[v] = views[v]->joined() ? 1 : 0;
+    run.decided_round[v] = views[v]->decided_round();
+  }
+  run.costs = engine.costs();
+  run.rounds = run.costs.rounds;
+  return run;
+}
+
+}  // namespace dmis

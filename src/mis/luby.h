@@ -1,0 +1,29 @@
+// Luby's randomized MIS (Luby STOC'85 / Alon-Babai-Itai'86), priority
+// variant, implemented on the CONGEST engine. O(log n) rounds w.h.p.; also
+// the natural "works as-is in the congested clique" baseline of paper §1.1.
+//
+// Each iteration costs two CONGEST rounds:
+//   A) every live node broadcasts a fresh random priority; a node whose
+//      priority is a strict local minimum (ties broken by id — and counted
+//      toward the priority payload) joins the MIS;
+//   B) joiners broadcast "joined"; joiners and their neighbors halt.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "mis/common.h"
+#include "rng/random_source.h"
+
+namespace dmis {
+
+struct LubyOptions {
+  RandomSource randomness{0};
+  /// Cap on iterations (each = 2 CONGEST rounds); default covers w.h.p.
+  /// termination for any n in scope.
+  std::uint64_t max_iterations = 4096;
+};
+
+MisRun luby_mis(const Graph& g, const LubyOptions& options);
+
+}  // namespace dmis

@@ -1,0 +1,40 @@
+// Wire encoding of the per-node decoration attached to the sampled graph
+// G*[S] (paper §2.4). Three 64-bit words per node:
+//   word 0 — p_{t0}(v) exponent (p is exactly 2^-k, see rng/pow2_prob.h);
+//   word 1 — bitwise OR of the beep vectors received from super-heavy
+//            neighbors (bit i = some super-heavy neighbor beeps in iter i);
+//   word 2 — the node's private phase seed, from which every r_i(v) of the
+//            phase is derived (mix64(seed, i)); this is the O(log n)-bit
+//            compression of the paper's per-round randomness list.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/check.h"
+
+namespace dmis {
+
+struct PhaseDecoration {
+  int p0_exp = 1;
+  std::uint64_t superheavy_or_mask = 0;
+  std::uint64_t phase_seed = 0;
+};
+
+inline std::vector<std::uint64_t> encode_decoration(const PhaseDecoration& d) {
+  return {static_cast<std::uint64_t>(d.p0_exp), d.superheavy_or_mask,
+          d.phase_seed};
+}
+
+inline PhaseDecoration decode_decoration(std::span<const std::uint64_t> words) {
+  DMIS_CHECK(words.size() == 3, "decoration must be 3 words, got "
+                                    << words.size());
+  PhaseDecoration d;
+  d.p0_exp = static_cast<int>(words[0]);
+  d.superheavy_or_mask = words[1];
+  d.phase_seed = words[2];
+  return d;
+}
+
+}  // namespace dmis

@@ -1,0 +1,189 @@
+#include "mis/reductions.h"
+
+#include <algorithm>
+
+#include "graph/ops.h"
+#include "graph/properties.h"
+#include "graph/transforms.h"
+#include "mis/clique_mis.h"
+#include "mis/greedy.h"
+#include "mis/luby.h"
+#include "mis/sparsified.h"
+#include "util/check.h"
+
+namespace dmis {
+
+MisSolver greedy_solver() {
+  return [](const Graph& g) { return greedy_mis(g); };
+}
+
+MisSolver luby_solver(std::uint64_t seed) {
+  return [seed](const Graph& g) {
+    LubyOptions opts;
+    opts.randomness = RandomSource(seed);
+    return luby_mis(g, opts).in_mis;
+  };
+}
+
+MisSolver sparsified_solver(std::uint64_t seed) {
+  return [seed](const Graph& g) {
+    SparsifiedOptions opts;
+    opts.params = SparsifiedParams::from_n(g.node_count());
+    opts.randomness = RandomSource(seed);
+    return sparsified_mis(g, opts).in_mis;
+  };
+}
+
+MisSolver clique_solver(std::uint64_t seed) {
+  return [seed](const Graph& g) {
+    CliqueMisOptions opts;
+    opts.params = SparsifiedParams::from_n(g.node_count());
+    opts.randomness = RandomSource(seed);
+    return clique_mis(g, opts).run.in_mis;
+  };
+}
+
+// ---------------------------------------------------------------- matching
+
+MatchingResult maximal_matching(const Graph& g, const MisSolver& solver) {
+  const LineGraph lg = line_graph(g);
+  const std::vector<char> mis = solver(lg.graph);
+  DMIS_ASSERT(is_maximal_independent_set(lg.graph, mis),
+              "solver returned an invalid MIS on the line graph");
+  MatchingResult out;
+  for (NodeId e = 0; e < lg.graph.node_count(); ++e) {
+    if (mis[e] != 0) out.matching.push_back(lg.vertex_to_edge[e]);
+  }
+  return out;
+}
+
+bool is_maximal_matching(const Graph& g, std::span<const Edge> matching) {
+  std::vector<char> matched(g.node_count(), 0);
+  for (const auto& [u, v] : matching) {
+    if (u >= g.node_count() || v >= g.node_count()) return false;
+    if (!g.has_edge(u, v)) return false;
+    if (matched[u] != 0 || matched[v] != 0) return false;  // not disjoint
+    matched[u] = 1;
+    matched[v] = 1;
+  }
+  // Maximal: no edge with both endpoints unmatched.
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    if (matched[u] != 0) continue;
+    for (const NodeId v : g.neighbors(u)) {
+      if (matched[v] == 0) return false;
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------- coloring
+
+ColoringResult vertex_coloring(const Graph& g, const MisSolver& solver,
+                               std::uint32_t palette) {
+  if (palette == 0) palette = g.max_degree() + 1;
+  DMIS_CHECK(palette >= g.max_degree() + 1,
+             "palette " << palette << " below Delta+1 = "
+                        << g.max_degree() + 1);
+  ColoringResult out;
+  out.palette = palette;
+  out.colors.assign(g.node_count(), kUncolored);
+  if (g.node_count() == 0) return out;
+  const Graph product = color_product(g, palette);
+  const std::vector<char> mis = solver(product);
+  DMIS_ASSERT(is_maximal_independent_set(product, mis),
+              "solver returned an invalid MIS on the product graph");
+  for (NodeId pv = 0; pv < product.node_count(); ++pv) {
+    if (mis[pv] == 0) continue;
+    const NodeId v = color_product_base(pv, palette);
+    DMIS_ASSERT(out.colors[v] == kUncolored,
+                "two colors chosen for node " << v);
+    out.colors[v] = color_product_color(pv, palette);
+  }
+  // Linial's argument: with palette >= Delta+1 every palette clique has a
+  // chosen member (otherwise some copy would be unblocked).
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    DMIS_ASSERT(out.colors[v] != kUncolored, "node " << v << " uncolored");
+  }
+  return out;
+}
+
+bool is_proper_coloring(const Graph& g,
+                        std::span<const std::uint32_t> colors) {
+  if (colors.size() != g.node_count()) return false;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (colors[v] == kUncolored) return false;
+    for (const NodeId u : g.neighbors(v)) {
+      if (u > v && colors[u] == colors[v]) return false;
+    }
+  }
+  return true;
+}
+
+EdgeColoringResult edge_coloring(const Graph& g, const MisSolver& solver) {
+  EdgeColoringResult out;
+  const LineGraph lg = line_graph(g);
+  out.edges = lg.vertex_to_edge;
+  out.palette = g.max_degree() == 0 ? 1 : 2 * g.max_degree() - 1;
+  if (out.edges.empty()) return out;
+  // Delta(L(g)) <= 2 Delta(g) - 2, so the 2Delta-1 palette is Delta_L + 1.
+  const ColoringResult vc = vertex_coloring(lg.graph, solver, out.palette);
+  out.colors = vc.colors;
+  return out;
+}
+
+bool is_proper_edge_coloring(const Graph& g, std::span<const Edge> edges,
+                             std::span<const std::uint32_t> colors) {
+  if (edges.size() != colors.size()) return false;
+  if (edges.size() != g.edge_count()) return false;
+  // Adjacent edges (sharing an endpoint) must differ in color.
+  std::vector<std::vector<std::pair<NodeId, std::uint32_t>>> at(
+      g.node_count());
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    const auto& [u, v] = edges[i];
+    if (!g.has_edge(u, v)) return false;
+    if (colors[i] == kUncolored) return false;
+    at[u].push_back({static_cast<NodeId>(i), colors[i]});
+    at[v].push_back({static_cast<NodeId>(i), colors[i]});
+  }
+  for (const auto& list : at) {
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      for (std::size_t j = i + 1; j < list.size(); ++j) {
+        if (list[i].second == list[j].second) return false;
+      }
+    }
+  }
+  return true;
+}
+
+// -------------------------------------------------------------- ruling set
+
+RulingSetResult ruling_set(const Graph& g, int k, const MisSolver& solver) {
+  DMIS_CHECK(k >= 1, "ruling parameter must be >= 1, got " << k);
+  RulingSetResult out;
+  out.k = k;
+  const Graph power = (k == 1) ? Graph() : graph_power(g, k);
+  const Graph& target = (k == 1) ? g : power;
+  out.in_set = solver(target);
+  DMIS_ASSERT(is_maximal_independent_set(target, out.in_set),
+              "solver returned an invalid MIS on G^" << k);
+  return out;
+}
+
+bool is_ruling_set(const Graph& g, const std::vector<char>& in_set, int k) {
+  if (in_set.size() != g.node_count()) return false;
+  if (!is_independent_set(g, in_set)) return false;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (in_set[v] != 0) continue;
+    bool covered = false;
+    for (const NodeId u : bfs_ball(g, v, k)) {
+      if (in_set[u] != 0) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) return false;
+  }
+  return true;
+}
+
+}  // namespace dmis

@@ -1,0 +1,95 @@
+// The classic problems the paper's round complexity extends to (§1.1):
+// maximal matching, (Δ+1)-vertex-coloring, (2Δ−1)-edge-coloring — via
+// Linial's reductions [28] to MIS on derived graphs — plus k-ruling sets
+// (the relaxation studied by the congested-clique related work [7, 18]),
+// which are exactly MIS on the graph power G^k.
+//
+// Every reduction is parameterized by an arbitrary MIS solver, so any
+// algorithm in this library (Luby, beeping, sparsified, the clique
+// simulation) lifts to all four problems. The cost of running the solver on
+// the derived graph is the reduction's cost; the derived graphs keep the
+// paper's guarantees because their maximum degrees are O(Δ) ("with minor
+// modifications" in the paper's phrasing).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "mis/common.h"
+
+namespace dmis {
+
+/// Any maximal-independent-set oracle. Must return a valid MIS mask.
+using MisSolver = std::function<std::vector<char>(const Graph&)>;
+
+/// Solvers wrapping the algorithms of this library with a fixed seed.
+MisSolver greedy_solver();
+MisSolver luby_solver(std::uint64_t seed);
+MisSolver sparsified_solver(std::uint64_t seed);
+MisSolver clique_solver(std::uint64_t seed);
+
+// ---------------------------------------------------------------- matching
+
+struct MatchingResult {
+  std::vector<Edge> matching;
+};
+
+/// Maximal matching of g = MIS of the line graph L(g).
+MatchingResult maximal_matching(const Graph& g, const MisSolver& solver);
+
+/// True iff `matching` is a matching of g (disjoint real edges) that cannot
+/// be extended.
+bool is_maximal_matching(const Graph& g, std::span<const Edge> matching);
+
+// ---------------------------------------------------------------- coloring
+
+inline constexpr std::uint32_t kUncolored = static_cast<std::uint32_t>(-1);
+
+struct ColoringResult {
+  /// Color of each node, in [0, palette).
+  std::vector<std::uint32_t> colors;
+  std::uint32_t palette = 0;
+};
+
+/// Proper vertex coloring with `palette` colors (0 = use Δ+1) via MIS on
+/// Linial's product graph G × K_palette. Requires palette >= Δ+1.
+ColoringResult vertex_coloring(const Graph& g, const MisSolver& solver,
+                               std::uint32_t palette = 0);
+
+bool is_proper_coloring(const Graph& g,
+                        std::span<const std::uint32_t> colors);
+
+struct EdgeColoringResult {
+  /// g.edges() in order; colors[i] colors edges[i].
+  std::vector<Edge> edges;
+  std::vector<std::uint32_t> colors;
+  std::uint32_t palette = 0;
+};
+
+/// Proper edge coloring with 2Δ−1 colors: vertex coloring of L(g), whose
+/// maximum degree is at most 2Δ−2.
+EdgeColoringResult edge_coloring(const Graph& g, const MisSolver& solver);
+
+bool is_proper_edge_coloring(const Graph& g,
+                             std::span<const Edge> edges,
+                             std::span<const std::uint32_t> colors);
+
+// -------------------------------------------------------------- ruling set
+
+struct RulingSetResult {
+  std::vector<char> in_set;
+  int k = 0;
+};
+
+/// k-ruling set (k >= 1): an independent set S such that every node is
+/// within distance k of S. Computed as MIS(G^k): independence in G^k means
+/// pairwise distance > k... in particular members are independent in G, and
+/// maximality in G^k gives the distance-k domination. k = 1 is plain MIS.
+RulingSetResult ruling_set(const Graph& g, int k, const MisSolver& solver);
+
+bool is_ruling_set(const Graph& g, const std::vector<char>& in_set, int k);
+
+}  // namespace dmis

@@ -1,0 +1,139 @@
+#include "mis/ruling_clique.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "mis/greedy.h"
+#include "util/bits.h"
+#include "util/check.h"
+
+namespace dmis {
+
+CliqueRulingResult clique_two_ruling_set(const Graph& g,
+                                         const CliqueRulingOptions& options) {
+  const NodeId n = g.node_count();
+  CliqueRulingResult result;
+  result.in_set.assign(n, 0);
+  if (n == 0) return result;
+
+  CliqueNetwork net(n, options.randomness.fork(0x2517ULL),
+                    options.route_mode);
+  const double log_n = std::log(static_cast<double>(std::max<NodeId>(n, 2)));
+
+  std::vector<char> live(n, 1);
+  std::uint64_t live_count = n;
+  std::vector<char> sampled(n, 0);
+
+  std::uint64_t iteration = 0;
+  for (; iteration < options.max_iterations && live_count > 0; ++iteration) {
+    // 1. One all-to-all round: live degrees; everyone learns the maximum.
+    std::uint64_t d = 0;
+    for (NodeId v = 0; v < n; ++v) {
+      if (live[v] == 0) continue;
+      std::uint64_t deg = 0;
+      for (const NodeId u : g.neighbors(v)) {
+        if (live[u] != 0) ++deg;
+      }
+      d = std::max(d, deg);
+    }
+    net.charge_broadcast_round(live_count, bits_for_range(n));
+
+    // 2. Private sampling; sampled nodes tell their neighbors (one round).
+    const double p =
+        d == 0 ? 1.0
+               : std::min(1.0, options.sampling_constant * log_n /
+                                   static_cast<double>(d));
+    std::vector<NodeId> sample;
+    std::uint64_t sample_messages = 0;
+    for (NodeId v = 0; v < n; ++v) {
+      sampled[v] = 0;
+      if (live[v] == 0) continue;
+      if (options.randomness.bernoulli(RngStream::kAux, v, iteration, p)) {
+        sampled[v] = 1;
+        sample.push_back(v);
+        for (const NodeId u : g.neighbors(v)) {
+          if (live[u] != 0) ++sample_messages;
+        }
+      }
+    }
+    net.charge_neighborhood_round(sample_messages, 1);
+
+    // 3. Ship the sampled subgraph to a leader; it solves greedily and
+    //    routes the decisions back.
+    std::vector<char> chosen_mask(n, 0);
+    if (!sample.empty()) {
+      const NodeId leader = 0;
+      std::vector<Packet> packets;
+      std::uint64_t sample_edges = 0;
+      for (const NodeId v : sample) {
+        packets.push_back({v, leader, (1ULL << 62) | v, 0});
+        for (const NodeId u : g.neighbors(v)) {
+          if (u > v && sampled[u] != 0) {
+            packets.push_back({v, leader, (2ULL << 62) | v, u});
+            ++sample_edges;
+          }
+        }
+      }
+      result.stats.max_sample_size =
+          std::max<std::uint64_t>(result.stats.max_sample_size,
+                                  sample.size());
+      result.stats.max_sample_edges =
+          std::max(result.stats.max_sample_edges, sample_edges);
+      net.route(packets);
+
+      std::unordered_map<NodeId, NodeId> to_local;
+      to_local.reserve(sample.size());
+      for (std::size_t i = 0; i < sample.size(); ++i) {
+        to_local.emplace(sample[i], static_cast<NodeId>(i));
+      }
+      GraphBuilder builder(static_cast<NodeId>(sample.size()));
+      for (const Packet& pkt : packets) {
+        if ((pkt.a >> 62) == 2) {
+          builder.add_edge(
+              to_local.at(static_cast<NodeId>(pkt.a & 0xffffffffULL)),
+              to_local.at(static_cast<NodeId>(pkt.b)));
+        }
+      }
+      const Graph sample_graph = std::move(builder).build();
+      const std::vector<char> mis = greedy_mis(sample_graph);
+      std::vector<Packet> decisions;
+      for (std::size_t i = 0; i < sample.size(); ++i) {
+        decisions.push_back({leader, sample[i], mis[i] ? 1ULL : 0ULL, 0});
+      }
+      net.route(decisions);
+      for (const Packet& pkt : decisions) {
+        if (pkt.a != 0) {
+          chosen_mask[pkt.dst] = 1;
+          result.in_set[pkt.dst] = 1;
+        }
+      }
+    }
+
+    // 4. Everyone with a sampled closed-neighbor is within distance 2 of a
+    //    chosen node — ruled, leaves the problem. `sampled` is only ever set
+    //    on nodes live at the start of this iteration, so it must be read
+    //    directly: consulting `live[u]` here would miss sampled neighbors
+    //    already cleared earlier in this very sweep.
+    for (NodeId v = 0; v < n; ++v) {
+      if (live[v] == 0) continue;
+      bool ruled = sampled[v] != 0;
+      for (const NodeId u : g.neighbors(v)) {
+        if (ruled) break;
+        ruled = sampled[u] != 0;
+      }
+      if (ruled) {
+        live[v] = 0;
+        --live_count;
+      }
+    }
+  }
+  DMIS_ASSERT(live_count == 0,
+              "ruling set did not converge within "
+                  << options.max_iterations << " iterations");
+  result.stats.iterations = iteration;
+  result.costs = net.costs();
+  return result;
+}
+
+}  // namespace dmis

@@ -1,0 +1,60 @@
+// A direct congested-clique 2-ruling-set algorithm, in the spirit of the
+// related work the paper contrasts itself against (Berns–Hegeman–Pemmaraju
+// [7] and Hegeman–Pemmaraju–Sardeshmukh [18]): those works get ruling sets
+// in O(log log n)-expected rounds precisely because ruling sets — unlike
+// MIS — admit aggressive sample-and-ship-to-the-leader strategies.
+//
+// The algorithm (simplified to degree-halving; see the header note below):
+// repeat until every node is ruled —
+//   1. one round: live nodes announce their live degree; d = maximum;
+//   2. every live node samples itself with probability min(1, c·ln n / d);
+//      the expected number of edges inside the sample is O(n·ln²n / d), so
+//      the sampled subgraph ships to a leader within O(1) Lenzen batches;
+//   3. the leader computes a greedy MIS of the sample and announces it
+//      (members join the ruling set);
+//   4. every node with a sampled closed-neighbor is now within distance 2
+//      of a chosen node (its sampled neighbor is chosen or has a chosen
+//      sample-neighbor) — it leaves. W.h.p. this removes every node of
+//      live degree >= d/4, so the maximum degree at least quarters per
+//      iteration: O(log Δ) iterations of O(1) rounds each.
+//
+// [7, 18] sharpen the iteration count to O(log log n) expected with a more
+// intricate degree-collapsing scheme; we implement the simple variant and
+// measure it against the MIS(G²) reduction (bench E13 / tests). The output
+// is a genuine 2-ruling set: an independent set with every node within
+// distance 2.
+#pragma once
+
+#include <cstdint>
+
+#include "clique/network.h"
+#include "graph/graph.h"
+#include "mis/common.h"
+#include "rng/random_source.h"
+
+namespace dmis {
+
+struct CliqueRulingOptions {
+  RandomSource randomness{0};
+  RouteMode route_mode = RouteMode::kAccountedLenzen;
+  /// Sampling aggressiveness: p = min(1, constant * ln(n) / d).
+  double sampling_constant = 4.0;
+  std::uint64_t max_iterations = 256;
+};
+
+struct CliqueRulingStats {
+  std::uint64_t iterations = 0;
+  std::uint64_t max_sample_size = 0;
+  std::uint64_t max_sample_edges = 0;
+};
+
+struct CliqueRulingResult {
+  std::vector<char> in_set;
+  CostAccounting costs;  ///< congested-clique rounds/messages/bits
+  CliqueRulingStats stats;
+};
+
+CliqueRulingResult clique_two_ruling_set(const Graph& g,
+                                         const CliqueRulingOptions& options);
+
+}  // namespace dmis

@@ -1,0 +1,234 @@
+#include "mis/sparsified.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rng/pow2_prob.h"
+#include "util/check.h"
+
+namespace dmis {
+
+SparsifiedParams SparsifiedParams::from_n(NodeId n, double delta) {
+  DMIS_CHECK(delta > 0.0, "delta must be positive");
+  const double logn = std::log2(static_cast<double>(std::max<NodeId>(n, 2)));
+  const int r = std::max(1, static_cast<int>(std::sqrt(delta * logn) / 2.0));
+  SparsifiedParams p;
+  p.phase_length = std::min(r, 63);  // beep vectors live in one 64-bit word
+  p.superheavy_log2_threshold = 2 * p.phase_length;
+  p.sample_boost = p.phase_length;
+  return p;
+}
+
+MisRun sparsified_mis(const Graph& g, const SparsifiedOptions& options) {
+  const NodeId n = g.node_count();
+  const SparsifiedParams& prm = options.params;
+  DMIS_CHECK(prm.phase_length >= 1 && prm.phase_length <= 63,
+             "phase_length out of [1,63]: " << prm.phase_length);
+  DMIS_CHECK(prm.sample_boost >= 0, "negative sample_boost");
+  const int R = prm.phase_length;
+  const double superheavy_threshold =
+      std::ldexp(1.0, prm.superheavy_log2_threshold);
+
+  MisRun run;
+  run.in_mis.assign(n, 0);
+  run.decided_round.assign(n, kNeverDecided);
+
+  std::vector<char> alive(n, 1);
+  std::vector<int> p_exp(n, 1);  // p = 2^-p_exp, initially 1/2
+  std::uint64_t live = n;
+
+  // Phase-scoped scratch.
+  std::vector<char> superheavy(n, 0);
+  std::vector<char> sampled(n, 0);
+  std::vector<char> removed_mid(n, 0);   // removed within the current phase
+  std::vector<char> beeps(n, 0);
+  std::vector<char> heard(n, 0);
+  std::vector<char> joined_now(n, 0);
+  std::vector<std::uint64_t> seeds(n, 0);
+  std::vector<std::uint32_t> deferred_iter(n, kNeverDecided);
+
+  for (std::uint64_t phase = 0; phase < options.max_phases && live > 0;
+       ++phase) {
+    const std::uint64_t t0 = phase * static_cast<std::uint64_t>(R);
+
+    SparsifiedPhaseRecord record;
+    const bool tracing = static_cast<bool>(options.trace);
+    if (tracing) {
+      record.phase = phase;
+      record.live_at_start = live;
+      record.alive_start.assign(alive.begin(), alive.end());
+      record.p_exp_start.assign(p_exp.begin(), p_exp.end());
+      record.realized_beeps.assign(n, 0);
+      record.join_iter.assign(n, kNeverDecided);
+      record.removed_iter.assign(n, kNeverDecided);
+    }
+
+    // --- Phase-opening CONGEST round: exchange p_{t0}(v). ---
+    std::uint64_t directed_live_pairs = 0;
+    for (NodeId v = 0; v < n; ++v) {
+      if (alive[v] == 0) continue;
+      for (const NodeId u : g.neighbors(v)) {
+        if (alive[u] != 0) ++directed_live_pairs;
+      }
+    }
+    run.costs.rounds += 1;
+    run.costs.messages += directed_live_pairs;
+    run.costs.bits += directed_live_pairs * 8;  // the 7-bit exponent, padded
+
+    for (NodeId v = 0; v < n; ++v) {
+      superheavy[v] = 0;
+      sampled[v] = 0;
+      removed_mid[v] = 0;
+      deferred_iter[v] = kNeverDecided;
+      if (alive[v] == 0) continue;
+      double d0 = 0.0;
+      for (const NodeId u : g.neighbors(v)) {
+        if (alive[u] != 0) d0 += Pow2Prob(p_exp[u]).value();
+      }
+      superheavy[v] = (d0 >= superheavy_threshold) ? 1 : 0;
+      seeds[v] = sparsified_phase_seed(options.randomness, v, phase);
+      if (superheavy[v] == 0) {
+        const Pow2Prob p0(p_exp[v]);
+        for (int i = 0; i < R; ++i) {
+          if (p0.sample_boosted(sparsified_beep_word(seeds[v], i),
+                                prm.sample_boost)) {
+            sampled[v] = 1;
+            break;
+          }
+        }
+      }
+    }
+
+    if (tracing) {
+      record.superheavy.assign(superheavy.begin(), superheavy.end());
+      record.sampled.assign(sampled.begin(), sampled.end());
+      for (NodeId v = 0; v < n; ++v) {
+        if (sampled[v] == 0) continue;
+        std::uint64_t deg_s = 0;
+        for (const NodeId u : g.neighbors(v)) {
+          if (sampled[u] != 0) ++deg_s;
+        }
+        record.max_sampled_degree = std::max(record.max_sampled_degree, deg_s);
+      }
+    }
+
+    // --- R iterations of the beeping dynamic. ---
+    for (int i = 0; i < R; ++i) {
+      if (options.auditor != nullptr) {
+        // Liveness for analysis: alive and not yet removed mid-phase.
+        std::vector<char> alive_now(n, 0);
+        for (NodeId v = 0; v < n; ++v) {
+          alive_now[v] = (alive[v] != 0 && removed_mid[v] == 0) ? 1 : 0;
+        }
+        options.auditor->begin_iteration(alive_now, p_exp, superheavy);
+      }
+
+      // R1 beeps. Super-heavy nodes beep their committed trajectory through
+      // the phase end (phase-commit semantics) unless the ablation removes
+      // them eagerly.
+      for (NodeId v = 0; v < n; ++v) {
+        beeps[v] = 0;
+        // Note: a deferred-removed super-heavy node (commit semantics) has
+        // removed_mid == 0 and keeps beeping through the phase end.
+        if (alive[v] == 0 || removed_mid[v] != 0) continue;
+        const bool b =
+            Pow2Prob(p_exp[v]).sample(sparsified_beep_word(seeds[v], i));
+        beeps[v] = b ? 1 : 0;
+        if (b) {
+          ++run.costs.beeps;
+          DMIS_ASSERT(superheavy[v] != 0 || sampled[v] != 0,
+                      "beeping node " << v << " missing from sampled set S");
+          if (tracing) record.realized_beeps[v] |= (1ULL << i);
+        }
+      }
+      for (NodeId v = 0; v < n; ++v) {
+        heard[v] = 0;
+        if (alive[v] == 0 || removed_mid[v] != 0) continue;
+        for (const NodeId u : g.neighbors(v)) {
+          if (beeps[u] != 0) {
+            heard[v] = 1;
+            break;
+          }
+        }
+      }
+      // Joins: not super-heavy, beeped, all neighbors silent.
+      for (NodeId v = 0; v < n; ++v) {
+        joined_now[v] = 0;
+        if (alive[v] == 0 || removed_mid[v] != 0 || superheavy[v] != 0) {
+          continue;
+        }
+        if (beeps[v] != 0 && heard[v] == 0) {
+          joined_now[v] = 1;
+          run.in_mis[v] = 1;
+          run.decided_round[v] = static_cast<std::uint32_t>(t0 + i);
+          if (tracing) record.join_iter[v] = static_cast<std::uint32_t>(i);
+        }
+      }
+      // R2 removals: joiners and their neighbors. Super-heavy neighbors are
+      // deferred to the phase boundary under commit semantics.
+      for (NodeId v = 0; v < n; ++v) {
+        if (joined_now[v] == 0) continue;
+        removed_mid[v] = 1;
+        if (tracing) record.removed_iter[v] = static_cast<std::uint32_t>(i);
+        for (const NodeId u : g.neighbors(v)) {
+          if (alive[u] == 0 || removed_mid[u] != 0) continue;
+          if (superheavy[u] != 0 && !prm.immediate_superheavy_removal) {
+            if (deferred_iter[u] == kNeverDecided) {
+              deferred_iter[u] = static_cast<std::uint32_t>(t0 + i);
+              if (tracing) {
+                record.removed_iter[u] = static_cast<std::uint32_t>(i);
+              }
+            }
+          } else {
+            removed_mid[u] = 1;
+            run.decided_round[u] = static_cast<std::uint32_t>(t0 + i);
+            if (tracing) {
+              record.removed_iter[u] = static_cast<std::uint32_t>(i);
+            }
+          }
+        }
+      }
+      // Probability updates for nodes still in the game.
+      for (NodeId v = 0; v < n; ++v) {
+        if (alive[v] == 0 || removed_mid[v] != 0) continue;
+        const Pow2Prob p(p_exp[v]);
+        const bool halve = (superheavy[v] != 0) || (heard[v] != 0);
+        p_exp[v] = (halve ? p.halved() : p.doubled_capped()).neg_exp();
+      }
+      run.costs.rounds += 2;
+
+      if (options.auditor != nullptr) {
+        std::vector<char> alive_now(n, 0);
+        for (NodeId v = 0; v < n; ++v) {
+          alive_now[v] = (alive[v] != 0 && removed_mid[v] == 0 &&
+                          deferred_iter[v] == kNeverDecided)
+                             ? 1
+                             : 0;
+        }
+        options.auditor->end_iteration(alive_now);
+      }
+    }
+
+    // --- Phase boundary: apply removals. ---
+    for (NodeId v = 0; v < n; ++v) {
+      if (alive[v] == 0) continue;
+      if (removed_mid[v] != 0) {
+        alive[v] = 0;
+        --live;
+      } else if (deferred_iter[v] != kNeverDecided) {
+        alive[v] = 0;
+        run.decided_round[v] = deferred_iter[v];
+        --live;
+      }
+    }
+    if (tracing) {
+      record.p_exp_end.assign(p_exp.begin(), p_exp.end());
+      options.trace(record);
+    }
+  }
+
+  run.rounds = run.costs.rounds;
+  return run;
+}
+
+}  // namespace dmis

@@ -1,0 +1,102 @@
+// The Sparsified (Beeping) MIS Algorithm — paper §2.3.
+//
+// Phases of R iterations. A phase opens with one CONGEST round in which
+// every live node sends p_t(v) to its neighbors; v computes
+// d_{t0}(v) = Σ_{u∈N(v)} p_{t0}(u) and declares itself *super-heavy* for the
+// phase when d_{t0}(v) >= 2^{superheavy_log2_threshold} (paper: 2^{2R}).
+// Iterations then run the beeping dynamic, except:
+//   * a super-heavy node cannot join the MIS and halves p every iteration
+//     regardless of what it hears (its beeps are therefore predictable — the
+//     "beep vector" the clique simulation pre-commits);
+//   * everything else behaves exactly as in §2.2.
+//
+// Per-phase randomness: node v draws one private 64-bit phase seed; its beep
+// word for iteration i is mix64(seed, i). The seed is what the clique
+// simulation ships inside decorations (an O(log n)-bit compression of the
+// paper's per-round r_t(v) list — see DESIGN.md §3).
+//
+// The *sampled set* S of paper §2.4 is also computed here per phase (a live,
+// non-super-heavy v is in S iff some iteration i has
+// r_i(v) <= 2^{sample_boost} · p_{t0}(v)), because Lemma 2.12's degree bound
+// on G[S] (experiment E6) is a property of this algorithm, and because the
+// congested-clique simulation must match this run bit-for-bit.
+//
+// Super-heavy removal semantics ("phase-commit", DESIGN.md §3): a super-heavy
+// node whose neighbor joins the MIS keeps beeping its committed vector until
+// the phase ends and is removed at the phase boundary. The
+// `immediate_superheavy_removal` flag switches to eager removal for the E9
+// ablation (not simulable by the clique algorithm, direct runs only).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "graph/graph.h"
+#include "mis/common.h"
+#include "mis/instrumentation.h"
+#include "rng/mix.h"
+#include "rng/random_source.h"
+
+namespace dmis {
+
+struct SparsifiedParams {
+  /// R: iterations per phase (paper: sqrt(δ log n)/10).
+  int phase_length = 2;
+  /// Super-heavy iff d_{t0}(v) >= 2^this (paper: 2R, i.e. L = 2^{sqrt(δ log n)/5}).
+  int superheavy_log2_threshold = 4;
+  /// S-membership boost: r <= 2^this · p_{t0} (paper: R).
+  int sample_boost = 2;
+  /// E9 ablation; false = phase-commit semantics (the simulable default).
+  bool immediate_superheavy_removal = false;
+
+  /// The paper's parameterization: R = max(1, floor(sqrt(δ log2 n) / 2)),
+  /// threshold exponent 2R, boost R. (The paper's literal /10 constant makes
+  /// R = 0 for any feasible n; /2 preserves the Θ(sqrt(log n)) scaling while
+  /// giving non-degenerate phases at laptop scale — see DESIGN.md.)
+  static SparsifiedParams from_n(NodeId n, double delta = 1.0);
+};
+
+/// Per-phase execution record (equivalence tests, E5/E6 experiments).
+struct SparsifiedPhaseRecord {
+  std::uint64_t phase = 0;
+  std::uint64_t live_at_start = 0;
+  std::vector<char> alive_start;
+  std::vector<char> superheavy;
+  std::vector<char> sampled;  ///< the set S
+  std::vector<int> p_exp_start;
+  std::vector<int> p_exp_end;
+  std::vector<std::uint64_t> realized_beeps;  ///< bit i = beeped in iter i (R1)
+  std::vector<std::uint32_t> join_iter;       ///< in-phase iter or kNeverDecided
+  std::vector<std::uint32_t> removed_iter;    ///< in-phase iter or kNeverDecided
+  /// max |N(v) ∩ S| over v in S (Lemma 2.12 / E6).
+  std::uint64_t max_sampled_degree = 0;
+};
+
+using SparsifiedTraceSink = std::function<void(const SparsifiedPhaseRecord&)>;
+
+struct SparsifiedOptions {
+  SparsifiedParams params;
+  RandomSource randomness{0};
+  /// Cap on phases; the run stops early once all nodes decide.
+  std::uint64_t max_phases = 8192;
+  GoldenRoundAuditor* auditor = nullptr;
+  SparsifiedTraceSink trace;  ///< invoked after every phase if set
+};
+
+/// Private phase seed of node v (shipped in clique decorations).
+inline std::uint64_t sparsified_phase_seed(const RandomSource& rs, NodeId v,
+                                           std::uint64_t phase) {
+  return rs.word(RngStream::kBeep, v, phase);
+}
+
+/// Beep word of iteration i within a phase.
+inline std::uint64_t sparsified_beep_word(std::uint64_t phase_seed, int iter) {
+  return mix64(phase_seed, static_cast<std::uint64_t>(iter));
+}
+
+/// Direct (global lock-step) execution. Costs are accounted in CONGEST
+/// terms: 1 round per phase start + 2 rounds per iteration.
+MisRun sparsified_mis(const Graph& g, const SparsifiedOptions& options);
+
+}  // namespace dmis

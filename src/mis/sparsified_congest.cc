@@ -1,0 +1,160 @@
+#include "mis/sparsified_congest.h"
+
+#include <cmath>
+#include <memory>
+
+#include "rng/pow2_prob.h"
+#include "runtime/congest.h"
+#include "util/check.h"
+
+namespace dmis {
+namespace {
+
+class SparsifiedProgram final : public CongestProgram {
+ public:
+  SparsifiedProgram(NodeId self, const SparsifiedParams& params,
+                    const RandomSource& rs)
+      : self_(self),
+        params_(params),
+        rs_(rs),
+        phase_rounds_(1 + 2 * params.phase_length),
+        superheavy_threshold_(
+            std::ldexp(1.0, params.superheavy_log2_threshold)) {}
+
+  void send(std::uint64_t round, std::vector<Outgoing>& out) override {
+    const std::uint64_t phase = round / phase_rounds_;
+    const std::uint64_t pos = round % phase_rounds_;
+    if (pos == 0) {
+      // Phase opener: publish p_{t0}. Also (re)derive the private seed.
+      seed_ = sparsified_phase_seed(rs_, self_, phase);
+      out.push_back({kAllNeighbors,
+                     static_cast<std::uint64_t>(p_.neg_exp()), 8});
+      return;
+    }
+    const int iter = static_cast<int>((pos - 1) / 2);
+    if (pos % 2 == 1) {
+      // R1: beep with probability p (unless removed mid-phase).
+      beeped_ = !removed_mid_ &&
+                p_.sample(sparsified_beep_word(seed_, iter));
+      if (beeped_) out.push_back({kAllNeighbors, 1, 1});
+    } else if (joined_ && !announced_) {
+      // R2: announce the join.
+      announced_ = true;
+      out.push_back({kAllNeighbors, 1, 1});
+    }
+  }
+
+  void receive(std::uint64_t round,
+               std::span<const CongestMessage> inbox) override {
+    const std::uint64_t pos = round % phase_rounds_;
+    if (pos == 0) {
+      double d0 = 0.0;
+      for (const CongestMessage& m : inbox) {
+        d0 += Pow2Prob(static_cast<int>(m.payload)).value();
+      }
+      superheavy_ = d0 >= superheavy_threshold_;
+      removed_mid_ = false;
+      deferred_ = false;
+      return;
+    }
+    const int iter = static_cast<int>((pos - 1) / 2);
+    const std::uint64_t phase = round / phase_rounds_;
+    const std::uint32_t global_iter = static_cast<std::uint32_t>(
+        phase * static_cast<std::uint64_t>(params_.phase_length) +
+        static_cast<std::uint64_t>(iter));
+    if (pos % 2 == 1) {
+      // R1 feedback: any beeping neighbor? Own join is decidable here; the
+      // p update waits for R2 (the global runner skips the update in the
+      // iteration a node is removed, and neighbor joins only become known
+      // at the announce round).
+      heard_ = !inbox.empty();
+      if (!removed_mid_ && !superheavy_ && beeped_ && !heard_) {
+        joined_ = true;
+        removed_mid_ = true;
+        decided_round_ = global_iter;
+      }
+      return;
+    }
+    // R2 feedback: removals from neighbor joins, then the deferred p update.
+    if (!inbox.empty() && !removed_mid_) {
+      if (superheavy_ && !params_.immediate_superheavy_removal) {
+        if (!deferred_) {
+          deferred_ = true;
+          decided_round_ = global_iter;
+        }
+      } else {
+        removed_mid_ = true;
+        decided_round_ = global_iter;
+      }
+    }
+    if (!removed_mid_) {
+      p_ = (superheavy_ || heard_) ? p_.halved() : p_.doubled_capped();
+    }
+    // Halting at the right moment: joiners and eagerly-removed nodes leave
+    // after this R2; committed super-heavy nodes leave at the phase end.
+    const bool phase_over = pos == phase_rounds_ - 1;
+    if (joined_ && announced_) halted_ = true;
+    if (removed_mid_ && !joined_) halted_ = true;
+    if (deferred_ && phase_over) halted_ = true;
+  }
+
+  bool halted() const override { return halted_; }
+  bool joined() const { return joined_; }
+  std::uint32_t decided_round() const { return decided_round_; }
+
+ private:
+  NodeId self_;
+  SparsifiedParams params_;
+  RandomSource rs_;
+  std::uint64_t phase_rounds_;
+  double superheavy_threshold_;
+  std::uint64_t seed_ = 0;
+  Pow2Prob p_ = Pow2Prob::half();
+  bool superheavy_ = false;
+  bool beeped_ = false;
+  bool heard_ = false;
+  bool joined_ = false;
+  bool announced_ = false;
+  bool removed_mid_ = false;
+  bool deferred_ = false;
+  bool halted_ = false;
+  std::uint32_t decided_round_ = kNeverDecided;
+};
+
+}  // namespace
+
+MisRun sparsified_congest_mis(const Graph& g,
+                              const SparsifiedOptions& options) {
+  DMIS_CHECK(options.auditor == nullptr && !options.trace,
+             "auditor/trace are omniscient-observer features of "
+             "sparsified_mis, not of the node-program translation");
+  const NodeId n = g.node_count();
+  const SparsifiedParams& prm = options.params;
+  DMIS_CHECK(prm.phase_length >= 1 && prm.phase_length <= 63,
+             "phase_length out of [1,63]: " << prm.phase_length);
+  std::vector<std::unique_ptr<CongestProgram>> programs;
+  programs.reserve(n);
+  std::vector<const SparsifiedProgram*> views;
+  views.reserve(n);
+  for (NodeId v = 0; v < n; ++v) {
+    auto p =
+        std::make_unique<SparsifiedProgram>(v, prm, options.randomness);
+    views.push_back(p.get());
+    programs.push_back(std::move(p));
+  }
+  CongestEngine engine(g, std::move(programs), congest_bandwidth_bits(n));
+  const std::uint64_t phase_rounds = 1 + 2 * prm.phase_length;
+  engine.run(options.max_phases * phase_rounds);
+  MisRun run;
+  run.in_mis.resize(n, 0);
+  run.decided_round.resize(n, kNeverDecided);
+  for (NodeId v = 0; v < n; ++v) {
+    run.in_mis[v] = views[v]->joined() ? 1 : 0;
+    run.decided_round[v] = views[v]->decided_round();
+  }
+  run.costs = engine.costs();
+  run.rounds = run.costs.rounds;
+  return run;
+}
+
+}  // namespace dmis

@@ -1,0 +1,30 @@
+// The sparsified MIS algorithm (§2.3) as *real node programs* on the
+// enforcing CONGEST engine — each node sees only its own state and its
+// inbox, and every message is checked against the B-bit budget.
+//
+// sparsified_mis (sparsified.h) executes the same algorithm as a global
+// lock-step loop, which the equivalence tests and the congested-clique
+// simulation build on; this translation exists to *prove* the algorithm is
+// a genuine CONGEST algorithm: same seed ⇒ identical MIS and identical
+// per-node decision rounds (tests/test_sparsified_congest.cc).
+//
+// Wire format per phase of R iterations (1 + 2R CONGEST rounds):
+//   round 0:        broadcast own p exponent (8 bits); receivers compute
+//                   d_{t0} and their super-heavy status;
+//   rounds 1,3,...: R1 beep rounds — broadcast 1 bit when beeping;
+//   rounds 2,4,...: R2 announce rounds — joiners broadcast 1 bit.
+#pragma once
+
+#include "graph/graph.h"
+#include "mis/common.h"
+#include "mis/sparsified.h"
+
+namespace dmis {
+
+/// Runs the node-program translation. options.auditor/trace are not
+/// supported here (they are omniscient-observer features of the global
+/// runner); both removal semantics are.
+MisRun sparsified_congest_mis(const Graph& g,
+                              const SparsifiedOptions& options);
+
+}  // namespace dmis

@@ -1,0 +1,17 @@
+#include "rng/mix.h"
+
+#include "util/check.h"
+
+namespace dmis {
+
+std::uint64_t SplitMix64::next_below(std::uint64_t bound) {
+  DMIS_CHECK(bound > 0, "next_below(0)");
+  // Lemire-style rejection: accept unless we land in the biased tail.
+  const std::uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    const std::uint64_t r = next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+}  // namespace dmis

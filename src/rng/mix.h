@@ -1,0 +1,68 @@
+// Stateless 64-bit mixing primitives.
+//
+// All randomness in the simulator is *counter-based*: a random word is a pure
+// function of (seed, coordinates). This gives three properties the
+// reproduction depends on:
+//   1. determinism — same seed, same run, regardless of iteration order;
+//   2. random access — the congested-clique simulation (paper §2.4) requires
+//      each node to pre-draw r_t(v) for all rounds of a phase, and other
+//      nodes to re-derive those exact draws during local replay;
+//   3. independence across nodes/rounds — coordinates are mixed through a
+//      strong finalizer, so distinct coordinates give independent-looking
+//      words.
+#pragma once
+
+#include <cstdint>
+
+namespace dmis {
+
+/// Fast strong 64-bit finalizer (splitmix64 / Stafford mix13).
+constexpr std::uint64_t mix64(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Hash of a coordinate tuple into one 64-bit word.
+constexpr std::uint64_t mix64(std::uint64_t a, std::uint64_t b) {
+  return mix64(mix64(a) ^ (b + 0x9e3779b97f4a7c15ULL));
+}
+
+constexpr std::uint64_t mix64(std::uint64_t a, std::uint64_t b,
+                              std::uint64_t c) {
+  return mix64(mix64(a, b) ^ (c + 0xd1b54a32d192ed03ULL));
+}
+
+constexpr std::uint64_t mix64(std::uint64_t a, std::uint64_t b,
+                              std::uint64_t c, std::uint64_t d) {
+  return mix64(mix64(a, b, c) ^ (d + 0x8cb92ba72f3d8dd7ULL));
+}
+
+/// Classic sequential splitmix64 — used where a cheap stream is fine
+/// (e.g. shuffles inside graph generators).
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    state_ += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound) by rejection (unbiased). bound > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace dmis

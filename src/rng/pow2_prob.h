@@ -1,0 +1,93 @@
+// Exact power-of-two probabilities.
+//
+// Every marking/beeping probability in the paper starts at 1/2 and is only
+// ever halved or doubled-with-cap-1/2 (algorithms of §2.1, §2.2, §2.3). It is
+// therefore *exactly* 2^-k for an integer k >= 1. Representing the exponent —
+// not a float — gives:
+//   * zero drift: the congested-clique local replay reproduces the direct
+//     run bit-for-bit;
+//   * O(log Δ)-bit wire format: the exponent fits in 7 bits, so exchanging
+//     p_t(v) at a phase start (paper §2.3) is trivially within CONGEST's B;
+//   * exact beep sampling against a 64-bit uniform word.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+#include "util/check.h"
+
+namespace dmis {
+
+class Pow2Prob {
+ public:
+  /// Exponents saturate here; 2^-120 is far below any beepable probability
+  /// (a 64-bit uniform word cannot land below 2^-64 anyway).
+  static constexpr int kMaxNegExp = 120;
+
+  /// The paper's initial probability p_1(v) = 1/2 (also the cap).
+  static constexpr Pow2Prob half() { return Pow2Prob(1); }
+
+  /// p = 2^-neg_exp, neg_exp in [1, kMaxNegExp].
+  constexpr explicit Pow2Prob(int neg_exp) : neg_exp_(neg_exp) {
+    DMIS_CHECK_CX(neg_exp >= 1 && neg_exp <= kMaxNegExp,
+                  "probability exponent out of range");
+  }
+
+  constexpr int neg_exp() const { return neg_exp_; }
+
+  /// p/2, saturating at 2^-kMaxNegExp.
+  constexpr Pow2Prob halved() const {
+    return Pow2Prob(neg_exp_ >= kMaxNegExp ? kMaxNegExp : neg_exp_ + 1);
+  }
+
+  /// min{2p, 1/2} — the paper's raise rule.
+  constexpr Pow2Prob doubled_capped() const {
+    return Pow2Prob(neg_exp_ <= 1 ? 1 : neg_exp_ - 1);
+  }
+
+  /// Exact double value (0.0 only on underflow past double's range, which
+  /// cannot happen with kMaxNegExp = 120).
+  constexpr double value() const {
+    double v = 1.0;
+    for (int i = 0; i < neg_exp_; ++i) v *= 0.5;
+    return v;
+  }
+
+  /// Bernoulli(p) decision from a uniform 64-bit word: true iff r < 2^(64-k).
+  /// For k > 64 the event has probability < 2^-64 and is treated as never.
+  constexpr bool sample(std::uint64_t r) const {
+    if (neg_exp_ > 64) return false;
+    if (neg_exp_ == 64) return r == 0;
+    return (r >> (64 - neg_exp_)) == 0;
+  }
+
+  /// Bernoulli(min{1, p * 2^boost}) — the sampled-set rule of §2.4:
+  /// include v in S iff r_t(v) <= 2^R * p_{t0}(v). boost >= 0.
+  constexpr bool sample_boosted(std::uint64_t r, int boost) const {
+    DMIS_CHECK_CX(boost >= 0, "negative boost");
+    const int k = neg_exp_ - boost;
+    if (k <= 0) return true;  // boosted probability >= 1
+    if (k > 64) return false;
+    if (k == 64) return r == 0;
+    return (r >> (64 - k)) == 0;
+  }
+
+  friend constexpr bool operator==(Pow2Prob a, Pow2Prob b) {
+    return a.neg_exp_ == b.neg_exp_;
+  }
+  /// Orders by probability value (larger p compares greater).
+  friend constexpr std::strong_ordering operator<=>(Pow2Prob a, Pow2Prob b) {
+    return b.neg_exp_ <=> a.neg_exp_;
+  }
+
+ private:
+  int neg_exp_;
+};
+
+static_assert(Pow2Prob::half().value() == 0.5);
+static_assert(Pow2Prob::half().halved().value() == 0.25);
+static_assert(Pow2Prob::half().doubled_capped() == Pow2Prob::half());
+static_assert(Pow2Prob(3).doubled_capped() == Pow2Prob(2));
+static_assert(Pow2Prob(2) < Pow2Prob::half());
+
+}  // namespace dmis

@@ -1,0 +1,61 @@
+// Per-(node, round, stream) random words for the distributed algorithms.
+//
+// The paper (§2.4, "we disentangle the randomness from the simulation")
+// models each node v as holding a uniform value r_t(v) per round t, with
+// Θ(log Δ) bits of precision, drawn independently of the execution. We use
+// 64-bit words addressed by (node, round, stream): any participant that knows
+// the public seed and the coordinates can re-derive a draw, which is exactly
+// what local replay in the congested-clique simulation needs.
+#pragma once
+
+#include <cstdint>
+
+#include "rng/mix.h"
+
+namespace dmis {
+
+/// Logical randomness streams. Keeping streams disjoint guarantees that e.g.
+/// Luby's per-round priorities never alias the beeping algorithms' r_t(v).
+enum class RngStream : std::uint64_t {
+  kBeep = 1,          // r_t(v) beep decisions (beeping / sparsified / clique)
+  kLubyPriority = 2,  // Luby's random priorities
+  kGhaffariMark = 3,  // SODA'16 dynamic marking
+  kGenerator = 4,     // graph generators
+  kRouting = 5,       // Valiant intermediate choices
+  kAux = 6,           // miscellaneous (tests, examples)
+};
+
+class RandomSource {
+ public:
+  explicit constexpr RandomSource(std::uint64_t seed) : seed_(mix64(seed)) {}
+
+  constexpr std::uint64_t seed() const { return seed_; }
+
+  /// The canonical draw: uniform 64-bit word for (node, round) in a stream.
+  constexpr std::uint64_t word(RngStream stream, std::uint64_t node,
+                               std::uint64_t round) const {
+    return mix64(seed_, static_cast<std::uint64_t>(stream), node, round);
+  }
+
+  /// Uniform double in [0,1) from a (node, round) coordinate.
+  constexpr double uniform(RngStream stream, std::uint64_t node,
+                           std::uint64_t round) const {
+    return static_cast<double>(word(stream, node, round) >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli(p) from a (node, round) coordinate.
+  constexpr bool bernoulli(RngStream stream, std::uint64_t node,
+                           std::uint64_t round, double p) const {
+    return uniform(stream, node, round) < p;
+  }
+
+  /// A derived source, for nesting independent sub-experiments.
+  constexpr RandomSource fork(std::uint64_t salt) const {
+    return RandomSource(mix64(seed_, salt));
+  }
+
+ private:
+  std::uint64_t seed_;
+};
+
+}  // namespace dmis

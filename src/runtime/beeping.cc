@@ -1,0 +1,73 @@
+#include "runtime/beeping.h"
+
+#include "util/check.h"
+
+namespace dmis {
+
+BeepEngine::BeepEngine(const Graph& graph,
+                       std::vector<std::unique_ptr<BeepProgram>> programs,
+                       DuplexMode mode)
+    : graph_(graph),
+      programs_(std::move(programs)),
+      mode_(mode),
+      beeped_(graph.node_count(), 0) {
+  DMIS_CHECK(programs_.size() == graph_.node_count(),
+             "program count " << programs_.size() << " != node count "
+                              << graph_.node_count());
+  for (const auto& p : programs_) {
+    DMIS_CHECK(p != nullptr, "null program");
+  }
+}
+
+bool BeepEngine::step() {
+  if (all_halted()) return false;
+  for (NodeId v = 0; v < graph_.node_count(); ++v) {
+    BeepProgram& prog = *programs_[v];
+    if (prog.halted()) {
+      beeped_[v] = 0;
+      continue;
+    }
+    const BeepAction a = prog.act(round_);
+    beeped_[v] = (a == BeepAction::kBeep) ? 1 : 0;
+    if (beeped_[v] != 0) ++costs_.beeps;
+  }
+  for (NodeId v = 0; v < graph_.node_count(); ++v) {
+    BeepProgram& prog = *programs_[v];
+    if (prog.halted()) continue;
+    bool heard = false;
+    // Half duplex: a beeping node cannot carrier-sense its neighbors.
+    if (mode_ == DuplexMode::kFullDuplex || beeped_[v] == 0) {
+      for (const NodeId u : graph_.neighbors(v)) {
+        if (beeped_[u] != 0) {
+          heard = true;
+          break;
+        }
+      }
+    }
+    prog.feedback(round_, heard);
+  }
+  ++round_;
+  ++costs_.rounds;
+  return !all_halted();
+}
+
+std::uint64_t BeepEngine::run(std::uint64_t max_rounds) {
+  std::uint64_t executed = 0;
+  while (executed < max_rounds && !all_halted()) {
+    step();
+    ++executed;
+  }
+  return executed;
+}
+
+bool BeepEngine::all_halted() const { return live_count() == 0; }
+
+std::uint64_t BeepEngine::live_count() const {
+  std::uint64_t live = 0;
+  for (const auto& p : programs_) {
+    if (!p->halted()) ++live;
+  }
+  return live;
+}
+
+}  // namespace dmis

@@ -1,0 +1,65 @@
+// Synchronous full-duplex beeping engine (paper §2.2).
+//
+// Per round each node either beeps or listens; each node then learns one bit:
+// whether at least one *neighbor* beeped (full duplex — a beeping node also
+// detects beeping neighbors). Nothing else crosses the network, which is the
+// point: the Beeping MIS algorithm needs only this 1-bit feedback.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "graph/graph.h"
+#include "runtime/cost.h"
+
+namespace dmis {
+
+enum class BeepAction : std::uint8_t { kListen = 0, kBeep = 1 };
+
+/// Full duplex: a beeping node still detects beeping neighbors (the model
+/// of paper §2.2). Half duplex: only listeners detect beeps (the model of
+/// Holzer–Lynch [20, 21], discussed in the paper's footnote 2) — a beeping
+/// node's feedback is always "heard nothing".
+enum class DuplexMode : std::uint8_t { kFullDuplex, kHalfDuplex };
+
+class BeepProgram {
+ public:
+  virtual ~BeepProgram() = default;
+
+  /// Decide this round's action.
+  virtual BeepAction act(std::uint64_t round) = 0;
+
+  /// Receive the round's feedback: did any live neighbor beep?
+  virtual void feedback(std::uint64_t round, bool heard_beep) = 0;
+
+  /// Halted nodes neither beep nor hear (they left the problem).
+  virtual bool halted() const = 0;
+};
+
+class BeepEngine {
+ public:
+  BeepEngine(const Graph& graph,
+             std::vector<std::unique_ptr<BeepProgram>> programs,
+             DuplexMode mode = DuplexMode::kFullDuplex);
+
+  /// Executes one round; returns false if all programs have halted.
+  bool step();
+  /// Runs until all halt or max_rounds elapse; returns rounds executed.
+  std::uint64_t run(std::uint64_t max_rounds);
+
+  bool all_halted() const;
+  std::uint64_t live_count() const;
+  const CostAccounting& costs() const { return costs_; }
+  const BeepProgram& program(NodeId v) const { return *programs_[v]; }
+
+ private:
+  const Graph& graph_;
+  std::vector<std::unique_ptr<BeepProgram>> programs_;
+  DuplexMode mode_;
+  CostAccounting costs_;
+  std::uint64_t round_ = 0;
+  std::vector<char> beeped_;  // scratch
+};
+
+}  // namespace dmis

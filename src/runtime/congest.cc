@@ -1,0 +1,87 @@
+#include "runtime/congest.h"
+
+#include "util/check.h"
+
+namespace dmis {
+
+CongestEngine::CongestEngine(
+    const Graph& graph, std::vector<std::unique_ptr<CongestProgram>> programs,
+    int bandwidth_bits)
+    : graph_(graph),
+      programs_(std::move(programs)),
+      bandwidth_bits_(bandwidth_bits),
+      inboxes_(graph.node_count()) {
+  DMIS_CHECK(programs_.size() == graph_.node_count(),
+             "program count " << programs_.size() << " != node count "
+                              << graph_.node_count());
+  DMIS_CHECK(bandwidth_bits_ >= 1, "bandwidth must be positive");
+  for (const auto& p : programs_) {
+    DMIS_CHECK(p != nullptr, "null program");
+  }
+}
+
+bool CongestEngine::step() {
+  if (all_halted()) return false;
+  // Send phase: collect every live node's outbox, validating the model.
+  for (NodeId v = 0; v < graph_.node_count(); ++v) {
+    CongestProgram& prog = *programs_[v];
+    if (prog.halted()) continue;
+    outbox_.clear();
+    prog.send(round_, outbox_);
+    for (const auto& msg : outbox_) {
+      DMIS_CHECK(msg.bits >= 0 && msg.bits <= bandwidth_bits_,
+                 "node " << v << " message of " << msg.bits
+                         << " bits exceeds B=" << bandwidth_bits_);
+      if (msg.dst == CongestProgram::kAllNeighbors) {
+        for (const NodeId u : graph_.neighbors(v)) {
+          if (programs_[u]->halted()) continue;
+          inboxes_[u].push_back({v, msg.payload, msg.bits});
+          ++costs_.messages;
+          costs_.bits += static_cast<std::uint64_t>(msg.bits);
+        }
+      } else {
+        DMIS_CHECK(graph_.has_edge(v, msg.dst),
+                   "node " << v << " sent to non-neighbor " << msg.dst);
+        if (!programs_[msg.dst]->halted()) {
+          inboxes_[msg.dst].push_back({v, msg.payload, msg.bits});
+          ++costs_.messages;
+          costs_.bits += static_cast<std::uint64_t>(msg.bits);
+        }
+      }
+    }
+  }
+  // Receive phase.
+  for (NodeId v = 0; v < graph_.node_count(); ++v) {
+    CongestProgram& prog = *programs_[v];
+    if (prog.halted()) {
+      inboxes_[v].clear();
+      continue;
+    }
+    prog.receive(round_, inboxes_[v]);
+    inboxes_[v].clear();
+  }
+  ++round_;
+  ++costs_.rounds;
+  return !all_halted();
+}
+
+std::uint64_t CongestEngine::run(std::uint64_t max_rounds) {
+  std::uint64_t executed = 0;
+  while (executed < max_rounds && !all_halted()) {
+    step();
+    ++executed;
+  }
+  return executed;
+}
+
+bool CongestEngine::all_halted() const { return live_count() == 0; }
+
+std::uint64_t CongestEngine::live_count() const {
+  std::uint64_t live = 0;
+  for (const auto& p : programs_) {
+    if (!p->halted()) ++live;
+  }
+  return live;
+}
+
+}  // namespace dmis

@@ -1,0 +1,85 @@
+// Synchronous CONGEST-model engine (paper §1, model (1)).
+//
+// One program object per node; a program sees only:
+//   * its own id, its neighbor list (initial knowledge per the model), and
+//   * the messages delivered to it each round.
+// The engine enforces the model: a message may only target a neighbor and
+// may carry at most B bits; violations throw. Rounds, messages, and bits are
+// counted exactly.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "runtime/cost.h"
+
+namespace dmis {
+
+/// A received message: sender plus a payload of `bits` significant bits.
+struct CongestMessage {
+  NodeId src = kInvalidNode;
+  std::uint64_t payload = 0;
+  int bits = 0;
+};
+
+/// Per-node algorithm logic. Implementations keep only local state.
+class CongestProgram {
+ public:
+  /// Broadcast sentinel: deliver to every live neighbor.
+  static constexpr NodeId kAllNeighbors = kInvalidNode;
+
+  struct Outgoing {
+    NodeId dst = kAllNeighbors;
+    std::uint64_t payload = 0;
+    int bits = 0;
+  };
+
+  virtual ~CongestProgram() = default;
+
+  /// Produce this round's messages. `out` arrives empty.
+  virtual void send(std::uint64_t round, std::vector<Outgoing>& out) = 0;
+
+  /// Consume this round's inbox (messages from live neighbors only).
+  virtual void receive(std::uint64_t round,
+                       std::span<const CongestMessage> inbox) = 0;
+
+  /// A halted node no longer sends or receives (it has decided and left the
+  /// problem, e.g. joined the MIS or saw an MIS neighbor).
+  virtual bool halted() const = 0;
+};
+
+class CongestEngine {
+ public:
+  /// Programs must have exactly node_count entries; bandwidth_bits is B.
+  CongestEngine(const Graph& graph,
+                std::vector<std::unique_ptr<CongestProgram>> programs,
+                int bandwidth_bits);
+
+  /// Runs until every program halts or `max_rounds` elapse; returns the
+  /// number of rounds executed.
+  std::uint64_t run(std::uint64_t max_rounds);
+
+  /// Executes exactly one round (no-op and uncounted if all halted).
+  /// Returns false if all programs have halted.
+  bool step();
+
+  bool all_halted() const;
+  std::uint64_t live_count() const;
+  const CostAccounting& costs() const { return costs_; }
+  const CongestProgram& program(NodeId v) const { return *programs_[v]; }
+
+ private:
+  const Graph& graph_;
+  std::vector<std::unique_ptr<CongestProgram>> programs_;
+  int bandwidth_bits_;
+  CostAccounting costs_;
+  std::uint64_t round_ = 0;
+  // Scratch, reused across rounds.
+  std::vector<std::vector<CongestMessage>> inboxes_;
+  std::vector<CongestProgram::Outgoing> outbox_;
+};
+
+}  // namespace dmis

@@ -1,0 +1,39 @@
+// Cost accounting shared by all three model engines (CONGEST, beeping,
+// congested clique). The paper's claims are stated in synchronous rounds;
+// messages and bits are tracked so experiments can also compare bandwidth
+// budgets across models (experiment E10).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "util/bits.h"
+
+namespace dmis {
+
+struct CostAccounting {
+  std::uint64_t rounds = 0;
+  std::uint64_t messages = 0;  ///< point-to-point messages delivered
+  std::uint64_t bits = 0;      ///< total payload bits delivered
+  std::uint64_t beeps = 0;     ///< beeping model: number of beep events
+
+  CostAccounting& operator+=(const CostAccounting& other) {
+    rounds += other.rounds;
+    messages += other.messages;
+    bits += other.bits;
+    beeps += other.beeps;
+    return *this;
+  }
+};
+
+/// The per-message bandwidth B = c * ceil(log2 n) bits ("each node can send
+/// O(log n) bits", paper §1). The default multiplier c=4 accommodates the
+/// widest single message any algorithm here sends (a 2-word routed packet);
+/// the floor of 32 bits keeps B sane on toy graphs (O(log n) hides a
+/// constant that dominates at tiny n).
+constexpr int congest_bandwidth_bits(NodeId n, int multiplier = 4) {
+  const int b = multiplier * bits_for_range(n < 2 ? 2 : n);
+  return b < 32 ? 32 : b;
+}
+
+}  // namespace dmis

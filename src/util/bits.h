@@ -1,0 +1,35 @@
+// Small bit-math helpers shared across the simulator.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "util/check.h"
+
+namespace dmis {
+
+/// ceil(log2(x)) for x >= 1; ceil_log2(1) == 0.
+constexpr int ceil_log2(std::uint64_t x) {
+  DMIS_CHECK_CX(x >= 1, "ceil_log2 undefined for 0");
+  return (x == 1) ? 0 : std::bit_width(x - 1);
+}
+
+/// floor(log2(x)) for x >= 1.
+constexpr int floor_log2(std::uint64_t x) {
+  DMIS_CHECK_CX(x >= 1, "floor_log2 undefined for 0");
+  return std::bit_width(x) - 1;
+}
+
+/// Number of bits needed to represent values in [0, n); at least 1.
+constexpr int bits_for_range(std::uint64_t n) {
+  DMIS_CHECK_CX(n >= 1, "empty range");
+  return (n <= 2) ? 1 : ceil_log2(n);
+}
+
+/// ceil(a / b) for b > 0.
+constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
+  DMIS_CHECK_CX(b > 0, "division by zero");
+  return (a + b - 1) / b;
+}
+
+}  // namespace dmis

@@ -1,0 +1,27 @@
+#include "util/check.h"
+
+namespace dmis::detail {
+namespace {
+
+std::string format_failure(const char* kind, const char* expr,
+                           const char* file, int line, const std::string& msg) {
+  std::ostringstream oss;
+  oss << kind << " failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) oss << " — " << msg;
+  return oss.str();
+}
+
+}  // namespace
+
+void throw_precondition_failure(const char* expr, const char* file, int line,
+                                const std::string& msg) {
+  throw PreconditionError(
+      format_failure("precondition", expr, file, line, msg));
+}
+
+void throw_invariant_failure(const char* expr, const char* file, int line,
+                             const std::string& msg) {
+  throw InvariantError(format_failure("invariant", expr, file, line, msg));
+}
+
+}  // namespace dmis::detail

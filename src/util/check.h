@@ -1,0 +1,67 @@
+// Runtime precondition and invariant checking.
+//
+// The simulator is a *model checker* as much as a library: violating a model
+// constraint (e.g. a CONGEST message wider than B bits, or a routing batch
+// breaking Lenzen's precondition) must fail loudly, in every build type.
+// Checks are therefore always on; they are not NDEBUG-gated.
+//
+//   DMIS_CHECK(cond, "message " << value);   // caller error -> std::invalid_argument
+//   DMIS_ASSERT(cond, "message " << value);  // internal bug  -> std::logic_error
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dmis {
+
+/// Thrown by DMIS_CHECK when a caller violates a documented precondition.
+class PreconditionError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown by DMIS_ASSERT when an internal invariant is broken (a bug).
+class InvariantError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+
+[[noreturn]] void throw_precondition_failure(const char* expr, const char* file,
+                                             int line, const std::string& msg);
+[[noreturn]] void throw_invariant_failure(const char* expr, const char* file,
+                                          int line, const std::string& msg);
+
+}  // namespace detail
+}  // namespace dmis
+
+// Constexpr-friendly precondition check (C++20 constexpr bodies cannot hold
+// an ostringstream). The message must be a string literal.
+#define DMIS_CHECK_CX(cond, literal_msg)                      \
+  do {                                                        \
+    if (!(cond)) [[unlikely]] {                               \
+      throw ::dmis::PreconditionError(literal_msg);           \
+    }                                                         \
+  } while (false)
+
+#define DMIS_CHECK(cond, msg)                                              \
+  do {                                                                       \
+    if (!(cond)) [[unlikely]] {                                              \
+      std::ostringstream dmis_check_oss_;                                    \
+      dmis_check_oss_ << msg; /* NOLINT */                                   \
+      ::dmis::detail::throw_precondition_failure(#cond, __FILE__, __LINE__,  \
+                                                 dmis_check_oss_.str());     \
+    }                                                                        \
+  } while (false)
+
+#define DMIS_ASSERT(cond, msg)                                               \
+  do {                                                                       \
+    if (!(cond)) [[unlikely]] {                                              \
+      std::ostringstream dmis_assert_oss_;                                   \
+      dmis_assert_oss_ << msg; /* NOLINT */                                  \
+      ::dmis::detail::throw_invariant_failure(#cond, __FILE__, __LINE__,     \
+                                              dmis_assert_oss_.str());       \
+    }                                                                        \
+  } while (false)

@@ -1,0 +1,77 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+#include "util/check.h"
+
+namespace dmis {
+
+void Accumulator::add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void Accumulator::merge(const Accumulator& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ += other.count_;
+}
+
+double Accumulator::min() const {
+  DMIS_CHECK(count_ > 0, "min of empty accumulator");
+  return min_;
+}
+
+double Accumulator::max() const {
+  DMIS_CHECK(count_ > 0, "max of empty accumulator");
+  return max_;
+}
+
+double Accumulator::sum() const { return mean_ * static_cast<double>(count_); }
+
+double Accumulator::mean() const {
+  DMIS_CHECK(count_ > 0, "mean of empty accumulator");
+  return mean_;
+}
+
+double Accumulator::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+double percentile(std::vector<double> values, double q) {
+  DMIS_CHECK(!values.empty(), "percentile of empty data");
+  DMIS_CHECK(q >= 0.0 && q <= 1.0, "quantile out of [0,1]: " << q);
+  std::sort(values.begin(), values.end());
+  const auto n = values.size();
+  const auto rank = static_cast<std::size_t>(
+      std::min<double>(static_cast<double>(n) - 1.0,
+                       std::floor(q * static_cast<double>(n))));
+  return values[rank];
+}
+
+}  // namespace dmis

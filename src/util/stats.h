@@ -1,0 +1,39 @@
+// Streaming and batch statistics used by the experiment harnesses.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dmis {
+
+/// Streaming accumulator: count, min, max, mean, (sample) variance via
+/// Welford's algorithm. Numerically stable; O(1) per observation.
+class Accumulator {
+ public:
+  void add(double x);
+  /// Merges another accumulator into this one (parallel Welford merge).
+  void merge(const Accumulator& other);
+
+  std::uint64_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  double min() const;
+  double max() const;
+  double sum() const;
+  double mean() const;
+  /// Sample variance (n-1 denominator); 0 for fewer than two observations.
+  double variance() const;
+  double stddev() const;
+
+ private:
+  std::uint64_t count_ = 0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;  // sum of squared deviations from the running mean
+};
+
+/// Batch percentile helper. Quantile q in [0,1] via nearest-rank on a copy of
+/// the data (the input vector is not modified).
+double percentile(std::vector<double> values, double q);
+
+}  // namespace dmis

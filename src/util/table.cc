@@ -1,0 +1,87 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace dmis {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  DMIS_CHECK(!headers_.empty(), "table needs at least one column");
+}
+
+TextTable& TextTable::row() {
+  if (!rows_.empty()) {
+    DMIS_CHECK(rows_.back().size() == headers_.size(),
+               "previous row incomplete: " << rows_.back().size() << " of "
+                                           << headers_.size() << " cells");
+  }
+  rows_.emplace_back();
+  rows_.back().reserve(headers_.size());
+  return *this;
+}
+
+TextTable& TextTable::cell(const std::string& value) {
+  DMIS_CHECK(!rows_.empty(), "cell() before row()");
+  DMIS_CHECK(rows_.back().size() < headers_.size(), "row overflow");
+  rows_.back().push_back(value);
+  return *this;
+}
+
+TextTable& TextTable::cell(const char* value) {
+  return cell(std::string(value));
+}
+
+TextTable& TextTable::cell(std::uint64_t value) {
+  return cell(std::to_string(value));
+}
+
+TextTable& TextTable::cell(std::int64_t value) {
+  return cell(std::to_string(value));
+}
+
+TextTable& TextTable::cell(int value) { return cell(std::to_string(value)); }
+
+TextTable& TextTable::cell(double value, int precision) {
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(precision) << value;
+  return cell(oss.str());
+}
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      widths[c] = std::max(widths[c], r[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& v = (c < r.size()) ? r[c] : std::string();
+      os << (c == 0 ? "" : "  ") << std::setw(static_cast<int>(widths[c]))
+         << v;
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << (c == 0 ? "" : "  ") << std::string(widths[c], '-');
+  }
+  os << '\n';
+  for (const auto& r : rows_) print_row(r);
+}
+
+std::string TextTable::to_string() const {
+  std::ostringstream oss;
+  print(oss);
+  return oss.str();
+}
+
+}  // namespace dmis

@@ -1,0 +1,38 @@
+// Fixed-format console tables. Every bench binary prints its results through
+// TextTable so EXPERIMENTS.md rows can be regenerated verbatim.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dmis {
+
+class TextTable {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Starts a new row; subsequent cell() calls fill it left to right.
+  TextTable& row();
+  TextTable& cell(const std::string& value);
+  TextTable& cell(const char* value);
+  TextTable& cell(std::uint64_t value);
+  TextTable& cell(std::int64_t value);
+  TextTable& cell(int value);
+  /// Doubles are formatted with the given precision (default 3 digits).
+  TextTable& cell(double value, int precision = 3);
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders with aligned columns and a header separator.
+  void print(std::ostream& os) const;
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dmis

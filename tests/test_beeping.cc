@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/properties.h"
+#include "mis/beeping.h"
+#include "test_helpers.h"
+#include "util/stats.h"
+
+namespace dmis {
+namespace {
+
+using ::dmis::testing::GraphCase;
+using ::dmis::testing::standard_suite;
+
+class BeepingSuite : public ::testing::TestWithParam<GraphCase> {};
+
+TEST_P(BeepingSuite, ProducesMaximalIndependentSet) {
+  const Graph& g = GetParam().graph;
+  for (std::uint64_t seed : {41u, 42u}) {
+    BeepingOptions opts;
+    opts.randomness = RandomSource(seed);
+    const MisRun run = beeping_mis(g, opts);
+    EXPECT_TRUE(is_maximal_independent_set(g, run.in_mis)) << "seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, BeepingSuite,
+                         ::testing::ValuesIn(standard_suite()),
+                         ::dmis::testing::CasePrinter{});
+
+TEST(Beeping, DeterministicPerSeed) {
+  const Graph g = gnp(150, 0.06, 50);
+  BeepingOptions opts;
+  opts.randomness = RandomSource(1);
+  const MisRun a = beeping_mis(g, opts);
+  const MisRun b = beeping_mis(g, opts);
+  EXPECT_EQ(a.in_mis, b.in_mis);
+  EXPECT_EQ(a.rounds, b.rounds);
+}
+
+TEST(Beeping, LocalComplexityScalesWithDegree) {
+  // Theorem 2.1: decided within C(log deg + log 1/eps) iterations. Check the
+  // aggregate form: mean decision time on a high-degree graph stays small.
+  const Graph g = gnp(800, 0.05, 51);  // avg degree ~40
+  BeepingOptions opts;
+  opts.randomness = RandomSource(2);
+  const MisRun run = beeping_mis(g, opts);
+  Accumulator decision_iters;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    ASSERT_NE(run.decided_round[v], kNeverDecided);
+    decision_iters.add(static_cast<double>(run.decided_round[v]));
+  }
+  // log2(40) ~ 5.3; C is a modest constant in practice.
+  EXPECT_LT(decision_iters.mean(), 30.0);
+}
+
+TEST(Beeping, GoldenRoundAuditorFindsTheAnalysisStructure) {
+  const Graph g = gnp(400, 0.05, 52);
+  GoldenRoundAuditor auditor(g);
+  BeepingOptions opts;
+  opts.randomness = RandomSource(3);
+  opts.auditor = &auditor;
+  const MisRun run = beeping_mis(g, opts);
+  EXPECT_TRUE(is_maximal_independent_set(g, run.in_mis));
+  const GoldenRoundReport& report = auditor.report();
+  EXPECT_GT(report.observed_node_rounds, 0u);
+  // Lemma 2.3's conclusion (>= 0.05T golden rounds) in aggregate.
+  EXPECT_GE(report.golden_fraction(), 0.05);
+  // Lemmas 2.4/2.5: wrong moves are <= 0.02-probability events.
+  EXPECT_LE(report.wrong_move_rate(), 0.04);
+  // Lemma 2.2: constant removal probability within golden rounds.
+  EXPECT_GE(report.gamma(), 0.1);
+}
+
+TEST(Beeping, IsolatedNodesJoinQuickly) {
+  const Graph g = empty_graph(64);
+  BeepingOptions opts;
+  opts.randomness = RandomSource(4);
+  const MisRun run = beeping_mis(g, opts);
+  EXPECT_EQ(run.mis_size(), 64u);
+  for (NodeId v = 0; v < 64; ++v) {
+    // Geometric with p = 1/2: 40 iterations is beyond astronomically safe.
+    EXPECT_LT(run.decided_round[v], 40u);
+  }
+}
+
+TEST(Beeping, PartialRunIsConsistent) {
+  const Graph g = complete(128);
+  BeepingOptions opts;
+  opts.randomness = RandomSource(5);
+  opts.max_iterations = 2;
+  const MisRun run = beeping_mis(g, opts);
+  EXPECT_TRUE(is_independent_set(g, run.in_mis));
+  EXPECT_LE(run.mis_size(), 1u);
+  EXPECT_LE(run.rounds, 4u);
+}
+
+TEST(Beeping, BeepCostsAreCounted) {
+  const Graph g = gnp(100, 0.1, 53);
+  BeepingOptions opts;
+  opts.randomness = RandomSource(6);
+  const MisRun run = beeping_mis(g, opts);
+  EXPECT_GT(run.costs.beeps, 0u);
+  EXPECT_EQ(run.costs.messages, 0u);  // the beeping model carries no messages
+}
+
+}  // namespace
+}  // namespace dmis

@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graph/properties.h"
+#include "mis/clique_mis.h"
+#include "mis/sparsified.h"
+#include "test_helpers.h"
+
+namespace dmis {
+namespace {
+
+using ::dmis::testing::GraphCase;
+using ::dmis::testing::standard_suite;
+
+class CliqueMisSuite : public ::testing::TestWithParam<GraphCase> {};
+
+TEST_P(CliqueMisSuite, ProducesMaximalIndependentSet) {
+  const Graph& g = GetParam().graph;
+  for (std::uint64_t seed : {81u, 82u}) {
+    CliqueMisOptions opts;
+    opts.params = SparsifiedParams::from_n(g.node_count());
+    opts.randomness = RandomSource(seed);
+    const CliqueMisResult result = clique_mis(g, opts);
+    EXPECT_TRUE(is_maximal_independent_set(g, result.run.in_mis))
+        << "seed " << seed;
+    EXPECT_EQ(result.run.undecided_count(), 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, CliqueMisSuite,
+                         ::testing::ValuesIn(standard_suite()),
+                         ::dmis::testing::CasePrinter{});
+
+// The headline integration test: the congested-clique simulation must be
+// *bit-identical* to the direct run of the sparsified algorithm under the
+// same seed — same super-heavy sets, same sampled sets, same realized beep
+// vectors, same joins, removals, and probability trajectories, phase by
+// phase, and the same final MIS.
+class EquivalenceSuite : public ::testing::TestWithParam<GraphCase> {};
+
+TEST_P(EquivalenceSuite, CliqueSimulationMatchesDirectRunExactly) {
+  const Graph& g = GetParam().graph;
+  const std::uint64_t seed = 4242;
+  const std::uint64_t phase_budget = 64;
+
+  SparsifiedOptions direct_opts;
+  direct_opts.params = SparsifiedParams::from_n(g.node_count());
+  direct_opts.randomness = RandomSource(seed);
+  direct_opts.max_phases = phase_budget;
+  std::vector<SparsifiedPhaseRecord> direct_trace;
+  direct_opts.trace = [&](const SparsifiedPhaseRecord& r) {
+    direct_trace.push_back(r);
+  };
+  const MisRun direct = sparsified_mis(g, direct_opts);
+
+  CliqueMisOptions clique_opts;
+  clique_opts.params = direct_opts.params;
+  clique_opts.randomness = RandomSource(seed);
+  clique_opts.max_phases = phase_budget;
+  std::vector<SparsifiedPhaseRecord> clique_trace;
+  clique_opts.trace = [&](const SparsifiedPhaseRecord& r) {
+    clique_trace.push_back(r);
+  };
+  const CliqueMisResult clique = clique_mis(g, clique_opts);
+
+  ASSERT_EQ(direct_trace.size(), clique_trace.size());
+  for (std::size_t k = 0; k < direct_trace.size(); ++k) {
+    const auto& d = direct_trace[k];
+    const auto& c = clique_trace[k];
+    EXPECT_EQ(d.phase, c.phase);
+    EXPECT_EQ(d.live_at_start, c.live_at_start) << "phase " << k;
+    EXPECT_EQ(d.alive_start, c.alive_start) << "phase " << k;
+    EXPECT_EQ(d.superheavy, c.superheavy) << "phase " << k;
+    EXPECT_EQ(d.sampled, c.sampled) << "phase " << k;
+    EXPECT_EQ(d.p_exp_start, c.p_exp_start) << "phase " << k;
+    EXPECT_EQ(d.p_exp_end, c.p_exp_end) << "phase " << k;
+    EXPECT_EQ(d.realized_beeps, c.realized_beeps) << "phase " << k;
+    EXPECT_EQ(d.join_iter, c.join_iter) << "phase " << k;
+    EXPECT_EQ(d.removed_iter, c.removed_iter) << "phase " << k;
+    EXPECT_EQ(d.max_sampled_degree, c.max_sampled_degree) << "phase " << k;
+  }
+  // With the generous budget both runs decide everyone in part 1, so the
+  // final sets agree exactly (the clique cleanup is a no-op).
+  EXPECT_EQ(direct.undecided_count(), 0u);
+  EXPECT_EQ(direct.in_mis, clique.run.in_mis);
+  EXPECT_EQ(direct.decided_round, clique.run.decided_round);
+  EXPECT_EQ(clique.stats.residual_nodes, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, EquivalenceSuite,
+                         ::testing::ValuesIn(standard_suite()),
+                         ::dmis::testing::CasePrinter{});
+
+TEST(CliqueMis, CleanupCompletesShortBudgets) {
+  // With a tiny phase budget, part 2 must finish the job.
+  const Graph g = gnp(300, 0.1, 90);
+  CliqueMisOptions opts;
+  opts.params = SparsifiedParams::from_n(300);
+  opts.randomness = RandomSource(1);
+  opts.max_phases = 1;
+  const CliqueMisResult result = clique_mis(g, opts);
+  EXPECT_TRUE(is_maximal_independent_set(g, result.run.in_mis));
+  EXPECT_GT(result.stats.residual_nodes, 0u);
+  EXPECT_GT(result.stats.cleanup_rounds, 0u);
+}
+
+TEST(CliqueMis, DefaultBudgetShattersToLinearResidual) {
+  const Graph g = random_regular(600, 16, 91);
+  CliqueMisOptions opts;
+  opts.params = SparsifiedParams::from_n(600);
+  opts.randomness = RandomSource(2);
+  const CliqueMisResult result = clique_mis(g, opts);
+  EXPECT_TRUE(is_maximal_independent_set(g, result.run.in_mis));
+  // Lemma 2.11: residual edges = O(n).
+  EXPECT_LE(result.stats.residual_edges, 600u);
+}
+
+TEST(CliqueMis, RoundsWithinConstantFactorOfDirectAtLaptopScale) {
+  // The asymptotic win (Theorem 1.1) needs R = Θ(sqrt(log n)) to beat the
+  // per-phase overhead 3 + 2 ceil(log2(2R+1)); with exact constant
+  // accounting the crossover sits far beyond in-memory n (EXPERIMENTS.md,
+  // E1). What must hold at any scale: the clique simulation stays within a
+  // small constant factor of the direct CONGEST run, and the factor
+  // *improves* as R grows.
+  const Graph g = gnp(800, 0.2, 92);
+  SparsifiedOptions direct_opts;
+  direct_opts.params = SparsifiedParams::from_n(800);
+  direct_opts.randomness = RandomSource(3);
+  const MisRun direct = sparsified_mis(g, direct_opts);
+
+  CliqueMisOptions opts;
+  opts.params = direct_opts.params;
+  opts.randomness = RandomSource(3);
+  const CliqueMisResult result = clique_mis(g, opts);
+  EXPECT_TRUE(is_maximal_independent_set(g, result.run.in_mis));
+  EXPECT_LT(result.run.rounds, 4 * direct.rounds);
+}
+
+TEST(CliqueMis, GatherLoadsStayWithinConstantBatches) {
+  // Lenzen feasibility: loads may exceed n only by a small constant factor,
+  // i.e. routing needs O(1) batches per doubling step (E7 quantifies).
+  const Graph g = gnp(500, 0.15, 93);
+  CliqueMisOptions opts;
+  opts.params = SparsifiedParams::from_n(500);
+  opts.randomness = RandomSource(4);
+  const CliqueMisResult result = clique_mis(g, opts);
+  EXPECT_LE(result.stats.max_gather_source_load, 4u * 500u);
+  EXPECT_LE(result.stats.max_gather_dest_load, 4u * 500u);
+  EXPECT_GT(result.stats.phases, 0u);
+}
+
+TEST(CliqueMis, RejectsImmediateRemovalSemantics) {
+  const Graph g = cycle(10);
+  CliqueMisOptions opts;
+  opts.params.immediate_superheavy_removal = true;
+  EXPECT_THROW(clique_mis(g, opts), PreconditionError);
+}
+
+TEST(CliqueMis, ValiantRoutingAlsoProducesValidMis) {
+  const Graph g = gnp(250, 0.1, 94);
+  CliqueMisOptions opts;
+  opts.params = SparsifiedParams::from_n(250);
+  opts.randomness = RandomSource(5);
+  opts.route_mode = RouteMode::kValiant;
+  const CliqueMisResult result = clique_mis(g, opts);
+  EXPECT_TRUE(is_maximal_independent_set(g, result.run.in_mis));
+}
+
+TEST(CliqueMis, EmptyAndTinyGraphs) {
+  CliqueMisOptions opts;
+  const CliqueMisResult empty = clique_mis(Graph(), opts);
+  EXPECT_TRUE(empty.run.in_mis.empty());
+  const Graph one = empty_graph(1);
+  const CliqueMisResult single = clique_mis(one, opts);
+  EXPECT_TRUE(is_maximal_independent_set(one, single.run.in_mis));
+  const Graph two = complete(2);
+  const CliqueMisResult pair = clique_mis(two, opts);
+  EXPECT_TRUE(is_maximal_independent_set(two, pair.run.in_mis));
+}
+
+}  // namespace
+}  // namespace dmis

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "clique/network.h"
+#include "util/check.h"
+
+namespace dmis {
+namespace {
+
+TEST(CliqueNetwork, RouteSortsByDestinationAndCharges) {
+  CliqueNetwork net(8, RandomSource(1));
+  std::vector<Packet> packets{
+      {3, 5, 10, 0}, {1, 2, 11, 0}, {7, 2, 12, 0}, {0, 5, 13, 0}};
+  const RouteReport report = net.route(packets);
+  EXPECT_EQ(report.packets, 4u);
+  EXPECT_EQ(report.batches, 1u);
+  EXPECT_EQ(report.rounds, static_cast<std::uint64_t>(kLenzenRoundsPerBatch));
+  EXPECT_EQ(report.max_source_load, 1u);
+  EXPECT_EQ(report.max_dest_load, 2u);
+  // Sorted by (dst, src).
+  EXPECT_EQ(packets[0].dst, 2u);
+  EXPECT_EQ(packets[0].src, 1u);
+  EXPECT_EQ(packets[1].dst, 2u);
+  EXPECT_EQ(packets[1].src, 7u);
+  EXPECT_EQ(packets[3].dst, 5u);
+  EXPECT_EQ(net.costs().rounds, 2u);
+  EXPECT_EQ(net.costs().messages, 4u);
+  EXPECT_EQ(net.costs().bits, 4u * kPacketBits);
+}
+
+TEST(CliqueNetwork, EmptyRouteIsFree) {
+  CliqueNetwork net(4, RandomSource(1));
+  std::vector<Packet> packets;
+  const RouteReport report = net.route(packets);
+  EXPECT_EQ(report.rounds, 0u);
+  EXPECT_EQ(net.costs().rounds, 0u);
+}
+
+TEST(CliqueNetwork, OverloadedDestinationSplitsIntoBatches) {
+  const NodeId n = 4;
+  CliqueNetwork net(n, RandomSource(1));
+  // 9 packets to one destination with n = 4: ceil(9/4) = 3 Lenzen batches.
+  std::vector<Packet> packets;
+  for (int i = 0; i < 9; ++i) {
+    packets.push_back({static_cast<NodeId>(i % n), 2, 0, 0});
+  }
+  const RouteReport report = net.route(packets);
+  EXPECT_EQ(report.batches, 3u);
+  EXPECT_EQ(report.rounds, 3u * kLenzenRoundsPerBatch);
+  EXPECT_EQ(report.max_dest_load, 9u);
+}
+
+TEST(CliqueNetwork, AtCapacityIsOneBatch) {
+  const NodeId n = 4;
+  CliqueNetwork net(n, RandomSource(1));
+  // Every node sends exactly n packets, one per destination: loads = n.
+  std::vector<Packet> packets;
+  for (NodeId s = 0; s < n; ++s) {
+    for (NodeId d = 0; d < n; ++d) {
+      packets.push_back({s, d, 0, 0});
+    }
+  }
+  const RouteReport report = net.route(packets);
+  EXPECT_EQ(report.batches, 1u);
+  EXPECT_EQ(report.max_source_load, static_cast<std::uint64_t>(n));
+  EXPECT_EQ(report.max_dest_load, static_cast<std::uint64_t>(n));
+}
+
+TEST(CliqueNetwork, RejectsOutOfRangeEndpoints) {
+  CliqueNetwork net(4, RandomSource(1));
+  std::vector<Packet> bad{{0, 9, 0, 0}};
+  EXPECT_THROW(net.route(bad), PreconditionError);
+  std::vector<Packet> bad2{{9, 0, 0, 0}};
+  EXPECT_THROW(net.route(bad2), PreconditionError);
+}
+
+TEST(CliqueNetwork, ValiantModeMeasuresAtLeastTwoRounds) {
+  CliqueNetwork net(16, RandomSource(3), RouteMode::kValiant);
+  std::vector<Packet> packets;
+  for (NodeId s = 0; s < 16; ++s) {
+    packets.push_back({s, static_cast<NodeId>((s + 1) % 16), 0, 0});
+  }
+  const RouteReport report = net.route(packets);
+  EXPECT_GE(report.rounds, 2u);
+  // One packet per source through a random middle: max pair multiplicity is
+  // tiny; delivery happens in far fewer rounds than packets.
+  EXPECT_LE(report.rounds, 8u);
+}
+
+TEST(CliqueNetwork, ValiantIsDeterministicPerSeed) {
+  auto run_once = [](std::uint64_t seed) {
+    CliqueNetwork net(32, RandomSource(seed), RouteMode::kValiant);
+    std::vector<Packet> packets;
+    for (NodeId s = 0; s < 32; ++s) {
+      for (int k = 0; k < 8; ++k) {
+        packets.push_back({s, static_cast<NodeId>((s * 7 + k) % 32), 0, 0});
+      }
+    }
+    return net.route(packets).rounds;
+  };
+  EXPECT_EQ(run_once(9), run_once(9));
+}
+
+TEST(CliqueNetwork, BroadcastRoundAccounting) {
+  CliqueNetwork net(10, RandomSource(1));
+  net.charge_broadcast_round(3, 16);
+  EXPECT_EQ(net.costs().rounds, 1u);
+  EXPECT_EQ(net.costs().messages, 3u * 9);
+  EXPECT_EQ(net.costs().bits, 3u * 9 * 16);
+  EXPECT_THROW(net.charge_broadcast_round(1, kPacketBits + 1),
+               PreconditionError);
+}
+
+TEST(CliqueNetwork, NeighborhoodRoundAccounting) {
+  CliqueNetwork net(10, RandomSource(1));
+  net.charge_neighborhood_round(42, 8);
+  EXPECT_EQ(net.costs().rounds, 1u);
+  EXPECT_EQ(net.costs().messages, 42u);
+  EXPECT_EQ(net.costs().bits, 42u * 8);
+}
+
+TEST(CliqueNetwork, LeaderElection) {
+  CliqueNetwork net(10, RandomSource(1));
+  EXPECT_EQ(net.elect_leader(), 0u);
+  EXPECT_EQ(net.costs().rounds, 1u);
+}
+
+TEST(CliqueNetwork, RejectsEmptyClique) {
+  EXPECT_THROW(CliqueNetwork(0, RandomSource(1)), PreconditionError);
+}
+
+}  // namespace
+}  // namespace dmis

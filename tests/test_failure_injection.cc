@@ -1,0 +1,150 @@
+// Failure injection: programs that violate the model contracts, engines
+// that must reject them loudly, and malformed inputs at every substrate
+// boundary. A simulator that silently accepts contract violations produces
+// wrong science; these tests pin the guardrails.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "clique/gather.h"
+#include "clique/network.h"
+#include "graph/generators.h"
+#include "mis/clique_mis.h"
+#include "mis/sparsified.h"
+#include "runtime/congest.h"
+#include "util/check.h"
+
+namespace dmis {
+namespace {
+
+// A program whose behavior is scripted per round — the adversary harness.
+class ScriptedProgram final : public CongestProgram {
+ public:
+  using SendFn =
+      std::function<void(std::uint64_t, std::vector<Outgoing>&)>;
+  explicit ScriptedProgram(SendFn send) : send_(std::move(send)) {}
+
+  void send(std::uint64_t round, std::vector<Outgoing>& out) override {
+    send_(round, out);
+  }
+  void receive(std::uint64_t, std::span<const CongestMessage>) override {}
+  bool halted() const override { return false; }
+
+ private:
+  SendFn send_;
+};
+
+CongestEngine make_engine(const Graph& g,
+                          ScriptedProgram::SendFn adversary) {
+  std::vector<std::unique_ptr<CongestProgram>> programs;
+  programs.push_back(std::make_unique<ScriptedProgram>(std::move(adversary)));
+  for (NodeId v = 1; v < g.node_count(); ++v) {
+    programs.push_back(std::make_unique<ScriptedProgram>(
+        [](std::uint64_t, std::vector<CongestProgram::Outgoing>&) {}));
+  }
+  return CongestEngine(g, std::move(programs), 32);
+}
+
+TEST(FailureInjection, OversizedMessageRejected) {
+  const Graph g = path(3);
+  auto engine = make_engine(g, [](std::uint64_t,
+                                  std::vector<CongestProgram::Outgoing>& out) {
+    out.push_back({CongestProgram::kAllNeighbors, 0, 33});
+  });
+  EXPECT_THROW(engine.step(), PreconditionError);
+}
+
+TEST(FailureInjection, NegativeBitsRejected) {
+  const Graph g = path(3);
+  auto engine = make_engine(g, [](std::uint64_t,
+                                  std::vector<CongestProgram::Outgoing>& out) {
+    out.push_back({CongestProgram::kAllNeighbors, 0, -1});
+  });
+  EXPECT_THROW(engine.step(), PreconditionError);
+}
+
+TEST(FailureInjection, SendingToSelfRejected) {
+  const Graph g = path(3);
+  auto engine = make_engine(g, [](std::uint64_t,
+                                  std::vector<CongestProgram::Outgoing>& out) {
+    out.push_back({0, 1, 8});  // node 0 -> node 0: not an edge
+  });
+  EXPECT_THROW(engine.step(), PreconditionError);
+}
+
+TEST(FailureInjection, SendingAcrossTheGraphRejected) {
+  const Graph g = path(4);
+  auto engine = make_engine(g, [](std::uint64_t,
+                                  std::vector<CongestProgram::Outgoing>& out) {
+    out.push_back({3, 1, 8});  // 0 and 3 are not adjacent
+  });
+  EXPECT_THROW(engine.step(), PreconditionError);
+}
+
+TEST(FailureInjection, LateViolationStillCaught) {
+  // Behave for 5 rounds, then violate: the check is per-round, not
+  // construction-time.
+  const Graph g = path(3);
+  auto engine = make_engine(
+      g, [](std::uint64_t round, std::vector<CongestProgram::Outgoing>& out) {
+        if (round == 5) {
+          out.push_back({CongestProgram::kAllNeighbors, 0, 500});
+        } else {
+          out.push_back({CongestProgram::kAllNeighbors, 0, 1});
+        }
+      });
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_NO_THROW(engine.step());
+  }
+  EXPECT_THROW(engine.step(), PreconditionError);
+}
+
+TEST(FailureInjection, RoutePacketsOutOfRange) {
+  CliqueNetwork net(8, RandomSource(1));
+  std::vector<Packet> bad{{8, 0, 0, 0}};
+  EXPECT_THROW(net.route(bad), PreconditionError);
+  std::vector<Packet> bad2{{0, kInvalidNode, 0, 0}};
+  EXPECT_THROW(net.route(bad2), PreconditionError);
+}
+
+TEST(FailureInjection, GatherAnnotationMismatch) {
+  const Graph g = cycle(5);
+  CliqueNetwork net(5, RandomSource(1));
+  std::vector<std::vector<std::uint64_t>> too_few(4);
+  EXPECT_THROW(gather_balls(net, g, too_few, 1), PreconditionError);
+  std::vector<std::vector<std::uint64_t>> fine(5);
+  EXPECT_THROW(gather_balls(net, g, fine, 0), PreconditionError);
+}
+
+TEST(FailureInjection, SparsifiedParameterValidation) {
+  const Graph g = cycle(6);
+  SparsifiedOptions opts;
+  opts.params.phase_length = -1;
+  EXPECT_THROW(sparsified_mis(g, opts), PreconditionError);
+  opts.params.phase_length = 2;
+  opts.params.sample_boost = -3;
+  EXPECT_THROW(sparsified_mis(g, opts), PreconditionError);
+}
+
+TEST(FailureInjection, CliqueMisParameterValidation) {
+  const Graph g = cycle(6);
+  CliqueMisOptions opts;
+  opts.params.phase_length = 70;
+  EXPECT_THROW(clique_mis(g, opts), PreconditionError);
+}
+
+TEST(FailureInjection, EngineCountMismatch) {
+  const Graph g = path(3);
+  std::vector<std::unique_ptr<CongestProgram>> one;
+  one.push_back(std::make_unique<ScriptedProgram>(
+      [](std::uint64_t, std::vector<CongestProgram::Outgoing>&) {}));
+  EXPECT_THROW(CongestEngine(g, std::move(one), 32), PreconditionError);
+  std::vector<std::unique_ptr<CongestProgram>> with_null(3);
+  with_null[0] = std::make_unique<ScriptedProgram>(
+      [](std::uint64_t, std::vector<CongestProgram::Outgoing>&) {});
+  EXPECT_THROW(CongestEngine(g, std::move(with_null), 32),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace dmis

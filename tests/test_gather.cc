@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "clique/gather.h"
+#include "graph/generators.h"
+#include "graph/ops.h"
+#include "rng/random_source.h"
+
+namespace dmis {
+namespace {
+
+std::vector<std::vector<std::uint64_t>> tag_annotations(NodeId n) {
+  std::vector<std::vector<std::uint64_t>> ann(n);
+  for (NodeId v = 0; v < n; ++v) {
+    ann[v] = {0xA000 + v, 0xB000 + v};
+  }
+  return ann;
+}
+
+void check_against_bfs(const Graph& g, int radius) {
+  CliqueNetwork net(std::max<NodeId>(g.node_count(), 1), RandomSource(5));
+  const auto ann = tag_annotations(g.node_count());
+  const GatherResult result = gather_balls(net, g, ann, radius);
+  const int steps = gather_steps_for_radius(radius);
+  const int knowledge_radius = (1 << steps) - 1;
+  ASSERT_GE(knowledge_radius, radius);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    const GatheredBall& ball = result.balls[v];
+    EXPECT_EQ(ball.center, v);
+    // Annotations cover exactly the BFS ball of the knowledge radius.
+    const auto expect_ann = bfs_ball(g, v, knowledge_radius);
+    ASSERT_EQ(ball.annotations.size(), expect_ann.size()) << "node " << v;
+    for (const NodeId u : expect_ann) {
+      auto it = ball.annotations.find(u);
+      ASSERT_NE(it, ball.annotations.end()) << "node " << v << " missing "
+                                            << u;
+      EXPECT_EQ(it->second, ann[u]);
+    }
+    // Edges: exactly those incident to the knowledge-radius ball.
+    std::set<Edge> expected_edges;
+    for (const NodeId u : expect_ann) {
+      for (const NodeId w : g.neighbors(u)) {
+        expected_edges.insert({std::min(u, w), std::max(u, w)});
+      }
+    }
+    const std::set<Edge> got(ball.edges.begin(), ball.edges.end());
+    EXPECT_EQ(got, expected_edges) << "node " << v;
+    // Members are sorted and include the center.
+    EXPECT_TRUE(std::is_sorted(ball.members.begin(), ball.members.end()));
+    EXPECT_TRUE(std::binary_search(ball.members.begin(), ball.members.end(),
+                                   v));
+  }
+  EXPECT_EQ(result.stats.steps, static_cast<std::uint64_t>(steps));
+}
+
+TEST(Gather, StepsForRadius) {
+  EXPECT_EQ(gather_steps_for_radius(1), 1);
+  EXPECT_EQ(gather_steps_for_radius(2), 2);
+  EXPECT_EQ(gather_steps_for_radius(3), 2);
+  EXPECT_EQ(gather_steps_for_radius(4), 3);
+  EXPECT_EQ(gather_steps_for_radius(7), 3);
+  EXPECT_EQ(gather_steps_for_radius(8), 4);
+  EXPECT_THROW(gather_steps_for_radius(0), PreconditionError);
+}
+
+TEST(Gather, CycleMatchesBfs) { check_against_bfs(cycle(20), 3); }
+
+TEST(Gather, PathMatchesBfs) { check_against_bfs(path(17), 4); }
+
+TEST(Gather, GridMatchesBfs) { check_against_bfs(grid2d(5, 6), 2); }
+
+TEST(Gather, SparseRandomMatchesBfs) {
+  check_against_bfs(gnp(60, 0.03, 77), 2);
+}
+
+TEST(Gather, DisconnectedMatchesBfs) {
+  check_against_bfs(disjoint_cliques(5, 4), 2);
+}
+
+TEST(Gather, IsolatedNodesKnowThemselves) {
+  const Graph g = empty_graph(5);
+  CliqueNetwork net(5, RandomSource(5));
+  const auto ann = tag_annotations(5);
+  const GatherResult result = gather_balls(net, g, ann, 2);
+  for (NodeId v = 0; v < 5; ++v) {
+    EXPECT_EQ(result.balls[v].members, std::vector<NodeId>{v});
+    EXPECT_TRUE(result.balls[v].edges.empty());
+    EXPECT_EQ(result.balls[v].annotations.size(), 1u);
+  }
+  // Nothing was sent.
+  EXPECT_EQ(result.stats.packets, 0u);
+}
+
+TEST(Gather, ChargesTwoRoundsPerStepAtFeasibleLoads) {
+  const Graph g = cycle(100);
+  CliqueNetwork net(100, RandomSource(5));
+  const auto ann = tag_annotations(100);
+  const GatherResult result = gather_balls(net, g, ann, 3);
+  EXPECT_EQ(result.stats.steps, 2u);
+  // On a cycle the knowledge stays tiny: every batch is Lenzen-feasible.
+  EXPECT_EQ(result.stats.rounds,
+            result.stats.steps * kLenzenRoundsPerBatch);
+  EXPECT_LE(result.stats.max_source_load, 100u);
+  EXPECT_GT(result.stats.packets, 0u);
+}
+
+TEST(Gather, AnnotationSizeMismatchThrows) {
+  const Graph g = cycle(4);
+  CliqueNetwork net(4, RandomSource(5));
+  std::vector<std::vector<std::uint64_t>> ann(3);
+  EXPECT_THROW(gather_balls(net, g, ann, 1), PreconditionError);
+}
+
+TEST(Gather, EmptyAnnotationsStillGatherTopology) {
+  const Graph g = cycle(8);
+  CliqueNetwork net(8, RandomSource(5));
+  std::vector<std::vector<std::uint64_t>> ann(8);  // all empty
+  const GatherResult result = gather_balls(net, g, ann, 2);
+  for (NodeId v = 0; v < 8; ++v) {
+    EXPECT_TRUE(result.balls[v].annotations.empty());
+    EXPECT_FALSE(result.balls[v].edges.empty());
+  }
+}
+
+}  // namespace
+}  // namespace dmis

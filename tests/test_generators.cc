@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.h"
+#include "graph/ops.h"
+#include "graph/properties.h"
+#include "util/check.h"
+
+namespace dmis {
+namespace {
+
+TEST(Generators, GnpEdgeCountConcentrates) {
+  const NodeId n = 400;
+  const double p = 0.05;
+  const Graph g = gnp(n, p, 11);
+  const double expected = p * n * (n - 1) / 2.0;
+  EXPECT_NEAR(static_cast<double>(g.edge_count()), expected,
+              4.0 * std::sqrt(expected));
+}
+
+TEST(Generators, GnpExtremes) {
+  EXPECT_EQ(gnp(50, 0.0, 1).edge_count(), 0u);
+  EXPECT_EQ(gnp(50, 1.0, 1).edge_count(), 50u * 49 / 2);
+  EXPECT_EQ(gnp(0, 0.5, 1).node_count(), 0u);
+  EXPECT_EQ(gnp(1, 0.5, 1).edge_count(), 0u);
+  EXPECT_THROW(gnp(10, 1.5, 1), PreconditionError);
+  EXPECT_THROW(gnp(10, -0.1, 1), PreconditionError);
+}
+
+TEST(Generators, GnpDeterministicPerSeed) {
+  const Graph a = gnp(100, 0.1, 5);
+  const Graph b = gnp(100, 0.1, 5);
+  const Graph c = gnp(100, 0.1, 6);
+  EXPECT_EQ(a.edges(), b.edges());
+  EXPECT_NE(a.edges(), c.edges());
+}
+
+TEST(Generators, GnmExactEdgeCount) {
+  const Graph g = gnm(120, 777, 3);
+  EXPECT_EQ(g.edge_count(), 777u);
+  EXPECT_EQ(gnm(10, 45, 1).edge_count(), 45u);  // complete
+  EXPECT_EQ(gnm(10, 0, 1).edge_count(), 0u);
+  EXPECT_THROW(gnm(10, 46, 1), PreconditionError);
+}
+
+TEST(Generators, RandomRegularDegrees) {
+  const Graph g = random_regular(200, 4, 9);
+  std::uint64_t deficit = 0;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    ASSERT_LE(g.degree(v), 4u);
+    deficit += 4 - g.degree(v);
+  }
+  // The configuration model with restarts nearly always lands simple;
+  // tolerate a tiny deficit from the drop-conflicts fallback.
+  EXPECT_LE(deficit, 4u);
+  EXPECT_THROW(random_regular(10, 10, 1), PreconditionError);
+  EXPECT_THROW(random_regular(9, 3, 1), PreconditionError);  // odd n*d
+  EXPECT_EQ(random_regular(10, 0, 1).edge_count(), 0u);
+}
+
+TEST(Generators, BarabasiAlbertShape) {
+  const Graph g = barabasi_albert(300, 4, 2, 21);
+  EXPECT_EQ(g.node_count(), 300u);
+  // m0 clique + 2 edges per subsequent node (deduplication can only merge
+  // multi-proposals across different new nodes, which cannot happen here).
+  EXPECT_EQ(g.edge_count(), 6u + 296u * 2);
+  // Preferential attachment produces a hub far above the minimum degree.
+  EXPECT_GE(g.max_degree(), 15u);
+  EXPECT_THROW(barabasi_albert(10, 3, 4, 1), PreconditionError);
+  EXPECT_THROW(barabasi_albert(4, 4, 2, 1), PreconditionError);
+}
+
+TEST(Generators, GeometricRespectsRadius) {
+  const Graph g = random_geometric(300, 0.1, 31);
+  EXPECT_EQ(g.node_count(), 300u);
+  EXPECT_GT(g.edge_count(), 0u);
+  // Expected degree ~ n π r² ≈ 9.4; allow wide slack.
+  EXPECT_LT(g.average_degree(), 25.0);
+  EXPECT_EQ(random_geometric(100, 0.0, 1).edge_count(), 0u);
+  // radius sqrt(2) connects everything.
+  EXPECT_EQ(random_geometric(40, 1.5, 1).edge_count(), 40u * 39 / 2);
+}
+
+TEST(Generators, StructuredFamilies) {
+  EXPECT_EQ(cycle(10).edge_count(), 10u);
+  EXPECT_EQ(cycle(2).edge_count(), 1u);
+  EXPECT_EQ(cycle(1).edge_count(), 0u);
+  EXPECT_EQ(path(10).edge_count(), 9u);
+  EXPECT_EQ(path(1).edge_count(), 0u);
+  EXPECT_EQ(complete(8).edge_count(), 28u);
+  EXPECT_EQ(complete_bipartite(3, 5).edge_count(), 15u);
+  EXPECT_EQ(star(9).edge_count(), 8u);
+  EXPECT_EQ(star(9).degree(0), 8u);
+  EXPECT_EQ(grid2d(4, 6).edge_count(), 4u * 5 + 3u * 6);
+  EXPECT_EQ(grid2d(4, 6).max_degree(), 4u);
+  EXPECT_EQ(empty_graph(7).edge_count(), 0u);
+  EXPECT_EQ(disjoint_cliques(4, 5).edge_count(), 4u * 10);
+  EXPECT_EQ(connected_component_sizes(disjoint_cliques(4, 5)).size(), 4u);
+}
+
+TEST(Generators, PlantedSetIsIndependent) {
+  const NodeId n = 150;
+  const NodeId planted = 30;
+  const Graph g = planted_independent_set(n, planted, 0.15, 41);
+  std::vector<char> mask(n, 0);
+  for (NodeId v = 0; v < planted; ++v) mask[v] = 1;
+  EXPECT_TRUE(is_independent_set(g, mask));
+  // Each planted node is attached to the rest.
+  for (NodeId v = 0; v < planted; ++v) {
+    EXPECT_GE(g.degree(v), 1u);
+  }
+  EXPECT_THROW(planted_independent_set(10, 10, 0.1, 1), PreconditionError);
+}
+
+TEST(Generators, AllGeneratorsDeterministic) {
+  EXPECT_EQ(gnm(80, 200, 9).edges(), gnm(80, 200, 9).edges());
+  EXPECT_EQ(random_regular(60, 3, 9, 8).edges(),
+            random_regular(60, 3, 9, 8).edges());
+  EXPECT_EQ(barabasi_albert(90, 3, 2, 9).edges(),
+            barabasi_albert(90, 3, 2, 9).edges());
+  EXPECT_EQ(random_geometric(90, 0.15, 9).edges(),
+            random_geometric(90, 0.15, 9).edges());
+  EXPECT_EQ(planted_independent_set(90, 20, 0.1, 9).edges(),
+            planted_independent_set(90, 20, 0.1, 9).edges());
+}
+
+
+TEST(Generators, Hypercube) {
+  const Graph q4 = hypercube(4);
+  EXPECT_EQ(q4.node_count(), 16u);
+  EXPECT_EQ(q4.edge_count(), 32u);  // n*d/2
+  for (NodeId v = 0; v < 16; ++v) {
+    EXPECT_EQ(q4.degree(v), 4u);
+  }
+  EXPECT_TRUE(q4.has_edge(0b0000, 0b0100));
+  EXPECT_FALSE(q4.has_edge(0b0000, 0b0110));
+  EXPECT_EQ(hypercube(0).node_count(), 1u);
+  EXPECT_EQ(triangle_count(hypercube(5)), 0u);  // bipartite
+  EXPECT_THROW(hypercube(-1), PreconditionError);
+  EXPECT_THROW(hypercube(25), PreconditionError);
+}
+
+TEST(Generators, BinaryTree) {
+  const Graph t = binary_tree(15);  // perfect, depth 3
+  EXPECT_EQ(t.edge_count(), 14u);
+  EXPECT_EQ(t.degree(0), 2u);
+  EXPECT_EQ(t.max_degree(), 3u);
+  EXPECT_EQ(connected_component_sizes(t).size(), 1u);
+  EXPECT_EQ(binary_tree(1).edge_count(), 0u);
+  EXPECT_EQ(binary_tree(0).node_count(), 0u);
+}
+
+TEST(Generators, Caterpillar) {
+  const Graph c = caterpillar(10, 3);
+  EXPECT_EQ(c.node_count(), 40u);
+  EXPECT_EQ(c.edge_count(), 9u + 30u);
+  EXPECT_EQ(c.max_degree(), 5u);  // interior spine: 2 spine + 3 legs
+  EXPECT_EQ(degeneracy(c), 1u);   // a tree
+  EXPECT_EQ(connected_component_sizes(c).size(), 1u);
+}
+
+TEST(Generators, WattsStrogatz) {
+  const Graph lattice = watts_strogatz(100, 3, 0.0, 1);
+  EXPECT_EQ(lattice.edge_count(), 300u);  // no rewiring: exact ring lattice
+  for (NodeId v = 0; v < 100; ++v) {
+    EXPECT_EQ(lattice.degree(v), 6u);
+  }
+  const Graph small_world = watts_strogatz(100, 3, 0.3, 2);
+  // Rewiring only moves endpoints (duplicates can merge): m <= 300.
+  EXPECT_LE(small_world.edge_count(), 300u);
+  EXPECT_GE(small_world.edge_count(), 270u);
+  EXPECT_EQ(watts_strogatz(100, 3, 0.3, 2).edges(), small_world.edges());
+  EXPECT_THROW(watts_strogatz(7, 3, 0.1, 1), PreconditionError);
+  EXPECT_THROW(watts_strogatz(100, 3, 1.5, 1), PreconditionError);
+}
+
+TEST(Generators, MargulisExpander) {
+  const Graph g = margulis_expander(16);
+  EXPECT_EQ(g.node_count(), 256u);
+  EXPECT_LE(g.max_degree(), 8u);
+  EXPECT_GE(g.average_degree(), 5.0);
+  // Expander: one connected component, and balls grow fast (the diameter is
+  // O(log n)): the radius-4 ball around node 0 already covers most nodes.
+  EXPECT_EQ(connected_component_sizes(g).size(), 1u);
+  EXPECT_GT(bfs_ball(g, 0, 4).size(), 100u);
+  EXPECT_THROW(margulis_expander(1), PreconditionError);
+}
+
+}  // namespace
+}  // namespace dmis

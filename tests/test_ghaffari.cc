@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "graph/ops.h"
+#include "graph/properties.h"
+#include "mis/ghaffari.h"
+#include "test_helpers.h"
+
+namespace dmis {
+namespace {
+
+using ::dmis::testing::GraphCase;
+using ::dmis::testing::standard_suite;
+
+class GhaffariSuite : public ::testing::TestWithParam<GraphCase> {};
+
+TEST_P(GhaffariSuite, ProducesMaximalIndependentSet) {
+  const Graph& g = GetParam().graph;
+  for (std::uint64_t seed : {21u, 22u}) {
+    GhaffariOptions opts;
+    opts.randomness = RandomSource(seed);
+    const MisRun run = ghaffari_mis(g, opts);
+    EXPECT_TRUE(is_maximal_independent_set(g, run.in_mis)) << "seed " << seed;
+    EXPECT_EQ(run.undecided_count(), 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, GhaffariSuite,
+                         ::testing::ValuesIn(standard_suite()),
+                         ::dmis::testing::CasePrinter{});
+
+TEST(Ghaffari, DeterministicPerSeed) {
+  const Graph g = gnp(200, 0.04, 31);
+  GhaffariOptions opts;
+  opts.randomness = RandomSource(5);
+  const MisRun a = ghaffari_mis(g, opts);
+  const MisRun b = ghaffari_mis(g, opts);
+  EXPECT_EQ(a.in_mis, b.in_mis);
+  EXPECT_EQ(a.decided_round, b.decided_round);
+}
+
+TEST(Ghaffari, PartialRunLeavesValidPartialState) {
+  const Graph g = gnp(300, 0.1, 32);
+  GhaffariOptions opts;
+  opts.randomness = RandomSource(6);
+  opts.max_iterations = 3;
+  const MisRun run = ghaffari_mis(g, opts);
+  // The partial set is independent; undecided nodes have no MIS neighbor.
+  EXPECT_TRUE(is_independent_set(g, run.in_mis));
+  const auto undecided = run.undecided_mask();
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (undecided[v] == 0) continue;
+    for (const NodeId u : g.neighbors(v)) {
+      EXPECT_EQ(run.in_mis[u], 0) << "undecided node adjacent to MIS";
+    }
+  }
+}
+
+TEST(Ghaffari, ShatteringAfterLogDeltaRounds) {
+  // Lemma 2.11's premise applied to the §2.1 dynamic: after C log2 Δ
+  // iterations the residual graph should be a vanishing fraction.
+  const Graph g = random_regular(600, 8, 33);
+  GhaffariOptions opts;
+  opts.randomness = RandomSource(7);
+  opts.max_iterations = 6 * 3;  // C=6, log2(8)=3
+  const MisRun run = ghaffari_mis(g, opts);
+  const auto undecided = run.undecided_mask();
+  const InducedSubgraph residual = induced_subgraph(g, undecided);
+  EXPECT_LT(residual.graph.edge_count(), g.node_count() / 2);
+}
+
+TEST(Ghaffari, PersonalSeedDerivationIsStable) {
+  RandomSource rs(77);
+  const std::uint64_t s = ghaffari_personal_seed(rs, 42);
+  EXPECT_EQ(s, ghaffari_personal_seed(rs, 42));
+  EXPECT_NE(s, ghaffari_personal_seed(rs, 43));
+  EXPECT_NE(ghaffari_mark_word(s, 0), ghaffari_mark_word(s, 1));
+  EXPECT_EQ(ghaffari_mark_word(s, 9), ghaffari_mark_word(s, 9));
+}
+
+TEST(Ghaffari, FasterThanLogNOnLowDegree) {
+  const Graph g = cycle(2000);
+  GhaffariOptions opts;
+  opts.randomness = RandomSource(8);
+  const MisRun run = ghaffari_mis(g, opts);
+  EXPECT_TRUE(is_maximal_independent_set(g, run.in_mis));
+  // O(log Δ) + shattering tail: far fewer than log2(2000) ~ 11 iterations
+  // is not guaranteed, but 2*64 rounds is a safe sanity ceiling.
+  EXPECT_LE(run.rounds, 128u);
+}
+
+}  // namespace
+}  // namespace dmis

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/graph.h"
+#include "util/check.h"
+
+namespace dmis {
+namespace {
+
+TEST(Graph, EmptyGraph) {
+  const Graph g;
+  EXPECT_EQ(g.node_count(), 0u);
+  EXPECT_EQ(g.edge_count(), 0u);
+  EXPECT_EQ(g.max_degree(), 0u);
+  EXPECT_DOUBLE_EQ(g.average_degree(), 0.0);
+}
+
+TEST(Graph, BuildTriangle) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 0);
+  const Graph g = std::move(b).build();
+  EXPECT_EQ(g.node_count(), 3u);
+  EXPECT_EQ(g.edge_count(), 3u);
+  EXPECT_EQ(g.max_degree(), 2u);
+  for (NodeId v = 0; v < 3; ++v) {
+    EXPECT_EQ(g.degree(v), 2u);
+  }
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_TRUE(g.has_edge(2, 0));
+  EXPECT_FALSE(g.has_edge(0, 0));
+}
+
+TEST(Graph, DuplicateEdgesAreMerged) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(1, 0);
+  b.add_edge(0, 1);
+  b.add_edge(2, 3);
+  const Graph g = std::move(b).build();
+  EXPECT_EQ(g.edge_count(), 2u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(1), 1u);
+}
+
+TEST(Graph, RejectsSelfLoopsAndOutOfRange) {
+  GraphBuilder b(3);
+  EXPECT_THROW(b.add_edge(1, 1), PreconditionError);
+  EXPECT_THROW(b.add_edge(0, 3), PreconditionError);
+  EXPECT_THROW(b.add_edge(7, 0), PreconditionError);
+}
+
+TEST(Graph, NeighborsAreSorted) {
+  GraphBuilder b(6);
+  b.add_edge(3, 5);
+  b.add_edge(3, 0);
+  b.add_edge(3, 4);
+  b.add_edge(3, 1);
+  const Graph g = std::move(b).build();
+  const auto nb = g.neighbors(3);
+  EXPECT_TRUE(std::is_sorted(nb.begin(), nb.end()));
+  EXPECT_EQ(nb.size(), 4u);
+}
+
+TEST(Graph, EdgesListsEachEdgeOnce) {
+  GraphBuilder b(5);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(3, 4);
+  const Graph g = std::move(b).build();
+  const auto edges = g.edges();
+  ASSERT_EQ(edges.size(), 3u);
+  for (const auto& [u, v] : edges) {
+    EXPECT_LT(u, v);
+  }
+  EXPECT_TRUE(std::is_sorted(edges.begin(), edges.end()));
+}
+
+TEST(Graph, FromEdgesConvenience) {
+  const std::vector<Edge> edges{{0, 1}, {2, 3}};
+  const Graph g = graph_from_edges(4, edges);
+  EXPECT_EQ(g.edge_count(), 2u);
+  EXPECT_TRUE(g.has_edge(2, 3));
+}
+
+TEST(Graph, DegreeQueriesValidateRange) {
+  const Graph g = graph_from_edges(2, std::vector<Edge>{{0, 1}});
+  EXPECT_THROW(g.degree(2), PreconditionError);
+  EXPECT_THROW(g.neighbors(5), PreconditionError);
+  EXPECT_THROW(g.has_edge(0, 9), PreconditionError);
+}
+
+TEST(Graph, AverageDegree) {
+  const Graph g = graph_from_edges(4, std::vector<Edge>{{0, 1}, {1, 2}});
+  EXPECT_DOUBLE_EQ(g.average_degree(), 1.0);  // 2m/n = 4/4
+}
+
+TEST(Graph, IsolatedNodesHaveZeroDegree) {
+  GraphBuilder b(10);
+  b.add_edge(0, 9);
+  const Graph g = std::move(b).build();
+  for (NodeId v = 1; v < 9; ++v) {
+    EXPECT_EQ(g.degree(v), 0u);
+    EXPECT_TRUE(g.neighbors(v).empty());
+  }
+  EXPECT_EQ(g.max_degree(), 1u);
+}
+
+TEST(Graph, LargeStarDegrees) {
+  GraphBuilder b(1001);
+  for (NodeId v = 1; v <= 1000; ++v) b.add_edge(0, v);
+  const Graph g = std::move(b).build();
+  EXPECT_EQ(g.degree(0), 1000u);
+  EXPECT_EQ(g.max_degree(), 1000u);
+  EXPECT_EQ(g.edge_count(), 1000u);
+  EXPECT_TRUE(g.has_edge(0, 567));
+  EXPECT_FALSE(g.has_edge(1, 2));
+}
+
+}  // namespace
+}  // namespace dmis

@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/generators.h"
+#include "graph/io.h"
+#include "graph/ops.h"
+#include "graph/properties.h"
+#include "util/check.h"
+
+namespace dmis {
+namespace {
+
+TEST(Ops, InducedSubgraphOfCycle) {
+  const Graph g = cycle(6);
+  const std::vector<NodeId> keep{0, 1, 2, 4};
+  const InducedSubgraph sub = induced_subgraph(g, keep);
+  EXPECT_EQ(sub.graph.node_count(), 4u);
+  // Edges kept: {0,1}, {1,2}; node 4 is isolated (3 and 5 are gone).
+  EXPECT_EQ(sub.graph.edge_count(), 2u);
+  EXPECT_EQ(sub.to_parent, keep);
+  EXPECT_TRUE(sub.graph.has_edge(0, 1));
+  EXPECT_TRUE(sub.graph.has_edge(1, 2));
+  EXPECT_EQ(sub.graph.degree(3), 0u);  // local id of node 4
+}
+
+TEST(Ops, InducedSubgraphByMask) {
+  const Graph g = complete(5);
+  std::vector<char> keep{1, 0, 1, 0, 1};
+  const InducedSubgraph sub = induced_subgraph(g, keep);
+  EXPECT_EQ(sub.graph.node_count(), 3u);
+  EXPECT_EQ(sub.graph.edge_count(), 3u);  // triangle on {0,2,4}
+  EXPECT_EQ(sub.to_parent, (std::vector<NodeId>{0, 2, 4}));
+}
+
+TEST(Ops, InducedSubgraphRejectsDuplicatesAndRange) {
+  const Graph g = cycle(5);
+  EXPECT_THROW(induced_subgraph(g, std::vector<NodeId>{1, 1}),
+               PreconditionError);
+  EXPECT_THROW(induced_subgraph(g, std::vector<NodeId>{9}),
+               PreconditionError);
+  EXPECT_THROW(induced_subgraph(g, std::vector<char>{1, 1}),
+               PreconditionError);  // mask size mismatch
+}
+
+TEST(Ops, BfsBallOnPath) {
+  const Graph g = path(10);
+  EXPECT_EQ(bfs_ball(g, 5, 0), (std::vector<NodeId>{5}));
+  EXPECT_EQ(bfs_ball(g, 5, 1), (std::vector<NodeId>{4, 5, 6}));
+  EXPECT_EQ(bfs_ball(g, 5, 2), (std::vector<NodeId>{3, 4, 5, 6, 7}));
+  EXPECT_EQ(bfs_ball(g, 0, 3), (std::vector<NodeId>{0, 1, 2, 3}));
+  EXPECT_EQ(bfs_ball(g, 0, 100).size(), 10u);
+}
+
+TEST(Ops, BfsDistances) {
+  const Graph g = cycle(8);
+  const auto dist = bfs_distances(g, 0);
+  EXPECT_EQ(dist[0], 0u);
+  EXPECT_EQ(dist[1], 1u);
+  EXPECT_EQ(dist[4], 4u);
+  EXPECT_EQ(dist[7], 1u);
+  const Graph two = empty_graph(2);
+  const auto d2 = bfs_distances(two, 0);
+  EXPECT_EQ(d2[1], kUnreachable);
+}
+
+TEST(Ops, GraphPowerOfCycle) {
+  const Graph g = cycle(8);
+  const Graph g2 = graph_power(g, 2);
+  EXPECT_EQ(g2.degree(0), 4u);  // ±1, ±2
+  EXPECT_TRUE(g2.has_edge(0, 2));
+  EXPECT_FALSE(g2.has_edge(0, 3));
+  const Graph g3 = graph_power(g, 3);
+  EXPECT_TRUE(g3.has_edge(0, 3));
+  EXPECT_EQ(graph_power(g, 1).edge_count(), g.edge_count());
+  EXPECT_THROW(graph_power(g, 0), PreconditionError);
+}
+
+TEST(Ops, GraphPowerSaturates) {
+  const Graph g = path(5);
+  const Graph g10 = graph_power(g, 10);
+  EXPECT_EQ(g10.edge_count(), 10u);  // complete on 5 nodes
+}
+
+TEST(Ops, ConnectedComponents) {
+  const Graph g = disjoint_cliques(3, 4);
+  const auto sizes = connected_component_sizes(g);
+  EXPECT_EQ(sizes, (std::vector<std::uint32_t>{4, 4, 4}));
+  const auto single = connected_component_sizes(cycle(9));
+  EXPECT_EQ(single, (std::vector<std::uint32_t>{9}));
+  const auto empty = connected_component_sizes(empty_graph(5));
+  EXPECT_EQ(empty.size(), 5u);
+}
+
+TEST(Properties, IndependentSetPredicates) {
+  const Graph g = cycle(6);
+  std::vector<char> alt{1, 0, 1, 0, 1, 0};
+  EXPECT_TRUE(is_independent_set(g, alt));
+  EXPECT_TRUE(is_maximal_independent_set(g, alt));
+  std::vector<char> adjacent{1, 1, 0, 0, 0, 0};
+  EXPECT_FALSE(is_independent_set(g, adjacent));
+  std::vector<char> small{1, 0, 0, 0, 0, 0};
+  EXPECT_TRUE(is_independent_set(g, small));
+  EXPECT_FALSE(is_maximal_independent_set(g, small));
+  EXPECT_EQ(uncovered_nodes(g, small), (std::vector<NodeId>{2, 3, 4}));
+}
+
+TEST(Properties, EmptySetOnEmptyGraphIsMaximal) {
+  const Graph g = empty_graph(0);
+  EXPECT_TRUE(is_maximal_independent_set(g, {}));
+  // On a graph with nodes, the empty set is independent but not maximal.
+  const Graph g5 = empty_graph(5);
+  std::vector<char> none(5, 0);
+  EXPECT_TRUE(is_independent_set(g5, none));
+  EXPECT_FALSE(is_maximal_independent_set(g5, none));
+}
+
+TEST(Properties, Degeneracy) {
+  EXPECT_EQ(degeneracy(empty_graph(4)), 0u);
+  EXPECT_EQ(degeneracy(path(10)), 1u);
+  EXPECT_EQ(degeneracy(cycle(10)), 2u);
+  EXPECT_EQ(degeneracy(complete(6)), 5u);
+  EXPECT_EQ(degeneracy(star(50)), 1u);
+  EXPECT_EQ(degeneracy(grid2d(5, 5)), 2u);
+  EXPECT_EQ(degeneracy(complete_bipartite(3, 7)), 3u);
+}
+
+TEST(Properties, TriangleCount) {
+  EXPECT_EQ(triangle_count(complete(4)), 4u);
+  EXPECT_EQ(triangle_count(complete(5)), 10u);
+  EXPECT_EQ(triangle_count(cycle(3)), 1u);
+  EXPECT_EQ(triangle_count(cycle(5)), 0u);
+  EXPECT_EQ(triangle_count(complete_bipartite(4, 4)), 0u);
+  EXPECT_EQ(triangle_count(grid2d(3, 3)), 0u);
+}
+
+TEST(Io, RoundTripThroughStream) {
+  const Graph g = gnp(60, 0.1, 123);
+  std::stringstream ss;
+  write_edge_list(g, ss);
+  const Graph back = read_edge_list(ss);
+  EXPECT_EQ(back.node_count(), g.node_count());
+  EXPECT_EQ(back.edge_count(), g.edge_count());
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    const auto a = g.neighbors(v);
+    const auto b = back.neighbors(v);
+    ASSERT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()));
+  }
+}
+
+TEST(Io, MalformedInputThrows) {
+  std::stringstream bad1("not a header");
+  EXPECT_THROW(read_edge_list(bad1), PreconditionError);
+  std::stringstream bad2("4 2\n0 1\n");  // promised 2 edges, gave 1
+  EXPECT_THROW(read_edge_list(bad2), PreconditionError);
+}
+
+}  // namespace
+}  // namespace dmis

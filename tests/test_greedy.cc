@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/properties.h"
+#include "mis/greedy.h"
+#include "test_helpers.h"
+#include "util/check.h"
+
+namespace dmis {
+namespace {
+
+using ::dmis::testing::GraphCase;
+using ::dmis::testing::standard_suite;
+
+class GreedySuite : public ::testing::TestWithParam<GraphCase> {};
+
+TEST_P(GreedySuite, ProducesMaximalIndependentSet) {
+  const Graph& g = GetParam().graph;
+  const auto mis = greedy_mis(g);
+  EXPECT_TRUE(is_maximal_independent_set(g, mis));
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, GreedySuite,
+                         ::testing::ValuesIn(standard_suite()),
+                         ::dmis::testing::CasePrinter{});
+
+TEST(Greedy, IdOrderPicksLowestIds) {
+  const Graph g = path(5);  // 0-1-2-3-4
+  const auto mis = greedy_mis(g);
+  EXPECT_EQ(mis, (std::vector<char>{1, 0, 1, 0, 1}));
+}
+
+TEST(Greedy, CustomOrderChangesTheResult) {
+  const Graph g = path(3);
+  const std::vector<NodeId> order{1, 0, 2};
+  const auto mis = greedy_mis(g, order);
+  EXPECT_EQ(mis, (std::vector<char>{0, 1, 0}));
+  EXPECT_TRUE(is_maximal_independent_set(g, mis));
+}
+
+TEST(Greedy, StarAlwaysResolves) {
+  const Graph g = star(10);
+  const auto hub_first = greedy_mis(g);
+  EXPECT_EQ(hub_first[0], 1);  // hub joins, leaves blocked
+  EXPECT_EQ(std::accumulate(hub_first.begin(), hub_first.end(), 0), 1);
+  std::vector<NodeId> leaves_first(10);
+  std::iota(leaves_first.begin(), leaves_first.end(), NodeId{0});
+  std::rotate(leaves_first.begin(), leaves_first.begin() + 1,
+              leaves_first.end());  // 1..9, then 0
+  const auto leaf_mis = greedy_mis(g, leaves_first);
+  EXPECT_EQ(leaf_mis[0], 0);
+  EXPECT_EQ(std::accumulate(leaf_mis.begin(), leaf_mis.end(), 0), 9);
+}
+
+TEST(Greedy, RejectsBadOrders) {
+  const Graph g = path(3);
+  EXPECT_THROW(greedy_mis(g, std::vector<NodeId>{0, 1}), PreconditionError);
+  EXPECT_THROW(greedy_mis(g, std::vector<NodeId>{0, 1, 1}),
+               PreconditionError);
+  EXPECT_THROW(greedy_mis(g, std::vector<NodeId>{0, 1, 7}),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace dmis

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "graph/properties.h"
+#include "mis/beeping.h"
+#include "mis/halfduplex_beeping.h"
+#include "runtime/beeping.h"
+#include "test_helpers.h"
+
+namespace dmis {
+namespace {
+
+using ::dmis::testing::GraphCase;
+using ::dmis::testing::standard_suite;
+
+// Engine semantics first: in half duplex a beeping node senses nothing.
+class AlwaysBeeper final : public BeepProgram {
+ public:
+  BeepAction act(std::uint64_t) override { return BeepAction::kBeep; }
+  void feedback(std::uint64_t, bool heard) override {
+    heard_ = heard;
+    halted_ = true;
+  }
+  bool halted() const override { return halted_; }
+  bool heard() const { return heard_; }
+
+ private:
+  bool heard_ = false;
+  bool halted_ = false;
+};
+
+TEST(HalfDuplexEngine, BeepersAreDeaf) {
+  const Graph g = complete(3);
+  for (const DuplexMode mode :
+       {DuplexMode::kFullDuplex, DuplexMode::kHalfDuplex}) {
+    std::vector<std::unique_ptr<BeepProgram>> programs;
+    std::vector<AlwaysBeeper*> views;
+    for (int i = 0; i < 3; ++i) {
+      auto p = std::make_unique<AlwaysBeeper>();
+      views.push_back(p.get());
+      programs.push_back(std::move(p));
+    }
+    BeepEngine engine(g, std::move(programs), mode);
+    engine.step();
+    for (const auto* v : views) {
+      EXPECT_EQ(v->heard(), mode == DuplexMode::kFullDuplex);
+    }
+  }
+}
+
+class HalfDuplexSuite : public ::testing::TestWithParam<GraphCase> {};
+
+TEST_P(HalfDuplexSuite, ProducesMaximalIndependentSet) {
+  const Graph& g = GetParam().graph;
+  for (const std::uint64_t seed : {501u, 502u}) {
+    HalfDuplexBeepingOptions opts;
+    opts.randomness = RandomSource(seed);
+    const MisRun run = halfduplex_beeping_mis(g, opts);
+    EXPECT_TRUE(is_maximal_independent_set(g, run.in_mis)) << "seed " << seed;
+    EXPECT_EQ(run.undecided_count(), 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, HalfDuplexSuite,
+                         ::testing::ValuesIn(standard_suite()),
+                         ::dmis::testing::CasePrinter{});
+
+TEST(HalfDuplex, NoTwoAdjacentWinnersOnCompleteGraphs) {
+  // The adversarial case for half duplex: everyone hears everyone, and the
+  // deterministic id verification must always whittle candidates down to
+  // exactly one winner per clique.
+  for (const std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    const Graph g = complete(64);
+    HalfDuplexBeepingOptions opts;
+    opts.randomness = RandomSource(seed);
+    const MisRun run = halfduplex_beeping_mis(g, opts);
+    EXPECT_EQ(run.mis_size(), 1u) << "seed " << seed;
+    EXPECT_TRUE(is_maximal_independent_set(g, run.in_mis));
+  }
+}
+
+TEST(HalfDuplex, DeterministicPerSeed) {
+  const Graph g = gnp(150, 0.08, 60);
+  HalfDuplexBeepingOptions opts;
+  opts.randomness = RandomSource(8);
+  const MisRun a = halfduplex_beeping_mis(g, opts);
+  const MisRun b = halfduplex_beeping_mis(g, opts);
+  EXPECT_EQ(a.in_mis, b.in_mis);
+  EXPECT_EQ(a.rounds, b.rounds);
+}
+
+TEST(HalfDuplex, PaysTheLogNFactorOverFullDuplex) {
+  // The footnote-2 comparison: losing carrier sensing costs a Theta(log n)
+  // factor per iteration here (verification), so total rounds are
+  // substantially larger than the full-duplex algorithm's on the same
+  // input.
+  const Graph g = gnp(512, 0.05, 61);
+  BeepingOptions full;
+  full.randomness = RandomSource(9);
+  const MisRun full_run = beeping_mis(g, full);
+  HalfDuplexBeepingOptions half;
+  half.randomness = RandomSource(9);
+  const MisRun half_run = halfduplex_beeping_mis(g, half);
+  EXPECT_TRUE(is_maximal_independent_set(g, half_run.in_mis));
+  EXPECT_GT(half_run.rounds, full_run.rounds);
+  // ... but not by more than ~ the iteration-length ratio times slack.
+  EXPECT_LT(half_run.rounds, 40 * full_run.rounds);
+}
+
+TEST(HalfDuplex, IterationLengthIsTwoPlusIdBits) {
+  // n = 256 -> id verification takes 8 rounds, announce 1, candidacy 1.
+  const Graph g = empty_graph(256);
+  HalfDuplexBeepingOptions opts;
+  opts.randomness = RandomSource(10);
+  const MisRun run = halfduplex_beeping_mis(g, opts);
+  EXPECT_EQ(run.mis_size(), 256u);
+  EXPECT_EQ(run.rounds % 10, 0u);  // whole iterations of 2 + 8 rounds
+}
+
+}  // namespace
+}  // namespace dmis

@@ -1,0 +1,57 @@
+// Shared fixtures: a suite of named graph families swept by the
+// parameterized validity/property tests.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "graph/generators.h"
+#include "graph/graph.h"
+
+namespace dmis::testing {
+
+struct GraphCase {
+  std::string name;
+  Graph graph;
+};
+
+/// Small-to-medium family suite: adversarial structures plus random models.
+inline std::vector<GraphCase> standard_suite(std::uint64_t seed = 7) {
+  std::vector<GraphCase> cases;
+  cases.push_back({"empty16", empty_graph(16)});
+  cases.push_back({"single", empty_graph(1)});
+  cases.push_back({"path64", path(64)});
+  cases.push_back({"cycle65", cycle(65)});
+  cases.push_back({"star64", star(64)});
+  cases.push_back({"complete32", complete(32)});
+  cases.push_back({"bipartite16x24", complete_bipartite(16, 24)});
+  cases.push_back({"grid8x9", grid2d(8, 9)});
+  cases.push_back({"cliques8x8", disjoint_cliques(8, 8)});
+  cases.push_back({"gnp200_sparse", gnp(200, 0.02, seed)});
+  cases.push_back({"gnp200_dense", gnp(200, 0.3, seed + 1)});
+  cases.push_back({"gnm300", gnm(300, 900, seed + 2)});
+  cases.push_back({"regular128d6", random_regular(128, 6, seed + 3)});
+  cases.push_back({"ba256", barabasi_albert(256, 5, 3, seed + 4)});
+  cases.push_back({"geometric256", random_geometric(256, 0.12, seed + 5)});
+  cases.push_back({"planted200", planted_independent_set(200, 40, 0.1, seed + 6)});
+  cases.push_back({"hypercube6", hypercube(6)});
+  cases.push_back({"caterpillar20x4", caterpillar(20, 4)});
+  cases.push_back({"smallworld150", watts_strogatz(150, 3, 0.2, seed + 7)});
+  cases.push_back({"expander12x12", margulis_expander(12)});
+  cases.push_back({"binarytree127", binary_tree(127)});
+  return cases;
+}
+
+struct CasePrinter {
+  template <class ParamType>
+  std::string operator()(
+      const ::testing::TestParamInfo<ParamType>& info) const {
+    return info.param.name;
+  }
+};
+
+}  // namespace dmis::testing

@@ -1,0 +1,154 @@
+// Unit tests for the golden-round auditor (mis/instrumentation.h): feed
+// hand-crafted state sequences and check every classification from the
+// paper's definitions (§2.2/§2.3) fires exactly where it should.
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "mis/instrumentation.h"
+
+namespace dmis {
+namespace {
+
+// Star with 4 leaves: hub 0, leaves 1..4. d(hub) = Σ leaf p; d(leaf) = p(hub).
+class AuditorStar : public ::testing::Test {
+ protected:
+  AuditorStar() : g_(star(5)), auditor_(g_) {}
+  Graph g_;
+  GoldenRoundAuditor auditor_;
+};
+
+TEST_F(AuditorStar, GoldenType1Detection) {
+  // All p = 1/2: d(hub) = 2 > 0.02 (not golden-1); each leaf sees
+  // d = 0.5 > 0.02 (not golden-1 either).
+  std::vector<char> alive(5, 1);
+  std::vector<int> p(5, 1);
+  auditor_.begin_iteration(alive, p, {});
+  auditor_.end_iteration(alive);
+  EXPECT_EQ(auditor_.report().golden1, 0u);
+  // Leaves' probabilities collapse to 2^-10: hub sees d = 4/1024 <= 0.02 and
+  // has p = 1/2 -> hub is golden-1. Leaves see d(hub) = 2^-10 <= 0.02 but
+  // their own p != 1/2 -> not golden-1.
+  GoldenRoundAuditor fresh(g_);
+  std::vector<int> p2{1, 10, 10, 10, 10};
+  fresh.begin_iteration(alive, p2, {});
+  fresh.end_iteration(alive);
+  EXPECT_EQ(fresh.report().golden1, 1u);
+}
+
+TEST_F(AuditorStar, GoldenType1ExcludesSuperHeavy) {
+  std::vector<char> alive(5, 1);
+  std::vector<int> p{1, 10, 10, 10, 10};
+  std::vector<char> sh{1, 0, 0, 0, 0};  // hub super-heavy
+  auditor_.begin_iteration(alive, p, sh);
+  auditor_.end_iteration(alive);
+  EXPECT_EQ(auditor_.report().golden1, 0u);
+}
+
+TEST_F(AuditorStar, GoldenType2Detection) {
+  // Hub p = 1/2 and no node heavy (all d <= 10): every leaf has
+  // d = 0.5 > 0.01 with d' = d -> golden-2. The hub has d = 4 * 2^-2 = 1:
+  // also golden-2.
+  std::vector<char> alive(5, 1);
+  std::vector<int> p{1, 2, 2, 2, 2};
+  auditor_.begin_iteration(alive, p, {});
+  auditor_.end_iteration(alive);
+  EXPECT_EQ(auditor_.report().golden2, 5u);
+}
+
+TEST_F(AuditorStar, HeavyNeighborsSuppressGolden2) {
+  // Make the hub heavy via a super-heavy flag: leaves' d' excludes it, so
+  // d' = 0 < 0.01 d -> leaves are NOT golden-2.
+  std::vector<char> alive(5, 1);
+  std::vector<int> p{1, 2, 2, 2, 2};
+  std::vector<char> sh{1, 0, 0, 0, 0};
+  auditor_.begin_iteration(alive, p, sh);
+  auditor_.end_iteration(alive);
+  // The hub itself: d(hub) = 1 > 0.01, its neighbors (leaves) are light, so
+  // d' = d -> hub still golden-2. Leaves: suppressed.
+  EXPECT_EQ(auditor_.report().golden2, 1u);
+}
+
+TEST_F(AuditorStar, WrongMoveType1Detection) {
+  // Iteration 1: hub isolated-ish (leaves at 2^-10): d(hub) small, hub not
+  // SH. Iteration 2: hub's p halved (1 -> 2): wrong move (1).
+  std::vector<char> alive(5, 1);
+  std::vector<int> p1{1, 10, 10, 10, 10};
+  auditor_.begin_iteration(alive, p1, {});
+  auditor_.end_iteration(alive);
+  std::vector<int> p2{2, 10, 10, 10, 10};
+  auditor_.begin_iteration(alive, p2, {});
+  auditor_.end_iteration(alive);
+  EXPECT_EQ(auditor_.report().wrong_moves, 1u);
+  // Doubling instead is NOT a wrong move.
+  GoldenRoundAuditor fresh(g_);
+  std::vector<int> q1{2, 10, 10, 10, 10};
+  fresh.begin_iteration(alive, q1, {});
+  fresh.end_iteration(alive);
+  std::vector<int> q2{1, 10, 10, 10, 10};
+  fresh.begin_iteration(alive, q2, {});
+  fresh.end_iteration(alive);
+  EXPECT_EQ(fresh.report().wrong_moves, 0u);
+}
+
+TEST_F(AuditorStar, GammaCountsRemovalsInGoldenRounds) {
+  std::vector<char> alive(5, 1);
+  // Hub is golden-1 (p = 1/2, d tiny); each leaf is golden-2 (d = p(hub) =
+  // 1/2 > 0.01, hub not heavy so d' = d): 5 golden node-rounds total.
+  std::vector<int> p{1, 10, 10, 10, 10};
+  auditor_.begin_iteration(alive, p, {});
+  std::vector<char> after{0, 1, 1, 1, 1};  // hub removed this iteration
+  auditor_.end_iteration(after);
+  EXPECT_EQ(auditor_.report().golden_rounds_total, 5u);
+  EXPECT_EQ(auditor_.report().golden_rounds_with_removal, 1u);
+  EXPECT_DOUBLE_EQ(auditor_.report().gamma(), 0.2);
+}
+
+TEST_F(AuditorStar, DeadNodesAreInvisible) {
+  std::vector<char> alive{0, 0, 0, 0, 0};
+  std::vector<int> p(5, 1);
+  auditor_.begin_iteration(alive, p, {});
+  auditor_.end_iteration(alive);
+  EXPECT_EQ(auditor_.report().observed_node_rounds, 0u);
+  EXPECT_EQ(auditor_.report().golden_fraction(), 0.0);
+  EXPECT_EQ(auditor_.report().wrong_move_rate(), 0.0);
+  EXPECT_EQ(auditor_.report().gamma(), 0.0);
+}
+
+TEST_F(AuditorStar, PerNodeTalliesAccumulate) {
+  std::vector<char> alive(5, 1);
+  std::vector<int> p{1, 10, 10, 10, 10};
+  for (int t = 0; t < 3; ++t) {
+    auditor_.begin_iteration(alive, p, {});
+    auditor_.end_iteration(alive);
+  }
+  EXPECT_EQ(auditor_.report().node_rounds_alive[0], 3u);
+  EXPECT_EQ(auditor_.report().node_golden[0], 3u);  // hub golden-1 each time
+  EXPECT_EQ(auditor_.report().observed_node_rounds, 15u);
+}
+
+TEST(Auditor, WrongMoveType2Detection) {
+  // Two hubs sharing leaves so a node's d is dominated by a heavy neighbor.
+  // Construct: v adjacent to heavy hub h (d(h) > 10 via many leaves).
+  // If d(v) fails to shrink by 0.6x while d'(v) < 0.01 d(v), it's a wrong
+  // move (2).
+  GraphBuilder b(30);
+  // h = 0 with leaves 2..28 (27 leaves); v = 1 adjacent only to h.
+  for (NodeId l = 2; l < 29; ++l) b.add_edge(0, l);
+  b.add_edge(0, 1);
+  const Graph g = std::move(b).build();
+  GoldenRoundAuditor auditor(g);
+  std::vector<char> alive(30, 1);
+  // All at p = 1/2: d(h) = 14 > 10 -> h heavy. v: d = 0.5 > 0.01,
+  // d' = 0 (only neighbor is heavy) -> type-2 wrong-move candidate.
+  std::vector<int> p(30, 1);
+  auditor.begin_iteration(alive, p, {});
+  auditor.end_iteration(alive);
+  // Next iteration d(v) unchanged (h kept p = 1/2): 0.5 > 0.6*0.5? No —
+  // 0.5 <= 0.3 is false, d stayed at 1.0x > 0.6x -> wrong move.
+  auditor.begin_iteration(alive, p, {});
+  auditor.end_iteration(alive);
+  EXPECT_GE(auditor.report().wrong_moves, 1u);
+}
+
+}  // namespace
+}  // namespace dmis

@@ -1,0 +1,142 @@
+// Cross-algorithm integration: every algorithm in the suite solves the same
+// workloads correctly; outputs are deterministic per seed and differ across
+// algorithms only in *which* valid MIS they find; cost accounting is
+// internally consistent across models.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/properties.h"
+#include "mis/beeping.h"
+#include "mis/clique_mis.h"
+#include "mis/ghaffari.h"
+#include "mis/greedy.h"
+#include "mis/luby.h"
+#include "mis/sparsified.h"
+#include "test_helpers.h"
+
+namespace dmis {
+namespace {
+
+using ::dmis::testing::GraphCase;
+using ::dmis::testing::standard_suite;
+
+class AllAlgorithmsSuite : public ::testing::TestWithParam<GraphCase> {};
+
+TEST_P(AllAlgorithmsSuite, EveryAlgorithmSolvesEveryFamily) {
+  const Graph& g = GetParam().graph;
+  const std::uint64_t seed = 1234;
+
+  const auto greedy = greedy_mis(g);
+  EXPECT_TRUE(is_maximal_independent_set(g, greedy)) << "greedy";
+
+  LubyOptions luby_opts;
+  luby_opts.randomness = RandomSource(seed);
+  EXPECT_TRUE(is_maximal_independent_set(g, luby_mis(g, luby_opts).in_mis))
+      << "luby";
+
+  GhaffariOptions gh_opts;
+  gh_opts.randomness = RandomSource(seed);
+  EXPECT_TRUE(is_maximal_independent_set(g, ghaffari_mis(g, gh_opts).in_mis))
+      << "ghaffari";
+
+  BeepingOptions beep_opts;
+  beep_opts.randomness = RandomSource(seed);
+  EXPECT_TRUE(is_maximal_independent_set(g, beeping_mis(g, beep_opts).in_mis))
+      << "beeping";
+
+  SparsifiedOptions sp_opts;
+  sp_opts.params = SparsifiedParams::from_n(g.node_count());
+  sp_opts.randomness = RandomSource(seed);
+  EXPECT_TRUE(
+      is_maximal_independent_set(g, sparsified_mis(g, sp_opts).in_mis))
+      << "sparsified";
+
+  CliqueMisOptions cq_opts;
+  cq_opts.params = sp_opts.params;
+  cq_opts.randomness = RandomSource(seed);
+  EXPECT_TRUE(
+      is_maximal_independent_set(g, clique_mis(g, cq_opts).run.in_mis))
+      << "clique";
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, AllAlgorithmsSuite,
+                         ::testing::ValuesIn(standard_suite()),
+                         ::dmis::testing::CasePrinter{});
+
+TEST(Integration, MisSizesAreComparableAcrossAlgorithms) {
+  // All valid MIS sizes on G(n,p) concentrate; no algorithm should produce a
+  // set wildly smaller than greedy's.
+  const Graph g = gnp(500, 0.03, 9);
+  const auto greedy = greedy_mis(g);
+  const auto greedy_size = static_cast<double>(
+      std::accumulate(greedy.begin(), greedy.end(), std::uint64_t{0}));
+
+  LubyOptions lo;
+  lo.randomness = RandomSource(1);
+  const double luby_size = static_cast<double>(luby_mis(g, lo).mis_size());
+
+  CliqueMisOptions co;
+  co.params = SparsifiedParams::from_n(500);
+  co.randomness = RandomSource(1);
+  const double clique_size =
+      static_cast<double>(clique_mis(g, co).run.mis_size());
+
+  EXPECT_GT(luby_size, 0.6 * greedy_size);
+  EXPECT_LT(luby_size, 1.6 * greedy_size);
+  EXPECT_GT(clique_size, 0.6 * greedy_size);
+  EXPECT_LT(clique_size, 1.6 * greedy_size);
+}
+
+TEST(Integration, SeedsChangeOutcomesButNotValidity) {
+  const Graph g = gnp(300, 0.05, 10);
+  std::vector<std::vector<char>> results;
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    BeepingOptions opts;
+    opts.randomness = RandomSource(seed);
+    const MisRun run = beeping_mis(g, opts);
+    EXPECT_TRUE(is_maximal_independent_set(g, run.in_mis));
+    results.push_back(run.in_mis);
+  }
+  // At least two of the four seeds find different sets (overwhelmingly).
+  bool any_different = false;
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    if (results[i] != results[0]) any_different = true;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(Integration, CliqueRoundsBeatLubyOnHighDegreeGraphs) {
+  // The paper's headline comparison (E1): Õ(sqrt(log Δ)) clique rounds vs
+  // Luby's O(log n) — on a dense graph the gap is visible even at n = 600.
+  const Graph g = gnp(600, 0.3, 11);
+  LubyOptions lo;
+  lo.randomness = RandomSource(2);
+  const MisRun luby = luby_mis(g, lo);
+
+  CliqueMisOptions co;
+  co.params = SparsifiedParams::from_n(600);
+  co.randomness = RandomSource(2);
+  const CliqueMisResult clique = clique_mis(g, co);
+
+  EXPECT_TRUE(is_maximal_independent_set(g, clique.run.in_mis));
+  EXPECT_GT(luby.rounds, 0u);
+  // Not asserting a strict win at this scale — Luby on a dense G(n,p)
+  // finishes in a handful of iterations and the asymptotic crossover of
+  // Theorem 1.1 sits beyond in-memory n (see EXPERIMENTS.md E1). The clique
+  // algorithm must stay within a moderate factor even here.
+  EXPECT_LT(clique.run.rounds, 50 * luby.rounds);
+}
+
+TEST(Integration, CongestAccountingConsistency) {
+  const Graph g = gnp(200, 0.05, 12);
+  GhaffariOptions opts;
+  opts.randomness = RandomSource(3);
+  const MisRun run = ghaffari_mis(g, opts);
+  // bits <= messages * B; rounds even (2 per iteration).
+  EXPECT_LE(run.costs.bits, run.costs.messages * 64);
+  EXPECT_EQ(run.rounds % 2, 0u);
+}
+
+}  // namespace
+}  // namespace dmis

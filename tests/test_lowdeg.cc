@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/properties.h"
+#include "mis/ghaffari.h"
+#include "mis/lowdeg.h"
+#include "util/check.h"
+
+namespace dmis {
+namespace {
+
+TEST(LowDeg, CycleProducesValidMis) {
+  const Graph g = cycle(500);
+  LowDegOptions opts;
+  opts.randomness = RandomSource(1);
+  const LowDegResult result = lowdeg_mis(g, opts);
+  EXPECT_TRUE(is_maximal_independent_set(g, result.run.in_mis));
+  EXPECT_EQ(result.run.undecided_count(), 0u);
+}
+
+TEST(LowDeg, GridProducesValidMis) {
+  const Graph g = grid2d(20, 25);
+  LowDegOptions opts;
+  opts.randomness = RandomSource(2);
+  const LowDegResult result = lowdeg_mis(g, opts);
+  EXPECT_TRUE(is_maximal_independent_set(g, result.run.in_mis));
+}
+
+TEST(LowDeg, GeometricProducesValidMis) {
+  const Graph g = random_geometric(400, 0.06, 3);
+  LowDegOptions opts;
+  opts.randomness = RandomSource(3);
+  opts.simulated_iterations = 4;
+  const LowDegResult result = lowdeg_mis(g, opts);
+  EXPECT_TRUE(is_maximal_independent_set(g, result.run.in_mis));
+}
+
+TEST(LowDeg, MatchesDirectGhaffariRunExactly) {
+  // The local replay must reproduce the CONGEST engine's execution of the
+  // §2.1 dynamic bit-for-bit over the simulated window: same joiners, same
+  // decision iterations.
+  const Graph g = cycle(300);
+  const std::uint64_t seed = 777;
+  LowDegOptions opts;
+  opts.randomness = RandomSource(seed);
+  opts.simulated_iterations = 6;
+  const LowDegResult local = lowdeg_mis(g, opts);
+
+  GhaffariOptions direct_opts;
+  direct_opts.randomness = RandomSource(seed);
+  direct_opts.max_iterations = 6;
+  const MisRun direct = ghaffari_mis(g, direct_opts);
+
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (direct.decided_round[v] != kNeverDecided) {
+      EXPECT_EQ(local.run.decided_round[v], direct.decided_round[v])
+          << "node " << v;
+      EXPECT_EQ(local.run.in_mis[v], direct.in_mis[v]) << "node " << v;
+    } else {
+      // Undecided in the direct run => decided only by the cleanup, stamped
+      // with the window length.
+      EXPECT_EQ(local.run.decided_round[v], 6u) << "node " << v;
+    }
+  }
+}
+
+TEST(LowDeg, GatherRoundsScaleLogLog) {
+  // Lemma 2.15's shape: rounds ~ gather steps = ceil(log2(2T+1)), doubling T
+  // adds one step.
+  const Graph g = cycle(400);
+  LowDegOptions a;
+  a.randomness = RandomSource(4);
+  a.simulated_iterations = 3;
+  const LowDegResult ra = lowdeg_mis(g, a);
+  LowDegOptions b;
+  b.randomness = RandomSource(4);
+  b.simulated_iterations = 12;
+  const LowDegResult rb = lowdeg_mis(g, b);
+  EXPECT_EQ(ra.stats.gather_steps, 3u);   // radius 6 -> 2^3-1=7 >= 6
+  EXPECT_EQ(rb.stats.gather_steps, 5u);   // radius 24 -> 2^5-1=31 >= 24
+  EXPECT_GT(rb.stats.max_ball_members, ra.stats.max_ball_members);
+}
+
+TEST(LowDeg, DenseGraphIsRejected) {
+  const Graph g = gnp(300, 0.2, 5);  // Δ ~ 75: balls explode
+  LowDegOptions opts;
+  opts.randomness = RandomSource(6);
+  opts.max_ball_members = 200;
+  EXPECT_THROW(lowdeg_mis(g, opts), PreconditionError);
+}
+
+TEST(LowDeg, DefaultIterationWindowDerivesFromDelta) {
+  const Graph g = grid2d(12, 12);  // Δ = 4
+  LowDegOptions opts;
+  opts.randomness = RandomSource(7);
+  const LowDegResult result = lowdeg_mis(g, opts);
+  // ceil(2*log2(6)) = 6 iterations, radius 12.
+  EXPECT_EQ(result.stats.iterations, 6);
+  EXPECT_EQ(result.stats.gather_radius, 12);
+  EXPECT_TRUE(is_maximal_independent_set(g, result.run.in_mis));
+}
+
+TEST(LowDeg, EmptyGraph) {
+  LowDegOptions opts;
+  const LowDegResult result = lowdeg_mis(Graph(), opts);
+  EXPECT_TRUE(result.run.in_mis.empty());
+}
+
+TEST(LowDeg, DeterministicPerSeed) {
+  const Graph g = cycle(200);
+  LowDegOptions opts;
+  opts.randomness = RandomSource(8);
+  const LowDegResult a = lowdeg_mis(g, opts);
+  const LowDegResult b = lowdeg_mis(g, opts);
+  EXPECT_EQ(a.run.in_mis, b.run.in_mis);
+  EXPECT_EQ(a.run.rounds, b.run.rounds);
+}
+
+}  // namespace
+}  // namespace dmis

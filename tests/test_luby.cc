@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/properties.h"
+#include "mis/luby.h"
+#include "test_helpers.h"
+
+namespace dmis {
+namespace {
+
+using ::dmis::testing::GraphCase;
+using ::dmis::testing::standard_suite;
+
+class LubySuite : public ::testing::TestWithParam<GraphCase> {};
+
+TEST_P(LubySuite, ProducesMaximalIndependentSet) {
+  const Graph& g = GetParam().graph;
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    LubyOptions opts;
+    opts.randomness = RandomSource(seed);
+    const MisRun run = luby_mis(g, opts);
+    EXPECT_TRUE(is_maximal_independent_set(g, run.in_mis))
+        << "seed " << seed;
+    EXPECT_EQ(run.undecided_count(), 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, LubySuite,
+                         ::testing::ValuesIn(standard_suite()),
+                         ::dmis::testing::CasePrinter{});
+
+TEST(Luby, DeterministicPerSeed) {
+  const Graph g = gnp(150, 0.05, 4);
+  LubyOptions opts;
+  opts.randomness = RandomSource(10);
+  const MisRun a = luby_mis(g, opts);
+  const MisRun b = luby_mis(g, opts);
+  EXPECT_EQ(a.in_mis, b.in_mis);
+  EXPECT_EQ(a.decided_round, b.decided_round);
+  EXPECT_EQ(a.rounds, b.rounds);
+  opts.randomness = RandomSource(11);
+  const MisRun c = luby_mis(g, opts);
+  EXPECT_NE(a.in_mis, c.in_mis);  // overwhelmingly likely
+}
+
+TEST(Luby, LogarithmicRoundsOnRandomGraphs) {
+  // O(log n) w.h.p.: on n = 1024, allow a generous 30 iterations.
+  const Graph g = gnp(1024, 0.01, 6);
+  LubyOptions opts;
+  opts.randomness = RandomSource(12);
+  const MisRun run = luby_mis(g, opts);
+  EXPECT_LE(run.rounds, 60u);  // 2 rounds per iteration
+  EXPECT_TRUE(is_maximal_independent_set(g, run.in_mis));
+}
+
+TEST(Luby, CompleteGraphDecidesInOneIteration) {
+  const Graph g = complete(64);
+  LubyOptions opts;
+  opts.randomness = RandomSource(13);
+  const MisRun run = luby_mis(g, opts);
+  EXPECT_EQ(run.mis_size(), 1u);
+  EXPECT_EQ(run.rounds, 2u);  // one iteration: a unique global minimum
+}
+
+TEST(Luby, EmptyGraphEveryoneJoins) {
+  const Graph g = empty_graph(20);
+  LubyOptions opts;
+  const MisRun run = luby_mis(g, opts);
+  EXPECT_EQ(run.mis_size(), 20u);
+}
+
+TEST(Luby, DecidedRoundsAreConsistent) {
+  const Graph g = gnp(200, 0.05, 8);
+  LubyOptions opts;
+  opts.randomness = RandomSource(14);
+  const MisRun run = luby_mis(g, opts);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    EXPECT_NE(run.decided_round[v], kNeverDecided);
+    EXPECT_LE(run.decided_round[v], run.rounds / 2);
+  }
+  // A joiner's neighbors all decide no later than it joins (they hear the
+  // announcement if still live), and every non-MIS node decides exactly when
+  // some MIS neighbor joins.
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (run.in_mis[v] != 0) {
+      for (const NodeId u : g.neighbors(v)) {
+        EXPECT_LE(run.decided_round[u], run.decided_round[v]);
+      }
+    } else {
+      bool witnessed = false;
+      for (const NodeId u : g.neighbors(v)) {
+        if (run.in_mis[u] != 0 &&
+            run.decided_round[u] == run.decided_round[v]) {
+          witnessed = true;
+        }
+      }
+      EXPECT_TRUE(witnessed) << "node " << v;
+    }
+  }
+}
+
+TEST(Luby, MessageCostsAreBounded) {
+  const Graph g = cycle(100);
+  LubyOptions opts;
+  opts.randomness = RandomSource(15);
+  const MisRun run = luby_mis(g, opts);
+  // Per iteration each live node broadcasts to <= 2 neighbors.
+  EXPECT_LE(run.costs.messages, run.rounds * 2 * 100);
+  EXPECT_GT(run.costs.bits, 0u);
+}
+
+}  // namespace
+}  // namespace dmis

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "dmis.h"
+#include "graph/ops.h"
+#include "test_helpers.h"
+
+namespace dmis {
+namespace {
+
+using ::dmis::testing::GraphCase;
+using ::dmis::testing::standard_suite;
+
+TEST(Dsu, BasicOperations) {
+  DisjointSets dsu(6);
+  EXPECT_EQ(dsu.component_count(), 6u);
+  EXPECT_TRUE(dsu.unite(0, 1));
+  EXPECT_FALSE(dsu.unite(1, 0));
+  EXPECT_TRUE(dsu.same(0, 1));
+  EXPECT_FALSE(dsu.same(0, 2));
+  EXPECT_TRUE(dsu.unite(2, 3));
+  EXPECT_TRUE(dsu.unite(0, 3));
+  EXPECT_TRUE(dsu.same(1, 2));
+  EXPECT_EQ(dsu.component_count(), 3u);  // {0,1,2,3}, {4}, {5}
+  EXPECT_THROW(dsu.find(6), PreconditionError);
+}
+
+TEST(KruskalReference, PathAndCycle) {
+  const WeightFn w = [](NodeId u, NodeId v) -> std::uint64_t {
+    return u + v;  // deterministic, increasing along the ring
+  };
+  const MstResult path_mst = kruskal_msf(path(5), w);
+  EXPECT_EQ(path_mst.edges.size(), 4u);  // a tree already
+  EXPECT_EQ(path_mst.components, 1u);
+  const MstResult cycle_mst = kruskal_msf(cycle(5), w);
+  EXPECT_EQ(cycle_mst.edges.size(), 4u);  // drops the heaviest edge {3,4}
+  EXPECT_FALSE(std::count(cycle_mst.edges.begin(), cycle_mst.edges.end(),
+                          Edge{3, 4}));
+}
+
+TEST(KruskalReference, ForestOnDisconnectedGraphs) {
+  const Graph g = disjoint_cliques(3, 4);
+  const MstResult mst = kruskal_msf(g, hashed_weights(1));
+  EXPECT_EQ(mst.components, 3u);
+  EXPECT_EQ(mst.edges.size(), 12u - 3u);  // n - #components
+}
+
+class CliqueMstSuite : public ::testing::TestWithParam<GraphCase> {};
+
+TEST_P(CliqueMstSuite, MatchesKruskalEdgeForEdge) {
+  const Graph& g = GetParam().graph;
+  const WeightFn w = hashed_weights(42);
+  const MstResult reference = kruskal_msf(g, w);
+  CliqueMstOptions opts;
+  opts.randomness = RandomSource(7);
+  const CliqueMstResult distributed = clique_mst(g, w, opts);
+  // Tie-broken weights make the MSF unique: exact agreement required.
+  EXPECT_EQ(distributed.edges, reference.edges);
+  EXPECT_EQ(distributed.total_weight, reference.total_weight);
+  EXPECT_EQ(distributed.components, reference.components);
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, CliqueMstSuite,
+                         ::testing::ValuesIn(standard_suite()),
+                         ::dmis::testing::CasePrinter{});
+
+TEST(CliqueMst, LogarithmicPhases) {
+  const Graph g = gnp(2048, 0.01, 9);
+  const CliqueMstResult r = clique_mst(g, hashed_weights(3), {});
+  // Borůvka at least halves the component count per phase: <= log2 n + 1.
+  EXPECT_LE(r.boruvka_phases, 12u);
+  EXPECT_GT(r.boruvka_phases, 0u);
+}
+
+TEST(CliqueMst, EmptyAndEdgelessGraphs) {
+  const CliqueMstResult none = clique_mst(Graph(), hashed_weights(1), {});
+  EXPECT_TRUE(none.edges.empty());
+  const CliqueMstResult iso =
+      clique_mst(empty_graph(7), hashed_weights(1), {});
+  EXPECT_TRUE(iso.edges.empty());
+  EXPECT_EQ(iso.components, 7u);
+  EXPECT_EQ(iso.boruvka_phases, 0u);
+}
+
+TEST(CliqueMst, DeterministicAndWeightSensitive) {
+  const Graph g = gnp(300, 0.05, 10);
+  const CliqueMstResult a = clique_mst(g, hashed_weights(5), {});
+  const CliqueMstResult b = clique_mst(g, hashed_weights(5), {});
+  EXPECT_EQ(a.edges, b.edges);
+  const CliqueMstResult c = clique_mst(g, hashed_weights(6), {});
+  EXPECT_NE(a.edges, c.edges);  // different weights, different tree (whp)
+  EXPECT_EQ(a.edges.size(), c.edges.size());
+}
+
+TEST(CliqueMst, RoundsAreConstantPerPhase) {
+  const Graph g = random_regular(512, 6, 11);
+  const CliqueMstResult r = clique_mst(g, hashed_weights(4), {});
+  // Each phase: 1 label round + 4 routed steps of O(1) batches each.
+  EXPECT_LE(r.costs.rounds, r.boruvka_phases * 16);
+}
+
+
+TEST(CliqueComponents, MatchesCentralizedComponents) {
+  for (const Graph& g :
+       {disjoint_cliques(4, 10), gnp(300, 0.004, 12), cycle(50),
+        empty_graph(8)}) {
+    const CliqueComponentsResult r =
+        clique_connected_components(g, {});
+    const auto sizes = connected_component_sizes(g);
+    EXPECT_EQ(r.component_count, sizes.size());
+    // Labels are consistent: same label iff connected.
+    const auto dist0 = g.node_count() > 0 ? bfs_distances(g, 0)
+                                          : std::vector<std::uint32_t>{};
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      EXPECT_EQ(r.component[v] == r.component[0],
+                dist0[v] != kUnreachable)
+          << "node " << v;
+      // The label is the minimum id in the component.
+      EXPECT_LE(r.component[v], v);
+    }
+  }
+}
+
+TEST(CliqueComponents, UmbrellaHeaderCompiles) {
+  // dmis.h is included via this test's TU below — nothing to assert beyond
+  // successful compilation and a trivial use.
+  EXPECT_EQ(empty_graph(3).node_count(), 3u);
+}
+
+}  // namespace
+}  // namespace dmis

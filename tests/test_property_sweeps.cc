@@ -1,0 +1,155 @@
+// Seed-dimension property sweeps: the invariants that must hold for *every*
+// seed, exercised across many. Parameterized by seed so failures name the
+// offending one.
+#include <gtest/gtest.h>
+
+#include "clique/lenzen_schedule.h"
+#include "graph/generators.h"
+#include "graph/ops.h"
+#include "graph/properties.h"
+#include "mis/clique_mis.h"
+#include "mis/local_oracle.h"
+#include "mis/lowdeg.h"
+#include "mis/sparsified.h"
+#include "mis/sparsified_congest.h"
+#include "rng/mix.h"
+
+namespace dmis {
+namespace {
+
+class SeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeedSweep, CliqueEquivalenceOnRandomGraphs) {
+  const std::uint64_t seed = GetParam();
+  // Vary the topology with the seed too.
+  const Graph g = gnp(220, 0.03 + 0.01 * (seed % 7), mix64(seed, 1));
+  SparsifiedOptions d;
+  d.params = SparsifiedParams::from_n(g.node_count());
+  d.randomness = RandomSource(seed);
+  const MisRun direct = sparsified_mis(g, d);
+  CliqueMisOptions c;
+  c.params = d.params;
+  c.randomness = RandomSource(seed);
+  c.max_phases = 8192;
+  const CliqueMisResult clique = clique_mis(g, c);
+  EXPECT_EQ(direct.in_mis, clique.run.in_mis);
+  EXPECT_EQ(direct.decided_round, clique.run.decided_round);
+}
+
+TEST_P(SeedSweep, CliqueEquivalenceAcrossPhaseLengths) {
+  // The headline equivalence must hold for every phase length, not just the
+  // from_n default.
+  // Small n on purpose: with boost = R >= 2 the early-phase sampled set is
+  // everything, so gathered balls approach the whole graph — fine to
+  // exercise, expensive to scale.
+  const std::uint64_t seed = GetParam();
+  const Graph g = gnp(64, 0.1, mix64(seed, 11));
+  for (const int R : {2, 3}) {
+    SparsifiedParams params;
+    params.phase_length = R;
+    params.superheavy_log2_threshold = 2 * R;
+    params.sample_boost = R;
+    SparsifiedOptions d;
+    d.params = params;
+    d.randomness = RandomSource(seed);
+    const MisRun direct = sparsified_mis(g, d);
+    CliqueMisOptions c;
+    c.params = params;
+    c.randomness = RandomSource(seed);
+    c.max_phases = 8192;
+    const CliqueMisResult clique = clique_mis(g, c);
+    EXPECT_EQ(direct.in_mis, clique.run.in_mis) << "R=" << R;
+    EXPECT_EQ(direct.decided_round, clique.run.decided_round) << "R=" << R;
+  }
+}
+
+TEST_P(SeedSweep, CongestTranslationEquivalence) {
+  const std::uint64_t seed = GetParam();
+  const Graph g = random_regular(180, 6 + 2 * (seed % 3), mix64(seed, 2));
+  SparsifiedOptions o;
+  o.params.phase_length = 1 + static_cast<int>(seed % 4);
+  o.params.superheavy_log2_threshold = 2 * o.params.phase_length;
+  o.params.sample_boost = o.params.phase_length;
+  o.randomness = RandomSource(seed);
+  EXPECT_EQ(sparsified_mis(g, o).in_mis, sparsified_congest_mis(g, o).in_mis);
+}
+
+TEST_P(SeedSweep, ScheduleValidOnRandomLoads) {
+  const std::uint64_t seed = GetParam();
+  const NodeId n = 20;
+  SplitMix64 rng(mix64(seed, 3));
+  std::vector<Packet> packets;
+  std::vector<std::uint32_t> out(n, 0);
+  std::vector<std::uint32_t> in(n, 0);
+  for (int tries = 0; tries < 1500; ++tries) {
+    const NodeId s = static_cast<NodeId>(rng.next_below(n));
+    const NodeId d = static_cast<NodeId>(rng.next_below(n));
+    if (out[s] >= n || in[d] >= n) continue;
+    packets.push_back({s, d, 0, 0});
+    ++out[s];
+    ++in[d];
+  }
+  const TwoRoundSchedule sched = lenzen_schedule(packets, n);
+  EXPECT_NO_THROW(
+      validate_two_round_schedule(packets, sched.intermediate, n));
+}
+
+TEST_P(SeedSweep, OracleMatchesLowDegOnGeometric) {
+  const std::uint64_t seed = GetParam();
+  const Graph g = random_geometric(500, 0.035, mix64(seed, 4));
+  LocalMisOracle::Options oo;
+  oo.randomness = RandomSource(seed);
+  oo.simulated_iterations = 3;
+  LocalMisOracle oracle(g, oo);
+  LowDegOptions lo;
+  lo.randomness = RandomSource(seed);
+  lo.simulated_iterations = 3;
+  const LowDegResult reference = lowdeg_mis(g, lo);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    ASSERT_EQ(oracle.in_mis(v), reference.run.in_mis[v] != 0)
+        << "seed " << seed << " node " << v;
+  }
+}
+
+TEST_P(SeedSweep, InducedSubgraphMatchesBruteForce) {
+  const std::uint64_t seed = GetParam();
+  const Graph g = gnp(90, 0.15, mix64(seed, 5));
+  // Random subset via per-node coin.
+  std::vector<char> keep(g.node_count(), 0);
+  SplitMix64 rng(mix64(seed, 6));
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    keep[v] = (rng.next() & 1) ? 1 : 0;
+  }
+  const InducedSubgraph sub = induced_subgraph(g, keep);
+  // Brute force: every kept pair is an edge in the subgraph iff in g.
+  for (std::size_t i = 0; i < sub.to_parent.size(); ++i) {
+    for (std::size_t j = i + 1; j < sub.to_parent.size(); ++j) {
+      EXPECT_EQ(sub.graph.has_edge(static_cast<NodeId>(i),
+                                   static_cast<NodeId>(j)),
+                g.has_edge(sub.to_parent[i], sub.to_parent[j]));
+    }
+  }
+}
+
+TEST_P(SeedSweep, GraphPowerMatchesBfsDistances) {
+  const std::uint64_t seed = GetParam();
+  const Graph g = gnp(60, 0.05, mix64(seed, 7));
+  const int k = 2 + static_cast<int>(seed % 2);
+  const Graph gk = graph_power(g, k);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    const auto dist = bfs_distances(g, v);
+    for (NodeId u = 0; u < g.node_count(); ++u) {
+      if (u == v) continue;
+      const bool within =
+          dist[u] != kUnreachable && dist[u] <= static_cast<std::uint32_t>(k);
+      EXPECT_EQ(gk.has_edge(v, u), within) << "v=" << v << " u=" << u;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u,
+                                           9u, 10u));
+
+}  // namespace
+}  // namespace dmis

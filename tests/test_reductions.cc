@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/generators.h"
+#include "mis/reductions.h"
+#include "util/check.h"
+
+namespace dmis {
+namespace {
+
+// The reductions lift ANY MIS solver; sweep all of them to show the paper's
+// §1.1 statement end-to-end ("this round complexity also extends to...").
+struct SolverCase {
+  std::string name;
+  MisSolver solver;
+};
+
+std::vector<SolverCase> solvers() {
+  return {
+      {"greedy", greedy_solver()},
+      {"luby", luby_solver(11)},
+      {"sparsified", sparsified_solver(12)},
+      {"clique", clique_solver(13)},
+  };
+}
+
+class ReductionSolverSuite : public ::testing::TestWithParam<SolverCase> {};
+
+TEST_P(ReductionSolverSuite, MaximalMatchingOnSeveralFamilies) {
+  const auto& solver = GetParam().solver;
+  for (const Graph& g : {gnp(80, 0.08, 1), cycle(31), complete(12),
+                         grid2d(6, 7), star(20), empty_graph(10)}) {
+    const MatchingResult m = maximal_matching(g, solver);
+    EXPECT_TRUE(is_maximal_matching(g, m.matching))
+        << "n=" << g.node_count() << " m=" << g.edge_count();
+  }
+}
+
+TEST_P(ReductionSolverSuite, VertexColoringUsesAtMostDeltaPlusOne) {
+  const auto& solver = GetParam().solver;
+  for (const Graph& g : {gnp(60, 0.1, 2), cycle(17), complete(9),
+                         complete_bipartite(5, 8), star(15)}) {
+    const ColoringResult c = vertex_coloring(g, solver);
+    EXPECT_TRUE(is_proper_coloring(g, c.colors));
+    EXPECT_EQ(c.palette, g.max_degree() + 1);
+    for (const std::uint32_t color : c.colors) {
+      EXPECT_LT(color, c.palette);
+    }
+  }
+}
+
+TEST_P(ReductionSolverSuite, EdgeColoringUsesAtMostTwoDeltaMinusOne) {
+  const auto& solver = GetParam().solver;
+  for (const Graph& g :
+       {gnp(40, 0.1, 3), cycle(11), complete(7), grid2d(5, 5)}) {
+    const EdgeColoringResult c = edge_coloring(g, solver);
+    EXPECT_TRUE(is_proper_edge_coloring(g, c.edges, c.colors));
+    for (const std::uint32_t color : c.colors) {
+      EXPECT_LT(color, 2 * g.max_degree() - 1 + 1);
+    }
+  }
+}
+
+TEST_P(ReductionSolverSuite, RulingSets) {
+  const auto& solver = GetParam().solver;
+  for (const int k : {1, 2, 3}) {
+    for (const Graph& g : {gnp(70, 0.07, 4), cycle(30), grid2d(8, 8)}) {
+      const RulingSetResult r = ruling_set(g, k, solver);
+      EXPECT_TRUE(is_ruling_set(g, r.in_set, k)) << "k=" << k;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Solvers, ReductionSolverSuite, ::testing::ValuesIn(solvers()),
+    [](const ::testing::TestParamInfo<SolverCase>& info) {
+      return info.param.name;
+    });
+
+TEST(Matching, VerifierCatchesViolations) {
+  const Graph g = path(5);  // 0-1-2-3-4
+  // Valid maximal matching.
+  EXPECT_TRUE(
+      is_maximal_matching(g, std::vector<Edge>{{0, 1}, {2, 3}}));
+  // Not maximal (edge {2,3} or {3,4} addable).
+  EXPECT_FALSE(is_maximal_matching(g, std::vector<Edge>{{0, 1}}));
+  // Not disjoint.
+  EXPECT_FALSE(
+      is_maximal_matching(g, std::vector<Edge>{{0, 1}, {1, 2}}));
+  // Not an edge of g.
+  EXPECT_FALSE(is_maximal_matching(g, std::vector<Edge>{{0, 2}}));
+}
+
+TEST(Coloring, VerifierCatchesViolations) {
+  const Graph g = cycle(4);
+  EXPECT_TRUE(
+      is_proper_coloring(g, std::vector<std::uint32_t>{0, 1, 0, 1}));
+  EXPECT_FALSE(
+      is_proper_coloring(g, std::vector<std::uint32_t>{0, 0, 1, 1}));
+  EXPECT_FALSE(is_proper_coloring(
+      g, std::vector<std::uint32_t>{0, 1, 0, kUncolored}));
+  EXPECT_FALSE(is_proper_coloring(g, std::vector<std::uint32_t>{0, 1}));
+}
+
+TEST(Coloring, OddCycleNeedsThreeColors) {
+  const Graph g = cycle(9);
+  const ColoringResult c = vertex_coloring(g, greedy_solver());
+  EXPECT_TRUE(is_proper_coloring(g, c.colors));
+  std::set<std::uint32_t> used(c.colors.begin(), c.colors.end());
+  EXPECT_EQ(used.size(), 3u);  // Δ+1 = 3 and chromatic number is 3
+}
+
+TEST(Coloring, LargerPaletteAllowed) {
+  const Graph g = cycle(8);
+  const ColoringResult c = vertex_coloring(g, greedy_solver(), 5);
+  EXPECT_TRUE(is_proper_coloring(g, c.colors));
+  EXPECT_EQ(c.palette, 5u);
+  EXPECT_THROW(vertex_coloring(g, greedy_solver(), 2), PreconditionError);
+}
+
+TEST(RulingSet, VerifierSemantics) {
+  const Graph g = path(7);
+  // {0, 3, 6} is a 1-ruling (plain MIS) and hence also 2-ruling.
+  std::vector<char> s(7, 0);
+  s[0] = s[3] = s[6] = 1;
+  EXPECT_TRUE(is_ruling_set(g, s, 1));
+  EXPECT_TRUE(is_ruling_set(g, s, 2));
+  // {0, 6} is a 3-ruling but not a 2-ruling (node 3 at distance 3).
+  std::vector<char> sparse(7, 0);
+  sparse[0] = sparse[6] = 1;
+  EXPECT_FALSE(is_ruling_set(g, sparse, 2));
+  EXPECT_TRUE(is_ruling_set(g, sparse, 3));
+  // Adjacent members: not independent.
+  std::vector<char> adj(7, 0);
+  adj[0] = adj[1] = 1;
+  EXPECT_FALSE(is_ruling_set(g, adj, 2));
+  EXPECT_THROW(ruling_set(g, 0, greedy_solver()), PreconditionError);
+}
+
+TEST(RulingSet, HigherKGivesSparserSets) {
+  const Graph g = cycle(120);
+  const auto r1 = ruling_set(g, 1, greedy_solver());
+  const auto r3 = ruling_set(g, 3, greedy_solver());
+  auto count = [](const std::vector<char>& m) {
+    std::uint64_t c = 0;
+    for (const char x : m) c += (x != 0) ? 1 : 0;
+    return c;
+  };
+  EXPECT_GT(count(r1.in_set), count(r3.in_set));
+  EXPECT_TRUE(is_ruling_set(g, r3.in_set, 3));
+}
+
+TEST(EdgeColoring, EmptyGraph) {
+  const EdgeColoringResult c = edge_coloring(empty_graph(4), greedy_solver());
+  EXPECT_TRUE(c.edges.empty());
+  EXPECT_TRUE(c.colors.empty());
+}
+
+}  // namespace
+}  // namespace dmis

@@ -1,0 +1,143 @@
+// Unit-level validation of the phase replay (Lemma 2.13's engine): build
+// GatheredBalls *by hand* with full knowledge of the graph and compare every
+// node's replay against the global sparsified run, phase by phase. This
+// pins the replay semantics independently of the gather machinery.
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "mis/clique_mis.h"
+#include "mis/phase_wire.h"
+#include "rng/pow2_prob.h"
+#include "mis/sparsified.h"
+#include "rng/mix.h"
+
+namespace dmis {
+namespace {
+
+// Builds the "omniscient ball" for one center: all of S, all edges among S,
+// real decorations — replay exactness then holds for any radius.
+GatheredBall full_knowledge_ball(const Graph& g, NodeId center,
+                                 const SparsifiedPhaseRecord& rec,
+                                 const RandomSource& rs) {
+  GatheredBall ball;
+  ball.center = center;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (rec.sampled[v] == 0) continue;
+    ball.members.push_back(v);
+    // Reconstruct the decoration exactly as clique_mis ships it: the OR of
+    // super-heavy neighbors' committed vectors — which, under phase-commit
+    // semantics, are exactly their realized vectors in the trace.
+    std::uint64_t sh_or = 0;
+    for (const NodeId u : g.neighbors(v)) {
+      if (rec.alive_start[u] != 0 && rec.superheavy[u] != 0) {
+        sh_or |= rec.realized_beeps[u];
+      }
+    }
+    ball.annotations[v] = encode_decoration(
+        {rec.p_exp_start[v], sh_or,
+         sparsified_phase_seed(rs, v, rec.phase)});
+  }
+  for (const NodeId v : ball.members) {
+    for (const NodeId u : g.neighbors(v)) {
+      if (u > v && rec.sampled[u] != 0) {
+        ball.edges.push_back({v, u});
+      }
+    }
+  }
+  return ball;
+}
+
+TEST(ReplayUnit, OmniscientBallMatchesGlobalRunPerNode) {
+  const Graph g = gnp(150, 0.08, 91);
+  const std::uint64_t seed = 7;
+  SparsifiedOptions opts;
+  opts.params = SparsifiedParams::from_n(g.node_count());
+  opts.randomness = RandomSource(seed);
+  std::vector<SparsifiedPhaseRecord> records;
+  opts.trace = [&](const SparsifiedPhaseRecord& r) { records.push_back(r); };
+  sparsified_mis(g, opts);
+  ASSERT_FALSE(records.empty());
+
+  for (const auto& rec : records) {
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      if (rec.alive_start[v] == 0 || rec.sampled[v] == 0) continue;
+      const GatheredBall ball =
+          full_knowledge_ball(g, v, rec, opts.randomness);
+      const PhaseReplayOutcome out = replay_phase_center(ball, opts.params);
+      // Realized beeps must match the global run exactly.
+      EXPECT_EQ(out.realized_beeps, rec.realized_beeps[v])
+          << "phase " << rec.phase << " node " << v;
+      // Join iteration.
+      if (rec.join_iter[v] != kNeverDecided) {
+        EXPECT_TRUE(out.joined) << "phase " << rec.phase << " node " << v;
+        EXPECT_EQ(out.join_iter, rec.join_iter[v]);
+      } else {
+        EXPECT_FALSE(out.joined) << "phase " << rec.phase << " node " << v;
+      }
+      // Removal iteration (joins and neighbor joins).
+      if (rec.removed_iter[v] != kNeverDecided) {
+        EXPECT_EQ(out.removed_iter, rec.removed_iter[v])
+            << "phase " << rec.phase << " node " << v;
+      } else {
+        EXPECT_FALSE(out.removed) << "phase " << rec.phase << " node " << v;
+        EXPECT_EQ(out.p_exp_end, rec.p_exp_end[v])
+            << "phase " << rec.phase << " node " << v;
+      }
+    }
+  }
+}
+
+TEST(ReplayUnit, CenterWithoutAnnotationIsRejected) {
+  GatheredBall ball;
+  ball.center = 3;
+  ball.members = {3};
+  SparsifiedParams params;
+  EXPECT_THROW(replay_phase_center(ball, params), PreconditionError);
+}
+
+TEST(ReplayUnit, LoneAnnotatedCenterNeverHearsAnyone) {
+  // A center with no annotated neighbors and an empty super-heavy mask
+  // joins at its first beeping iteration.
+  GatheredBall ball;
+  ball.center = 0;
+  ball.members = {0};
+  const std::uint64_t phase_seed = 424242;
+  ball.annotations[0] = encode_decoration({1, 0, phase_seed});
+  SparsifiedParams params;
+  params.phase_length = 8;
+  const PhaseReplayOutcome out = replay_phase_center(ball, params);
+  // Find the first iteration where p=1/2 beeps under this seed.
+  int expected = -1;
+  int exp = 1;
+  for (int i = 0; i < 8; ++i) {
+    if (Pow2Prob(exp).sample(sparsified_beep_word(phase_seed, i))) {
+      expected = i;
+      break;
+    }
+    exp = Pow2Prob(exp).doubled_capped().neg_exp();  // never heard: doubles
+  }
+  if (expected >= 0) {
+    EXPECT_TRUE(out.joined);
+    EXPECT_EQ(out.join_iter, static_cast<std::uint32_t>(expected));
+  } else {
+    EXPECT_FALSE(out.joined);
+  }
+}
+
+TEST(ReplayUnit, SuperHeavyMaskSuppressesJoining) {
+  // A center that hears a super-heavy neighbor every iteration never joins
+  // and halves p throughout.
+  GatheredBall ball;
+  ball.center = 0;
+  ball.members = {0};
+  ball.annotations[0] = encode_decoration({1, ~0ULL, 99});
+  SparsifiedParams params;
+  params.phase_length = 5;
+  const PhaseReplayOutcome out = replay_phase_center(ball, params);
+  EXPECT_FALSE(out.joined);
+  EXPECT_FALSE(out.removed);
+  EXPECT_EQ(out.p_exp_end, 1 + 5);  // halved every iteration
+}
+
+}  // namespace
+}  // namespace dmis

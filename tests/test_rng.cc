@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "rng/mix.h"
+#include "rng/pow2_prob.h"
+#include "rng/random_source.h"
+#include "util/check.h"
+
+namespace dmis {
+namespace {
+
+TEST(Mix, Deterministic) {
+  EXPECT_EQ(mix64(123), mix64(123));
+  EXPECT_EQ(mix64(1, 2, 3), mix64(1, 2, 3));
+  EXPECT_NE(mix64(1, 2, 3), mix64(1, 2, 4));
+  EXPECT_NE(mix64(1, 2, 3), mix64(1, 3, 2));
+  EXPECT_NE(mix64(1, 2, 3, 4), mix64(4, 3, 2, 1));
+}
+
+TEST(Mix, OutputLooksUniform) {
+  // Crude bit-balance check over 4096 consecutive mixes.
+  int ones = 0;
+  for (std::uint64_t i = 0; i < 4096; ++i) {
+    ones += std::popcount(mix64(i));
+  }
+  const double mean_bits = static_cast<double>(ones) / 4096.0;
+  EXPECT_NEAR(mean_bits, 32.0, 0.5);
+}
+
+TEST(SplitMix, NextBelowIsInRangeAndCoversValues) {
+  SplitMix64 rng(99);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t x = rng.next_below(10);
+    ASSERT_LT(x, 10u);
+    seen.insert(x);
+  }
+  EXPECT_EQ(seen.size(), 10u);
+  EXPECT_THROW(rng.next_below(0), PreconditionError);
+}
+
+TEST(SplitMix, NextDoubleInUnitInterval) {
+  SplitMix64 rng(5);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_double();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RandomSource, WordsAreCoordinateAddressed) {
+  RandomSource rs(42);
+  EXPECT_EQ(rs.word(RngStream::kBeep, 7, 3), rs.word(RngStream::kBeep, 7, 3));
+  EXPECT_NE(rs.word(RngStream::kBeep, 7, 3), rs.word(RngStream::kBeep, 7, 4));
+  EXPECT_NE(rs.word(RngStream::kBeep, 7, 3), rs.word(RngStream::kBeep, 8, 3));
+  EXPECT_NE(rs.word(RngStream::kBeep, 7, 3),
+            rs.word(RngStream::kLubyPriority, 7, 3));
+  EXPECT_NE(RandomSource(1).word(RngStream::kBeep, 0, 0),
+            RandomSource(2).word(RngStream::kBeep, 0, 0));
+}
+
+TEST(RandomSource, ForkGivesIndependentStream) {
+  RandomSource rs(42);
+  const RandomSource f1 = rs.fork(1);
+  const RandomSource f2 = rs.fork(2);
+  EXPECT_NE(f1.word(RngStream::kAux, 0, 0), f2.word(RngStream::kAux, 0, 0));
+  EXPECT_NE(f1.word(RngStream::kAux, 0, 0), rs.word(RngStream::kAux, 0, 0));
+  EXPECT_EQ(rs.fork(1).word(RngStream::kAux, 5, 5),
+            f1.word(RngStream::kAux, 5, 5));
+}
+
+TEST(RandomSource, BernoulliFrequency) {
+  RandomSource rs(17);
+  int hits = 0;
+  for (std::uint64_t i = 0; i < 20000; ++i) {
+    if (rs.bernoulli(RngStream::kAux, i, 0, 0.25)) ++hits;
+  }
+  EXPECT_NEAR(hits / 20000.0, 0.25, 0.015);
+}
+
+TEST(Pow2Prob, ConstructionBounds) {
+  EXPECT_EQ(Pow2Prob::half().neg_exp(), 1);
+  EXPECT_THROW(Pow2Prob(0), PreconditionError);
+  EXPECT_THROW(Pow2Prob(Pow2Prob::kMaxNegExp + 1), PreconditionError);
+  EXPECT_NO_THROW(Pow2Prob(Pow2Prob::kMaxNegExp));
+}
+
+TEST(Pow2Prob, HalveDoubleAlgebra) {
+  Pow2Prob p = Pow2Prob::half();
+  p = p.halved();  // 1/4
+  EXPECT_DOUBLE_EQ(p.value(), 0.25);
+  p = p.halved();  // 1/8
+  EXPECT_DOUBLE_EQ(p.value(), 0.125);
+  p = p.doubled_capped();  // 1/4
+  p = p.doubled_capped();  // 1/2 (cap)
+  p = p.doubled_capped();  // still 1/2
+  EXPECT_EQ(p, Pow2Prob::half());
+}
+
+TEST(Pow2Prob, HalvingSaturates) {
+  Pow2Prob p(Pow2Prob::kMaxNegExp);
+  EXPECT_EQ(p.halved().neg_exp(), Pow2Prob::kMaxNegExp);
+}
+
+TEST(Pow2Prob, Ordering) {
+  EXPECT_LT(Pow2Prob(3), Pow2Prob(2));  // 1/8 < 1/4
+  EXPECT_GT(Pow2Prob::half(), Pow2Prob(5));
+  EXPECT_EQ(Pow2Prob(4), Pow2Prob(4));
+}
+
+TEST(Pow2Prob, SampleMatchesProbabilityExactly) {
+  // sample() partitions the 64-bit word space exactly: measure on a grid.
+  for (int k = 1; k <= 4; ++k) {
+    const Pow2Prob p(k);
+    std::uint64_t hits = 0;
+    const std::uint64_t trials = 1u << 16;
+    for (std::uint64_t i = 0; i < trials; ++i) {
+      if (p.sample(mix64(i, k))) ++hits;
+    }
+    const double freq = static_cast<double>(hits) / static_cast<double>(trials);
+    EXPECT_NEAR(freq, p.value(), 0.01) << "k=" << k;
+  }
+}
+
+TEST(Pow2Prob, SampleThresholdEdges) {
+  // For k=1, exactly the words with top bit 0 succeed.
+  EXPECT_TRUE(Pow2Prob(1).sample(0));
+  EXPECT_TRUE(Pow2Prob(1).sample((1ULL << 63) - 1));
+  EXPECT_FALSE(Pow2Prob(1).sample(1ULL << 63));
+  // k = 64: only the all-zero word.
+  EXPECT_TRUE(Pow2Prob(64).sample(0));
+  EXPECT_FALSE(Pow2Prob(64).sample(1));
+  // k > 64: never.
+  EXPECT_FALSE(Pow2Prob(65).sample(0));
+}
+
+TEST(Pow2Prob, SampleBoosted) {
+  // Boost >= exponent makes the event certain.
+  EXPECT_TRUE(Pow2Prob(3).sample_boosted(~0ULL, 3));
+  EXPECT_TRUE(Pow2Prob(3).sample_boosted(~0ULL, 10));
+  // Boost 0 equals plain sampling.
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    const std::uint64_t w = mix64(i);
+    EXPECT_EQ(Pow2Prob(5).sample_boosted(w, 0), Pow2Prob(5).sample(w));
+  }
+  // Boost b turns 2^-k into 2^-(k-b).
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    const std::uint64_t w = mix64(i, 1);
+    EXPECT_EQ(Pow2Prob(5).sample_boosted(w, 2), Pow2Prob(3).sample(w));
+  }
+  EXPECT_THROW(Pow2Prob(5).sample_boosted(0, -1), PreconditionError);
+}
+
+TEST(Pow2Prob, SampleIsSubsetOfBoostedSample) {
+  // The S-set property (paper §2.4): any beep implies sampled-set membership.
+  for (int k = 1; k <= 10; ++k) {
+    for (std::uint64_t i = 0; i < 2000; ++i) {
+      const std::uint64_t w = mix64(i, static_cast<std::uint64_t>(k));
+      if (Pow2Prob(k).sample(w)) {
+        EXPECT_TRUE(Pow2Prob(k).sample_boosted(w, 2));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dmis

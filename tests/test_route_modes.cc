@@ -1,0 +1,94 @@
+// Route-mode invariance: the three routers (accounted Lenzen, constructed
+// Lenzen schedules, Valiant) may charge different round counts but must be
+// interchangeable in every algorithm built on them — same delivered content,
+// same outputs. Rounds agree between the two Lenzen modes exactly.
+#include <gtest/gtest.h>
+
+#include "clique/mst.h"
+#include "clique/triangles.h"
+#include "graph/generators.h"
+#include "graph/properties.h"
+#include "mis/clique_mis.h"
+#include "mis/lowdeg.h"
+#include "mis/ruling_clique.h"
+
+namespace dmis {
+namespace {
+
+constexpr RouteMode kModes[] = {RouteMode::kAccountedLenzen,
+                                RouteMode::kLenzenScheduled,
+                                RouteMode::kValiant};
+
+TEST(RouteModes, CliqueMisOutputIsModeIndependent) {
+  const Graph g = gnp(250, 0.08, 21);
+  std::vector<std::vector<char>> results;
+  std::vector<std::uint64_t> rounds;
+  for (const RouteMode mode : kModes) {
+    CliqueMisOptions opts;
+    opts.params = SparsifiedParams::from_n(250);
+    opts.randomness = RandomSource(5);
+    opts.route_mode = mode;
+    const CliqueMisResult r = clique_mis(g, opts);
+    EXPECT_TRUE(is_maximal_independent_set(g, r.run.in_mis));
+    results.push_back(r.run.in_mis);
+    rounds.push_back(r.run.rounds);
+  }
+  EXPECT_EQ(results[0], results[1]);
+  EXPECT_EQ(results[0], results[2]);
+  EXPECT_EQ(rounds[0], rounds[1]);  // both Lenzen modes charge identically
+  EXPECT_GE(rounds[2], rounds[0]);  // Valiant pays the balls-in-bins factor
+}
+
+TEST(RouteModes, LowDegOutputIsModeIndependent) {
+  const Graph g = cycle(400);
+  std::vector<std::vector<char>> results;
+  for (const RouteMode mode : kModes) {
+    LowDegOptions opts;
+    opts.randomness = RandomSource(6);
+    opts.route_mode = mode;
+    results.push_back(lowdeg_mis(g, opts).run.in_mis);
+  }
+  EXPECT_EQ(results[0], results[1]);
+  EXPECT_EQ(results[0], results[2]);
+}
+
+TEST(RouteModes, MstOutputIsModeIndependent) {
+  const Graph g = gnp(300, 0.04, 22);
+  const WeightFn w = hashed_weights(7);
+  std::vector<std::vector<Edge>> results;
+  for (const RouteMode mode : kModes) {
+    CliqueMstOptions opts;
+    opts.randomness = RandomSource(7);
+    opts.route_mode = mode;
+    results.push_back(clique_mst(g, w, opts).edges);
+  }
+  EXPECT_EQ(results[0], results[1]);
+  EXPECT_EQ(results[0], results[2]);
+}
+
+TEST(RouteModes, TriangleCountIsModeIndependent) {
+  const Graph g = gnp(300, 0.1, 23);
+  const std::uint64_t expected = triangle_count(g);
+  for (const RouteMode mode : kModes) {
+    CliqueTriangleOptions opts;
+    opts.randomness = RandomSource(8);
+    opts.route_mode = mode;
+    EXPECT_EQ(clique_triangle_count(g, opts).triangles, expected);
+  }
+}
+
+TEST(RouteModes, RulingSetIsModeIndependent) {
+  const Graph g = gnp(300, 0.06, 24);
+  std::vector<std::vector<char>> results;
+  for (const RouteMode mode : kModes) {
+    CliqueRulingOptions opts;
+    opts.randomness = RandomSource(9);
+    opts.route_mode = mode;
+    results.push_back(clique_two_ruling_set(g, opts).in_set);
+  }
+  EXPECT_EQ(results[0], results[1]);
+  EXPECT_EQ(results[0], results[2]);
+}
+
+}  // namespace
+}  // namespace dmis

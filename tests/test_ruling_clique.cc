@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "mis/reductions.h"
+#include "mis/ruling_clique.h"
+#include "test_helpers.h"
+
+namespace dmis {
+namespace {
+
+using ::dmis::testing::GraphCase;
+using ::dmis::testing::standard_suite;
+
+class CliqueRulingSuite : public ::testing::TestWithParam<GraphCase> {};
+
+TEST_P(CliqueRulingSuite, ProducesTwoRulingSet) {
+  const Graph& g = GetParam().graph;
+  for (const std::uint64_t seed : {301u, 302u}) {
+    CliqueRulingOptions opts;
+    opts.randomness = RandomSource(seed);
+    const CliqueRulingResult r = clique_two_ruling_set(g, opts);
+    EXPECT_TRUE(is_ruling_set(g, r.in_set, 2)) << "seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, CliqueRulingSuite,
+                         ::testing::ValuesIn(standard_suite()),
+                         ::dmis::testing::CasePrinter{});
+
+TEST(CliqueRuling, DeterministicPerSeed) {
+  const Graph g = gnp(400, 0.05, 71);
+  CliqueRulingOptions opts;
+  opts.randomness = RandomSource(4);
+  const CliqueRulingResult a = clique_two_ruling_set(g, opts);
+  const CliqueRulingResult b = clique_two_ruling_set(g, opts);
+  EXPECT_EQ(a.in_set, b.in_set);
+  EXPECT_EQ(a.costs.rounds, b.costs.rounds);
+}
+
+TEST(CliqueRuling, FewIterationsOnDenseGraphs) {
+  // Degree at least quarters per iteration w.h.p.: a dense graph converges
+  // in O(log Delta) iterations of O(1) rounds.
+  const Graph g = gnp(1024, 0.2, 72);  // Delta ~ 230
+  CliqueRulingOptions opts;
+  opts.randomness = RandomSource(5);
+  const CliqueRulingResult r = clique_two_ruling_set(g, opts);
+  EXPECT_TRUE(is_ruling_set(g, r.in_set, 2));
+  EXPECT_LE(r.stats.iterations, 12u);
+  // Samples stay leader-shippable.
+  EXPECT_LE(r.stats.max_sample_edges, 8u * 1024u);
+}
+
+TEST(CliqueRuling, SparserThanMisOnDenseGraphs) {
+  // A 2-ruling set may be far smaller than any MIS.
+  const Graph g = disjoint_cliques(8, 64);
+  CliqueRulingOptions opts;
+  opts.randomness = RandomSource(6);
+  const CliqueRulingResult r = clique_two_ruling_set(g, opts);
+  EXPECT_TRUE(is_ruling_set(g, r.in_set, 2));
+  std::uint64_t size = 0;
+  for (const char c : r.in_set) size += (c != 0) ? 1 : 0;
+  EXPECT_GE(size, 8u);  // at least one per clique
+  EXPECT_LE(size, 8u * 4u);
+}
+
+TEST(CliqueRuling, EmptyAndEdgelessGraphs) {
+  CliqueRulingOptions opts;
+  const CliqueRulingResult empty = clique_two_ruling_set(Graph(), opts);
+  EXPECT_TRUE(empty.in_set.empty());
+  const Graph iso = empty_graph(12);
+  const CliqueRulingResult r = clique_two_ruling_set(iso, opts);
+  EXPECT_TRUE(is_ruling_set(iso, r.in_set, 2));
+  // Edgeless: everyone must be chosen (a 2-ruling set must cover isolated
+  // nodes by containing them).
+  for (const char c : r.in_set) EXPECT_NE(c, 0);
+}
+
+}  // namespace
+}  // namespace dmis

@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "graph/generators.h"
+#include "runtime/beeping.h"
+#include "runtime/congest.h"
+#include "util/check.h"
+
+namespace dmis {
+namespace {
+
+// A CONGEST program that floods its own id for `ttl` rounds and records the
+// set of ids it has heard — used to validate delivery and neighbor scoping.
+class FloodProgram final : public CongestProgram {
+ public:
+  FloodProgram(NodeId self, int ttl) : self_(self), ttl_(ttl) {}
+
+  void send(std::uint64_t round, std::vector<Outgoing>& out) override {
+    if (round < static_cast<std::uint64_t>(ttl_)) {
+      out.push_back({kAllNeighbors, self_, 32});
+    }
+  }
+
+  void receive(std::uint64_t round,
+               std::span<const CongestMessage> inbox) override {
+    for (const auto& m : inbox) {
+      heard_.push_back(m.src);
+      EXPECT_EQ(m.payload, m.src);
+    }
+    if (round + 1 >= static_cast<std::uint64_t>(ttl_)) halted_ = true;
+  }
+
+  bool halted() const override { return halted_; }
+  const std::vector<NodeId>& heard() const { return heard_; }
+
+ private:
+  NodeId self_;
+  int ttl_;
+  bool halted_ = false;
+  std::vector<NodeId> heard_;
+};
+
+TEST(CongestEngine, DeliversToNeighborsOnly) {
+  const Graph g = path(4);  // 0-1-2-3
+  std::vector<std::unique_ptr<CongestProgram>> programs;
+  std::vector<FloodProgram*> views;
+  for (NodeId v = 0; v < 4; ++v) {
+    auto p = std::make_unique<FloodProgram>(v, 1);
+    views.push_back(p.get());
+    programs.push_back(std::move(p));
+  }
+  CongestEngine engine(g, std::move(programs), 64);
+  engine.run(10);
+  EXPECT_EQ(views[0]->heard(), (std::vector<NodeId>{1}));
+  EXPECT_EQ(views[1]->heard(), (std::vector<NodeId>{0, 2}));
+  EXPECT_EQ(views[2]->heard(), (std::vector<NodeId>{1, 3}));
+  EXPECT_EQ(views[3]->heard(), (std::vector<NodeId>{2}));
+}
+
+TEST(CongestEngine, CountsRoundsMessagesBits) {
+  const Graph g = cycle(5);
+  std::vector<std::unique_ptr<CongestProgram>> programs;
+  for (NodeId v = 0; v < 5; ++v) {
+    programs.push_back(std::make_unique<FloodProgram>(v, 2));
+  }
+  CongestEngine engine(g, std::move(programs), 64);
+  engine.run(100);
+  // All nodes halt after 2 rounds; each round sends 2 messages per node.
+  EXPECT_EQ(engine.costs().rounds, 2u);
+  EXPECT_EQ(engine.costs().messages, 2u * 5 * 2);
+  EXPECT_EQ(engine.costs().bits, 2u * 5 * 2 * 32);
+  EXPECT_TRUE(engine.all_halted());
+}
+
+class OversizedSender final : public CongestProgram {
+ public:
+  void send(std::uint64_t, std::vector<Outgoing>& out) override {
+    out.push_back({kAllNeighbors, 0, 500});
+  }
+  void receive(std::uint64_t, std::span<const CongestMessage>) override {}
+  bool halted() const override { return false; }
+};
+
+TEST(CongestEngine, EnforcesBandwidth) {
+  const Graph g = path(2);
+  std::vector<std::unique_ptr<CongestProgram>> programs;
+  programs.push_back(std::make_unique<OversizedSender>());
+  programs.push_back(std::make_unique<OversizedSender>());
+  CongestEngine engine(g, std::move(programs), 64);
+  EXPECT_THROW(engine.step(), PreconditionError);
+}
+
+class NonNeighborSender final : public CongestProgram {
+ public:
+  void send(std::uint64_t, std::vector<Outgoing>& out) override {
+    out.push_back({3, 1, 8});  // node 3 is not adjacent in a path 0-1-2-3
+  }
+  void receive(std::uint64_t, std::span<const CongestMessage>) override {}
+  bool halted() const override { return false; }
+};
+
+TEST(CongestEngine, RejectsNonNeighborTargets) {
+  const Graph g = path(4);
+  std::vector<std::unique_ptr<CongestProgram>> programs;
+  programs.push_back(std::make_unique<NonNeighborSender>());
+  for (int i = 0; i < 3; ++i) {
+    programs.push_back(std::make_unique<FloodProgram>(0, 0));
+  }
+  CongestEngine engine(g, std::move(programs), 64);
+  EXPECT_THROW(engine.step(), PreconditionError);
+}
+
+TEST(CongestEngine, ValidatesConstruction) {
+  const Graph g = path(3);
+  std::vector<std::unique_ptr<CongestProgram>> two;
+  two.push_back(std::make_unique<OversizedSender>());
+  two.push_back(std::make_unique<OversizedSender>());
+  EXPECT_THROW(CongestEngine(g, std::move(two), 64), PreconditionError);
+}
+
+// Beeping: each node beeps exactly in round == its id, and records feedback.
+class ScheduledBeeper final : public BeepProgram {
+ public:
+  ScheduledBeeper(NodeId self, std::uint64_t rounds)
+      : self_(self), rounds_(rounds) {}
+
+  BeepAction act(std::uint64_t round) override {
+    return (round == self_) ? BeepAction::kBeep : BeepAction::kListen;
+  }
+  void feedback(std::uint64_t round, bool heard) override {
+    heard_.push_back(heard);
+    if (round + 1 >= rounds_) halted_ = true;
+  }
+  bool halted() const override { return halted_; }
+  const std::vector<bool>& heard() const { return heard_; }
+
+ private:
+  NodeId self_;
+  std::uint64_t rounds_;
+  bool halted_ = false;
+  std::vector<bool> heard_;
+};
+
+TEST(BeepEngine, FullDuplexNeighborDetection) {
+  const Graph g = path(3);  // 0-1-2
+  std::vector<std::unique_ptr<BeepProgram>> programs;
+  std::vector<ScheduledBeeper*> views;
+  for (NodeId v = 0; v < 3; ++v) {
+    auto p = std::make_unique<ScheduledBeeper>(v, 3);
+    views.push_back(p.get());
+    programs.push_back(std::move(p));
+  }
+  BeepEngine engine(g, std::move(programs));
+  engine.run(10);
+  // Round 0: node 0 beeps → only node 1 hears (full duplex: node 0 does not
+  // hear itself).
+  EXPECT_EQ(views[0]->heard()[0], false);
+  EXPECT_EQ(views[1]->heard()[0], true);
+  EXPECT_EQ(views[2]->heard()[0], false);
+  // Round 1: node 1 beeps → nodes 0 and 2 hear.
+  EXPECT_EQ(views[0]->heard()[1], true);
+  EXPECT_EQ(views[1]->heard()[1], false);
+  EXPECT_EQ(views[2]->heard()[1], true);
+  // Round 2: node 2 beeps → only node 1 hears.
+  EXPECT_EQ(views[1]->heard()[2], true);
+  EXPECT_EQ(engine.costs().rounds, 3u);
+  EXPECT_EQ(engine.costs().beeps, 3u);
+}
+
+TEST(BeepEngine, HaltedNodesAreSilentAndDeaf) {
+  const Graph g = path(2);
+  // Node 0 beeps in round 0 then halts; node 1 should not hear it in round 1.
+  class OneShot final : public BeepProgram {
+   public:
+    BeepAction act(std::uint64_t) override { return BeepAction::kBeep; }
+    void feedback(std::uint64_t, bool) override { halted_ = true; }
+    bool halted() const override { return halted_; }
+
+   private:
+    bool halted_ = false;
+  };
+  std::vector<std::unique_ptr<BeepProgram>> programs;
+  programs.push_back(std::make_unique<OneShot>());
+  auto listener = std::make_unique<ScheduledBeeper>(99, 3);
+  auto* view = listener.get();
+  programs.push_back(std::move(listener));
+  BeepEngine engine(g, std::move(programs));
+  engine.run(3);
+  EXPECT_EQ(view->heard()[0], true);   // heard the one-shot
+  EXPECT_EQ(view->heard()[1], false);  // halted node is silent
+}
+
+TEST(BeepEngine, RunStopsWhenAllHalt) {
+  const Graph g = cycle(4);
+  std::vector<std::unique_ptr<BeepProgram>> programs;
+  for (NodeId v = 0; v < 4; ++v) {
+    programs.push_back(std::make_unique<ScheduledBeeper>(v, 2));
+  }
+  BeepEngine engine(g, std::move(programs));
+  const std::uint64_t executed = engine.run(100);
+  EXPECT_EQ(executed, 2u);
+  EXPECT_TRUE(engine.all_halted());
+  EXPECT_EQ(engine.live_count(), 0u);
+}
+
+}  // namespace
+}  // namespace dmis

@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/ops.h"
+#include "graph/properties.h"
+#include "mis/sparsified.h"
+#include "test_helpers.h"
+
+namespace dmis {
+namespace {
+
+using ::dmis::testing::GraphCase;
+using ::dmis::testing::standard_suite;
+
+class SparsifiedSuite : public ::testing::TestWithParam<GraphCase> {};
+
+TEST_P(SparsifiedSuite, ProducesMaximalIndependentSet) {
+  const Graph& g = GetParam().graph;
+  for (std::uint64_t seed : {61u, 62u}) {
+    SparsifiedOptions opts;
+    opts.params = SparsifiedParams::from_n(g.node_count());
+    opts.randomness = RandomSource(seed);
+    const MisRun run = sparsified_mis(g, opts);
+    EXPECT_TRUE(is_maximal_independent_set(g, run.in_mis)) << "seed " << seed;
+    EXPECT_EQ(run.undecided_count(), 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, SparsifiedSuite,
+                         ::testing::ValuesIn(standard_suite()),
+                         ::dmis::testing::CasePrinter{});
+
+TEST(SparsifiedParams, FromNScalesLikeSqrtLogN) {
+  const auto p10 = SparsifiedParams::from_n(1u << 10);
+  const auto p20 = SparsifiedParams::from_n(1u << 20);
+  EXPECT_GE(p10.phase_length, 1);
+  EXPECT_GE(p20.phase_length, p10.phase_length);
+  EXPECT_EQ(p10.superheavy_log2_threshold, 2 * p10.phase_length);
+  EXPECT_EQ(p10.sample_boost, p10.phase_length);
+  EXPECT_THROW(SparsifiedParams::from_n(100, -1.0), PreconditionError);
+}
+
+TEST(Sparsified, DeterministicPerSeed) {
+  const Graph g = gnp(200, 0.08, 70);
+  SparsifiedOptions opts;
+  opts.params = SparsifiedParams::from_n(200);
+  opts.randomness = RandomSource(9);
+  const MisRun a = sparsified_mis(g, opts);
+  const MisRun b = sparsified_mis(g, opts);
+  EXPECT_EQ(a.in_mis, b.in_mis);
+  EXPECT_EQ(a.decided_round, b.decided_round);
+}
+
+TEST(Sparsified, TraceRecordsCoherentPhases) {
+  const Graph g = gnp(300, 0.1, 71);
+  std::vector<SparsifiedPhaseRecord> records;
+  SparsifiedOptions opts;
+  opts.params = SparsifiedParams::from_n(300);
+  opts.randomness = RandomSource(10);
+  opts.trace = [&records](const SparsifiedPhaseRecord& r) {
+    records.push_back(r);
+  };
+  const MisRun run = sparsified_mis(g, opts);
+  EXPECT_TRUE(is_maximal_independent_set(g, run.in_mis));
+  ASSERT_FALSE(records.empty());
+  const int R = opts.params.phase_length;
+  for (std::size_t k = 0; k < records.size(); ++k) {
+    const auto& r = records[k];
+    EXPECT_EQ(r.phase, k);
+    std::uint64_t live = 0;
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      if (r.alive_start[v] != 0) ++live;
+      // Realized beeps only from live nodes and only within the phase.
+      if (r.alive_start[v] == 0) {
+        EXPECT_EQ(r.realized_beeps[v], 0u);
+      }
+      EXPECT_EQ(r.realized_beeps[v] >> R, 0u);
+      // Only sampled (S) or super-heavy nodes ever beep.
+      if (r.realized_beeps[v] != 0) {
+        EXPECT_TRUE(r.sampled[v] != 0 || r.superheavy[v] != 0);
+      }
+      // Joins come only from S nodes, at an in-phase iteration.
+      if (r.join_iter[v] != kNeverDecided) {
+        EXPECT_LT(r.join_iter[v], static_cast<std::uint32_t>(R));
+        EXPECT_NE(r.sampled[v], 0);
+        EXPECT_EQ(r.superheavy[v], 0);
+      }
+      // S and super-heavy are disjoint.
+      EXPECT_FALSE(r.sampled[v] != 0 && r.superheavy[v] != 0);
+    }
+    EXPECT_EQ(live, r.live_at_start);
+  }
+  // Liveness is monotone across phases.
+  for (std::size_t k = 1; k < records.size(); ++k) {
+    EXPECT_LE(records[k].live_at_start, records[k - 1].live_at_start);
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      EXPECT_LE(records[k].alive_start[v], records[k - 1].alive_start[v]);
+    }
+  }
+}
+
+TEST(Sparsified, SampledSetDegreeBound) {
+  // Lemma 2.12: with the paper's parameter relations (threshold 2^{2R},
+  // boost R), max degree inside S is at most 2^{1 + 5R}-ish; at laptop n an
+  // additive O(log n) concentration slack applies. The interesting content:
+  // S-degrees are a constant-ish bound, far below Δ.
+  const NodeId n = 500;
+  const Graph g = gnp(n, 0.2, 72);  // avg degree ~100
+  std::uint64_t max_s_degree = 0;
+  SparsifiedOptions opts;
+  opts.params = SparsifiedParams::from_n(n);
+  opts.randomness = RandomSource(11);
+  opts.trace = [&max_s_degree](const SparsifiedPhaseRecord& r) {
+    max_s_degree = std::max(max_s_degree, r.max_sampled_degree);
+  };
+  const MisRun run = sparsified_mis(g, opts);
+  EXPECT_TRUE(is_maximal_independent_set(g, run.in_mis));
+  const double bound = std::ldexp(1.0, 1 + 5 * opts.params.sample_boost) +
+                       8.0 * std::log2(static_cast<double>(n));
+  EXPECT_LT(static_cast<double>(max_s_degree), bound);
+  EXPECT_LT(max_s_degree, static_cast<std::uint64_t>(g.max_degree()));
+}
+
+TEST(Sparsified, ShatteringLeavesLinearEdges) {
+  // Lemma 2.11: after Θ(log Δ) iterations, O(n) edges remain.
+  const NodeId n = 800;
+  const Graph g = random_regular(n, 16, 73);
+  SparsifiedOptions opts;
+  opts.params = SparsifiedParams::from_n(n);
+  opts.randomness = RandomSource(12);
+  const int R = opts.params.phase_length;
+  opts.max_phases = static_cast<std::uint64_t>(
+      std::ceil(6.0 * std::log2(16.0) / R));
+  const MisRun run = sparsified_mis(g, opts);
+  const InducedSubgraph residual = induced_subgraph(g, run.undecided_mask());
+  EXPECT_LE(residual.graph.edge_count(), static_cast<std::uint64_t>(n));
+}
+
+TEST(Sparsified, AblationSemanticsBothValid) {
+  const Graph g = gnp(250, 0.15, 74);
+  for (const bool immediate : {false, true}) {
+    SparsifiedOptions opts;
+    opts.params = SparsifiedParams::from_n(250);
+    opts.params.immediate_superheavy_removal = immediate;
+    opts.randomness = RandomSource(13);
+    const MisRun run = sparsified_mis(g, opts);
+    EXPECT_TRUE(is_maximal_independent_set(g, run.in_mis))
+        << "immediate=" << immediate;
+  }
+}
+
+TEST(Sparsified, RejectsBadParams) {
+  const Graph g = cycle(10);
+  SparsifiedOptions opts;
+  opts.params.phase_length = 0;
+  EXPECT_THROW(sparsified_mis(g, opts), PreconditionError);
+  opts.params.phase_length = 64;
+  EXPECT_THROW(sparsified_mis(g, opts), PreconditionError);
+}
+
+TEST(Sparsified, AuditorSeesGoldenStructure) {
+  const Graph g = gnp(400, 0.06, 75);
+  GoldenRoundAuditor auditor(g);
+  SparsifiedOptions opts;
+  opts.params = SparsifiedParams::from_n(400);
+  opts.randomness = RandomSource(14);
+  opts.auditor = &auditor;
+  const MisRun run = sparsified_mis(g, opts);
+  EXPECT_TRUE(is_maximal_independent_set(g, run.in_mis));
+  EXPECT_GE(auditor.report().golden_fraction(), 0.05);
+  EXPECT_LE(auditor.report().wrong_move_rate(), 0.04);
+}
+
+}  // namespace
+}  // namespace dmis

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "graph/properties.h"
+#include "mis/sparsified.h"
+#include "mis/sparsified_congest.h"
+#include "test_helpers.h"
+
+namespace dmis {
+namespace {
+
+using ::dmis::testing::GraphCase;
+using ::dmis::testing::standard_suite;
+
+// The point of the node-program translation: the sparsified algorithm is a
+// *genuine* CONGEST algorithm. Each node program sees only its inbox; the
+// engine enforces the B-bit budget; and the execution must match the global
+// lock-step runner bit for bit.
+class CongestTranslationSuite : public ::testing::TestWithParam<GraphCase> {};
+
+TEST_P(CongestTranslationSuite, MatchesGlobalRunnerExactly) {
+  const Graph& g = GetParam().graph;
+  for (const std::uint64_t seed : {5u, 6u}) {
+    SparsifiedOptions opts;
+    opts.params = SparsifiedParams::from_n(g.node_count());
+    opts.randomness = RandomSource(seed);
+    opts.max_phases = 4096;
+    const MisRun global = sparsified_mis(g, opts);
+    const MisRun programs = sparsified_congest_mis(g, opts);
+    EXPECT_EQ(global.in_mis, programs.in_mis) << "seed " << seed;
+    EXPECT_EQ(global.decided_round, programs.decided_round)
+        << "seed " << seed;
+    EXPECT_TRUE(is_maximal_independent_set(g, programs.in_mis));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, CongestTranslationSuite,
+                         ::testing::ValuesIn(standard_suite()),
+                         ::dmis::testing::CasePrinter{});
+
+TEST(SparsifiedCongest, MatchesUnderLongPhases) {
+  const Graph g = gnp(400, 0.15, 44);
+  SparsifiedOptions opts;
+  opts.params.phase_length = 5;
+  opts.params.superheavy_log2_threshold = 10;
+  opts.params.sample_boost = 5;
+  opts.randomness = RandomSource(9);
+  const MisRun global = sparsified_mis(g, opts);
+  const MisRun programs = sparsified_congest_mis(g, opts);
+  EXPECT_EQ(global.in_mis, programs.in_mis);
+  EXPECT_EQ(global.decided_round, programs.decided_round);
+}
+
+TEST(SparsifiedCongest, MatchesUnderImmediateSemantics) {
+  const Graph g = gnp(300, 0.2, 45);
+  SparsifiedOptions opts;
+  opts.params.phase_length = 3;
+  opts.params.superheavy_log2_threshold = 6;
+  opts.params.sample_boost = 3;
+  opts.params.immediate_superheavy_removal = true;
+  opts.randomness = RandomSource(10);
+  const MisRun global = sparsified_mis(g, opts);
+  const MisRun programs = sparsified_congest_mis(g, opts);
+  EXPECT_EQ(global.in_mis, programs.in_mis);
+  EXPECT_EQ(global.decided_round, programs.decided_round);
+}
+
+TEST(SparsifiedCongest, MatchesOnSuperHeavyStars) {
+  // The workload from the E9 ablation where commit semantics actually bind:
+  // super-heavy hubs with pendant leaves.
+  GraphBuilder b(4 * 601);
+  for (NodeId s = 0; s < 4; ++s) {
+    const NodeId hub = s * 601;
+    for (NodeId l = 1; l <= 600; ++l) b.add_edge(hub, hub + l);
+  }
+  const Graph g = std::move(b).build();
+  SparsifiedOptions opts;
+  opts.params.phase_length = 4;
+  opts.params.superheavy_log2_threshold = 8;
+  opts.params.sample_boost = 4;
+  opts.randomness = RandomSource(11);
+  const MisRun global = sparsified_mis(g, opts);
+  const MisRun programs = sparsified_congest_mis(g, opts);
+  EXPECT_EQ(global.in_mis, programs.in_mis);
+  EXPECT_EQ(global.decided_round, programs.decided_round);
+  EXPECT_TRUE(is_maximal_independent_set(g, programs.in_mis));
+}
+
+TEST(SparsifiedCongest, RejectsObserverOptions) {
+  const Graph g = cycle(8);
+  GoldenRoundAuditor auditor(g);
+  SparsifiedOptions opts;
+  opts.auditor = &auditor;
+  EXPECT_THROW(sparsified_congest_mis(g, opts), PreconditionError);
+}
+
+TEST(SparsifiedCongest, RoundsReflectPhaseStructure) {
+  const Graph g = gnp(200, 0.1, 46);
+  SparsifiedOptions opts;
+  opts.params = SparsifiedParams::from_n(200);
+  opts.randomness = RandomSource(12);
+  const MisRun programs = sparsified_congest_mis(g, opts);
+  const std::uint64_t phase_rounds =
+      1 + 2 * static_cast<std::uint64_t>(opts.params.phase_length);
+  // The engine stops within one phase of the global runner's count.
+  const MisRun global = sparsified_mis(g, opts);
+  EXPECT_LE(programs.rounds, global.rounds);
+  EXPECT_GE(programs.rounds + phase_rounds, global.rounds);
+}
+
+}  // namespace
+}  // namespace dmis

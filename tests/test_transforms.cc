@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/transforms.h"
+#include "util/check.h"
+
+namespace dmis {
+namespace {
+
+TEST(LineGraph, Triangle) {
+  const LineGraph lg = line_graph(cycle(3));
+  // L(K3) = K3.
+  EXPECT_EQ(lg.graph.node_count(), 3u);
+  EXPECT_EQ(lg.graph.edge_count(), 3u);
+  EXPECT_EQ(lg.vertex_to_edge.size(), 3u);
+}
+
+TEST(LineGraph, Path) {
+  // L(P4) = P3: edges (0,1)-(1,2)-(2,3) chained.
+  const LineGraph lg = line_graph(path(4));
+  EXPECT_EQ(lg.graph.node_count(), 3u);
+  EXPECT_EQ(lg.graph.edge_count(), 2u);
+  EXPECT_EQ(lg.graph.max_degree(), 2u);
+}
+
+TEST(LineGraph, Star) {
+  // L(star on k leaves) = K_k.
+  const LineGraph lg = line_graph(star(6));
+  EXPECT_EQ(lg.graph.node_count(), 5u);
+  EXPECT_EQ(lg.graph.edge_count(), 10u);
+}
+
+TEST(LineGraph, DegreeIdentity) {
+  // deg_L({u,v}) = deg(u) + deg(v) - 2.
+  const Graph g = gnp(60, 0.1, 3);
+  const LineGraph lg = line_graph(g);
+  EXPECT_EQ(lg.graph.node_count(), g.edge_count());
+  for (NodeId e = 0; e < lg.graph.node_count(); ++e) {
+    const auto& [u, v] = lg.vertex_to_edge[e];
+    EXPECT_EQ(lg.graph.degree(e), g.degree(u) + g.degree(v) - 2);
+  }
+  // Edge count of L(G) = sum_v C(deg v, 2).
+  std::uint64_t expected = 0;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    const std::uint64_t d = g.degree(v);
+    expected += d * (d - 1) / 2;
+  }
+  EXPECT_EQ(lg.graph.edge_count(), expected);
+}
+
+TEST(LineGraph, EmptyAndEdgeless) {
+  EXPECT_EQ(line_graph(Graph()).graph.node_count(), 0u);
+  EXPECT_EQ(line_graph(empty_graph(5)).graph.node_count(), 0u);
+}
+
+TEST(ColorProduct, StructureOfAnEdge) {
+  // G = single edge {0,1}, k = 2: vertices (0,0),(0,1),(1,0),(1,1);
+  // palette cliques {(0,0),(0,1)} and {(1,0),(1,1)};
+  // same-color edges (0,0)-(1,0), (0,1)-(1,1). Total 4 edges: C4.
+  const Graph g = graph_from_edges(2, std::vector<Edge>{{0, 1}});
+  const Graph p = color_product(g, 2);
+  EXPECT_EQ(p.node_count(), 4u);
+  EXPECT_EQ(p.edge_count(), 4u);
+  EXPECT_TRUE(p.has_edge(color_product_vertex(0, 0, 2),
+                         color_product_vertex(0, 1, 2)));
+  EXPECT_TRUE(p.has_edge(color_product_vertex(0, 0, 2),
+                         color_product_vertex(1, 0, 2)));
+  EXPECT_FALSE(p.has_edge(color_product_vertex(0, 0, 2),
+                          color_product_vertex(1, 1, 2)));
+}
+
+TEST(ColorProduct, CountsMatchFormula) {
+  const Graph g = gnp(40, 0.15, 4);
+  const std::uint32_t k = g.max_degree() + 1;
+  const Graph p = color_product(g, k);
+  EXPECT_EQ(p.node_count(), g.node_count() * k);
+  EXPECT_EQ(p.edge_count(),
+            static_cast<std::uint64_t>(g.node_count()) * k * (k - 1) / 2 +
+                g.edge_count() * k);
+}
+
+TEST(ColorProduct, HelpersRoundTrip) {
+  const std::uint32_t k = 7;
+  for (NodeId v : {0u, 3u, 12u}) {
+    for (std::uint32_t c = 0; c < k; ++c) {
+      const NodeId pv = color_product_vertex(v, c, k);
+      EXPECT_EQ(color_product_base(pv, k), v);
+      EXPECT_EQ(color_product_color(pv, k), c);
+    }
+  }
+}
+
+TEST(ColorProduct, RejectsZeroPalette) {
+  EXPECT_THROW(color_product(cycle(4), 0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace dmis

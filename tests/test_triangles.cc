@@ -1,0 +1,60 @@
+#include <gtest/gtest.h>
+
+#include "clique/triangles.h"
+#include "graph/generators.h"
+#include "graph/properties.h"
+#include "test_helpers.h"
+
+namespace dmis {
+namespace {
+
+using ::dmis::testing::GraphCase;
+using ::dmis::testing::standard_suite;
+
+class TriangleSuite : public ::testing::TestWithParam<GraphCase> {};
+
+TEST_P(TriangleSuite, MatchesCentralizedCount) {
+  const Graph& g = GetParam().graph;
+  CliqueTriangleOptions opts;
+  opts.randomness = RandomSource(3);
+  const CliqueTriangleResult r = clique_triangle_count(g, opts);
+  EXPECT_EQ(r.triangles, triangle_count(g)) << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, TriangleSuite,
+                         ::testing::ValuesIn(standard_suite()),
+                         ::dmis::testing::CasePrinter{});
+
+TEST(Triangles, KnownCounts) {
+  CliqueTriangleOptions opts;
+  EXPECT_EQ(clique_triangle_count(complete(4), opts).triangles, 4u);
+  EXPECT_EQ(clique_triangle_count(complete(10), opts).triangles, 120u);
+  EXPECT_EQ(clique_triangle_count(cycle(3), opts).triangles, 1u);
+  EXPECT_EQ(clique_triangle_count(cycle(50), opts).triangles, 0u);
+  EXPECT_EQ(clique_triangle_count(complete_bipartite(6, 6), opts).triangles,
+            0u);
+  EXPECT_EQ(clique_triangle_count(Graph(), opts).triangles, 0u);
+  EXPECT_EQ(clique_triangle_count(path(2), opts).triangles, 0u);
+}
+
+TEST(Triangles, GroupCountIsCubeRoot) {
+  CliqueTriangleOptions opts;
+  const CliqueTriangleResult r =
+      clique_triangle_count(gnp(1000, 0.02, 5), opts);
+  EXPECT_EQ(r.groups, 10u);  // ceil(1000^(1/3))
+  EXPECT_EQ(r.triangles, triangle_count(gnp(1000, 0.02, 5)));
+  // Each edge ships k copies.
+  EXPECT_EQ(r.edge_packets, gnp(1000, 0.02, 5).edge_count() * 10);
+}
+
+TEST(Triangles, DenseGraphStressAgainstReference) {
+  const Graph g = gnp(400, 0.2, 7);
+  CliqueTriangleOptions opts;
+  const CliqueTriangleResult r = clique_triangle_count(g, opts);
+  EXPECT_EQ(r.triangles, triangle_count(g));
+  EXPECT_GT(r.triangles, 1000u);
+  EXPECT_GT(r.costs.rounds, 0u);
+}
+
+}  // namespace
+}  // namespace dmis

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/bits.h"
+#include "util/check.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace dmis {
+namespace {
+
+TEST(Check, PreconditionThrowsWithMessage) {
+  try {
+    DMIS_CHECK(1 == 2, "value was " << 42);
+    FAIL() << "expected throw";
+  } catch (const PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("value was 42"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+  }
+}
+
+TEST(Check, InvariantThrowsInvariantError) {
+  EXPECT_THROW(DMIS_ASSERT(false, "boom"), InvariantError);
+}
+
+TEST(Check, PassingConditionsDoNothing) {
+  EXPECT_NO_THROW(DMIS_CHECK(true, "never"));
+  EXPECT_NO_THROW(DMIS_ASSERT(true, "never"));
+  EXPECT_NO_THROW(DMIS_CHECK_CX(true, "never"));
+}
+
+TEST(Bits, CeilLog2) {
+  EXPECT_EQ(ceil_log2(1), 0);
+  EXPECT_EQ(ceil_log2(2), 1);
+  EXPECT_EQ(ceil_log2(3), 2);
+  EXPECT_EQ(ceil_log2(4), 2);
+  EXPECT_EQ(ceil_log2(5), 3);
+  EXPECT_EQ(ceil_log2(1024), 10);
+  EXPECT_EQ(ceil_log2(1025), 11);
+  EXPECT_THROW(ceil_log2(0), PreconditionError);
+}
+
+TEST(Bits, FloorLog2) {
+  EXPECT_EQ(floor_log2(1), 0);
+  EXPECT_EQ(floor_log2(2), 1);
+  EXPECT_EQ(floor_log2(3), 1);
+  EXPECT_EQ(floor_log2(1024), 10);
+  EXPECT_EQ(floor_log2(2047), 10);
+}
+
+TEST(Bits, BitsForRange) {
+  EXPECT_EQ(bits_for_range(1), 1);
+  EXPECT_EQ(bits_for_range(2), 1);
+  EXPECT_EQ(bits_for_range(3), 2);
+  EXPECT_EQ(bits_for_range(256), 8);
+  EXPECT_EQ(bits_for_range(257), 9);
+}
+
+TEST(Bits, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 3), 0u);
+  EXPECT_EQ(ceil_div(1, 3), 1u);
+  EXPECT_EQ(ceil_div(3, 3), 1u);
+  EXPECT_EQ(ceil_div(4, 3), 2u);
+  EXPECT_THROW(ceil_div(4, 0), PreconditionError);
+}
+
+TEST(Stats, AccumulatorBasics) {
+  Accumulator acc;
+  EXPECT_TRUE(acc.empty());
+  acc.add(2.0);
+  acc.add(4.0);
+  acc.add(6.0);
+  EXPECT_EQ(acc.count(), 3u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 6.0);
+  EXPECT_DOUBLE_EQ(acc.sum(), 12.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 4.0);  // sample variance of {2,4,6}
+}
+
+TEST(Stats, AccumulatorMergeMatchesSequential) {
+  Accumulator a;
+  Accumulator b;
+  Accumulator all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = 0.37 * i * i - 3.0 * i + 1.0;
+    ((i % 2 == 0) ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Stats, MergeWithEmpty) {
+  Accumulator a;
+  a.add(1.0);
+  Accumulator empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.0);
+}
+
+TEST(Stats, EmptyAccumulatorThrows) {
+  Accumulator acc;
+  EXPECT_THROW(acc.mean(), PreconditionError);
+  EXPECT_THROW(acc.min(), PreconditionError);
+  EXPECT_THROW(acc.max(), PreconditionError);
+}
+
+TEST(Stats, Percentile) {
+  std::vector<double> v{5, 1, 4, 2, 3};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 5.0);
+  EXPECT_THROW(percentile({}, 0.5), PreconditionError);
+  EXPECT_THROW(percentile(v, 1.5), PreconditionError);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  TextTable t({"n", "rounds"});
+  t.row().cell(std::uint64_t{1024}).cell(3.5, 1);
+  t.row().cell(std::uint64_t{2048}).cell(4.25, 1);
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("rounds"), std::string::npos);
+  EXPECT_NE(s.find("1024"), std::string::npos);
+  EXPECT_NE(s.find("4.2"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, RejectsOverflowAndIncompleteRows) {
+  TextTable t({"a", "b"});
+  t.row().cell(1).cell(2);
+  t.row().cell(3);
+  EXPECT_THROW(t.row(), PreconditionError);  // previous row incomplete
+  TextTable t2({"a"});
+  t2.row().cell(1);
+  EXPECT_THROW(t2.cell(2), PreconditionError);  // overflow
+  EXPECT_THROW(TextTable({}), PreconditionError);
+  TextTable t3({"a"});
+  EXPECT_THROW(t3.cell(1), PreconditionError);  // cell before row
+}
+
+}  // namespace
+}  // namespace dmis
