@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_model_costs.dir/bench_e10_model_costs.cc.o"
+  "CMakeFiles/bench_e10_model_costs.dir/bench_e10_model_costs.cc.o.d"
+  "bench_e10_model_costs"
+  "bench_e10_model_costs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_model_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e11_routing.dir/bench_e11_routing.cc.o"
+  "CMakeFiles/bench_e11_routing.dir/bench_e11_routing.cc.o.d"
+  "bench_e11_routing"
+  "bench_e11_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e11_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

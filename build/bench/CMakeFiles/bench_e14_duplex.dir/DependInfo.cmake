@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_e14_duplex.cc" "bench/CMakeFiles/bench_e14_duplex.dir/bench_e14_duplex.cc.o" "gcc" "bench/CMakeFiles/bench_e14_duplex.dir/bench_e14_duplex.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mis/CMakeFiles/dmis_mis.dir/DependInfo.cmake"
+  "/root/repo/build/src/clique/CMakeFiles/dmis_clique.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/dmis_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/dmis_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/dmis_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dmis_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

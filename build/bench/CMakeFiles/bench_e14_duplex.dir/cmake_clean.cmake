@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e14_duplex.dir/bench_e14_duplex.cc.o"
+  "CMakeFiles/bench_e14_duplex.dir/bench_e14_duplex.cc.o.d"
+  "bench_e14_duplex"
+  "bench_e14_duplex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e14_duplex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

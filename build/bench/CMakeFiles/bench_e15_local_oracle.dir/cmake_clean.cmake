@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e15_local_oracle.dir/bench_e15_local_oracle.cc.o"
+  "CMakeFiles/bench_e15_local_oracle.dir/bench_e15_local_oracle.cc.o.d"
+  "bench_e15_local_oracle"
+  "bench_e15_local_oracle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e15_local_oracle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e17_triangles.dir/bench_e17_triangles.cc.o"
+  "CMakeFiles/bench_e17_triangles.dir/bench_e17_triangles.cc.o.d"
+  "bench_e17_triangles"
+  "bench_e17_triangles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e17_triangles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_theorem11.dir/bench_e1_theorem11.cc.o"
+  "CMakeFiles/bench_e1_theorem11.dir/bench_e1_theorem11.cc.o.d"
+  "bench_e1_theorem11"
+  "bench_e1_theorem11.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_theorem11.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

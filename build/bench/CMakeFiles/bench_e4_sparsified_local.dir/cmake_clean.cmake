@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_sparsified_local.dir/bench_e4_sparsified_local.cc.o"
+  "CMakeFiles/bench_e4_sparsified_local.dir/bench_e4_sparsified_local.cc.o.d"
+  "bench_e4_sparsified_local"
+  "bench_e4_sparsified_local.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_sparsified_local.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_shattering.dir/bench_e5_shattering.cc.o"
+  "CMakeFiles/bench_e5_shattering.dir/bench_e5_shattering.cc.o.d"
+  "bench_e5_shattering"
+  "bench_e5_shattering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_shattering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_sampled_degree.dir/bench_e6_sampled_degree.cc.o"
+  "CMakeFiles/bench_e6_sampled_degree.dir/bench_e6_sampled_degree.cc.o.d"
+  "bench_e6_sampled_degree"
+  "bench_e6_sampled_degree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_sampled_degree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_gather.dir/bench_e7_gather.cc.o"
+  "CMakeFiles/bench_e7_gather.dir/bench_e7_gather.cc.o.d"
+  "bench_e7_gather"
+  "bench_e7_gather.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_gather.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_lowdeg.dir/bench_e8_lowdeg.cc.o"
+  "CMakeFiles/bench_e8_lowdeg.dir/bench_e8_lowdeg.cc.o.d"
+  "bench_e8_lowdeg"
+  "bench_e8_lowdeg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_lowdeg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oracle_queries.dir/oracle_queries.cpp.o"
+  "CMakeFiles/oracle_queries.dir/oracle_queries.cpp.o.d"
+  "oracle_queries"
+  "oracle_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oracle_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

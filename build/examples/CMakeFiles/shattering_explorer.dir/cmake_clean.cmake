@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shattering_explorer.dir/shattering_explorer.cpp.o"
+  "CMakeFiles/shattering_explorer.dir/shattering_explorer.cpp.o.d"
+  "shattering_explorer"
+  "shattering_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shattering_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

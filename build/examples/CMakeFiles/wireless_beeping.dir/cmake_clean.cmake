@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wireless_beeping.dir/wireless_beeping.cpp.o"
+  "CMakeFiles/wireless_beeping.dir/wireless_beeping.cpp.o.d"
+  "wireless_beeping"
+  "wireless_beeping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wireless_beeping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/clique/gather.cc" "src/clique/CMakeFiles/dmis_clique.dir/gather.cc.o" "gcc" "src/clique/CMakeFiles/dmis_clique.dir/gather.cc.o.d"
+  "/root/repo/src/clique/lenzen_schedule.cc" "src/clique/CMakeFiles/dmis_clique.dir/lenzen_schedule.cc.o" "gcc" "src/clique/CMakeFiles/dmis_clique.dir/lenzen_schedule.cc.o.d"
+  "/root/repo/src/clique/mst.cc" "src/clique/CMakeFiles/dmis_clique.dir/mst.cc.o" "gcc" "src/clique/CMakeFiles/dmis_clique.dir/mst.cc.o.d"
+  "/root/repo/src/clique/network.cc" "src/clique/CMakeFiles/dmis_clique.dir/network.cc.o" "gcc" "src/clique/CMakeFiles/dmis_clique.dir/network.cc.o.d"
+  "/root/repo/src/clique/triangles.cc" "src/clique/CMakeFiles/dmis_clique.dir/triangles.cc.o" "gcc" "src/clique/CMakeFiles/dmis_clique.dir/triangles.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dmis_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/dmis_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/dmis_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/dmis_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmis_clique.dir/gather.cc.o"
+  "CMakeFiles/dmis_clique.dir/gather.cc.o.d"
+  "CMakeFiles/dmis_clique.dir/lenzen_schedule.cc.o"
+  "CMakeFiles/dmis_clique.dir/lenzen_schedule.cc.o.d"
+  "CMakeFiles/dmis_clique.dir/mst.cc.o"
+  "CMakeFiles/dmis_clique.dir/mst.cc.o.d"
+  "CMakeFiles/dmis_clique.dir/network.cc.o"
+  "CMakeFiles/dmis_clique.dir/network.cc.o.d"
+  "CMakeFiles/dmis_clique.dir/triangles.cc.o"
+  "CMakeFiles/dmis_clique.dir/triangles.cc.o.d"
+  "libdmis_clique.a"
+  "libdmis_clique.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmis_clique.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

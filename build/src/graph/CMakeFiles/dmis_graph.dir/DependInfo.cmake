@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/generators.cc" "src/graph/CMakeFiles/dmis_graph.dir/generators.cc.o" "gcc" "src/graph/CMakeFiles/dmis_graph.dir/generators.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "src/graph/CMakeFiles/dmis_graph.dir/graph.cc.o" "gcc" "src/graph/CMakeFiles/dmis_graph.dir/graph.cc.o.d"
+  "/root/repo/src/graph/io.cc" "src/graph/CMakeFiles/dmis_graph.dir/io.cc.o" "gcc" "src/graph/CMakeFiles/dmis_graph.dir/io.cc.o.d"
+  "/root/repo/src/graph/mst_reference.cc" "src/graph/CMakeFiles/dmis_graph.dir/mst_reference.cc.o" "gcc" "src/graph/CMakeFiles/dmis_graph.dir/mst_reference.cc.o.d"
+  "/root/repo/src/graph/ops.cc" "src/graph/CMakeFiles/dmis_graph.dir/ops.cc.o" "gcc" "src/graph/CMakeFiles/dmis_graph.dir/ops.cc.o.d"
+  "/root/repo/src/graph/properties.cc" "src/graph/CMakeFiles/dmis_graph.dir/properties.cc.o" "gcc" "src/graph/CMakeFiles/dmis_graph.dir/properties.cc.o.d"
+  "/root/repo/src/graph/transforms.cc" "src/graph/CMakeFiles/dmis_graph.dir/transforms.cc.o" "gcc" "src/graph/CMakeFiles/dmis_graph.dir/transforms.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dmis_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/dmis_rng.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmis_graph.dir/generators.cc.o"
+  "CMakeFiles/dmis_graph.dir/generators.cc.o.d"
+  "CMakeFiles/dmis_graph.dir/graph.cc.o"
+  "CMakeFiles/dmis_graph.dir/graph.cc.o.d"
+  "CMakeFiles/dmis_graph.dir/io.cc.o"
+  "CMakeFiles/dmis_graph.dir/io.cc.o.d"
+  "CMakeFiles/dmis_graph.dir/mst_reference.cc.o"
+  "CMakeFiles/dmis_graph.dir/mst_reference.cc.o.d"
+  "CMakeFiles/dmis_graph.dir/ops.cc.o"
+  "CMakeFiles/dmis_graph.dir/ops.cc.o.d"
+  "CMakeFiles/dmis_graph.dir/properties.cc.o"
+  "CMakeFiles/dmis_graph.dir/properties.cc.o.d"
+  "CMakeFiles/dmis_graph.dir/transforms.cc.o"
+  "CMakeFiles/dmis_graph.dir/transforms.cc.o.d"
+  "libdmis_graph.a"
+  "libdmis_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmis_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mis/beeping.cc" "src/mis/CMakeFiles/dmis_mis.dir/beeping.cc.o" "gcc" "src/mis/CMakeFiles/dmis_mis.dir/beeping.cc.o.d"
+  "/root/repo/src/mis/cleanup.cc" "src/mis/CMakeFiles/dmis_mis.dir/cleanup.cc.o" "gcc" "src/mis/CMakeFiles/dmis_mis.dir/cleanup.cc.o.d"
+  "/root/repo/src/mis/clique_mis.cc" "src/mis/CMakeFiles/dmis_mis.dir/clique_mis.cc.o" "gcc" "src/mis/CMakeFiles/dmis_mis.dir/clique_mis.cc.o.d"
+  "/root/repo/src/mis/ghaffari.cc" "src/mis/CMakeFiles/dmis_mis.dir/ghaffari.cc.o" "gcc" "src/mis/CMakeFiles/dmis_mis.dir/ghaffari.cc.o.d"
+  "/root/repo/src/mis/greedy.cc" "src/mis/CMakeFiles/dmis_mis.dir/greedy.cc.o" "gcc" "src/mis/CMakeFiles/dmis_mis.dir/greedy.cc.o.d"
+  "/root/repo/src/mis/halfduplex_beeping.cc" "src/mis/CMakeFiles/dmis_mis.dir/halfduplex_beeping.cc.o" "gcc" "src/mis/CMakeFiles/dmis_mis.dir/halfduplex_beeping.cc.o.d"
+  "/root/repo/src/mis/instrumentation.cc" "src/mis/CMakeFiles/dmis_mis.dir/instrumentation.cc.o" "gcc" "src/mis/CMakeFiles/dmis_mis.dir/instrumentation.cc.o.d"
+  "/root/repo/src/mis/local_oracle.cc" "src/mis/CMakeFiles/dmis_mis.dir/local_oracle.cc.o" "gcc" "src/mis/CMakeFiles/dmis_mis.dir/local_oracle.cc.o.d"
+  "/root/repo/src/mis/lowdeg.cc" "src/mis/CMakeFiles/dmis_mis.dir/lowdeg.cc.o" "gcc" "src/mis/CMakeFiles/dmis_mis.dir/lowdeg.cc.o.d"
+  "/root/repo/src/mis/luby.cc" "src/mis/CMakeFiles/dmis_mis.dir/luby.cc.o" "gcc" "src/mis/CMakeFiles/dmis_mis.dir/luby.cc.o.d"
+  "/root/repo/src/mis/reductions.cc" "src/mis/CMakeFiles/dmis_mis.dir/reductions.cc.o" "gcc" "src/mis/CMakeFiles/dmis_mis.dir/reductions.cc.o.d"
+  "/root/repo/src/mis/ruling_clique.cc" "src/mis/CMakeFiles/dmis_mis.dir/ruling_clique.cc.o" "gcc" "src/mis/CMakeFiles/dmis_mis.dir/ruling_clique.cc.o.d"
+  "/root/repo/src/mis/sparsified.cc" "src/mis/CMakeFiles/dmis_mis.dir/sparsified.cc.o" "gcc" "src/mis/CMakeFiles/dmis_mis.dir/sparsified.cc.o.d"
+  "/root/repo/src/mis/sparsified_congest.cc" "src/mis/CMakeFiles/dmis_mis.dir/sparsified_congest.cc.o" "gcc" "src/mis/CMakeFiles/dmis_mis.dir/sparsified_congest.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dmis_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/dmis_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/dmis_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/dmis_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/clique/CMakeFiles/dmis_clique.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmis_mis.dir/beeping.cc.o"
+  "CMakeFiles/dmis_mis.dir/beeping.cc.o.d"
+  "CMakeFiles/dmis_mis.dir/cleanup.cc.o"
+  "CMakeFiles/dmis_mis.dir/cleanup.cc.o.d"
+  "CMakeFiles/dmis_mis.dir/clique_mis.cc.o"
+  "CMakeFiles/dmis_mis.dir/clique_mis.cc.o.d"
+  "CMakeFiles/dmis_mis.dir/ghaffari.cc.o"
+  "CMakeFiles/dmis_mis.dir/ghaffari.cc.o.d"
+  "CMakeFiles/dmis_mis.dir/greedy.cc.o"
+  "CMakeFiles/dmis_mis.dir/greedy.cc.o.d"
+  "CMakeFiles/dmis_mis.dir/halfduplex_beeping.cc.o"
+  "CMakeFiles/dmis_mis.dir/halfduplex_beeping.cc.o.d"
+  "CMakeFiles/dmis_mis.dir/instrumentation.cc.o"
+  "CMakeFiles/dmis_mis.dir/instrumentation.cc.o.d"
+  "CMakeFiles/dmis_mis.dir/local_oracle.cc.o"
+  "CMakeFiles/dmis_mis.dir/local_oracle.cc.o.d"
+  "CMakeFiles/dmis_mis.dir/lowdeg.cc.o"
+  "CMakeFiles/dmis_mis.dir/lowdeg.cc.o.d"
+  "CMakeFiles/dmis_mis.dir/luby.cc.o"
+  "CMakeFiles/dmis_mis.dir/luby.cc.o.d"
+  "CMakeFiles/dmis_mis.dir/reductions.cc.o"
+  "CMakeFiles/dmis_mis.dir/reductions.cc.o.d"
+  "CMakeFiles/dmis_mis.dir/ruling_clique.cc.o"
+  "CMakeFiles/dmis_mis.dir/ruling_clique.cc.o.d"
+  "CMakeFiles/dmis_mis.dir/sparsified.cc.o"
+  "CMakeFiles/dmis_mis.dir/sparsified.cc.o.d"
+  "CMakeFiles/dmis_mis.dir/sparsified_congest.cc.o"
+  "CMakeFiles/dmis_mis.dir/sparsified_congest.cc.o.d"
+  "libdmis_mis.a"
+  "libdmis_mis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmis_mis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmis_rng.dir/mix.cc.o"
+  "CMakeFiles/dmis_rng.dir/mix.cc.o.d"
+  "libdmis_rng.a"
+  "libdmis_rng.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmis_rng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/beeping.cc" "src/runtime/CMakeFiles/dmis_runtime.dir/beeping.cc.o" "gcc" "src/runtime/CMakeFiles/dmis_runtime.dir/beeping.cc.o.d"
+  "/root/repo/src/runtime/congest.cc" "src/runtime/CMakeFiles/dmis_runtime.dir/congest.cc.o" "gcc" "src/runtime/CMakeFiles/dmis_runtime.dir/congest.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dmis_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/dmis_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/dmis_rng.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

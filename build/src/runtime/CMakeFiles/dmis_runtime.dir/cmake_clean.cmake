@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmis_runtime.dir/beeping.cc.o"
+  "CMakeFiles/dmis_runtime.dir/beeping.cc.o.d"
+  "CMakeFiles/dmis_runtime.dir/congest.cc.o"
+  "CMakeFiles/dmis_runtime.dir/congest.cc.o.d"
+  "libdmis_runtime.a"
+  "libdmis_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmis_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

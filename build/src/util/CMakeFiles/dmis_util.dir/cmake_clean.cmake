@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmis_util.dir/check.cc.o"
+  "CMakeFiles/dmis_util.dir/check.cc.o.d"
+  "CMakeFiles/dmis_util.dir/stats.cc.o"
+  "CMakeFiles/dmis_util.dir/stats.cc.o.d"
+  "CMakeFiles/dmis_util.dir/table.cc.o"
+  "CMakeFiles/dmis_util.dir/table.cc.o.d"
+  "libdmis_util.a"
+  "libdmis_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmis_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_clique_mis.dir/test_clique_mis.cc.o"
+  "CMakeFiles/test_clique_mis.dir/test_clique_mis.cc.o.d"
+  "test_clique_mis"
+  "test_clique_mis.pdb"
+  "test_clique_mis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_clique_mis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_clique_network.dir/test_clique_network.cc.o"
+  "CMakeFiles/test_clique_network.dir/test_clique_network.cc.o.d"
+  "test_clique_network"
+  "test_clique_network.pdb"
+  "test_clique_network[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_clique_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

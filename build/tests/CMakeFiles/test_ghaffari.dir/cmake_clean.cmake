@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ghaffari.dir/test_ghaffari.cc.o"
+  "CMakeFiles/test_ghaffari.dir/test_ghaffari.cc.o.d"
+  "test_ghaffari"
+  "test_ghaffari.pdb"
+  "test_ghaffari[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ghaffari.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

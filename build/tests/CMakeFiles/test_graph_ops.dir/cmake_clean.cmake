@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graph_ops.dir/test_graph_ops.cc.o"
+  "CMakeFiles/test_graph_ops.dir/test_graph_ops.cc.o.d"
+  "test_graph_ops"
+  "test_graph_ops.pdb"
+  "test_graph_ops[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graph_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

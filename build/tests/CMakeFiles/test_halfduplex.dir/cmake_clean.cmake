@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_halfduplex.dir/test_halfduplex.cc.o"
+  "CMakeFiles/test_halfduplex.dir/test_halfduplex.cc.o.d"
+  "test_halfduplex"
+  "test_halfduplex.pdb"
+  "test_halfduplex[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_halfduplex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_instrumentation.dir/test_instrumentation.cc.o"
+  "CMakeFiles/test_instrumentation.dir/test_instrumentation.cc.o.d"
+  "test_instrumentation"
+  "test_instrumentation.pdb"
+  "test_instrumentation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_instrumentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lenzen_schedule.dir/test_lenzen_schedule.cc.o"
+  "CMakeFiles/test_lenzen_schedule.dir/test_lenzen_schedule.cc.o.d"
+  "test_lenzen_schedule"
+  "test_lenzen_schedule.pdb"
+  "test_lenzen_schedule[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lenzen_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

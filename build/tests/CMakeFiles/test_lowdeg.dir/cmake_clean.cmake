@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lowdeg.dir/test_lowdeg.cc.o"
+  "CMakeFiles/test_lowdeg.dir/test_lowdeg.cc.o.d"
+  "test_lowdeg"
+  "test_lowdeg.pdb"
+  "test_lowdeg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lowdeg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_luby.dir/test_luby.cc.o"
+  "CMakeFiles/test_luby.dir/test_luby.cc.o.d"
+  "test_luby"
+  "test_luby.pdb"
+  "test_luby[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_luby.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_replay_unit.dir/test_replay_unit.cc.o"
+  "CMakeFiles/test_replay_unit.dir/test_replay_unit.cc.o.d"
+  "test_replay_unit"
+  "test_replay_unit.pdb"
+  "test_replay_unit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_replay_unit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_route_modes.dir/test_route_modes.cc.o"
+  "CMakeFiles/test_route_modes.dir/test_route_modes.cc.o.d"
+  "test_route_modes"
+  "test_route_modes.pdb"
+  "test_route_modes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_route_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

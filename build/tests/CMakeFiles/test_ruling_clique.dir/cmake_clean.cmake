@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ruling_clique.dir/test_ruling_clique.cc.o"
+  "CMakeFiles/test_ruling_clique.dir/test_ruling_clique.cc.o.d"
+  "test_ruling_clique"
+  "test_ruling_clique.pdb"
+  "test_ruling_clique[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ruling_clique.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sparsified.dir/test_sparsified.cc.o"
+  "CMakeFiles/test_sparsified.dir/test_sparsified.cc.o.d"
+  "test_sparsified"
+  "test_sparsified.pdb"
+  "test_sparsified[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sparsified.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

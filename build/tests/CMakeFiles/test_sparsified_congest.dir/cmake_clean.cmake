@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sparsified_congest.dir/test_sparsified_congest.cc.o"
+  "CMakeFiles/test_sparsified_congest.dir/test_sparsified_congest.cc.o.d"
+  "test_sparsified_congest"
+  "test_sparsified_congest.pdb"
+  "test_sparsified_congest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sparsified_congest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

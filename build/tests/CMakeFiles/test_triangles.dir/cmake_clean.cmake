@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_triangles.dir/test_triangles.cc.o"
+  "CMakeFiles/test_triangles.dir/test_triangles.cc.o.d"
+  "test_triangles"
+  "test_triangles.pdb"
+  "test_triangles[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_triangles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

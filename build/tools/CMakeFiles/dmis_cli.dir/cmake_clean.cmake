@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmis_cli.dir/dmis_cli.cc.o"
+  "CMakeFiles/dmis_cli.dir/dmis_cli.cc.o.d"
+  "dmis"
+  "dmis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmis_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
