@@ -97,6 +97,7 @@ void run() {
         .cell(r.run.mis_size());
   }
   table.print(std::cout);
+  bench::write_table_json("e10", table);
   std::cout << "\nExpected: the beeping row moves zero messages (1-bit "
                "carrier detection\nonly); the clique pays more bits "
                "(routing) to buy fewer rounds per\nsimulated iteration as R "

@@ -89,6 +89,7 @@ void run() {
               2);
   }
   table.print(std::cout);
+  bench::write_table_json("e11", table);
   std::cout
       << "\nExpected: scheduled_rounds == lenzen_rounds on every load — the "
          "2-rounds-per-\nfeasible-batch claim is realized by an explicitly "

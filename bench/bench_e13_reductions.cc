@@ -135,6 +135,7 @@ void run() {
     }
   }
   table.print(std::cout);
+  bench::write_table_json("e13", table);
   std::cout << "\nExpected: derived Delta = O(Delta) (line graph: 2D-2; "
                "product: D+1; G^2: D^2),\nand clique rounds track the base "
                "MIS cost through log(derived Delta) — the\n\"minor "

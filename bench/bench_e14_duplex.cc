@@ -77,6 +77,7 @@ void run() {
     }
   }
   table.print(std::cout);
+  bench::write_table_json("e14", table);
   std::cout
       << "\nExpected: total rounds ~3x larger for half-duplex — less than "
          "the naive\n(2 + log2 n)/2 iteration-length ratio because the id "

@@ -63,6 +63,7 @@ void run() {
         .cell(s.max_component_nodes);
   }
   table.print(std::cout);
+  bench::write_table_json("e15", table);
   std::cout
       << "\nExpected: max_ball and max_residual_comp identical between the "
          "small and the\nlarger instance of each family — the per-query "

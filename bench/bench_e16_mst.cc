@@ -54,6 +54,7 @@ void run() {
         .cell(r.total_weight == reference.total_weight ? "yes" : "NO");
   }
   table.print(std::cout);
+  bench::write_table_json("e16", table);
   std::cout << "\nExpected: phases <= log2 n (usually ~log2 of the largest "
                "component), rounds\na small constant times phases, exact "
                "agreement with the centralized MSF.\n";

@@ -50,6 +50,7 @@ void run() {
         .cell("yes");
   }
   table.print(std::cout);
+  bench::write_table_json("e17", table);
   std::cout << "\nExpected: exact counts everywhere; rounds grow mildly "
                "with n (the heaviest\nowner's load ~ (n/k)^2 = n^{4/3} "
                "packets -> ~n^{1/3} batches at fixed density).\n";

@@ -86,6 +86,7 @@ void run() {
     }
   }
   table.print(std::cout);
+  bench::write_table_json("e1", table);
 
   std::cout
       << "\nCrossover model: a clique phase costs 3 + "

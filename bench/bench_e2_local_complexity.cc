@@ -49,6 +49,7 @@ void degree_stratified() {
         .cell(acc.max(), 0);
   }
   table.print(std::cout);
+  bench::write_table_json("e2a", table);
 }
 
 void survival_curves() {
@@ -81,6 +82,7 @@ void survival_curves() {
     }
   }
   table.print(std::cout);
+  bench::write_table_json("e2b", table);
   std::cout << "\nExpected: each column drop is ~geometric once t exceeds "
                "C log2(Delta);\nhigher Delta shifts the knee right by "
                "log2(Delta).\n";

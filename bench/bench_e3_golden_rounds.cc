@@ -13,6 +13,7 @@
 #include "bench_common.h"
 #include "graph/generators.h"
 #include "mis/beeping.h"
+#include "mis/instrumentation.h"
 #include "mis/sparsified.h"
 #include "util/table.h"
 
@@ -71,7 +72,7 @@ void run() {
       GoldenRoundAuditor auditor(w.graph);
       BeepingOptions opts;
       opts.randomness = RandomSource(77);
-      opts.auditor = &auditor;
+      opts.observers.push_back(&auditor);
       beeping_mis(w.graph, opts);
       report_row(table, "beeping", w.name, w.graph, auditor.report());
     }
@@ -80,12 +81,13 @@ void run() {
       SparsifiedOptions opts;
       opts.params = SparsifiedParams::from_n(w.graph.node_count());
       opts.randomness = RandomSource(77);
-      opts.auditor = &auditor;
+      opts.observers.push_back(&auditor);
       sparsified_mis(w.graph, opts);
       report_row(table, "sparsified", w.name, w.graph, auditor.report());
     }
   }
   table.print(std::cout);
+  bench::write_table_json("e3", table, {{"seed", "77"}});
   std::cout << "\nExpected: wrong_rate well below 0.02 (the lemmas' bound "
                "is loose);\ngolden_frac >= 0.05 and most nodes meeting the "
                "0.05T bar; gamma a\nhealthy constant (Lemma 2.2's removal "

@@ -72,6 +72,7 @@ void run() {
     }
   }
   table.print(std::cout);
+  bench::write_table_json("e4", table);
   std::cout << "\nExpected: per workload, the two curves nearly coincide — "
                "Theorem 2.6's\nclaim that sparsification preserves the "
                "local guarantee.\n";

@@ -56,6 +56,7 @@ void run() {
     }
   }
   table.print(std::cout);
+  bench::write_table_json("e5", table);
   std::cout << "\nExpected: edges/n decays rapidly in C and is bounded by "
                "a constant\nuniformly in n and Delta once C >= 2 (Lemma "
                "2.11's Theta(log Delta)\nwindow); the largest residual "

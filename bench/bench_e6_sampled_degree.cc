@@ -58,6 +58,7 @@ void run() {
     }
   }
   table.print(std::cout);
+  bench::write_table_json("e6", table);
   std::cout << "\nExpected: max S-degree stays a small constant (far below "
                "Delta and below\nthe bound column), independent of Delta — "
                "the local sparsification works.\n";

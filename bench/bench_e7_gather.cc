@@ -48,6 +48,7 @@ void standalone() {
     }
   }
   table.print(std::cout);
+  bench::write_table_json("e7a", table);
 }
 
 void inside_clique_mis() {
@@ -74,6 +75,7 @@ void inside_clique_mis() {
     }
   }
   table.print(std::cout);
+  bench::write_table_json("e7b", table);
   std::cout << "\nExpected: (a) rounds = 2*steps = 2*ceil(log2(radius+1)), "
                "flat in n;\n(b) balls of G*[S] stay tiny relative to n "
                "(S-degrees are constant, E6)\nand loads exceed n only by a "

@@ -56,6 +56,7 @@ void run() {
         .cell(result.stats.max_ball_members);
   }
   table.print(std::cout);
+  bench::write_table_json("e8", table);
   std::cout << "\nExpected: total_rounds ~ 2*gather_steps + O(1) cleanup; "
                "flat as n grows\nat fixed Delta (compare cycle2048 vs "
                "cycle8192, grid32 vs grid64);\ngather_steps = "

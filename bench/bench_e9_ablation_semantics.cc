@@ -101,6 +101,7 @@ void run() {
     }
   }
   table.print(std::cout);
+  bench::write_table_json("e9", table);
   std::cout
       << "\nExpected: on every natural workload the two semantics produce "
          "*identical*\nexecutions — a super-heavy node's region is "

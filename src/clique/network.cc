@@ -61,9 +61,15 @@ RouteReport CliqueNetwork::route(std::vector<Packet>& packets) {
       break;
   }
 
+  emit_round_begin();
   costs_.rounds += report.rounds;
   costs_.messages += packets.size();
   costs_.bits += packets.size() * static_cast<std::uint64_t>(kPacketBits);
+  const std::uint64_t last_round = round_ + report.rounds - 1;
+  round_ += report.rounds;
+  emit_messages(packets.size(),
+                packets.size() * static_cast<std::uint64_t>(kPacketBits));
+  emit_round_end(last_round);
 
   std::sort(packets.begin(), packets.end(),
             [](const Packet& x, const Packet& y) {
@@ -139,23 +145,40 @@ std::uint64_t CliqueNetwork::scheduled_rounds(
   return batches.size() * kLenzenRoundsPerBatch;
 }
 
+bool CliqueNetwork::step() {
+  emit_round_begin();
+  costs_.rounds += 1;
+  emit_messages(0, 0);
+  ++round_;
+  emit_round_end(round_ - 1);
+  return true;
+}
+
 void CliqueNetwork::charge_broadcast_round(std::uint64_t broadcasting_nodes,
                                            int bits) {
   DMIS_CHECK(bits >= 0 && bits <= kPacketBits,
              "broadcast payload of " << bits << " bits exceeds B");
+  emit_round_begin();
+  const std::uint64_t messages = broadcasting_nodes * (node_count_ - 1);
   costs_.rounds += 1;
-  costs_.messages += broadcasting_nodes * (node_count_ - 1);
-  costs_.bits +=
-      broadcasting_nodes * (node_count_ - 1) * static_cast<std::uint64_t>(bits);
+  costs_.messages += messages;
+  costs_.bits += messages * static_cast<std::uint64_t>(bits);
+  emit_messages(messages, messages * static_cast<std::uint64_t>(bits));
+  ++round_;
+  emit_round_end(round_ - 1);
 }
 
 void CliqueNetwork::charge_neighborhood_round(std::uint64_t messages,
                                               int bits) {
   DMIS_CHECK(bits >= 0 && bits <= kPacketBits,
              "payload of " << bits << " bits exceeds B");
+  emit_round_begin();
   costs_.rounds += 1;
   costs_.messages += messages;
   costs_.bits += messages * static_cast<std::uint64_t>(bits);
+  emit_messages(messages, messages * static_cast<std::uint64_t>(bits));
+  ++round_;
+  emit_round_end(round_ - 1);
 }
 
 NodeId CliqueNetwork::elect_leader() {

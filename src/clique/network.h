@@ -25,6 +25,7 @@
 #include "graph/graph.h"
 #include "rng/random_source.h"
 #include "runtime/cost.h"
+#include "runtime/engine.h"
 
 namespace dmis {
 
@@ -60,13 +61,25 @@ struct RouteReport {
   std::uint64_t max_dest_load = 0;
 };
 
-class CliqueNetwork {
+/// The clique substrate implements the unified SimulationEngine contract
+/// (runtime/engine.h) so observers see the same event stream as on the other
+/// engines. It is driven by route()/charge_* calls rather than autonomous
+/// node stepping: step() executes one idle all-to-all round (charged, empty),
+/// live_count() is the clique size, and all_halted() is never true — halting
+/// is a property of the algorithms above the substrate, not of the network.
+class CliqueNetwork final : public SimulationEngine {
  public:
   CliqueNetwork(NodeId node_count, RandomSource randomness,
                 RouteMode mode = RouteMode::kAccountedLenzen);
 
   NodeId node_count() const { return node_count_; }
   RouteMode mode() const { return mode_; }
+
+  /// One idle synchronous round (nothing sent). Always returns true.
+  bool step() override;
+
+  std::uint64_t live_count() const override { return node_count_; }
+  bool all_halted() const override { return false; }
 
   /// Delivers `packets` (validated: src/dst < n). On return the vector is
   /// sorted by (dst, src) — the per-destination inboxes. Costs are charged
@@ -86,8 +99,6 @@ class CliqueNetwork {
   /// Leader election: everyone announces its id; minimum wins. One round.
   NodeId elect_leader();
 
-  const CostAccounting& costs() const { return costs_; }
-
  private:
   std::uint64_t valiant_rounds(const std::vector<Packet>& packets);
   /// Partitions into feasible batches, builds and verifies a real two-round
@@ -98,7 +109,6 @@ class CliqueNetwork {
   NodeId node_count_;
   RandomSource randomness_;
   RouteMode mode_;
-  CostAccounting costs_;
   std::uint64_t route_invocations_ = 0;
 };
 

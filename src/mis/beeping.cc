@@ -1,6 +1,7 @@
 #include "mis/beeping.h"
 
 #include <memory>
+#include <optional>
 
 #include "rng/pow2_prob.h"
 #include "runtime/beeping.h"
@@ -68,28 +69,40 @@ MisRun beeping_mis(const Graph& g, const BeepingOptions& options) {
     views.push_back(p.get());
     programs.push_back(std::move(p));
   }
-  BeepEngine engine(g, std::move(programs));
+  BeepEngine engine(g, std::move(programs), DuplexMode::kFullDuplex,
+                    options.threads);
 
-  std::vector<char> alive(n, 1);
-  std::vector<int> p_exp(n, 1);
-  for (std::uint64_t iter = 0;
-       iter < options.max_iterations && !engine.all_halted(); ++iter) {
-    if (options.auditor != nullptr) {
+  // Analysis channel: one iteration = rounds {2t, 2t+1}; snapshots read the
+  // programs' own state. Observers (auditor, trace) consume the events; the
+  // algorithm itself is just the engine loop below.
+  std::vector<char> alive;
+  std::vector<int> p_exp;
+  if (!options.observers.empty()) {
+    for (RoundObserver* o : options.observers) engine.observers().attach(o);
+    alive.assign(n, 1);
+    p_exp.assign(n, 1);
+    SimulationEngine::AnalysisProbe probe;
+    probe.iteration_begin =
+        [](std::uint64_t round) -> std::optional<std::uint64_t> {
+      if (round % 2 == 0) return round / 2;
+      return std::nullopt;
+    };
+    probe.iteration_end =
+        [](std::uint64_t round) -> std::optional<std::uint64_t> {
+      if (round % 2 == 1) return round / 2;
+      return std::nullopt;
+    };
+    probe.snapshot = [&views, &alive, &p_exp, n](PhaseMarkerKind) {
       for (NodeId v = 0; v < n; ++v) {
         alive[v] = views[v]->halted() ? 0 : 1;
         p_exp[v] = views[v]->p_exp();
       }
-      options.auditor->begin_iteration(alive, p_exp, {});
-    }
-    engine.step();  // R1
-    engine.step();  // R2
-    if (options.auditor != nullptr) {
-      for (NodeId v = 0; v < n; ++v) {
-        alive[v] = views[v]->halted() ? 0 : 1;
-      }
-      options.auditor->end_iteration(alive);
-    }
+      return MisAnalysisView{alive, p_exp, {}};
+    };
+    engine.set_analysis_probe(std::move(probe));
   }
+
+  engine.run(options.max_iterations * 2);
 
   MisRun run;
   run.in_mis.resize(n, 0);

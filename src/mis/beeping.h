@@ -13,11 +13,12 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "graph/graph.h"
 #include "mis/common.h"
-#include "mis/instrumentation.h"
 #include "rng/random_source.h"
+#include "runtime/observer.h"
 
 namespace dmis {
 
@@ -26,8 +27,11 @@ struct BeepingOptions {
   /// Cap on iterations (each = 2 beep rounds). The run stops early once all
   /// nodes are decided. Partial (shattering) runs just set this low.
   std::uint64_t max_iterations = 8192;
-  /// Optional analysis observer (not part of the algorithm).
-  GoldenRoundAuditor* auditor = nullptr;
+  /// Analysis-side observers (e.g. GoldenRoundAuditor, TraceRecorder) —
+  /// attached to the engine, never part of the algorithm.
+  std::vector<RoundObserver*> observers;
+  /// Worker threads for node stepping; results are thread-count invariant.
+  int threads = 1;
 };
 
 MisRun beeping_mis(const Graph& g, const BeepingOptions& options);

@@ -166,7 +166,8 @@ MisRun ghaffari_mis(const Graph& g, const GhaffariOptions& options) {
     views.push_back(p.get());
     programs.push_back(std::move(p));
   }
-  CongestEngine engine(g, std::move(programs), congest_bandwidth_bits(n));
+  CongestEngine engine(g, std::move(programs), congest_bandwidth_bits(n),
+                       options.threads);
   engine.run(options.max_iterations * 2);
   MisRun run;
   run.in_mis.resize(n, 0);

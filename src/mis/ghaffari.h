@@ -29,6 +29,9 @@ struct GhaffariOptions {
   /// Cap on iterations (each = 2 CONGEST rounds). The run stops early once
   /// all nodes decide. Set to C*log2(Δ) to study partial (shattering) runs.
   std::uint64_t max_iterations = 4096;
+  /// Worker threads for the engine's node fan-outs (results are identical
+  /// at any thread count).
+  int threads = 1;
 };
 
 /// Personal marking seed of node v (shared with the §2.5 local replay).

@@ -115,7 +115,9 @@ MisRun halfduplex_beeping_mis(const Graph& g,
     views.push_back(p.get());
     programs.push_back(std::move(p));
   }
-  BeepEngine engine(g, std::move(programs), DuplexMode::kHalfDuplex);
+  BeepEngine engine(g, std::move(programs), DuplexMode::kHalfDuplex,
+                    options.threads);
+  for (RoundObserver* o : options.observers) engine.observers().attach(o);
   const std::uint64_t len =
       2 + static_cast<std::uint64_t>(bits_for_range(n < 2 ? 2 : n));
   engine.run(options.max_iterations * len);

@@ -26,10 +26,12 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "graph/graph.h"
 #include "mis/common.h"
 #include "rng/random_source.h"
+#include "runtime/observer.h"
 
 namespace dmis {
 
@@ -37,6 +39,10 @@ struct HalfDuplexBeepingOptions {
   RandomSource randomness{0};
   /// Cap on iterations (each = 2 + ceil(log2 n) beep rounds).
   std::uint64_t max_iterations = 8192;
+  /// Analysis-side observers, attached to the engine.
+  std::vector<RoundObserver*> observers;
+  /// Worker threads for node stepping; results are thread-count invariant.
+  int threads = 1;
 };
 
 MisRun halfduplex_beeping_mis(const Graph& g,

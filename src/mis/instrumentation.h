@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "runtime/observer.h"
 
 namespace dmis {
 
@@ -57,7 +58,12 @@ struct GoldenRoundReport {
   }
 };
 
-class GoldenRoundAuditor {
+/// The auditor is a RoundObserver: attach it via an algorithm's
+/// `options.observers` and it follows the execution through the runtime's
+/// iteration markers (kIterationBegin/kIterationEnd events whose RoundContext
+/// carries a MisAnalysisView). The begin/end_iteration methods remain public
+/// for hand-driven use in unit tests.
+class GoldenRoundAuditor : public RoundObserver {
  public:
   explicit GoldenRoundAuditor(const Graph& graph);
 
@@ -68,6 +74,17 @@ class GoldenRoundAuditor {
 
   /// Called after the iteration's R2 with post-removal liveness.
   void end_iteration(std::span<const char> alive_after);
+
+  void on_phase_marker(const PhaseMarker& marker,
+                       const RoundContext& ctx) override {
+    if (ctx.analysis == nullptr) return;
+    if (marker.kind == PhaseMarkerKind::kIterationBegin) {
+      begin_iteration(ctx.analysis->alive, ctx.analysis->p_exp,
+                      ctx.analysis->superheavy);
+    } else if (marker.kind == PhaseMarkerKind::kIterationEnd) {
+      end_iteration(ctx.analysis->alive);
+    }
+  }
 
   const GoldenRoundReport& report() const { return report_; }
 

@@ -81,7 +81,8 @@ MisRun luby_mis(const Graph& g, const LubyOptions& options) {
     views.push_back(p.get());
     programs.push_back(std::move(p));
   }
-  CongestEngine engine(g, std::move(programs), congest_bandwidth_bits(n));
+  CongestEngine engine(g, std::move(programs), congest_bandwidth_bits(n),
+                       options.threads);
   engine.run(options.max_iterations * 2);
   DMIS_ASSERT(engine.all_halted(),
               "Luby did not terminate within " << options.max_iterations

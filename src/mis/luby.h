@@ -22,6 +22,9 @@ struct LubyOptions {
   /// Cap on iterations (each = 2 CONGEST rounds); default covers w.h.p.
   /// termination for any n in scope.
   std::uint64_t max_iterations = 4096;
+  /// Worker threads for the engine's node fan-outs (results are identical
+  /// at any thread count).
+  int threads = 1;
 };
 
 MisRun luby_mis(const Graph& g, const LubyOptions& options);

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "rng/pow2_prob.h"
+#include "runtime/parallel.h"
 #include "util/check.h"
 
 namespace dmis {
@@ -47,6 +48,50 @@ MisRun sparsified_mis(const Graph& g, const SparsifiedOptions& options) {
   std::vector<std::uint64_t> seeds(n, 0);
   std::vector<std::uint32_t> deferred_iter(n, kNeverDecided);
 
+  // The runner is lock-step (one loop plays all nodes), so it emits runtime
+  // events itself: iteration markers carry the omniscient analysis view the
+  // golden-round auditor consumes; round events give TraceRecorder
+  // per-iteration cost deltas. All of it is skipped when unobserved.
+  ObserverRegistry obs;
+  for (RoundObserver* o : options.observers) obs.attach(o);
+  std::vector<char> alive_now;
+  if (!obs.empty()) alive_now.assign(n, 0);
+  const auto context = [&](std::uint64_t live_now) {
+    RoundContext ctx;
+    ctx.round = run.costs.rounds;
+    ctx.live = live_now;
+    ctx.costs = &run.costs;
+    return ctx;
+  };
+  const auto emit_iteration_marker = [&](PhaseMarkerKind kind,
+                                         std::uint64_t iter,
+                                         bool exclude_deferred) {
+    std::uint64_t live_now = 0;
+    for (NodeId v = 0; v < n; ++v) {
+      alive_now[v] = (alive[v] != 0 && removed_mid[v] == 0 &&
+                      (!exclude_deferred || deferred_iter[v] == kNeverDecided))
+                         ? 1
+                         : 0;
+      live_now += alive_now[v];
+    }
+    const MisAnalysisView view{alive_now, p_exp, superheavy};
+    RoundContext ctx = context(live_now);
+    ctx.analysis = &view;
+    obs.phase_marker({kind, iter}, ctx);
+  };
+
+  WorkerPool pool(options.threads);
+  std::vector<std::uint64_t> lane_counts(
+      static_cast<std::size_t>(pool.thread_count()), 0);
+  const auto reduce_lanes = [&lane_counts]() {
+    std::uint64_t sum = 0;
+    for (std::uint64_t& c : lane_counts) {
+      sum += c;
+      c = 0;
+    }
+    return sum;
+  };
+
   for (std::uint64_t phase = 0; phase < options.max_phases && live > 0;
        ++phase) {
     const std::uint64_t t0 = phase * static_cast<std::uint64_t>(R);
@@ -62,42 +107,58 @@ MisRun sparsified_mis(const Graph& g, const SparsifiedOptions& options) {
       record.join_iter.assign(n, kNeverDecided);
       record.removed_iter.assign(n, kNeverDecided);
     }
+    if (!obs.empty()) obs.phase_marker({PhaseMarkerKind::kPhaseBegin, phase},
+                                       context(live));
 
     // --- Phase-opening CONGEST round: exchange p_{t0}(v). ---
-    std::uint64_t directed_live_pairs = 0;
-    for (NodeId v = 0; v < n; ++v) {
-      if (alive[v] == 0) continue;
-      for (const NodeId u : g.neighbors(v)) {
-        if (alive[u] != 0) ++directed_live_pairs;
+    if (!obs.empty()) obs.round_begin(context(live));
+    pool.parallel_for(n, [&](std::size_t begin, std::size_t end, int lane) {
+      std::uint64_t pairs = 0;
+      for (std::size_t i = begin; i < end; ++i) {
+        const NodeId v = static_cast<NodeId>(i);
+        if (alive[v] == 0) continue;
+        for (const NodeId u : g.neighbors(v)) {
+          if (alive[u] != 0) ++pairs;
+        }
       }
-    }
+      lane_counts[static_cast<std::size_t>(lane)] = pairs;
+    });
+    const std::uint64_t directed_live_pairs = reduce_lanes();
     run.costs.rounds += 1;
     run.costs.messages += directed_live_pairs;
     run.costs.bits += directed_live_pairs * 8;  // the 7-bit exponent, padded
+    if (!obs.empty()) {
+      obs.messages_delivered(context(live), directed_live_pairs,
+                             directed_live_pairs * 8);
+      obs.round_end(context(live));
+    }
 
-    for (NodeId v = 0; v < n; ++v) {
-      superheavy[v] = 0;
-      sampled[v] = 0;
-      removed_mid[v] = 0;
-      deferred_iter[v] = kNeverDecided;
-      if (alive[v] == 0) continue;
-      double d0 = 0.0;
-      for (const NodeId u : g.neighbors(v)) {
-        if (alive[u] != 0) d0 += Pow2Prob(p_exp[u]).value();
-      }
-      superheavy[v] = (d0 >= superheavy_threshold) ? 1 : 0;
-      seeds[v] = sparsified_phase_seed(options.randomness, v, phase);
-      if (superheavy[v] == 0) {
-        const Pow2Prob p0(p_exp[v]);
-        for (int i = 0; i < R; ++i) {
-          if (p0.sample_boosted(sparsified_beep_word(seeds[v], i),
-                                prm.sample_boost)) {
-            sampled[v] = 1;
-            break;
+    pool.parallel_for(n, [&](std::size_t begin, std::size_t end, int) {
+      for (std::size_t i = begin; i < end; ++i) {
+        const NodeId v = static_cast<NodeId>(i);
+        superheavy[v] = 0;
+        sampled[v] = 0;
+        removed_mid[v] = 0;
+        deferred_iter[v] = kNeverDecided;
+        if (alive[v] == 0) continue;
+        double d0 = 0.0;
+        for (const NodeId u : g.neighbors(v)) {
+          if (alive[u] != 0) d0 += Pow2Prob(p_exp[u]).value();
+        }
+        superheavy[v] = (d0 >= superheavy_threshold) ? 1 : 0;
+        seeds[v] = sparsified_phase_seed(options.randomness, v, phase);
+        if (superheavy[v] == 0) {
+          const Pow2Prob p0(p_exp[v]);
+          for (int i2 = 0; i2 < R; ++i2) {
+            if (p0.sample_boosted(sparsified_beep_word(seeds[v], i2),
+                                  prm.sample_boost)) {
+              sampled[v] = 1;
+              break;
+            }
           }
         }
       }
-    }
+    });
 
     if (tracing) {
       record.superheavy.assign(superheavy.begin(), superheavy.end());
@@ -114,58 +175,75 @@ MisRun sparsified_mis(const Graph& g, const SparsifiedOptions& options) {
 
     // --- R iterations of the beeping dynamic. ---
     for (int i = 0; i < R; ++i) {
-      if (options.auditor != nullptr) {
-        // Liveness for analysis: alive and not yet removed mid-phase.
-        std::vector<char> alive_now(n, 0);
-        for (NodeId v = 0; v < n; ++v) {
-          alive_now[v] = (alive[v] != 0 && removed_mid[v] == 0) ? 1 : 0;
-        }
-        options.auditor->begin_iteration(alive_now, p_exp, superheavy);
+      const std::uint64_t global_iter = t0 + static_cast<std::uint64_t>(i);
+      if (!obs.empty()) {
+        // Liveness for analysis: alive and not yet removed mid-phase (a
+        // deferred super-heavy node keeps beeping, so it counts as live).
+        emit_iteration_marker(PhaseMarkerKind::kIterationBegin, global_iter,
+                              /*exclude_deferred=*/false);
+        obs.round_begin(context(live));
       }
 
       // R1 beeps. Super-heavy nodes beep their committed trajectory through
       // the phase end (phase-commit semantics) unless the ablation removes
       // them eagerly.
-      for (NodeId v = 0; v < n; ++v) {
-        beeps[v] = 0;
-        // Note: a deferred-removed super-heavy node (commit semantics) has
-        // removed_mid == 0 and keeps beeping through the phase end.
-        if (alive[v] == 0 || removed_mid[v] != 0) continue;
-        const bool b =
-            Pow2Prob(p_exp[v]).sample(sparsified_beep_word(seeds[v], i));
-        beeps[v] = b ? 1 : 0;
-        if (b) {
-          ++run.costs.beeps;
-          DMIS_ASSERT(superheavy[v] != 0 || sampled[v] != 0,
-                      "beeping node " << v << " missing from sampled set S");
-          if (tracing) record.realized_beeps[v] |= (1ULL << i);
-        }
-      }
-      for (NodeId v = 0; v < n; ++v) {
-        heard[v] = 0;
-        if (alive[v] == 0 || removed_mid[v] != 0) continue;
-        for (const NodeId u : g.neighbors(v)) {
-          if (beeps[u] != 0) {
-            heard[v] = 1;
-            break;
+      pool.parallel_for(n, [&](std::size_t begin, std::size_t end, int lane) {
+        std::uint64_t local_beeps = 0;
+        for (std::size_t idx = begin; idx < end; ++idx) {
+          const NodeId v = static_cast<NodeId>(idx);
+          beeps[v] = 0;
+          // Note: a deferred-removed super-heavy node (commit semantics) has
+          // removed_mid == 0 and keeps beeping through the phase end.
+          if (alive[v] == 0 || removed_mid[v] != 0) continue;
+          const bool b =
+              Pow2Prob(p_exp[v]).sample(sparsified_beep_word(seeds[v], i));
+          beeps[v] = b ? 1 : 0;
+          if (b) {
+            ++local_beeps;
+            DMIS_ASSERT(superheavy[v] != 0 || sampled[v] != 0,
+                        "beeping node " << v << " missing from sampled set S");
+            if (tracing) record.realized_beeps[v] |= (1ULL << i);
           }
         }
+        lane_counts[static_cast<std::size_t>(lane)] = local_beeps;
+      });
+      const std::uint64_t iter_beeps = reduce_lanes();
+      run.costs.beeps += iter_beeps;
+      if (!obs.empty()) {
+        obs.messages_delivered(context(live), iter_beeps, iter_beeps);
       }
+      pool.parallel_for(n, [&](std::size_t begin, std::size_t end, int) {
+        for (std::size_t idx = begin; idx < end; ++idx) {
+          const NodeId v = static_cast<NodeId>(idx);
+          heard[v] = 0;
+          if (alive[v] == 0 || removed_mid[v] != 0) continue;
+          for (const NodeId u : g.neighbors(v)) {
+            if (beeps[u] != 0) {
+              heard[v] = 1;
+              break;
+            }
+          }
+        }
+      });
       // Joins: not super-heavy, beeped, all neighbors silent.
-      for (NodeId v = 0; v < n; ++v) {
-        joined_now[v] = 0;
-        if (alive[v] == 0 || removed_mid[v] != 0 || superheavy[v] != 0) {
-          continue;
+      pool.parallel_for(n, [&](std::size_t begin, std::size_t end, int) {
+        for (std::size_t idx = begin; idx < end; ++idx) {
+          const NodeId v = static_cast<NodeId>(idx);
+          joined_now[v] = 0;
+          if (alive[v] == 0 || removed_mid[v] != 0 || superheavy[v] != 0) {
+            continue;
+          }
+          if (beeps[v] != 0 && heard[v] == 0) {
+            joined_now[v] = 1;
+            run.in_mis[v] = 1;
+            run.decided_round[v] = static_cast<std::uint32_t>(t0 + i);
+            if (tracing) record.join_iter[v] = static_cast<std::uint32_t>(i);
+          }
         }
-        if (beeps[v] != 0 && heard[v] == 0) {
-          joined_now[v] = 1;
-          run.in_mis[v] = 1;
-          run.decided_round[v] = static_cast<std::uint32_t>(t0 + i);
-          if (tracing) record.join_iter[v] = static_cast<std::uint32_t>(i);
-        }
-      }
+      });
       // R2 removals: joiners and their neighbors. Super-heavy neighbors are
-      // deferred to the phase boundary under commit semantics.
+      // deferred to the phase boundary under commit semantics. Sequential:
+      // joiners write their neighbors' slots.
       for (NodeId v = 0; v < n; ++v) {
         if (joined_now[v] == 0) continue;
         removed_mid[v] = 1;
@@ -189,23 +267,21 @@ MisRun sparsified_mis(const Graph& g, const SparsifiedOptions& options) {
         }
       }
       // Probability updates for nodes still in the game.
-      for (NodeId v = 0; v < n; ++v) {
-        if (alive[v] == 0 || removed_mid[v] != 0) continue;
-        const Pow2Prob p(p_exp[v]);
-        const bool halve = (superheavy[v] != 0) || (heard[v] != 0);
-        p_exp[v] = (halve ? p.halved() : p.doubled_capped()).neg_exp();
-      }
+      pool.parallel_for(n, [&](std::size_t begin, std::size_t end, int) {
+        for (std::size_t idx = begin; idx < end; ++idx) {
+          const NodeId v = static_cast<NodeId>(idx);
+          if (alive[v] == 0 || removed_mid[v] != 0) continue;
+          const Pow2Prob p(p_exp[v]);
+          const bool halve = (superheavy[v] != 0) || (heard[v] != 0);
+          p_exp[v] = (halve ? p.halved() : p.doubled_capped()).neg_exp();
+        }
+      });
       run.costs.rounds += 2;
 
-      if (options.auditor != nullptr) {
-        std::vector<char> alive_now(n, 0);
-        for (NodeId v = 0; v < n; ++v) {
-          alive_now[v] = (alive[v] != 0 && removed_mid[v] == 0 &&
-                          deferred_iter[v] == kNeverDecided)
-                             ? 1
-                             : 0;
-        }
-        options.auditor->end_iteration(alive_now);
+      if (!obs.empty()) {
+        obs.round_end(context(live));
+        emit_iteration_marker(PhaseMarkerKind::kIterationEnd, global_iter,
+                              /*exclude_deferred=*/true);
       }
     }
 
@@ -224,6 +300,9 @@ MisRun sparsified_mis(const Graph& g, const SparsifiedOptions& options) {
     if (tracing) {
       record.p_exp_end.assign(p_exp.begin(), p_exp.end());
       options.trace(record);
+    }
+    if (!obs.empty()) {
+      obs.phase_marker({PhaseMarkerKind::kPhaseEnd, phase}, context(live));
     }
   }
 

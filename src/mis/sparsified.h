@@ -34,9 +34,9 @@
 
 #include "graph/graph.h"
 #include "mis/common.h"
-#include "mis/instrumentation.h"
 #include "rng/mix.h"
 #include "rng/random_source.h"
+#include "runtime/observer.h"
 
 namespace dmis {
 
@@ -80,8 +80,14 @@ struct SparsifiedOptions {
   RandomSource randomness{0};
   /// Cap on phases; the run stops early once all nodes decide.
   std::uint64_t max_phases = 8192;
-  GoldenRoundAuditor* auditor = nullptr;
+  /// Analysis-side observers (e.g. GoldenRoundAuditor, TraceRecorder). The
+  /// runner emits runtime events (iteration/phase markers with analysis
+  /// snapshots, per-iteration cost deltas); observers decide what to tally.
+  std::vector<RoundObserver*> observers;
   SparsifiedTraceSink trace;  ///< invoked after every phase if set
+  /// Worker threads for the per-node fan-outs (direct runner) or the engine
+  /// (congest translation); results are thread-count invariant.
+  int threads = 1;
 };
 
 /// Private phase seed of node v (shipped in clique decorations).

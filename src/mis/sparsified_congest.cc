@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <memory>
+#include <optional>
 
 #include "rng/pow2_prob.h"
 #include "runtime/congest.h"
@@ -101,6 +102,11 @@ class SparsifiedProgram final : public CongestProgram {
   bool halted() const override { return halted_; }
   bool joined() const { return joined_; }
   std::uint32_t decided_round() const { return decided_round_; }
+  // Analysis accessors (probe-only; never communicated).
+  int p_exp() const { return p_.neg_exp(); }
+  bool is_superheavy() const { return superheavy_; }
+  bool is_removed_mid() const { return removed_mid_; }
+  bool is_deferred() const { return deferred_; }
 
  private:
   NodeId self_;
@@ -125,8 +131,8 @@ class SparsifiedProgram final : public CongestProgram {
 
 MisRun sparsified_congest_mis(const Graph& g,
                               const SparsifiedOptions& options) {
-  DMIS_CHECK(options.auditor == nullptr && !options.trace,
-             "auditor/trace are omniscient-observer features of "
+  DMIS_CHECK(!options.trace,
+             "the phase-record trace is an omniscient-observer feature of "
              "sparsified_mis, not of the node-program translation");
   const NodeId n = g.node_count();
   const SparsifiedParams& prm = options.params;
@@ -142,8 +148,64 @@ MisRun sparsified_congest_mis(const Graph& g,
     views.push_back(p.get());
     programs.push_back(std::move(p));
   }
-  CongestEngine engine(g, std::move(programs), congest_bandwidth_bits(n));
+  CongestEngine engine(g, std::move(programs), congest_bandwidth_bits(n),
+                       options.threads);
   const std::uint64_t phase_rounds = 1 + 2 * prm.phase_length;
+
+  // Analysis channel: round `pos` within a phase is the opener (pos = 0),
+  // an R1 (pos odd) or an R2 (pos even > 0); iterations open at R1 rounds
+  // and close at R2 rounds. Snapshots mirror exactly the liveness masks the
+  // lock-step runner shows its observers, so an attached auditor tallies the
+  // same report on either execution (asserted by tests).
+  std::vector<char> alive;
+  std::vector<int> p_exp;
+  std::vector<char> superheavy;
+  if (!options.observers.empty()) {
+    for (RoundObserver* o : options.observers) engine.observers().attach(o);
+    alive.assign(n, 0);
+    p_exp.assign(n, 1);
+    superheavy.assign(n, 0);
+    SimulationEngine::AnalysisProbe probe;
+    const int R = prm.phase_length;
+    probe.iteration_begin =
+        [phase_rounds, R](std::uint64_t round) -> std::optional<std::uint64_t> {
+      const std::uint64_t pos = round % phase_rounds;
+      if (pos % 2 == 1) {
+        return (round / phase_rounds) * static_cast<std::uint64_t>(R) +
+               (pos - 1) / 2;
+      }
+      return std::nullopt;
+    };
+    probe.iteration_end =
+        [phase_rounds, R](std::uint64_t round) -> std::optional<std::uint64_t> {
+      const std::uint64_t pos = round % phase_rounds;
+      if (pos != 0 && pos % 2 == 0) {
+        return (round / phase_rounds) * static_cast<std::uint64_t>(R) +
+               (pos - 2) / 2;
+      }
+      return std::nullopt;
+    };
+    probe.snapshot = [&views, &alive, &p_exp, &superheavy,
+                      n](PhaseMarkerKind kind) {
+      // Phase-commit semantics: a deferred super-heavy node keeps beeping
+      // until the phase boundary, so it is live at iteration begin but no
+      // longer live in the post-removal view at iteration end — exactly the
+      // masks the lock-step runner shows.
+      const bool exclude_deferred = kind == PhaseMarkerKind::kIterationEnd;
+      for (NodeId v = 0; v < n; ++v) {
+        const SparsifiedProgram& prog = *views[v];
+        alive[v] = (!prog.halted() && !prog.is_removed_mid() &&
+                    !(exclude_deferred && prog.is_deferred()))
+                       ? 1
+                       : 0;
+        p_exp[v] = prog.p_exp();
+        superheavy[v] = prog.is_superheavy() ? 1 : 0;
+      }
+      return MisAnalysisView{alive, p_exp, superheavy};
+    };
+    engine.set_analysis_probe(std::move(probe));
+  }
+
   engine.run(options.max_phases * phase_rounds);
   MisRun run;
   run.in_mis.resize(n, 0);

@@ -21,9 +21,11 @@
 
 namespace dmis {
 
-/// Runs the node-program translation. options.auditor/trace are not
-/// supported here (they are omniscient-observer features of the global
-/// runner); both removal semantics are.
+/// Runs the node-program translation. options.observers attach to the
+/// CONGEST engine (a GoldenRoundAuditor tallies the same report as on the
+/// lock-step runner — asserted by tests); options.trace is not supported
+/// here (the phase record is an omniscient-observer feature of the global
+/// runner). Both removal semantics are supported.
 MisRun sparsified_congest_mis(const Graph& g,
                               const SparsifiedOptions& options);
 

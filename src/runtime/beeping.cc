@@ -6,11 +6,13 @@ namespace dmis {
 
 BeepEngine::BeepEngine(const Graph& graph,
                        std::vector<std::unique_ptr<BeepProgram>> programs,
-                       DuplexMode mode)
+                       DuplexMode mode, int threads)
     : graph_(graph),
       programs_(std::move(programs)),
       mode_(mode),
-      beeped_(graph.node_count(), 0) {
+      pool_(threads),
+      beeped_(graph.node_count(), 0),
+      lane_beeps_(static_cast<std::size_t>(pool_.thread_count()), 0) {
   DMIS_CHECK(programs_.size() == graph_.node_count(),
              "program count " << programs_.size() << " != node count "
                               << graph_.node_count());
@@ -21,46 +23,60 @@ BeepEngine::BeepEngine(const Graph& graph,
 
 bool BeepEngine::step() {
   if (all_halted()) return false;
-  for (NodeId v = 0; v < graph_.node_count(); ++v) {
-    BeepProgram& prog = *programs_[v];
-    if (prog.halted()) {
-      beeped_[v] = 0;
-      continue;
+  emit_round_begin();
+  const NodeId n = graph_.node_count();
+
+  // Act phase: each node decides beep/listen into its own slot.
+  pool_.parallel_for(n, [&](std::size_t begin, std::size_t end, int lane) {
+    std::uint64_t local_beeps = 0;
+    for (std::size_t i = begin; i < end; ++i) {
+      const NodeId v = static_cast<NodeId>(i);
+      BeepProgram& prog = *programs_[v];
+      if (prog.halted()) {
+        beeped_[v] = 0;
+        continue;
+      }
+      const BeepAction a = prog.act(round_);
+      beeped_[v] = (a == BeepAction::kBeep) ? 1 : 0;
+      if (beeped_[v] != 0) ++local_beeps;
     }
-    const BeepAction a = prog.act(round_);
-    beeped_[v] = (a == BeepAction::kBeep) ? 1 : 0;
-    if (beeped_[v] != 0) ++costs_.beeps;
+    lane_beeps_[static_cast<std::size_t>(lane)] = local_beeps;
+  });
+  std::uint64_t beeps = 0;
+  for (std::uint64_t& local : lane_beeps_) {
+    beeps += local;
+    local = 0;
   }
-  for (NodeId v = 0; v < graph_.node_count(); ++v) {
-    BeepProgram& prog = *programs_[v];
-    if (prog.halted()) continue;
-    bool heard = false;
-    // Half duplex: a beeping node cannot carrier-sense its neighbors.
-    if (mode_ == DuplexMode::kFullDuplex || beeped_[v] == 0) {
-      for (const NodeId u : graph_.neighbors(v)) {
-        if (beeped_[u] != 0) {
-          heard = true;
-          break;
+  costs_.beeps += beeps;
+  emit_messages(beeps, beeps);  // a beep is a 1-bit broadcast
+
+  // Feedback barrier: the beep mask is frozen; each node scans its
+  // neighborhood independently.
+  pool_.parallel_for(n, [&](std::size_t begin, std::size_t end, int) {
+    for (std::size_t i = begin; i < end; ++i) {
+      const NodeId v = static_cast<NodeId>(i);
+      BeepProgram& prog = *programs_[v];
+      if (prog.halted()) continue;
+      bool heard = false;
+      // Half duplex: a beeping node cannot carrier-sense its neighbors.
+      if (mode_ == DuplexMode::kFullDuplex || beeped_[v] == 0) {
+        for (const NodeId u : graph_.neighbors(v)) {
+          if (beeped_[u] != 0) {
+            heard = true;
+            break;
+          }
         }
       }
+      prog.feedback(round_, heard);
     }
-    prog.feedback(round_, heard);
-  }
+  });
+
+  const std::uint64_t finished = round_;
   ++round_;
   ++costs_.rounds;
+  emit_round_end(finished);
   return !all_halted();
 }
-
-std::uint64_t BeepEngine::run(std::uint64_t max_rounds) {
-  std::uint64_t executed = 0;
-  while (executed < max_rounds && !all_halted()) {
-    step();
-    ++executed;
-  }
-  return executed;
-}
-
-bool BeepEngine::all_halted() const { return live_count() == 0; }
 
 std::uint64_t BeepEngine::live_count() const {
   std::uint64_t live = 0;

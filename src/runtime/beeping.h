@@ -1,9 +1,14 @@
-// Synchronous full-duplex beeping engine (paper §2.2).
+// Synchronous beeping engine (paper §2.2).
 //
 // Per round each node either beeps or listens; each node then learns one bit:
 // whether at least one *neighbor* beeped (full duplex — a beeping node also
 // detects beeping neighbors). Nothing else crosses the network, which is the
 // point: the Beeping MIS algorithm needs only this 1-bit feedback.
+//
+// Implements the unified SimulationEngine contract (runtime/engine.h). The
+// act and feedback fan-outs are partitioned across a WorkerPool with a
+// barrier between them: act() writes only the node's own beep slot, and
+// feedback() reads the frozen beep mask — bit-identical at any thread count.
 #pragma once
 
 #include <cstdint>
@@ -12,6 +17,8 @@
 
 #include "graph/graph.h"
 #include "runtime/cost.h"
+#include "runtime/engine.h"
+#include "runtime/parallel.h"
 
 namespace dmis {
 
@@ -37,29 +44,26 @@ class BeepProgram {
   virtual bool halted() const = 0;
 };
 
-class BeepEngine {
+class BeepEngine final : public SimulationEngine {
  public:
+  /// `threads` is a pure performance knob (see runtime/parallel.h).
   BeepEngine(const Graph& graph,
              std::vector<std::unique_ptr<BeepProgram>> programs,
-             DuplexMode mode = DuplexMode::kFullDuplex);
+             DuplexMode mode = DuplexMode::kFullDuplex, int threads = 1);
 
   /// Executes one round; returns false if all programs have halted.
-  bool step();
-  /// Runs until all halt or max_rounds elapse; returns rounds executed.
-  std::uint64_t run(std::uint64_t max_rounds);
+  bool step() override;
 
-  bool all_halted() const;
-  std::uint64_t live_count() const;
-  const CostAccounting& costs() const { return costs_; }
+  std::uint64_t live_count() const override;
   const BeepProgram& program(NodeId v) const { return *programs_[v]; }
 
  private:
   const Graph& graph_;
   std::vector<std::unique_ptr<BeepProgram>> programs_;
   DuplexMode mode_;
-  CostAccounting costs_;
-  std::uint64_t round_ = 0;
+  WorkerPool pool_;
   std::vector<char> beeped_;  // scratch
+  std::vector<std::uint64_t> lane_beeps_;
 };
 
 }  // namespace dmis

@@ -6,11 +6,14 @@ namespace dmis {
 
 CongestEngine::CongestEngine(
     const Graph& graph, std::vector<std::unique_ptr<CongestProgram>> programs,
-    int bandwidth_bits)
+    int bandwidth_bits, int threads)
     : graph_(graph),
       programs_(std::move(programs)),
       bandwidth_bits_(bandwidth_bits),
-      inboxes_(graph.node_count()) {
+      pool_(threads),
+      inboxes_(graph.node_count()),
+      outboxes_(graph.node_count()),
+      lane_costs_(static_cast<std::size_t>(pool_.thread_count())) {
   DMIS_CHECK(programs_.size() == graph_.node_count(),
              "program count " << programs_.size() << " != node count "
                               << graph_.node_count());
@@ -22,59 +25,80 @@ CongestEngine::CongestEngine(
 
 bool CongestEngine::step() {
   if (all_halted()) return false;
-  // Send phase: collect every live node's outbox, validating the model.
-  for (NodeId v = 0; v < graph_.node_count(); ++v) {
-    CongestProgram& prog = *programs_[v];
-    if (prog.halted()) continue;
-    outbox_.clear();
-    prog.send(round_, outbox_);
-    for (const auto& msg : outbox_) {
-      DMIS_CHECK(msg.bits >= 0 && msg.bits <= bandwidth_bits_,
-                 "node " << v << " message of " << msg.bits
-                         << " bits exceeds B=" << bandwidth_bits_);
-      if (msg.dst == CongestProgram::kAllNeighbors) {
-        for (const NodeId u : graph_.neighbors(v)) {
-          if (programs_[u]->halted()) continue;
-          inboxes_[u].push_back({v, msg.payload, msg.bits});
-          ++costs_.messages;
-          costs_.bits += static_cast<std::uint64_t>(msg.bits);
-        }
-      } else {
-        DMIS_CHECK(graph_.has_edge(v, msg.dst),
-                   "node " << v << " sent to non-neighbor " << msg.dst);
-        if (!programs_[msg.dst]->halted()) {
-          inboxes_[msg.dst].push_back({v, msg.payload, msg.bits});
-          ++costs_.messages;
-          costs_.bits += static_cast<std::uint64_t>(msg.bits);
+  emit_round_begin();
+  const NodeId n = graph_.node_count();
+
+  // Send phase: every live node fills its own outbox; the model's bandwidth
+  // and neighbor constraints are validated here, per sender.
+  pool_.parallel_for(n, [&](std::size_t begin, std::size_t end, int) {
+    for (std::size_t i = begin; i < end; ++i) {
+      const NodeId v = static_cast<NodeId>(i);
+      auto& outbox = outboxes_[v];
+      outbox.clear();
+      CongestProgram& prog = *programs_[v];
+      if (prog.halted()) continue;
+      prog.send(round_, outbox);
+      for (const auto& msg : outbox) {
+        DMIS_CHECK(msg.bits >= 0 && msg.bits <= bandwidth_bits_,
+                   "node " << v << " message of " << msg.bits
+                           << " bits exceeds B=" << bandwidth_bits_);
+        DMIS_CHECK(
+            msg.dst == CongestProgram::kAllNeighbors ||
+                graph_.has_edge(v, msg.dst),
+            "node " << v << " sent to non-neighbor " << msg.dst);
+      }
+    }
+  });
+
+  // Delivery barrier: each live destination gathers from its neighbors'
+  // outboxes in neighbor (= ascending sender id) order, which matches the
+  // sequential sender-order delivery exactly. Message/bit counts accumulate
+  // per lane and reduce in lane order below.
+  pool_.parallel_for(n, [&](std::size_t begin, std::size_t end, int lane) {
+    CostAccounting& local = lane_costs_[static_cast<std::size_t>(lane)];
+    for (std::size_t i = begin; i < end; ++i) {
+      const NodeId u = static_cast<NodeId>(i);
+      inboxes_[u].clear();
+      if (programs_[u]->halted()) continue;
+      for (const NodeId v : graph_.neighbors(u)) {
+        if (programs_[v]->halted()) continue;
+        for (const auto& msg : outboxes_[v]) {
+          if (msg.dst == CongestProgram::kAllNeighbors || msg.dst == u) {
+            inboxes_[u].push_back({v, msg.payload, msg.bits});
+            ++local.messages;
+            local.bits += static_cast<std::uint64_t>(msg.bits);
+          }
         }
       }
     }
+  });
+  std::uint64_t delivered_messages = 0;
+  std::uint64_t delivered_bits = 0;
+  for (CostAccounting& local : lane_costs_) {
+    delivered_messages += local.messages;
+    delivered_bits += local.bits;
+    local = CostAccounting{};
   }
+  costs_.messages += delivered_messages;
+  costs_.bits += delivered_bits;
+  emit_messages(delivered_messages, delivered_bits);
+
   // Receive phase.
-  for (NodeId v = 0; v < graph_.node_count(); ++v) {
-    CongestProgram& prog = *programs_[v];
-    if (prog.halted()) {
+  pool_.parallel_for(n, [&](std::size_t begin, std::size_t end, int) {
+    for (std::size_t i = begin; i < end; ++i) {
+      const NodeId v = static_cast<NodeId>(i);
+      CongestProgram& prog = *programs_[v];
+      if (!prog.halted()) prog.receive(round_, inboxes_[v]);
       inboxes_[v].clear();
-      continue;
     }
-    prog.receive(round_, inboxes_[v]);
-    inboxes_[v].clear();
-  }
+  });
+
+  const std::uint64_t finished = round_;
   ++round_;
   ++costs_.rounds;
+  emit_round_end(finished);
   return !all_halted();
 }
-
-std::uint64_t CongestEngine::run(std::uint64_t max_rounds) {
-  std::uint64_t executed = 0;
-  while (executed < max_rounds && !all_halted()) {
-    step();
-    ++executed;
-  }
-  return executed;
-}
-
-bool CongestEngine::all_halted() const { return live_count() == 0; }
 
 std::uint64_t CongestEngine::live_count() const {
   std::uint64_t live = 0;

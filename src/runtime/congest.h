@@ -6,6 +6,13 @@
 // The engine enforces the model: a message may only target a neighbor and
 // may carry at most B bits; violations throw. Rounds, messages, and bits are
 // counted exactly.
+//
+// Implements the unified SimulationEngine contract (runtime/engine.h) and
+// steps nodes through a WorkerPool: the send and receive fan-outs are
+// partitioned across threads, with a barrier between the phases. Programs
+// must confine themselves to their own state (the model already demands
+// this); send() must not change halted(), which the engine reads at phase
+// boundaries.
 #pragma once
 
 #include <cstdint>
@@ -15,6 +22,8 @@
 
 #include "graph/graph.h"
 #include "runtime/cost.h"
+#include "runtime/engine.h"
+#include "runtime/parallel.h"
 
 namespace dmis {
 
@@ -51,35 +60,30 @@ class CongestProgram {
   virtual bool halted() const = 0;
 };
 
-class CongestEngine {
+class CongestEngine final : public SimulationEngine {
  public:
   /// Programs must have exactly node_count entries; bandwidth_bits is B.
+  /// `threads` is a pure performance knob (see runtime/parallel.h).
   CongestEngine(const Graph& graph,
                 std::vector<std::unique_ptr<CongestProgram>> programs,
-                int bandwidth_bits);
-
-  /// Runs until every program halts or `max_rounds` elapse; returns the
-  /// number of rounds executed.
-  std::uint64_t run(std::uint64_t max_rounds);
+                int bandwidth_bits, int threads = 1);
 
   /// Executes exactly one round (no-op and uncounted if all halted).
   /// Returns false if all programs have halted.
-  bool step();
+  bool step() override;
 
-  bool all_halted() const;
-  std::uint64_t live_count() const;
-  const CostAccounting& costs() const { return costs_; }
+  std::uint64_t live_count() const override;
   const CongestProgram& program(NodeId v) const { return *programs_[v]; }
 
  private:
   const Graph& graph_;
   std::vector<std::unique_ptr<CongestProgram>> programs_;
   int bandwidth_bits_;
-  CostAccounting costs_;
-  std::uint64_t round_ = 0;
+  WorkerPool pool_;
   // Scratch, reused across rounds.
   std::vector<std::vector<CongestMessage>> inboxes_;
-  std::vector<CongestProgram::Outgoing> outbox_;
+  std::vector<std::vector<CongestProgram::Outgoing>> outboxes_;
+  std::vector<CostAccounting> lane_costs_;
 };
 
 }  // namespace dmis

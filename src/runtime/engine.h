@@ -1,0 +1,142 @@
+// The unified engine contract of the simulation runtime.
+//
+// All three model substrates (CONGEST, beeping, congested clique) implement
+// SimulationEngine: the same step/run/all_halted/live_count/costs surface and
+// the same observer event stream (runtime/observer.h). Algorithms plug in as
+// node programs (or drive the clique substrate's routing primitives); new
+// models and algorithms reuse this layer instead of growing bespoke engines.
+//
+// Observation protocol, per executed round:
+//   1. on_phase_marker(kIterationBegin)  — only if an analysis probe says the
+//      round opens an iteration; carries a MisAnalysisView snapshot
+//   2. on_round_begin
+//   3. on_messages_delivered             — once communication is resolved
+//   4. on_round_end                      — costs for the round are charged
+//   5. on_phase_marker(kIterationEnd)    — only if the probe says the round
+//      closes an iteration; carries a fresh snapshot
+// With no observer attached, none of this runs: every emit helper is guarded
+// by a single `observers_.empty()` branch.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "runtime/cost.h"
+#include "runtime/observer.h"
+
+namespace dmis {
+
+class SimulationEngine {
+ public:
+  virtual ~SimulationEngine() = default;
+
+  /// Executes one synchronous round. Returns false once every participant
+  /// has halted (in which case nothing is executed or charged).
+  virtual bool step() = 0;
+
+  /// Runs until all participants halt or `max_rounds` elapse; returns the
+  /// number of rounds executed.
+  std::uint64_t run(std::uint64_t max_rounds) {
+    std::uint64_t executed = 0;
+    while (executed < max_rounds && !all_halted()) {
+      step();
+      ++executed;
+    }
+    return executed;
+  }
+
+  virtual bool all_halted() const { return live_count() == 0; }
+  virtual std::uint64_t live_count() const = 0;
+  const CostAccounting& costs() const { return costs_; }
+  std::uint64_t round() const { return round_; }
+
+  ObserverRegistry& observers() { return observers_; }
+  const ObserverRegistry& observers() const { return observers_; }
+
+  /// Algorithm-registered analysis channel. When set (and observers are
+  /// attached), the engine emits iteration markers carrying per-node
+  /// analysis snapshots — how the golden-round auditor of paper §2.2/§2.3
+  /// watches an execution without the algorithm body calling it.
+  struct AnalysisProbe {
+    /// If `round` opens an analysis iteration, return its ordinal.
+    std::function<std::optional<std::uint64_t>(std::uint64_t round)>
+        iteration_begin;
+    /// If `round` closes an analysis iteration, return its ordinal.
+    std::function<std::optional<std::uint64_t>(std::uint64_t round)>
+        iteration_end;
+    /// Snapshot the current per-node state for the given marker kind
+    /// (kIterationBegin or kIterationEnd — liveness conventions may differ,
+    /// e.g. phase-commit semantics). The returned spans must stay valid
+    /// until the next probe call.
+    std::function<MisAnalysisView(PhaseMarkerKind)> snapshot;
+  };
+
+  void set_analysis_probe(AnalysisProbe probe) { probe_ = std::move(probe); }
+
+  /// Emits an explicit phase marker (no-op when unobserved). Public so the
+  /// code driving an engine (e.g. the clique MIS simulation) can mark its
+  /// own phase structure into the event stream.
+  void mark_phase(PhaseMarkerKind kind, std::uint64_t index) {
+    if (observers_.empty()) return;
+    observers_.phase_marker({kind, index}, context(round_));
+  }
+
+ protected:
+  bool observed() const { return !observers_.empty(); }
+
+  RoundContext context(std::uint64_t round) const {
+    RoundContext ctx;
+    ctx.round = round;
+    ctx.live = live_count();
+    ctx.costs = &costs_;
+    return ctx;
+  }
+
+  /// Call at the top of step(), before any node code runs.
+  void emit_round_begin() {
+    if (observers_.empty()) return;
+    if (probe_.has_value() && probe_->iteration_begin && probe_->snapshot) {
+      if (const auto iter = probe_->iteration_begin(round_)) {
+        const MisAnalysisView view =
+            probe_->snapshot(PhaseMarkerKind::kIterationBegin);
+        RoundContext ctx = context(round_);
+        ctx.analysis = &view;
+        observers_.phase_marker({PhaseMarkerKind::kIterationBegin, *iter},
+                                ctx);
+      }
+    }
+    observers_.round_begin(context(round_));
+  }
+
+  /// Call once the round's communication is resolved.
+  void emit_messages(std::uint64_t messages, std::uint64_t bits) {
+    if (observers_.empty()) return;
+    observers_.messages_delivered(context(round_), messages, bits);
+  }
+
+  /// Call at the end of step(), after costs for `finished_round` have been
+  /// charged (round_ already advanced past it).
+  void emit_round_end(std::uint64_t finished_round) {
+    if (observers_.empty()) return;
+    observers_.round_end(context(finished_round));
+    if (probe_.has_value() && probe_->iteration_end && probe_->snapshot) {
+      if (const auto iter = probe_->iteration_end(finished_round)) {
+        const MisAnalysisView view =
+            probe_->snapshot(PhaseMarkerKind::kIterationEnd);
+        RoundContext ctx = context(finished_round);
+        ctx.analysis = &view;
+        observers_.phase_marker({PhaseMarkerKind::kIterationEnd, *iter}, ctx);
+      }
+    }
+  }
+
+  CostAccounting costs_;
+  ObserverRegistry observers_;
+  std::uint64_t round_ = 0;
+
+ private:
+  std::optional<AnalysisProbe> probe_;
+};
+
+}  // namespace dmis

@@ -1,0 +1,175 @@
+// Round observation layer of the unified simulation runtime.
+//
+// Every engine (CONGEST, beeping, congested clique) and every lock-step
+// runner emits the same event stream: round begin, messages delivered, round
+// end, and algorithm-level phase markers. Observers are *analysis-side*
+// instrumentation — they never feed information back into an execution, so
+// attaching one cannot change algorithmic results (only wall-clock time).
+//
+// The registry's fast path is a single `empty()` test: an engine with no
+// observer attached pays one branch per round and never materializes a
+// RoundContext, so unobserved runs cost exactly what they did before this
+// layer existed.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "runtime/cost.h"
+
+namespace dmis {
+
+/// Omniscient-observer view of an MIS execution's per-node analysis state
+/// (the d_t(v)/p_t(v) quantities of paper §2.2/§2.3 are derived from it).
+/// Engines fill it through an algorithm-registered probe; lock-step runners
+/// fill it directly. Spans point into storage owned by the emitter and are
+/// valid only for the duration of the callback.
+struct MisAnalysisView {
+  std::span<const char> alive;
+  std::span<const int> p_exp;        ///< p_t(v) = 2^-p_exp[v]
+  std::span<const char> superheavy;  ///< empty: no super-heavy classification
+};
+
+enum class PhaseMarkerKind : std::uint8_t {
+  kPhaseBegin,
+  kPhaseEnd,
+  kIterationBegin,  ///< one iteration of a beeping dynamic is about to run
+  kIterationEnd,    ///< ... has completed (removals applied)
+};
+
+struct PhaseMarker {
+  PhaseMarkerKind kind = PhaseMarkerKind::kPhaseBegin;
+  std::uint64_t index = 0;  ///< phase or iteration ordinal
+};
+
+/// Event payload. `analysis` is non-null only for marker events emitted by
+/// an execution that has analysis state to show (see MisAnalysisView).
+struct RoundContext {
+  std::uint64_t round = 0;
+  std::uint64_t live = 0;
+  const CostAccounting* costs = nullptr;
+  const MisAnalysisView* analysis = nullptr;
+};
+
+/// Passive per-round instrumentation. Default implementations ignore every
+/// event, so observers override only what they need.
+class RoundObserver {
+ public:
+  virtual ~RoundObserver() = default;
+
+  /// The round `ctx.round` is about to execute.
+  virtual void on_round_begin(const RoundContext& ctx) { (void)ctx; }
+
+  /// The round's communication happened: `messages` messages carrying `bits`
+  /// payload bits were delivered (beep engines report beeps as 1-bit
+  /// messages; clique routing reports packets).
+  virtual void on_messages_delivered(const RoundContext& ctx,
+                                     std::uint64_t messages,
+                                     std::uint64_t bits) {
+    (void)ctx;
+    (void)messages;
+    (void)bits;
+  }
+
+  /// The round `ctx.round` completed (its costs are already charged).
+  virtual void on_round_end(const RoundContext& ctx) { (void)ctx; }
+
+  /// Algorithm-structure event (phase/iteration boundary).
+  virtual void on_phase_marker(const PhaseMarker& marker,
+                               const RoundContext& ctx) {
+    (void)marker;
+    (void)ctx;
+  }
+};
+
+/// Fan-out of events to attached observers, in attach order. Observers are
+/// borrowed, never owned; detach before destroying an observer that might
+/// still see events.
+class ObserverRegistry {
+ public:
+  bool empty() const { return observers_.empty(); }
+  std::size_t size() const { return observers_.size(); }
+
+  void attach(RoundObserver* observer) {
+    if (observer != nullptr) observers_.push_back(observer);
+  }
+
+  void detach(RoundObserver* observer) {
+    std::erase(observers_, observer);
+  }
+
+  void round_begin(const RoundContext& ctx) const {
+    for (RoundObserver* o : observers_) o->on_round_begin(ctx);
+  }
+  void messages_delivered(const RoundContext& ctx, std::uint64_t messages,
+                          std::uint64_t bits) const {
+    for (RoundObserver* o : observers_) {
+      o->on_messages_delivered(ctx, messages, bits);
+    }
+  }
+  void round_end(const RoundContext& ctx) const {
+    for (RoundObserver* o : observers_) o->on_round_end(ctx);
+  }
+  void phase_marker(const PhaseMarker& marker, const RoundContext& ctx) const {
+    for (RoundObserver* o : observers_) o->on_phase_marker(marker, ctx);
+  }
+
+ private:
+  std::vector<RoundObserver*> observers_;
+};
+
+/// Records per-round cost deltas and phase markers — the bench-side
+/// instrumentation for perf trajectories (rounds where the message volume
+/// spikes, phase boundaries, live-set decay).
+class TraceRecorder final : public RoundObserver {
+ public:
+  struct RoundTrace {
+    std::uint64_t round = 0;
+    std::uint64_t live_at_begin = 0;
+    CostAccounting delta;  ///< costs charged by this round
+  };
+  struct MarkerTrace {
+    PhaseMarker marker;
+    std::uint64_t round = 0;
+  };
+
+  void on_round_begin(const RoundContext& ctx) override {
+    current_.round = ctx.round;
+    current_.live_at_begin = ctx.live;
+    begin_costs_ = ctx.costs != nullptr ? *ctx.costs : CostAccounting{};
+  }
+
+  void on_round_end(const RoundContext& ctx) override {
+    if (ctx.costs != nullptr) {
+      current_.delta.rounds = ctx.costs->rounds - begin_costs_.rounds;
+      current_.delta.messages = ctx.costs->messages - begin_costs_.messages;
+      current_.delta.bits = ctx.costs->bits - begin_costs_.bits;
+      current_.delta.beeps = ctx.costs->beeps - begin_costs_.beeps;
+    }
+    rounds_.push_back(current_);
+    current_ = RoundTrace{};
+  }
+
+  void on_phase_marker(const PhaseMarker& marker,
+                       const RoundContext& ctx) override {
+    markers_.push_back({marker, ctx.round});
+  }
+
+  const std::vector<RoundTrace>& rounds() const { return rounds_; }
+  const std::vector<MarkerTrace>& markers() const { return markers_; }
+
+  CostAccounting total() const {
+    CostAccounting sum;
+    for (const RoundTrace& r : rounds_) sum += r.delta;
+    return sum;
+  }
+
+ private:
+  RoundTrace current_;
+  CostAccounting begin_costs_;
+  std::vector<RoundTrace> rounds_;
+  std::vector<MarkerTrace> markers_;
+};
+
+}  // namespace dmis

@@ -1,0 +1,98 @@
+#include "runtime/parallel.h"
+
+#include <algorithm>
+
+namespace dmis {
+
+WorkerPool::WorkerPool(int threads) : threads_(std::max(threads, 1)) {
+  errors_.assign(static_cast<std::size_t>(threads_), nullptr);
+  workers_.reserve(static_cast<std::size_t>(threads_ - 1));
+  for (int lane = 1; lane < threads_; ++lane) {
+    workers_.emplace_back([this, lane] { worker_loop(lane); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+int WorkerPool::clamp_threads(int requested) {
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  const int cap = hw > 0 ? hw : 1;
+  return std::clamp(requested, 1, std::max(cap, 1));
+}
+
+WorkerPool::Chunk WorkerPool::chunk_of(std::size_t n, int lane) const {
+  // Static contiguous partition: chunk sizes differ by at most one and
+  // depend only on (n, threads_).
+  const auto t = static_cast<std::size_t>(threads_);
+  const auto l = static_cast<std::size_t>(lane);
+  return {n * l / t, n * (l + 1) / t};
+}
+
+void WorkerPool::worker_loop(int lane) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(std::size_t, std::size_t, int)>* job = nullptr;
+    std::size_t n = 0;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock,
+                       [&] { return shutdown_ || generation_ != seen; });
+      if (shutdown_) return;
+      seen = generation_;
+      job = job_;
+      n = job_n_;
+    }
+    const Chunk c = chunk_of(n, lane);
+    try {
+      if (c.begin < c.end) (*job)(c.begin, c.end, lane);
+    } catch (...) {
+      errors_[static_cast<std::size_t>(lane)] = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--pending_ == 0) work_done_.notify_one();
+    }
+  }
+}
+
+void WorkerPool::parallel_for(
+    std::size_t n,
+    const std::function<void(std::size_t, std::size_t, int)>& fn) {
+  if (threads_ == 1 || n == 0) {
+    if (n > 0) fn(0, n, 0);
+    return;
+  }
+  std::fill(errors_.begin(), errors_.end(), nullptr);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &fn;
+    job_n_ = n;
+    pending_ = threads_ - 1;
+    ++generation_;
+  }
+  work_ready_.notify_all();
+  // The calling thread is lane 0.
+  const Chunk c = chunk_of(n, 0);
+  try {
+    if (c.begin < c.end) fn(c.begin, c.end, 0);
+  } catch (...) {
+    errors_[0] = std::current_exception();
+  }
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    work_done_.wait(lock, [&] { return pending_ == 0; });
+    job_ = nullptr;
+  }
+  for (const std::exception_ptr& e : errors_) {
+    if (e != nullptr) std::rethrow_exception(e);
+  }
+}
+
+}  // namespace dmis

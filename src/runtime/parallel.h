@@ -1,0 +1,80 @@
+// Deterministic intra-round parallelism for the simulation runtime.
+//
+// Within one synchronous round, node programs are independent by model
+// definition: send/act decisions depend only on a node's own state, and
+// receive/feedback consume a per-node inbox computed at a barrier. The pool
+// therefore partitions the per-round node fan-outs across threads.
+//
+// Determinism argument (why results are bit-identical at any thread count):
+//   * the partition of [0, n) into chunks is a pure function of (n, threads),
+//     and every per-index computation writes only that index's slots;
+//   * per-node randomness is counter-based (rng/random_source.h): a draw is
+//     a pure function of (seed, stream, node, round), never of execution
+//     order;
+//   * cross-node aggregation (message/bit/beep counts) sums unsigned
+//     integers, which is order-independent; ordered aggregation (inbox
+//     contents) is produced per-destination in neighbor order, identical to
+//     the sequential sender-order delivery because adjacency lists are
+//     sorted.
+// Thread count is therefore a pure performance knob, asserted by the
+// determinism tests (tests/test_parallel.cc).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dmis {
+
+class WorkerPool {
+ public:
+  /// A pool with `threads` total lanes (the calling thread is lane 0, so
+  /// `threads - 1` workers are spawned). threads <= 1 spawns nothing and
+  /// parallel_for degenerates to an inline loop with zero overhead.
+  explicit WorkerPool(int threads = 1);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  int thread_count() const { return threads_; }
+
+  /// Runs `fn(chunk_begin, chunk_end, lane)` over a static contiguous
+  /// partition of [0, n) into thread_count() chunks (lane = chunk index, for
+  /// per-lane partial aggregation). Blocks until every chunk completes. The
+  /// first exception thrown by any chunk (lowest lane wins) is rethrown on
+  /// the calling thread.
+  void parallel_for(
+      std::size_t n,
+      const std::function<void(std::size_t, std::size_t, int)>& fn);
+
+  /// Clamp a requested thread count to [1, hardware_concurrency].
+  static int clamp_threads(int requested);
+
+ private:
+  struct Chunk {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+  };
+  Chunk chunk_of(std::size_t n, int lane) const;
+  void worker_loop(int lane);
+
+  int threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable work_done_;
+  const std::function<void(std::size_t, std::size_t, int)>* job_ = nullptr;
+  std::size_t job_n_ = 0;
+  std::uint64_t generation_ = 0;
+  int pending_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::exception_ptr> errors_;
+};
+
+}  // namespace dmis

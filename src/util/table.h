@@ -25,6 +25,8 @@ class TextTable {
   TextTable& cell(double value, int precision = 3);
 
   std::size_t row_count() const { return rows_.size(); }
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
 
   /// Renders with aligned columns and a header separator.
   void print(std::ostream& os) const;

@@ -4,6 +4,7 @@
 
 #include "graph/properties.h"
 #include "mis/beeping.h"
+#include "mis/instrumentation.h"
 #include "test_helpers.h"
 #include "util/stats.h"
 
@@ -60,7 +61,7 @@ TEST(Beeping, GoldenRoundAuditorFindsTheAnalysisStructure) {
   GoldenRoundAuditor auditor(g);
   BeepingOptions opts;
   opts.randomness = RandomSource(3);
-  opts.auditor = &auditor;
+  opts.observers.push_back(&auditor);
   const MisRun run = beeping_mis(g, opts);
   EXPECT_TRUE(is_maximal_independent_set(g, run.in_mis));
   const GoldenRoundReport& report = auditor.report();

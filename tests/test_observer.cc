@@ -1,0 +1,285 @@
+// Tests for the runtime observation layer (runtime/observer.h): event
+// ordering per round, phase markers with analysis snapshots, TraceRecorder
+// cost deltas, and the cost-accounting helpers the layer builds on.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/generators.h"
+#include "mis/beeping.h"
+#include "mis/sparsified.h"
+#include "runtime/beeping.h"
+#include "runtime/congest.h"
+#include "runtime/cost.h"
+#include "runtime/observer.h"
+
+namespace dmis {
+namespace {
+
+// Records the raw event sequence as tagged strings.
+class EventLog final : public RoundObserver {
+ public:
+  void on_round_begin(const RoundContext& ctx) override {
+    events.push_back("begin:" + std::to_string(ctx.round));
+  }
+  void on_messages_delivered(const RoundContext& ctx, std::uint64_t messages,
+                             std::uint64_t bits) override {
+    events.push_back("msgs:" + std::to_string(ctx.round) + ":" +
+                     std::to_string(messages) + ":" + std::to_string(bits));
+  }
+  void on_round_end(const RoundContext& ctx) override {
+    events.push_back("end:" + std::to_string(ctx.round));
+  }
+  void on_phase_marker(const PhaseMarker& marker,
+                       const RoundContext& ctx) override {
+    const char* kind = "?";
+    switch (marker.kind) {
+      case PhaseMarkerKind::kPhaseBegin: kind = "pb"; break;
+      case PhaseMarkerKind::kPhaseEnd: kind = "pe"; break;
+      case PhaseMarkerKind::kIterationBegin: kind = "ib"; break;
+      case PhaseMarkerKind::kIterationEnd: kind = "ie"; break;
+    }
+    events.push_back(std::string(kind) + ":" + std::to_string(marker.index) +
+                     (ctx.analysis != nullptr ? ":a" : ""));
+  }
+
+  std::vector<std::string> events;
+};
+
+// One flood round then halt: drives a deterministic two-round execution.
+class TwoRoundFlood final : public CongestProgram {
+ public:
+  explicit TwoRoundFlood(NodeId self) : self_(self) {}
+  void send(std::uint64_t round, std::vector<Outgoing>& out) override {
+    if (round < 2) out.push_back({kAllNeighbors, self_, 32});
+  }
+  void receive(std::uint64_t round,
+               std::span<const CongestMessage>) override {
+    if (round >= 1) halted_ = true;
+  }
+  bool halted() const override { return halted_; }
+
+ private:
+  NodeId self_;
+  bool halted_ = false;
+};
+
+TEST(Observer, CongestEngineEventOrdering) {
+  const Graph g = cycle(4);
+  std::vector<std::unique_ptr<CongestProgram>> programs;
+  for (NodeId v = 0; v < 4; ++v) {
+    programs.push_back(std::make_unique<TwoRoundFlood>(v));
+  }
+  CongestEngine engine(g, std::move(programs), 64);
+  EventLog log;
+  engine.observers().attach(&log);
+  engine.run(10);
+  // Two rounds, each: begin, messages (8 msgs x 32 bits), end.
+  const std::vector<std::string> expected{
+      "begin:0", "msgs:0:8:256", "end:0", "begin:1", "msgs:1:8:256", "end:1"};
+  EXPECT_EQ(log.events, expected);
+}
+
+TEST(Observer, BeepEngineReportsBeepsAsMessages) {
+  const Graph g = path(3);
+  class Beeper final : public BeepProgram {
+   public:
+    BeepAction act(std::uint64_t) override { return BeepAction::kBeep; }
+    void feedback(std::uint64_t, bool) override { halted_ = true; }
+    bool halted() const override { return halted_; }
+
+   private:
+    bool halted_ = false;
+  };
+  std::vector<std::unique_ptr<BeepProgram>> programs;
+  for (int i = 0; i < 3; ++i) programs.push_back(std::make_unique<Beeper>());
+  BeepEngine engine(g, std::move(programs));
+  EventLog log;
+  engine.observers().attach(&log);
+  engine.run(10);
+  const std::vector<std::string> expected{"begin:0", "msgs:0:3:3", "end:0"};
+  EXPECT_EQ(log.events, expected);
+}
+
+TEST(Observer, DetachStopsEvents) {
+  const Graph g = cycle(4);
+  std::vector<std::unique_ptr<CongestProgram>> programs;
+  for (NodeId v = 0; v < 4; ++v) {
+    programs.push_back(std::make_unique<TwoRoundFlood>(v));
+  }
+  CongestEngine engine(g, std::move(programs), 64);
+  EventLog log;
+  engine.observers().attach(&log);
+  engine.step();
+  const std::size_t after_one_round = log.events.size();
+  engine.observers().detach(&log);
+  EXPECT_TRUE(engine.observers().empty());
+  engine.run(10);
+  EXPECT_EQ(log.events.size(), after_one_round);
+}
+
+TEST(Observer, BeepingMisEmitsPairedIterationMarkers) {
+  const Graph g = gnp(60, 0.1, 21);
+  EventLog log;
+  BeepingOptions opts;
+  opts.randomness = RandomSource(5);
+  opts.observers.push_back(&log);
+  beeping_mis(g, opts);
+  // Iteration markers must alternate ib/ie with matching consecutive
+  // ordinals, and every marker must carry an analysis snapshot.
+  std::vector<std::string> markers;
+  for (const std::string& e : log.events) {
+    if (e.rfind("ib:", 0) == 0 || e.rfind("ie:", 0) == 0) markers.push_back(e);
+  }
+  ASSERT_GE(markers.size(), 4u);
+  ASSERT_EQ(markers.size() % 2, 0u);
+  for (std::size_t i = 0; i < markers.size(); i += 2) {
+    const std::string ordinal = std::to_string(i / 2);
+    EXPECT_EQ(markers[i], "ib:" + ordinal + ":a");
+    EXPECT_EQ(markers[i + 1], "ie:" + ordinal + ":a");
+  }
+}
+
+TEST(Observer, IterationSnapshotsShowShrinkingLiveSet) {
+  const Graph g = gnp(80, 0.15, 22);
+  class LiveWatcher final : public RoundObserver {
+   public:
+    void on_phase_marker(const PhaseMarker& marker,
+                         const RoundContext& ctx) override {
+      if (ctx.analysis == nullptr) return;
+      std::uint64_t live = 0;
+      for (const char a : ctx.analysis->alive) live += a != 0 ? 1 : 0;
+      if (marker.kind == PhaseMarkerKind::kIterationBegin) {
+        begin_live.push_back(live);
+      } else if (marker.kind == PhaseMarkerKind::kIterationEnd) {
+        end_live.push_back(live);
+      }
+    }
+    std::vector<std::uint64_t> begin_live;
+    std::vector<std::uint64_t> end_live;
+  };
+  LiveWatcher watcher;
+  BeepingOptions opts;
+  opts.randomness = RandomSource(6);
+  opts.observers.push_back(&watcher);
+  beeping_mis(g, opts);
+  ASSERT_FALSE(watcher.begin_live.empty());
+  EXPECT_EQ(watcher.begin_live.front(), 80u);
+  EXPECT_EQ(watcher.end_live.back(), 0u);
+  // The live set never grows between consecutive snapshots.
+  for (std::size_t i = 0; i + 1 < watcher.end_live.size(); ++i) {
+    EXPECT_LE(watcher.end_live[i + 1], watcher.end_live[i]);
+  }
+}
+
+TEST(Observer, SparsifiedRunnerEmitsPhaseMarkers) {
+  const Graph g = gnp(120, 0.1, 23);
+  EventLog log;
+  SparsifiedOptions opts;
+  opts.params = SparsifiedParams::from_n(120);
+  opts.randomness = RandomSource(7);
+  opts.observers.push_back(&log);
+  sparsified_mis(g, opts);
+  // Phase markers pair up and bracket the per-iteration markers.
+  ASSERT_GE(log.events.size(), 2u);
+  EXPECT_EQ(log.events.front(), "pb:0");
+  EXPECT_EQ(log.events.back().rfind("pe:", 0), 0u);
+  std::uint64_t opened = 0;
+  std::uint64_t closed = 0;
+  for (const std::string& e : log.events) {
+    if (e.rfind("pb:", 0) == 0) ++opened;
+    if (e.rfind("pe:", 0) == 0) ++closed;
+  }
+  EXPECT_EQ(opened, closed);
+  EXPECT_GE(opened, 1u);
+}
+
+TEST(Observer, TraceRecorderDeltasSumToRunCosts) {
+  const Graph g = gnp(100, 0.08, 24);
+  TraceRecorder trace;
+  BeepingOptions opts;
+  opts.randomness = RandomSource(8);
+  opts.observers.push_back(&trace);
+  const MisRun run = beeping_mis(g, opts);
+  EXPECT_EQ(trace.rounds().size(), run.costs.rounds);
+  const CostAccounting total = trace.total();
+  EXPECT_EQ(total.rounds, run.costs.rounds);
+  EXPECT_EQ(total.messages, run.costs.messages);
+  EXPECT_EQ(total.bits, run.costs.bits);
+  EXPECT_EQ(total.beeps, run.costs.beeps);
+}
+
+TEST(Observer, TraceRecorderCoversSparsifiedRunnerCosts) {
+  const Graph g = gnp(100, 0.1, 25);
+  TraceRecorder trace;
+  SparsifiedOptions opts;
+  opts.params = SparsifiedParams::from_n(100);
+  opts.randomness = RandomSource(9);
+  opts.observers.push_back(&trace);
+  const MisRun run = sparsified_mis(g, opts);
+  // The lock-step runner emits one round event per phase opener and one per
+  // iteration (2 CONGEST rounds each); the deltas still cover every charge.
+  const CostAccounting total = trace.total();
+  EXPECT_EQ(total.rounds, run.costs.rounds);
+  EXPECT_EQ(total.beeps, run.costs.beeps);
+  EXPECT_EQ(total.messages, run.costs.messages);
+  EXPECT_EQ(total.bits, run.costs.bits);
+  EXPECT_FALSE(trace.markers().empty());
+}
+
+TEST(Observer, ObserversDoNotChangeResults) {
+  const Graph g = gnp(90, 0.12, 26);
+  BeepingOptions plain;
+  plain.randomness = RandomSource(10);
+  const MisRun unobserved = beeping_mis(g, plain);
+  TraceRecorder trace;
+  BeepingOptions observed;
+  observed.randomness = RandomSource(10);
+  observed.observers.push_back(&trace);
+  const MisRun watched = beeping_mis(g, observed);
+  EXPECT_EQ(unobserved.in_mis, watched.in_mis);
+  EXPECT_EQ(unobserved.decided_round, watched.decided_round);
+  EXPECT_EQ(unobserved.costs.rounds, watched.costs.rounds);
+  EXPECT_EQ(unobserved.costs.beeps, watched.costs.beeps);
+}
+
+TEST(CostAccounting, AccumulatesComponentwise) {
+  CostAccounting a;
+  a.rounds = 3;
+  a.messages = 10;
+  a.bits = 320;
+  a.beeps = 2;
+  CostAccounting b;
+  b.rounds = 1;
+  b.messages = 5;
+  b.bits = 40;
+  b.beeps = 7;
+  a += b;
+  EXPECT_EQ(a.rounds, 4u);
+  EXPECT_EQ(a.messages, 15u);
+  EXPECT_EQ(a.bits, 360u);
+  EXPECT_EQ(a.beeps, 9u);
+  // Adding a default-constructed accounting is the identity.
+  a += CostAccounting{};
+  EXPECT_EQ(a.rounds, 4u);
+  EXPECT_EQ(a.messages, 15u);
+  EXPECT_EQ(a.bits, 360u);
+  EXPECT_EQ(a.beeps, 9u);
+}
+
+TEST(CostAccounting, BandwidthBitsEdgeCases) {
+  // Degenerate graph sizes clamp to the 32-bit floor.
+  EXPECT_EQ(congest_bandwidth_bits(0), 32);
+  EXPECT_EQ(congest_bandwidth_bits(1), 32);
+  EXPECT_EQ(congest_bandwidth_bits(2), 32);
+  // Large n scales as multiplier * ceil(log2 n).
+  EXPECT_EQ(congest_bandwidth_bits(1 << 16), 4 * 16);
+  EXPECT_EQ(congest_bandwidth_bits((1 << 16) + 1), 4 * 17);
+  // A custom multiplier can lift tiny graphs over the floor.
+  EXPECT_EQ(congest_bandwidth_bits(2, 64), 64);
+}
+
+}  // namespace
+}  // namespace dmis

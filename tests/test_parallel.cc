@@ -1,0 +1,178 @@
+// Tests for runtime/parallel.h and the determinism contract of the engines'
+// parallel node stepping: thread count is a pure performance knob — MIS
+// output, per-node decision rounds, and cost accounting are bit-identical at
+// any thread count.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "graph/generators.h"
+#include "graph/properties.h"
+#include "mis/beeping.h"
+#include "mis/halfduplex_beeping.h"
+#include "mis/luby.h"
+#include "mis/sparsified.h"
+#include "mis/sparsified_congest.h"
+#include "runtime/parallel.h"
+
+namespace dmis {
+namespace {
+
+TEST(WorkerPool, CoversEveryIndexExactlyOnce) {
+  for (const int threads : {1, 2, 3, 4, 7}) {
+    WorkerPool pool(threads);
+    for (const std::size_t n : {std::size_t{0}, std::size_t{1},
+                                std::size_t{5}, std::size_t{1000}}) {
+      std::vector<std::atomic<int>> hits(n);
+      for (auto& h : hits) h.store(0);
+      pool.parallel_for(n, [&](std::size_t begin, std::size_t end, int lane) {
+        EXPECT_GE(lane, 0);
+        EXPECT_LT(lane, threads);
+        for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+      });
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(hits[i].load(), 1) << "n=" << n << " threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST(WorkerPool, PartitionIsStaticAndContiguous) {
+  // The chunk layout must be a pure function of (n, threads): recording the
+  // per-lane ranges twice gives the same answer.
+  WorkerPool pool(4);
+  const std::size_t n = 103;
+  std::vector<std::pair<std::size_t, std::size_t>> first(4), second(4);
+  std::mutex m;
+  pool.parallel_for(n, [&](std::size_t begin, std::size_t end, int lane) {
+    std::lock_guard<std::mutex> lock(m);
+    first[static_cast<std::size_t>(lane)] = {begin, end};
+  });
+  pool.parallel_for(n, [&](std::size_t begin, std::size_t end, int lane) {
+    std::lock_guard<std::mutex> lock(m);
+    second[static_cast<std::size_t>(lane)] = {begin, end};
+  });
+  EXPECT_EQ(first, second);
+  // Chunks tile [0, n) in lane order.
+  std::size_t cursor = 0;
+  for (int lane = 0; lane < 4; ++lane) {
+    EXPECT_EQ(first[static_cast<std::size_t>(lane)].first, cursor);
+    cursor = first[static_cast<std::size_t>(lane)].second;
+  }
+  EXPECT_EQ(cursor, n);
+}
+
+TEST(WorkerPool, PropagatesExceptions) {
+  for (const int threads : {1, 4}) {
+    WorkerPool pool(threads);
+    EXPECT_THROW(
+        pool.parallel_for(100,
+                          [](std::size_t begin, std::size_t, int) {
+                            if (begin == 0) {
+                              throw std::runtime_error("chunk failure");
+                            }
+                          }),
+        std::runtime_error);
+    // The pool stays usable after an exception.
+    std::atomic<int> done{0};
+    pool.parallel_for(8, [&](std::size_t begin, std::size_t end, int) {
+      done.fetch_add(static_cast<int>(end - begin));
+    });
+    EXPECT_EQ(done.load(), 8);
+  }
+}
+
+TEST(WorkerPool, ClampThreads) {
+  EXPECT_EQ(WorkerPool::clamp_threads(0), 1);
+  EXPECT_EQ(WorkerPool::clamp_threads(-3), 1);
+  EXPECT_GE(WorkerPool::clamp_threads(1), 1);
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  if (hw > 0) {
+    EXPECT_LE(WorkerPool::clamp_threads(1 << 20), hw);
+  }
+}
+
+// --- Determinism: identical results and costs at 1 vs 4 threads. ---
+
+void expect_identical(const MisRun& a, const MisRun& b, const char* what) {
+  EXPECT_EQ(a.in_mis, b.in_mis) << what;
+  EXPECT_EQ(a.decided_round, b.decided_round) << what;
+  EXPECT_EQ(a.costs.rounds, b.costs.rounds) << what;
+  EXPECT_EQ(a.costs.messages, b.costs.messages) << what;
+  EXPECT_EQ(a.costs.bits, b.costs.bits) << what;
+  EXPECT_EQ(a.costs.beeps, b.costs.beeps) << what;
+}
+
+TEST(Determinism, BeepingIdenticalAcrossThreadCounts) {
+  const Graph g = gnp(600, 12.0 / 599, 31);
+  BeepingOptions base;
+  base.randomness = RandomSource(77);
+  const MisRun one = beeping_mis(g, base);
+  EXPECT_TRUE(is_maximal_independent_set(g, one.in_mis));
+  for (const int threads : {2, 4}) {
+    BeepingOptions opts = base;
+    opts.threads = threads;
+    expect_identical(one, beeping_mis(g, opts), "beeping");
+  }
+}
+
+TEST(Determinism, HalfDuplexIdenticalAcrossThreadCounts) {
+  const Graph g = gnp(500, 10.0 / 499, 32);
+  HalfDuplexBeepingOptions base;
+  base.randomness = RandomSource(78);
+  const MisRun one = halfduplex_beeping_mis(g, base);
+  HalfDuplexBeepingOptions four = base;
+  four.threads = 4;
+  expect_identical(one, halfduplex_beeping_mis(g, four), "halfduplex");
+}
+
+TEST(Determinism, SparsifiedRunnerIdenticalAcrossThreadCounts) {
+  const Graph g = gnp(500, 16.0 / 499, 33);
+  SparsifiedOptions base;
+  base.params = SparsifiedParams::from_n(500);
+  base.randomness = RandomSource(79);
+  const MisRun one = sparsified_mis(g, base);
+  SparsifiedOptions four = base;
+  four.threads = 4;
+  expect_identical(one, sparsified_mis(g, four), "sparsified");
+}
+
+TEST(Determinism, CongestEngineIdenticalAcrossThreadCounts) {
+  const Graph g = gnp(400, 14.0 / 399, 34);
+  SparsifiedOptions base;
+  base.params = SparsifiedParams::from_n(400);
+  base.randomness = RandomSource(80);
+  const MisRun one = sparsified_congest_mis(g, base);
+  SparsifiedOptions four = base;
+  four.threads = 4;
+  expect_identical(one, sparsified_congest_mis(g, four),
+                   "sparsified_congest");
+  // Luby exercises targeted (non-broadcast) CONGEST traffic.
+  LubyOptions lb;
+  lb.randomness = RandomSource(81);
+  const MisRun luby_one = luby_mis(g, lb);
+  lb.threads = 4;
+  expect_identical(luby_one, luby_mis(g, lb), "luby");
+}
+
+TEST(Determinism, ThreadedCongestMatchesLockStepRunner) {
+  // The equivalence pillar with parallelism on: the threaded node-program
+  // translation still matches the threaded lock-step runner bit for bit.
+  const Graph g = gnp(400, 12.0 / 399, 35);
+  SparsifiedOptions opts;
+  opts.params = SparsifiedParams::from_n(400);
+  opts.randomness = RandomSource(82);
+  opts.threads = 4;
+  const MisRun global = sparsified_mis(g, opts);
+  const MisRun programs = sparsified_congest_mis(g, opts);
+  EXPECT_EQ(global.in_mis, programs.in_mis);
+  EXPECT_EQ(global.decided_round, programs.decided_round);
+}
+
+}  // namespace
+}  // namespace dmis

@@ -4,6 +4,7 @@
 
 #include "graph/ops.h"
 #include "graph/properties.h"
+#include "mis/instrumentation.h"
 #include "mis/sparsified.h"
 #include "test_helpers.h"
 
@@ -165,7 +166,7 @@ TEST(Sparsified, AuditorSeesGoldenStructure) {
   SparsifiedOptions opts;
   opts.params = SparsifiedParams::from_n(400);
   opts.randomness = RandomSource(14);
-  opts.auditor = &auditor;
+  opts.observers.push_back(&auditor);
   const MisRun run = sparsified_mis(g, opts);
   EXPECT_TRUE(is_maximal_independent_set(g, run.in_mis));
   EXPECT_GE(auditor.report().golden_fraction(), 0.05);

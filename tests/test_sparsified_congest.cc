@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "graph/properties.h"
+#include "mis/instrumentation.h"
 #include "mis/sparsified.h"
 #include "mis/sparsified_congest.h"
 #include "test_helpers.h"
@@ -85,12 +86,49 @@ TEST(SparsifiedCongest, MatchesOnSuperHeavyStars) {
   EXPECT_TRUE(is_maximal_independent_set(g, programs.in_mis));
 }
 
-TEST(SparsifiedCongest, RejectsObserverOptions) {
+TEST(SparsifiedCongest, RejectsTraceOption) {
   const Graph g = cycle(8);
-  GoldenRoundAuditor auditor(g);
   SparsifiedOptions opts;
-  opts.auditor = &auditor;
+  opts.trace = [](const SparsifiedPhaseRecord&) {};
   EXPECT_THROW(sparsified_congest_mis(g, opts), PreconditionError);
+}
+
+TEST(SparsifiedCongest, AuditorTalliesSameReportAsGlobalRunner) {
+  // The engine's iteration markers (via the analysis probe) must show an
+  // attached GoldenRoundAuditor exactly the liveness/p/super-heavy masks the
+  // lock-step runner shows its observers — including the phase-commit
+  // subtlety that a deferred node is live at iteration begin but gone from
+  // the iteration-end view.
+  const Graph g = gnp(300, 0.08, 47);
+  for (const bool immediate : {false, true}) {
+    SparsifiedOptions opts;
+    opts.params.phase_length = 4;
+    opts.params.superheavy_log2_threshold = 5;
+    opts.params.sample_boost = 4;
+    opts.params.immediate_superheavy_removal = immediate;
+    opts.randomness = RandomSource(13);
+
+    GoldenRoundAuditor on_global(g);
+    opts.observers = {&on_global};
+    const MisRun global = sparsified_mis(g, opts);
+
+    GoldenRoundAuditor on_programs(g);
+    opts.observers = {&on_programs};
+    const MisRun programs = sparsified_congest_mis(g, opts);
+
+    ASSERT_EQ(global.in_mis, programs.in_mis);
+    const GoldenRoundReport& a = on_global.report();
+    const GoldenRoundReport& b = on_programs.report();
+    EXPECT_EQ(a.observed_node_rounds, b.observed_node_rounds)
+        << "immediate=" << immediate;
+    EXPECT_EQ(a.golden1, b.golden1) << "immediate=" << immediate;
+    EXPECT_EQ(a.golden2, b.golden2) << "immediate=" << immediate;
+    EXPECT_EQ(a.wrong_moves, b.wrong_moves) << "immediate=" << immediate;
+    EXPECT_EQ(a.golden_rounds_total, b.golden_rounds_total);
+    EXPECT_EQ(a.golden_rounds_with_removal, b.golden_rounds_with_removal);
+    EXPECT_EQ(a.node_golden, b.node_golden);
+    EXPECT_EQ(a.node_rounds_alive, b.node_rounds_alive);
+  }
 }
 
 TEST(SparsifiedCongest, RoundsReflectPhaseStructure) {

@@ -47,7 +47,7 @@ int usage() {
   std::cerr
       << "usage:\n"
          "  dmis generate <family> <n> [param] [seed]\n"
-         "  dmis solve <algorithm> [--seed S] [--graph FILE]\n"
+         "  dmis solve <algorithm> [--seed S] [--graph FILE] [--threads T]\n"
          "  dmis color [--seed S] [--graph FILE]\n"
          "  dmis match [--seed S] [--graph FILE]\n"
          "  dmis mst [--seed S] [--graph FILE]\n"
@@ -60,6 +60,7 @@ int usage() {
 
 struct Flags {
   std::uint64_t seed = 1;
+  int threads = 1;
   std::optional<std::string> graph_file;
 };
 
@@ -68,6 +69,8 @@ Flags parse_flags(int argc, char** argv, int start) {
   for (int i = start; i < argc; ++i) {
     if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
       f.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      f.threads = std::max(1, std::atoi(argv[++i]));
     } else if (std::strcmp(argv[i], "--graph") == 0 && i + 1 < argc) {
       f.graph_file = argv[++i];
     } else {
@@ -141,28 +144,34 @@ int cmd_solve(int argc, char** argv) {
   } else if (algorithm == "luby") {
     dmis::LubyOptions o;
     o.randomness = rs;
+    o.threads = flags.threads;
     run = dmis::luby_mis(g, o);
   } else if (algorithm == "ghaffari") {
     dmis::GhaffariOptions o;
     o.randomness = rs;
+    o.threads = flags.threads;
     run = dmis::ghaffari_mis(g, o);
   } else if (algorithm == "beeping") {
     dmis::BeepingOptions o;
     o.randomness = rs;
+    o.threads = flags.threads;
     run = dmis::beeping_mis(g, o);
   } else if (algorithm == "halfduplex") {
     dmis::HalfDuplexBeepingOptions o;
     o.randomness = rs;
+    o.threads = flags.threads;
     run = dmis::halfduplex_beeping_mis(g, o);
   } else if (algorithm == "sparsified") {
     dmis::SparsifiedOptions o;
     o.params = dmis::SparsifiedParams::from_n(g.node_count());
     o.randomness = rs;
+    o.threads = flags.threads;
     run = dmis::sparsified_mis(g, o);
   } else if (algorithm == "congest") {
     dmis::SparsifiedOptions o;
     o.params = dmis::SparsifiedParams::from_n(g.node_count());
     o.randomness = rs;
+    o.threads = flags.threads;
     run = dmis::sparsified_congest_mis(g, o);
   } else if (algorithm == "clique") {
     dmis::CliqueMisOptions o;
