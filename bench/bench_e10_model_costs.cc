@@ -4,7 +4,17 @@
 // claim is stated in — and the sanity check that each engine charges its
 // own currency (beeping moves no messages; CONGEST stays within B bits per
 // edge per round; the clique pays for routing).
+//
+// Since the wire layer (DESIGN.md §9) bits are exact per message type, so a
+// second table breaks each algorithm's bandwidth down by WireMessageType:
+// which message kind dominates, and how far below the model's B each one
+// sits.
+//
+// Flags: --n=<nodes> (default 4096) shrinks/grows the workload; the CI
+// smoke step runs --n=256.
+#include <cstdlib>
 #include <iostream>
+#include <string>
 
 #include "bench_common.h"
 #include "graph/generators.h"
@@ -13,101 +23,138 @@
 #include "mis/ghaffari.h"
 #include "mis/luby.h"
 #include "mis/sparsified.h"
+#include "runtime/cost.h"
 #include "util/table.h"
 
 namespace dmis {
 namespace {
 
-void run() {
-  bench::print_banner(
-      "E10 / model accounting",
-      "All algorithms on G(n=4096, avg deg 32), same seed: rounds / "
-      "messages / bits / beeps\nper model.");
-  const NodeId n = 4096;
-  const Graph g = gnp(n, 32.0 / (n - 1), 55);
-  const std::uint64_t seed = 99;
+struct AlgoRun {
+  std::string name;
+  std::string model;
+  std::uint64_t rounds = 0;
+  std::uint64_t mis_size = 0;
+  CostAccounting costs;
+};
+
+void summary_table(const std::vector<AlgoRun>& runs, NodeId n) {
   TextTable table({"algorithm", "model", "rounds", "messages", "Mbits",
                    "beeps", "mis_size"});
+  for (const AlgoRun& r : runs) {
+    table.row()
+        .cell(r.name)
+        .cell(r.model)
+        .cell(r.rounds)
+        .cell(r.costs.messages)
+        .cell(static_cast<double>(r.costs.bits) / 1e6, 2)
+        .cell(r.costs.beeps)
+        .cell(r.mis_size);
+  }
+  table.print(std::cout);
+  bench::write_table_json(
+      "e10", table, {{"n", std::to_string(static_cast<std::uint64_t>(n))}});
+}
+
+void per_type_table(const std::vector<AlgoRun>& runs, NodeId n) {
+  std::cout << "\nper-message-type breakdown (exact codec widths vs B="
+            << congest_bandwidth_bits(n) << " bits)\n\n";
+  TextTable table({"algorithm", "type", "messages", "Mbits", "bits/msg"});
+  for (const AlgoRun& r : runs) {
+    for (std::size_t t = 0; t < kWireMessageTypeCount; ++t) {
+      const WireTypeTally& tally = r.costs.by_type[t];
+      if (tally.messages == 0) continue;
+      table.row()
+          .cell(r.name)
+          .cell(wire_message_type_name(static_cast<WireMessageType>(t)))
+          .cell(tally.messages)
+          .cell(static_cast<double>(tally.bits) / 1e6, 2)
+          .cell(static_cast<double>(tally.bits) /
+                    static_cast<double>(tally.messages),
+                1);
+    }
+  }
+  table.print(std::cout);
+  bench::write_table_json(
+      "e10_types", table,
+      {{"n", std::to_string(static_cast<std::uint64_t>(n))},
+       {"bandwidth_bits", std::to_string(congest_bandwidth_bits(n))}});
+}
+
+void run(NodeId n) {
+  bench::print_banner(
+      "E10 / model accounting",
+      "All algorithms on G(n=" + std::to_string(n) +
+          ", avg deg 32), same seed: rounds / "
+          "messages / bits / beeps\nper model, then bandwidth by message "
+          "type.");
+  const Graph g = gnp(n, 32.0 / (n - 1), 55);
+  const std::uint64_t seed = 99;
+  std::vector<AlgoRun> runs;
 
   {
     LubyOptions o;
     o.randomness = RandomSource(seed);
     const MisRun r = luby_mis(g, o);
-    table.row()
-        .cell("luby")
-        .cell("CONGEST")
-        .cell(r.rounds)
-        .cell(r.costs.messages)
-        .cell(static_cast<double>(r.costs.bits) / 1e6, 2)
-        .cell(r.costs.beeps)
-        .cell(r.mis_size());
+    runs.push_back({"luby", "CONGEST", r.rounds, r.mis_size(), r.costs});
   }
   {
     GhaffariOptions o;
     o.randomness = RandomSource(seed);
     const MisRun r = ghaffari_mis(g, o);
-    table.row()
-        .cell("ghaffari16")
-        .cell("CONGEST")
-        .cell(r.rounds)
-        .cell(r.costs.messages)
-        .cell(static_cast<double>(r.costs.bits) / 1e6, 2)
-        .cell(r.costs.beeps)
-        .cell(r.mis_size());
+    runs.push_back(
+        {"ghaffari16", "CONGEST", r.rounds, r.mis_size(), r.costs});
   }
   {
     BeepingOptions o;
     o.randomness = RandomSource(seed);
     const MisRun r = beeping_mis(g, o);
-    table.row()
-        .cell("beeping")
-        .cell("BEEP")
-        .cell(r.rounds)
-        .cell(r.costs.messages)
-        .cell(static_cast<double>(r.costs.bits) / 1e6, 2)
-        .cell(r.costs.beeps)
-        .cell(r.mis_size());
+    runs.push_back({"beeping", "BEEP", r.rounds, r.mis_size(), r.costs});
   }
   {
     SparsifiedOptions o;
     o.params = SparsifiedParams::from_n(n);
     o.randomness = RandomSource(seed);
     const MisRun r = sparsified_mis(g, o);
-    table.row()
-        .cell("sparsified")
-        .cell("CONGEST")
-        .cell(r.rounds)
-        .cell(r.costs.messages)
-        .cell(static_cast<double>(r.costs.bits) / 1e6, 2)
-        .cell(r.costs.beeps)
-        .cell(r.mis_size());
+    runs.push_back(
+        {"sparsified", "CONGEST", r.rounds, r.mis_size(), r.costs});
   }
   {
     CliqueMisOptions o;
     o.params = SparsifiedParams::from_n(n);
     o.randomness = RandomSource(seed);
     const CliqueMisResult r = clique_mis(g, o);
-    table.row()
-        .cell("clique_sim")
-        .cell("CLIQUE")
-        .cell(r.run.rounds)
-        .cell(r.run.costs.messages)
-        .cell(static_cast<double>(r.run.costs.bits) / 1e6, 2)
-        .cell(r.run.costs.beeps)
-        .cell(r.run.mis_size());
+    runs.push_back({"clique_sim", "CLIQUE", r.run.rounds, r.run.mis_size(),
+                    r.run.costs});
   }
-  table.print(std::cout);
-  bench::write_table_json("e10", table);
+
+  summary_table(runs, n);
+  per_type_table(runs, n);
   std::cout << "\nExpected: the beeping row moves zero messages (1-bit "
                "carrier detection\nonly); the clique pays more bits "
                "(routing) to buy fewer rounds per\nsimulated iteration as R "
-               "grows; MIS sizes all land in the same band.\n";
+               "grows; MIS sizes all land in the same band.\nPer type, "
+               "every bits/msg sits at its codec width, below B.\n";
+}
+
+NodeId n_from_args(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--n=", 0) == 0) {
+      const long v = std::atol(arg.c_str() + 4);
+      if (v >= 16) return static_cast<NodeId>(v);
+    }
+    if (arg == "--n" && i + 1 < argc) {
+      const long v = std::atol(argv[i + 1]);
+      if (v >= 16) return static_cast<NodeId>(v);
+    }
+  }
+  return 4096;
 }
 
 }  // namespace
 }  // namespace dmis
 
-int main() {
-  dmis::run();
+int main(int argc, char** argv) {
+  dmis::run(dmis::n_from_args(argc, argv));
   return 0;
 }

@@ -23,7 +23,7 @@ std::vector<Packet> permutation_load(NodeId n, std::uint64_t seed) {
     packets.push_back({s, static_cast<NodeId>((s + 1 + mix64(seed, s) %
                                                        (n - 1)) %
                                               n),
-                       0, 0});
+                       WirePayload{}});
   }
   return packets;
 }
@@ -32,7 +32,7 @@ std::vector<Packet> all_to_all(NodeId n) {
   std::vector<Packet> packets;
   for (NodeId s = 0; s < n; ++s) {
     for (NodeId d = 0; d < n; ++d) {
-      packets.push_back({s, d, 0, 0});
+      packets.push_back({s, d, WirePayload{}});
     }
   }
   return packets;
@@ -42,7 +42,7 @@ std::vector<Packet> hotspot(NodeId n, int k) {
   // Every node sends k packets to node 0 (dest load = k*n).
   std::vector<Packet> packets;
   for (NodeId s = 0; s < n; ++s) {
-    for (int i = 0; i < k; ++i) packets.push_back({s, 0, 0, 0});
+    for (int i = 0; i < k; ++i) packets.push_back({s, 0, WirePayload{}});
   }
   return packets;
 }

@@ -131,7 +131,7 @@ void BM_LenzenSchedule(benchmark::State& state) {
   const NodeId n = 128;
   std::vector<Packet> packets;
   for (NodeId s = 0; s < n; ++s) {
-    for (NodeId d = 0; d < n; ++d) packets.push_back({s, d, 0, 0});
+    for (NodeId d = 0; d < n; ++d) packets.push_back({s, d, WirePayload{}});
   }
   for (auto _ : state) {
     benchmark::DoNotOptimize(lenzen_schedule(packets, n));
@@ -176,8 +176,10 @@ BENCHMARK(BM_LocalOracleQuery);
 
 void BM_GatherBalls(benchmark::State& state) {
   const Graph g = random_regular(1 << 11, 4, 8);
-  std::vector<std::vector<std::uint64_t>> ann(g.node_count());
-  for (NodeId v = 0; v < g.node_count(); ++v) ann[v] = {v, v, v};
+  AnnotationTable ann(g.node_count(), 3);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    ann.row(v)[0] = ann.row(v)[1] = ann.row(v)[2] = v;
+  }
   for (auto _ : state) {
     CliqueNetwork net(g.node_count(), RandomSource(9));
     benchmark::DoNotOptimize(gather_balls(net, g, ann, 2));

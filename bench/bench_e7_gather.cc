@@ -33,8 +33,8 @@ void standalone() {
   for (const auto& w : workloads) {
     for (const int radius : w.radii) {
       CliqueNetwork net(w.g.node_count(), RandomSource(5));
-      std::vector<std::vector<std::uint64_t>> ann(w.g.node_count());
-      for (NodeId v = 0; v < w.g.node_count(); ++v) ann[v] = {v};
+      AnnotationTable ann(w.g.node_count(), 1);
+      for (NodeId v = 0; v < w.g.node_count(); ++v) ann.row(v)[0] = v;
       const GatherResult r = gather_balls(net, w.g, ann, radius);
       table.row()
           .cell(w.name)

@@ -9,15 +9,6 @@
 namespace dmis {
 namespace {
 
-// Packet record encoding. `a` layout: [63:62] kind, [61:32] aux, [31:0] node.
-constexpr std::uint64_t kKindEdge = 1;
-constexpr std::uint64_t kKindAnnotation = 2;
-
-constexpr std::uint64_t encode_head(std::uint64_t kind, std::uint64_t aux,
-                                    NodeId node) {
-  return (kind << 62) | (aux << 32) | node;
-}
-
 struct Knowledge {
   std::vector<NodeId> members;  // sorted unique
   std::unordered_set<std::uint64_t> edge_keys;
@@ -57,12 +48,13 @@ int gather_steps_for_radius(int radius) {
   return steps;
 }
 
-GatherResult gather_balls(
-    CliqueNetwork& net, const Graph& graph,
-    std::span<const std::vector<std::uint64_t>> annotations, int radius) {
+GatherResult gather_balls(CliqueNetwork& net, const Graph& graph,
+                          const AnnotationTable& annotations, int radius) {
   const NodeId n = graph.node_count();
-  DMIS_CHECK(annotations.size() == n,
-             "annotation count " << annotations.size() << " != n " << n);
+  DMIS_CHECK(annotations.stride() == 0 || annotations.node_count() == n,
+             "annotation count " << annotations.node_count() << " != n "
+                                 << n);
+  const WireContext& ctx = net.wire_context();
 
   GatherResult result;
   result.stats.steps = static_cast<std::uint64_t>(
@@ -73,8 +65,11 @@ GatherResult gather_balls(
   for (NodeId v = 0; v < n; ++v) {
     know[v].add_member(v);
     for (const NodeId u : graph.neighbors(v)) know[v].add_edge(v, u);
-    for (std::uint32_t i = 0; i < annotations[v].size(); ++i) {
-      know[v].set_annotation_word(v, i, annotations[v][i]);
+    if (annotations.stride() != 0) {
+      const auto row = annotations.row(v);
+      for (std::uint32_t i = 0; i < row.size(); ++i) {
+        know[v].set_annotation_word(v, i, row[i]);
+      }
     }
   }
 
@@ -86,12 +81,14 @@ GatherResult gather_balls(
       for (const NodeId dst : k.members) {
         if (dst == v) continue;
         for (const auto& [eu, ev] : k.edges) {
-          packets.push_back({v, dst, encode_head(kKindEdge, 0, eu), ev});
+          packets.push_back(
+              {v, dst, encode_payload(ctx, GatherEdgeMsg{eu, ev})});
         }
         for (const auto& [node, words] : k.annotations) {
           for (std::uint32_t i = 0; i < words.size(); ++i) {
             packets.push_back(
-                {v, dst, encode_head(kKindAnnotation, i, node), words[i]});
+                {v, dst,
+                 encode_payload(ctx, GatherAnnotationMsg{node, i, words[i]})});
           }
         }
       }
@@ -107,15 +104,13 @@ GatherResult gather_balls(
     // Merge delivered knowledge. Packets were snapshotted pre-merge, so
     // merging in place is a plain monotone union.
     for (const Packet& p : packets) {
-      const std::uint64_t kind = p.a >> 62;
-      const auto aux = static_cast<std::uint32_t>((p.a >> 32) & 0x3fffffffULL);
-      const auto node = static_cast<NodeId>(p.a & 0xffffffffULL);
       Knowledge& k = know[p.dst];
-      if (kind == kKindEdge) {
-        k.add_edge(node, static_cast<NodeId>(p.b));
+      if (p.payload.type == WireMessageType::kGatherEdge) {
+        const auto msg = decode_payload<GatherEdgeMsg>(ctx, p.payload);
+        k.add_edge(msg.u, msg.v);
       } else {
-        DMIS_ASSERT(kind == kKindAnnotation, "bad record kind " << kind);
-        k.set_annotation_word(node, aux, p.b);
+        const auto msg = decode_payload<GatherAnnotationMsg>(ctx, p.payload);
+        k.set_annotation_word(msg.node, msg.index, msg.data);
       }
     }
   }

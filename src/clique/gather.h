@@ -4,8 +4,9 @@
 // opaque per-node annotation (the paper's "decorated graph G*[S]": beep-vector
 // ORs and per-round randomness, encoded by the caller as 64-bit words). In
 // each step, every node ships its entire current knowledge to every node it
-// knows of, as O(log n)-bit packets through CliqueNetwork::route — squaring
-// the known radius. After k steps each node knows:
+// knows of, as typed wire messages (GatherEdgeMsg / GatherAnnotationMsg)
+// through CliqueNetwork::route — squaring the known radius. After k steps
+// each node knows:
 //   * members up to distance 2^k,
 //   * all edges incident to nodes within distance 2^k - 1, and
 //   * annotations of nodes within distance 2^k - 1,
@@ -20,8 +21,47 @@
 
 #include "clique/network.h"
 #include "graph/graph.h"
+#include "util/check.h"
+#include "wire/messages.h"
 
 namespace dmis {
+
+/// Fixed-stride per-node decoration words. Every node carries exactly
+/// `stride` 64-bit words (a run-wide constant: 3 for phase decorations, 1
+/// for personal seeds), so the table is one flat allocation and a row is a
+/// span into it — no per-node vectors on the encode path.
+class AnnotationTable {
+ public:
+  AnnotationTable() = default;
+  AnnotationTable(NodeId nodes, std::uint32_t stride)
+      : stride_(stride),
+        words_(static_cast<std::size_t>(nodes) * stride, 0) {
+    DMIS_CHECK(stride <= kMaxAnnotationWords,
+               "annotation stride " << stride << " exceeds the wire index "
+                                    << "range [0, " << kMaxAnnotationWords
+                                    << ")");
+  }
+
+  std::uint32_t stride() const { return stride_; }
+  NodeId node_count() const {
+    return stride_ == 0
+               ? 0
+               : static_cast<NodeId>(words_.size() / stride_);
+  }
+
+  std::span<std::uint64_t> row(NodeId v) {
+    return std::span<std::uint64_t>(words_).subspan(
+        static_cast<std::size_t>(v) * stride_, stride_);
+  }
+  std::span<const std::uint64_t> row(NodeId v) const {
+    return std::span<const std::uint64_t>(words_).subspan(
+        static_cast<std::size_t>(v) * stride_, stride_);
+  }
+
+ private:
+  std::uint32_t stride_ = 0;
+  std::vector<std::uint64_t> words_;
+};
 
 /// One node's gathered knowledge after the exponentiation steps.
 struct GatheredBall {
@@ -49,10 +89,10 @@ struct GatherResult {
 int gather_steps_for_radius(int radius);
 
 /// Gathers every node's ball in `graph` (ids are graph-local; the caller maps
-/// to/from original ids). `annotations[v]` is node v's opaque decoration.
-/// Costs are charged to `net` (one routed batch per step).
+/// to/from original ids). `annotations.row(v)` is node v's opaque decoration
+/// (an empty table means undecorated). Costs are charged to `net` (one
+/// routed batch per step).
 GatherResult gather_balls(CliqueNetwork& net, const Graph& graph,
-                          std::span<const std::vector<std::uint64_t>> annotations,
-                          int radius);
+                          const AnnotationTable& annotations, int radius);
 
 }  // namespace dmis

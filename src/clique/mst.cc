@@ -7,6 +7,7 @@
 #include "graph/dsu.h"
 #include "util/bits.h"
 #include "util/check.h"
+#include "wire/messages.h"
 
 namespace dmis {
 namespace {
@@ -24,10 +25,6 @@ struct Candidate {
   }
 };
 
-constexpr std::uint64_t pack_edge(NodeId u, NodeId v) {
-  return (static_cast<std::uint64_t>(u) << 32) | v;
-}
-
 }  // namespace
 
 CliqueMstResult clique_mst(const Graph& g, const WeightFn& weight,
@@ -38,6 +35,7 @@ CliqueMstResult clique_mst(const Graph& g, const WeightFn& weight,
 
   CliqueNetwork net(n, options.randomness.fork(0x357cULL),
                     options.route_mode);
+  const WireContext& ctx = net.wire_context();
   std::vector<NodeId> label(n);
   for (NodeId v = 0; v < n; ++v) label[v] = v;
   std::set<Edge> forest;
@@ -47,7 +45,8 @@ CliqueMstResult clique_mst(const Graph& g, const WeightFn& weight,
     // 1. Every node announces its label to its neighbors (one round).
     std::uint64_t directed = 0;
     for (NodeId v = 0; v < n; ++v) directed += g.degree(v);
-    net.charge_neighborhood_round(directed, bits_for_range(n));
+    net.charge_neighborhood_round(WireMessageType::kMstLabel, directed,
+                                  encoded_bits<MstLabelMsg>(ctx));
 
     // 2. Lightest outgoing edge per node; convergecast to component leader.
     //    Every node reports in (presence keeps leaders' member lists
@@ -66,9 +65,12 @@ CliqueMstResult clique_mst(const Graph& g, const WeightFn& weight,
       }
       if (best.u != kInvalidNode) {
         any_outgoing = true;
-        up.push_back({v, label[v], best.w, pack_edge(best.u, best.v)});
+        up.push_back({v, label[v],
+                      encode_payload(
+                          ctx, MstReportMsg{true, best.w, best.u, best.v})});
       } else {
-        up.push_back({v, label[v], ~0ULL, pack_edge(kInvalidNode, 0)});
+        up.push_back(
+            {v, label[v], encode_payload(ctx, MstReportMsg{false, 0, 0, 0})});
       }
     }
     if (!any_outgoing) break;  // spanning forest complete
@@ -80,9 +82,9 @@ CliqueMstResult clique_mst(const Graph& g, const WeightFn& weight,
     std::unordered_map<NodeId, std::vector<NodeId>> members;
     for (const Packet& p : up) {
       members[p.dst].push_back(p.src);
-      if (p.a == ~0ULL) continue;
-      const Candidate c{p.a, static_cast<NodeId>(p.b >> 32),
-                        static_cast<NodeId>(p.b & 0xffffffffULL)};
+      const auto report = decode_payload<MstReportMsg>(ctx, p.payload);
+      if (!report.has_edge) continue;
+      const Candidate c{report.weight, report.u, report.v};
       auto [it, inserted] = comp_best.emplace(p.dst, c);
       if (!inserted && c.better_than(it->second)) it->second = c;
     }
@@ -91,7 +93,8 @@ CliqueMstResult clique_mst(const Graph& g, const WeightFn& weight,
     std::vector<Packet> chosen;
     chosen.reserve(comp_best.size());
     for (const auto& [leader, c] : comp_best) {
-      chosen.push_back({leader, 0, c.w, pack_edge(c.u, c.v)});
+      chosen.push_back(
+          {leader, 0, encode_payload(ctx, MstChosenMsg{c.w, c.u, c.v})});
     }
     net.route(chosen);
 
@@ -99,11 +102,10 @@ CliqueMstResult clique_mst(const Graph& g, const WeightFn& weight,
     // (min old label per merged component = min member id overall).
     DisjointSets dsu(n);
     for (const Packet& p : chosen) {
-      const NodeId u = static_cast<NodeId>(p.b >> 32);
-      const NodeId v = static_cast<NodeId>(p.b & 0xffffffffULL);
-      if (dsu.unite(label[u], label[v])) {
-        forest.insert({u, v});
-        result.total_weight += p.a;
+      const auto msg = decode_payload<MstChosenMsg>(ctx, p.payload);
+      if (dsu.unite(label[msg.u], label[msg.v])) {
+        forest.insert({msg.u, msg.v});
+        result.total_weight += msg.weight;
       }
     }
     std::unordered_map<NodeId, NodeId> new_label_of;  // old leader -> new
@@ -130,7 +132,7 @@ CliqueMstResult clique_mst(const Graph& g, const WeightFn& weight,
     std::vector<Packet> down;
     down.reserve(new_label_of.size());
     for (const auto& [leader, nl] : new_label_of) {
-      down.push_back({0, leader, nl, 0});
+      down.push_back({0, leader, encode_payload(ctx, MstLabelMsg{nl})});
     }
     net.route(down);
     std::vector<Packet> fanout;
@@ -140,12 +142,12 @@ CliqueMstResult clique_mst(const Graph& g, const WeightFn& weight,
       const auto it = new_label_of.find(leader);
       const NodeId nl = it == new_label_of.end() ? leader : it->second;
       for (const NodeId m : member_list) {
-        fanout.push_back({leader, m, nl, 0});
+        fanout.push_back({leader, m, encode_payload(ctx, MstLabelMsg{nl})});
       }
     }
     net.route(fanout);
     for (const Packet& p : fanout) {
-      label[p.dst] = static_cast<NodeId>(p.a);
+      label[p.dst] = decode_payload<MstLabelMsg>(ctx, p.payload).label;
     }
   }
   DMIS_ASSERT(phase < options.max_phases,

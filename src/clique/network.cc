@@ -3,17 +3,22 @@
 #include "clique/lenzen_schedule.h"
 
 #include <algorithm>
+#include <array>
 #include <unordered_map>
 
 #include "rng/mix.h"
 #include "util/bits.h"
 #include "util/check.h"
+#include "wire/messages.h"
 
 namespace dmis {
 
 CliqueNetwork::CliqueNetwork(NodeId node_count, RandomSource randomness,
                              RouteMode mode)
-    : node_count_(node_count), randomness_(randomness), mode_(mode) {
+    : node_count_(node_count),
+      randomness_(randomness),
+      mode_(mode),
+      wire_ctx_(WireContext::for_nodes(node_count)) {
   DMIS_CHECK(node_count >= 1, "empty clique");
 }
 
@@ -28,12 +33,19 @@ RouteReport CliqueNetwork::route(std::vector<Packet>& packets) {
   }
   std::vector<std::uint64_t> src_load(node_count_, 0);
   std::vector<std::uint64_t> dst_load(node_count_, 0);
+  std::array<WireTypeTally, kWireMessageTypeCount> delivered{};
   for (const Packet& p : packets) {
     DMIS_CHECK(p.src < node_count_ && p.dst < node_count_,
                "packet endpoint out of range: src=" << p.src
                                                     << " dst=" << p.dst);
+    DMIS_CHECK(p.payload.bits <= kPacketBits,
+               "payload of " << p.payload.bits << " bits exceeds B = "
+                             << kPacketBits);
     ++src_load[p.src];
     ++dst_load[p.dst];
+    auto& tally = delivered[static_cast<std::size_t>(p.payload.type)];
+    ++tally.messages;
+    tally.bits += p.payload.bits;
   }
   for (NodeId v = 0; v < node_count_; ++v) {
     report.max_source_load = std::max(report.max_source_load, src_load[v]);
@@ -63,20 +75,30 @@ RouteReport CliqueNetwork::route(std::vector<Packet>& packets) {
 
   emit_round_begin();
   costs_.rounds += report.rounds;
-  costs_.messages += packets.size();
-  costs_.bits += packets.size() * static_cast<std::uint64_t>(kPacketBits);
+  std::uint64_t total_bits = 0;
+  for (std::size_t t = 0; t < delivered.size(); ++t) {
+    if (delivered[t].messages == 0) continue;
+    costs_.add_messages(static_cast<WireMessageType>(t),
+                        delivered[t].messages, delivered[t].bits);
+    total_bits += delivered[t].bits;
+  }
   const std::uint64_t last_round = round_ + report.rounds - 1;
   round_ += report.rounds;
-  emit_messages(packets.size(),
-                packets.size() * static_cast<std::uint64_t>(kPacketBits));
+  emit_messages(packets.size(), total_bits);
+  for (std::size_t t = 0; t < delivered.size(); ++t) {
+    emit_wire(static_cast<WireMessageType>(t), delivered[t].messages,
+              delivered[t].bits);
+  }
   emit_round_end(last_round);
 
   std::sort(packets.begin(), packets.end(),
             [](const Packet& x, const Packet& y) {
               if (x.dst != y.dst) return x.dst < y.dst;
               if (x.src != y.src) return x.src < y.src;
-              if (x.a != y.a) return x.a < y.a;
-              return x.b < y.b;
+              if (x.payload.words != y.payload.words) {
+                return x.payload.words < y.payload.words;
+              }
+              return x.payload.bits < y.payload.bits;
             });
   return report;
 }
@@ -154,36 +176,41 @@ bool CliqueNetwork::step() {
   return true;
 }
 
-void CliqueNetwork::charge_broadcast_round(std::uint64_t broadcasting_nodes,
+void CliqueNetwork::charge_broadcast_round(WireMessageType type,
+                                           std::uint64_t broadcasting_nodes,
                                            int bits) {
   DMIS_CHECK(bits >= 0 && bits <= kPacketBits,
              "broadcast payload of " << bits << " bits exceeds B");
   emit_round_begin();
   const std::uint64_t messages = broadcasting_nodes * (node_count_ - 1);
+  const std::uint64_t total = messages * static_cast<std::uint64_t>(bits);
   costs_.rounds += 1;
-  costs_.messages += messages;
-  costs_.bits += messages * static_cast<std::uint64_t>(bits);
-  emit_messages(messages, messages * static_cast<std::uint64_t>(bits));
+  costs_.add_messages(type, messages, total);
+  emit_messages(messages, total);
+  emit_wire(type, messages, total);
   ++round_;
   emit_round_end(round_ - 1);
 }
 
-void CliqueNetwork::charge_neighborhood_round(std::uint64_t messages,
+void CliqueNetwork::charge_neighborhood_round(WireMessageType type,
+                                              std::uint64_t messages,
                                               int bits) {
   DMIS_CHECK(bits >= 0 && bits <= kPacketBits,
              "payload of " << bits << " bits exceeds B");
   emit_round_begin();
+  const std::uint64_t total = messages * static_cast<std::uint64_t>(bits);
   costs_.rounds += 1;
-  costs_.messages += messages;
-  costs_.bits += messages * static_cast<std::uint64_t>(bits);
-  emit_messages(messages, messages * static_cast<std::uint64_t>(bits));
+  costs_.add_messages(type, messages, total);
+  emit_messages(messages, total);
+  emit_wire(type, messages, total);
   ++round_;
   emit_round_end(round_ - 1);
 }
 
 NodeId CliqueNetwork::elect_leader() {
   // Everyone announces its id in one all-to-all round; the minimum wins.
-  charge_broadcast_round(node_count_, bits_for_range(node_count_));
+  charge_broadcast_round(WireMessageType::kLeaderElect, node_count_,
+                         encoded_bits<LeaderElectMsg>(wire_ctx_));
   return 0;
 }
 

@@ -14,9 +14,12 @@
 //    intermediate path, enforcing that each ordered node pair carries at
 //    most one packet per round; returns the measured round count.
 //
-// A packet carries two 64-bit words. With 32-bit node ids this is the
-// model's O(log n) with constant 4; the engine's bandwidth check uses
-// kPacketBits accordingly.
+// A packet carries a typed wire payload (wire/codec.h) of at most
+// kPacketBits = 128 bits — the model's O(log n) with constant 4 at 32-bit
+// ids. Routing charges each packet its exact encoded size and tallies it
+// under its message type (DESIGN.md §9), not a flat per-packet rate; the
+// per-payload bandwidth cap B is enforced at the encode choke point
+// (encode_payload's static_assert) and re-checked here.
 #pragma once
 
 #include <cstdint>
@@ -26,19 +29,19 @@
 #include "rng/random_source.h"
 #include "runtime/cost.h"
 #include "runtime/engine.h"
+#include "wire/codec.h"
 
 namespace dmis {
 
 struct Packet {
   NodeId src = kInvalidNode;
   NodeId dst = kInvalidNode;
-  std::uint64_t a = 0;
-  std::uint64_t b = 0;
+  WirePayload payload;
 
   friend bool operator==(const Packet&, const Packet&) = default;
 };
 
-inline constexpr int kPacketBits = 128;
+inline constexpr int kPacketBits = kMaxPayloadBits;
 /// Rounds Lenzen's deterministic routing needs per feasible batch [25].
 inline constexpr int kLenzenRoundsPerBatch = 2;
 
@@ -74,6 +77,9 @@ class CliqueNetwork final : public SimulationEngine {
 
   NodeId node_count() const { return node_count_; }
   RouteMode mode() const { return mode_; }
+  /// Field widths of this clique's codecs (phase_len 0; algorithms with a
+  /// phase structure derive their own context with for_nodes(n, R)).
+  const WireContext& wire_context() const { return wire_ctx_; }
 
   /// One idle synchronous round (nothing sent). Always returns true.
   bool step() override;
@@ -81,20 +87,24 @@ class CliqueNetwork final : public SimulationEngine {
   std::uint64_t live_count() const override { return node_count_; }
   bool all_halted() const override { return false; }
 
-  /// Delivers `packets` (validated: src/dst < n). On return the vector is
-  /// sorted by (dst, src) — the per-destination inboxes. Costs are charged
-  /// to this network's accounting and summarized in the report.
+  /// Delivers `packets` (validated: src/dst < n, payload within B). On
+  /// return the vector is sorted by (dst, src) — the per-destination
+  /// inboxes. Each packet is charged its exact payload size under its
+  /// message type, both to this network's accounting and to the observer
+  /// stream's per-type wire events.
   RouteReport route(std::vector<Packet>& packets);
 
   /// One synchronous all-to-all round in which a subset of nodes broadcast
-  /// up to `bits` bits to everyone (e.g. "MIS joiners announce"): charges
-  /// one round and the corresponding messages/bits.
-  void charge_broadcast_round(std::uint64_t broadcasting_nodes, int bits);
+  /// `bits`-bit messages of the given type to everyone (e.g. "MIS joiners
+  /// announce"): charges one round and the corresponding messages/bits.
+  void charge_broadcast_round(WireMessageType type,
+                              std::uint64_t broadcasting_nodes, int bits);
 
   /// One round in which each node sends up to `bits` to its graph neighbors
   /// only (a CONGEST-style round executed inside the clique, e.g. the
   /// p_t(v) exchange opening each phase of §2.3).
-  void charge_neighborhood_round(std::uint64_t messages, int bits);
+  void charge_neighborhood_round(WireMessageType type, std::uint64_t messages,
+                                 int bits);
 
   /// Leader election: everyone announces its id; minimum wins. One round.
   NodeId elect_leader();
@@ -109,6 +119,7 @@ class CliqueNetwork final : public SimulationEngine {
   NodeId node_count_;
   RandomSource randomness_;
   RouteMode mode_;
+  WireContext wire_ctx_;
   std::uint64_t route_invocations_ = 0;
 };
 

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "util/check.h"
+#include "wire/messages.h"
 
 namespace dmis {
 namespace {
@@ -39,6 +40,7 @@ CliqueTriangleResult clique_triangle_count(
 
   CliqueNetwork net(n, options.randomness.fork(0x7219ULL),
                     options.route_mode);
+  const WireContext& ctx = net.wire_context();
   const auto k = static_cast<std::uint32_t>(
       std::ceil(std::cbrt(static_cast<double>(n))));
   result.groups = k;
@@ -77,8 +79,9 @@ CliqueTriangleResult clique_triangle_count(
       const std::uint32_t gw = group_of(w);
       for (std::uint32_t c = 0; c < k; ++c) {
         const std::uint32_t idx = triple_index.at(sorted_triple(gu, gw, c));
-        packets.push_back({u, owner_of(idx),
-                           (static_cast<std::uint64_t>(u) << 32) | w, idx});
+        packets.push_back(
+            {u, owner_of(idx),
+             encode_payload(ctx, TriangleEdgeMsg{u, w, idx})});
       }
     }
   }
@@ -89,9 +92,8 @@ CliqueTriangleResult clique_triangle_count(
   // triangles whose sorted group signature equals the triple.
   std::unordered_map<std::uint32_t, std::vector<Edge>> by_triple;
   for (const Packet& p : packets) {
-    by_triple[static_cast<std::uint32_t>(p.b)].push_back(
-        {static_cast<NodeId>(p.a >> 32),
-         static_cast<NodeId>(p.a & 0xffffffffULL)});
+    const auto msg = decode_payload<TriangleEdgeMsg>(ctx, p.payload);
+    by_triple[msg.triple].push_back({msg.u, msg.v});
   }
   std::unordered_map<NodeId, std::uint64_t> owner_counts;
   for (auto& [idx, edges] : by_triple) {
@@ -133,10 +135,13 @@ CliqueTriangleResult clique_triangle_count(
   std::vector<Packet> sums;
   sums.reserve(owner_counts.size());
   for (const auto& [owner, count] : owner_counts) {
-    sums.push_back({owner, leader, count, 0});
+    sums.push_back(
+        {owner, leader, encode_payload(ctx, TriangleCountMsg{count})});
   }
   net.route(sums);
-  for (const Packet& p : sums) result.triangles += p.a;
+  for (const Packet& p : sums) {
+    result.triangles += decode_payload<TriangleCountMsg>(ctx, p.payload).count;
+  }
 
   result.costs = net.costs();
   return result;

@@ -4,6 +4,7 @@
 
 #include "mis/greedy.h"
 #include "util/check.h"
+#include "wire/messages.h"
 
 namespace dmis {
 
@@ -26,14 +27,16 @@ CleanupStats clique_leader_cleanup(CliqueNetwork& net, const Graph& g,
 
   const std::uint64_t rounds_before = net.costs().rounds;
   const NodeId leader = net.elect_leader();
+  const WireContext& ctx = net.wire_context();
 
-  // Record kinds in the top two bits of `a`: 1 = presence, 2 = edge.
   std::vector<Packet> packets;
   for (const NodeId v : residual) {
-    packets.push_back({v, leader, (1ULL << 62) | v, 0});
+    packets.push_back(
+        {v, leader, encode_payload(ctx, ResidualPresenceMsg{v})});
     for (const NodeId u : g.neighbors(v)) {
       if (u > v && alive[u] != 0) {
-        packets.push_back({v, leader, (2ULL << 62) | v, u});
+        packets.push_back(
+            {v, leader, encode_payload(ctx, ResidualEdgeMsg{v, u})});
         ++stats.residual_edges;
       }
     }
@@ -48,9 +51,9 @@ CleanupStats clique_leader_cleanup(CliqueNetwork& net, const Graph& g,
   }
   GraphBuilder builder(static_cast<NodeId>(residual.size()));
   for (const Packet& p : packets) {
-    if ((p.a >> 62) == 2) {
-      builder.add_edge(to_local.at(static_cast<NodeId>(p.a & 0xffffffffULL)),
-                       to_local.at(static_cast<NodeId>(p.b)));
+    if (p.payload.type == WireMessageType::kResidualEdge) {
+      const auto msg = decode_payload<ResidualEdgeMsg>(ctx, p.payload);
+      builder.add_edge(to_local.at(msg.u), to_local.at(msg.v));
     }
   }
   const Graph residual_graph = std::move(builder).build();
@@ -61,11 +64,14 @@ CleanupStats clique_leader_cleanup(CliqueNetwork& net, const Graph& g,
   decisions.reserve(residual.size());
   for (std::size_t i = 0; i < residual.size(); ++i) {
     decisions.push_back(
-        {leader, residual[i], residual_mis[i] != 0 ? 1ULL : 0ULL, 0});
+        {leader, residual[i],
+         encode_payload(ctx, MisDecisionMsg{residual_mis[i] != 0})});
   }
   net.route(decisions);
   for (const Packet& p : decisions) {
-    if (p.a != 0) in_mis[p.dst] = 1;
+    if (decode_payload<MisDecisionMsg>(ctx, p.payload).in_mis) {
+      in_mis[p.dst] = 1;
+    }
     decided_round[p.dst] = final_round;
   }
   stats.rounds = net.costs().rounds - rounds_before;

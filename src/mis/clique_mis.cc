@@ -140,6 +140,8 @@ CliqueMisResult clique_mis(const Graph& g, const CliqueMisOptions& options) {
   if (n == 0) return result;
 
   CliqueNetwork net(n, options.randomness.fork(0xc11c), options.route_mode);
+  // Field widths for this run's phase messages: beep vectors are R bits.
+  const WireContext ctx = WireContext::for_nodes(n, R);
 
   std::uint64_t max_phases = options.max_phases;
   if (max_phases == 0) {
@@ -184,7 +186,9 @@ CliqueMisResult clique_mis(const Graph& g, const CliqueMisOptions& options) {
         if (alive[u] != 0) ++directed_live_pairs;
       }
     }
-    net.charge_neighborhood_round(directed_live_pairs, 8);
+    net.charge_neighborhood_round(WireMessageType::kSparsifiedOpener,
+                                  directed_live_pairs,
+                                  encoded_bits<SparsifiedOpenerMsg>(ctx));
 
     for (NodeId v = 0; v < n; ++v) {
       superheavy[v] = 0;
@@ -218,7 +222,9 @@ CliqueMisResult clique_mis(const Graph& g, const CliqueMisOptions& options) {
         if (alive[u] != 0) ++sh_messages;
       }
     }
-    net.charge_neighborhood_round(sh_messages, R);
+    net.charge_neighborhood_round(WireMessageType::kPhaseBeepVector,
+                                  sh_messages,
+                                  encoded_bits<PhaseBeepVectorMsg>(ctx));
     for (NodeId v = 0; v < n; ++v) {
       if (alive[v] == 0) continue;
       for (const NodeId u : g.neighbors(v)) {
@@ -247,11 +253,14 @@ CliqueMisResult clique_mis(const Graph& g, const CliqueMisOptions& options) {
     std::vector<PhaseReplayOutcome> outcomes(s_nodes.size());
     if (!s_nodes.empty()) {
       const InducedSubgraph sub = induced_subgraph(g, s_nodes);
-      std::vector<std::vector<std::uint64_t>> annotations(s_nodes.size());
+      AnnotationTable annotations(static_cast<NodeId>(s_nodes.size()),
+                                  kDecorationWords);
       for (std::size_t i = 0; i < sub.to_parent.size(); ++i) {
         const NodeId orig = sub.to_parent[i];
-        annotations[i] = encode_decoration(
+        const DecorationWords words = encode_decoration(
             {p_exp[orig], sh_or[orig], seeds[orig]});
+        std::copy(words.begin(), words.end(),
+                  annotations.row(static_cast<NodeId>(i)).begin());
       }
       const GatherResult gathered =
           gather_balls(net, sub.graph, annotations, 2 * R);
@@ -292,7 +301,8 @@ CliqueMisResult clique_mis(const Graph& g, const CliqueMisOptions& options) {
         if (alive[u] != 0) ++s_messages;
       }
     }
-    net.charge_neighborhood_round(s_messages, R + 7);
+    net.charge_neighborhood_round(WireMessageType::kPhaseOutcome, s_messages,
+                                  encoded_bits<PhaseOutcomeMsg>(ctx));
     // Super-heavy nodes realize exactly their committed vector (phase-commit
     // semantics); recording it keeps the trace comparable with the direct
     // run. It adds nothing to heard masks (already in sh_or).

@@ -26,17 +26,13 @@ class GhaffariProgram final : public CongestProgram {
   GhaffariProgram(NodeId self, const RandomSource& rs)
       : self_(self), seed_(ghaffari_personal_seed(rs, self)) {}
 
-  void send(std::uint64_t round, std::vector<Outgoing>& out) override {
+  void send(std::uint64_t round, CongestOutbox& out) override {
     if (round % 2 == 0) {
       const std::uint64_t t = round / 2;
       marked_ = p_.sample(ghaffari_mark_word(seed_, t));
-      // Payload: [0] marked flag, [7:1] probability exponent.
-      const std::uint64_t payload =
-          (static_cast<std::uint64_t>(p_.neg_exp()) << 1) |
-          (marked_ ? 1u : 0u);
-      out.push_back({kAllNeighbors, payload, 8});
+      out.broadcast(GhaffariProbeMsg{marked_, p_.neg_exp()});
     } else if (joined_) {
-      out.push_back({kAllNeighbors, 1, 1});
+      out.broadcast(JoinAnnounceMsg{});
     }
   }
 
@@ -46,9 +42,9 @@ class GhaffariProgram final : public CongestProgram {
       double d = 0.0;
       bool marked_neighbor = false;
       for (const CongestMessage& m : inbox) {
-        const int exp = static_cast<int>(m.payload >> 1);
-        d += Pow2Prob(exp).value();
-        marked_neighbor = marked_neighbor || ((m.payload & 1) != 0);
+        const auto msg = decode_message<GhaffariProbeMsg>(kProbeCtx, m);
+        d += Pow2Prob(msg.p_exp).value();
+        marked_neighbor = marked_neighbor || msg.marked;
       }
       joined_ = marked_ && !marked_neighbor;
       p_ = (d >= 2.0) ? p_.halved() : p_.doubled_capped();
@@ -68,6 +64,10 @@ class GhaffariProgram final : public CongestProgram {
   std::uint32_t decided_round() const { return decided_round_; }
 
  private:
+  // The probe's fields are context-free (flag + 7-bit exponent), so any
+  // context measures it identically; pin one.
+  static constexpr WireContext kProbeCtx = WireContext::for_nodes(2);
+
   NodeId self_;
   std::uint64_t seed_;
   Pow2Prob p_ = Pow2Prob::half();

@@ -154,9 +154,9 @@ LowDegResult lowdeg_mis(const Graph& g, const LowDegOptions& options) {
   CliqueNetwork net(n, options.randomness.fork(0x10deULL),
                     options.route_mode);
 
-  std::vector<std::vector<std::uint64_t>> annotations(n);
+  AnnotationTable annotations(n, 1);
   for (NodeId v = 0; v < n; ++v) {
-    annotations[v] = {ghaffari_personal_seed(options.randomness, v)};
+    annotations.row(v)[0] = ghaffari_personal_seed(options.randomness, v);
   }
   const GatherResult gathered = gather_balls(net, g, annotations, radius);
   result.stats.gather_steps = gathered.stats.steps;

@@ -9,24 +9,24 @@
 namespace dmis {
 namespace {
 
-/// Priority width: 3*ceil(log2 n) random bits plus the id as tiebreak keeps
-/// local minima unique w.h.p. while fitting comfortably inside B.
-int priority_bits(NodeId n) { return 3 * bits_for_range(n < 2 ? 2 : n); }
-
 class LubyProgram final : public CongestProgram {
  public:
   LubyProgram(NodeId self, NodeId n, const RandomSource& rs)
-      : self_(self), rand_bits_(priority_bits(n)), rs_(rs) {}
+      : self_(self),
+        ctx_(WireContext::for_nodes(n)),
+        rand_bits_(encoded_bits<LubyPriorityMsg>(ctx_)),
+        rs_(rs) {}
 
-  void send(std::uint64_t round, std::vector<Outgoing>& out) override {
+  void send(std::uint64_t round, CongestOutbox& out) override {
     if (round % 2 == 0) {
-      // Round A: broadcast this iteration's priority.
+      // Round A: broadcast this iteration's priority (3·ceil(log2 n) random
+      // bits; the id is the tiebreak, so local minima are unique w.h.p.).
       priority_ = rs_.word(RngStream::kLubyPriority, self_, round / 2) >>
                   (64 - rand_bits_);
-      out.push_back({kAllNeighbors, priority_, rand_bits_});
+      out.broadcast(LubyPriorityMsg{priority_});
     } else if (joined_) {
       // Round B: announce membership.
-      out.push_back({kAllNeighbors, 1, 1});
+      out.broadcast(JoinAnnounceMsg{});
     }
   }
 
@@ -35,9 +35,10 @@ class LubyProgram final : public CongestProgram {
     if (round % 2 == 0) {
       bool local_min = true;
       for (const CongestMessage& m : inbox) {
+        const auto msg = decode_message<LubyPriorityMsg>(ctx_, m);
         // Strict comparison on (priority, id): lower wins.
-        if (m.payload < priority_ ||
-            (m.payload == priority_ && m.src < self_)) {
+        if (msg.priority < priority_ ||
+            (msg.priority == priority_ && m.src < self_)) {
           local_min = false;
           break;
         }
@@ -60,6 +61,7 @@ class LubyProgram final : public CongestProgram {
 
  private:
   NodeId self_;
+  WireContext ctx_;
   int rand_bits_;
   RandomSource rs_;
   std::uint64_t priority_ = 0;

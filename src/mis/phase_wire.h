@@ -1,18 +1,24 @@
 // Wire encoding of the per-node decoration attached to the sampled graph
-// G*[S] (paper §2.4). Three 64-bit words per node:
-//   word 0 — p_{t0}(v) exponent (p is exactly 2^-k, see rng/pow2_prob.h);
-//   word 1 — bitwise OR of the beep vectors received from super-heavy
-//            neighbors (bit i = some super-heavy neighbor beeps in iter i);
-//   word 2 — the node's private phase seed, from which every r_i(v) of the
-//            phase is derived (mix64(seed, i)); this is the O(log n)-bit
-//            compression of the paper's per-round randomness list.
+// G*[S] (paper §2.4), built on the typed codec layer (wire/messages.h,
+// PhaseDecorationMsg):
+//   * p_{t0}(v) exponent — 7 bits, range-validated against Pow2Prob's
+//     domain [1, 120]: a corrupt exponent fails loudly at decode instead of
+//     being silently truncated into a plausible one;
+//   * bitwise OR of the beep vectors received from super-heavy neighbors
+//     (bit i = some super-heavy neighbor beeps in iter i) — 63 bits;
+//   * the node's private phase seed, from which every r_i(v) of the phase
+//     is derived (mix64(seed, i)) — 64 bits; the O(log n)-bit compression
+//     of the paper's per-round randomness list.
+// Decorations travel as gather-annotation rows of exactly kDecorationWords
+// words; encoding is allocation-free (a fixed-size array, not a vector).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <span>
-#include <vector>
 
 #include "util/check.h"
+#include "wire/messages.h"
 
 namespace dmis {
 
@@ -22,18 +28,44 @@ struct PhaseDecoration {
   std::uint64_t phase_seed = 0;
 };
 
-inline std::vector<std::uint64_t> encode_decoration(const PhaseDecoration& d) {
-  return {static_cast<std::uint64_t>(d.p0_exp), d.superheavy_or_mask,
-          d.phase_seed};
+/// Words per decoration row: ceil(134 bits / 64). The decoration's field
+/// widths are context-free (no id or phase-length fields), so this is a
+/// compile-time constant for every run.
+inline constexpr std::uint32_t kDecorationWords = static_cast<std::uint32_t>(
+    (max_encoded_bits<PhaseDecorationMsg>() + 63) / 64);
+
+using DecorationWords = std::array<std::uint64_t, kDecorationWords>;
+
+namespace phase_wire_detail {
+// Any context measures PhaseDecorationMsg identically; pin one.
+inline constexpr WireContext kCtx = WireContext::for_nodes(2);
+inline constexpr int kBits = encoded_bits<PhaseDecorationMsg>(kCtx);
+}  // namespace phase_wire_detail
+
+inline DecorationWords encode_decoration(const PhaseDecoration& d) {
+  PhaseDecorationMsg msg;
+  msg.p0_exp = d.p0_exp;
+  msg.superheavy_or_mask = d.superheavy_or_mask;
+  msg.phase_seed = d.phase_seed;
+  DecorationWords words{};
+  encode_words(phase_wire_detail::kCtx, msg, words);
+  return words;
 }
 
-inline PhaseDecoration decode_decoration(std::span<const std::uint64_t> words) {
-  DMIS_CHECK(words.size() == 3, "decoration must be 3 words, got "
-                                    << words.size());
+/// Decodes a gathered decoration row. Throws PreconditionError on any
+/// corruption: wrong word count, an exponent outside Pow2Prob's [1, 120],
+/// or non-zero padding past the declared bits.
+inline PhaseDecoration decode_decoration(
+    std::span<const std::uint64_t> words) {
+  DMIS_CHECK(words.size() == kDecorationWords,
+             "decoration must be " << kDecorationWords << " words, got "
+                                   << words.size());
+  const auto msg = decode_words<PhaseDecorationMsg>(
+      phase_wire_detail::kCtx, words, phase_wire_detail::kBits);
   PhaseDecoration d;
-  d.p0_exp = static_cast<int>(words[0]);
-  d.superheavy_or_mask = words[1];
-  d.phase_seed = words[2];
+  d.p0_exp = msg.p0_exp;
+  d.superheavy_or_mask = msg.superheavy_or_mask;
+  d.phase_seed = msg.phase_seed;
   return d;
 }
 

@@ -7,6 +7,7 @@
 #include "mis/greedy.h"
 #include "util/bits.h"
 #include "util/check.h"
+#include "wire/messages.h"
 
 namespace dmis {
 
@@ -19,6 +20,7 @@ CliqueRulingResult clique_two_ruling_set(const Graph& g,
 
   CliqueNetwork net(n, options.randomness.fork(0x2517ULL),
                     options.route_mode);
+  const WireContext& ctx = net.wire_context();
   const double log_n = std::log(static_cast<double>(std::max<NodeId>(n, 2)));
 
   std::vector<char> live(n, 1);
@@ -37,7 +39,8 @@ CliqueRulingResult clique_two_ruling_set(const Graph& g,
       }
       d = std::max(d, deg);
     }
-    net.charge_broadcast_round(live_count, bits_for_range(n));
+    net.charge_broadcast_round(WireMessageType::kDegreeAnnounce, live_count,
+                               encoded_bits<DegreeAnnounceMsg>(ctx));
 
     // 2. Private sampling; sampled nodes tell their neighbors (one round).
     const double p =
@@ -57,7 +60,9 @@ CliqueRulingResult clique_two_ruling_set(const Graph& g,
         }
       }
     }
-    net.charge_neighborhood_round(sample_messages, 1);
+    net.charge_neighborhood_round(WireMessageType::kJoinAnnounce,
+                                  sample_messages,
+                                  encoded_bits<JoinAnnounceMsg>(ctx));
 
     // 3. Ship the sampled subgraph to a leader; it solves greedily and
     //    routes the decisions back.
@@ -67,10 +72,12 @@ CliqueRulingResult clique_two_ruling_set(const Graph& g,
       std::vector<Packet> packets;
       std::uint64_t sample_edges = 0;
       for (const NodeId v : sample) {
-        packets.push_back({v, leader, (1ULL << 62) | v, 0});
+        packets.push_back(
+            {v, leader, encode_payload(ctx, ResidualPresenceMsg{v})});
         for (const NodeId u : g.neighbors(v)) {
           if (u > v && sampled[u] != 0) {
-            packets.push_back({v, leader, (2ULL << 62) | v, u});
+            packets.push_back(
+                {v, leader, encode_payload(ctx, ResidualEdgeMsg{v, u})});
             ++sample_edges;
           }
         }
@@ -89,21 +96,22 @@ CliqueRulingResult clique_two_ruling_set(const Graph& g,
       }
       GraphBuilder builder(static_cast<NodeId>(sample.size()));
       for (const Packet& pkt : packets) {
-        if ((pkt.a >> 62) == 2) {
-          builder.add_edge(
-              to_local.at(static_cast<NodeId>(pkt.a & 0xffffffffULL)),
-              to_local.at(static_cast<NodeId>(pkt.b)));
+        if (pkt.payload.type == WireMessageType::kResidualEdge) {
+          const auto msg = decode_payload<ResidualEdgeMsg>(ctx, pkt.payload);
+          builder.add_edge(to_local.at(msg.u), to_local.at(msg.v));
         }
       }
       const Graph sample_graph = std::move(builder).build();
       const std::vector<char> mis = greedy_mis(sample_graph);
       std::vector<Packet> decisions;
       for (std::size_t i = 0; i < sample.size(); ++i) {
-        decisions.push_back({leader, sample[i], mis[i] ? 1ULL : 0ULL, 0});
+        decisions.push_back(
+            {leader, sample[i],
+             encode_payload(ctx, MisDecisionMsg{mis[i] != 0})});
       }
       net.route(decisions);
       for (const Packet& pkt : decisions) {
-        if (pkt.a != 0) {
+        if (decode_payload<MisDecisionMsg>(ctx, pkt.payload).in_mis) {
           chosen_mask[pkt.dst] = 1;
           result.in_set[pkt.dst] = 1;
         }

@@ -6,6 +6,7 @@
 #include "rng/pow2_prob.h"
 #include "runtime/parallel.h"
 #include "util/check.h"
+#include "wire/messages.h"
 
 namespace dmis {
 
@@ -124,12 +125,19 @@ MisRun sparsified_mis(const Graph& g, const SparsifiedOptions& options) {
       lane_counts[static_cast<std::size_t>(lane)] = pairs;
     });
     const std::uint64_t directed_live_pairs = reduce_lanes();
+    // Same codec (and hence the same charge) as the node-program
+    // translation's opener broadcast.
+    constexpr std::uint64_t kOpenerBits = max_encoded_bits<SparsifiedOpenerMsg>();
     run.costs.rounds += 1;
-    run.costs.messages += directed_live_pairs;
-    run.costs.bits += directed_live_pairs * 8;  // the 7-bit exponent, padded
+    run.costs.add_messages(WireMessageType::kSparsifiedOpener,
+                           directed_live_pairs,
+                           directed_live_pairs * kOpenerBits);
     if (!obs.empty()) {
       obs.messages_delivered(context(live), directed_live_pairs,
-                             directed_live_pairs * 8);
+                             directed_live_pairs * kOpenerBits);
+      obs.wire_delivered(context(live), WireMessageType::kSparsifiedOpener,
+                         directed_live_pairs,
+                         directed_live_pairs * kOpenerBits);
       obs.round_end(context(live));
     }
 
@@ -208,9 +216,11 @@ MisRun sparsified_mis(const Graph& g, const SparsifiedOptions& options) {
         lane_counts[static_cast<std::size_t>(lane)] = local_beeps;
       });
       const std::uint64_t iter_beeps = reduce_lanes();
-      run.costs.beeps += iter_beeps;
+      run.costs.add_beeps(iter_beeps);
       if (!obs.empty()) {
         obs.messages_delivered(context(live), iter_beeps, iter_beeps);
+        obs.wire_delivered(context(live), WireMessageType::kBeep, iter_beeps,
+                           iter_beeps);
       }
       pool.parallel_for(n, [&](std::size_t begin, std::size_t end, int) {
         for (std::size_t idx = begin; idx < end; ++idx) {

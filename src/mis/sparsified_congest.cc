@@ -22,14 +22,13 @@ class SparsifiedProgram final : public CongestProgram {
         superheavy_threshold_(
             std::ldexp(1.0, params.superheavy_log2_threshold)) {}
 
-  void send(std::uint64_t round, std::vector<Outgoing>& out) override {
+  void send(std::uint64_t round, CongestOutbox& out) override {
     const std::uint64_t phase = round / phase_rounds_;
     const std::uint64_t pos = round % phase_rounds_;
     if (pos == 0) {
       // Phase opener: publish p_{t0}. Also (re)derive the private seed.
       seed_ = sparsified_phase_seed(rs_, self_, phase);
-      out.push_back({kAllNeighbors,
-                     static_cast<std::uint64_t>(p_.neg_exp()), 8});
+      out.broadcast(SparsifiedOpenerMsg{p_.neg_exp()});
       return;
     }
     const int iter = static_cast<int>((pos - 1) / 2);
@@ -37,11 +36,11 @@ class SparsifiedProgram final : public CongestProgram {
       // R1: beep with probability p (unless removed mid-phase).
       beeped_ = !removed_mid_ &&
                 p_.sample(sparsified_beep_word(seed_, iter));
-      if (beeped_) out.push_back({kAllNeighbors, 1, 1});
+      if (beeped_) out.broadcast(BeepMsg{});
     } else if (joined_ && !announced_) {
       // R2: announce the join.
       announced_ = true;
-      out.push_back({kAllNeighbors, 1, 1});
+      out.broadcast(JoinAnnounceMsg{});
     }
   }
 
@@ -51,7 +50,9 @@ class SparsifiedProgram final : public CongestProgram {
     if (pos == 0) {
       double d0 = 0.0;
       for (const CongestMessage& m : inbox) {
-        d0 += Pow2Prob(static_cast<int>(m.payload)).value();
+        d0 += Pow2Prob(decode_message<SparsifiedOpenerMsg>(kOpenerCtx, m)
+                           .p_exp)
+                  .value();
       }
       superheavy_ = d0 >= superheavy_threshold_;
       removed_mid_ = false;
@@ -109,6 +110,10 @@ class SparsifiedProgram final : public CongestProgram {
   bool is_deferred() const { return deferred_; }
 
  private:
+  // Context-free fields (one 7-bit exponent); any context measures the
+  // opener identically.
+  static constexpr WireContext kOpenerCtx = WireContext::for_nodes(2);
+
   NodeId self_;
   SparsifiedParams params_;
   RandomSource rs_;

@@ -1,0 +1,73 @@
+// Per-round delivery arena for the node-stepping engines.
+//
+// One flat buffer per worker lane plus a per-node slice index replaces the
+// old vector-of-vectors outbox/inbox storage: a round appends every node's
+// messages contiguously into its lane's buffer, and a new round resets the
+// buffers without freeing them. After warm-up the steady state does zero
+// per-message heap allocation (the instrumented test pins this), and a
+// lane's traffic is one contiguous block instead of n scattered vectors.
+//
+// Concurrency contract (matches WorkerPool's static partition): each node
+// belongs to exactly one lane; open/append for a node run only on that
+// lane's thread, and reads (`of`) happen after the phase barrier. Slices are
+// strictly sequential within a lane — a node's slot must be the lane's tail
+// while it is being appended to.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/check.h"
+
+namespace dmis {
+
+template <class T>
+class DeliveryArena {
+ public:
+  DeliveryArena(std::size_t nodes, int lanes)
+      : slices_(nodes), buffers_(static_cast<std::size_t>(lanes)) {
+    DMIS_CHECK(lanes >= 1, "arena needs at least one lane");
+  }
+
+  /// Starts a new round: every lane buffer is emptied, capacity kept.
+  void begin_round() {
+    for (auto& buf : buffers_) buf.clear();
+  }
+
+  /// Opens node's (empty) slot at the tail of `lane`. Every node must be
+  /// opened each round before its slice is read — slices do not survive
+  /// begin_round().
+  void open(int lane, std::size_t node) {
+    Slice& s = slices_[node];
+    s.lane = static_cast<std::uint32_t>(lane);
+    s.offset = buffers_[static_cast<std::size_t>(lane)].size();
+    s.length = 0;
+  }
+
+  /// Appends to node's slot, which must still be its lane's tail.
+  void append(std::size_t node, const T& item) {
+    Slice& s = slices_[node];
+    auto& buf = buffers_[s.lane];
+    DMIS_ASSERT(s.offset + s.length == buf.size(),
+                "arena slot appended out of sequence");
+    buf.push_back(item);
+    ++s.length;
+  }
+
+  std::span<const T> of(std::size_t node) const {
+    const Slice& s = slices_[node];
+    return std::span<const T>(buffers_[s.lane]).subspan(s.offset, s.length);
+  }
+
+ private:
+  struct Slice {
+    std::uint32_t lane = 0;
+    std::size_t offset = 0;
+    std::size_t length = 0;
+  };
+  std::vector<Slice> slices_;
+  std::vector<std::vector<T>> buffers_;
+};
+
+}  // namespace dmis

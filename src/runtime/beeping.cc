@@ -47,8 +47,9 @@ bool BeepEngine::step() {
     beeps += local;
     local = 0;
   }
-  costs_.beeps += beeps;
+  costs_.add_beeps(beeps);
   emit_messages(beeps, beeps);  // a beep is a 1-bit broadcast
+  emit_wire(WireMessageType::kBeep, beeps, beeps);
 
   // Feedback barrier: the beep mask is frozen; each node scans its
   // neighborhood independently.

@@ -10,9 +10,11 @@ CongestEngine::CongestEngine(
     : graph_(graph),
       programs_(std::move(programs)),
       bandwidth_bits_(bandwidth_bits),
+      wire_ctx_(WireContext::for_nodes(
+          graph.node_count() < 1 ? 1 : graph.node_count())),
       pool_(threads),
-      inboxes_(graph.node_count()),
-      outboxes_(graph.node_count()),
+      outboxes_(graph.node_count(), pool_.thread_count()),
+      inboxes_(graph.node_count(), pool_.thread_count()),
       lane_costs_(static_cast<std::size_t>(pool_.thread_count())) {
   DMIS_CHECK(programs_.size() == graph_.node_count(),
              "program count " << programs_.size() << " != node count "
@@ -28,45 +30,39 @@ bool CongestEngine::step() {
   emit_round_begin();
   const NodeId n = graph_.node_count();
 
-  // Send phase: every live node fills its own outbox; the model's bandwidth
-  // and neighbor constraints are validated here, per sender.
-  pool_.parallel_for(n, [&](std::size_t begin, std::size_t end, int) {
+  // Send phase: every live node fills its slot in the outbox arena through
+  // a typed outbox; the model's bandwidth and neighbor constraints are
+  // validated there, per message, at the encode choke point.
+  outboxes_.begin_round();
+  pool_.parallel_for(n, [&](std::size_t begin, std::size_t end, int lane) {
     for (std::size_t i = begin; i < end; ++i) {
       const NodeId v = static_cast<NodeId>(i);
-      auto& outbox = outboxes_[v];
-      outbox.clear();
+      outboxes_.open(lane, i);
       CongestProgram& prog = *programs_[v];
       if (prog.halted()) continue;
-      prog.send(round_, outbox);
-      for (const auto& msg : outbox) {
-        DMIS_CHECK(msg.bits >= 0 && msg.bits <= bandwidth_bits_,
-                   "node " << v << " message of " << msg.bits
-                           << " bits exceeds B=" << bandwidth_bits_);
-        DMIS_CHECK(
-            msg.dst == CongestProgram::kAllNeighbors ||
-                graph_.has_edge(v, msg.dst),
-            "node " << v << " sent to non-neighbor " << msg.dst);
-      }
+      CongestOutbox out(outboxes_, v, graph_, bandwidth_bits_, wire_ctx_);
+      prog.send(round_, out);
     }
   });
 
   // Delivery barrier: each live destination gathers from its neighbors'
-  // outboxes in neighbor (= ascending sender id) order, which matches the
-  // sequential sender-order delivery exactly. Message/bit counts accumulate
-  // per lane and reduce in lane order below.
+  // outbox slots in neighbor (= ascending sender id) order, which matches
+  // the sequential sender-order delivery exactly. Message/bit counts
+  // accumulate per lane/type and reduce in lane order below.
+  inboxes_.begin_round();
   pool_.parallel_for(n, [&](std::size_t begin, std::size_t end, int lane) {
     CostAccounting& local = lane_costs_[static_cast<std::size_t>(lane)];
     for (std::size_t i = begin; i < end; ++i) {
       const NodeId u = static_cast<NodeId>(i);
-      inboxes_[u].clear();
+      inboxes_.open(lane, i);
       if (programs_[u]->halted()) continue;
       for (const NodeId v : graph_.neighbors(u)) {
         if (programs_[v]->halted()) continue;
-        for (const auto& msg : outboxes_[v]) {
+        for (const auto& msg : outboxes_.of(v)) {
           if (msg.dst == CongestProgram::kAllNeighbors || msg.dst == u) {
-            inboxes_[u].push_back({v, msg.payload, msg.bits});
-            ++local.messages;
-            local.bits += static_cast<std::uint64_t>(msg.bits);
+            inboxes_.append(u, {v, msg.payload, msg.bits, msg.type});
+            local.add_messages(msg.type, 1,
+                               static_cast<std::uint64_t>(msg.bits));
           }
         }
       }
@@ -74,22 +70,32 @@ bool CongestEngine::step() {
   });
   std::uint64_t delivered_messages = 0;
   std::uint64_t delivered_bits = 0;
+  std::array<WireTypeTally, kWireMessageTypeCount> delivered{};
   for (CostAccounting& local : lane_costs_) {
     delivered_messages += local.messages;
     delivered_bits += local.bits;
+    for (std::size_t t = 0; t < delivered.size(); ++t) {
+      delivered[t] += local.by_type[t];
+    }
     local = CostAccounting{};
   }
-  costs_.messages += delivered_messages;
-  costs_.bits += delivered_bits;
+  for (std::size_t t = 0; t < delivered.size(); ++t) {
+    if (delivered[t].messages == 0) continue;
+    costs_.add_messages(static_cast<WireMessageType>(t),
+                        delivered[t].messages, delivered[t].bits);
+  }
   emit_messages(delivered_messages, delivered_bits);
+  for (std::size_t t = 0; t < delivered.size(); ++t) {
+    emit_wire(static_cast<WireMessageType>(t), delivered[t].messages,
+              delivered[t].bits);
+  }
 
   // Receive phase.
   pool_.parallel_for(n, [&](std::size_t begin, std::size_t end, int) {
     for (std::size_t i = begin; i < end; ++i) {
       const NodeId v = static_cast<NodeId>(i);
       CongestProgram& prog = *programs_[v];
-      if (!prog.halted()) prog.receive(round_, inboxes_[v]);
-      inboxes_[v].clear();
+      if (!prog.halted()) prog.receive(round_, inboxes_.of(i));
     }
   });
 

@@ -3,16 +3,19 @@
 // One program object per node; a program sees only:
 //   * its own id, its neighbor list (initial knowledge per the model), and
 //   * the messages delivered to it each round.
-// The engine enforces the model: a message may only target a neighbor and
-// may carry at most B bits; violations throw. Rounds, messages, and bits are
-// counted exactly.
+// The engine enforces the model at the send choke point: a message may only
+// target a neighbor and may carry at most B bits; violations throw. Sends go
+// through a typed outbox (wire/messages.h codecs), so payload layout, the
+// bandwidth check, and per-message-type accounting all happen in one place.
+// Rounds, messages, and bits are counted exactly, broken down per type.
 //
 // Implements the unified SimulationEngine contract (runtime/engine.h) and
 // steps nodes through a WorkerPool: the send and receive fan-outs are
-// partitioned across threads, with a barrier between the phases. Programs
-// must confine themselves to their own state (the model already demands
-// this); send() must not change halted(), which the engine reads at phase
-// boundaries.
+// partitioned across threads, with a barrier between the phases. Outboxes
+// and inboxes live in per-round DeliveryArenas (runtime/arena.h) — flat
+// per-lane buffers reset, not freed, each round. Programs must confine
+// themselves to their own state (the model already demands this); send()
+// must not change halted(), which the engine reads at phase boundaries.
 #pragma once
 
 #include <cstdint>
@@ -21,18 +24,35 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "runtime/arena.h"
 #include "runtime/cost.h"
 #include "runtime/engine.h"
 #include "runtime/parallel.h"
+#include "wire/messages.h"
 
 namespace dmis {
 
-/// A received message: sender plus a payload of `bits` significant bits.
+/// A received message: sender plus a payload of `bits` significant bits,
+/// tagged with its wire type.
 struct CongestMessage {
   NodeId src = kInvalidNode;
   std::uint64_t payload = 0;
   int bits = 0;
+  WireMessageType type = WireMessageType::kRaw;
 };
+
+/// Decodes a typed CONGEST message (tag-checked, range-validated).
+template <class Msg>
+Msg decode_message(const WireContext& ctx, const CongestMessage& m) {
+  DMIS_CHECK(m.type == Msg::kType,
+             "message type '" << wire_message_type_name(m.type)
+                              << "' decoded as '"
+                              << wire_message_type_name(Msg::kType) << "'");
+  const std::uint64_t word[1] = {m.payload};
+  return decode_words<Msg>(ctx, word, m.bits);
+}
+
+class CongestOutbox;
 
 /// Per-node algorithm logic. Implementations keep only local state.
 class CongestProgram {
@@ -44,12 +64,13 @@ class CongestProgram {
     NodeId dst = kAllNeighbors;
     std::uint64_t payload = 0;
     int bits = 0;
+    WireMessageType type = WireMessageType::kRaw;
   };
 
   virtual ~CongestProgram() = default;
 
-  /// Produce this round's messages. `out` arrives empty.
-  virtual void send(std::uint64_t round, std::vector<Outgoing>& out) = 0;
+  /// Produce this round's messages into the engine-owned outbox.
+  virtual void send(std::uint64_t round, CongestOutbox& out) = 0;
 
   /// Consume this round's inbox (messages from live neighbors only).
   virtual void receive(std::uint64_t round,
@@ -58,6 +79,61 @@ class CongestProgram {
   /// A halted node no longer sends or receives (it has decided and left the
   /// problem, e.g. joined the MIS or saw an MIS neighbor).
   virtual bool halted() const = 0;
+};
+
+/// The send surface handed to a program each round: typed sends encode
+/// through the wire codecs; push_raw is the untyped escape hatch (tests,
+/// fault injection). Every path validates the model here — destination must
+/// be a neighbor (or the broadcast sentinel) and the payload must fit B.
+class CongestOutbox {
+ public:
+  template <class Msg>
+  void send(NodeId dst, const Msg& msg) {
+    push_typed(dst, msg);
+  }
+  template <class Msg>
+  void broadcast(const Msg& msg) {
+    push_typed(CongestProgram::kAllNeighbors, msg);
+  }
+
+  void push_raw(NodeId dst, std::uint64_t payload, int bits,
+                WireMessageType type = WireMessageType::kRaw) {
+    DMIS_CHECK(bits >= 0 && bits <= bandwidth_bits_,
+               "node " << src_ << " message of " << bits
+                       << " bits exceeds B=" << bandwidth_bits_);
+    DMIS_CHECK(dst == CongestProgram::kAllNeighbors ||
+                   graph_.has_edge(src_, dst),
+               "node " << src_ << " sent to non-neighbor " << dst);
+    arena_.append(src_, {dst, payload, bits, type});
+  }
+
+  const WireContext& ctx() const { return ctx_; }
+
+ private:
+  friend class CongestEngine;
+  CongestOutbox(DeliveryArena<CongestProgram::Outgoing>& arena, NodeId src,
+                const Graph& graph, int bandwidth_bits,
+                const WireContext& ctx)
+      : arena_(arena),
+        src_(src),
+        graph_(graph),
+        bandwidth_bits_(bandwidth_bits),
+        ctx_(ctx) {}
+
+  template <class Msg>
+  void push_typed(NodeId dst, const Msg& msg) {
+    static_assert(max_encoded_bits<Msg>() <= 64,
+                  "CONGEST payloads are single words");
+    std::uint64_t word[1] = {0};
+    const int bits = encode_words(ctx_, msg, word);
+    push_raw(dst, word[0], bits, Msg::kType);
+  }
+
+  DeliveryArena<CongestProgram::Outgoing>& arena_;
+  NodeId src_;
+  const Graph& graph_;
+  int bandwidth_bits_;
+  const WireContext& ctx_;
 };
 
 class CongestEngine final : public SimulationEngine {
@@ -74,15 +150,17 @@ class CongestEngine final : public SimulationEngine {
 
   std::uint64_t live_count() const override;
   const CongestProgram& program(NodeId v) const { return *programs_[v]; }
+  const WireContext& wire_context() const { return wire_ctx_; }
 
  private:
   const Graph& graph_;
   std::vector<std::unique_ptr<CongestProgram>> programs_;
   int bandwidth_bits_;
+  WireContext wire_ctx_;
   WorkerPool pool_;
-  // Scratch, reused across rounds.
-  std::vector<std::vector<CongestMessage>> inboxes_;
-  std::vector<std::vector<CongestProgram::Outgoing>> outboxes_;
+  // Per-round delivery storage, reset (not freed) every round.
+  DeliveryArena<CongestProgram::Outgoing> outboxes_;
+  DeliveryArena<CongestMessage> inboxes_;
   std::vector<CostAccounting> lane_costs_;
 };
 

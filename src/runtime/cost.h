@@ -1,36 +1,86 @@
 // Cost accounting shared by all three model engines (CONGEST, beeping,
 // congested clique). The paper's claims are stated in synchronous rounds;
 // messages and bits are tracked so experiments can also compare bandwidth
-// budgets across models (experiment E10).
+// budgets across models (experiment E10). Since the wire layer, bits are
+// exact — each delivered message is charged its encoded size, broken down
+// per WireMessageType (DESIGN.md §9), not a flat per-packet rate.
 #pragma once
 
+#include <array>
 #include <cstdint>
 
 #include "graph/graph.h"
 #include "util/bits.h"
+#include "wire/types.h"
 
 namespace dmis {
+
+/// Count/bits of one message type (one cell of E10's per-type breakdown).
+struct WireTypeTally {
+  std::uint64_t messages = 0;
+  std::uint64_t bits = 0;
+
+  WireTypeTally& operator+=(const WireTypeTally& other) {
+    messages += other.messages;
+    bits += other.bits;
+    return *this;
+  }
+  friend bool operator==(const WireTypeTally&, const WireTypeTally&) = default;
+};
 
 struct CostAccounting {
   std::uint64_t rounds = 0;
   std::uint64_t messages = 0;  ///< point-to-point messages delivered
-  std::uint64_t bits = 0;      ///< total payload bits delivered
+  std::uint64_t bits = 0;      ///< total payload bits delivered (exact)
   std::uint64_t beeps = 0;     ///< beeping model: number of beep events
+  /// Per-message-type breakdown. Point-to-point deliveries keep
+  /// sum(by_type[...].messages over non-beep types) == messages; beep events
+  /// are tallied under kBeep (1 bit each) but are carrier bursts, not
+  /// messages, so they do not count toward `messages`.
+  std::array<WireTypeTally, kWireMessageTypeCount> by_type{};
+
+  const WireTypeTally& of(WireMessageType t) const {
+    return by_type[static_cast<std::size_t>(t)];
+  }
+
+  /// Charge `count` delivered messages of `type` carrying `total_bits` bits
+  /// in aggregate. Typed messages of one kind all cost the same in a run
+  /// (codec invariant: widths depend only on the WireContext), but kRaw
+  /// batches may mix sizes, so the aggregate is what gets charged.
+  void add_messages(WireMessageType type, std::uint64_t count,
+                    std::uint64_t total_bits) {
+    messages += count;
+    bits += total_bits;
+    auto& tally = by_type[static_cast<std::size_t>(type)];
+    tally.messages += count;
+    tally.bits += total_bits;
+  }
+
+  /// Charge beep events (1 bit of carrier information each).
+  void add_beeps(std::uint64_t count) {
+    beeps += count;
+    auto& tally = by_type[static_cast<std::size_t>(WireMessageType::kBeep)];
+    tally.messages += count;
+    tally.bits += count;
+  }
 
   CostAccounting& operator+=(const CostAccounting& other) {
     rounds += other.rounds;
     messages += other.messages;
     bits += other.bits;
     beeps += other.beeps;
+    for (std::size_t i = 0; i < by_type.size(); ++i) {
+      by_type[i] += other.by_type[i];
+    }
     return *this;
   }
 };
 
 /// The per-message bandwidth B = c * ceil(log2 n) bits ("each node can send
 /// O(log n) bits", paper §1). The default multiplier c=4 accommodates the
-/// widest single message any algorithm here sends (a 2-word routed packet);
-/// the floor of 32 bits keeps B sane on toy graphs (O(log n) hides a
-/// constant that dominates at tiny n).
+/// widest single CONGEST message any algorithm here sends; the floor of 32
+/// bits keeps B sane on toy graphs (O(log n) hides a constant that dominates
+/// at tiny n).
 constexpr int congest_bandwidth_bits(NodeId n, int multiplier = 4) {
   const int b = multiplier * bits_for_range(n < 2 ? 2 : n);
   return b < 32 ? 32 : b;

@@ -115,6 +115,14 @@ class SimulationEngine {
     observers_.messages_delivered(context(round_), messages, bits);
   }
 
+  /// Call after emit_messages, once per message type with a non-zero count
+  /// this round (the per-type slice of the same delivery).
+  void emit_wire(WireMessageType type, std::uint64_t messages,
+                 std::uint64_t bits) {
+    if (observers_.empty() || messages == 0) return;
+    observers_.wire_delivered(context(round_), type, messages, bits);
+  }
+
   /// Call at the end of step(), after costs for `finished_round` have been
   /// charged (round_ already advanced past it).
   void emit_round_end(std::uint64_t finished_round) {

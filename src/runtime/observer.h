@@ -72,6 +72,18 @@ class RoundObserver {
     (void)bits;
   }
 
+  /// Per-message-type slice of the same delivery: emitted once per message
+  /// type with a non-zero count, after on_messages_delivered. The sum over
+  /// all emissions of a round equals that round's (messages, bits) — this is
+  /// the event E10's per-type bandwidth breakdown is built on.
+  virtual void on_wire_delivered(const RoundContext& ctx, WireMessageType type,
+                                 std::uint64_t messages, std::uint64_t bits) {
+    (void)ctx;
+    (void)type;
+    (void)messages;
+    (void)bits;
+  }
+
   /// The round `ctx.round` completed (its costs are already charged).
   virtual void on_round_end(const RoundContext& ctx) { (void)ctx; }
 
@@ -106,6 +118,12 @@ class ObserverRegistry {
                           std::uint64_t bits) const {
     for (RoundObserver* o : observers_) {
       o->on_messages_delivered(ctx, messages, bits);
+    }
+  }
+  void wire_delivered(const RoundContext& ctx, WireMessageType type,
+                      std::uint64_t messages, std::uint64_t bits) const {
+    for (RoundObserver* o : observers_) {
+      o->on_wire_delivered(ctx, type, messages, bits);
     }
   }
   void round_end(const RoundContext& ctx) const {
@@ -146,6 +164,12 @@ class TraceRecorder final : public RoundObserver {
       current_.delta.messages = ctx.costs->messages - begin_costs_.messages;
       current_.delta.bits = ctx.costs->bits - begin_costs_.bits;
       current_.delta.beeps = ctx.costs->beeps - begin_costs_.beeps;
+      for (std::size_t i = 0; i < current_.delta.by_type.size(); ++i) {
+        current_.delta.by_type[i].messages =
+            ctx.costs->by_type[i].messages - begin_costs_.by_type[i].messages;
+        current_.delta.by_type[i].bits =
+            ctx.costs->by_type[i].bits - begin_costs_.by_type[i].bits;
+      }
     }
     rounds_.push_back(current_);
     current_ = RoundTrace{};

@@ -1,0 +1,93 @@
+// Bit-granular serialization primitives of the wire layer.
+//
+// The paper states every bandwidth claim in bits ("each node can send
+// O(log n) bits per round", §1), so the wire layer writes and reads message
+// fields at bit granularity into caller-owned word buffers. BitWriter packs
+// fields LSB-first into consecutive 64-bit words; BitReader consumes the
+// same stream. Neither allocates: both operate on a span handed in by the
+// caller (a payload's inline words, an annotation table row).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "util/check.h"
+
+namespace dmis {
+
+class BitWriter {
+ public:
+  /// Writes into `words` (zeroed here so partial words end up zero-padded).
+  constexpr explicit BitWriter(std::span<std::uint64_t> words)
+      : words_(words) {
+    for (std::uint64_t& w : words_) w = 0;
+  }
+
+  /// Appends the low `bits` bits of `value`. Requires 0 <= bits <= 64 and
+  /// that `value` fits (fail-loud: a value wider than its declared field is
+  /// a codec bug, not something to truncate silently).
+  constexpr void put(std::uint64_t value, int bits) {
+    DMIS_CHECK_CX(bits >= 0 && bits <= 64, "field width out of [0,64]");
+    DMIS_CHECK_CX(bits == 64 || (value >> bits) == 0,
+                  "value does not fit its declared field width");
+    DMIS_CHECK_CX(pos_ + bits <= 64 * static_cast<int>(words_.size()),
+                  "BitWriter overflow: message exceeds buffer");
+    if (bits == 0) return;
+    const int word = pos_ / 64;
+    const int offset = pos_ % 64;
+    words_[static_cast<std::size_t>(word)] |= value << offset;
+    const int spill = offset + bits - 64;
+    if (spill > 0) {
+      words_[static_cast<std::size_t>(word) + 1] |= value >> (bits - spill);
+    }
+    pos_ += bits;
+  }
+
+  /// Bits written so far.
+  constexpr int bit_count() const { return pos_; }
+
+ private:
+  std::span<std::uint64_t> words_;
+  int pos_ = 0;
+};
+
+class BitReader {
+ public:
+  /// Reads `total_bits` bits out of `words` (must hold at least that many).
+  constexpr BitReader(std::span<const std::uint64_t> words, int total_bits)
+      : words_(words), total_bits_(total_bits) {
+    DMIS_CHECK_CX(total_bits >= 0 &&
+                      total_bits <= 64 * static_cast<int>(words.size()),
+                  "BitReader: declared bit count exceeds buffer");
+  }
+
+  /// Consumes the next `bits` bits. Reading past `total_bits` throws — a
+  /// decoder asking for more bits than the message carries means the message
+  /// is truncated or the field spec diverged from the encoder's.
+  constexpr std::uint64_t get(int bits) {
+    DMIS_CHECK_CX(bits >= 0 && bits <= 64, "field width out of [0,64]");
+    DMIS_CHECK_CX(pos_ + bits <= total_bits_,
+                  "BitReader underflow: truncated or mis-specified message");
+    if (bits == 0) return 0;
+    const int word = pos_ / 64;
+    const int offset = pos_ % 64;
+    std::uint64_t value = words_[static_cast<std::size_t>(word)] >> offset;
+    const int spill = offset + bits - 64;
+    if (spill > 0) {
+      value |= words_[static_cast<std::size_t>(word) + 1] << (bits - spill);
+    }
+    if (bits < 64) value &= (std::uint64_t{1} << bits) - 1;
+    pos_ += bits;
+    return value;
+  }
+
+  constexpr int consumed_bits() const { return pos_; }
+  constexpr int remaining_bits() const { return total_bits_ - pos_; }
+
+ private:
+  std::span<const std::uint64_t> words_;
+  int total_bits_;
+  int pos_ = 0;
+};
+
+}  // namespace dmis

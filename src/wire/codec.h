@@ -1,0 +1,289 @@
+// Typed message codecs: one declarative field spec per message type.
+//
+// A wire message is a plain struct with a `kType` tag and a single `visit`
+// member that lists its fields with explicit bit widths:
+//
+//   struct GatherEdgeMsg {
+//     NodeId u = 0, v = 0;
+//     static constexpr WireMessageType kType = WireMessageType::kGatherEdge;
+//     template <class S> constexpr void visit(S& s) {
+//       s.id("u", u);
+//       s.id("v", v);
+//     }
+//   };
+//
+// The same field list drives encoding, decoding, and size measurement, so
+// the three can never diverge. Field kinds:
+//   uint(name, v, bits)               — fixed-width unsigned integer
+//   uint_range(name, v, bits, lo, hi) — ... with a validated value range
+//   flag(name, v)                     — one bit
+//   id(name, v)                       — node id, ctx.id_bits wide,
+//                                       validated < ctx.node_count
+//   word(name, v)                     — full 64-bit word
+//   vec(name, v)                      — phase beep vector, ctx.phase_len wide
+//
+// Field widths depend only on the WireContext, never on field values, so
+// every message of a type costs the same bits in a given run — the invariant
+// that makes per-type accounting exact. Range violations fail loudly on both
+// encode (caller bug) and decode (corrupt or truncated message); decoding
+// also demands that every declared bit is consumed and that padding beyond
+// the declared bit count is zero.
+//
+// max_encoded_bits<Msg>() is the compile-time worst-case size (ids at
+// kMaxIdBits, vectors at kMaxPhaseLen); encode_payload static_asserts it
+// against the payload capacity, so a message that could ever overflow a
+// packet is a compile error, not a runtime surprise.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "util/check.h"
+#include "wire/bitio.h"
+#include "wire/types.h"
+
+namespace dmis {
+
+/// Inline payload of a routed clique packet: at most kMaxPayloadWords 64-bit
+/// words of which `bits` are significant, plus the type tag. This is the
+/// unit the engines charge — bit-exact, per message (replacing the old flat
+/// 128-bit packet rate).
+inline constexpr int kMaxPayloadWords = 2;
+inline constexpr int kMaxPayloadBits = 64 * kMaxPayloadWords;
+
+struct WirePayload {
+  std::array<std::uint64_t, kMaxPayloadWords> words{};
+  std::uint16_t bits = 0;
+  WireMessageType type = WireMessageType::kRaw;
+
+  friend bool operator==(const WirePayload&, const WirePayload&) = default;
+
+  /// Untyped payload escape hatch (tests, fault injection). Algorithm code
+  /// must go through encode_payload instead.
+  static constexpr WirePayload raw(std::uint64_t w0, std::uint64_t w1,
+                                   int bits) {
+    DMIS_CHECK_CX(bits >= 0 && bits <= kMaxPayloadBits,
+                  "raw payload width out of range");
+    WirePayload p;
+    p.words = {w0, w1};
+    p.bits = static_cast<std::uint16_t>(bits);
+    p.type = WireMessageType::kRaw;
+    return p;
+  }
+};
+
+namespace wire_detail {
+
+/// Sums field widths; never touches values. Constexpr so message sizes are
+/// compile-time facts.
+class MeasureSink {
+ public:
+  constexpr explicit MeasureSink(const WireContext& ctx) : ctx_(ctx) {}
+  constexpr const WireContext& ctx() const { return ctx_; }
+  constexpr int bits() const { return bits_; }
+
+  template <class T>
+  constexpr void uint(const char*, T&, int bits) {
+    add(bits);
+  }
+  template <class T>
+  constexpr void uint_range(const char*, T&, int bits, std::uint64_t,
+                            std::uint64_t) {
+    add(bits);
+  }
+  constexpr void flag(const char*, bool&) { add(1); }
+  constexpr void id(const char*, NodeId&) { add(ctx_.id_bits); }
+  constexpr void word(const char*, std::uint64_t&) { add(64); }
+  constexpr void vec(const char*, std::uint64_t&) { add(ctx_.phase_len); }
+
+ private:
+  constexpr void add(int bits) {
+    DMIS_CHECK_CX(bits >= 0 && bits <= 64, "field width out of [0,64]");
+    bits_ += bits;
+  }
+  WireContext ctx_;
+  int bits_ = 0;
+};
+
+class EncodeSink {
+ public:
+  EncodeSink(BitWriter& writer, const WireContext& ctx)
+      : writer_(writer), ctx_(ctx) {}
+  const WireContext& ctx() const { return ctx_; }
+
+  template <class T>
+  void uint(const char* name, T& v, int bits) {
+    const auto value = static_cast<std::uint64_t>(v);
+    DMIS_CHECK(bits == 64 || (value >> bits) == 0,
+               "field '" << name << "' value " << value
+                         << " does not fit in " << bits << " bits");
+    writer_.put(value, bits);
+  }
+  template <class T>
+  void uint_range(const char* name, T& v, int bits, std::uint64_t lo,
+                  std::uint64_t hi) {
+    const auto value = static_cast<std::uint64_t>(v);
+    DMIS_CHECK(value >= lo && value <= hi,
+               "field '" << name << "' value " << value << " outside ["
+                         << lo << ", " << hi << "]");
+    writer_.put(value, bits);
+  }
+  void flag(const char* name, bool& v) {
+    (void)name;
+    writer_.put(v ? 1 : 0, 1);
+  }
+  void id(const char* name, NodeId& v) {
+    DMIS_CHECK(v < ctx_.node_count, "id field '" << name << "' value " << v
+                                                 << " >= n = "
+                                                 << ctx_.node_count);
+    writer_.put(v, ctx_.id_bits);
+  }
+  void word(const char* name, std::uint64_t& v) {
+    (void)name;
+    writer_.put(v, 64);
+  }
+  void vec(const char* name, std::uint64_t& v) {
+    DMIS_CHECK(ctx_.phase_len == 64 || (v >> ctx_.phase_len) == 0,
+               "vector field '" << name << "' has bits beyond phase length "
+                                << ctx_.phase_len);
+    writer_.put(v, ctx_.phase_len);
+  }
+
+ private:
+  BitWriter& writer_;
+  const WireContext& ctx_;
+};
+
+class DecodeSink {
+ public:
+  DecodeSink(BitReader& reader, const WireContext& ctx)
+      : reader_(reader), ctx_(ctx) {}
+  const WireContext& ctx() const { return ctx_; }
+
+  template <class T>
+  void uint(const char* name, T& v, int bits) {
+    (void)name;
+    v = static_cast<T>(reader_.get(bits));
+  }
+  template <class T>
+  void uint_range(const char* name, T& v, int bits, std::uint64_t lo,
+                  std::uint64_t hi) {
+    const std::uint64_t value = reader_.get(bits);
+    DMIS_CHECK(value >= lo && value <= hi,
+               "corrupt message: field '" << name << "' decoded as " << value
+                                          << ", outside [" << lo << ", "
+                                          << hi << "]");
+    v = static_cast<T>(value);
+  }
+  void flag(const char* name, bool& v) {
+    (void)name;
+    v = reader_.get(1) != 0;
+  }
+  void id(const char* name, NodeId& v) {
+    const std::uint64_t value = reader_.get(ctx_.id_bits);
+    DMIS_CHECK(value < ctx_.node_count,
+               "corrupt message: id field '" << name << "' decoded as "
+                                             << value << " >= n = "
+                                             << ctx_.node_count);
+    v = static_cast<NodeId>(value);
+  }
+  void word(const char* name, std::uint64_t& v) {
+    (void)name;
+    v = reader_.get(64);
+  }
+  void vec(const char* name, std::uint64_t& v) {
+    (void)name;
+    v = reader_.get(ctx_.phase_len);
+  }
+
+ private:
+  BitReader& reader_;
+  const WireContext& ctx_;
+};
+
+}  // namespace wire_detail
+
+/// Exact encoded size of Msg under `ctx` (widths are value-independent).
+template <class Msg>
+constexpr int encoded_bits(const WireContext& ctx) {
+  wire_detail::MeasureSink sink(ctx);
+  Msg msg{};
+  msg.visit(sink);
+  return sink.bits();
+}
+
+/// Compile-time worst-case size: ids at kMaxIdBits, vectors at kMaxPhaseLen.
+template <class Msg>
+constexpr int max_encoded_bits() {
+  WireContext worst;
+  worst.node_count = NodeId{1} << kMaxIdBits;
+  worst.id_bits = kMaxIdBits;
+  worst.phase_len = kMaxPhaseLen;
+  wire_detail::MeasureSink sink(worst);
+  Msg msg{};
+  msg.visit(sink);
+  return sink.bits();
+}
+
+/// Encodes into a caller-owned word buffer (e.g. an annotation-table row);
+/// returns the bit count. The buffer must hold max_encoded_bits<Msg>().
+template <class Msg>
+int encode_words(const WireContext& ctx, const Msg& msg,
+                 std::span<std::uint64_t> out) {
+  BitWriter writer(out);
+  wire_detail::EncodeSink sink(writer, ctx);
+  Msg copy = msg;  // visit takes mutable refs; encoding only reads
+  copy.visit(sink);
+  return writer.bit_count();
+}
+
+/// Decodes `bits` bits from `words`. Throws PreconditionError if the size
+/// does not match the field spec, a range-validated field is out of range,
+/// or the padding beyond `bits` is non-zero — corrupt input fails loudly.
+template <class Msg>
+Msg decode_words(const WireContext& ctx, std::span<const std::uint64_t> words,
+                 int bits) {
+  DMIS_CHECK(bits == encoded_bits<Msg>(ctx),
+             "message size " << bits << " != declared "
+                             << encoded_bits<Msg>(ctx) << " bits");
+  BitReader reader(words, bits);
+  wire_detail::DecodeSink sink(reader, ctx);
+  Msg msg{};
+  msg.visit(sink);
+  DMIS_ASSERT(reader.remaining_bits() == 0, "decoder left bits unread");
+  // Padding check: everything beyond `bits` must be zero.
+  for (std::size_t w = 0; w < words.size(); ++w) {
+    const int from = bits - static_cast<int>(w) * 64;
+    if (from >= 64) continue;
+    const std::uint64_t tail =
+        from <= 0 ? words[w] : words[w] >> from;
+    DMIS_CHECK(tail == 0, "corrupt message: non-zero padding past bit "
+                              << bits);
+  }
+  return msg;
+}
+
+/// Encodes a routed-packet payload. Compile-time guarantee: no registered
+/// message can ever overflow the packet's inline words.
+template <class Msg>
+WirePayload encode_payload(const WireContext& ctx, const Msg& msg) {
+  static_assert(max_encoded_bits<Msg>() <= kMaxPayloadBits,
+                "message type cannot fit a packet payload");
+  WirePayload p;
+  p.bits = static_cast<std::uint16_t>(encode_words(ctx, msg, p.words));
+  p.type = Msg::kType;
+  return p;
+}
+
+/// Decodes a routed-packet payload, checking the type tag first.
+template <class Msg>
+Msg decode_payload(const WireContext& ctx, const WirePayload& p) {
+  DMIS_CHECK(p.type == Msg::kType,
+             "payload type '" << wire_message_type_name(p.type)
+                              << "' decoded as '"
+                              << wire_message_type_name(Msg::kType) << "'");
+  return decode_words<Msg>(ctx, p.words, p.bits);
+}
+
+}  // namespace dmis

@@ -1,0 +1,308 @@
+// Every typed message the simulated networks carry, with explicit bit
+// widths. This is the single place payload layouts are defined; no algorithm
+// hand-packs words anymore (DESIGN.md §9 tabulates the budgets against the
+// model's B).
+//
+// Conventions:
+//   * ids cost ctx.id_bits = ceil(log2 n) — the paper's "O(log n) bits";
+//   * probability exponents cost 7 bits and are range-validated against
+//     Pow2Prob's domain [1, 120] (rng/pow2_prob.h) — a corrupt exponent
+//     fails loudly at decode instead of being truncated into a valid one;
+//   * beep vectors of the sparsified algorithm (§2.3/§2.4) cost exactly
+//     R = ctx.phase_len bits;
+//   * 64-bit fields (seeds, weights, partial sums) are the idealized
+//     "O(log n)-bit word" of the model; they dominate a few message types'
+//     budgets and are called out in DESIGN.md §9.
+#pragma once
+
+#include <cstdint>
+#include <tuple>
+
+#include "wire/codec.h"
+#include "wire/types.h"
+
+namespace dmis {
+
+/// Domain of probability exponents on the wire (Pow2Prob::kMaxNegExp).
+inline constexpr int kWireMaxPExp = 120;
+inline constexpr int kPExpBits = 7;
+
+// ---------------------------------------------------------------- CONGEST --
+
+/// One-bit carrier burst (the only signal of the beeping model, §2.2; also
+/// the R1 beeps of the sparsified CONGEST translation, §2.3).
+struct BeepMsg {
+  bool pulse = true;
+  static constexpr WireMessageType kType = WireMessageType::kBeep;
+  template <class S>
+  constexpr void visit(S& s) {
+    s.flag("pulse", pulse);
+  }
+};
+
+/// "I joined the MIS" — the 1-bit announcement closing an iteration.
+struct JoinAnnounceMsg {
+  bool joined = true;
+  static constexpr WireMessageType kType = WireMessageType::kJoinAnnounce;
+  template <class S>
+  constexpr void visit(S& s) {
+    s.flag("joined", joined);
+  }
+};
+
+/// Luby's random priority: 3·ceil(log2 n) bits keeps local minima unique
+/// w.h.p. while fitting comfortably inside B.
+struct LubyPriorityMsg {
+  std::uint64_t priority = 0;
+  static constexpr WireMessageType kType = WireMessageType::kLubyPriority;
+  template <class S>
+  constexpr void visit(S& s) {
+    s.uint("priority", priority, 3 * s.ctx().id_bits);
+  }
+};
+
+/// §2.1 per-iteration probe: the mark flag plus p_t(v)'s exponent (so
+/// neighbors can accumulate d_t(v) exactly).
+struct GhaffariProbeMsg {
+  bool marked = false;
+  int p_exp = 1;
+  static constexpr WireMessageType kType = WireMessageType::kGhaffariProbe;
+  template <class S>
+  constexpr void visit(S& s) {
+    s.flag("marked", marked);
+    s.uint_range("p_exp", p_exp, kPExpBits, 1, kWireMaxPExp);
+  }
+};
+
+/// §2.3 phase opener: publish p_{t0}(v) so neighbors can decide super-heavy
+/// status.
+struct SparsifiedOpenerMsg {
+  int p_exp = 1;
+  static constexpr WireMessageType kType = WireMessageType::kSparsifiedOpener;
+  template <class S>
+  constexpr void visit(S& s) {
+    s.uint_range("p_exp", p_exp, kPExpBits, 1, kWireMaxPExp);
+  }
+};
+
+// ---------------------------------------------- clique phase simulation ----
+
+/// §2.4 step 2: a super-heavy node's committed beep vector for the whole
+/// phase (its p halves deterministically, so all R beeps are predictable).
+struct PhaseBeepVectorMsg {
+  std::uint64_t vector = 0;
+  static constexpr WireMessageType kType = WireMessageType::kPhaseBeepVector;
+  template <class S>
+  constexpr void visit(S& s) {
+    s.vec("vector", vector);
+  }
+};
+
+/// §2.4 step 6: an S node's realized beep vector plus its MIS-join iteration
+/// (6 bits index into the phase, valid only when `joined`).
+struct PhaseOutcomeMsg {
+  std::uint64_t realized = 0;
+  bool joined = false;
+  std::uint32_t join_iter = 0;
+  static constexpr WireMessageType kType = WireMessageType::kPhaseOutcome;
+  template <class S>
+  constexpr void visit(S& s) {
+    s.vec("realized", realized);
+    s.flag("joined", joined);
+    s.uint("join_iter", join_iter, 6);
+  }
+};
+
+/// The per-node decoration of the sampled graph G*[S] (paper §2.4): the
+/// starting exponent, the OR of super-heavy neighbors' committed vectors,
+/// and the private phase seed (the O(log n)-bit compression of the phase's
+/// per-round randomness). Ships as annotation words through the gather, not
+/// as a single packet. The or-mask is kMaxPhaseLen wide (not ctx.phase_len)
+/// so decorations decode without knowing R.
+struct PhaseDecorationMsg {
+  int p0_exp = 1;
+  std::uint64_t superheavy_or_mask = 0;
+  std::uint64_t phase_seed = 0;
+  static constexpr WireMessageType kType = WireMessageType::kRaw;
+  template <class S>
+  constexpr void visit(S& s) {
+    s.uint_range("p0_exp", p0_exp, kPExpBits, 1, kWireMaxPExp);
+    s.uint("superheavy_or_mask", superheavy_or_mask, kMaxPhaseLen);
+    s.word("phase_seed", phase_seed);
+  }
+};
+
+// ------------------------------------------------------- gather (L. 2.14) --
+
+/// One edge of a node's current knowledge, shipped during exponentiation.
+struct GatherEdgeMsg {
+  NodeId u = 0;
+  NodeId v = 0;
+  static constexpr WireMessageType kType = WireMessageType::kGatherEdge;
+  template <class S>
+  constexpr void visit(S& s) {
+    s.id("u", u);
+    s.id("v", v);
+  }
+};
+
+/// Maximum annotation words per node a gather can ship (6-bit index).
+inline constexpr std::uint32_t kMaxAnnotationWords = 64;
+
+/// One 64-bit decoration word of a known node.
+struct GatherAnnotationMsg {
+  NodeId node = 0;
+  std::uint32_t index = 0;
+  std::uint64_t data = 0;
+  static constexpr WireMessageType kType = WireMessageType::kGatherAnnotation;
+  template <class S>
+  constexpr void visit(S& s) {
+    s.id("node", node);
+    s.uint_range("index", index, 6, 0, kMaxAnnotationWords - 1);
+    s.word("data", data);
+  }
+};
+
+// ----------------------------------------------------------- MST / CC ------
+
+/// Borůvka upward report: a node's lightest outgoing edge (or none) to its
+/// component leader.
+struct MstReportMsg {
+  bool has_edge = false;
+  std::uint64_t weight = 0;
+  NodeId u = 0;
+  NodeId v = 0;
+  static constexpr WireMessageType kType = WireMessageType::kMstReport;
+  template <class S>
+  constexpr void visit(S& s) {
+    s.flag("has_edge", has_edge);
+    s.word("weight", weight);
+    s.id("u", u);
+    s.id("v", v);
+  }
+};
+
+/// A component's chosen lightest outgoing edge, leader → coordinator.
+struct MstChosenMsg {
+  std::uint64_t weight = 0;
+  NodeId u = 0;
+  NodeId v = 0;
+  static constexpr WireMessageType kType = WireMessageType::kMstChosen;
+  template <class S>
+  constexpr void visit(S& s) {
+    s.word("weight", weight);
+    s.id("u", u);
+    s.id("v", v);
+  }
+};
+
+/// New component label (coordinator → leaders, leaders → members).
+struct MstLabelMsg {
+  NodeId label = 0;
+  static constexpr WireMessageType kType = WireMessageType::kMstLabel;
+  template <class S>
+  constexpr void visit(S& s) {
+    s.id("label", label);
+  }
+};
+
+// ------------------------------------- leader cleanup / ruling set ---------
+
+/// "I am still undecided" — residual-set membership, node → leader.
+struct ResidualPresenceMsg {
+  NodeId node = 0;
+  static constexpr WireMessageType kType = WireMessageType::kResidualPresence;
+  template <class S>
+  constexpr void visit(S& s) {
+    s.id("node", node);
+  }
+};
+
+/// One residual edge (both endpoints undecided), node → leader.
+struct ResidualEdgeMsg {
+  NodeId u = 0;
+  NodeId v = 0;
+  static constexpr WireMessageType kType = WireMessageType::kResidualEdge;
+  template <class S>
+  constexpr void visit(S& s) {
+    s.id("u", u);
+    s.id("v", v);
+  }
+};
+
+/// The leader's verdict routed back to a residual node.
+struct MisDecisionMsg {
+  bool in_mis = false;
+  static constexpr WireMessageType kType = WireMessageType::kMisDecision;
+  template <class S>
+  constexpr void visit(S& s) {
+    s.flag("in_mis", in_mis);
+  }
+};
+
+// ------------------------------------------------------------ triangles ----
+
+/// An edge copy addressed to the owner of one group triple.
+struct TriangleEdgeMsg {
+  NodeId u = 0;
+  NodeId v = 0;
+  std::uint32_t triple = 0;
+  static constexpr WireMessageType kType = WireMessageType::kTriangleEdge;
+  template <class S>
+  constexpr void visit(S& s) {
+    s.id("u", u);
+    s.id("v", v);
+    s.uint("triple", triple, 32);
+  }
+};
+
+/// A triple owner's partial triangle count, convergecast to the leader.
+struct TriangleCountMsg {
+  std::uint64_t count = 0;
+  static constexpr WireMessageType kType = WireMessageType::kTriangleCount;
+  template <class S>
+  constexpr void visit(S& s) {
+    s.word("count", count);
+  }
+};
+
+// -------------------------------------------------- accounting-only types --
+
+/// Leader election: everyone announces its id; minimum wins.
+struct LeaderElectMsg {
+  NodeId id = 0;
+  static constexpr WireMessageType kType = WireMessageType::kLeaderElect;
+  template <class S>
+  constexpr void visit(S& s) {
+    s.id("id", id);
+  }
+};
+
+/// Ruling set: a live node's current degree (values in [0, n)).
+struct DegreeAnnounceMsg {
+  NodeId degree = 0;
+  static constexpr WireMessageType kType = WireMessageType::kDegreeAnnounce;
+  template <class S>
+  constexpr void visit(S& s) {
+    s.uint("degree", degree, s.ctx().id_bits);
+  }
+};
+
+/// Every registered message type, for exhaustive codec tests: round-trip and
+/// corruption coverage iterate this list so a type added above without test
+/// coverage still gets the generic treatment.
+using AllWireMessages =
+    std::tuple<BeepMsg, JoinAnnounceMsg, LubyPriorityMsg, GhaffariProbeMsg,
+               SparsifiedOpenerMsg, PhaseBeepVectorMsg, PhaseOutcomeMsg,
+               PhaseDecorationMsg, GatherEdgeMsg, GatherAnnotationMsg,
+               MstReportMsg, MstChosenMsg, MstLabelMsg, ResidualPresenceMsg,
+               ResidualEdgeMsg, MisDecisionMsg, TriangleEdgeMsg,
+               TriangleCountMsg, LeaderElectMsg, DegreeAnnounceMsg>;
+
+// Every packet-borne message must fit the inline payload even at worst-case
+// widths; the widest (MstReportMsg) is 1 + 64 + 2·21 = 107 bits.
+static_assert(max_encoded_bits<MstReportMsg>() <= kMaxPayloadBits);
+static_assert(max_encoded_bits<GatherAnnotationMsg>() <= kMaxPayloadBits);
+static_assert(max_encoded_bits<PhaseDecorationMsg>() == 7 + 63 + 64);
+
+}  // namespace dmis

@@ -1,0 +1,111 @@
+// Message-type registry and encoding context of the wire layer.
+//
+// Every payload that crosses a simulated network carries a WireMessageType
+// tag, which buys two things:
+//   * bit-exact, per-message-type bandwidth accounting (CostAccounting
+//     tallies count/bits per tag; experiment E10 breaks the bandwidth of
+//     every algorithm down by message kind against the model's B of §1);
+//   * typed decoding — receivers dispatch on the tag and the codec layer
+//     (wire/codec.h) validates field ranges instead of reinterpreting raw
+//     words.
+//
+// WireContext carries the run-dependent field widths: node ids cost
+// ceil(log2 n) bits (the paper's "O(log n)"), and the sparsified phase
+// vectors of §2.3/§2.4 cost exactly R bits.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "util/bits.h"
+#include "util/check.h"
+
+namespace dmis {
+
+enum class WireMessageType : std::uint8_t {
+  kRaw = 0,           ///< untyped payload (tests, fault injection)
+  kBeep,              ///< 1-bit carrier burst (beeping model, §2.2)
+  kJoinAnnounce,      ///< 1-bit "I joined the MIS" broadcast
+  kLubyPriority,      ///< Luby: 3·ceil(log2 n)-bit random priority
+  kGhaffariProbe,     ///< §2.1: marked flag + p_t(v) exponent
+  kSparsifiedOpener,  ///< §2.3 phase opener: p_{t0}(v) exponent
+  kPhaseBeepVector,   ///< §2.4: super-heavy committed beep vector (R bits)
+  kPhaseOutcome,      ///< §2.4: realized beep vector + join iteration
+  kGatherEdge,        ///< Lemma 2.14 exponentiation: one known edge
+  kGatherAnnotation,  ///< Lemma 2.14: one 64-bit decoration word
+  kMstReport,         ///< Borůvka: node's lightest outgoing edge to leader
+  kMstChosen,         ///< Borůvka: leader's chosen edge to coordinator
+  kMstLabel,          ///< Borůvka: new component label (down + fanout)
+  kResidualPresence,  ///< leader cleanup / ruling set: "I am residual"
+  kResidualEdge,      ///< leader cleanup / ruling set: residual edge
+  kMisDecision,       ///< leader verdict routed back: in MIS or not
+  kTriangleEdge,      ///< triangle counting: edge copy to a triple owner
+  kTriangleCount,     ///< triangle counting: per-owner partial sum
+  kLeaderElect,       ///< id announcement of the leader election round
+  kDegreeAnnounce,    ///< ruling set: live-degree broadcast
+  kCount,             // sentinel — keep last
+};
+
+inline constexpr std::size_t kWireMessageTypeCount =
+    static_cast<std::size_t>(WireMessageType::kCount);
+
+constexpr const char* wire_message_type_name(WireMessageType t) {
+  switch (t) {
+    case WireMessageType::kRaw: return "raw";
+    case WireMessageType::kBeep: return "beep";
+    case WireMessageType::kJoinAnnounce: return "join_announce";
+    case WireMessageType::kLubyPriority: return "luby_priority";
+    case WireMessageType::kGhaffariProbe: return "ghaffari_probe";
+    case WireMessageType::kSparsifiedOpener: return "sparsified_opener";
+    case WireMessageType::kPhaseBeepVector: return "phase_beep_vector";
+    case WireMessageType::kPhaseOutcome: return "phase_outcome";
+    case WireMessageType::kGatherEdge: return "gather_edge";
+    case WireMessageType::kGatherAnnotation: return "gather_annotation";
+    case WireMessageType::kMstReport: return "mst_report";
+    case WireMessageType::kMstChosen: return "mst_chosen";
+    case WireMessageType::kMstLabel: return "mst_label";
+    case WireMessageType::kResidualPresence: return "residual_presence";
+    case WireMessageType::kResidualEdge: return "residual_edge";
+    case WireMessageType::kMisDecision: return "mis_decision";
+    case WireMessageType::kTriangleEdge: return "triangle_edge";
+    case WireMessageType::kTriangleCount: return "triangle_count";
+    case WireMessageType::kLeaderElect: return "leader_elect";
+    case WireMessageType::kDegreeAnnounce: return "degree_announce";
+    case WireMessageType::kCount: return "?";
+  }
+  return "?";
+}
+
+/// Ceiling on the id field width the codecs are specified against: the
+/// compile-time max-bit bound of every message assumes ids of at most
+/// kMaxIdBits bits (n <= 2^21 nodes — far above any simulated clique).
+inline constexpr int kMaxIdBits = 21;
+
+/// Upper bound on the sparsified phase length R (beep vectors are packed
+/// into one 64-bit word with R <= 63; see SparsifiedParams).
+inline constexpr int kMaxPhaseLen = 63;
+
+/// Run-dependent field widths shared by encoder and decoder. Everything in
+/// here is public knowledge in the model's sense (derivable from n and the
+/// algorithm parameters every node starts with), so carrying it out-of-band
+/// costs no bandwidth.
+struct WireContext {
+  NodeId node_count = 0;
+  int id_bits = 1;     ///< bits per node-id field: bits_for_range(n)
+  int phase_len = 0;   ///< R of §2.3/§2.4; width of beep-vector fields
+
+  static constexpr WireContext for_nodes(NodeId n, int phase_len = 0) {
+    DMIS_CHECK_CX(n >= 1, "empty network has no wire context");
+    WireContext ctx;
+    ctx.node_count = n;
+    ctx.id_bits = bits_for_range(n);
+    DMIS_CHECK_CX(ctx.id_bits <= kMaxIdBits,
+                  "node count exceeds the codec id-width bound 2^21");
+    DMIS_CHECK_CX(phase_len >= 0 && phase_len <= kMaxPhaseLen,
+                  "phase length out of [0,63]");
+    ctx.phase_len = phase_len;
+    return ctx;
+  }
+};
+
+}  // namespace dmis

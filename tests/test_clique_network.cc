@@ -4,14 +4,17 @@
 
 #include "clique/network.h"
 #include "util/check.h"
+#include "wire/messages.h"
 
 namespace dmis {
 namespace {
 
 TEST(CliqueNetwork, RouteSortsByDestinationAndCharges) {
   CliqueNetwork net(8, RandomSource(1));
-  std::vector<Packet> packets{
-      {3, 5, 10, 0}, {1, 2, 11, 0}, {7, 2, 12, 0}, {0, 5, 13, 0}};
+  std::vector<Packet> packets{{3, 5, WirePayload::raw(10, 0, 16)},
+                              {1, 2, WirePayload::raw(11, 0, 16)},
+                              {7, 2, WirePayload::raw(12, 0, 16)},
+                              {0, 5, WirePayload::raw(13, 0, 16)}};
   const RouteReport report = net.route(packets);
   EXPECT_EQ(report.packets, 4u);
   EXPECT_EQ(report.batches, 1u);
@@ -26,7 +29,32 @@ TEST(CliqueNetwork, RouteSortsByDestinationAndCharges) {
   EXPECT_EQ(packets[3].dst, 5u);
   EXPECT_EQ(net.costs().rounds, 2u);
   EXPECT_EQ(net.costs().messages, 4u);
-  EXPECT_EQ(net.costs().bits, 4u * kPacketBits);
+  // Bit-exact accounting: each packet charges its encoded size, not a flat
+  // per-packet rate.
+  EXPECT_EQ(net.costs().bits, 4u * 16);
+  EXPECT_EQ(net.costs().of(WireMessageType::kRaw).messages, 4u);
+  EXPECT_EQ(net.costs().of(WireMessageType::kRaw).bits, 4u * 16);
+}
+
+TEST(CliqueNetwork, RouteTalliesPerMessageType) {
+  CliqueNetwork net(8, RandomSource(1));
+  const WireContext& ctx = net.wire_context();
+  std::vector<Packet> packets{
+      {0, 1, encode_payload(ctx, GatherEdgeMsg{2, 3})},
+      {1, 2, encode_payload(ctx, GatherEdgeMsg{4, 5})},
+      {2, 3, encode_payload(ctx, TriangleCountMsg{7})},
+  };
+  net.route(packets);
+  const int edge_bits = encoded_bits<GatherEdgeMsg>(ctx);
+  const int count_bits = encoded_bits<TriangleCountMsg>(ctx);
+  EXPECT_EQ(net.costs().messages, 3u);
+  EXPECT_EQ(net.costs().of(WireMessageType::kGatherEdge).messages, 2u);
+  EXPECT_EQ(net.costs().of(WireMessageType::kGatherEdge).bits,
+            2u * static_cast<std::uint64_t>(edge_bits));
+  EXPECT_EQ(net.costs().of(WireMessageType::kTriangleCount).messages, 1u);
+  EXPECT_EQ(net.costs().bits,
+            2u * static_cast<std::uint64_t>(edge_bits) +
+                static_cast<std::uint64_t>(count_bits));
 }
 
 TEST(CliqueNetwork, EmptyRouteIsFree) {
@@ -43,7 +71,7 @@ TEST(CliqueNetwork, OverloadedDestinationSplitsIntoBatches) {
   // 9 packets to one destination with n = 4: ceil(9/4) = 3 Lenzen batches.
   std::vector<Packet> packets;
   for (int i = 0; i < 9; ++i) {
-    packets.push_back({static_cast<NodeId>(i % n), 2, 0, 0});
+    packets.push_back({static_cast<NodeId>(i % n), 2, WirePayload{}});
   }
   const RouteReport report = net.route(packets);
   EXPECT_EQ(report.batches, 3u);
@@ -58,7 +86,7 @@ TEST(CliqueNetwork, AtCapacityIsOneBatch) {
   std::vector<Packet> packets;
   for (NodeId s = 0; s < n; ++s) {
     for (NodeId d = 0; d < n; ++d) {
-      packets.push_back({s, d, 0, 0});
+      packets.push_back({s, d, WirePayload{}});
     }
   }
   const RouteReport report = net.route(packets);
@@ -69,9 +97,9 @@ TEST(CliqueNetwork, AtCapacityIsOneBatch) {
 
 TEST(CliqueNetwork, RejectsOutOfRangeEndpoints) {
   CliqueNetwork net(4, RandomSource(1));
-  std::vector<Packet> bad{{0, 9, 0, 0}};
+  std::vector<Packet> bad{{0, 9, WirePayload{}}};
   EXPECT_THROW(net.route(bad), PreconditionError);
-  std::vector<Packet> bad2{{9, 0, 0, 0}};
+  std::vector<Packet> bad2{{9, 0, WirePayload{}}};
   EXPECT_THROW(net.route(bad2), PreconditionError);
 }
 
@@ -79,7 +107,7 @@ TEST(CliqueNetwork, ValiantModeMeasuresAtLeastTwoRounds) {
   CliqueNetwork net(16, RandomSource(3), RouteMode::kValiant);
   std::vector<Packet> packets;
   for (NodeId s = 0; s < 16; ++s) {
-    packets.push_back({s, static_cast<NodeId>((s + 1) % 16), 0, 0});
+    packets.push_back({s, static_cast<NodeId>((s + 1) % 16), WirePayload{}});
   }
   const RouteReport report = net.route(packets);
   EXPECT_GE(report.rounds, 2u);
@@ -94,7 +122,8 @@ TEST(CliqueNetwork, ValiantIsDeterministicPerSeed) {
     std::vector<Packet> packets;
     for (NodeId s = 0; s < 32; ++s) {
       for (int k = 0; k < 8; ++k) {
-        packets.push_back({s, static_cast<NodeId>((s * 7 + k) % 32), 0, 0});
+        packets.push_back(
+            {s, static_cast<NodeId>((s * 7 + k) % 32), WirePayload{}});
       }
     }
     return net.route(packets).rounds;
@@ -104,26 +133,32 @@ TEST(CliqueNetwork, ValiantIsDeterministicPerSeed) {
 
 TEST(CliqueNetwork, BroadcastRoundAccounting) {
   CliqueNetwork net(10, RandomSource(1));
-  net.charge_broadcast_round(3, 16);
+  net.charge_broadcast_round(WireMessageType::kRaw, 3, 16);
   EXPECT_EQ(net.costs().rounds, 1u);
   EXPECT_EQ(net.costs().messages, 3u * 9);
   EXPECT_EQ(net.costs().bits, 3u * 9 * 16);
-  EXPECT_THROW(net.charge_broadcast_round(1, kPacketBits + 1),
-               PreconditionError);
+  EXPECT_EQ(net.costs().of(WireMessageType::kRaw).messages, 3u * 9);
+  EXPECT_THROW(
+      net.charge_broadcast_round(WireMessageType::kRaw, 1, kPacketBits + 1),
+      PreconditionError);
 }
 
 TEST(CliqueNetwork, NeighborhoodRoundAccounting) {
   CliqueNetwork net(10, RandomSource(1));
-  net.charge_neighborhood_round(42, 8);
+  net.charge_neighborhood_round(WireMessageType::kSparsifiedOpener, 42, 7);
   EXPECT_EQ(net.costs().rounds, 1u);
   EXPECT_EQ(net.costs().messages, 42u);
-  EXPECT_EQ(net.costs().bits, 42u * 8);
+  EXPECT_EQ(net.costs().bits, 42u * 7);
+  EXPECT_EQ(net.costs().of(WireMessageType::kSparsifiedOpener).messages, 42u);
+  EXPECT_EQ(net.costs().of(WireMessageType::kSparsifiedOpener).bits, 42u * 7);
 }
 
 TEST(CliqueNetwork, LeaderElection) {
   CliqueNetwork net(10, RandomSource(1));
   EXPECT_EQ(net.elect_leader(), 0u);
   EXPECT_EQ(net.costs().rounds, 1u);
+  EXPECT_EQ(net.costs().of(WireMessageType::kLeaderElect).messages,
+            10u * 9u);
 }
 
 TEST(CliqueNetwork, RejectsEmptyClique) {

@@ -4,6 +4,7 @@
 // wrong science; these tests pin the guardrails.
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <memory>
 
 #include "clique/gather.h"
@@ -20,11 +21,10 @@ namespace {
 // A program whose behavior is scripted per round — the adversary harness.
 class ScriptedProgram final : public CongestProgram {
  public:
-  using SendFn =
-      std::function<void(std::uint64_t, std::vector<Outgoing>&)>;
+  using SendFn = std::function<void(std::uint64_t, CongestOutbox&)>;
   explicit ScriptedProgram(SendFn send) : send_(std::move(send)) {}
 
-  void send(std::uint64_t round, std::vector<Outgoing>& out) override {
+  void send(std::uint64_t round, CongestOutbox& out) override {
     send_(round, out);
   }
   void receive(std::uint64_t, std::span<const CongestMessage>) override {}
@@ -40,43 +40,39 @@ CongestEngine make_engine(const Graph& g,
   programs.push_back(std::make_unique<ScriptedProgram>(std::move(adversary)));
   for (NodeId v = 1; v < g.node_count(); ++v) {
     programs.push_back(std::make_unique<ScriptedProgram>(
-        [](std::uint64_t, std::vector<CongestProgram::Outgoing>&) {}));
+        [](std::uint64_t, CongestOutbox&) {}));
   }
   return CongestEngine(g, std::move(programs), 32);
 }
 
 TEST(FailureInjection, OversizedMessageRejected) {
   const Graph g = path(3);
-  auto engine = make_engine(g, [](std::uint64_t,
-                                  std::vector<CongestProgram::Outgoing>& out) {
-    out.push_back({CongestProgram::kAllNeighbors, 0, 33});
+  auto engine = make_engine(g, [](std::uint64_t, CongestOutbox& out) {
+    out.push_raw(CongestProgram::kAllNeighbors, 0, 33);
   });
   EXPECT_THROW(engine.step(), PreconditionError);
 }
 
 TEST(FailureInjection, NegativeBitsRejected) {
   const Graph g = path(3);
-  auto engine = make_engine(g, [](std::uint64_t,
-                                  std::vector<CongestProgram::Outgoing>& out) {
-    out.push_back({CongestProgram::kAllNeighbors, 0, -1});
+  auto engine = make_engine(g, [](std::uint64_t, CongestOutbox& out) {
+    out.push_raw(CongestProgram::kAllNeighbors, 0, -1);
   });
   EXPECT_THROW(engine.step(), PreconditionError);
 }
 
 TEST(FailureInjection, SendingToSelfRejected) {
   const Graph g = path(3);
-  auto engine = make_engine(g, [](std::uint64_t,
-                                  std::vector<CongestProgram::Outgoing>& out) {
-    out.push_back({0, 1, 8});  // node 0 -> node 0: not an edge
+  auto engine = make_engine(g, [](std::uint64_t, CongestOutbox& out) {
+    out.push_raw(0, 1, 8);  // node 0 -> node 0: not an edge
   });
   EXPECT_THROW(engine.step(), PreconditionError);
 }
 
 TEST(FailureInjection, SendingAcrossTheGraphRejected) {
   const Graph g = path(4);
-  auto engine = make_engine(g, [](std::uint64_t,
-                                  std::vector<CongestProgram::Outgoing>& out) {
-    out.push_back({3, 1, 8});  // 0 and 3 are not adjacent
+  auto engine = make_engine(g, [](std::uint64_t, CongestOutbox& out) {
+    out.push_raw(3, 1, 8);  // 0 and 3 are not adjacent
   });
   EXPECT_THROW(engine.step(), PreconditionError);
 }
@@ -85,34 +81,41 @@ TEST(FailureInjection, LateViolationStillCaught) {
   // Behave for 5 rounds, then violate: the check is per-round, not
   // construction-time.
   const Graph g = path(3);
-  auto engine = make_engine(
-      g, [](std::uint64_t round, std::vector<CongestProgram::Outgoing>& out) {
-        if (round == 5) {
-          out.push_back({CongestProgram::kAllNeighbors, 0, 500});
-        } else {
-          out.push_back({CongestProgram::kAllNeighbors, 0, 1});
-        }
-      });
+  auto engine = make_engine(g, [](std::uint64_t round, CongestOutbox& out) {
+    if (round == 5) {
+      out.push_raw(CongestProgram::kAllNeighbors, 0, 500);
+    } else {
+      out.push_raw(CongestProgram::kAllNeighbors, 0, 1);
+    }
+  });
   for (int i = 0; i < 5; ++i) {
     EXPECT_NO_THROW(engine.step());
   }
   EXPECT_THROW(engine.step(), PreconditionError);
 }
 
+TEST(FailureInjection, MistypedDecodeRejected) {
+  // A raw payload presented to a typed decoder fails on the tag, not by
+  // silently reinterpreting bits.
+  const WireContext ctx = WireContext::for_nodes(8);
+  CongestMessage msg{0, 0b101, 3, WireMessageType::kRaw};
+  EXPECT_THROW(decode_message<JoinAnnounceMsg>(ctx, msg), PreconditionError);
+}
+
 TEST(FailureInjection, RoutePacketsOutOfRange) {
   CliqueNetwork net(8, RandomSource(1));
-  std::vector<Packet> bad{{8, 0, 0, 0}};
+  std::vector<Packet> bad{{8, 0, WirePayload{}}};
   EXPECT_THROW(net.route(bad), PreconditionError);
-  std::vector<Packet> bad2{{0, kInvalidNode, 0, 0}};
+  std::vector<Packet> bad2{{0, kInvalidNode, WirePayload{}}};
   EXPECT_THROW(net.route(bad2), PreconditionError);
 }
 
 TEST(FailureInjection, GatherAnnotationMismatch) {
   const Graph g = cycle(5);
   CliqueNetwork net(5, RandomSource(1));
-  std::vector<std::vector<std::uint64_t>> too_few(4);
+  const AnnotationTable too_few(4, 1);
   EXPECT_THROW(gather_balls(net, g, too_few, 1), PreconditionError);
-  std::vector<std::vector<std::uint64_t>> fine(5);
+  const AnnotationTable fine(5, 1);
   EXPECT_THROW(gather_balls(net, g, fine, 0), PreconditionError);
 }
 
@@ -137,11 +140,11 @@ TEST(FailureInjection, EngineCountMismatch) {
   const Graph g = path(3);
   std::vector<std::unique_ptr<CongestProgram>> one;
   one.push_back(std::make_unique<ScriptedProgram>(
-      [](std::uint64_t, std::vector<CongestProgram::Outgoing>&) {}));
+      [](std::uint64_t, CongestOutbox&) {}));
   EXPECT_THROW(CongestEngine(g, std::move(one), 32), PreconditionError);
   std::vector<std::unique_ptr<CongestProgram>> with_null(3);
   with_null[0] = std::make_unique<ScriptedProgram>(
-      [](std::uint64_t, std::vector<CongestProgram::Outgoing>&) {});
+      [](std::uint64_t, CongestOutbox&) {});
   EXPECT_THROW(CongestEngine(g, std::move(with_null), 32),
                PreconditionError);
 }

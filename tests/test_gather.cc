@@ -11,10 +11,11 @@
 namespace dmis {
 namespace {
 
-std::vector<std::vector<std::uint64_t>> tag_annotations(NodeId n) {
-  std::vector<std::vector<std::uint64_t>> ann(n);
+AnnotationTable tag_annotations(NodeId n) {
+  AnnotationTable ann(n, 2);
   for (NodeId v = 0; v < n; ++v) {
-    ann[v] = {0xA000 + v, 0xB000 + v};
+    ann.row(v)[0] = 0xA000 + v;
+    ann.row(v)[1] = 0xB000 + v;
   }
   return ann;
 }
@@ -36,7 +37,9 @@ void check_against_bfs(const Graph& g, int radius) {
       auto it = ball.annotations.find(u);
       ASSERT_NE(it, ball.annotations.end()) << "node " << v << " missing "
                                             << u;
-      EXPECT_EQ(it->second, ann[u]);
+      const auto row = ann.row(u);
+      EXPECT_EQ(it->second,
+                std::vector<std::uint64_t>(row.begin(), row.end()));
     }
     // Edges: exactly those incident to the knowledge-radius ball.
     std::set<Edge> expected_edges;
@@ -109,14 +112,18 @@ TEST(Gather, ChargesTwoRoundsPerStepAtFeasibleLoads) {
 TEST(Gather, AnnotationSizeMismatchThrows) {
   const Graph g = cycle(4);
   CliqueNetwork net(4, RandomSource(5));
-  std::vector<std::vector<std::uint64_t>> ann(3);
+  AnnotationTable ann(3, 1);
   EXPECT_THROW(gather_balls(net, g, ann, 1), PreconditionError);
+}
+
+TEST(Gather, StrideBeyondWireIndexRangeThrows) {
+  EXPECT_THROW(AnnotationTable(2, kMaxAnnotationWords + 1), PreconditionError);
 }
 
 TEST(Gather, EmptyAnnotationsStillGatherTopology) {
   const Graph g = cycle(8);
   CliqueNetwork net(8, RandomSource(5));
-  std::vector<std::vector<std::uint64_t>> ann(8);  // all empty
+  const AnnotationTable ann;  // stride 0: undecorated
   const GatherResult result = gather_balls(net, g, ann, 2);
   for (NodeId v = 0; v < 8; ++v) {
     EXPECT_TRUE(result.balls[v].annotations.empty());

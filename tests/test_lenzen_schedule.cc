@@ -21,14 +21,14 @@ void expect_valid(std::span<const Packet> packets, NodeId n) {
 
 TEST(LenzenSchedule, EmptyAndSingle) {
   expect_valid(std::vector<Packet>{}, 4);
-  expect_valid(std::vector<Packet>{{0, 3, 0, 0}}, 4);
+  expect_valid(std::vector<Packet>{{0, 3, WirePayload{}}}, 4);
 }
 
 TEST(LenzenSchedule, PermutationUsesOneColor) {
   std::vector<Packet> packets;
   const NodeId n = 64;
   for (NodeId s = 0; s < n; ++s) {
-    packets.push_back({s, static_cast<NodeId>((s + 17) % n), 0, 0});
+    packets.push_back({s, static_cast<NodeId>((s + 17) % n), WirePayload{}});
   }
   const TwoRoundSchedule sched = lenzen_schedule(packets, n);
   EXPECT_EQ(sched.colors_used, 1u);  // demand max degree = 1
@@ -41,7 +41,7 @@ TEST(LenzenSchedule, AllToAllAtFullCapacity) {
   std::vector<Packet> packets;
   for (NodeId s = 0; s < n; ++s) {
     for (NodeId d = 0; d < n; ++d) {
-      packets.push_back({s, d, 0, 0});
+      packets.push_back({s, d, WirePayload{}});
     }
   }
   const TwoRoundSchedule sched = lenzen_schedule(packets, n);
@@ -53,7 +53,7 @@ TEST(LenzenSchedule, HotspotAtCapacity) {
   // n packets from distinct sources to one destination.
   const NodeId n = 50;
   std::vector<Packet> packets;
-  for (NodeId s = 0; s < n; ++s) packets.push_back({s, 7, 0, 0});
+  for (NodeId s = 0; s < n; ++s) packets.push_back({s, 7, WirePayload{}});
   const TwoRoundSchedule sched = lenzen_schedule(packets, n);
   EXPECT_EQ(sched.colors_used, static_cast<std::uint32_t>(n));
   validate_two_round_schedule(packets, sched.intermediate, n);
@@ -67,9 +67,9 @@ TEST(LenzenSchedule, MultiEdgesAndSkew) {
   // Multigraph demands: repeated (src, dst) pairs need distinct mids.
   const NodeId n = 32;
   std::vector<Packet> packets;
-  for (int k = 0; k < 10; ++k) packets.push_back({3, 9, 0, 0});
-  for (int k = 0; k < 6; ++k) packets.push_back({3, 2, 0, 0});
-  for (NodeId s = 0; s < 16; ++s) packets.push_back({s, 9, 0, 0});
+  for (int k = 0; k < 10; ++k) packets.push_back({3, 9, WirePayload{}});
+  for (int k = 0; k < 6; ++k) packets.push_back({3, 2, WirePayload{}});
+  for (NodeId s = 0; s < 16; ++s) packets.push_back({s, 9, WirePayload{}});
   const TwoRoundSchedule sched = lenzen_schedule(packets, n);
   validate_two_round_schedule(packets, sched.intermediate, n);
 }
@@ -86,7 +86,7 @@ TEST(LenzenSchedule, RandomWorkloadsPropertySweep) {
       const NodeId s = static_cast<NodeId>(rng.next_below(n));
       const NodeId d = static_cast<NodeId>(rng.next_below(n));
       if (out[s] >= n || in[d] >= n) continue;
-      packets.push_back({s, d, 0, 0});
+      packets.push_back({s, d, WirePayload{}});
       ++out[s];
       ++in[d];
     }
@@ -97,13 +97,13 @@ TEST(LenzenSchedule, RandomWorkloadsPropertySweep) {
 TEST(LenzenSchedule, RejectsInfeasibleBatch) {
   const NodeId n = 4;
   std::vector<Packet> packets;
-  for (int k = 0; k < 5; ++k) packets.push_back({0, 1, 0, 0});  // out[0]=5>n
+  for (int k = 0; k < 5; ++k) packets.push_back({0, 1, WirePayload{}});  // out[0]=5>n
   EXPECT_THROW(lenzen_schedule(packets, n), PreconditionError);
 }
 
 TEST(LenzenSchedule, ValidatorCatchesBadSchedules) {
   const NodeId n = 8;
-  std::vector<Packet> packets{{0, 1, 0, 0}, {0, 2, 0, 0}};
+  std::vector<Packet> packets{{0, 1, WirePayload{}}, {0, 2, WirePayload{}}};
   // Same intermediate for two packets of the same source: round-1 clash.
   std::vector<NodeId> bad{3, 3};
   EXPECT_THROW(validate_two_round_schedule(packets, bad, n), InvariantError);
@@ -120,7 +120,7 @@ TEST(LenzenSchedule, NetworkModeMatchesAccountedRounds) {
   std::vector<Packet> base;
   for (NodeId s = 0; s < n; ++s) {
     for (NodeId d = 0; d < n; ++d) {
-      base.push_back({s, d, mix64(s, d), 0});
+      base.push_back({s, d, WirePayload::raw(mix64(s, d), 0, 64)});
     }
   }
   auto p1 = base;
@@ -138,7 +138,7 @@ TEST(LenzenSchedule, NetworkModeSplitsOverloads) {
   const NodeId n = 8;
   std::vector<Packet> packets;
   for (int k = 0; k < 3 * static_cast<int>(n); ++k) {
-    packets.push_back({static_cast<NodeId>(k % n), 5, 0, 0});
+    packets.push_back({static_cast<NodeId>(k % n), 5, WirePayload{}});
   }
   CliqueNetwork net(n, RandomSource(1), RouteMode::kLenzenScheduled);
   const RouteReport r = net.route(packets);

@@ -29,6 +29,12 @@ class EventLog final : public RoundObserver {
     events.push_back("msgs:" + std::to_string(ctx.round) + ":" +
                      std::to_string(messages) + ":" + std::to_string(bits));
   }
+  void on_wire_delivered(const RoundContext& ctx, WireMessageType type,
+                         std::uint64_t messages, std::uint64_t bits) override {
+    events.push_back("wire:" + std::to_string(ctx.round) + ":" +
+                     wire_message_type_name(type) + ":" +
+                     std::to_string(messages) + ":" + std::to_string(bits));
+  }
   void on_round_end(const RoundContext& ctx) override {
     events.push_back("end:" + std::to_string(ctx.round));
   }
@@ -52,8 +58,8 @@ class EventLog final : public RoundObserver {
 class TwoRoundFlood final : public CongestProgram {
  public:
   explicit TwoRoundFlood(NodeId self) : self_(self) {}
-  void send(std::uint64_t round, std::vector<Outgoing>& out) override {
-    if (round < 2) out.push_back({kAllNeighbors, self_, 32});
+  void send(std::uint64_t round, CongestOutbox& out) override {
+    if (round < 2) out.push_raw(kAllNeighbors, self_, 32);
   }
   void receive(std::uint64_t round,
                std::span<const CongestMessage>) override {
@@ -76,9 +82,11 @@ TEST(Observer, CongestEngineEventOrdering) {
   EventLog log;
   engine.observers().attach(&log);
   engine.run(10);
-  // Two rounds, each: begin, messages (8 msgs x 32 bits), end.
+  // Two rounds, each: begin, messages (8 msgs x 32 bits), the per-type wire
+  // slice of the same delivery, end.
   const std::vector<std::string> expected{
-      "begin:0", "msgs:0:8:256", "end:0", "begin:1", "msgs:1:8:256", "end:1"};
+      "begin:0", "msgs:0:8:256", "wire:0:raw:8:256", "end:0",
+      "begin:1", "msgs:1:8:256", "wire:1:raw:8:256", "end:1"};
   EXPECT_EQ(log.events, expected);
 }
 
@@ -99,7 +107,8 @@ TEST(Observer, BeepEngineReportsBeepsAsMessages) {
   EventLog log;
   engine.observers().attach(&log);
   engine.run(10);
-  const std::vector<std::string> expected{"begin:0", "msgs:0:3:3", "end:0"};
+  const std::vector<std::string> expected{"begin:0", "msgs:0:3:3",
+                                          "wire:0:beep:3:3", "end:0"};
   EXPECT_EQ(log.events, expected);
 }
 
@@ -226,6 +235,12 @@ TEST(Observer, TraceRecorderCoversSparsifiedRunnerCosts) {
   EXPECT_EQ(total.beeps, run.costs.beeps);
   EXPECT_EQ(total.messages, run.costs.messages);
   EXPECT_EQ(total.bits, run.costs.bits);
+  // The per-type breakdown survives the delta/re-sum round trip.
+  EXPECT_EQ(total.of(WireMessageType::kSparsifiedOpener),
+            run.costs.of(WireMessageType::kSparsifiedOpener));
+  EXPECT_EQ(total.of(WireMessageType::kBeep),
+            run.costs.of(WireMessageType::kBeep));
+  EXPECT_GT(run.costs.of(WireMessageType::kSparsifiedOpener).messages, 0u);
   EXPECT_FALSE(trace.markers().empty());
 }
 
@@ -248,19 +263,23 @@ TEST(Observer, ObserversDoNotChangeResults) {
 TEST(CostAccounting, AccumulatesComponentwise) {
   CostAccounting a;
   a.rounds = 3;
-  a.messages = 10;
-  a.bits = 320;
-  a.beeps = 2;
+  a.add_messages(WireMessageType::kLubyPriority, 10, 320);
+  a.add_beeps(2);
   CostAccounting b;
   b.rounds = 1;
-  b.messages = 5;
-  b.bits = 40;
-  b.beeps = 7;
+  b.add_messages(WireMessageType::kLubyPriority, 3, 24);
+  b.add_messages(WireMessageType::kJoinAnnounce, 2, 16);
+  b.add_beeps(7);
   a += b;
   EXPECT_EQ(a.rounds, 4u);
   EXPECT_EQ(a.messages, 15u);
   EXPECT_EQ(a.bits, 360u);
   EXPECT_EQ(a.beeps, 9u);
+  EXPECT_EQ(a.of(WireMessageType::kLubyPriority).messages, 13u);
+  EXPECT_EQ(a.of(WireMessageType::kLubyPriority).bits, 344u);
+  EXPECT_EQ(a.of(WireMessageType::kJoinAnnounce).messages, 2u);
+  EXPECT_EQ(a.of(WireMessageType::kBeep).messages, 9u);
+  EXPECT_EQ(a.of(WireMessageType::kBeep).bits, 9u);
   // Adding a default-constructed accounting is the identity.
   a += CostAccounting{};
   EXPECT_EQ(a.rounds, 4u);

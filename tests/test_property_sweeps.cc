@@ -85,7 +85,7 @@ TEST_P(SeedSweep, ScheduleValidOnRandomLoads) {
     const NodeId s = static_cast<NodeId>(rng.next_below(n));
     const NodeId d = static_cast<NodeId>(rng.next_below(n));
     if (out[s] >= n || in[d] >= n) continue;
-    packets.push_back({s, d, 0, 0});
+    packets.push_back({s, d, WirePayload{}});
     ++out[s];
     ++in[d];
   }

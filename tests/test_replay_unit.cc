@@ -14,6 +14,13 @@
 namespace dmis {
 namespace {
 
+// Gathered annotations are stored as vectors; decorations encode into a
+// fixed array.
+std::vector<std::uint64_t> decoration_vec(const PhaseDecoration& d) {
+  const DecorationWords words = encode_decoration(d);
+  return std::vector<std::uint64_t>(words.begin(), words.end());
+}
+
 // Builds the "omniscient ball" for one center: all of S, all edges among S,
 // real decorations — replay exactness then holds for any radius.
 GatheredBall full_knowledge_ball(const Graph& g, NodeId center,
@@ -33,7 +40,7 @@ GatheredBall full_knowledge_ball(const Graph& g, NodeId center,
         sh_or |= rec.realized_beeps[u];
       }
     }
-    ball.annotations[v] = encode_decoration(
+    ball.annotations[v] = decoration_vec(
         {rec.p_exp_start[v], sh_or,
          sparsified_phase_seed(rs, v, rec.phase)});
   }
@@ -102,7 +109,7 @@ TEST(ReplayUnit, LoneAnnotatedCenterNeverHearsAnyone) {
   ball.center = 0;
   ball.members = {0};
   const std::uint64_t phase_seed = 424242;
-  ball.annotations[0] = encode_decoration({1, 0, phase_seed});
+  ball.annotations[0] = decoration_vec({1, 0, phase_seed});
   SparsifiedParams params;
   params.phase_length = 8;
   const PhaseReplayOutcome out = replay_phase_center(ball, params);
@@ -130,7 +137,8 @@ TEST(ReplayUnit, SuperHeavyMaskSuppressesJoining) {
   GatheredBall ball;
   ball.center = 0;
   ball.members = {0};
-  ball.annotations[0] = encode_decoration({1, ~0ULL, 99});
+  // All 63 mask bits set (the field is 63 bits wide; phase length <= 63).
+  ball.annotations[0] = decoration_vec({1, ~0ULL >> 1, 99});
   SparsifiedParams params;
   params.phase_length = 5;
   const PhaseReplayOutcome out = replay_phase_center(ball, params);

@@ -16,9 +16,9 @@ class FloodProgram final : public CongestProgram {
  public:
   FloodProgram(NodeId self, int ttl) : self_(self), ttl_(ttl) {}
 
-  void send(std::uint64_t round, std::vector<Outgoing>& out) override {
+  void send(std::uint64_t round, CongestOutbox& out) override {
     if (round < static_cast<std::uint64_t>(ttl_)) {
-      out.push_back({kAllNeighbors, self_, 32});
+      out.push_raw(kAllNeighbors, self_, 32);
     }
   }
 
@@ -70,13 +70,16 @@ TEST(CongestEngine, CountsRoundsMessagesBits) {
   EXPECT_EQ(engine.costs().rounds, 2u);
   EXPECT_EQ(engine.costs().messages, 2u * 5 * 2);
   EXPECT_EQ(engine.costs().bits, 2u * 5 * 2 * 32);
+  // Raw pushes land in the kRaw per-type tally.
+  EXPECT_EQ(engine.costs().of(WireMessageType::kRaw).messages, 2u * 5 * 2);
+  EXPECT_EQ(engine.costs().of(WireMessageType::kRaw).bits, 2u * 5 * 2 * 32);
   EXPECT_TRUE(engine.all_halted());
 }
 
 class OversizedSender final : public CongestProgram {
  public:
-  void send(std::uint64_t, std::vector<Outgoing>& out) override {
-    out.push_back({kAllNeighbors, 0, 500});
+  void send(std::uint64_t, CongestOutbox& out) override {
+    out.push_raw(kAllNeighbors, 0, 500);
   }
   void receive(std::uint64_t, std::span<const CongestMessage>) override {}
   bool halted() const override { return false; }
@@ -93,8 +96,8 @@ TEST(CongestEngine, EnforcesBandwidth) {
 
 class NonNeighborSender final : public CongestProgram {
  public:
-  void send(std::uint64_t, std::vector<Outgoing>& out) override {
-    out.push_back({3, 1, 8});  // node 3 is not adjacent in a path 0-1-2-3
+  void send(std::uint64_t, CongestOutbox& out) override {
+    out.push_raw(3, 1, 8);  // node 3 is not adjacent in a path 0-1-2-3
   }
   void receive(std::uint64_t, std::span<const CongestMessage>) override {}
   bool halted() const override { return false; }

@@ -1,0 +1,354 @@
+// Wire-layer codec tests: bit IO, exhaustive round-trip and corruption
+// coverage over every registered message type (driven by the AllWireMessages
+// tuple, so a newly registered type is covered automatically), a seeded
+// deterministic fuzz pass, and the phase-decoration regression for the
+// silently-truncated-exponent bug the codecs exist to prevent.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <tuple>
+#include <utility>
+
+#include "mis/phase_wire.h"
+#include "rng/mix.h"
+#include "util/check.h"
+#include "wire/bitio.h"
+#include "wire/messages.h"
+
+namespace dmis {
+namespace {
+
+constexpr std::uint64_t low_mask(int bits) {
+  return bits >= 64 ? ~std::uint64_t{0}
+                    : (std::uint64_t{1} << bits) - 1;
+}
+
+// ------------------------------------------------------------------ bit IO --
+
+TEST(BitIO, RoundTripAcrossWordBoundary) {
+  std::array<std::uint64_t, 2> words{};
+  BitWriter w(words);
+  w.put(0x5, 3);
+  w.put(0xABCD, 16);
+  w.put(0xFFFFFFFFFFFFFFFFULL, 64);  // spills across the word boundary
+  w.put(0x2, 2);
+  ASSERT_EQ(w.bit_count(), 85);
+  BitReader r(words, 85);
+  EXPECT_EQ(r.get(3), 0x5u);
+  EXPECT_EQ(r.get(16), 0xABCDu);
+  EXPECT_EQ(r.get(64), 0xFFFFFFFFFFFFFFFFULL);
+  EXPECT_EQ(r.get(2), 0x2u);
+  EXPECT_EQ(r.remaining_bits(), 0);
+}
+
+TEST(BitIO, WriterRejectsOverflowAndOversizedValues) {
+  std::array<std::uint64_t, 1> one{};
+  BitWriter w(one);
+  EXPECT_THROW(w.put(2, 1), PreconditionError);  // value wider than field
+  w.put(0, 60);
+  EXPECT_THROW(w.put(0, 5), PreconditionError);  // 65 bits into one word
+}
+
+TEST(BitIO, ReaderRejectsUnderflow) {
+  const std::array<std::uint64_t, 1> words{42};
+  BitReader r(words, 8);
+  r.get(8);
+  EXPECT_THROW(r.get(1), PreconditionError);
+  EXPECT_THROW(BitReader(words, 65), PreconditionError);
+}
+
+// ------------------------------------------------- generic codec machinery --
+
+/// Fills a message's fields with seeded in-range values by visiting the same
+/// field list the codecs use.
+class FillSink {
+ public:
+  FillSink(const WireContext& ctx, SplitMix64& rng) : ctx_(ctx), rng_(rng) {}
+  const WireContext& ctx() const { return ctx_; }
+
+  template <class T>
+  void uint(const char*, T& v, int bits) {
+    v = static_cast<T>(rng_.next() & low_mask(bits));
+  }
+  template <class T>
+  void uint_range(const char*, T& v, int, std::uint64_t lo,
+                  std::uint64_t hi) {
+    v = static_cast<T>(lo + rng_.next() % (hi - lo + 1));
+  }
+  void flag(const char*, bool& v) { v = (rng_.next() & 1) != 0; }
+  void id(const char*, NodeId& v) {
+    v = static_cast<NodeId>(rng_.next() % ctx_.node_count);
+  }
+  void word(const char*, std::uint64_t& v) { v = rng_.next(); }
+  void vec(const char*, std::uint64_t& v) {
+    v = rng_.next() & low_mask(ctx_.phase_len);
+  }
+
+ private:
+  WireContext ctx_;
+  SplitMix64& rng_;
+};
+
+template <class Msg>
+using WordsFor =
+    std::array<std::uint64_t, (max_encoded_bits<Msg>() + 63) / 64>;
+
+/// encode → decode → re-encode must reproduce the wire image exactly.
+template <class Msg>
+void round_trip_one(const WireContext& ctx, SplitMix64& rng) {
+  Msg msg{};
+  FillSink fill(ctx, rng);
+  msg.visit(fill);
+  WordsFor<Msg> words{};
+  const int bits = encode_words(ctx, msg, words);
+  ASSERT_EQ(bits, encoded_bits<Msg>(ctx))
+      << wire_message_type_name(Msg::kType);
+  const Msg back = decode_words<Msg>(ctx, words, bits);
+  WordsFor<Msg> again{};
+  const int bits2 = encode_words(ctx, back, again);
+  EXPECT_EQ(bits, bits2) << wire_message_type_name(Msg::kType);
+  EXPECT_EQ(words, again) << wire_message_type_name(Msg::kType);
+}
+
+/// Truncated sizes and non-zero padding must both fail loudly.
+template <class Msg>
+void corruption_one(const WireContext& ctx, SplitMix64& rng) {
+  Msg msg{};
+  FillSink fill(ctx, rng);
+  msg.visit(fill);
+  WordsFor<Msg> words{};
+  const int bits = encode_words(ctx, msg, words);
+  ASSERT_GT(bits, 0) << wire_message_type_name(Msg::kType);
+  // Truncation: a shorter declared size is a size mismatch, never a partial
+  // decode.
+  EXPECT_THROW(decode_words<Msg>(ctx, words, bits - 1), PreconditionError)
+      << wire_message_type_name(Msg::kType);
+  // Padding: any bit beyond the declared size is corruption.
+  const int capacity = static_cast<int>(words.size()) * 64;
+  if (bits < capacity) {
+    WordsFor<Msg> dirty = words;
+    dirty[static_cast<std::size_t>(bits / 64)] |=
+        std::uint64_t{1} << (bits % 64);
+    EXPECT_THROW(decode_words<Msg>(ctx, dirty, bits), PreconditionError)
+        << wire_message_type_name(Msg::kType);
+  }
+}
+
+/// Seeded fuzz: random wire images either decode-and-re-encode to the exact
+/// same bits, or throw PreconditionError — nothing else.
+template <class Msg>
+void fuzz_one(const WireContext& ctx, SplitMix64& rng, int iterations,
+              int* accepted) {
+  const int bits = encoded_bits<Msg>(ctx);
+  for (int i = 0; i < iterations; ++i) {
+    WordsFor<Msg> words{};
+    for (std::uint64_t& w : words) w = rng.next();
+    // Zero the padding so rejections exercise field validation, not only the
+    // padding check.
+    for (std::size_t w = 0; w < words.size(); ++w) {
+      const int from = bits - static_cast<int>(w) * 64;
+      if (from <= 0) {
+        words[w] = 0;
+      } else if (from < 64) {
+        words[w] &= low_mask(from);
+      }
+    }
+    try {
+      const Msg msg = decode_words<Msg>(ctx, words, bits);
+      WordsFor<Msg> again{};
+      const int bits2 = encode_words(ctx, msg, again);
+      EXPECT_EQ(bits, bits2) << wire_message_type_name(Msg::kType);
+      EXPECT_EQ(words, again) << wire_message_type_name(Msg::kType);
+      ++*accepted;
+    } catch (const PreconditionError&) {
+      // Rejected loudly — the acceptable outcome for corrupt input.
+    }
+  }
+}
+
+template <template <class> class Fn>
+struct ForAllMessages {
+  template <class... Args>
+  static void run(Args&&... args) {
+    run_impl(std::make_index_sequence<
+                 std::tuple_size_v<AllWireMessages>>{},
+             std::forward<Args>(args)...);
+  }
+
+ private:
+  template <std::size_t... I, class... Args>
+  static void run_impl(std::index_sequence<I...>, Args&&... args) {
+    (Fn<std::tuple_element_t<I, AllWireMessages>>::apply(args...), ...);
+  }
+};
+
+template <class Msg>
+struct RoundTripFn {
+  static void apply(const WireContext& ctx, SplitMix64& rng) {
+    round_trip_one<Msg>(ctx, rng);
+  }
+};
+template <class Msg>
+struct CorruptionFn {
+  static void apply(const WireContext& ctx, SplitMix64& rng) {
+    corruption_one<Msg>(ctx, rng);
+  }
+};
+template <class Msg>
+struct FuzzFn {
+  static void apply(const WireContext& ctx, SplitMix64& rng, int iterations,
+                    int* accepted) {
+    fuzz_one<Msg>(ctx, rng, iterations, accepted);
+  }
+};
+
+// --------------------------------------------------------- exhaustive runs --
+
+TEST(WireCodec, RoundTripEveryTypeAcrossContexts) {
+  const WireContext contexts[] = {
+      WireContext::for_nodes(2, 1),
+      WireContext::for_nodes(6, 5),
+      WireContext::for_nodes(4096, 63),
+      WireContext::for_nodes(NodeId{1} << kMaxIdBits, kMaxPhaseLen),
+  };
+  SplitMix64 rng(2024);
+  for (const WireContext& ctx : contexts) {
+    for (int rep = 0; rep < 8; ++rep) {
+      ForAllMessages<RoundTripFn>::run(ctx, rng);
+    }
+  }
+}
+
+TEST(WireCodec, CorruptionEveryTypeFailsLoudly) {
+  const WireContext contexts[] = {
+      WireContext::for_nodes(6, 5),
+      WireContext::for_nodes(4096, 63),
+  };
+  SplitMix64 rng(77);
+  for (const WireContext& ctx : contexts) {
+    ForAllMessages<CorruptionFn>::run(ctx, rng);
+  }
+}
+
+TEST(WireCodec, SeededFuzzEveryType) {
+  const WireContext ctx = WireContext::for_nodes(100, 7);
+  SplitMix64 rng(424242);  // fixed seed: the fuzz pass is deterministic
+  int accepted = 0;
+  ForAllMessages<FuzzFn>::run(ctx, rng, 200, &accepted);
+  // Types without range-validated fields accept every image; ones with id or
+  // range fields reject most. Both outcomes must have occurred.
+  EXPECT_GT(accepted, 0);
+  EXPECT_LT(accepted,
+            200 * static_cast<int>(std::tuple_size_v<AllWireMessages>));
+}
+
+// -------------------------------------------------------- specific layouts --
+
+TEST(WireCodec, WidthsMatchTheModelBudget) {
+  const WireContext tiny = WireContext::for_nodes(2);
+  EXPECT_EQ(encoded_bits<LubyPriorityMsg>(tiny), 3);  // 3·ceil(log2 2)
+  EXPECT_EQ(encoded_bits<BeepMsg>(tiny), 1);
+  EXPECT_EQ(encoded_bits<GhaffariProbeMsg>(tiny), 1 + kPExpBits);
+  EXPECT_EQ(encoded_bits<SparsifiedOpenerMsg>(tiny), kPExpBits);
+  const WireContext big = WireContext::for_nodes(4096, 13);
+  EXPECT_EQ(encoded_bits<LubyPriorityMsg>(big), 36);
+  EXPECT_EQ(encoded_bits<GatherEdgeMsg>(big), 24);
+  EXPECT_EQ(encoded_bits<PhaseBeepVectorMsg>(big), 13);
+  EXPECT_EQ(encoded_bits<PhaseOutcomeMsg>(big), 13 + 1 + 6);
+  EXPECT_EQ(encoded_bits<MstReportMsg>(big), 1 + 64 + 12 + 12);
+  static_assert(max_encoded_bits<MstReportMsg>() == 1 + 64 + 2 * kMaxIdBits);
+  static_assert(max_encoded_bits<LubyPriorityMsg>() == 3 * kMaxIdBits);
+}
+
+TEST(WireCodec, OutOfRangeEncodeThrows) {
+  const WireContext ctx = WireContext::for_nodes(6, 5);
+  // Id beyond n.
+  GatherEdgeMsg edge;
+  edge.u = 2;
+  edge.v = 6;
+  WordsFor<GatherEdgeMsg> edge_words{};
+  EXPECT_THROW((void)encode_words(ctx, edge, edge_words), PreconditionError);
+  // Probability exponent outside Pow2Prob's domain.
+  GhaffariProbeMsg probe;
+  WordsFor<GhaffariProbeMsg> probe_words{};
+  probe.p_exp = 0;
+  EXPECT_THROW((void)encode_words(ctx, probe, probe_words),
+               PreconditionError);
+  probe.p_exp = kWireMaxPExp + 1;
+  EXPECT_THROW((void)encode_words(ctx, probe, probe_words),
+               PreconditionError);
+  // Beep vector with bits beyond the phase length.
+  PhaseBeepVectorMsg beeps;
+  beeps.vector = 1ULL << 5;
+  WordsFor<PhaseBeepVectorMsg> beep_words{};
+  EXPECT_THROW((void)encode_words(ctx, beeps, beep_words),
+               PreconditionError);
+}
+
+TEST(WireCodec, OutOfRangeDecodeThrows) {
+  const WireContext ctx = WireContext::for_nodes(6, 5);
+  // Craft a GatherEdgeMsg image with u = 7 >= n = 6 (id_bits = 3).
+  std::array<std::uint64_t, 1> words{};
+  BitWriter w(words);
+  w.put(7, 3);
+  w.put(1, 3);
+  EXPECT_THROW(decode_words<GatherEdgeMsg>(ctx, words, 6), PreconditionError);
+}
+
+TEST(WireCodec, PayloadTypeTagIsChecked) {
+  const WireContext ctx = WireContext::for_nodes(8);
+  const WirePayload p = encode_payload(ctx, GatherEdgeMsg{1, 2});
+  EXPECT_EQ(p.type, WireMessageType::kGatherEdge);
+  EXPECT_THROW(decode_payload<TriangleCountMsg>(ctx, p), PreconditionError);
+  const GatherEdgeMsg back = decode_payload<GatherEdgeMsg>(ctx, p);
+  EXPECT_EQ(back.u, 1u);
+  EXPECT_EQ(back.v, 2u);
+}
+
+// --------------------------------------------- phase-decoration regression --
+
+TEST(PhaseWire, DecorationRoundTrip) {
+  const PhaseDecoration d{17, 0x2A, 0xDEADBEEFCAFEF00DULL};
+  const DecorationWords words = encode_decoration(d);
+  const PhaseDecoration back = decode_decoration(words);
+  EXPECT_EQ(back.p0_exp, 17);
+  EXPECT_EQ(back.superheavy_or_mask, 0x2Au);
+  EXPECT_EQ(back.phase_seed, 0xDEADBEEFCAFEF00DULL);
+}
+
+TEST(PhaseWire, CorruptExponentFailsLoudlyInsteadOfTruncating) {
+  // Regression: decode once silently static_cast the exponent; a corrupt
+  // word produced a plausible-but-wrong probability. Both out-of-domain
+  // values must throw now.
+  const DecorationWords words = encode_decoration({9, 0x3, 1234});
+  DecorationWords bad = words;
+  bad[0] &= ~low_mask(kPExpBits);  // p0_exp := 0 (bits [0, 7))
+  EXPECT_THROW(decode_decoration(bad), PreconditionError);
+  bad = words;
+  bad[0] = (bad[0] & ~low_mask(kPExpBits)) |
+           static_cast<std::uint64_t>(kWireMaxPExp + 1);
+  EXPECT_THROW(decode_decoration(bad), PreconditionError);
+}
+
+TEST(PhaseWire, EncodeValidatesTheExponentToo) {
+  EXPECT_THROW(encode_decoration({0, 0, 0}), PreconditionError);
+  EXPECT_THROW(encode_decoration({kWireMaxPExp + 1, 0, 0}),
+               PreconditionError);
+}
+
+TEST(PhaseWire, WrongWordCountRejected) {
+  const DecorationWords words = encode_decoration({1, 0, 0});
+  EXPECT_THROW(decode_decoration(std::span(words).first(2)),
+               PreconditionError);
+}
+
+TEST(PhaseWire, PaddingCorruptionRejected) {
+  DecorationWords words = encode_decoration({1, 0, 0});
+  // Declared size is 134 bits; bit 190 lies in the padding of word 2.
+  words[2] |= std::uint64_t{1} << 62;
+  EXPECT_THROW(decode_decoration(words), PreconditionError);
+}
+
+}  // namespace
+}  // namespace dmis

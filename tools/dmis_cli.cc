@@ -195,8 +195,17 @@ int cmd_solve(int argc, char** argv) {
             << "rounds: " << run.rounds << "\n"
             << "messages: " << run.costs.messages
             << " bits: " << run.costs.bits << " beeps: " << run.costs.beeps
-            << "\n"
-            << "valid: " << (valid ? "yes" : "NO") << "\n";
+            << "\n";
+  for (std::size_t t = 0; t < dmis::kWireMessageTypeCount; ++t) {
+    const dmis::WireTypeTally& tally = run.costs.by_type[t];
+    if (tally.messages == 0) continue;
+    std::cout << "  "
+              << dmis::wire_message_type_name(
+                     static_cast<dmis::WireMessageType>(t))
+              << ": " << tally.messages << " msgs, " << tally.bits
+              << " bits\n";
+  }
+  std::cout << "valid: " << (valid ? "yes" : "NO") << "\n";
   return valid ? 0 : 1;
 }
 
