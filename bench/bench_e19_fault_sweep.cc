@@ -1,0 +1,138 @@
+// E19 — graceful degradation under the deterministic fault plane.
+//
+// The paper proves its guarantees in a fault-free synchronous model; this
+// experiment measures what actually breaks when messages are dropped or
+// bit-corrupted at increasing rates. Two complementary detectors:
+//   * the beeping dynamic (§2.2) runs with the InvariantAuditor attached —
+//     dropped announces manufacture adjacent joiners, and the violations
+//     column counts how often the MIS safety invariants break;
+//   * the clique simulation (§2.4) routes typed payloads, so corruption
+//     trips the codecs' validation and exercises the driver's phase-retry
+//     policy — the retries column shows recovery, the failed column runs
+//     where even max_phase_retries re-executions could not rescue a phase.
+// Every run is a seeded, thread-count-invariant schedule (runtime/faults.h),
+// so any row here can be replayed exactly from a repro bundle.
+#include <array>
+#include <iostream>
+#include <string>
+
+#include "bench_common.h"
+#include "graph/generators.h"
+#include "graph/properties.h"
+#include "mis/replay.h"
+#include "util/table.h"
+
+namespace dmis {
+namespace {
+
+NodeId n_from_args(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--n=", 0) == 0) {
+      return static_cast<NodeId>(std::max(8, std::atoi(arg.c_str() + 4)));
+    }
+    if (arg == "--n" && i + 1 < argc) {
+      return static_cast<NodeId>(std::max(8, std::atoi(argv[i + 1])));
+    }
+  }
+  return 400;
+}
+
+void run(int argc, char** argv) {
+  const NodeId n = n_from_args(argc, argv);
+  const int threads = bench::threads_from_args(argc, argv);
+  bench::print_banner(
+      "E19 / fault sweep (deterministic fault plane)",
+      "MIS algorithms under seeded message faults: invariant violations on "
+      "the\nbeeping dynamic, codec-validation failures and phase retries on "
+      "the clique\nsimulation. Schedules are pure functions of the seed — "
+      "every row replays\nbit-identically at any thread count.");
+
+  const Graph g = gnp(n, 8.0 / std::max<NodeId>(n - 1, 1), 19);
+  // Per-algorithm rate ladders: a clique phase moves orders of magnitude
+  // more messages per decision than a beep round (the gather dominates), so
+  // the interesting regime — faults realized but sometimes recoverable —
+  // sits at much smaller rates there.
+  struct AlgoSweep {
+    const char* algo;
+    std::array<double, 4> rates;
+  };
+  const AlgoSweep sweeps[] = {
+      {"beeping", {0.0, 0.002, 0.01, 0.05}},
+      {"congest", {0.0, 0.002, 0.01, 0.05}},
+      {"clique", {0.0, 0.00003, 0.0001, 0.001}},
+  };
+  const char* kinds[] = {"drop", "corrupt"};
+  const int kSeeds = 3;
+
+  TextTable table({"algo", "fault", "rate", "rounds(mean)", "valid",
+                   "failed", "violations", "retries", "realized",
+                   "undecided(mean)"});
+  for (const AlgoSweep& sweep : sweeps) {
+    const char* algo = sweep.algo;
+    for (const char* kind : kinds) {
+      for (const double rate : sweep.rates) {
+        double rounds_sum = 0;
+        double undecided_sum = 0;
+        std::uint64_t valid = 0, failed = 0, violations = 0, retries = 0;
+        std::uint64_t realized = 0;
+        for (int seed = 0; seed < kSeeds; ++seed) {
+          FaultSchedule s;
+          s.seed = 900 + seed;
+          if (std::string(kind) == "drop") {
+            s.drop_rate = rate;
+          } else {
+            s.corrupt_rate = rate;
+          }
+          const FaultRunResult r = run_algorithm_with_faults(
+              g, algo, 100 + seed, threads, s);
+          rounds_sum += static_cast<double>(r.run.rounds);
+          undecided_sum += static_cast<double>(r.run.undecided_count());
+          violations += r.total_violations;
+          retries += r.retries;
+          realized += r.fault_stats.dropped + r.fault_stats.corrupted;
+          if (r.failed() && r.failure.kind.rfind("invariant:", 0) != 0) {
+            ++failed;  // decode/assert failure aborted the run
+          } else if (!r.failed() &&
+                     is_maximal_independent_set(g, r.run.in_mis)) {
+            ++valid;
+          }
+        }
+        table.row()
+            .cell(algo)
+            .cell(kind)
+            .cell(rate, 5)
+            .cell(rounds_sum / kSeeds, 1)
+            .cell(valid)
+            .cell(failed)
+            .cell(violations)
+            .cell(retries)
+            .cell(realized)
+            .cell(undecided_sum / kSeeds, 1);
+      }
+    }
+  }
+  table.print(std::cout);
+  bench::write_table_json(
+      "e19", table,
+      {{"n", std::to_string(n)}, {"seeds", std::to_string(kSeeds)}});
+  std::cout
+      << "\nExpected: at rate 0 every run is valid with zero violations "
+         "(the null\nplane is bit-identical to no plane). Dropped messages "
+         "degrade the beeping\ndynamic first — silence is meaningful there, "
+         "so losses directly manufacture\nadjacent joiners (violations "
+         "grow with the rate). Corruption on the typed\nwires is mostly "
+         "*loud*: range-validated fields throw instead of lying, so\n"
+         "the clique driver retries poisoned phases (retries column) and "
+         "only heavy\nrates exhaust the budget (failed column). Undecided "
+         "nodes appear when\ndrops starve the dynamic of announcements "
+         "within the round budget.\n";
+}
+
+}  // namespace
+}  // namespace dmis
+
+int main(int argc, char** argv) {
+  dmis::run(argc, argv);
+  return 0;
+}

@@ -102,14 +102,26 @@ GatherResult gather_balls(CliqueNetwork& net, const Graph& graph,
         std::max(result.stats.max_dest_load, report.max_dest_load);
 
     // Merge delivered knowledge. Packets were snapshotted pre-merge, so
-    // merging in place is a plain monotone union.
+    // merging in place is a plain monotone union. The gather often runs on
+    // an induced subgraph smaller than the network, so the wire context
+    // validates ids only against the network's n — re-validate against THIS
+    // graph, or a corrupted id inside the network's range but outside the
+    // subgraph silently poisons out-of-bounds knowledge.
     for (const Packet& p : packets) {
+      DMIS_CHECK(p.dst < n, "corrupt gather delivery: destination " << p.dst
+                                                                    << " >= n "
+                                                                    << n);
       Knowledge& k = know[p.dst];
       if (p.payload.type == WireMessageType::kGatherEdge) {
         const auto msg = decode_payload<GatherEdgeMsg>(ctx, p.payload);
+        DMIS_CHECK(msg.u < n && msg.v < n,
+                   "corrupt gather edge (" << msg.u << ", " << msg.v
+                                           << ") outside subgraph n = " << n);
         k.add_edge(msg.u, msg.v);
       } else {
         const auto msg = decode_payload<GatherAnnotationMsg>(ctx, p.payload);
+        DMIS_CHECK(msg.node < n, "corrupt gather annotation for node "
+                                     << msg.node << " >= n " << n);
         k.set_annotation_word(msg.node, msg.index, msg.data);
       }
     }

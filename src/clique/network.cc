@@ -24,8 +24,9 @@ CliqueNetwork::CliqueNetwork(NodeId node_count, RandomSource randomness,
 
 RouteReport CliqueNetwork::route(std::vector<Packet>& packets) {
   RouteReport report;
-  report.packets = packets.size();
   ++route_invocations_;
+  if (faults_ != nullptr) apply_faults(packets);
+  report.packets = packets.size();
   if (packets.empty()) {
     report.batches = 0;
     report.rounds = 0;
@@ -101,6 +102,62 @@ RouteReport CliqueNetwork::route(std::vector<Packet>& packets) {
               return x.payload.bits < y.payload.bits;
             });
   return report;
+}
+
+void CliqueNetwork::apply_faults(std::vector<Packet>& packets) {
+  CheckScope scope("clique.route");
+  CheckScope::set_round(round_);
+  FaultStats delta;
+  std::vector<Packet> out;
+  out.reserve(packets.size() + pending_.size());
+  // Matured delayed packets join this batch first, in hold-back order; they
+  // already took their fault decision when first routed, so the plane is not
+  // consulted again.
+  std::size_t kept = 0;
+  for (PendingPacket& p : pending_) {
+    if (p.ready_round > round_) {
+      pending_[kept++] = p;
+      continue;
+    }
+    out.push_back(p.packet);
+  }
+  pending_.resize(kept);
+  // Fresh packets: the decision coordinate is (round at batch start, src,
+  // dst, position in the caller's vector) — all thread-independent, so the
+  // realized fault pattern is a pure function of the schedule.
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    Packet p = packets[i];
+    CheckScope::set_node(p.src);
+    if (faults_->node_down(p.src, round_) ||
+        faults_->node_down(p.dst, round_)) {
+      ++delta.dropped;
+      continue;
+    }
+    const FaultDecision d = faults_->on_message(round_, p.src, p.dst, i);
+    if (d.drop) {
+      ++delta.dropped;
+      continue;
+    }
+    if (d.corrupt && p.payload.bits >= 1) {
+      FaultPlane::corrupt_payload(
+          p.payload,
+          faults_->corrupt_bit(round_, p.src, p.dst, i, p.payload.bits));
+      ++delta.corrupted;
+    }
+    if (d.delay > 0) {
+      ++delta.delayed;
+      pending_.push_back({round_ + d.delay, p});
+      continue;
+    }
+    out.push_back(p);
+    if (d.duplicate) {
+      ++delta.duplicated;
+      out.push_back(p);
+    }
+  }
+  faults_->record(delta);
+  tally_node_downtime(round_, node_count_);
+  packets.swap(out);
 }
 
 std::uint64_t CliqueNetwork::valiant_rounds(

@@ -109,18 +109,34 @@ class CliqueNetwork final : public SimulationEngine {
   /// Leader election: everyone announces its id; minimum wins. One round.
   NodeId elect_leader();
 
+  /// Charges one phase re-execution to the accounting (the clique MIS
+  /// driver's retry policy reports poisoned-phase re-runs through here).
+  void note_phase_retry() { ++costs_.retries; }
+
  private:
+  /// Applies the attached fault plane to a route() batch: delivers matured
+  /// delayed packets, then drops/corrupts/duplicates/delays fresh ones.
+  void apply_faults(std::vector<Packet>& packets);
+
   std::uint64_t valiant_rounds(const std::vector<Packet>& packets);
   /// Partitions into feasible batches, builds and verifies a real two-round
   /// schedule for each, returns total rounds (2 per batch).
   std::uint64_t scheduled_rounds(const std::vector<Packet>& packets,
                                  std::uint64_t* batches_out);
 
+  /// A packet held back by a fault-plane delay decision; it joins the first
+  /// route() invocation whose starting round is >= `ready_round`.
+  struct PendingPacket {
+    std::uint64_t ready_round = 0;
+    Packet packet;
+  };
+
   NodeId node_count_;
   RandomSource randomness_;
   RouteMode mode_;
   WireContext wire_ctx_;
   std::uint64_t route_invocations_ = 0;
+  std::vector<PendingPacket> pending_;
 };
 
 }  // namespace dmis

@@ -71,16 +71,21 @@ MisRun beeping_mis(const Graph& g, const BeepingOptions& options) {
   }
   BeepEngine engine(g, std::move(programs), DuplexMode::kFullDuplex,
                     options.threads);
+  engine.set_fault_plane(options.faults);
 
   // Analysis channel: one iteration = rounds {2t, 2t+1}; snapshots read the
   // programs' own state. Observers (auditor, trace) consume the events; the
   // algorithm itself is just the engine loop below.
   std::vector<char> alive;
   std::vector<int> p_exp;
+  std::vector<char> in_mis;
+  std::vector<char> decided;
   if (!options.observers.empty()) {
     for (RoundObserver* o : options.observers) engine.observers().attach(o);
     alive.assign(n, 1);
     p_exp.assign(n, 1);
+    in_mis.assign(n, 0);
+    decided.assign(n, 0);
     SimulationEngine::AnalysisProbe probe;
     probe.iteration_begin =
         [](std::uint64_t round) -> std::optional<std::uint64_t> {
@@ -92,12 +97,15 @@ MisRun beeping_mis(const Graph& g, const BeepingOptions& options) {
       if (round % 2 == 1) return round / 2;
       return std::nullopt;
     };
-    probe.snapshot = [&views, &alive, &p_exp, n](PhaseMarkerKind) {
+    probe.snapshot = [&views, &alive, &p_exp, &in_mis, &decided,
+                      n](PhaseMarkerKind) {
       for (NodeId v = 0; v < n; ++v) {
         alive[v] = views[v]->halted() ? 0 : 1;
         p_exp[v] = views[v]->p_exp();
+        in_mis[v] = views[v]->joined() ? 1 : 0;
+        decided[v] = views[v]->halted() ? 1 : 0;
       }
-      return MisAnalysisView{alive, p_exp, {}};
+      return MisAnalysisView{alive, p_exp, {}, in_mis, decided};
     };
     engine.set_analysis_probe(std::move(probe));
   }

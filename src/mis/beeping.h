@@ -18,6 +18,7 @@
 #include "graph/graph.h"
 #include "mis/common.h"
 #include "rng/random_source.h"
+#include "runtime/faults.h"
 #include "runtime/observer.h"
 
 namespace dmis {
@@ -30,6 +31,9 @@ struct BeepingOptions {
   /// Analysis-side observers (e.g. GoldenRoundAuditor, TraceRecorder) —
   /// attached to the engine, never part of the algorithm.
   std::vector<RoundObserver*> observers;
+  /// Optional fault plane (runtime/faults.h), attached to the engine's
+  /// wire-delivery choke point. Null or inactive: bit-identical to fault-free.
+  FaultPlane* faults = nullptr;
   /// Worker threads for node stepping; results are thread-count invariant.
   int threads = 1;
 };

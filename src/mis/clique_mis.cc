@@ -140,8 +140,25 @@ CliqueMisResult clique_mis(const Graph& g, const CliqueMisOptions& options) {
   if (n == 0) return result;
 
   CliqueNetwork net(n, options.randomness.fork(0xc11c), options.route_mode);
+  net.set_fault_plane(options.faults);
+  for (RoundObserver* o : options.observers) net.observers().attach(o);
   // Field widths for this run's phase messages: beep vectors are R bits.
   const WireContext ctx = WireContext::for_nodes(n, R);
+
+  // Retry policy (robustness under an active fault plane): a phase whose
+  // simulation is poisoned — a corrupted payload trips a typed decoder, a
+  // dropped gather packet loses the center's annotation, the replay/
+  // reconstruction cross-check fires — throws before any persistent state
+  // (alive, p_exp, run) is touched, so the phase can simply be re-executed.
+  // Retries draw a fresh per-phase seed stream (attempt 0 uses the original
+  // source, keeping fault-free runs bit-identical) and stay charged.
+  const bool retryable =
+      options.faults != nullptr && options.faults->active();
+  const auto on_phase_failure = [&](std::uint64_t attempt) {
+    if (!retryable || attempt >= options.max_phase_retries) throw;
+    net.note_phase_retry();
+    ++result.stats.phase_retries;
+  };
 
   std::uint64_t max_phases = options.max_phases;
   if (max_phases == 0) {
@@ -176,214 +193,241 @@ CliqueMisResult clique_mis(const Graph& g, const CliqueMisOptions& options) {
       record.live_at_start = live;
       record.alive_start.assign(alive.begin(), alive.end());
       record.p_exp_start.assign(p_exp.begin(), p_exp.end());
+      record.max_sampled_degree = 0;
     }
 
-    // --- Step 1: one clique round exchanging p_{t0}(v) over graph edges. ---
-    std::uint64_t directed_live_pairs = 0;
-    for (NodeId v = 0; v < n; ++v) {
-      if (alive[v] == 0) continue;
-      for (const NodeId u : g.neighbors(v)) {
-        if (alive[u] != 0) ++directed_live_pairs;
-      }
-    }
-    net.charge_neighborhood_round(WireMessageType::kSparsifiedOpener,
-                                  directed_live_pairs,
-                                  encoded_bits<SparsifiedOpenerMsg>(ctx));
-
-    for (NodeId v = 0; v < n; ++v) {
-      superheavy[v] = 0;
-      sampled[v] = 0;
-      committed[v] = 0;
-      sh_or[v] = 0;
-      realized[v] = 0;
-      join_iter[v] = kNeverDecided;
-      removed_iter[v] = kNeverDecided;
-      if (alive[v] == 0) continue;
-      double d0 = 0.0;
-      for (const NodeId u : g.neighbors(v)) {
-        if (alive[u] != 0) d0 += Pow2Prob(p_exp[u]).value();
-      }
-      superheavy[v] = (d0 >= superheavy_threshold) ? 1 : 0;
-      seeds[v] = sparsified_phase_seed(options.randomness, v, phase);
-    }
-
-    // --- Step 2: super-heavy nodes commit and send their beep vectors. ---
-    std::uint64_t sh_messages = 0;
-    for (NodeId v = 0; v < n; ++v) {
-      if (alive[v] == 0 || superheavy[v] == 0) continue;
-      int exp = p_exp[v];
-      for (int i = 0; i < R; ++i) {
-        if (Pow2Prob(exp).sample(sparsified_beep_word(seeds[v], i))) {
-          committed[v] |= (1ULL << i);
-        }
-        exp = Pow2Prob(exp).halved().neg_exp();
-      }
-      for (const NodeId u : g.neighbors(v)) {
-        if (alive[u] != 0) ++sh_messages;
-      }
-    }
-    net.charge_neighborhood_round(WireMessageType::kPhaseBeepVector,
-                                  sh_messages,
-                                  encoded_bits<PhaseBeepVectorMsg>(ctx));
-    for (NodeId v = 0; v < n; ++v) {
-      if (alive[v] == 0) continue;
-      for (const NodeId u : g.neighbors(v)) {
-        if (alive[u] != 0 && superheavy[u] != 0) sh_or[v] |= committed[u];
-      }
-    }
-
-    // --- Step 3: the sampled set S (locally decidable). ---
-    std::vector<NodeId> s_nodes;
-    for (NodeId v = 0; v < n; ++v) {
-      if (alive[v] == 0 || superheavy[v] != 0) continue;
-      const Pow2Prob p0(p_exp[v]);
-      for (int i = 0; i < R; ++i) {
-        if (p0.sample_boosted(sparsified_beep_word(seeds[v], i),
-                              prm.sample_boost)) {
-          sampled[v] = 1;
-          s_nodes.push_back(v);
-          break;
+    const auto run_phase = [&](const RandomSource& phase_rng) {
+      // --- Step 1: one clique round exchanging p_{t0}(v) over graph
+      // edges. ---
+      std::uint64_t directed_live_pairs = 0;
+      for (NodeId v = 0; v < n; ++v) {
+        if (alive[v] == 0) continue;
+        for (const NodeId u : g.neighbors(v)) {
+          if (alive[u] != 0) ++directed_live_pairs;
         }
       }
-    }
-    result.stats.max_sampled_size =
-        std::max<std::uint64_t>(result.stats.max_sampled_size, s_nodes.size());
+      net.charge_neighborhood_round(WireMessageType::kSparsifiedOpener,
+                                    directed_live_pairs,
+                                    encoded_bits<SparsifiedOpenerMsg>(ctx));
 
-    // --- Step 4: gather balls in the decorated graph G*[S]. ---
-    std::vector<PhaseReplayOutcome> outcomes(s_nodes.size());
-    if (!s_nodes.empty()) {
-      const InducedSubgraph sub = induced_subgraph(g, s_nodes);
-      AnnotationTable annotations(static_cast<NodeId>(s_nodes.size()),
-                                  kDecorationWords);
-      for (std::size_t i = 0; i < sub.to_parent.size(); ++i) {
-        const NodeId orig = sub.to_parent[i];
-        const DecorationWords words = encode_decoration(
-            {p_exp[orig], sh_or[orig], seeds[orig]});
-        std::copy(words.begin(), words.end(),
-                  annotations.row(static_cast<NodeId>(i)).begin());
-      }
-      const GatherResult gathered =
-          gather_balls(net, sub.graph, annotations, 2 * R);
-      result.stats.gather_rounds += gathered.stats.rounds;
-      result.stats.gather_packets += gathered.stats.packets;
-      result.stats.max_gather_source_load =
-          std::max(result.stats.max_gather_source_load,
-                   gathered.stats.max_source_load);
-      result.stats.max_gather_dest_load = std::max(
-          result.stats.max_gather_dest_load, gathered.stats.max_dest_load);
-
-      for (std::size_t i = 0; i < s_nodes.size(); ++i) {
-        const GatheredBall& ball = gathered.balls[i];
-        result.stats.max_ball_members = std::max<std::uint64_t>(
-            result.stats.max_ball_members, ball.members.size());
-        std::uint64_t deg_s = 0;
-        for (const NodeId u : g.neighbors(s_nodes[i])) {
-          if (sampled[u] != 0) ++deg_s;
+      for (NodeId v = 0; v < n; ++v) {
+        superheavy[v] = 0;
+        sampled[v] = 0;
+        committed[v] = 0;
+        sh_or[v] = 0;
+        realized[v] = 0;
+        join_iter[v] = kNeverDecided;
+        removed_iter[v] = kNeverDecided;
+        if (alive[v] == 0) continue;
+        double d0 = 0.0;
+        for (const NodeId u : g.neighbors(v)) {
+          if (alive[u] != 0) d0 += Pow2Prob(p_exp[u]).value();
         }
-        result.stats.max_sampled_degree =
-            std::max(result.stats.max_sampled_degree, deg_s);
-        if (tracing) {
-          record.max_sampled_degree =
-              std::max(record.max_sampled_degree, deg_s);
-        }
-        // --- Step 5: local replay (Lemma 2.13). ---
-        outcomes[i] = replay_phase_center(ball, prm);
+        superheavy[v] = (d0 >= superheavy_threshold) ? 1 : 0;
+        seeds[v] = sparsified_phase_seed(phase_rng, v, phase);
       }
-    }
 
-    // --- Step 6: S nodes broadcast realized beep vector + join iteration. ---
-    std::uint64_t s_messages = 0;
-    for (std::size_t i = 0; i < s_nodes.size(); ++i) {
-      const NodeId v = s_nodes[i];
-      realized[v] = outcomes[i].realized_beeps;
-      join_iter[v] = outcomes[i].join_iter;
-      for (const NodeId u : g.neighbors(v)) {
-        if (alive[u] != 0) ++s_messages;
-      }
-    }
-    net.charge_neighborhood_round(WireMessageType::kPhaseOutcome, s_messages,
-                                  encoded_bits<PhaseOutcomeMsg>(ctx));
-    // Super-heavy nodes realize exactly their committed vector (phase-commit
-    // semantics); recording it keeps the trace comparable with the direct
-    // run. It adds nothing to heard masks (already in sh_or).
-    for (NodeId v = 0; v < n; ++v) {
-      if (alive[v] != 0 && superheavy[v] != 0) realized[v] = committed[v];
-    }
-
-    // --- Local reconstruction: every node derives its own end-of-phase
-    // state from the received vectors. ---
-    for (NodeId v = 0; v < n; ++v) {
-      if (alive[v] == 0) continue;
-      // When does a neighbor join? (Joiners are S nodes.)
-      std::uint32_t first_neighbor_join = kNeverDecided;
-      std::uint64_t heard_mask = sh_or[v];
-      for (const NodeId u : g.neighbors(v)) {
-        if (alive[u] == 0) continue;
-        heard_mask |= realized[u];
-        first_neighbor_join = std::min(first_neighbor_join, join_iter[u]);
-      }
-      if (superheavy[v] != 0) {
-        // Forced halving all phase; removal (if any) at the phase boundary.
+      // --- Step 2: super-heavy nodes commit and send their beep
+      // vectors. ---
+      std::uint64_t sh_messages = 0;
+      for (NodeId v = 0; v < n; ++v) {
+        if (alive[v] == 0 || superheavy[v] == 0) continue;
         int exp = p_exp[v];
-        for (int i = 0; i < R; ++i) exp = Pow2Prob(exp).halved().neg_exp();
+        for (int i = 0; i < R; ++i) {
+          if (Pow2Prob(exp).sample(sparsified_beep_word(seeds[v], i))) {
+            committed[v] |= (1ULL << i);
+          }
+          exp = Pow2Prob(exp).halved().neg_exp();
+        }
+        for (const NodeId u : g.neighbors(v)) {
+          if (alive[u] != 0) ++sh_messages;
+        }
+      }
+      net.charge_neighborhood_round(WireMessageType::kPhaseBeepVector,
+                                    sh_messages,
+                                    encoded_bits<PhaseBeepVectorMsg>(ctx));
+      for (NodeId v = 0; v < n; ++v) {
+        if (alive[v] == 0) continue;
+        for (const NodeId u : g.neighbors(v)) {
+          if (alive[u] != 0 && superheavy[u] != 0) sh_or[v] |= committed[u];
+        }
+      }
+
+      // --- Step 3: the sampled set S (locally decidable). ---
+      std::vector<NodeId> s_nodes;
+      for (NodeId v = 0; v < n; ++v) {
+        if (alive[v] == 0 || superheavy[v] != 0) continue;
+        const Pow2Prob p0(p_exp[v]);
+        for (int i = 0; i < R; ++i) {
+          if (p0.sample_boosted(sparsified_beep_word(seeds[v], i),
+                                prm.sample_boost)) {
+            sampled[v] = 1;
+            s_nodes.push_back(v);
+            break;
+          }
+        }
+      }
+      result.stats.max_sampled_size = std::max<std::uint64_t>(
+          result.stats.max_sampled_size, s_nodes.size());
+
+      // --- Step 4: gather balls in the decorated graph G*[S]. ---
+      std::vector<PhaseReplayOutcome> outcomes(s_nodes.size());
+      if (!s_nodes.empty()) {
+        const InducedSubgraph sub = induced_subgraph(g, s_nodes);
+        AnnotationTable annotations(static_cast<NodeId>(s_nodes.size()),
+                                    kDecorationWords);
+        for (std::size_t i = 0; i < sub.to_parent.size(); ++i) {
+          const NodeId orig = sub.to_parent[i];
+          const DecorationWords words = encode_decoration(
+              {p_exp[orig], sh_or[orig], seeds[orig]});
+          std::copy(words.begin(), words.end(),
+                    annotations.row(static_cast<NodeId>(i)).begin());
+        }
+        const GatherResult gathered =
+            gather_balls(net, sub.graph, annotations, 2 * R);
+        result.stats.gather_rounds += gathered.stats.rounds;
+        result.stats.gather_packets += gathered.stats.packets;
+        result.stats.max_gather_source_load =
+            std::max(result.stats.max_gather_source_load,
+                     gathered.stats.max_source_load);
+        result.stats.max_gather_dest_load = std::max(
+            result.stats.max_gather_dest_load, gathered.stats.max_dest_load);
+
+        for (std::size_t i = 0; i < s_nodes.size(); ++i) {
+          const GatheredBall& ball = gathered.balls[i];
+          result.stats.max_ball_members = std::max<std::uint64_t>(
+              result.stats.max_ball_members, ball.members.size());
+          std::uint64_t deg_s = 0;
+          for (const NodeId u : g.neighbors(s_nodes[i])) {
+            if (sampled[u] != 0) ++deg_s;
+          }
+          result.stats.max_sampled_degree =
+              std::max(result.stats.max_sampled_degree, deg_s);
+          if (tracing) {
+            record.max_sampled_degree =
+                std::max(record.max_sampled_degree, deg_s);
+          }
+          // --- Step 5: local replay (Lemma 2.13). ---
+          outcomes[i] = replay_phase_center(ball, prm);
+        }
+      }
+
+      // --- Step 6: S nodes broadcast realized beep vector + join
+      // iteration. ---
+      std::uint64_t s_messages = 0;
+      for (std::size_t i = 0; i < s_nodes.size(); ++i) {
+        const NodeId v = s_nodes[i];
+        realized[v] = outcomes[i].realized_beeps;
+        join_iter[v] = outcomes[i].join_iter;
+        for (const NodeId u : g.neighbors(v)) {
+          if (alive[u] != 0) ++s_messages;
+        }
+      }
+      net.charge_neighborhood_round(WireMessageType::kPhaseOutcome,
+                                    s_messages,
+                                    encoded_bits<PhaseOutcomeMsg>(ctx));
+      // Super-heavy nodes realize exactly their committed vector
+      // (phase-commit semantics); recording it keeps the trace comparable
+      // with the direct run. It adds nothing to heard masks (already in
+      // sh_or).
+      for (NodeId v = 0; v < n; ++v) {
+        if (alive[v] != 0 && superheavy[v] != 0) realized[v] = committed[v];
+      }
+
+      // --- Local reconstruction: every node derives its own end-of-phase
+      // state from the received vectors. ---
+      for (NodeId v = 0; v < n; ++v) {
+        if (alive[v] == 0) continue;
+        // When does a neighbor join? (Joiners are S nodes.)
+        std::uint32_t first_neighbor_join = kNeverDecided;
+        std::uint64_t heard_mask = sh_or[v];
+        for (const NodeId u : g.neighbors(v)) {
+          if (alive[u] == 0) continue;
+          heard_mask |= realized[u];
+          first_neighbor_join = std::min(first_neighbor_join, join_iter[u]);
+        }
+        if (superheavy[v] != 0) {
+          // Forced halving all phase; removal (if any) at the phase
+          // boundary.
+          int exp = p_exp[v];
+          for (int i = 0; i < R; ++i) exp = Pow2Prob(exp).halved().neg_exp();
+          p_exp_end[v] = exp;
+          removed_iter[v] = first_neighbor_join;  // kNeverDecided if none
+          continue;
+        }
+        // Non-super-heavy: replay the p rule against the heard mask. The
+        // node freezes at the iteration it is removed (own join or neighbor
+        // join).
+        const std::uint32_t own_join = sampled[v] != 0 ? join_iter[v]
+                                                       : kNeverDecided;
+        const std::uint32_t frozen_at =
+            std::min(own_join, first_neighbor_join);
+        int exp = p_exp[v];
+        for (int i = 0; i < R; ++i) {
+          if (static_cast<std::uint32_t>(i) >= frozen_at) break;
+          const Pow2Prob p(exp);
+          const bool h = ((heard_mask >> i) & 1) != 0;
+          exp = (h ? p.halved() : p.doubled_capped()).neg_exp();
+        }
         p_exp_end[v] = exp;
-        removed_iter[v] = first_neighbor_join;  // kNeverDecided if none
-        continue;
+        removed_iter[v] = frozen_at;
+        if (sampled[v] != 0) {
+          // Cross-check the reconstruction against the ball replay.
+          const auto it =
+              std::lower_bound(s_nodes.begin(), s_nodes.end(), v);
+          const std::size_t i = static_cast<std::size_t>(it - s_nodes.begin());
+          DMIS_ASSERT(outcomes[i].removed_iter == frozen_at ||
+                          (!outcomes[i].removed && frozen_at == kNeverDecided),
+                      "replay/reconstruction removal mismatch at node " << v);
+          DMIS_ASSERT(frozen_at != kNeverDecided ||
+                          outcomes[i].p_exp_end == exp,
+                      "replay/reconstruction p mismatch at node " << v);
+        }
       }
-      // Non-super-heavy: replay the p rule against the heard mask. The node
-      // freezes at the iteration it is removed (own join or neighbor join).
-      const std::uint32_t own_join = sampled[v] != 0 ? join_iter[v]
-                                                     : kNeverDecided;
-      const std::uint32_t frozen_at = std::min(own_join, first_neighbor_join);
-      int exp = p_exp[v];
-      for (int i = 0; i < R; ++i) {
-        if (static_cast<std::uint32_t>(i) >= frozen_at) break;
-        const Pow2Prob p(exp);
-        const bool h = ((heard_mask >> i) & 1) != 0;
-        exp = (h ? p.halved() : p.doubled_capped()).neg_exp();
-      }
-      p_exp_end[v] = exp;
-      removed_iter[v] = frozen_at;
-      if (sampled[v] != 0) {
-        // Cross-check the reconstruction against the ball replay.
-        const auto it =
-            std::lower_bound(s_nodes.begin(), s_nodes.end(), v);
-        const std::size_t i = static_cast<std::size_t>(it - s_nodes.begin());
-        DMIS_ASSERT(outcomes[i].removed_iter == frozen_at ||
-                        (!outcomes[i].removed && frozen_at == kNeverDecided),
-                    "replay/reconstruction removal mismatch at node " << v);
-        DMIS_ASSERT(frozen_at != kNeverDecided ||
-                        outcomes[i].p_exp_end == exp,
-                    "replay/reconstruction p mismatch at node " << v);
-      }
-    }
 
-    // --- Apply the phase outcome. ---
-    for (NodeId v = 0; v < n; ++v) {
-      if (alive[v] == 0) continue;
-      // Dying nodes freeze their p at the removal point too, matching the
-      // direct run's persistent array (trace comparability across phases).
-      p_exp[v] = p_exp_end[v];
-      if (sampled[v] != 0 && join_iter[v] != kNeverDecided) {
-        run.in_mis[v] = 1;
-        run.decided_round[v] = static_cast<std::uint32_t>(t0 + join_iter[v]);
-        alive[v] = 0;
-        --live;
-      } else if (removed_iter[v] != kNeverDecided) {
-        run.decided_round[v] = static_cast<std::uint32_t>(t0 + removed_iter[v]);
-        alive[v] = 0;
-        --live;
+      // --- Apply the phase outcome. ---
+      for (NodeId v = 0; v < n; ++v) {
+        if (alive[v] == 0) continue;
+        // Dying nodes freeze their p at the removal point too, matching the
+        // direct run's persistent array (trace comparability across phases).
+        p_exp[v] = p_exp_end[v];
+        if (sampled[v] != 0 && join_iter[v] != kNeverDecided) {
+          run.in_mis[v] = 1;
+          run.decided_round[v] =
+              static_cast<std::uint32_t>(t0 + join_iter[v]);
+          alive[v] = 0;
+          --live;
+        } else if (removed_iter[v] != kNeverDecided) {
+          run.decided_round[v] =
+              static_cast<std::uint32_t>(t0 + removed_iter[v]);
+          alive[v] = 0;
+          --live;
+        }
       }
-    }
 
-    if (tracing) {
-      record.superheavy.assign(superheavy.begin(), superheavy.end());
-      record.sampled.assign(sampled.begin(), sampled.end());
-      record.realized_beeps.assign(realized.begin(), realized.end());
-      record.join_iter.assign(join_iter.begin(), join_iter.end());
-      record.removed_iter.assign(removed_iter.begin(), removed_iter.end());
-      record.p_exp_end.assign(p_exp_end.begin(), p_exp_end.end());
-      options.trace(record);
+      if (tracing) {
+        record.superheavy.assign(superheavy.begin(), superheavy.end());
+        record.sampled.assign(sampled.begin(), sampled.end());
+        record.realized_beeps.assign(realized.begin(), realized.end());
+        record.join_iter.assign(join_iter.begin(), join_iter.end());
+        record.removed_iter.assign(removed_iter.begin(), removed_iter.end());
+        record.p_exp_end.assign(p_exp_end.begin(), p_exp_end.end());
+        options.trace(record);
+      }
+    };
+
+    for (std::uint64_t attempt = 0;; ++attempt) {
+      const RandomSource phase_rng =
+          attempt == 0 ? options.randomness
+                       : options.randomness.fork(mix64(0x9e7f, phase, attempt));
+      try {
+        run_phase(phase_rng);
+        break;
+      } catch (const PreconditionError&) {
+        on_phase_failure(attempt);
+      } catch (const InvariantError&) {
+        on_phase_failure(attempt);
+      }
     }
   }
   result.stats.phases = phase;
@@ -392,11 +436,32 @@ CliqueMisResult clique_mis(const Graph& g, const CliqueMisOptions& options) {
   // guarantees it is small). ---
   const auto final_round =
       static_cast<std::uint32_t>(phase * static_cast<std::uint64_t>(R));
-  const CleanupStats cleanup = clique_leader_cleanup(
-      net, g, alive, run.in_mis, run.decided_round, final_round);
-  result.stats.residual_nodes = cleanup.residual_nodes;
-  result.stats.residual_edges = cleanup.residual_edges;
-  result.stats.cleanup_rounds = cleanup.rounds;
+  for (std::uint64_t attempt = 0;; ++attempt) {
+    // The cleanup mutates the result in place; snapshot so a poisoned
+    // cleanup (corrupted residual-edge decode) can be retried from the
+    // pre-cleanup state.
+    const std::vector<char> alive_before = alive;
+    const std::vector<char> in_mis_before = run.in_mis;
+    const std::vector<std::uint32_t> decided_before = run.decided_round;
+    try {
+      const CleanupStats cleanup = clique_leader_cleanup(
+          net, g, alive, run.in_mis, run.decided_round, final_round);
+      result.stats.residual_nodes = cleanup.residual_nodes;
+      result.stats.residual_edges = cleanup.residual_edges;
+      result.stats.cleanup_rounds = cleanup.rounds;
+      break;
+    } catch (const PreconditionError&) {
+      alive = alive_before;
+      run.in_mis = in_mis_before;
+      run.decided_round = decided_before;
+      on_phase_failure(attempt);
+    } catch (const InvariantError&) {
+      alive = alive_before;
+      run.in_mis = in_mis_before;
+      run.decided_round = decided_before;
+      on_phase_failure(attempt);
+    }
+  }
 
   run.costs = net.costs();
   run.rounds = run.costs.rounds;

@@ -51,10 +51,24 @@ struct CliqueMisOptions {
   /// Optional per-phase trace (same record type as the direct run, so the
   /// equivalence test can compare field by field).
   SparsifiedTraceSink trace;
+  /// Analysis-side observers, attached to the clique network.
+  std::vector<RoundObserver*> observers;
+  /// Optional fault plane attached to the clique's routing choke point
+  /// (runtime/faults.h). Null or inactive: bit-identical to fault-free.
+  FaultPlane* faults = nullptr;
+  /// Retry budget per phase (and for the cleanup) under an active fault
+  /// plane: a phase whose gather/replay is poisoned — a corrupted payload
+  /// trips a decoder, a dropped packet loses a ball's center annotation —
+  /// is re-executed with a fresh per-phase RNG stream, up to this many
+  /// times, before the failure propagates. Retried rounds stay charged
+  /// (re-execution is real communication); retries surface in
+  /// CostAccounting::retries and CliqueMisStats::phase_retries.
+  std::uint64_t max_phase_retries = 3;
 };
 
 struct CliqueMisStats {
   std::uint64_t phases = 0;
+  std::uint64_t phase_retries = 0;
   std::uint64_t gather_rounds = 0;
   std::uint64_t gather_packets = 0;
   std::uint64_t max_gather_source_load = 0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <optional>
 
 #include "rng/mix.h"
 #include "rng/pow2_prob.h"
@@ -62,6 +63,7 @@ class GhaffariProgram final : public CongestProgram {
   bool halted() const override { return halted_; }
   bool joined() const { return joined_ && halted_; }
   std::uint32_t decided_round() const { return decided_round_; }
+  int p_exp() const { return p_.neg_exp(); }
 
  private:
   // The probe's fields are context-free (flag + 7-bit exponent), so any
@@ -168,6 +170,40 @@ MisRun ghaffari_mis(const Graph& g, const GhaffariOptions& options) {
   }
   CongestEngine engine(g, std::move(programs), congest_bandwidth_bits(n),
                        options.threads);
+  engine.set_fault_plane(options.faults);
+  std::vector<char> alive;
+  std::vector<int> p_exp;
+  std::vector<char> in_mis;
+  std::vector<char> decided;
+  if (!options.observers.empty()) {
+    for (RoundObserver* o : options.observers) engine.observers().attach(o);
+    alive.assign(n, 1);
+    p_exp.assign(n, 1);
+    in_mis.assign(n, 0);
+    decided.assign(n, 0);
+    SimulationEngine::AnalysisProbe probe;
+    probe.iteration_begin =
+        [](std::uint64_t round) -> std::optional<std::uint64_t> {
+      if (round % 2 == 0) return round / 2;
+      return std::nullopt;
+    };
+    probe.iteration_end =
+        [](std::uint64_t round) -> std::optional<std::uint64_t> {
+      if (round % 2 == 1) return round / 2;
+      return std::nullopt;
+    };
+    probe.snapshot = [&views, &alive, &p_exp, &in_mis, &decided,
+                      n](PhaseMarkerKind) {
+      for (NodeId v = 0; v < n; ++v) {
+        alive[v] = views[v]->halted() ? 0 : 1;
+        p_exp[v] = views[v]->p_exp();
+        in_mis[v] = views[v]->joined() ? 1 : 0;
+        decided[v] = views[v]->halted() ? 1 : 0;
+      }
+      return MisAnalysisView{alive, p_exp, {}, in_mis, decided};
+    };
+    engine.set_analysis_probe(std::move(probe));
+  }
   engine.run(options.max_iterations * 2);
   MisRun run;
   run.in_mis.resize(n, 0);

@@ -17,10 +17,13 @@
 
 #include <cstdint>
 #include <span>
+#include <vector>
 
 #include "graph/graph.h"
 #include "mis/common.h"
 #include "rng/random_source.h"
+#include "runtime/faults.h"
+#include "runtime/observer.h"
 
 namespace dmis {
 
@@ -29,6 +32,10 @@ struct GhaffariOptions {
   /// Cap on iterations (each = 2 CONGEST rounds). The run stops early once
   /// all nodes decide. Set to C*log2(Δ) to study partial (shattering) runs.
   std::uint64_t max_iterations = 4096;
+  /// Analysis-side observers, attached to the engine.
+  std::vector<RoundObserver*> observers;
+  /// Optional fault plane attached to the CONGEST engine (runtime/faults.h).
+  FaultPlane* faults = nullptr;
   /// Worker threads for the engine's node fan-outs (results are identical
   /// at any thread count).
   int threads = 1;

@@ -1,6 +1,7 @@
 #include "mis/halfduplex_beeping.h"
 
 #include <memory>
+#include <optional>
 
 #include "rng/pow2_prob.h"
 #include "runtime/beeping.h"
@@ -117,9 +118,38 @@ MisRun halfduplex_beeping_mis(const Graph& g,
   }
   BeepEngine engine(g, std::move(programs), DuplexMode::kHalfDuplex,
                     options.threads);
-  for (RoundObserver* o : options.observers) engine.observers().attach(o);
+  engine.set_fault_plane(options.faults);
   const std::uint64_t len =
       2 + static_cast<std::uint64_t>(bits_for_range(n < 2 ? 2 : n));
+  std::vector<char> alive;
+  std::vector<char> in_mis;
+  std::vector<char> decided;
+  if (!options.observers.empty()) {
+    for (RoundObserver* o : options.observers) engine.observers().attach(o);
+    alive.assign(n, 1);
+    in_mis.assign(n, 0);
+    decided.assign(n, 0);
+    SimulationEngine::AnalysisProbe probe;
+    probe.iteration_begin =
+        [len](std::uint64_t round) -> std::optional<std::uint64_t> {
+      if (round % len == 0) return round / len;
+      return std::nullopt;
+    };
+    probe.iteration_end =
+        [len](std::uint64_t round) -> std::optional<std::uint64_t> {
+      if (round % len == len - 1) return round / len;
+      return std::nullopt;
+    };
+    probe.snapshot = [&views, &alive, &in_mis, &decided, n](PhaseMarkerKind) {
+      for (NodeId v = 0; v < n; ++v) {
+        alive[v] = views[v]->halted() ? 0 : 1;
+        in_mis[v] = (views[v]->joined() && views[v]->halted()) ? 1 : 0;
+        decided[v] = views[v]->halted() ? 1 : 0;
+      }
+      return MisAnalysisView{alive, {}, {}, in_mis, decided};
+    };
+    engine.set_analysis_probe(std::move(probe));
+  }
   engine.run(options.max_iterations * len);
   MisRun run;
   run.in_mis.resize(n, 0);

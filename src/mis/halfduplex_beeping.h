@@ -31,6 +31,7 @@
 #include "graph/graph.h"
 #include "mis/common.h"
 #include "rng/random_source.h"
+#include "runtime/faults.h"
 #include "runtime/observer.h"
 
 namespace dmis {
@@ -41,6 +42,8 @@ struct HalfDuplexBeepingOptions {
   std::uint64_t max_iterations = 8192;
   /// Analysis-side observers, attached to the engine.
   std::vector<RoundObserver*> observers;
+  /// Optional fault plane attached to the beep engine (runtime/faults.h).
+  FaultPlane* faults = nullptr;
   /// Worker threads for node stepping; results are thread-count invariant.
   int threads = 1;
 };

@@ -1,6 +1,7 @@
 #include "mis/luby.h"
 
 #include <memory>
+#include <optional>
 
 #include "runtime/congest.h"
 #include "util/bits.h"
@@ -85,8 +86,38 @@ MisRun luby_mis(const Graph& g, const LubyOptions& options) {
   }
   CongestEngine engine(g, std::move(programs), congest_bandwidth_bits(n),
                        options.threads);
+  engine.set_fault_plane(options.faults);
+  std::vector<char> alive;
+  std::vector<char> in_mis;
+  std::vector<char> decided;
+  if (!options.observers.empty()) {
+    for (RoundObserver* o : options.observers) engine.observers().attach(o);
+    alive.assign(n, 1);
+    in_mis.assign(n, 0);
+    decided.assign(n, 0);
+    SimulationEngine::AnalysisProbe probe;
+    probe.iteration_begin =
+        [](std::uint64_t round) -> std::optional<std::uint64_t> {
+      if (round % 2 == 0) return round / 2;
+      return std::nullopt;
+    };
+    probe.iteration_end =
+        [](std::uint64_t round) -> std::optional<std::uint64_t> {
+      if (round % 2 == 1) return round / 2;
+      return std::nullopt;
+    };
+    probe.snapshot = [&views, &alive, &in_mis, &decided, n](PhaseMarkerKind) {
+      for (NodeId v = 0; v < n; ++v) {
+        alive[v] = views[v]->halted() ? 0 : 1;
+        in_mis[v] = views[v]->joined() ? 1 : 0;
+        decided[v] = views[v]->halted() ? 1 : 0;
+      }
+      return MisAnalysisView{alive, {}, {}, in_mis, decided};
+    };
+    engine.set_analysis_probe(std::move(probe));
+  }
   engine.run(options.max_iterations * 2);
-  DMIS_ASSERT(engine.all_halted(),
+  DMIS_ASSERT(engine.fault_plane() != nullptr || engine.all_halted(),
               "Luby did not terminate within " << options.max_iterations
                                                << " iterations");
   MisRun run;

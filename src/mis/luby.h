@@ -10,10 +10,13 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "graph/graph.h"
 #include "mis/common.h"
 #include "rng/random_source.h"
+#include "runtime/faults.h"
+#include "runtime/observer.h"
 
 namespace dmis {
 
@@ -22,6 +25,12 @@ struct LubyOptions {
   /// Cap on iterations (each = 2 CONGEST rounds); default covers w.h.p.
   /// termination for any n in scope.
   std::uint64_t max_iterations = 4096;
+  /// Analysis-side observers, attached to the engine.
+  std::vector<RoundObserver*> observers;
+  /// Optional fault plane attached to the CONGEST engine (runtime/faults.h).
+  /// With an active plane the termination assertion is waived — crashed
+  /// nodes legitimately never decide.
+  FaultPlane* faults = nullptr;
   /// Worker threads for the engine's node fan-outs (results are identical
   /// at any thread count).
   int threads = 1;

@@ -1,0 +1,192 @@
+#include "mis/replay.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "mis/beeping.h"
+#include "mis/clique_mis.h"
+#include "mis/ghaffari.h"
+#include "mis/halfduplex_beeping.h"
+#include "mis/luby.h"
+#include "mis/sparsified.h"
+#include "mis/sparsified_congest.h"
+#include "util/check.h"
+
+namespace dmis {
+namespace {
+
+RecordedFailure failure_from_site(const char* kind, const char* what,
+                                  const FailureSite& site) {
+  RecordedFailure f;
+  f.kind = kind;
+  f.round = site.round >= 0 ? static_cast<std::uint64_t>(site.round) : 0;
+  f.node = site.node;
+  f.witness = -1;
+  std::string detail;
+  if (site.engine != nullptr) detail += site.engine;
+  if (site.message_type != nullptr) {
+    detail += detail.empty() ? "" : "/";
+    detail += site.message_type;
+  }
+  if (!detail.empty()) detail += ": ";
+  detail += what;
+  f.detail = std::move(detail);
+  return f;
+}
+
+RecordedFailure failure_from_violation(const InvariantViolation& v) {
+  RecordedFailure f;
+  f.kind = std::string("invariant:") + invariant_kind_name(v.kind);
+  f.round = v.round;
+  f.node = v.node == kInvalidNode ? -1 : static_cast<std::int64_t>(v.node);
+  f.witness =
+      v.witness == kInvalidNode ? -1 : static_cast<std::int64_t>(v.witness);
+  f.detail = v.detail;
+  return f;
+}
+
+}  // namespace
+
+const std::vector<std::string>& fault_algorithm_names() {
+  static const std::vector<std::string> names = {
+      "beeping", "halfduplex", "luby", "ghaffari", "congest", "clique"};
+  return names;
+}
+
+bool is_fault_algorithm(const std::string& name) {
+  const auto& names = fault_algorithm_names();
+  return std::find(names.begin(), names.end(), name) != names.end();
+}
+
+FaultRunResult run_algorithm_with_faults(const Graph& g,
+                                         const std::string& algorithm,
+                                         std::uint64_t seed, int threads,
+                                         const FaultSchedule& schedule,
+                                         std::uint64_t max_rounds) {
+  DMIS_CHECK(is_fault_algorithm(algorithm),
+             "unknown algorithm '" << algorithm
+                                   << "' (see fault_algorithm_names())");
+  FaultPlane plane(schedule);
+  InvariantAuditor auditor(g);
+  std::vector<RoundObserver*> observers = {&auditor};
+  const RandomSource rs(seed);
+
+  FaultRunResult out;
+  bool finished = false;
+  try {
+    if (algorithm == "beeping") {
+      BeepingOptions o;
+      o.randomness = rs;
+      if (max_rounds != 0) o.max_iterations = max_rounds;
+      o.observers = observers;
+      o.faults = &plane;
+      o.threads = threads;
+      out.run = beeping_mis(g, o);
+    } else if (algorithm == "halfduplex") {
+      HalfDuplexBeepingOptions o;
+      o.randomness = rs;
+      if (max_rounds != 0) o.max_iterations = max_rounds;
+      o.observers = observers;
+      o.faults = &plane;
+      o.threads = threads;
+      out.run = halfduplex_beeping_mis(g, o);
+    } else if (algorithm == "luby") {
+      LubyOptions o;
+      o.randomness = rs;
+      if (max_rounds != 0) o.max_iterations = max_rounds;
+      o.observers = observers;
+      o.faults = &plane;
+      o.threads = threads;
+      out.run = luby_mis(g, o);
+    } else if (algorithm == "ghaffari") {
+      GhaffariOptions o;
+      o.randomness = rs;
+      if (max_rounds != 0) o.max_iterations = max_rounds;
+      o.observers = observers;
+      o.faults = &plane;
+      o.threads = threads;
+      out.run = ghaffari_mis(g, o);
+    } else if (algorithm == "congest") {
+      SparsifiedOptions o;
+      o.params = SparsifiedParams::from_n(g.node_count());
+      o.randomness = rs;
+      if (max_rounds != 0) o.max_phases = max_rounds;
+      o.observers = observers;
+      o.faults = &plane;
+      o.threads = threads;
+      out.run = sparsified_congest_mis(g, o);
+    } else {  // "clique"
+      CliqueMisOptions o;
+      o.params = SparsifiedParams::from_n(g.node_count());
+      o.randomness = rs;
+      o.max_phases = max_rounds;  // 0 = derive from the graph
+      o.observers = observers;
+      o.faults = &plane;
+      CliqueMisResult r = clique_mis(g, o);
+      out.run = std::move(r.run);
+      out.retries = r.stats.phase_retries;
+    }
+    finished = true;
+  } catch (const PreconditionError& e) {
+    out.failure = failure_from_site("precondition", e.what(), e.site());
+  } catch (const InvariantError& e) {
+    out.failure = failure_from_site("assert", e.what(), e.site());
+  }
+
+  out.violations = auditor.violations();
+  out.total_violations = auditor.total_violations();
+  if (finished && !out.run.in_mis.empty()) {
+    // Final end-state audit: catches violations the per-iteration markers
+    // missed (e.g. the clique driver, which has no iteration markers).
+    std::vector<char> decided(out.run.decided_round.size(), 0);
+    for (std::size_t v = 0; v < decided.size(); ++v) {
+      decided[v] = out.run.decided_round[v] != kNeverDecided ? 1 : 0;
+    }
+    std::vector<InvariantViolation> final_violations = check_mis_invariants(
+        g, out.run.in_mis, decided, out.run.rounds);
+    out.total_violations += final_violations.size();
+    for (InvariantViolation& v : final_violations) {
+      out.violations.push_back(std::move(v));
+    }
+  }
+  if (out.failure.kind == "none" && !out.violations.empty()) {
+    out.failure = failure_from_violation(out.violations.front());
+  }
+  out.fault_stats = plane.stats();
+  return out;
+}
+
+ReproBundle make_repro_bundle(const Graph& g, const std::string& algorithm,
+                              std::uint64_t seed, int threads,
+                              std::uint64_t max_rounds,
+                              const FaultSchedule& schedule,
+                              const FaultRunResult& result) {
+  ReproBundle bundle;
+  bundle.algorithm = algorithm;
+  bundle.seed = seed;
+  bundle.threads = threads;
+  bundle.max_rounds = max_rounds;
+  bundle.schedule = schedule;
+  bundle.graph = g;
+  bundle.failure = result.failure;
+  return bundle;
+}
+
+bool failures_match(const RecordedFailure& a, const RecordedFailure& b) {
+  return a.kind == b.kind && a.round == b.round && a.node == b.node &&
+         a.witness == b.witness;
+}
+
+ReplayOutcome replay_bundle(const ReproBundle& bundle) {
+  ReplayOutcome outcome;
+  outcome.expected = bundle.failure;
+  outcome.result =
+      run_algorithm_with_faults(bundle.graph, bundle.algorithm, bundle.seed,
+                                bundle.threads, bundle.schedule,
+                                bundle.max_rounds);
+  outcome.observed = outcome.result.failure;
+  outcome.reproduced = failures_match(outcome.expected, outcome.observed);
+  return outcome;
+}
+
+}  // namespace dmis

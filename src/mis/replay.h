@@ -1,0 +1,81 @@
+// Fault-run driver and crash-bundle replay.
+//
+// One entry point runs any MIS algorithm of the suite under a FaultPlane
+// with an InvariantAuditor attached, turns whatever goes wrong — an auditor
+// violation, a PreconditionError from a poisoned decode, an InvariantError
+// from a broken internal cross-check — into the structured RecordedFailure
+// of runtime/repro.h, and packages the inputs as a ReproBundle. The inverse
+// direction, replay_bundle, re-runs a bundle and checks the recorded failure
+// reproduces; the determinism contract of runtime/faults.h makes this exact,
+// so `dmis_cli replay --bundle` and the CI regression gate are one function
+// call.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "mis/common.h"
+#include "runtime/faults.h"
+#include "runtime/invariant_auditor.h"
+#include "runtime/repro.h"
+
+namespace dmis {
+
+/// Algorithm registry names accepted by run_algorithm_with_faults (also the
+/// `algorithm:` values of a bundle): "beeping", "halfduplex", "luby",
+/// "ghaffari", "congest" (the sparsified CONGEST translation), "clique".
+const std::vector<std::string>& fault_algorithm_names();
+bool is_fault_algorithm(const std::string& name);
+
+struct FaultRunResult {
+  MisRun run;
+  /// Realized fault counts (thread-count invariant, like everything else).
+  FaultStats fault_stats;
+  /// Auditor violations observed during the run plus, when the run finished,
+  /// a final one-shot check of the end state.
+  std::vector<InvariantViolation> violations;
+  std::uint64_t total_violations = 0;
+  /// Clique phase retries (0 for the other algorithms).
+  std::uint64_t retries = 0;
+  /// The first failure, or kind "none" for a clean run.
+  RecordedFailure failure;
+
+  bool failed() const { return failure.kind != "none"; }
+};
+
+/// Runs `algorithm` on `g` under `schedule`. `max_rounds` caps the
+/// algorithm's own iteration/phase budget; 0 keeps its default. Throws
+/// PreconditionError for an unknown algorithm name; algorithm failures are
+/// *captured* in the result, never propagated.
+FaultRunResult run_algorithm_with_faults(const Graph& g,
+                                         const std::string& algorithm,
+                                         std::uint64_t seed, int threads,
+                                         const FaultSchedule& schedule,
+                                         std::uint64_t max_rounds = 0);
+
+/// Packages a finished fault run as a replayable bundle.
+ReproBundle make_repro_bundle(const Graph& g, const std::string& algorithm,
+                              std::uint64_t seed, int threads,
+                              std::uint64_t max_rounds,
+                              const FaultSchedule& schedule,
+                              const FaultRunResult& result);
+
+/// Field-wise failure equivalence: kind, round, node and witness must agree;
+/// `detail` is informational only (it may embed build-dependent text).
+bool failures_match(const RecordedFailure& a, const RecordedFailure& b);
+
+struct ReplayOutcome {
+  bool reproduced = false;
+  RecordedFailure expected;
+  RecordedFailure observed;
+  FaultRunResult result;
+};
+
+/// Re-runs a bundle and compares the observed failure against the recorded
+/// one (failures_match). A bundle recording "none" reproduces iff the rerun
+/// is also clean.
+ReplayOutcome replay_bundle(const ReproBundle& bundle);
+
+}  // namespace dmis

@@ -53,10 +53,18 @@ MisRun sparsified_mis(const Graph& g, const SparsifiedOptions& options) {
   // events itself: iteration markers carry the omniscient analysis view the
   // golden-round auditor consumes; round events give TraceRecorder
   // per-iteration cost deltas. All of it is skipped when unobserved.
+  DMIS_CHECK(options.faults == nullptr || !options.faults->active(),
+             "the direct sparsified runner has no wire to fault; use the "
+             "congest translation (sparsified_congest_mis)");
+
   ObserverRegistry obs;
   for (RoundObserver* o : options.observers) obs.attach(o);
   std::vector<char> alive_now;
-  if (!obs.empty()) alive_now.assign(n, 0);
+  std::vector<char> decided_now;
+  if (!obs.empty()) {
+    alive_now.assign(n, 0);
+    decided_now.assign(n, 0);
+  }
   const auto context = [&](std::uint64_t live_now) {
     RoundContext ctx;
     ctx.round = run.costs.rounds;
@@ -74,8 +82,13 @@ MisRun sparsified_mis(const Graph& g, const SparsifiedOptions& options) {
                          ? 1
                          : 0;
       live_now += alive_now[v];
+      decided_now[v] = (alive[v] == 0 || removed_mid[v] != 0 ||
+                        deferred_iter[v] != kNeverDecided)
+                           ? 1
+                           : 0;
     }
-    const MisAnalysisView view{alive_now, p_exp, superheavy};
+    const MisAnalysisView view{alive_now, p_exp, superheavy, run.in_mis,
+                               decided_now};
     RoundContext ctx = context(live_now);
     ctx.analysis = &view;
     obs.phase_marker({kind, iter}, ctx);

@@ -36,6 +36,7 @@
 #include "mis/common.h"
 #include "rng/mix.h"
 #include "rng/random_source.h"
+#include "runtime/faults.h"
 #include "runtime/observer.h"
 
 namespace dmis {
@@ -85,6 +86,10 @@ struct SparsifiedOptions {
   /// snapshots, per-iteration cost deltas); observers decide what to tally.
   std::vector<RoundObserver*> observers;
   SparsifiedTraceSink trace;  ///< invoked after every phase if set
+  /// Optional fault plane (runtime/faults.h). Only the congest translation
+  /// (sparsified_congest_mis) has a wire to fault; the direct lock-step
+  /// runner rejects an active plane.
+  FaultPlane* faults = nullptr;
   /// Worker threads for the per-node fan-outs (direct runner) or the engine
   /// (congest translation); results are thread-count invariant.
   int threads = 1;

@@ -155,6 +155,7 @@ MisRun sparsified_congest_mis(const Graph& g,
   }
   CongestEngine engine(g, std::move(programs), congest_bandwidth_bits(n),
                        options.threads);
+  engine.set_fault_plane(options.faults);
   const std::uint64_t phase_rounds = 1 + 2 * prm.phase_length;
 
   // Analysis channel: round `pos` within a phase is the opener (pos = 0),
@@ -165,11 +166,15 @@ MisRun sparsified_congest_mis(const Graph& g,
   std::vector<char> alive;
   std::vector<int> p_exp;
   std::vector<char> superheavy;
+  std::vector<char> in_mis;
+  std::vector<char> decided;
   if (!options.observers.empty()) {
     for (RoundObserver* o : options.observers) engine.observers().attach(o);
     alive.assign(n, 0);
     p_exp.assign(n, 1);
     superheavy.assign(n, 0);
+    in_mis.assign(n, 0);
+    decided.assign(n, 0);
     SimulationEngine::AnalysisProbe probe;
     const int R = prm.phase_length;
     probe.iteration_begin =
@@ -190,7 +195,7 @@ MisRun sparsified_congest_mis(const Graph& g,
       }
       return std::nullopt;
     };
-    probe.snapshot = [&views, &alive, &p_exp, &superheavy,
+    probe.snapshot = [&views, &alive, &p_exp, &superheavy, &in_mis, &decided,
                       n](PhaseMarkerKind kind) {
       // Phase-commit semantics: a deferred super-heavy node keeps beeping
       // until the phase boundary, so it is live at iteration begin but no
@@ -205,8 +210,13 @@ MisRun sparsified_congest_mis(const Graph& g,
                        : 0;
         p_exp[v] = prog.p_exp();
         superheavy[v] = prog.is_superheavy() ? 1 : 0;
+        in_mis[v] = prog.joined() ? 1 : 0;
+        decided[v] = (prog.halted() || prog.is_removed_mid() ||
+                      prog.is_deferred())
+                         ? 1
+                         : 0;
       }
-      return MisAnalysisView{alive, p_exp, superheavy};
+      return MisAnalysisView{alive, p_exp, superheavy, in_mis, decided};
     };
     engine.set_analysis_probe(std::move(probe));
   }

@@ -23,6 +23,7 @@ enum class RngStream : std::uint64_t {
   kGenerator = 4,     // graph generators
   kRouting = 5,       // Valiant intermediate choices
   kAux = 6,           // miscellaneous (tests, examples)
+  kFaults = 7,        // fault-plane drop/corrupt/delay decisions
 };
 
 class RandomSource {

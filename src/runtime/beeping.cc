@@ -12,7 +12,8 @@ BeepEngine::BeepEngine(const Graph& graph,
       mode_(mode),
       pool_(threads),
       beeped_(graph.node_count(), 0),
-      lane_beeps_(static_cast<std::size_t>(pool_.thread_count()), 0) {
+      lane_beeps_(static_cast<std::size_t>(pool_.thread_count()), 0),
+      lane_faults_(static_cast<std::size_t>(pool_.thread_count())) {
   DMIS_CHECK(programs_.size() == graph_.node_count(),
              "program count " << programs_.size() << " != node count "
                               << graph_.node_count());
@@ -25,17 +26,23 @@ bool BeepEngine::step() {
   if (all_halted()) return false;
   emit_round_begin();
   const NodeId n = graph_.node_count();
+  const FaultPlane* faults = faults_;
 
-  // Act phase: each node decides beep/listen into its own slot.
+  // Act phase: each node decides beep/listen into its own slot. A downed
+  // node (crashed/stalled by the fault plane) neither acts nor beeps.
   pool_.parallel_for(n, [&](std::size_t begin, std::size_t end, int lane) {
+    CheckScope scope("beep.act");
+    CheckScope::set_round(round_);
     std::uint64_t local_beeps = 0;
     for (std::size_t i = begin; i < end; ++i) {
       const NodeId v = static_cast<NodeId>(i);
       BeepProgram& prog = *programs_[v];
-      if (prog.halted()) {
+      if (prog.halted() ||
+          (faults != nullptr && faults->node_down(v, round_))) {
         beeped_[v] = 0;
         continue;
       }
+      CheckScope::set_node(v);
       const BeepAction a = prog.act(round_);
       beeped_[v] = (a == BeepAction::kBeep) ? 1 : 0;
       if (beeped_[v] != 0) ++local_beeps;
@@ -52,25 +59,51 @@ bool BeepEngine::step() {
   emit_wire(WireMessageType::kBeep, beeps, beeps);
 
   // Feedback barrier: the beep mask is frozen; each node scans its
-  // neighborhood independently.
-  pool_.parallel_for(n, [&](std::size_t begin, std::size_t end, int) {
+  // neighborhood independently. The fault plane acts per (beeper, listener)
+  // edge: a drop decision silences that one edge, and a corrupt decision on
+  // the listener's self-coordinate flips its carrier sense (a phantom beep
+  // or a masked one) — both pure functions of (round, src, dst), so the
+  // outcome is identical at any thread count.
+  pool_.parallel_for(n, [&](std::size_t begin, std::size_t end, int lane) {
+    CheckScope scope("beep.feedback");
+    CheckScope::set_round(round_);
+    FaultStats& local_faults = lane_faults_[static_cast<std::size_t>(lane)];
     for (std::size_t i = begin; i < end; ++i) {
       const NodeId v = static_cast<NodeId>(i);
       BeepProgram& prog = *programs_[v];
       if (prog.halted()) continue;
+      if (faults != nullptr && faults->node_down(v, round_)) continue;
+      CheckScope::set_node(v);
       bool heard = false;
       // Half duplex: a beeping node cannot carrier-sense its neighbors.
       if (mode_ == DuplexMode::kFullDuplex || beeped_[v] == 0) {
         for (const NodeId u : graph_.neighbors(v)) {
-          if (beeped_[u] != 0) {
-            heard = true;
-            break;
+          if (beeped_[u] == 0) continue;
+          if (faults != nullptr &&
+              faults->on_message(round_, u, v, 0).drop) {
+            ++local_faults.dropped;
+            continue;
           }
+          heard = true;
+          break;
         }
+      }
+      if (faults != nullptr && faults->on_message(round_, v, v, 0).corrupt) {
+        heard = !heard;
+        ++local_faults.corrupted;
       }
       prog.feedback(round_, heard);
     }
   });
+  if (faults_ != nullptr) {
+    FaultStats realized;
+    for (FaultStats& local : lane_faults_) {
+      realized += local;
+      local = FaultStats{};
+    }
+    faults_->record(realized);
+    tally_node_downtime(round_, n);
+  }
 
   const std::uint64_t finished = round_;
   ++round_;

@@ -64,6 +64,7 @@ class BeepEngine final : public SimulationEngine {
   WorkerPool pool_;
   std::vector<char> beeped_;  // scratch
   std::vector<std::uint64_t> lane_beeps_;
+  std::vector<FaultStats> lane_faults_;
 };
 
 }  // namespace dmis

@@ -15,7 +15,8 @@ CongestEngine::CongestEngine(
       pool_(threads),
       outboxes_(graph.node_count(), pool_.thread_count()),
       inboxes_(graph.node_count(), pool_.thread_count()),
-      lane_costs_(static_cast<std::size_t>(pool_.thread_count())) {
+      lane_costs_(static_cast<std::size_t>(pool_.thread_count())),
+      lane_faults_(static_cast<std::size_t>(pool_.thread_count())) {
   DMIS_CHECK(programs_.size() == graph_.node_count(),
              "program count " << programs_.size() << " != node count "
                               << graph_.node_count());
@@ -29,17 +30,24 @@ bool CongestEngine::step() {
   if (all_halted()) return false;
   emit_round_begin();
   const NodeId n = graph_.node_count();
+  const FaultPlane* faults = faults_;
+  if (faults != nullptr && delayed_.empty()) delayed_.resize(n);
 
   // Send phase: every live node fills its slot in the outbox arena through
   // a typed outbox; the model's bandwidth and neighbor constraints are
-  // validated there, per message, at the encode choke point.
+  // validated there, per message, at the encode choke point. A node the
+  // fault plane marks down (crashed/stalled) executes nothing this round.
   outboxes_.begin_round();
   pool_.parallel_for(n, [&](std::size_t begin, std::size_t end, int lane) {
+    CheckScope scope("congest.send");
+    CheckScope::set_round(round_);
     for (std::size_t i = begin; i < end; ++i) {
       const NodeId v = static_cast<NodeId>(i);
       outboxes_.open(lane, i);
       CongestProgram& prog = *programs_[v];
       if (prog.halted()) continue;
+      if (faults != nullptr && faults->node_down(v, round_)) continue;
+      CheckScope::set_node(v);
       CongestOutbox out(outboxes_, v, graph_, bandwidth_bits_, wire_ctx_);
       prog.send(round_, out);
     }
@@ -47,22 +55,80 @@ bool CongestEngine::step() {
 
   // Delivery barrier: each live destination gathers from its neighbors'
   // outbox slots in neighbor (= ascending sender id) order, which matches
-  // the sequential sender-order delivery exactly. Message/bit counts
-  // accumulate per lane/type and reduce in lane order below.
+  // the sequential sender-order delivery exactly. The fault plane is
+  // consulted here, at the single wire choke point: decisions are pure
+  // functions of (round, src, dst, outbox index), so drops/corruptions/
+  // duplicates/delays are bit-identical at any thread count. Message/bit
+  // counts accumulate per lane/type and reduce in lane order below.
   inboxes_.begin_round();
   pool_.parallel_for(n, [&](std::size_t begin, std::size_t end, int lane) {
+    CheckScope scope("congest.deliver");
+    CheckScope::set_round(round_);
     CostAccounting& local = lane_costs_[static_cast<std::size_t>(lane)];
+    FaultStats& local_faults = lane_faults_[static_cast<std::size_t>(lane)];
     for (std::size_t i = begin; i < end; ++i) {
       const NodeId u = static_cast<NodeId>(i);
       inboxes_.open(lane, i);
-      if (programs_[u]->halted()) continue;
+      const bool receiver_up =
+          !programs_[u]->halted() &&
+          (faults == nullptr || !faults->node_down(u, round_));
+      CheckScope::set_node(u);
+      if (faults != nullptr && !delayed_[u].empty()) {
+        // Matured delayed messages arrive first, in the order they were
+        // held back (per-destination queue: single writer, deterministic).
+        auto& queue = delayed_[u];
+        std::size_t kept = 0;
+        for (DelayedMessage& d : queue) {
+          if (d.deliver_round > round_) {
+            queue[kept++] = d;
+            continue;
+          }
+          if (receiver_up) {
+            inboxes_.append(u, d.msg);
+            local.add_messages(d.msg.type, 1,
+                               static_cast<std::uint64_t>(d.msg.bits));
+          }
+        }
+        queue.resize(kept);
+      }
+      if (!receiver_up) continue;
       for (const NodeId v : graph_.neighbors(u)) {
         if (programs_[v]->halted()) continue;
+        std::uint64_t salt = 0;
         for (const auto& msg : outboxes_.of(v)) {
-          if (msg.dst == CongestProgram::kAllNeighbors || msg.dst == u) {
-            inboxes_.append(u, {v, msg.payload, msg.bits, msg.type});
-            local.add_messages(msg.type, 1,
-                               static_cast<std::uint64_t>(msg.bits));
+          const std::uint64_t this_salt = salt++;
+          if (msg.dst != CongestProgram::kAllNeighbors && msg.dst != u) {
+            continue;
+          }
+          CongestMessage delivered{v, msg.payload, msg.bits, msg.type};
+          int copies = 1;
+          if (faults != nullptr) {
+            const FaultDecision d =
+                faults->on_message(round_, v, u, this_salt);
+            if (d.drop) {
+              ++local_faults.dropped;
+              continue;
+            }
+            if (d.corrupt && msg.bits >= 1) {
+              const int bit =
+                  faults->corrupt_bit(round_, v, u, this_salt, msg.bits);
+              FaultPlane::corrupt_word(delivered.payload, bit);
+              ++local_faults.corrupted;
+            }
+            if (d.duplicate) {
+              copies = 2;
+              ++local_faults.duplicated;
+            }
+            if (d.delay > 0) {
+              ++local_faults.delayed;
+              delayed_[u].push_back({round_ + d.delay, delivered});
+              continue;
+            }
+          }
+          for (int c = 0; c < copies; ++c) {
+            inboxes_.append(u, delivered);
+            local.add_messages(delivered.type, 1,
+                               static_cast<std::uint64_t>(delivered.bits));
           }
         }
       }
@@ -84,6 +150,15 @@ bool CongestEngine::step() {
     costs_.add_messages(static_cast<WireMessageType>(t),
                         delivered[t].messages, delivered[t].bits);
   }
+  if (faults_ != nullptr) {
+    FaultStats realized;
+    for (FaultStats& local : lane_faults_) {
+      realized += local;
+      local = FaultStats{};
+    }
+    faults_->record(realized);
+    tally_node_downtime(round_, n);
+  }
   emit_messages(delivered_messages, delivered_bits);
   for (std::size_t t = 0; t < delivered.size(); ++t) {
     emit_wire(static_cast<WireMessageType>(t), delivered[t].messages,
@@ -92,10 +167,15 @@ bool CongestEngine::step() {
 
   // Receive phase.
   pool_.parallel_for(n, [&](std::size_t begin, std::size_t end, int) {
+    CheckScope scope("congest.receive");
+    CheckScope::set_round(round_);
     for (std::size_t i = begin; i < end; ++i) {
       const NodeId v = static_cast<NodeId>(i);
       CongestProgram& prog = *programs_[v];
-      if (!prog.halted()) prog.receive(round_, inboxes_.of(i));
+      if (prog.halted()) continue;
+      if (faults != nullptr && faults->node_down(v, round_)) continue;
+      CheckScope::set_node(v);
+      prog.receive(round_, inboxes_.of(i));
     }
   });
 

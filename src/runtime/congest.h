@@ -153,6 +153,13 @@ class CongestEngine final : public SimulationEngine {
   const WireContext& wire_context() const { return wire_ctx_; }
 
  private:
+  /// A message held back by a fault-plane delay decision, delivered to its
+  /// destination once `deliver_round` arrives.
+  struct DelayedMessage {
+    std::uint64_t deliver_round = 0;
+    CongestMessage msg;
+  };
+
   const Graph& graph_;
   std::vector<std::unique_ptr<CongestProgram>> programs_;
   int bandwidth_bits_;
@@ -162,6 +169,10 @@ class CongestEngine final : public SimulationEngine {
   DeliveryArena<CongestProgram::Outgoing> outboxes_;
   DeliveryArena<CongestMessage> inboxes_;
   std::vector<CostAccounting> lane_costs_;
+  // Fault-plane state: per-destination delay queues (each written only by
+  // its destination's lane) and per-lane realized-fault tallies.
+  std::vector<std::vector<DelayedMessage>> delayed_;
+  std::vector<FaultStats> lane_faults_;
 };
 
 }  // namespace dmis

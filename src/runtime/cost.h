@@ -33,6 +33,7 @@ struct CostAccounting {
   std::uint64_t messages = 0;  ///< point-to-point messages delivered
   std::uint64_t bits = 0;      ///< total payload bits delivered (exact)
   std::uint64_t beeps = 0;     ///< beeping model: number of beep events
+  std::uint64_t retries = 0;   ///< phase re-executions under faults (E19)
   /// Per-message-type breakdown. Point-to-point deliveries keep
   /// sum(by_type[...].messages over non-beep types) == messages; beep events
   /// are tallied under kBeep (1 bit each) but are carrier bursts, not
@@ -69,6 +70,7 @@ struct CostAccounting {
     messages += other.messages;
     bits += other.bits;
     beeps += other.beeps;
+    retries += other.retries;
     for (std::size_t i = 0; i < by_type.size(); ++i) {
       by_type[i] += other.by_type[i];
     }

@@ -23,6 +23,7 @@
 #include <optional>
 
 #include "runtime/cost.h"
+#include "runtime/faults.h"
 #include "runtime/observer.h"
 
 namespace dmis {
@@ -30,6 +31,15 @@ namespace dmis {
 class SimulationEngine {
  public:
   virtual ~SimulationEngine() = default;
+
+  /// Attaches a fault plane (runtime/faults.h), consulted at the engine's
+  /// wire-delivery choke point. Borrowed, never owned; must outlive the
+  /// engine or be detached (nullptr) first. An inactive (null-schedule)
+  /// plane is ignored entirely, so attaching one cannot perturb a run.
+  void set_fault_plane(FaultPlane* plane) {
+    faults_ = (plane != nullptr && plane->active()) ? plane : nullptr;
+  }
+  FaultPlane* fault_plane() const { return faults_; }
 
   /// Executes one synchronous round. Returns false once every participant
   /// has halted (in which case nothing is executed or charged).
@@ -139,8 +149,23 @@ class SimulationEngine {
     }
   }
 
+  /// Charges the downed-node rounds of `round` to the plane's stats (call
+  /// from a single-threaded section; no-op without an active plane with
+  /// node faults).
+  void tally_node_downtime(std::uint64_t round, std::uint64_t node_count) {
+    if (faults_ == nullptr || !faults_->has_node_faults()) return;
+    FaultStats delta;
+    for (std::uint64_t v = 0; v < node_count; ++v) {
+      if (faults_->node_down(static_cast<NodeId>(v), round)) {
+        ++delta.node_down_rounds;
+      }
+    }
+    faults_->record(delta);
+  }
+
   CostAccounting costs_;
   ObserverRegistry observers_;
+  FaultPlane* faults_ = nullptr;
   std::uint64_t round_ = 0;
 
  private:

@@ -1,0 +1,102 @@
+#include "runtime/faults.h"
+
+#include "rng/mix.h"
+#include "util/check.h"
+
+namespace dmis {
+namespace {
+
+constexpr double to_unit(std::uint64_t word) {
+  return static_cast<double>(word >> 11) * 0x1.0p-53;
+}
+
+void validate_rate(double rate, const char* name) {
+  DMIS_CHECK(rate >= 0.0 && rate <= 1.0,
+             "fault rate '" << name << "' = " << rate << " outside [0, 1]");
+}
+
+}  // namespace
+
+FaultPlane::FaultPlane(FaultSchedule schedule)
+    : schedule_(std::move(schedule)), rng_(mix64(schedule_.seed, 0xFA17)) {
+  validate_rate(schedule_.drop_rate, "drop");
+  validate_rate(schedule_.corrupt_rate, "corrupt");
+  validate_rate(schedule_.duplicate_rate, "duplicate");
+  validate_rate(schedule_.delay_rate, "delay");
+  DMIS_CHECK(schedule_.delay_rounds >= 1,
+             "delay_rounds must be >= 1, got " << schedule_.delay_rounds);
+  for (const NodeFaultSpec& f : schedule_.node_faults) {
+    DMIS_CHECK(f.node != kInvalidNode, "node fault without a node");
+  }
+  message_faults_ = schedule_.drop_rate > 0.0 ||
+                    schedule_.corrupt_rate > 0.0 ||
+                    schedule_.duplicate_rate > 0.0 ||
+                    schedule_.delay_rate > 0.0;
+  active_ = !schedule_.empty();
+}
+
+std::uint64_t FaultPlane::decision_word(std::uint64_t round, NodeId src,
+                                        NodeId dst, std::uint64_t salt) const {
+  // One word per message coordinate; sub-decisions re-mix it with distinct
+  // tweaks so drop/corrupt/duplicate/delay draws are independent.
+  const std::uint64_t pair =
+      (static_cast<std::uint64_t>(src) << 32) | static_cast<std::uint64_t>(dst);
+  return rng_.word(RngStream::kFaults, pair, mix64(round, salt));
+}
+
+FaultDecision FaultPlane::on_message(std::uint64_t round, NodeId src,
+                                     NodeId dst, std::uint64_t salt) const {
+  FaultDecision d;
+  if (!message_faults_) return d;
+  const std::uint64_t w = decision_word(round, src, dst, salt);
+  if (schedule_.drop_rate > 0.0 &&
+      to_unit(mix64(w, 1)) < schedule_.drop_rate) {
+    d.drop = true;
+    return d;  // a dropped message cannot also be corrupted/duplicated
+  }
+  if (schedule_.corrupt_rate > 0.0 &&
+      to_unit(mix64(w, 2)) < schedule_.corrupt_rate) {
+    d.corrupt = true;
+    return d;
+  }
+  if (schedule_.duplicate_rate > 0.0 &&
+      to_unit(mix64(w, 3)) < schedule_.duplicate_rate) {
+    d.duplicate = true;
+    return d;
+  }
+  if (schedule_.delay_rate > 0.0 &&
+      to_unit(mix64(w, 4)) < schedule_.delay_rate) {
+    d.delay = schedule_.delay_rounds;
+  }
+  return d;
+}
+
+int FaultPlane::corrupt_bit(std::uint64_t round, NodeId src, NodeId dst,
+                            std::uint64_t salt, int bits) const {
+  DMIS_CHECK(bits >= 1, "cannot corrupt a 0-bit payload");
+  const std::uint64_t w = decision_word(round, src, dst, salt);
+  return static_cast<int>(mix64(w, 5) % static_cast<std::uint64_t>(bits));
+}
+
+bool FaultPlane::node_down(NodeId node, std::uint64_t round) const {
+  for (const NodeFaultSpec& f : schedule_.node_faults) {
+    if (f.node != node || round < f.round) continue;
+    if (f.duration == 0) return true;  // crash: down forever
+    if (round < f.round + f.duration) return true;
+  }
+  return false;
+}
+
+void FaultPlane::corrupt_word(std::uint64_t& word, int bit) {
+  DMIS_CHECK(bit >= 0 && bit < 64, "corrupt bit " << bit << " outside word");
+  word ^= std::uint64_t{1} << bit;
+}
+
+void FaultPlane::corrupt_payload(WirePayload& payload, int bit) {
+  DMIS_CHECK(bit >= 0 && bit < payload.bits,
+             "corrupt bit " << bit << " outside payload of " << payload.bits
+                            << " bits");
+  corrupt_word(payload.words[static_cast<std::size_t>(bit / 64)], bit % 64);
+}
+
+}  // namespace dmis

@@ -1,0 +1,139 @@
+// Deterministic fault plane of the simulation runtime.
+//
+// The paper's guarantees (Theorem 1.1, the shattering analysis of §2.2) are
+// proved for a fault-free synchronous model. To measure how the reproduction
+// degrades when that assumption breaks, failure is made a first-class,
+// seeded *input*: a FaultPlane is consulted by every engine (CONGEST,
+// beeping, congested clique) at its wire-delivery choke point and decides,
+// per message, whether to deliver, drop, bit-corrupt, duplicate, or delay it
+// — and, per node, whether the node is crashed or stalled this round.
+//
+// Determinism contract (extends runtime/parallel.h): every decision is a
+// pure function of (schedule seed, round, src, dst, salt) through the
+// counter RNG — never of thread interleaving or evaluation order — so a
+// seeded fault schedule yields bit-identical executions at any --threads
+// count, and a recorded schedule replays a failure exactly (runtime/repro.h).
+//
+// Corrupted payloads flow into the typed decoders of wire/codec.h, so
+// range-validated fields fail loudly (PreconditionError with a FailureSite)
+// instead of being truncated into valid values; corruptions that land on
+// value bits without redundancy decode as a *different valid* message — the
+// realistic silent-corruption case the invariant auditor exists to catch.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "rng/random_source.h"
+#include "wire/codec.h"
+
+namespace dmis {
+
+/// A scheduled whole-node fault: from `round` on, the node neither sends nor
+/// receives for `duration` rounds (duration 0 = crash: down forever).
+struct NodeFaultSpec {
+  NodeId node = kInvalidNode;
+  std::uint64_t round = 0;
+  std::uint64_t duration = 0;  ///< 0 = crash (permanent)
+
+  friend bool operator==(const NodeFaultSpec&, const NodeFaultSpec&) = default;
+};
+
+/// The declarative fault schedule: per-message fault rates, the delay depth,
+/// scheduled node faults, and the seed the per-message coin flips derive
+/// from. A default-constructed schedule is the null plane (no faults).
+struct FaultSchedule {
+  std::uint64_t seed = 0;
+  double drop_rate = 0.0;       ///< message vanishes
+  double corrupt_rate = 0.0;    ///< one payload bit flips
+  double duplicate_rate = 0.0;  ///< message delivered twice
+  double delay_rate = 0.0;      ///< message arrives `delay_rounds` late
+  std::uint64_t delay_rounds = 1;
+  std::vector<NodeFaultSpec> node_faults;
+
+  bool empty() const {
+    return drop_rate == 0.0 && corrupt_rate == 0.0 && duplicate_rate == 0.0 &&
+           delay_rate == 0.0 && node_faults.empty();
+  }
+  friend bool operator==(const FaultSchedule&, const FaultSchedule&) = default;
+};
+
+/// Realized fault counts, tallied by the engines (per-lane partials reduced
+/// at barriers, so counts too are thread-count invariant).
+struct FaultStats {
+  std::uint64_t dropped = 0;
+  std::uint64_t corrupted = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t delayed = 0;
+  std::uint64_t node_down_rounds = 0;  ///< live-node rounds lost to crash/stall
+
+  FaultStats& operator+=(const FaultStats& o) {
+    dropped += o.dropped;
+    corrupted += o.corrupted;
+    duplicated += o.duplicated;
+    delayed += o.delayed;
+    node_down_rounds += o.node_down_rounds;
+    return *this;
+  }
+  friend bool operator==(const FaultStats&, const FaultStats&) = default;
+};
+
+/// What the plane decided for one message. Drop excludes the others; the
+/// remaining three are sampled independently but at most one fires per
+/// message (corrupt > duplicate > delay precedence keeps semantics simple).
+struct FaultDecision {
+  bool drop = false;
+  bool corrupt = false;
+  bool duplicate = false;
+  std::uint64_t delay = 0;  ///< > 0: hold the message back this many rounds
+
+  bool clean() const { return !drop && !corrupt && !duplicate && delay == 0; }
+};
+
+class FaultPlane {
+ public:
+  explicit FaultPlane(FaultSchedule schedule);
+
+  const FaultSchedule& schedule() const { return schedule_; }
+  /// False for a null schedule: engines skip every fault branch, keeping the
+  /// execution bit-identical to a run with no plane attached.
+  bool active() const { return active_; }
+
+  /// The per-message decision — a pure function of its arguments (plus the
+  /// schedule seed). `salt` disambiguates multiple messages on the same
+  /// (round, src, dst) coordinate: engines pass a deterministic per-message
+  /// ordinal (outbox index, packet index).
+  FaultDecision on_message(std::uint64_t round, NodeId src, NodeId dst,
+                           std::uint64_t salt) const;
+
+  /// Bit index in [0, bits) to flip for a corrupt decision (pure function).
+  int corrupt_bit(std::uint64_t round, NodeId src, NodeId dst,
+                  std::uint64_t salt, int bits) const;
+
+  /// Is `node` crashed or mid-stall in `round`?
+  bool node_down(NodeId node, std::uint64_t round) const;
+  bool has_node_faults() const { return !schedule_.node_faults.empty(); }
+
+  /// Engines report realized faults here from single-threaded sections only
+  /// (lane partials are reduced first).
+  void record(const FaultStats& delta) { stats_ += delta; }
+  const FaultStats& stats() const { return stats_; }
+
+  /// Flips `bit` of the significant payload bits — the corruption primitive
+  /// shared by all engines and the corruption tests.
+  static void corrupt_payload(WirePayload& payload, int bit);
+  static void corrupt_word(std::uint64_t& word, int bit);
+
+ private:
+  std::uint64_t decision_word(std::uint64_t round, NodeId src, NodeId dst,
+                              std::uint64_t salt) const;
+
+  FaultSchedule schedule_;
+  RandomSource rng_;
+  bool active_ = false;
+  bool message_faults_ = false;
+  FaultStats stats_;
+};
+
+}  // namespace dmis

@@ -1,0 +1,114 @@
+#include "runtime/invariant_auditor.h"
+
+#include <sstream>
+
+#include "util/check.h"
+
+namespace dmis {
+
+const char* invariant_kind_name(InvariantKind kind) {
+  switch (kind) {
+    case InvariantKind::kIndependence:
+      return "independence";
+    case InvariantKind::kDomination:
+      return "domination";
+    case InvariantKind::kMonotonicity:
+      return "monotonicity";
+  }
+  return "unknown";
+}
+
+std::vector<InvariantViolation> check_mis_invariants(
+    const Graph& g, std::span<const char> in_mis, std::span<const char> decided,
+    std::uint64_t round, std::size_t cap) {
+  std::vector<InvariantViolation> out;
+  const NodeId n = g.node_count();
+  auto emit = [&](InvariantKind kind, NodeId node, NodeId witness,
+                  std::string detail) {
+    if (out.size() >= cap) return;
+    out.push_back({kind, round, 0, node, witness, std::move(detail)});
+  };
+  if (in_mis.size() == static_cast<std::size_t>(n)) {
+    // Independence: scan each node's neighbors above it (each edge once).
+    for (NodeId v = 0; v < n; ++v) {
+      if (in_mis[v] == 0) continue;
+      for (const NodeId u : g.neighbors(v)) {
+        if (u > v && in_mis[u] != 0) {
+          std::ostringstream os;
+          os << "adjacent nodes " << v << " and " << u << " both in the MIS";
+          emit(InvariantKind::kIndependence, v, u, os.str());
+        }
+      }
+    }
+    // Domination: a decided node that did not join must see a joined
+    // neighbor.
+    if (decided.size() == static_cast<std::size_t>(n)) {
+      for (NodeId v = 0; v < n; ++v) {
+        if (decided[v] == 0 || in_mis[v] != 0) continue;
+        bool dominated = false;
+        for (const NodeId u : g.neighbors(v)) {
+          if (in_mis[u] != 0) {
+            dominated = true;
+            break;
+          }
+        }
+        if (!dominated) {
+          std::ostringstream os;
+          os << "node " << v << " removed without an MIS neighbor";
+          emit(InvariantKind::kDomination, v, kInvalidNode, os.str());
+        }
+      }
+    }
+  }
+  return out;
+}
+
+void InvariantAuditor::on_phase_marker(const PhaseMarker& marker,
+                                       const RoundContext& ctx) {
+  if (marker.kind != PhaseMarkerKind::kIterationEnd) return;
+  if (ctx.analysis == nullptr) return;
+  const std::span<const char> in_mis = ctx.analysis->in_mis;
+  const std::span<const char> decided = ctx.analysis->decided;
+  const NodeId n = graph_.node_count();
+  if (in_mis.size() != static_cast<std::size_t>(n)) return;
+
+  for (InvariantViolation& v :
+       check_mis_invariants(graph_, in_mis, decided, ctx.round,
+                            max_violations_)) {
+    v.iteration = marker.index;
+    record(std::move(v));
+  }
+
+  // Monotonicity against the previous snapshot: membership and decidedness
+  // never revert in any algorithm here (joiners halt; removed nodes halt).
+  if (have_prev_) {
+    for (NodeId v = 0; v < n; ++v) {
+      if (prev_in_mis_[v] != 0 && in_mis[v] == 0) {
+        std::ostringstream os;
+        os << "node " << v << " left the MIS";
+        record({InvariantKind::kMonotonicity, ctx.round, marker.index, v,
+                kInvalidNode, os.str()});
+      }
+      if (!decided.empty() && prev_decided_[v] != 0 && decided[v] == 0) {
+        std::ostringstream os;
+        os << "node " << v << " became undecided again";
+        record({InvariantKind::kMonotonicity, ctx.round, marker.index, v,
+                kInvalidNode, os.str()});
+      }
+    }
+  }
+  prev_in_mis_.assign(in_mis.begin(), in_mis.end());
+  if (!decided.empty()) {
+    prev_decided_.assign(decided.begin(), decided.end());
+  } else {
+    prev_decided_.assign(static_cast<std::size_t>(n), 0);
+  }
+  have_prev_ = true;
+}
+
+void InvariantAuditor::record(InvariantViolation v) {
+  ++total_;
+  if (violations_.size() < max_violations_) violations_.push_back(std::move(v));
+}
+
+}  // namespace dmis

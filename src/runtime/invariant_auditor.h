@@ -1,0 +1,86 @@
+// Round-level MIS invariant auditing (the fault plane's detection side).
+//
+// Under a fault-free execution the algorithms of the paper maintain, at
+// every iteration boundary, the safety invariants their proofs rest on:
+//   * independence — no two adjacent nodes are both in the MIS;
+//   * domination  — a node that left the problem without joining has an MIS
+//     neighbor (it was removed *because* a neighbor joined);
+//   * monotonicity — joined stays joined, decided stays decided.
+// Under an active fault plane (runtime/faults.h) these can break: a dropped
+// announce beep yields two adjacent joiners, a corrupted payload that still
+// decodes misleads a removal. The InvariantAuditor is a RoundObserver that
+// re-checks the invariants at every kIterationEnd marker against the
+// engine's analysis snapshots, records violations with the node and witness
+// involved, and hands enough context to runtime/repro.h to write a replayable
+// crash bundle.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "runtime/observer.h"
+
+namespace dmis {
+
+enum class InvariantKind : std::uint8_t {
+  kIndependence,  ///< adjacent nodes both in the MIS
+  kDomination,    ///< removed node with no MIS neighbor
+  kMonotonicity,  ///< a joined/decided flag reverted
+};
+
+const char* invariant_kind_name(InvariantKind kind);
+
+struct InvariantViolation {
+  InvariantKind kind = InvariantKind::kIndependence;
+  std::uint64_t round = 0;      ///< engine round of the failing snapshot
+  std::uint64_t iteration = 0;  ///< iteration marker ordinal
+  NodeId node = kInvalidNode;
+  NodeId witness = kInvalidNode;  ///< the other endpoint, if the kind has one
+  std::string detail;
+
+  friend bool operator==(const InvariantViolation&,
+                         const InvariantViolation&) = default;
+};
+
+/// One-shot invariant check of a final (or intermediate) MIS state. Spans
+/// may be empty to skip the checks needing them; at most `cap` violations
+/// are materialized.
+std::vector<InvariantViolation> check_mis_invariants(
+    const Graph& g, std::span<const char> in_mis, std::span<const char> decided,
+    std::uint64_t round, std::size_t cap = 64);
+
+/// Observer running the checks at every kIterationEnd marker that carries an
+/// analysis snapshot with membership state (MisAnalysisView::in_mis). Attach
+/// to any engine; detach-safe like every RoundObserver.
+class InvariantAuditor final : public RoundObserver {
+ public:
+  explicit InvariantAuditor(const Graph& graph, std::size_t max_violations = 64)
+      : graph_(graph), max_violations_(max_violations) {}
+
+  void on_phase_marker(const PhaseMarker& marker,
+                       const RoundContext& ctx) override;
+
+  /// Recorded violations (capped at max_violations; total_violations() keeps
+  /// the exact count).
+  const std::vector<InvariantViolation>& violations() const {
+    return violations_;
+  }
+  std::uint64_t total_violations() const { return total_; }
+  bool clean() const { return total_ == 0; }
+
+ private:
+  void record(InvariantViolation v);
+
+  const Graph& graph_;
+  std::size_t max_violations_;
+  std::vector<InvariantViolation> violations_;
+  std::uint64_t total_ = 0;
+  std::vector<char> prev_in_mis_;
+  std::vector<char> prev_decided_;
+  bool have_prev_ = false;
+};
+
+}  // namespace dmis

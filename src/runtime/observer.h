@@ -29,6 +29,8 @@ struct MisAnalysisView {
   std::span<const char> alive;
   std::span<const int> p_exp;        ///< p_t(v) = 2^-p_exp[v]
   std::span<const char> superheavy;  ///< empty: no super-heavy classification
+  std::span<const char> in_mis;      ///< empty: membership not exposed
+  std::span<const char> decided;     ///< joined or removed; empty: not exposed
 };
 
 enum class PhaseMarkerKind : std::uint8_t {

@@ -1,0 +1,231 @@
+#include "runtime/repro.h"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <vector>
+
+#include "util/check.h"
+
+namespace dmis {
+namespace {
+
+constexpr const char* kMagic = "dmis-repro-bundle v1";
+
+std::string format_rate(double rate) {
+  std::ostringstream os;
+  os << std::setprecision(17) << rate;
+  return os.str();
+}
+
+// One "key: value" line; values never contain newlines (details are
+// sanitized on write).
+void put(std::ostream& os, const char* key, const std::string& value) {
+  os << key << ": " << value << "\n";
+}
+
+std::string sanitize(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) {
+    if (c == '\n' || c == '\r') c = ' ';
+  }
+  return out;
+}
+
+struct Parser {
+  explicit Parser(std::istream& stream) : is(stream) {}
+
+  std::istream& is;
+  std::string line;
+  std::uint64_t lineno = 0;
+
+  bool next() {
+    while (std::getline(is, line)) {
+      ++lineno;
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      return true;
+    }
+    return false;
+  }
+
+  // Splits "key: value"; throws on malformed lines.
+  void split(std::string& key, std::string& value) const {
+    const std::size_t colon = line.find(": ");
+    DMIS_CHECK(colon != std::string::npos,
+               "repro bundle line " << lineno << " is not 'key: value': '"
+                                    << line << "'");
+    key = line.substr(0, colon);
+    value = line.substr(colon + 2);
+  }
+};
+
+std::uint64_t parse_u64(const Parser& p, const std::string& value) {
+  std::size_t used = 0;
+  std::uint64_t out = 0;
+  try {
+    out = std::stoull(value, &used);
+  } catch (const std::exception&) {
+    used = 0;
+  }
+  DMIS_CHECK(used == value.size() && !value.empty(),
+             "repro bundle line " << p.lineno << ": bad integer '" << value
+                                  << "'");
+  return out;
+}
+
+std::int64_t parse_i64(const Parser& p, const std::string& value) {
+  std::size_t used = 0;
+  std::int64_t out = 0;
+  try {
+    out = std::stoll(value, &used);
+  } catch (const std::exception&) {
+    used = 0;
+  }
+  DMIS_CHECK(used == value.size() && !value.empty(),
+             "repro bundle line " << p.lineno << ": bad integer '" << value
+                                  << "'");
+  return out;
+}
+
+double parse_rate(const Parser& p, const std::string& value) {
+  std::size_t used = 0;
+  double out = 0.0;
+  try {
+    out = std::stod(value, &used);
+  } catch (const std::exception&) {
+    used = 0;
+  }
+  DMIS_CHECK(used == value.size() && !value.empty(),
+             "repro bundle line " << p.lineno << ": bad rate '" << value
+                                  << "'");
+  return out;
+}
+
+}  // namespace
+
+void write_repro_bundle(std::ostream& os, const ReproBundle& bundle) {
+  os << kMagic << "\n";
+  put(os, "algorithm", bundle.algorithm);
+  put(os, "seed", std::to_string(bundle.seed));
+  put(os, "threads", std::to_string(bundle.threads));
+  put(os, "max_rounds", std::to_string(bundle.max_rounds));
+  const FaultSchedule& s = bundle.schedule;
+  put(os, "fault_seed", std::to_string(s.seed));
+  put(os, "drop_rate", format_rate(s.drop_rate));
+  put(os, "corrupt_rate", format_rate(s.corrupt_rate));
+  put(os, "duplicate_rate", format_rate(s.duplicate_rate));
+  put(os, "delay_rate", format_rate(s.delay_rate));
+  put(os, "delay_rounds", std::to_string(s.delay_rounds));
+  for (const NodeFaultSpec& f : s.node_faults) {
+    os << "node_fault: " << f.node << " " << f.round << " " << f.duration
+       << "\n";
+  }
+  put(os, "failure_kind", sanitize(bundle.failure.kind));
+  put(os, "failure_round", std::to_string(bundle.failure.round));
+  put(os, "failure_node", std::to_string(bundle.failure.node));
+  put(os, "failure_witness", std::to_string(bundle.failure.witness));
+  put(os, "failure_detail", sanitize(bundle.failure.detail));
+  os << "graph: " << bundle.graph.node_count() << " "
+     << bundle.graph.edge_count() << "\n";
+  for (const Edge& e : bundle.graph.edges()) {
+    os << e.first << " " << e.second << "\n";
+  }
+}
+
+ReproBundle read_repro_bundle(std::istream& is) {
+  Parser p(is);
+  DMIS_CHECK(p.next() && p.line == kMagic,
+             "not a repro bundle (expected '" << kMagic << "')");
+  ReproBundle bundle;
+  bool saw_graph = false;
+  NodeId graph_nodes = 0;
+  std::uint64_t graph_edges = 0;
+  std::string key;
+  std::string value;
+  while (!saw_graph && p.next()) {
+    p.split(key, value);
+    if (key == "algorithm") {
+      bundle.algorithm = value;
+    } else if (key == "seed") {
+      bundle.seed = parse_u64(p, value);
+    } else if (key == "threads") {
+      bundle.threads = static_cast<int>(parse_i64(p, value));
+    } else if (key == "max_rounds") {
+      bundle.max_rounds = parse_u64(p, value);
+    } else if (key == "fault_seed") {
+      bundle.schedule.seed = parse_u64(p, value);
+    } else if (key == "drop_rate") {
+      bundle.schedule.drop_rate = parse_rate(p, value);
+    } else if (key == "corrupt_rate") {
+      bundle.schedule.corrupt_rate = parse_rate(p, value);
+    } else if (key == "duplicate_rate") {
+      bundle.schedule.duplicate_rate = parse_rate(p, value);
+    } else if (key == "delay_rate") {
+      bundle.schedule.delay_rate = parse_rate(p, value);
+    } else if (key == "delay_rounds") {
+      bundle.schedule.delay_rounds = parse_u64(p, value);
+    } else if (key == "node_fault") {
+      std::istringstream fields(value);
+      NodeFaultSpec f;
+      fields >> f.node >> f.round >> f.duration;
+      DMIS_CHECK(!fields.fail(), "repro bundle line "
+                                     << p.lineno << ": bad node_fault '"
+                                     << value << "'");
+      bundle.schedule.node_faults.push_back(f);
+    } else if (key == "failure_kind") {
+      bundle.failure.kind = value;
+    } else if (key == "failure_round") {
+      bundle.failure.round = parse_u64(p, value);
+    } else if (key == "failure_node") {
+      bundle.failure.node = parse_i64(p, value);
+    } else if (key == "failure_witness") {
+      bundle.failure.witness = parse_i64(p, value);
+    } else if (key == "failure_detail") {
+      bundle.failure.detail = value;
+    } else if (key == "graph") {
+      std::istringstream fields(value);
+      fields >> graph_nodes >> graph_edges;
+      DMIS_CHECK(!fields.fail(), "repro bundle line "
+                                     << p.lineno << ": bad graph header '"
+                                     << value << "'");
+      saw_graph = true;
+    } else {
+      DMIS_CHECK(false, "repro bundle line " << p.lineno << ": unknown key '"
+                                             << key << "'");
+    }
+  }
+  DMIS_CHECK(saw_graph, "repro bundle has no graph section");
+  DMIS_CHECK(!bundle.algorithm.empty(), "repro bundle has no algorithm");
+  std::vector<Edge> edges;
+  edges.reserve(graph_edges);
+  for (std::uint64_t i = 0; i < graph_edges; ++i) {
+    DMIS_CHECK(p.next(), "repro bundle graph truncated: expected "
+                             << graph_edges << " edges, got " << i);
+    std::istringstream fields(p.line);
+    NodeId u = 0;
+    NodeId v = 0;
+    fields >> u >> v;
+    DMIS_CHECK(!fields.fail(), "repro bundle line " << p.lineno
+                                                    << ": bad edge '"
+                                                    << p.line << "'");
+    edges.push_back({u, v});
+  }
+  bundle.graph = graph_from_edges(graph_nodes, edges);
+  return bundle;
+}
+
+void save_repro_bundle(const std::string& path, const ReproBundle& bundle) {
+  std::ofstream os(path);
+  DMIS_CHECK(os.good(), "cannot open '" << path << "' for writing");
+  write_repro_bundle(os, bundle);
+  DMIS_CHECK(os.good(), "failed writing repro bundle to '" << path << "'");
+}
+
+ReproBundle load_repro_bundle(const std::string& path) {
+  std::ifstream is(path);
+  DMIS_CHECK(is.good(), "cannot open repro bundle '" << path << "'");
+  return read_repro_bundle(is);
+}
+
+}  // namespace dmis

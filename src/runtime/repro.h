@@ -1,0 +1,60 @@
+// Crash-repro bundles: everything needed to replay a failing faulted run.
+//
+// When an execution under an active fault plane fails — the invariant
+// auditor records a violation, or a corrupted payload trips a decoder's
+// PreconditionError — the full cause is already deterministic: the graph,
+// the algorithm, its seed, the thread count, and the fault schedule pin the
+// execution bit-for-bit (see the determinism contract in runtime/faults.h).
+// A ReproBundle captures exactly those inputs plus a structured record of
+// the observed failure, in a line-oriented text format (`dmis-repro-bundle
+// v1`) that round-trips exactly: integers in decimal, rates at 17
+// significant digits (enough to reproduce any double bit-for-bit).
+//
+// `dmis_cli replay --bundle <file>` re-runs the bundle and verifies the
+// recorded failure reproduces; tests/data/ keeps a checked-in bundle as a
+// CI regression gate.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.h"
+#include "runtime/faults.h"
+
+namespace dmis {
+
+/// Structured record of the failure the bundle reproduces. Comparison is by
+/// field, never by formatted message text (which may embed build paths).
+struct RecordedFailure {
+  /// "invariant:<name>" (auditor kinds), "precondition" (decode/check
+  /// failure), "assert" (internal cross-check), or "none" (clean run
+  /// recorded for regression baselines).
+  std::string kind = "none";
+  std::uint64_t round = 0;
+  std::int64_t node = -1;
+  std::int64_t witness = -1;
+  std::string detail;
+
+  friend bool operator==(const RecordedFailure&,
+                         const RecordedFailure&) = default;
+};
+
+struct ReproBundle {
+  std::string algorithm;  ///< registry name (see mis/replay.h)
+  std::uint64_t seed = 0;
+  int threads = 1;
+  std::uint64_t max_rounds = 0;  ///< algorithm iterations cap
+  FaultSchedule schedule;
+  Graph graph;
+  RecordedFailure failure;
+};
+
+void write_repro_bundle(std::ostream& os, const ReproBundle& bundle);
+/// Parses a bundle; throws PreconditionError on malformed input.
+ReproBundle read_repro_bundle(std::istream& is);
+
+void save_repro_bundle(const std::string& path, const ReproBundle& bundle);
+ReproBundle load_repro_bundle(const std::string& path);
+
+}  // namespace dmis

@@ -1,27 +1,63 @@
 #include "util/check.h"
 
-namespace dmis::detail {
+namespace dmis {
 namespace {
 
+thread_local FailureSite t_site;
+
 std::string format_failure(const char* kind, const char* expr,
-                           const char* file, int line, const std::string& msg) {
+                           const char* file, int line, const std::string& msg,
+                           const FailureSite& site) {
   std::ostringstream oss;
   oss << kind << " failed: (" << expr << ") at " << file << ":" << line;
   if (!msg.empty()) oss << " — " << msg;
+  if (site.known()) {
+    oss << " [site";
+    if (site.engine != nullptr) oss << " engine=" << site.engine;
+    if (site.round >= 0) oss << " round=" << site.round;
+    if (site.node >= 0) oss << " node=" << site.node;
+    if (site.message_type != nullptr) oss << " type=" << site.message_type;
+    oss << "]";
+  }
   return oss.str();
 }
 
 }  // namespace
 
+CheckScope::CheckScope(const char* engine) : saved_(t_site) {
+  t_site = FailureSite{};
+  t_site.engine = engine;
+}
+
+CheckScope::~CheckScope() { t_site = saved_; }
+
+void CheckScope::set_round(std::uint64_t round) {
+  t_site.round = static_cast<std::int64_t>(round);
+}
+
+void CheckScope::set_node(std::int64_t node) { t_site.node = node; }
+
+void CheckScope::set_message_type(const char* name) {
+  t_site.message_type = name;
+}
+
+const FailureSite& CheckScope::current() { return t_site; }
+
+namespace detail {
+
 void throw_precondition_failure(const char* expr, const char* file, int line,
                                 const std::string& msg) {
+  const FailureSite site = CheckScope::current();
   throw PreconditionError(
-      format_failure("precondition", expr, file, line, msg));
+      format_failure("precondition", expr, file, line, msg, site), site);
 }
 
 void throw_invariant_failure(const char* expr, const char* file, int line,
                              const std::string& msg) {
-  throw InvariantError(format_failure("invariant", expr, file, line, msg));
+  const FailureSite site = CheckScope::current();
+  throw InvariantError(format_failure("invariant", expr, file, line, msg, site),
+                       site);
 }
 
-}  // namespace dmis::detail
+}  // namespace detail
+}  // namespace dmis

@@ -7,24 +7,81 @@
 //
 //   DMIS_CHECK(cond, "message " << value);   // caller error -> std::invalid_argument
 //   DMIS_ASSERT(cond, "message " << value);  // internal bug  -> std::logic_error
+//
+// Failures carry a structured FailureSite (engine, round, node, message
+// type) when the failing code runs inside a CheckScope — engines open one
+// around node stepping and packet decoding, so a fault-plane-induced decode
+// failure names the exact delivery that was poisoned. The site is appended
+// to the what() text and exposed as a typed accessor for repro bundles.
 #pragma once
 
+#include <cstdint>
 #include <sstream>
 #include <stdexcept>
 #include <string>
 
 namespace dmis {
 
+/// Structured location of a failing check. Pointers must be string literals
+/// (or other static storage): the site is copied into exceptions that may
+/// outlive any dynamic string. Negative / null fields mean "unknown".
+struct FailureSite {
+  const char* engine = nullptr;        ///< e.g. "congest", "beep", "clique"
+  std::int64_t round = -1;             ///< engine round being executed
+  std::int64_t node = -1;              ///< node whose code/delivery failed
+  const char* message_type = nullptr;  ///< wire_message_type_name(...)
+
+  bool known() const {
+    return engine != nullptr || round >= 0 || node >= 0 ||
+           message_type != nullptr;
+  }
+};
+
 /// Thrown by DMIS_CHECK when a caller violates a documented precondition.
 class PreconditionError : public std::invalid_argument {
  public:
   using std::invalid_argument::invalid_argument;
+  PreconditionError(const std::string& msg, const FailureSite& site)
+      : std::invalid_argument(msg), site_(site) {}
+  const FailureSite& site() const { return site_; }
+
+ private:
+  FailureSite site_{};
 };
 
 /// Thrown by DMIS_ASSERT when an internal invariant is broken (a bug).
 class InvariantError : public std::logic_error {
  public:
   using std::logic_error::logic_error;
+  InvariantError(const std::string& msg, const FailureSite& site)
+      : std::logic_error(msg), site_(site) {}
+  const FailureSite& site() const { return site_; }
+
+ private:
+  FailureSite site_{};
+};
+
+/// RAII annotation of the currently executing site (thread-local, so each
+/// WorkerPool lane carries its own). The constructor snapshots the enclosing
+/// site and starts a fresh one for `engine`; the setters refine it as the
+/// engine iterates (cheap enough for per-node granularity in hot loops);
+/// the destructor restores the enclosing site.
+class CheckScope {
+ public:
+  explicit CheckScope(const char* engine);
+  ~CheckScope();
+  CheckScope(const CheckScope&) = delete;
+  CheckScope& operator=(const CheckScope&) = delete;
+
+  static void set_round(std::uint64_t round);
+  static void set_node(std::int64_t node);
+  static void set_message_type(const char* name);
+
+  /// The innermost active site of this thread (all-unknown when none).
+  static const FailureSite& current();
+
+ private:
+  FailureSite saved_;
 };
 
 namespace detail {
@@ -38,7 +95,8 @@ namespace detail {
 }  // namespace dmis
 
 // Constexpr-friendly precondition check (C++20 constexpr bodies cannot hold
-// an ostringstream). The message must be a string literal.
+// an ostringstream). The message must be a string literal. Throws without a
+// FailureSite: these checks must stay evaluable at compile time.
 #define DMIS_CHECK_CX(cond, literal_msg)                      \
   do {                                                        \
     if (!(cond)) [[unlikely]] {                               \

@@ -4,8 +4,10 @@
 // wrong science; these tests pin the guardrails.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <functional>
 #include <memory>
+#include <tuple>
 
 #include "clique/gather.h"
 #include "clique/network.h"
@@ -13,7 +15,9 @@
 #include "mis/clique_mis.h"
 #include "mis/sparsified.h"
 #include "runtime/congest.h"
+#include "runtime/faults.h"
 #include "util/check.h"
+#include "wire/messages.h"
 
 namespace dmis {
 namespace {
@@ -134,6 +138,122 @@ TEST(FailureInjection, CliqueMisParameterValidation) {
   CliqueMisOptions opts;
   opts.params.phase_length = 70;
   EXPECT_THROW(clique_mis(g, opts), PreconditionError);
+}
+
+// ------------------------------------------------------------------------
+// Corruption adversaries: the fault plane's bit flips against every
+// registered message type. The codec contract is that a flipped bit can
+// never be silently absorbed — the decode either fails loudly
+// (range-validated field, padding) or yields a *different* valid message
+// (the silent-corruption case the invariant auditor exists for). Either
+// way, the original message must be unrecoverable from the corrupted bits.
+// ------------------------------------------------------------------------
+
+constexpr WireContext kCorruptCtx = WireContext::for_nodes(8, 7);
+
+template <class Msg>
+void corruption_sweep() {
+  SCOPED_TRACE(wire_message_type_name(Msg::kType));
+  const Msg original{};
+  std::array<std::uint64_t, 4> words{};
+  const int bits = encode_words(kCorruptCtx, original, words);
+  ASSERT_EQ(bits, encoded_bits<Msg>(kCorruptCtx));
+  for (int bit = 0; bit < bits; ++bit) {
+    std::array<std::uint64_t, 4> corrupted = words;
+    corrupted[bit / 64] ^= (1ULL << (bit % 64));
+    ASSERT_NE(corrupted, words);
+    bool threw = false;
+    Msg decoded{};
+    try {
+      decoded = decode_words<Msg>(kCorruptCtx, corrupted, bits);
+    } catch (const PreconditionError&) {
+      threw = true;  // validated field caught the flip
+    }
+    if (threw) continue;
+    // Silent path: the decoded message must be the *corrupted* one, never
+    // the original — re-encoding must reproduce the flipped bits exactly.
+    std::array<std::uint64_t, 4> reencoded{};
+    ASSERT_EQ(encode_words(kCorruptCtx, decoded, reencoded), bits);
+    EXPECT_EQ(reencoded, corrupted)
+        << "bit " << bit << " was silently absorbed";
+  }
+}
+
+TEST(CorruptionAdversary, EveryMessageTypeEveryBit) {
+  std::apply([](auto... msgs) { (corruption_sweep<decltype(msgs)>(), ...); },
+             AllWireMessages{});
+}
+
+template <class Msg>
+void padding_and_truncation_sweep() {
+  SCOPED_TRACE(wire_message_type_name(Msg::kType));
+  const Msg original{};
+  std::array<std::uint64_t, 4> words{};
+  const int bits = encode_words(kCorruptCtx, original, words);
+  if (bits < static_cast<int>(words.size()) * 64) {
+    // A flip past the declared width is detected by the padding check.
+    std::array<std::uint64_t, 4> padded = words;
+    padded[bits / 64] ^= (1ULL << (bits % 64));
+    EXPECT_THROW(decode_words<Msg>(kCorruptCtx, padded, bits),
+                 PreconditionError);
+  }
+  if (bits > 0) {
+    // Truncation (a short read) is a size mismatch, not a reinterpretation.
+    EXPECT_THROW(decode_words<Msg>(kCorruptCtx, words, bits - 1),
+                 PreconditionError);
+  }
+  EXPECT_THROW(decode_words<Msg>(kCorruptCtx, words, bits + 1),
+               PreconditionError);
+}
+
+TEST(CorruptionAdversary, PaddingAndTruncationRejected) {
+  std::apply(
+      [](auto... msgs) {
+        (padding_and_truncation_sweep<decltype(msgs)>(), ...);
+      },
+      AllWireMessages{});
+}
+
+TEST(CorruptionAdversary, FaultPlaneFlipsOnlySignificantBits) {
+  // corrupt_payload must target the significant region: flipping with every
+  // legal bit index keeps the padding check satisfied (the flip lands inside
+  // `bits`), so decode never rejects for padding reasons on these.
+  const GatherEdgeMsg msg{3, 5};
+  const WirePayload clean = encode_payload(kCorruptCtx, msg);
+  for (int bit = 0; bit < clean.bits; ++bit) {
+    WirePayload p = clean;
+    FaultPlane::corrupt_payload(p, bit);
+    EXPECT_NE(p.words, clean.words);
+    WirePayload twice = p;
+    FaultPlane::corrupt_payload(twice, bit);  // involution
+    EXPECT_EQ(twice.words, clean.words);
+    try {
+      const GatherEdgeMsg out = decode_payload<GatherEdgeMsg>(kCorruptCtx, p);
+      EXPECT_TRUE(out.u != msg.u || out.v != msg.v);
+    } catch (const PreconditionError&) {
+      // id decoded >= n: the loud path.
+    }
+  }
+}
+
+TEST(CorruptionAdversary, EngineFailureCarriesSite) {
+  // A contract violation inside engine.step() runs under the engine's
+  // CheckScope, so the thrown error names the engine and round — the
+  // context repro bundles record.
+  const Graph g = path(3);
+  auto engine = make_engine(g, [](std::uint64_t, CongestOutbox& out) {
+    out.push_raw(CongestProgram::kAllNeighbors, 0, 500);
+  });
+  try {
+    engine.step();
+    FAIL() << "oversized message must throw";
+  } catch (const PreconditionError& e) {
+    EXPECT_TRUE(e.site().known());
+    ASSERT_NE(e.site().engine, nullptr);
+    EXPECT_STREQ(e.site().engine, "congest.send");
+    EXPECT_EQ(e.site().round, 0);
+    EXPECT_NE(std::string(e.what()).find("congest.send"), std::string::npos);
+  }
 }
 
 TEST(FailureInjection, EngineCountMismatch) {

@@ -1,0 +1,259 @@
+// The fault plane's contracts: decisions are pure functions of their
+// coordinates, a null plane is bit-identical to no plane, seeded schedules
+// are thread-count invariant, and each fault kind realizes observably
+// (drops break independence, crashes leave nodes undecided, delays and
+// duplicates are counted, corruption triggers clique phase retries).
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/properties.h"
+#include "mis/beeping.h"
+#include "mis/ghaffari.h"
+#include "mis/luby.h"
+#include "mis/replay.h"
+#include "runtime/faults.h"
+
+namespace dmis {
+namespace {
+
+void expect_same_run(const MisRun& a, const MisRun& b) {
+  EXPECT_EQ(a.in_mis, b.in_mis);
+  EXPECT_EQ(a.decided_round, b.decided_round);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.costs.messages, b.costs.messages);
+  EXPECT_EQ(a.costs.bits, b.costs.bits);
+  EXPECT_EQ(a.costs.retries, b.costs.retries);
+}
+
+FaultSchedule mixed_schedule(std::uint64_t seed) {
+  FaultSchedule s;
+  s.seed = seed;
+  s.drop_rate = 0.08;
+  s.corrupt_rate = 0.0;  // corruption is exercised separately (it can throw)
+  s.duplicate_rate = 0.05;
+  s.delay_rate = 0.05;
+  s.delay_rounds = 2;
+  return s;
+}
+
+TEST(FaultPlane, NullScheduleIsInactive) {
+  const FaultPlane plane((FaultSchedule()));
+  EXPECT_FALSE(plane.active());
+  FaultSchedule with_node;
+  with_node.node_faults.push_back({3, 0, 0});
+  EXPECT_TRUE(FaultPlane(with_node).active());
+}
+
+TEST(FaultPlane, DecisionsArePureFunctions) {
+  FaultSchedule s = mixed_schedule(42);
+  s.corrupt_rate = 0.1;
+  const FaultPlane plane(s);
+  const FaultPlane again(s);
+  for (std::uint64_t round = 0; round < 32; ++round) {
+    for (std::uint64_t salt = 0; salt < 8; ++salt) {
+      const FaultDecision d1 = plane.on_message(round, 3, 7, salt);
+      const FaultDecision d2 = plane.on_message(round, 3, 7, salt);
+      const FaultDecision d3 = again.on_message(round, 3, 7, salt);
+      EXPECT_EQ(d1.drop, d2.drop);
+      EXPECT_EQ(d1.corrupt, d2.corrupt);
+      EXPECT_EQ(d1.duplicate, d2.duplicate);
+      EXPECT_EQ(d1.delay, d2.delay);
+      EXPECT_EQ(d1.drop, d3.drop);
+      EXPECT_EQ(d1.corrupt, d3.corrupt);
+      EXPECT_EQ(d1.duplicate, d3.duplicate);
+      EXPECT_EQ(d1.delay, d3.delay);
+      const int bit = plane.corrupt_bit(round, 3, 7, salt, 21);
+      EXPECT_GE(bit, 0);
+      EXPECT_LT(bit, 21);
+      EXPECT_EQ(bit, plane.corrupt_bit(round, 3, 7, salt, 21));
+    }
+  }
+}
+
+TEST(FaultPlane, RateOneAlwaysDrops) {
+  FaultSchedule s;
+  s.drop_rate = 1.0;
+  const FaultPlane plane(s);
+  for (std::uint64_t round = 0; round < 64; ++round) {
+    EXPECT_TRUE(plane.on_message(round, 0, 1, round).drop);
+  }
+}
+
+TEST(FaultPlane, NodeDownWindows) {
+  FaultSchedule s;
+  s.node_faults.push_back({2, 5, 0});  // crash at 5
+  s.node_faults.push_back({4, 3, 2});  // stall rounds 3,4
+  const FaultPlane plane(s);
+  EXPECT_FALSE(plane.node_down(2, 4));
+  EXPECT_TRUE(plane.node_down(2, 5));
+  EXPECT_TRUE(plane.node_down(2, 500));
+  EXPECT_FALSE(plane.node_down(4, 2));
+  EXPECT_TRUE(plane.node_down(4, 3));
+  EXPECT_TRUE(plane.node_down(4, 4));
+  EXPECT_FALSE(plane.node_down(4, 5));
+  EXPECT_FALSE(plane.node_down(0, 3));
+}
+
+// A null (empty) schedule attached through the options must leave the
+// execution bit-identical to no plane at all — the fault branches are never
+// taken and no RNG words are consumed.
+TEST(FaultNull, BeepingBitIdentical) {
+  const Graph g = gnp(150, 0.04, 9);
+  BeepingOptions base;
+  base.randomness = RandomSource(11);
+  const MisRun plain = beeping_mis(g, base);
+
+  FaultPlane null_plane((FaultSchedule()));
+  BeepingOptions with;
+  with.randomness = RandomSource(11);
+  with.faults = &null_plane;
+  expect_same_run(plain, beeping_mis(g, with));
+}
+
+TEST(FaultNull, GhaffariBitIdentical) {
+  const Graph g = gnp(150, 0.04, 9);
+  GhaffariOptions base;
+  base.randomness = RandomSource(11);
+  const MisRun plain = ghaffari_mis(g, base);
+
+  FaultPlane null_plane((FaultSchedule()));
+  GhaffariOptions with;
+  with.randomness = RandomSource(11);
+  with.faults = &null_plane;
+  expect_same_run(plain, ghaffari_mis(g, with));
+}
+
+TEST(FaultNull, ReplayDriverMatchesDirectRun) {
+  const Graph g = gnp(120, 0.05, 3);
+  const FaultRunResult r =
+      run_algorithm_with_faults(g, "beeping", 7, 1, FaultSchedule());
+  EXPECT_EQ(r.failure.kind, "none");
+  EXPECT_EQ(r.total_violations, 0u);
+  BeepingOptions o;
+  o.randomness = RandomSource(7);
+  expect_same_run(r.run, beeping_mis(g, o));
+}
+
+// The determinism contract: a seeded fault schedule yields bit-identical
+// executions (result, violations, realized fault counts) at any thread
+// count, on every engine.
+class FaultThreadInvariance : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(FaultThreadInvariance, SameScheduleSameRun) {
+  const Graph g = gnp(130, 0.05, 17);
+  const FaultSchedule s = mixed_schedule(23);
+  const FaultRunResult r1 =
+      run_algorithm_with_faults(g, GetParam(), 5, 1, s, 40);
+  for (const int threads : {2, 8}) {
+    const FaultRunResult rt =
+        run_algorithm_with_faults(g, GetParam(), 5, threads, s, 40);
+    expect_same_run(r1.run, rt.run);
+    EXPECT_EQ(r1.fault_stats, rt.fault_stats);
+    EXPECT_EQ(r1.total_violations, rt.total_violations);
+    EXPECT_EQ(r1.violations, rt.violations);
+    EXPECT_TRUE(failures_match(r1.failure, rt.failure));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, FaultThreadInvariance,
+                         ::testing::Values("beeping", "halfduplex", "luby",
+                                           "ghaffari", "congest"));
+
+// Corruption can throw (typed decoders fail loudly); the captured failure
+// must still be thread-count invariant.
+TEST(FaultThreadInvariance, CorruptionFailureIsDeterministic) {
+  const Graph g = gnp(130, 0.05, 17);
+  FaultSchedule s;
+  s.seed = 23;
+  s.corrupt_rate = 0.05;
+  const FaultRunResult r1 =
+      run_algorithm_with_faults(g, "ghaffari", 5, 1, s, 40);
+  const FaultRunResult r8 =
+      run_algorithm_with_faults(g, "ghaffari", 5, 8, s, 40);
+  EXPECT_TRUE(failures_match(r1.failure, r8.failure));
+  EXPECT_EQ(r1.fault_stats, r8.fault_stats);
+}
+
+// Dropping every announce makes adjacent joiners inevitable: with the
+// carrier gone, every beeping node believes it beeped alone. The auditor
+// must catch the independence violation.
+TEST(FaultEffects, TotalDropBreaksIndependence) {
+  const Graph g = complete(16);
+  FaultSchedule s;
+  s.seed = 1;
+  s.drop_rate = 1.0;
+  const FaultRunResult r =
+      run_algorithm_with_faults(g, "beeping", 3, 1, s, 50);
+  EXPECT_GT(r.fault_stats.dropped, 0u);
+  EXPECT_GT(r.total_violations, 0u);
+  EXPECT_EQ(r.failure.kind, "invariant:independence");
+}
+
+TEST(FaultEffects, CrashedNodeNeverDecides) {
+  const Graph g = gnp(60, 0.1, 5);
+  FaultSchedule s;
+  s.node_faults.push_back({0, 0, 0});  // node 0 crashes before round 0
+  const FaultRunResult r =
+      run_algorithm_with_faults(g, "luby", 3, 1, s, 60);
+  EXPECT_EQ(r.run.decided_round[0], kNeverDecided);
+  EXPECT_GT(r.fault_stats.node_down_rounds, 0u);
+  // Everyone else still terminates: the dynamic routes around the crash.
+  EXPECT_LE(r.run.undecided_count(), 1u + g.degree(0));
+}
+
+TEST(FaultEffects, StallIsTransient) {
+  const Graph g = gnp(60, 0.1, 5);
+  FaultSchedule s;
+  s.node_faults.push_back({0, 2, 4});  // down rounds [2, 6)
+  const FaultRunResult r =
+      run_algorithm_with_faults(g, "ghaffari", 3, 1, s);
+  EXPECT_GT(r.fault_stats.node_down_rounds, 0u);
+  EXPECT_LE(r.fault_stats.node_down_rounds, 4u);
+  // A transient stall delays but does not exclude: the node decides.
+  EXPECT_NE(r.run.decided_round[0], kNeverDecided);
+}
+
+TEST(FaultEffects, DelaysAndDuplicatesAreCounted) {
+  const Graph g = gnp(100, 0.06, 2);
+  FaultSchedule s;
+  s.seed = 4;
+  s.duplicate_rate = 0.3;
+  s.delay_rate = 0.3;
+  s.delay_rounds = 3;
+  const FaultRunResult r =
+      run_algorithm_with_faults(g, "ghaffari", 9, 2, s, 50);
+  EXPECT_GT(r.fault_stats.duplicated, 0u);
+  EXPECT_GT(r.fault_stats.delayed, 0u);
+}
+
+// The clique driver's retry policy: a lightly corrupted run trips a decoder
+// inside a phase, re-executes it with fresh randomness, and still produces
+// a valid MIS — with the retry surfaced in the stats.
+TEST(FaultEffects, CliqueRetriesPoisonedPhase) {
+  const Graph g = gnp(200, 6.0 / 199.0, 3);
+  FaultSchedule s;
+  s.seed = 5;
+  s.corrupt_rate = 0.0001;
+  const FaultRunResult r = run_algorithm_with_faults(g, "clique", 5, 1, s);
+  EXPECT_EQ(r.failure.kind, "none");
+  EXPECT_GE(r.retries, 1u);
+  EXPECT_GT(r.fault_stats.corrupted, 0u);
+  EXPECT_TRUE(is_maximal_independent_set(g, r.run.in_mis));
+  EXPECT_EQ(r.run.costs.retries, r.retries);
+}
+
+// Exhausted retries propagate the failure as a captured precondition, not a
+// silent wrong answer.
+TEST(FaultEffects, CliqueHeavyCorruptionFailsLoudly) {
+  const Graph g = gnp(200, 6.0 / 199.0, 3);
+  FaultSchedule s;
+  s.seed = 5;
+  s.corrupt_rate = 0.01;
+  const FaultRunResult r = run_algorithm_with_faults(g, "clique", 5, 1, s);
+  EXPECT_TRUE(r.failed());
+  EXPECT_TRUE(r.failure.kind == "precondition" || r.failure.kind == "assert")
+      << r.failure.kind;
+}
+
+}  // namespace
+}  // namespace dmis

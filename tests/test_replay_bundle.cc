@@ -1,0 +1,140 @@
+// Crash-repro bundles: the text format round-trips exactly, malformed input
+// fails loudly, and a recorded failure replays bit-identically — including
+// at a different thread count, which the determinism contract makes legal.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+#include "graph/generators.h"
+#include "mis/replay.h"
+#include "runtime/repro.h"
+#include "util/check.h"
+
+namespace dmis {
+namespace {
+
+ReproBundle sample_bundle() {
+  ReproBundle b;
+  b.algorithm = "beeping";
+  b.seed = 77;
+  b.threads = 3;
+  b.max_rounds = 40;
+  b.schedule.seed = 123456789;
+  b.schedule.drop_rate = 0.25;
+  b.schedule.corrupt_rate = 1e-4;
+  b.schedule.duplicate_rate = 0.1;
+  b.schedule.delay_rate = 0.3333333333333333;
+  b.schedule.delay_rounds = 2;
+  b.schedule.node_faults.push_back({4, 10, 0});
+  b.schedule.node_faults.push_back({9, 3, 7});
+  b.graph = gnp(50, 0.1, 8);
+  b.failure.kind = "invariant:independence";
+  b.failure.round = 12;
+  b.failure.node = 4;
+  b.failure.witness = 17;
+  b.failure.detail = "adjacent nodes 4 and 17 both in the MIS";
+  return b;
+}
+
+TEST(ReproBundle, RoundTripsExactly) {
+  const ReproBundle b = sample_bundle();
+  std::stringstream ss;
+  write_repro_bundle(ss, b);
+  const ReproBundle back = read_repro_bundle(ss);
+  EXPECT_EQ(back.algorithm, b.algorithm);
+  EXPECT_EQ(back.seed, b.seed);
+  EXPECT_EQ(back.threads, b.threads);
+  EXPECT_EQ(back.max_rounds, b.max_rounds);
+  EXPECT_EQ(back.schedule, b.schedule);
+  EXPECT_EQ(back.failure, b.failure);
+  EXPECT_EQ(back.graph.node_count(), b.graph.node_count());
+  EXPECT_EQ(back.graph.edges(), b.graph.edges());
+}
+
+TEST(ReproBundle, RatesSurviveBitForBit) {
+  ReproBundle b = sample_bundle();
+  b.schedule.drop_rate = 0.1234567890123456789;  // not representable; rounds
+  std::stringstream ss;
+  write_repro_bundle(ss, b);
+  const ReproBundle back = read_repro_bundle(ss);
+  EXPECT_EQ(back.schedule.drop_rate, b.schedule.drop_rate);
+}
+
+TEST(ReproBundle, MalformedInputThrows) {
+  {
+    std::stringstream ss("not a bundle\n");
+    EXPECT_THROW(read_repro_bundle(ss), PreconditionError);
+  }
+  {
+    std::stringstream ss("dmis-repro-bundle v1\nseed: nonsense\n");
+    EXPECT_THROW(read_repro_bundle(ss), PreconditionError);
+  }
+  {
+    // Header promises more edges than the stream holds.
+    std::stringstream ss(
+        "dmis-repro-bundle v1\nalgorithm: beeping\ngraph: 4 2\n0 1\n");
+    EXPECT_THROW(read_repro_bundle(ss), PreconditionError);
+  }
+}
+
+TEST(ReproBundle, SaveLoadFile) {
+  const std::string path = ::testing::TempDir() + "/dmis_bundle_test.txt";
+  const ReproBundle b = sample_bundle();
+  save_repro_bundle(path, b);
+  const ReproBundle back = load_repro_bundle(path);
+  EXPECT_EQ(back.schedule, b.schedule);
+  EXPECT_EQ(back.failure, b.failure);
+  std::remove(path.c_str());
+  EXPECT_THROW(load_repro_bundle(path), PreconditionError);
+}
+
+// End to end: a faulted run that breaks independence is captured, bundled,
+// and the bundle replays to the exact same structured failure.
+TEST(ReplayBundle, ViolationReproduces) {
+  const Graph g = complete(16);
+  FaultSchedule s;
+  s.seed = 1;
+  s.drop_rate = 1.0;
+  const FaultRunResult r =
+      run_algorithm_with_faults(g, "beeping", 3, 1, s, 50);
+  ASSERT_TRUE(r.failed());
+  const ReproBundle bundle = make_repro_bundle(g, "beeping", 3, 1, 50, s, r);
+
+  // Through the wire format, to be sure replay sees only what a file holds.
+  std::stringstream ss;
+  write_repro_bundle(ss, bundle);
+  const ReplayOutcome outcome = replay_bundle(read_repro_bundle(ss));
+  EXPECT_TRUE(outcome.reproduced);
+  EXPECT_EQ(outcome.observed.kind, r.failure.kind);
+  EXPECT_EQ(outcome.observed.round, r.failure.round);
+  EXPECT_EQ(outcome.observed.node, r.failure.node);
+}
+
+TEST(ReplayBundle, ReproducesAtAnyThreadCount) {
+  const Graph g = gnp(120, 0.06, 6);
+  FaultSchedule s;
+  s.seed = 2;
+  s.drop_rate = 0.4;
+  const FaultRunResult r =
+      run_algorithm_with_faults(g, "beeping", 9, 1, s, 60);
+  ASSERT_TRUE(r.failed());
+  ReproBundle bundle = make_repro_bundle(g, "beeping", 9, 1, 60, s, r);
+  bundle.threads = 6;  // replay on more lanes; the schedule doesn't care
+  EXPECT_TRUE(replay_bundle(bundle).reproduced);
+}
+
+TEST(ReplayBundle, CleanRunRecordsNone) {
+  const Graph g = gnp(60, 0.08, 4);
+  const FaultRunResult r =
+      run_algorithm_with_faults(g, "luby", 5, 1, FaultSchedule());
+  EXPECT_FALSE(r.failed());
+  const ReproBundle bundle =
+      make_repro_bundle(g, "luby", 5, 1, 0, FaultSchedule(), r);
+  EXPECT_EQ(bundle.failure.kind, "none");
+  EXPECT_TRUE(replay_bundle(bundle).reproduced);
+}
+
+}  // namespace
+}  // namespace dmis

@@ -14,6 +14,14 @@
 //   dmis mst [--seed S] [--graph FILE]
 //       Minimum spanning forest (Boruvka in the congested clique) with
 //       hashed edge weights; verified against Kruskal.
+//   dmis replay --bundle FILE
+//       Re-run a crash-repro bundle (runtime/repro.h) and verify the
+//       recorded failure reproduces. Exit 0 iff it does.
+//
+// Fault injection (solve only, wire-model algorithms): --drop R --corrupt R
+// --duplicate R --delay R [--delay-rounds K] [--fault-seed S]
+// [--crash V:R] [--stall V:R:D] [--bundle-out FILE]. A failing faulted run
+// writes a replayable bundle to --bundle-out.
 //
 // Exit code 0 iff the produced object verifies.
 #include <cmath>
@@ -36,8 +44,10 @@
 #include "mis/lowdeg.h"
 #include "mis/luby.h"
 #include "mis/reductions.h"
+#include "mis/replay.h"
 #include "mis/sparsified.h"
 #include "mis/sparsified_congest.h"
+#include "runtime/repro.h"
 #include "clique/mst.h"
 #include "graph/mst_reference.h"
 
@@ -51,10 +61,14 @@ int usage() {
          "  dmis color [--seed S] [--graph FILE]\n"
          "  dmis match [--seed S] [--graph FILE]\n"
          "  dmis mst [--seed S] [--graph FILE]\n"
+         "  dmis replay --bundle FILE\n"
          "families:   gnp regular ba geometric grid cycle path complete\n"
          "            hypercube caterpillar smallworld expander\n"
          "algorithms: greedy luby ghaffari beeping halfduplex sparsified\n"
-         "            congest clique lowdeg\n";
+         "            congest clique lowdeg\n"
+         "faults (solve): --drop R --corrupt R --duplicate R --delay R\n"
+         "            [--delay-rounds K] [--fault-seed S] [--crash V:R]\n"
+         "            [--stall V:R:D] [--bundle-out FILE]\n";
   return 2;
 }
 
@@ -62,7 +76,25 @@ struct Flags {
   std::uint64_t seed = 1;
   int threads = 1;
   std::optional<std::string> graph_file;
+  dmis::FaultSchedule faults;
+  bool fault_seed_set = false;
+  std::optional<std::string> bundle_out;
+  std::optional<std::string> bundle_in;
 };
+
+// "V:R" (crash) or "V:R:D" (stall for D rounds).
+dmis::NodeFaultSpec parse_node_fault(const char* arg) {
+  dmis::NodeFaultSpec spec;
+  char* end = nullptr;
+  spec.node = static_cast<dmis::NodeId>(std::strtoul(arg, &end, 10));
+  if (end == nullptr || *end != ':') {
+    std::cerr << "bad node fault spec (want V:R or V:R:D): " << arg << "\n";
+    std::exit(2);
+  }
+  spec.round = std::strtoull(end + 1, &end, 10);
+  if (*end == ':') spec.duration = std::strtoull(end + 1, &end, 10);
+  return spec;
+}
 
 Flags parse_flags(int argc, char** argv, int start) {
   Flags f;
@@ -73,11 +105,39 @@ Flags parse_flags(int argc, char** argv, int start) {
       f.threads = std::max(1, std::atoi(argv[++i]));
     } else if (std::strcmp(argv[i], "--graph") == 0 && i + 1 < argc) {
       f.graph_file = argv[++i];
+    } else if (std::strcmp(argv[i], "--drop") == 0 && i + 1 < argc) {
+      f.faults.drop_rate = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--corrupt") == 0 && i + 1 < argc) {
+      f.faults.corrupt_rate = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--duplicate") == 0 && i + 1 < argc) {
+      f.faults.duplicate_rate = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--delay") == 0 && i + 1 < argc) {
+      f.faults.delay_rate = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--delay-rounds") == 0 && i + 1 < argc) {
+      f.faults.delay_rounds = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--fault-seed") == 0 && i + 1 < argc) {
+      f.faults.seed = std::strtoull(argv[++i], nullptr, 10);
+      f.fault_seed_set = true;
+    } else if (std::strcmp(argv[i], "--crash") == 0 && i + 1 < argc) {
+      f.faults.node_faults.push_back(parse_node_fault(argv[++i]));
+    } else if (std::strcmp(argv[i], "--stall") == 0 && i + 1 < argc) {
+      dmis::NodeFaultSpec spec = parse_node_fault(argv[++i]);
+      if (spec.duration == 0) {
+        std::cerr << "--stall needs V:R:D with D > 0 (use --crash for "
+                     "permanent faults)\n";
+        std::exit(2);
+      }
+      f.faults.node_faults.push_back(spec);
+    } else if (std::strcmp(argv[i], "--bundle-out") == 0 && i + 1 < argc) {
+      f.bundle_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--bundle") == 0 && i + 1 < argc) {
+      f.bundle_in = argv[++i];
     } else {
       std::cerr << "unknown flag: " << argv[i] << "\n";
       std::exit(2);
     }
   }
+  if (!f.faults.empty() && !f.fault_seed_set) f.faults.seed = f.seed;
   return f;
 }
 
@@ -130,11 +190,87 @@ int cmd_generate(int argc, char** argv) {
   return 0;
 }
 
+// Faulted solve: route through the replay driver so the run carries an
+// invariant auditor and failures become replayable bundles instead of
+// uncaught exceptions.
+int solve_faulted(const std::string& algorithm, const Flags& flags,
+                  const dmis::Graph& g) {
+  if (!dmis::is_fault_algorithm(algorithm)) {
+    std::cerr << "fault injection needs a wire-model algorithm (";
+    const auto& names = dmis::fault_algorithm_names();
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      std::cerr << (i != 0 ? " " : "") << names[i];
+    }
+    std::cerr << "), not '" << algorithm << "'\n";
+    return 2;
+  }
+  const dmis::FaultRunResult r = dmis::run_algorithm_with_faults(
+      g, algorithm, flags.seed, flags.threads, flags.faults);
+  const bool valid =
+      !r.failed() && dmis::is_maximal_independent_set(g, r.run.in_mis);
+  std::cout << "graph: n=" << g.node_count() << " m=" << g.edge_count()
+            << " Delta=" << g.max_degree() << "\n"
+            << "algorithm: " << algorithm << " seed=" << flags.seed
+            << " fault_seed=" << flags.faults.seed << "\n"
+            << "fault_rates: drop=" << flags.faults.drop_rate
+            << " corrupt=" << flags.faults.corrupt_rate
+            << " duplicate=" << flags.faults.duplicate_rate
+            << " delay=" << flags.faults.delay_rate << "\n"
+            << "realized: dropped=" << r.fault_stats.dropped
+            << " corrupted=" << r.fault_stats.corrupted
+            << " duplicated=" << r.fault_stats.duplicated
+            << " delayed=" << r.fault_stats.delayed
+            << " node_down_rounds=" << r.fault_stats.node_down_rounds << "\n"
+            << "mis_size: " << r.run.mis_size()
+            << " undecided: " << r.run.undecided_count() << "\n"
+            << "rounds: " << r.run.rounds
+            << " retries: " << r.retries << "\n"
+            << "violations: " << r.total_violations << "\n"
+            << "failure: " << r.failure.kind << "\n";
+  if (r.failed()) {
+    std::cout << "  round=" << r.failure.round << " node=" << r.failure.node
+              << " witness=" << r.failure.witness << "\n"
+              << "  " << r.failure.detail << "\n";
+  }
+  if (flags.bundle_out.has_value()) {
+    const dmis::ReproBundle bundle = dmis::make_repro_bundle(
+        g, algorithm, flags.seed, flags.threads, 0, flags.faults, r);
+    dmis::save_repro_bundle(*flags.bundle_out, bundle);
+    std::cout << "bundle: " << *flags.bundle_out << "\n";
+  }
+  std::cout << "valid: " << (valid ? "yes" : "NO") << "\n";
+  return valid ? 0 : 1;
+}
+
+int cmd_replay(int argc, char** argv) {
+  const Flags flags = parse_flags(argc, argv, 2);
+  if (!flags.bundle_in.has_value()) {
+    std::cerr << "replay needs --bundle FILE\n";
+    return 2;
+  }
+  const dmis::ReproBundle bundle = dmis::load_repro_bundle(*flags.bundle_in);
+  const dmis::ReplayOutcome outcome = dmis::replay_bundle(bundle);
+  std::cout << "bundle: " << *flags.bundle_in << "\n"
+            << "algorithm: " << bundle.algorithm << " seed=" << bundle.seed
+            << " threads=" << bundle.threads << "\n"
+            << "graph: n=" << bundle.graph.node_count()
+            << " m=" << bundle.graph.edge_count() << "\n"
+            << "expected: " << outcome.expected.kind
+            << " round=" << outcome.expected.round
+            << " node=" << outcome.expected.node << "\n"
+            << "observed: " << outcome.observed.kind
+            << " round=" << outcome.observed.round
+            << " node=" << outcome.observed.node << "\n"
+            << "reproduced: " << (outcome.reproduced ? "yes" : "NO") << "\n";
+  return outcome.reproduced ? 0 : 1;
+}
+
 int cmd_solve(int argc, char** argv) {
   if (argc < 3) return usage();
   const std::string algorithm = argv[2];
   const Flags flags = parse_flags(argc, argv, 3);
   const dmis::Graph g = load_graph(flags);
+  if (!flags.faults.empty()) return solve_faulted(algorithm, flags, g);
   dmis::MisRun run;
   const dmis::RandomSource rs(flags.seed);
 
@@ -264,6 +400,7 @@ int main(int argc, char** argv) {
     if (cmd == "color") return cmd_color(argc, argv);
     if (cmd == "match") return cmd_match(argc, argv);
     if (cmd == "mst") return cmd_mst(argc, argv);
+    if (cmd == "replay") return cmd_replay(argc, argv);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
