@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "rng/mix.h"
 #include "util/check.h"
 
 namespace dmis {
@@ -35,6 +36,23 @@ std::vector<Edge> Graph::edges() const {
     }
   }
   return out;
+}
+
+std::uint64_t Graph::content_digest(std::uint64_t seed) const {
+  // Commutative combine (sum and xor of strong per-edge hashes) makes the
+  // digest independent of enumeration order by construction; folding both
+  // aggregates through mix64 restores avalanche over the combined word.
+  std::uint64_t sum = 0;
+  std::uint64_t xr = 0;
+  for (NodeId u = 0; u < node_count_; ++u) {
+    for (const NodeId v : neighbors(u)) {
+      if (u >= v) continue;
+      const std::uint64_t h = mix64(seed, u, v);
+      sum += h;
+      xr ^= h;
+    }
+  }
+  return mix64(seed, node_count_, sum, xr);
 }
 
 double Graph::average_degree() const {

@@ -44,6 +44,16 @@ class Graph {
   /// Average degree (0 for the empty graph).
   double average_degree() const;
 
+  /// Canonical seeded digest of the graph's content: a pure function of
+  /// (seed, node_count, edge set) that is independent of edge insertion
+  /// order (the per-edge hashes are combined commutatively). Two graphs get
+  /// the same digest iff they have the same node count and the same labeled
+  /// edge set — a node relabeling changes the digest, which is what a cache
+  /// key wants (the algorithms are label-sensitive). Collisions are 2^-64
+  /// territory; callers needing wider keys can combine digests under
+  /// different seeds.
+  std::uint64_t content_digest(std::uint64_t seed = 0) const;
+
  private:
   friend class GraphBuilder;
 

@@ -58,17 +58,18 @@ bool is_fault_algorithm(const std::string& name) {
   return std::find(names.begin(), names.end(), name) != names.end();
 }
 
-FaultRunResult run_algorithm_with_faults(const Graph& g,
-                                         const std::string& algorithm,
-                                         std::uint64_t seed, int threads,
-                                         const FaultSchedule& schedule,
-                                         std::uint64_t max_rounds) {
+FaultRunResult run_algorithm_with_faults(
+    const Graph& g, const std::string& algorithm, std::uint64_t seed,
+    int threads, const FaultSchedule& schedule, std::uint64_t max_rounds,
+    const std::vector<RoundObserver*>& extra_observers) {
   DMIS_CHECK(is_fault_algorithm(algorithm),
              "unknown algorithm '" << algorithm
                                    << "' (see fault_algorithm_names())");
   FaultPlane plane(schedule);
   InvariantAuditor auditor(g);
   std::vector<RoundObserver*> observers = {&auditor};
+  observers.insert(observers.end(), extra_observers.begin(),
+                   extra_observers.end());
   const RandomSource rs(seed);
 
   FaultRunResult out;

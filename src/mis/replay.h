@@ -48,12 +48,16 @@ struct FaultRunResult {
 /// Runs `algorithm` on `g` under `schedule`. `max_rounds` caps the
 /// algorithm's own iteration/phase budget; 0 keeps its default. Throws
 /// PreconditionError for an unknown algorithm name; algorithm failures are
-/// *captured* in the result, never propagated.
-FaultRunResult run_algorithm_with_faults(const Graph& g,
-                                         const std::string& algorithm,
-                                         std::uint64_t seed, int threads,
-                                         const FaultSchedule& schedule,
-                                         std::uint64_t max_rounds = 0);
+/// *captured* in the result, never propagated. `extra_observers` are
+/// attached after the built-in invariant auditor (the batch execution
+/// service injects per-job deadline/cancellation observers here); whatever
+/// such an observer throws propagates out of this function uncaught — only
+/// the library's own PreconditionError/InvariantError become recorded
+/// failures.
+FaultRunResult run_algorithm_with_faults(
+    const Graph& g, const std::string& algorithm, std::uint64_t seed,
+    int threads, const FaultSchedule& schedule, std::uint64_t max_rounds = 0,
+    const std::vector<RoundObserver*>& extra_observers = {});
 
 /// Packages a finished fault run as a replayable bundle.
 ReproBundle make_repro_bundle(const Graph& g, const std::string& algorithm,

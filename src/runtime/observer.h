@@ -99,44 +99,87 @@ class RoundObserver {
 
 /// Fan-out of events to attached observers, in attach order. Observers are
 /// borrowed, never owned; detach before destroying an observer that might
-/// still see events.
+/// still see events. Detaching is safe *during* dispatch (an observer may
+/// detach itself — or a peer — from inside a callback): the slot is nulled
+/// immediately, so the detached observer receives no further events, and the
+/// vector is compacted once the outermost dispatch returns. Attaching during
+/// dispatch is also safe; the new observer starts receiving events from the
+/// next event on.
 class ObserverRegistry {
  public:
-  bool empty() const { return observers_.empty(); }
-  std::size_t size() const { return observers_.size(); }
+  bool empty() const { return live_ == 0; }
+  std::size_t size() const { return live_; }
 
   void attach(RoundObserver* observer) {
-    if (observer != nullptr) observers_.push_back(observer);
+    if (observer == nullptr) return;
+    observers_.push_back(observer);
+    ++live_;
   }
 
   void detach(RoundObserver* observer) {
-    std::erase(observers_, observer);
+    for (RoundObserver*& slot : observers_) {
+      if (slot == observer) {
+        slot = nullptr;
+        --live_;
+      }
+    }
+    if (dispatch_depth_ == 0) std::erase(observers_, nullptr);
   }
 
   void round_begin(const RoundContext& ctx) const {
-    for (RoundObserver* o : observers_) o->on_round_begin(ctx);
+    dispatch([&](RoundObserver* o) { o->on_round_begin(ctx); });
   }
   void messages_delivered(const RoundContext& ctx, std::uint64_t messages,
                           std::uint64_t bits) const {
-    for (RoundObserver* o : observers_) {
+    dispatch([&](RoundObserver* o) {
       o->on_messages_delivered(ctx, messages, bits);
-    }
+    });
   }
   void wire_delivered(const RoundContext& ctx, WireMessageType type,
                       std::uint64_t messages, std::uint64_t bits) const {
-    for (RoundObserver* o : observers_) {
+    dispatch([&](RoundObserver* o) {
       o->on_wire_delivered(ctx, type, messages, bits);
-    }
+    });
   }
   void round_end(const RoundContext& ctx) const {
-    for (RoundObserver* o : observers_) o->on_round_end(ctx);
+    dispatch([&](RoundObserver* o) { o->on_round_end(ctx); });
   }
   void phase_marker(const PhaseMarker& marker, const RoundContext& ctx) const {
-    for (RoundObserver* o : observers_) o->on_phase_marker(marker, ctx);
+    dispatch([&](RoundObserver* o) { o->on_phase_marker(marker, ctx); });
   }
 
  private:
-  std::vector<RoundObserver*> observers_;
+  // Index-based iteration: a callback may attach (push_back can reallocate)
+  // or detach (slots become null) mid-dispatch. Observers attached during
+  // dispatch are appended past the current end and thus picked up by the
+  // same loop — acceptable because attach order still defines event order.
+  // The depth guard is RAII because a callback may throw (the service's
+  // cancellation observer aborts a run that way); the registry must stay
+  // consistent for the next job.
+  struct DepthGuard {
+    const ObserverRegistry* r;
+    explicit DepthGuard(const ObserverRegistry* reg) : r(reg) {
+      ++r->dispatch_depth_;
+    }
+    ~DepthGuard() {
+      if (--r->dispatch_depth_ == 0) std::erase(r->observers_, nullptr);
+    }
+  };
+
+  template <typename Fn>
+  void dispatch(Fn&& fn) const {
+    DepthGuard guard(this);
+    for (std::size_t i = 0; i < observers_.size(); ++i) {
+      RoundObserver* o = observers_[i];
+      if (o != nullptr) fn(o);
+    }
+  }
+
+  // Mutable: dispatch is observation-side and logically const; the deferred
+  // compaction bookkeeping is not observable state.
+  mutable std::vector<RoundObserver*> observers_;
+  mutable int dispatch_depth_ = 0;
+  std::size_t live_ = 0;
 };
 
 /// Records per-round cost deltas and phase markers — the bench-side

@@ -27,6 +27,12 @@ int WorkerPool::clamp_threads(int requested) {
   return std::clamp(requested, 1, std::max(cap, 1));
 }
 
+int WorkerPool::lanes_per_worker(int total_threads, int workers) {
+  const int w = std::max(workers, 1);
+  const int total = std::max(total_threads, 1);
+  return std::max(total / w, 1);
+}
+
 WorkerPool::Chunk WorkerPool::chunk_of(std::size_t n, int lane) const {
   // Static contiguous partition: chunk sizes differ by at most one and
   // depend only on (n, threads_).

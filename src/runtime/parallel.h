@@ -55,6 +55,15 @@ class WorkerPool {
   /// Clamp a requested thread count to [1, hardware_concurrency].
   static int clamp_threads(int requested);
 
+  /// Splits one total thread budget across `workers` concurrent consumers
+  /// (the batch execution service runs `workers` jobs at once, each stepping
+  /// its nodes through a WorkerPool of this many lanes): the returned
+  /// per-consumer lane count satisfies `workers * lanes <= max(total,
+  /// workers)`, so concurrent jobs plus intra-job stepping never
+  /// oversubscribe the budget. Always >= 1 — a worker can run its job, just
+  /// sequentially.
+  static int lanes_per_worker(int total_threads, int workers);
+
  private:
   struct Chunk {
     std::size_t begin = 0;

@@ -1,0 +1,69 @@
+#include "svc/cache.h"
+
+#include "util/check.h"
+
+namespace dmis::svc {
+
+ResultCache::ResultCache(std::size_t capacity, std::size_t shards) {
+  DMIS_CHECK(shards >= 1, "ResultCache needs at least one shard");
+  const std::size_t per_shard =
+      capacity < shards ? 1 : (capacity + shards - 1) / shards;
+  shards_.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>(per_shard));
+  }
+}
+
+std::optional<std::string> ResultCache::get(const JobKey& key) {
+  Shard& shard = shard_of(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  if (const std::string* value = shard.lru.get(key)) {
+    ++shard.hits;
+    return *value;
+  }
+  ++shard.misses;
+  return std::nullopt;
+}
+
+void ResultCache::put(const JobKey& key, const std::string& canonical) {
+  Shard& shard = shard_of(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  if (const std::string* existing = shard.lru.peek(key)) {
+    shard.bytes -= existing->size();
+  } else if (shard.lru.size() >= shard.lru.capacity()) {
+    // Full and inserting a new key: the LRU entry is about to go.
+    shard.bytes -= shard.lru.lru_entry()->second.size();
+  }
+  shard.evictions += shard.lru.put(key, canonical);
+  ++shard.insertions;
+  shard.bytes += canonical.size();
+}
+
+CacheStats ResultCache::stats() const {
+  CacheStats out;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    out.hits += shard->hits;
+    out.misses += shard->misses;
+    out.insertions += shard->insertions;
+    out.evictions += shard->evictions;
+    out.entries += shard->lru.size();
+    out.bytes += shard->bytes;
+  }
+  return out;
+}
+
+TextTable ResultCache::stats_table() const {
+  const CacheStats s = stats();
+  TextTable table({"metric", "value"});
+  table.row().cell("cache_hits").cell(s.hits);
+  table.row().cell("cache_misses").cell(s.misses);
+  table.row().cell("cache_hit_rate").cell(s.hit_rate());
+  table.row().cell("cache_insertions").cell(s.insertions);
+  table.row().cell("cache_evictions").cell(s.evictions);
+  table.row().cell("cache_entries").cell(s.entries);
+  table.row().cell("cache_bytes").cell(s.bytes);
+  return table;
+}
+
+}  // namespace dmis::svc

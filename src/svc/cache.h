@@ -1,0 +1,85 @@
+// Result cache of the batch execution service.
+//
+// Sharded LRU over canonical result strings, keyed by JobKey. Correctness
+// is inherited from determinism (svc/job.h): a spec hashes to a key, the
+// key's value is the canonical result bytes of that spec, so a hit returns
+// exactly what re-executing would — the cache can change latency, never
+// answers. Sharding bounds lock contention: a key picks its shard by hi
+// bits, each shard holds its own mutex, LRU list, and counters; stats are
+// aggregated on read and surfaced through the repository's TextTable
+// convention like every other stats source.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "svc/job.h"
+#include "util/lru.h"
+#include "util/table.h"
+
+namespace dmis::svc {
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t entries = 0;
+  std::uint64_t bytes = 0;  ///< sum of cached canonical-result sizes
+
+  double hit_rate() const {
+    const std::uint64_t lookups = hits + misses;
+    return lookups == 0 ? 0.0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(lookups);
+  }
+  friend bool operator==(const CacheStats&, const CacheStats&) = default;
+};
+
+class ResultCache {
+ public:
+  /// `capacity` total entries, split evenly across `shards` (each shard gets
+  /// at least one slot, so the effective total is >= shards).
+  explicit ResultCache(std::size_t capacity, std::size_t shards = 8);
+
+  std::size_t shard_count() const { return shards_.size(); }
+
+  /// Canonical result bytes for `key`, or nullopt (counts a hit/miss).
+  std::optional<std::string> get(const JobKey& key);
+
+  /// Inserts (or refreshes) `key`. Only kOk results belong here — the
+  /// service enforces that; the cache itself is value-agnostic.
+  void put(const JobKey& key, const std::string& canonical);
+
+  /// Aggregated over shards.
+  CacheStats stats() const;
+
+  /// Counters as a stats table (columns: metric, value) — the same surface
+  /// the CLI and benches print for cost accounting.
+  TextTable stats_table() const;
+
+ private:
+  struct Shard {
+    mutable std::mutex mutex;
+    LruCache<JobKey, std::string, JobKeyHash> lru;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t bytes = 0;
+
+    explicit Shard(std::size_t capacity) : lru(capacity) {}
+  };
+
+  Shard& shard_of(const JobKey& key) {
+    return *shards_[static_cast<std::size_t>(key.hi) % shards_.size()];
+  }
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace dmis::svc

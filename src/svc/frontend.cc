@@ -1,0 +1,406 @@
+#include "svc/frontend.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "graph/io.h"
+#include "util/check.h"
+#include "util/json.h"
+
+namespace dmis::svc {
+namespace {
+
+// Built by append (not operator+) to dodge a GCC 12 -Wrestrict false
+// positive on small-literal + to_string concatenation.
+std::string anon_id(std::uint64_t seq) {
+  std::string id = "#";
+  id += std::to_string(seq);
+  return id;
+}
+
+std::string id_from(const json::Value& v) {
+  if (v.is_string()) return v.as_string();
+  if (v.is_number()) return std::to_string(v.as_u64());
+  DMIS_CHECK(false, "request id must be a string or an unsigned integer");
+  return {};
+}
+
+double rate_field(const json::Value& obj, const char* name) {
+  const json::Value* v = obj.find(name);
+  if (v == nullptr) return 0.0;
+  const double rate = v->as_double();
+  DMIS_CHECK(rate >= 0.0 && rate <= 1.0,
+             "fault rate '" << name << "' out of [0,1]: " << rate);
+  return rate;
+}
+
+void parse_node_faults(const json::Value& arr, bool is_stall,
+                       FaultSchedule& schedule) {
+  for (const json::Value& entry : arr.as_array()) {
+    const auto& fields = entry.as_array();
+    DMIS_CHECK(fields.size() == (is_stall ? 3u : 2u),
+               (is_stall ? "stall entries are [node,round,duration]"
+                         : "crash entries are [node,round]"));
+    NodeFaultSpec spec;
+    spec.node = static_cast<NodeId>(fields[0].as_u64());
+    spec.round = fields[1].as_u64();
+    if (is_stall) {
+      spec.duration = fields[2].as_u64();
+      DMIS_CHECK(spec.duration > 0, "stall duration must be > 0");
+    }
+    schedule.node_faults.push_back(spec);
+  }
+}
+
+Graph graph_from_request(const json::Value& req) {
+  const json::Value* file = req.find("graph_file");
+  const json::Value* edges = req.find("edges");
+  DMIS_CHECK((file != nullptr) != (edges != nullptr),
+             "request needs exactly one graph source: "
+             "\"graph_file\" or \"n\"+\"edges\"");
+  if (file != nullptr) {
+    return read_edge_list_file(file->as_string());
+  }
+  const json::Value* n = req.find("n");
+  DMIS_CHECK(n != nullptr, "inline \"edges\" need a node count \"n\"");
+  GraphBuilder builder(static_cast<NodeId>(n->as_u64()));
+  for (const json::Value& e : edges->as_array()) {
+    const auto& pair = e.as_array();
+    DMIS_CHECK(pair.size() == 2, "edges are [u,v] pairs");
+    builder.add_edge(static_cast<NodeId>(pair[0].as_u64()),
+                     static_cast<NodeId>(pair[1].as_u64()));
+  }
+  return std::move(builder).build();
+}
+
+std::string escape_id(const std::string& id) {
+  return json::Value::string(id).dump();
+}
+
+std::string format_error(const std::string& id, const std::string& message) {
+  std::ostringstream oss;
+  oss << "{\"id\":" << escape_id(id)
+      << ",\"error\":" << json::Value::string(message).dump() << "}";
+  return oss.str();
+}
+
+/// The response line. `canonical` is embedded verbatim: the byte-identity
+/// guarantee of the result object is end-to-end, parser to output.
+std::string format_response(const std::string& id, const Completion& c,
+                            bool include_timing,
+                            const std::string& bundle_path) {
+  std::ostringstream oss;
+  oss << "{\"id\":" << escape_id(id)
+      << ",\"cached\":" << (c.cache_hit ? "true" : "false")
+      << ",\"result\":" << c.canonical;
+  if (!bundle_path.empty()) {
+    oss << ",\"bundle\":" << json::Value::string(bundle_path).dump();
+  }
+  if (include_timing) {
+    oss << ",\"elapsed_us\":"
+        << static_cast<std::uint64_t>(c.elapsed_s * 1e6);
+  }
+  oss << "}";
+  return oss.str();
+}
+
+std::string format_stats(const std::string& id,
+                         const ExecutionService& service) {
+  const CacheStats c = service.cache().stats();
+  const SchedulerStats s = service.scheduler().stats();
+  std::ostringstream oss;
+  oss << "{\"id\":" << escape_id(id) << ",\"stats\":{"
+      << "\"cache\":{\"hits\":" << c.hits << ",\"misses\":" << c.misses
+      << ",\"insertions\":" << c.insertions
+      << ",\"evictions\":" << c.evictions << ",\"entries\":" << c.entries
+      << ",\"bytes\":" << c.bytes << "},"
+      << "\"scheduler\":{\"submitted\":" << s.submitted
+      << ",\"executed\":" << s.executed << ",\"completed\":" << s.completed
+      << ",\"cancelled\":" << s.cancelled
+      << ",\"deadline_expired\":" << s.deadline_expired
+      << ",\"rejected\":" << s.rejected
+      << ",\"max_queue_depth\":" << s.max_queue_depth << "}}}";
+  return oss.str();
+}
+
+/// Writes the bundle once and returns its path ("" when not configured or
+/// nothing to write).
+std::string maybe_write_bundle(const FrontEndOptions& options,
+                               const JobKey& key,
+                               const std::string& bundle_text) {
+  if (options.bundle_dir.empty() || bundle_text.empty()) return {};
+  const std::string path = options.bundle_dir + "/" + key.hex() + ".bundle";
+  std::ofstream os(path, std::ios::binary);
+  DMIS_CHECK(os.good(), "cannot write bundle file " << path);
+  os << bundle_text;
+  return path;
+}
+
+}  // namespace
+
+Request parse_request(const std::string& line, std::uint64_t seq) {
+  const json::Value req = json::parse(line);
+  DMIS_CHECK(req.is_object(), "request must be a JSON object");
+
+  Request out;
+  if (const json::Value* id = req.find("id")) {
+    out.id = id_from(*id);
+  } else {
+    out.id = anon_id(seq);
+  }
+  if (const json::Value* cmd = req.find("cmd")) {
+    DMIS_CHECK(cmd->as_string() == "stats",
+               "unknown cmd '" << cmd->as_string() << "' (only \"stats\")");
+    out.stats = true;
+    return out;
+  }
+
+  const json::Value* algorithm = req.find("algorithm");
+  DMIS_CHECK(algorithm != nullptr, "request needs an \"algorithm\"");
+  out.spec.algorithm = algorithm->as_string();
+  if (const json::Value* seed = req.find("seed")) {
+    out.spec.seed = seed->as_u64();
+  }
+  if (const json::Value* mr = req.find("max_rounds")) {
+    out.spec.max_rounds = mr->as_u64();
+  }
+  out.spec.graph = graph_from_request(req);
+
+  if (const json::Value* faults = req.find("faults")) {
+    DMIS_CHECK(faults->is_object(), "\"faults\" must be an object");
+    FaultSchedule& schedule = out.spec.faults;
+    schedule.drop_rate = rate_field(*faults, "drop");
+    schedule.corrupt_rate = rate_field(*faults, "corrupt");
+    schedule.duplicate_rate = rate_field(*faults, "duplicate");
+    schedule.delay_rate = rate_field(*faults, "delay");
+    if (const json::Value* dr = faults->find("delay_rounds")) {
+      schedule.delay_rounds = dr->as_u64();
+    }
+    if (const json::Value* crash = faults->find("crash")) {
+      parse_node_faults(*crash, /*is_stall=*/false, schedule);
+    }
+    if (const json::Value* stall = faults->find("stall")) {
+      parse_node_faults(*stall, /*is_stall=*/true, schedule);
+    }
+    if (const json::Value* fs = faults->find("seed")) {
+      schedule.seed = fs->as_u64();
+    } else {
+      schedule.seed = out.spec.seed;  // mirrors the CLI's --fault-seed default
+    }
+  }
+
+  if (const json::Value* priority = req.find("priority")) {
+    const std::optional<JobPriority> parsed =
+        job_priority_from_name(priority->as_string());
+    DMIS_CHECK(parsed.has_value(),
+               "unknown priority '" << priority->as_string()
+                                    << "' (interactive|batch|background)");
+    out.priority = *parsed;
+  }
+  if (const json::Value* deadline = req.find("deadline_ms")) {
+    const double ms = deadline->as_double();
+    DMIS_CHECK(ms >= 0.0, "deadline_ms must be >= 0");
+    out.deadline_s = ms / 1e3;
+  }
+  return out;
+}
+
+std::string handle_request_line(ExecutionService& service,
+                                const FrontEndOptions& options,
+                                const std::string& line, std::uint64_t seq) {
+  Request request;
+  try {
+    request = parse_request(line, seq);
+  } catch (const std::exception& e) {
+    return format_error(anon_id(seq), e.what());
+  }
+  if (request.stats) return format_stats(request.id, service);
+  const Completion completion = service.run(std::move(request.spec),
+                                            request.priority,
+                                            request.deadline_s);
+  const std::string bundle_path =
+      maybe_write_bundle(options, completion.key, completion.bundle_text);
+  return format_response(request.id, completion, options.include_timing,
+                         bundle_path);
+}
+
+std::uint64_t serve_stream(std::istream& in, std::ostream& out,
+                           ExecutionService& service,
+                           const FrontEndOptions& options) {
+  std::uint64_t handled = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    ++handled;
+    out << handle_request_line(service, options, line, handled) << "\n";
+    out.flush();
+  }
+  return handled;
+}
+
+std::uint64_t run_batch(std::istream& in, std::ostream& out,
+                        ExecutionService& service,
+                        const FrontEndOptions& options) {
+  FrontEndOptions batch_options = options;
+  batch_options.include_timing = false;  // bit-identical output contract
+
+  // Parse the whole drain first; malformed lines respond in place.
+  struct Slot {
+    std::string id;
+    std::string error;   // set: emit an error response
+    bool stats = false;
+    std::size_t unique_index = 0;
+    bool first_occurrence = false;
+  };
+  std::vector<Slot> slots;
+  std::vector<Request> unique;  // first occurrence of each distinct JobKey
+  std::unordered_map<JobKey, std::size_t, JobKeyHash> seen;
+
+  std::string line;
+  std::uint64_t seq = 0;
+  while (std::getline(in, line)) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    ++seq;
+    Slot slot;
+    try {
+      Request request = parse_request(line, seq);
+      slot.id = request.id;
+      if (request.stats) {
+        slot.stats = true;
+      } else {
+        const JobKey key = job_key(request.spec);
+        const auto [it, inserted] = seen.emplace(key, unique.size());
+        slot.unique_index = it->second;
+        slot.first_occurrence = inserted;
+        if (inserted) unique.push_back(std::move(request));
+      }
+    } catch (const std::exception& e) {
+      slot.id = anon_id(seq);
+      slot.error = e.what();
+    }
+    slots.push_back(std::move(slot));
+  }
+
+  // Execute every distinct job once. Submission order is request order, so
+  // priority classes still shape who runs first; results are collected in
+  // the same deterministic order regardless of worker interleaving.
+  std::vector<ExecutionService::Pending> pending;
+  pending.reserve(unique.size());
+  for (Request& request : unique) {
+    pending.push_back(service.submit(std::move(request.spec),
+                                     request.priority, request.deadline_s));
+  }
+  std::vector<Completion> completions;
+  completions.reserve(pending.size());
+  for (ExecutionService::Pending& p : pending) {
+    completions.push_back(service.wait(p));
+  }
+  std::vector<std::string> bundle_paths(completions.size());
+  for (std::size_t i = 0; i < completions.size(); ++i) {
+    bundle_paths[i] = maybe_write_bundle(batch_options, completions[i].key,
+                                         completions[i].bundle_text);
+  }
+
+  // Emit in request order; duplicates of an earlier request are cache hits
+  // by definition (deterministic, not a race against worker timing).
+  std::uint64_t handled = 0;
+  for (const Slot& slot : slots) {
+    ++handled;
+    if (!slot.error.empty()) {
+      out << format_error(slot.id, slot.error) << "\n";
+      continue;
+    }
+    if (slot.stats) {
+      out << format_stats(slot.id, service) << "\n";
+      continue;
+    }
+    Completion c = completions[slot.unique_index];
+    c.cache_hit = c.cache_hit || !slot.first_occurrence;
+    out << format_response(slot.id, c, /*include_timing=*/false,
+                           bundle_paths[slot.unique_index])
+        << "\n";
+  }
+  out.flush();
+  return handled;
+}
+
+int serve_unix_socket(const std::string& path, ExecutionService& service,
+                      const FrontEndOptions& options) {
+  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listener < 0) {
+    std::perror("socket");
+    return 1;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    std::fprintf(stderr, "socket path too long: %s\n", path.c_str());
+    ::close(listener);
+    return 1;
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  ::unlink(path.c_str());
+  if (::bind(listener, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    std::perror("bind");
+    ::close(listener);
+    return 1;
+  }
+  if (::listen(listener, 4) != 0) {
+    std::perror("listen");
+    ::close(listener);
+    return 1;
+  }
+
+  std::uint64_t seq = 0;
+  for (;;) {
+    const int client = ::accept(listener, nullptr, nullptr);
+    if (client < 0) {
+      std::perror("accept");
+      ::close(listener);
+      return 1;
+    }
+    // One serve-style session per connection: read lines, answer in order.
+    std::string buffer;
+    char chunk[4096];
+    bool open = true;
+    while (open) {
+      const ssize_t got = ::read(client, chunk, sizeof(chunk));
+      if (got <= 0) break;
+      buffer.append(chunk, static_cast<std::size_t>(got));
+      std::size_t newline;
+      while ((newline = buffer.find('\n')) != std::string::npos) {
+        const std::string line = buffer.substr(0, newline);
+        buffer.erase(0, newline + 1);
+        if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+        ++seq;
+        const std::string response =
+            handle_request_line(service, options, line, seq) + "\n";
+        std::size_t sent = 0;
+        while (sent < response.size()) {
+          const ssize_t n = ::send(client, response.data() + sent,
+                                   response.size() - sent, MSG_NOSIGNAL);
+          if (n <= 0) {
+            open = false;
+            break;
+          }
+          sent += static_cast<std::size_t>(n);
+        }
+        if (!open) break;
+      }
+    }
+    ::close(client);
+  }
+}
+
+}  // namespace dmis::svc

@@ -1,0 +1,84 @@
+// Line-delimited JSON front end: `dmis serve` and `dmis batch`.
+//
+// One request per line, one response per line, in order. Two modes share
+// the protocol but differ in scheduling discipline:
+//   * serve_stream — sequential request/response over a stream (stdin or a
+//     Unix socket connection): each request runs through the service before
+//     the next is read, so cache hits/misses are a pure function of the
+//     request sequence and responses may carry timing.
+//   * run_batch — drains a whole request file: structurally identical
+//     requests are deduplicated by JobKey up front (first occurrence
+//     executes, the rest are reported as cache hits), unique jobs run
+//     concurrently on the scheduler, and responses are emitted in request
+//     order with no timing fields — batch output is bit-identical at any
+//     worker/thread count.
+//
+// Request object (all fields but "algorithm" + graph source optional):
+//   {"id":"r1","algorithm":"luby","seed":7,"graph_file":"g.el"}
+//   {"id":2,"algorithm":"congest","seed":1,"n":4,"edges":[[0,1],[2,3]],
+//    "priority":"interactive","deadline_ms":500,"max_rounds":0,
+//    "faults":{"seed":9,"drop":0.01,"crash":[[3,2]],"stall":[[1,4,2]]}}
+//   {"cmd":"stats"}                      — serving counters snapshot
+// Response:
+//   {"id":"r1","cached":false,"result":{...canonical...},"elapsed_us":N}
+//   {"id":"r1","error":"message"}        — malformed request (stream keeps going)
+// Failed jobs with a bundle directory configured also carry
+// "bundle":"<dir>/<jobkey>.bundle" pointing at a replayable repro bundle.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "svc/service.h"
+
+namespace dmis::svc {
+
+struct FrontEndOptions {
+  /// Attach "elapsed_us" to responses (serve). Batch forces this off to keep
+  /// its output bit-identical across thread counts.
+  bool include_timing = true;
+  /// When non-empty, failed jobs write their repro bundle to
+  /// `<bundle_dir>/<jobkey>.bundle` and reference it in the response.
+  std::string bundle_dir;
+};
+
+/// One parsed request line.
+struct Request {
+  std::string id;
+  bool stats = false;  ///< {"cmd":"stats"}
+  JobSpec spec;
+  JobPriority priority = JobPriority::kBatch;
+  std::optional<double> deadline_s;
+};
+
+/// Parses one request line; throws PreconditionError on malformed input.
+/// `seq` names anonymous requests ("#<seq>").
+Request parse_request(const std::string& line, std::uint64_t seq);
+
+/// Handles one request line end-to-end (parse, execute/lookup, format).
+/// Parse failures become {"error": ...} responses, never exceptions.
+std::string handle_request_line(ExecutionService& service,
+                                const FrontEndOptions& options,
+                                const std::string& line, std::uint64_t seq);
+
+/// Sequential request/response loop until EOF. Returns the number of
+/// requests handled.
+std::uint64_t serve_stream(std::istream& in, std::ostream& out,
+                           ExecutionService& service,
+                           const FrontEndOptions& options);
+
+/// Batch drain with JobKey deduplication (see file comment). Returns the
+/// number of requests handled.
+std::uint64_t run_batch(std::istream& in, std::ostream& out,
+                        ExecutionService& service,
+                        const FrontEndOptions& options);
+
+/// Accept loop on a Unix stream socket: one client at a time, each
+/// connection a serve_stream-style session. Runs until the process is
+/// signalled; returns nonzero on setup failure.
+int serve_unix_socket(const std::string& path, ExecutionService& service,
+                      const FrontEndOptions& options);
+
+}  // namespace dmis::svc

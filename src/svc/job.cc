@@ -1,0 +1,256 @@
+#include "svc/job.h"
+
+#include <bit>
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+#include "mis/replay.h"
+#include "rng/mix.h"
+#include "runtime/observer.h"
+#include "runtime/repro.h"
+#include "util/json.h"
+
+namespace dmis::svc {
+namespace {
+
+// Domain-separation tags for the two independent key folds.
+constexpr std::uint64_t kKeyTagHi = 0x6a6f626b65792d68ULL;  // "jobkey-h"
+constexpr std::uint64_t kKeyTagLo = 0x6a6f626b65792d6cULL;  // "jobkey-l"
+// Seed of the graph content digest folded into job keys.
+constexpr std::uint64_t kGraphDigestSeed = 0x6772646967657374ULL;
+
+class KeyFolder {
+ public:
+  explicit KeyFolder(std::uint64_t tag) : h_(mix64(tag)) {}
+  void add(std::uint64_t word) { h_ = mix64(h_, word); }
+  void add_rate(double rate) { add(std::bit_cast<std::uint64_t>(rate)); }
+  void add_string(const std::string& s) {
+    add(s.size());
+    std::uint64_t word = 0;
+    int filled = 0;
+    for (const char c : s) {
+      word |= static_cast<std::uint64_t>(static_cast<unsigned char>(c))
+              << (8 * filled);
+      if (++filled == 8) {
+        add(word);
+        word = 0;
+        filled = 0;
+      }
+    }
+    if (filled != 0) add(word);
+  }
+  std::uint64_t value() const { return h_; }
+
+ private:
+  std::uint64_t h_;
+};
+
+void fold_spec(KeyFolder& f, const JobSpec& spec) {
+  f.add(spec.graph.content_digest(kGraphDigestSeed));
+  f.add_string(spec.algorithm);
+  f.add(spec.seed);
+  f.add(spec.max_rounds);
+  // Normalized fault schedule: an empty schedule contributes a constant, so
+  // its (execution-irrelevant) seed cannot split cache keys.
+  if (spec.faults.empty()) {
+    f.add(0);
+    return;
+  }
+  f.add(1);
+  f.add(spec.faults.seed);
+  f.add_rate(spec.faults.drop_rate);
+  f.add_rate(spec.faults.corrupt_rate);
+  f.add_rate(spec.faults.duplicate_rate);
+  f.add_rate(spec.faults.delay_rate);
+  f.add(spec.faults.delay_rounds);
+  f.add(spec.faults.node_faults.size());
+  for (const NodeFaultSpec& nf : spec.faults.node_faults) {
+    f.add(nf.node);
+    f.add(nf.round);
+    f.add(nf.duration);
+  }
+}
+
+/// Hex mask of the MIS membership: nibble i holds nodes 4i..4i+3 (node
+/// 4i + j on bit j), lowercase, ceil(n/4) digits. Compact enough to embed in
+/// a response while still being a full certificate.
+std::string mask_to_hex(const std::vector<char>& mask) {
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  out.reserve((mask.size() + 3) / 4);
+  for (std::size_t i = 0; i < mask.size(); i += 4) {
+    int nibble = 0;
+    for (std::size_t j = 0; j < 4 && i + j < mask.size(); ++j) {
+      if (mask[i + j] != 0) nibble |= 1 << j;
+    }
+    out.push_back(digits[nibble]);
+  }
+  return out;
+}
+
+/// The canonical result JSON: field set and order are fixed, every value is
+/// a pure function of the spec — this exact byte string is what the result
+/// cache stores and what responses embed verbatim.
+std::string canonical_json(const JobSpec& spec, const FaultRunResult& r,
+                           JobStatus status) {
+  json::Value o = json::Value::object();
+  o.set("status", json::Value::string(job_status_name(status)));
+  o.set("algorithm", json::Value::string(spec.algorithm));
+  o.set("seed", json::Value::number(spec.seed));
+  o.set("max_rounds", json::Value::number(spec.max_rounds));
+  o.set("digest",
+        json::Value::number(spec.graph.content_digest(kGraphDigestSeed)));
+  o.set("n", json::Value::number(std::uint64_t{spec.graph.node_count()}));
+  o.set("m", json::Value::number(spec.graph.edge_count()));
+  o.set("mis_size", json::Value::number(r.run.mis_size()));
+  o.set("undecided", json::Value::number(r.run.undecided_count()));
+  o.set("rounds", json::Value::number(r.run.rounds));
+  o.set("messages", json::Value::number(r.run.costs.messages));
+  o.set("bits", json::Value::number(r.run.costs.bits));
+  o.set("beeps", json::Value::number(r.run.costs.beeps));
+  o.set("retries", json::Value::number(r.retries));
+  o.set("violations", json::Value::number(r.total_violations));
+  o.set("dropped", json::Value::number(r.fault_stats.dropped));
+  o.set("corrupted", json::Value::number(r.fault_stats.corrupted));
+  o.set("duplicated", json::Value::number(r.fault_stats.duplicated));
+  o.set("delayed", json::Value::number(r.fault_stats.delayed));
+  o.set("failure", json::Value::string(r.failure.kind));
+  if (r.failed()) {
+    o.set("failure_round", json::Value::number(r.failure.round));
+    o.set("failure_node", json::Value::number(r.failure.node));
+    o.set("failure_witness", json::Value::number(r.failure.witness));
+  }
+  o.set("mis", json::Value::string(mask_to_hex(r.run.in_mis)));
+  return o.dump();
+}
+
+std::string minimal_json(const JobSpec& spec, JobStatus status,
+                         const std::string& reason) {
+  json::Value o = json::Value::object();
+  o.set("status", json::Value::string(job_status_name(status)));
+  o.set("algorithm", json::Value::string(spec.algorithm));
+  o.set("seed", json::Value::number(spec.seed));
+  o.set("reason", json::Value::string(reason));
+  return o.dump();
+}
+
+/// Throws JobCancelledError at the next round boundary once the token
+/// expires — the cooperative preemption point of every engine.
+class CancelObserver final : public RoundObserver {
+ public:
+  explicit CancelObserver(const CancelToken* token) : token_(token) {}
+
+  void on_round_begin(const RoundContext&) override { check(); }
+  void on_phase_marker(const PhaseMarker&, const RoundContext&) override {
+    check();
+  }
+
+ private:
+  void check() const {
+    const CancelToken::Reason reason = token_->reason();
+    if (reason != CancelToken::Reason::kNone) {
+      throw JobCancelledError(reason);
+    }
+  }
+  const CancelToken* token_;
+};
+
+}  // namespace
+
+std::string JobKey::hex() const {
+  char buf[33];
+  std::snprintf(buf, sizeof(buf), "%016llx%016llx",
+                static_cast<unsigned long long>(hi),
+                static_cast<unsigned long long>(lo));
+  return buf;
+}
+
+JobKey job_key(const JobSpec& spec) {
+  KeyFolder hi(kKeyTagHi);
+  KeyFolder lo(kKeyTagLo);
+  fold_spec(hi, spec);
+  fold_spec(lo, spec);
+  return {hi.value(), lo.value()};
+}
+
+const char* job_status_name(JobStatus status) {
+  switch (status) {
+    case JobStatus::kOk: return "ok";
+    case JobStatus::kFailed: return "failed";
+    case JobStatus::kCancelled: return "cancelled";
+    case JobStatus::kRejected: return "rejected";
+  }
+  return "?";
+}
+
+void CancelToken::set_deadline_after(double seconds) {
+  const auto now = std::chrono::steady_clock::now().time_since_epoch();
+  const auto now_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(now).count();
+  const double budget_ns = seconds <= 0.0 ? 0.0 : seconds * 1e9;
+  deadline_ns_.store(now_ns + static_cast<std::int64_t>(budget_ns),
+                     std::memory_order_release);
+}
+
+CancelToken::Reason CancelToken::reason() const {
+  if (cancelled_.load(std::memory_order_acquire)) return Reason::kCancelled;
+  const auto now = std::chrono::steady_clock::now().time_since_epoch();
+  const auto now_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(now).count();
+  if (now_ns >= deadline_ns_.load(std::memory_order_acquire)) {
+    return Reason::kDeadline;
+  }
+  return Reason::kNone;
+}
+
+JobResult make_cancelled_result(const JobSpec& spec,
+                                CancelToken::Reason reason) {
+  JobResult out;
+  out.status = JobStatus::kCancelled;
+  out.canonical = minimal_json(spec, JobStatus::kCancelled,
+                               reason == CancelToken::Reason::kDeadline
+                                   ? "deadline"
+                                   : "cancelled");
+  return out;
+}
+
+JobResult execute_job(const JobSpec& spec, int threads, CancelToken* cancel) {
+  JobResult out;
+  if (!is_fault_algorithm(spec.algorithm)) {
+    out.status = JobStatus::kRejected;
+    out.canonical = minimal_json(spec, JobStatus::kRejected,
+                                 "unknown algorithm '" + spec.algorithm + "'");
+    return out;
+  }
+  if (cancel != nullptr && cancel->expired()) {
+    return make_cancelled_result(spec, cancel->reason());
+  }
+
+  CancelObserver watchdog(cancel);
+  std::vector<RoundObserver*> extra;
+  if (cancel != nullptr) extra.push_back(&watchdog);
+
+  try {
+    const FaultRunResult r =
+        run_algorithm_with_faults(spec.graph, spec.algorithm, spec.seed,
+                                  threads, spec.faults, spec.max_rounds, extra);
+    out.status = r.failed() ? JobStatus::kFailed : JobStatus::kOk;
+    out.canonical = canonical_json(spec, r, out.status);
+    if (r.failed()) {
+      // threads=1 in the bundle: the recorded failure is thread-invariant,
+      // and a fixed value keeps batch output bit-identical at any --threads.
+      const ReproBundle bundle = make_repro_bundle(
+          spec.graph, spec.algorithm, spec.seed, 1, spec.max_rounds,
+          spec.faults, r);
+      std::ostringstream oss;
+      write_repro_bundle(oss, bundle);
+      out.bundle_text = oss.str();
+    }
+  } catch (const JobCancelledError& e) {
+    out = make_cancelled_result(spec, e.reason());
+  }
+  return out;
+}
+
+}  // namespace dmis::svc

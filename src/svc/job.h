@@ -1,0 +1,130 @@
+// Job model of the batch execution service (DESIGN.md §11).
+//
+// A JobSpec is the canonical description of one MIS computation: graph
+// content, algorithm, seed, round budget, and fault schedule. Everything in
+// the spec — and nothing outside it — determines the result bit-for-bit:
+// thread count is deliberately *not* part of the spec, because the runtime's
+// determinism contract (runtime/parallel.h, runtime/faults.h) makes results
+// thread-count invariant. That is the service's cache-coherence argument in
+// one line: identical specs are identical computations, so a cached result
+// is a provably correct answer, not a stale approximation.
+//
+// JobKey is the 128-bit hash of a spec (graph content digest + scalar
+// fields); JobResult carries the outcome as a *canonical* JSON string whose
+// bytes are a pure function of the spec — the unit of cache storage and of
+// the byte-identical-response guarantee.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "graph/graph.h"
+#include "runtime/faults.h"
+
+namespace dmis::svc {
+
+/// One computation request. Supported algorithms are the wire-model registry
+/// of mis/replay.h (fault_algorithm_names()).
+struct JobSpec {
+  std::string algorithm;
+  std::uint64_t seed = 1;
+  std::uint64_t max_rounds = 0;  ///< 0 = algorithm default budget
+  FaultSchedule faults;
+  Graph graph;
+};
+
+/// 128-bit content hash of a JobSpec. Two independent 64-bit folds push the
+/// collision probability far below the graph digest's own 2^-64.
+struct JobKey {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  friend bool operator==(const JobKey&, const JobKey&) = default;
+  /// 32 lowercase hex chars (hi then lo) — also the repro-bundle file stem.
+  std::string hex() const;
+};
+
+struct JobKeyHash {
+  std::size_t operator()(const JobKey& k) const {
+    return static_cast<std::size_t>(k.hi ^ (k.lo * 0x9e3779b97f4a7c15ULL));
+  }
+};
+
+/// The canonical spec hash. An empty fault schedule is normalized (its seed
+/// is ignored) so "no faults with seed 3" and "no faults with seed 7" — the
+/// same computation — share a key.
+JobKey job_key(const JobSpec& spec);
+
+enum class JobStatus : std::uint8_t {
+  kOk,         ///< run finished, invariants hold, result cacheable
+  kFailed,     ///< run failed (violation/poisoned decode); repro bundle set
+  kCancelled,  ///< cancelled or deadline-expired; never cached
+  kRejected,   ///< inadmissible spec (unknown algorithm)
+};
+const char* job_status_name(JobStatus status);
+
+/// Outcome of one job. `canonical` is the deterministic result JSON object
+/// (see canonical docs above); `elapsed_s` and `cache_hit` are serving-side
+/// annotations that never enter the canonical bytes.
+struct JobResult {
+  JobStatus status = JobStatus::kOk;
+  std::string canonical;
+  /// Replayable repro bundle text (runtime/repro.h format), set iff the job
+  /// failed. Written with threads=1 — valid for any execution by the
+  /// thread-invariance contract.
+  std::string bundle_text;
+};
+
+/// Cooperative cancellation: checked by the per-job deadline observer at
+/// every round boundary, and by the scheduler before starting a queued job.
+class CancelToken {
+ public:
+  enum class Reason : std::uint8_t { kNone, kCancelled, kDeadline };
+
+  void cancel() { cancelled_.store(true, std::memory_order_release); }
+
+  /// Arms a wall-clock deadline `seconds` from now (steady clock).
+  void set_deadline_after(double seconds);
+
+  /// kCancelled dominates kDeadline when both hold.
+  Reason reason() const;
+  bool expired() const { return reason() != Reason::kNone; }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  std::atomic<std::int64_t> deadline_ns_{
+      std::numeric_limits<std::int64_t>::max()};
+};
+
+/// Thrown out of a run by the cancellation observer; execute_job converts it
+/// into a kCancelled result. Never escapes the service layer.
+class JobCancelledError : public std::runtime_error {
+ public:
+  explicit JobCancelledError(CancelToken::Reason reason)
+      : std::runtime_error(reason == CancelToken::Reason::kDeadline
+                               ? "job deadline exceeded"
+                               : "job cancelled"),
+        reason_(reason) {}
+  CancelToken::Reason reason() const { return reason_; }
+
+ private:
+  CancelToken::Reason reason_;
+};
+
+/// Runs one job to a JobResult. `threads` is the intra-job WorkerPool lane
+/// count (a pure performance knob). Never throws for spec-level problems:
+/// unknown algorithms yield kRejected, cancellation yields kCancelled,
+/// algorithm failures yield kFailed with a replayable bundle.
+JobResult execute_job(const JobSpec& spec, int threads,
+                      CancelToken* cancel = nullptr);
+
+/// A kCancelled result for a job that never ran (queue shutdown, deadline
+/// expired while queued).
+JobResult make_cancelled_result(const JobSpec& spec,
+                                CancelToken::Reason reason);
+
+}  // namespace dmis::svc

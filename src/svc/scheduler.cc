@@ -1,0 +1,198 @@
+#include "svc/scheduler.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "runtime/parallel.h"
+#include "util/check.h"
+
+namespace dmis::svc {
+
+const char* job_priority_name(JobPriority priority) {
+  switch (priority) {
+    case JobPriority::kInteractive: return "interactive";
+    case JobPriority::kBatch: return "batch";
+    case JobPriority::kBackground: return "background";
+  }
+  return "?";
+}
+
+std::optional<JobPriority> job_priority_from_name(const std::string& name) {
+  if (name == "interactive") return JobPriority::kInteractive;
+  if (name == "batch") return JobPriority::kBatch;
+  if (name == "background") return JobPriority::kBackground;
+  return std::nullopt;
+}
+
+bool Ticket::done() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return done_;
+}
+
+const JobResult& Ticket::wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [this] { return done_; });
+  return result_;
+}
+
+void Ticket::complete(JobResult result) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    result_ = std::move(result);
+    done_ = true;
+  }
+  done_cv_.notify_all();
+}
+
+Scheduler::Scheduler(SchedulerOptions options)
+    : workers_count_(std::max(options.workers, 1)),
+      threads_per_job_(WorkerPool::lanes_per_worker(options.total_threads,
+                                                    options.workers)),
+      queue_capacity_(std::max<std::size_t>(options.queue_capacity, 1)) {
+  workers_.reserve(static_cast<std::size_t>(workers_count_));
+  for (int w = 0; w < workers_count_; ++w) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+Scheduler::~Scheduler() {
+  std::vector<std::shared_ptr<Ticket>> orphaned;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+    for (auto& queue : queues_) {
+      for (auto& ticket : queue) orphaned.push_back(std::move(ticket));
+      queue.clear();
+    }
+    stats_.cancelled += orphaned.size();
+    stats_.completed += orphaned.size();
+  }
+  work_cv_.notify_all();
+  space_cv_.notify_all();
+  // Complete orphans outside the scheduler lock: waiters wake immediately
+  // and never deadlock against the dying scheduler.
+  for (const auto& ticket : orphaned) {
+    ticket->token_.cancel();
+    ticket->complete(make_cancelled_result(ticket->spec_,
+                                           CancelToken::Reason::kCancelled));
+  }
+  for (std::thread& t : workers_) t.join();
+}
+
+std::size_t Scheduler::queued_locked() const {
+  std::size_t total = 0;
+  for (const auto& queue : queues_) total += queue.size();
+  return total;
+}
+
+std::shared_ptr<Ticket> Scheduler::admit(JobSpec spec, JobPriority priority,
+                                         std::optional<double> deadline_s,
+                                         bool blocking) {
+  const auto klass = static_cast<std::size_t>(priority);
+  DMIS_CHECK(klass < kPriorityClasses,
+             "bad priority class " << static_cast<int>(priority));
+  auto ticket =
+      std::shared_ptr<Ticket>(new Ticket(std::move(spec), priority));
+  if (deadline_s.has_value()) ticket->token_.set_deadline_after(*deadline_s);
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  DMIS_CHECK(!shutdown_, "submit on a shut-down scheduler");
+  if (blocking) {
+    space_cv_.wait(lock, [this] {
+      return shutdown_ || queued_locked() < queue_capacity_;
+    });
+    DMIS_CHECK(!shutdown_, "scheduler shut down while awaiting admission");
+  } else if (queued_locked() >= queue_capacity_) {
+    ++stats_.rejected;
+    return nullptr;
+  }
+  queues_[klass].push_back(ticket);
+  ++stats_.submitted;
+  stats_.max_queue_depth = std::max(stats_.max_queue_depth, queued_locked());
+  lock.unlock();
+  work_cv_.notify_one();
+  return ticket;
+}
+
+std::shared_ptr<Ticket> Scheduler::submit(JobSpec spec, JobPriority priority,
+                                          std::optional<double> deadline_s) {
+  return admit(std::move(spec), priority, deadline_s, /*blocking=*/true);
+}
+
+std::shared_ptr<Ticket> Scheduler::try_submit(
+    JobSpec spec, JobPriority priority, std::optional<double> deadline_s) {
+  return admit(std::move(spec), priority, deadline_s, /*blocking=*/false);
+}
+
+std::shared_ptr<Ticket> Scheduler::pop_locked() {
+  for (auto& queue : queues_) {  // strict priority: class 0 first
+    if (!queue.empty()) {
+      std::shared_ptr<Ticket> ticket = std::move(queue.front());
+      queue.pop_front();
+      return ticket;
+    }
+  }
+  return nullptr;
+}
+
+void Scheduler::worker_loop() {
+  for (;;) {
+    std::shared_ptr<Ticket> ticket;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock,
+                    [this] { return shutdown_ || queued_locked() > 0; });
+      if (shutdown_ && queued_locked() == 0) return;
+      ticket = pop_locked();
+    }
+    space_cv_.notify_one();
+    if (ticket == nullptr) continue;
+
+    JobResult result;
+    const CancelToken::Reason pre = ticket->token_.reason();
+    bool executed = false;
+    if (pre != CancelToken::Reason::kNone) {
+      // Expired while queued: complete without running — an abandoned or
+      // impossible deadline must not occupy a worker.
+      result = make_cancelled_result(ticket->spec_, pre);
+    } else {
+      result = execute_job(ticket->spec_, threads_per_job_, &ticket->token_);
+      executed = true;
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (executed) ++stats_.executed;
+      ++stats_.completed;
+      if (result.status == JobStatus::kCancelled) {
+        const CancelToken::Reason reason = ticket->token_.reason();
+        if (reason == CancelToken::Reason::kDeadline) {
+          ++stats_.deadline_expired;
+        } else {
+          ++stats_.cancelled;
+        }
+      }
+    }
+    ticket->complete(std::move(result));
+  }
+}
+
+SchedulerStats Scheduler::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+TextTable Scheduler::stats_table() const {
+  const SchedulerStats s = stats();
+  TextTable table({"metric", "value"});
+  table.row().cell("jobs_submitted").cell(s.submitted);
+  table.row().cell("jobs_executed").cell(s.executed);
+  table.row().cell("jobs_completed").cell(s.completed);
+  table.row().cell("jobs_cancelled").cell(s.cancelled);
+  table.row().cell("jobs_deadline_expired").cell(s.deadline_expired);
+  table.row().cell("jobs_rejected").cell(s.rejected);
+  table.row().cell("max_queue_depth").cell(s.max_queue_depth);
+  return table;
+}
+
+}  // namespace dmis::svc

@@ -1,0 +1,150 @@
+// Job scheduler of the batch execution service.
+//
+// A bounded admission queue with three priority classes feeding a fixed
+// worker pool. Design points:
+//   * Backpressure, not unbounded buffering: `submit` blocks while the queue
+//     is at capacity (`try_submit` refuses instead), so a producer can never
+//     grow memory without bound — admission is the memory ceiling.
+//   * Priorities are strict with FIFO within a class: interactive beats
+//     batch beats background. Starvation of lower classes under sustained
+//     higher-class load is the documented, intended policy.
+//   * One thread budget: the scheduler runs `workers` jobs concurrently and
+//     gives each job `WorkerPool::lanes_per_worker(total_threads, workers)`
+//     intra-job lanes, so concurrent jobs plus deterministic node stepping
+//     never oversubscribe (runtime/parallel.h).
+//   * Cancellation/deadline never stalls the queue: an expired ticket is
+//     completed as kCancelled without executing, and a running job is
+//     aborted at its next round boundary by the per-job observer
+//     (svc/job.h). Determinism makes scheduling order irrelevant to result
+//     *content* — only latency depends on the queue.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "svc/job.h"
+#include "util/table.h"
+
+namespace dmis::svc {
+
+enum class JobPriority : std::uint8_t {
+  kInteractive = 0,
+  kBatch = 1,
+  kBackground = 2,
+};
+inline constexpr std::size_t kPriorityClasses = 3;
+
+const char* job_priority_name(JobPriority priority);
+/// Parses "interactive" / "batch" / "background"; nullopt otherwise.
+std::optional<JobPriority> job_priority_from_name(const std::string& name);
+
+struct SchedulerOptions {
+  int workers = 1;            ///< concurrent jobs
+  int total_threads = 1;      ///< budget shared by all concurrent jobs
+  std::size_t queue_capacity = 256;  ///< admission bound (queued, not running)
+};
+
+struct SchedulerStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t executed = 0;   ///< jobs that actually ran
+  std::uint64_t completed = 0;  ///< tickets finished (any status)
+  std::uint64_t cancelled = 0;  ///< explicit cancel or shutdown
+  std::uint64_t deadline_expired = 0;
+  std::uint64_t rejected = 0;   ///< try_submit refusals (queue full)
+  std::uint64_t max_queue_depth = 0;
+
+  friend bool operator==(const SchedulerStats&, const SchedulerStats&) =
+      default;
+};
+
+/// Handle to one submitted job. Created only by Scheduler; shared between
+/// the submitter and the worker that completes it.
+class Ticket {
+ public:
+  const JobSpec& spec() const { return spec_; }
+  JobPriority priority() const { return priority_; }
+
+  /// Requests cancellation: a queued job completes as kCancelled without
+  /// running; a running job stops at its next round boundary.
+  void cancel() { token_.cancel(); }
+
+  bool done() const;
+  /// Blocks until the job completes. The reference stays valid for the
+  /// ticket's lifetime.
+  const JobResult& wait();
+
+ private:
+  friend class Scheduler;
+  Ticket(JobSpec spec, JobPriority priority) noexcept
+      : spec_(std::move(spec)), priority_(priority) {}
+
+  void complete(JobResult result);
+
+  JobSpec spec_;
+  JobPriority priority_;
+  CancelToken token_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable done_cv_;
+  bool done_ = false;
+  JobResult result_;
+};
+
+class Scheduler {
+ public:
+  explicit Scheduler(SchedulerOptions options);
+  /// Cancels everything still queued, waits for running jobs, joins workers.
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  int worker_count() const { return workers_count_; }
+  /// Intra-job WorkerPool lanes each job gets (the budget split).
+  int threads_per_job() const { return threads_per_job_; }
+
+  /// Admits a job, blocking while the queue is full (backpressure).
+  /// `deadline_s`, when set, arms a wall-clock deadline counted from
+  /// admission.
+  std::shared_ptr<Ticket> submit(JobSpec spec,
+                                 JobPriority priority = JobPriority::kBatch,
+                                 std::optional<double> deadline_s = {});
+
+  /// Non-blocking admission; nullptr when the queue is at capacity (the
+  /// refusal is counted in stats().rejected).
+  std::shared_ptr<Ticket> try_submit(
+      JobSpec spec, JobPriority priority = JobPriority::kBatch,
+      std::optional<double> deadline_s = {});
+
+  SchedulerStats stats() const;
+  TextTable stats_table() const;
+
+ private:
+  std::shared_ptr<Ticket> admit(JobSpec spec, JobPriority priority,
+                                std::optional<double> deadline_s,
+                                bool blocking);
+  void worker_loop();
+  std::shared_ptr<Ticket> pop_locked();
+  std::size_t queued_locked() const;
+
+  int workers_count_;
+  int threads_per_job_;
+  std::size_t queue_capacity_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;   // workers wait for jobs / shutdown
+  std::condition_variable space_cv_;  // submitters wait for queue space
+  std::deque<std::shared_ptr<Ticket>> queues_[kPriorityClasses];
+  bool shutdown_ = false;
+  SchedulerStats stats_;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace dmis::svc

@@ -1,0 +1,52 @@
+#include "svc/service.h"
+
+#include <utility>
+
+namespace dmis::svc {
+
+ExecutionService::ExecutionService(ServiceOptions options)
+    : cache_(options.cache_entries, options.cache_shards),
+      scheduler_(options.scheduler) {}
+
+ExecutionService::Pending ExecutionService::submit(
+    JobSpec spec, JobPriority priority, std::optional<double> deadline_s) {
+  Pending pending;
+  pending.start_ = std::chrono::steady_clock::now();
+  pending.key_ = job_key(spec);
+  if (std::optional<std::string> cached = cache_.get(pending.key_)) {
+    pending.cached_ = std::move(*cached);
+    return pending;
+  }
+  pending.ticket_ = scheduler_.submit(std::move(spec), priority, deadline_s);
+  return pending;
+}
+
+Completion ExecutionService::wait(Pending& pending) {
+  Completion out;
+  out.key = pending.key_;
+  if (pending.ticket_ == nullptr) {
+    out.status = JobStatus::kOk;  // only OK results are ever cached
+    out.cache_hit = true;
+    out.canonical = std::move(pending.cached_);
+  } else {
+    const JobResult& result = pending.ticket_->wait();
+    out.status = result.status;
+    out.canonical = result.canonical;
+    out.bundle_text = result.bundle_text;
+    if (result.status == JobStatus::kOk) {
+      cache_.put(pending.key_, result.canonical);
+    }
+  }
+  out.elapsed_s = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - pending.start_)
+                      .count();
+  return out;
+}
+
+Completion ExecutionService::run(JobSpec spec, JobPriority priority,
+                                 std::optional<double> deadline_s) {
+  Pending pending = submit(std::move(spec), priority, deadline_s);
+  return wait(pending);
+}
+
+}  // namespace dmis::svc

@@ -1,0 +1,84 @@
+// Execution service: scheduler + result cache behind one submit/wait API.
+//
+// The cache sits in front of admission: a submit whose JobKey is cached
+// completes immediately with the stored canonical bytes — no queue slot, no
+// worker, no thread budget. Misses go through the scheduler; an OK result is
+// inserted into the cache when the waiter collects it. Failed, cancelled and
+// rejected jobs are never cached ("no poisoning"): a deadline that fired
+// once must not make the answer unavailable forever, and a faulted failure
+// is re-derivable from its bundle instead.
+#pragma once
+
+#include <chrono>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "svc/cache.h"
+#include "svc/job.h"
+#include "svc/scheduler.h"
+#include "util/table.h"
+
+namespace dmis::svc {
+
+struct ServiceOptions {
+  SchedulerOptions scheduler;
+  std::size_t cache_entries = 4096;
+  std::size_t cache_shards = 8;
+};
+
+/// Terminal outcome of one service request.
+struct Completion {
+  JobKey key;
+  JobStatus status = JobStatus::kOk;
+  bool cache_hit = false;
+  /// Canonical result JSON — byte-identical for identical specs, whether it
+  /// came from the cache or a fresh execution.
+  std::string canonical;
+  std::string bundle_text;  ///< set iff status == kFailed
+  double elapsed_s = 0.0;   ///< serving-side; never part of canonical bytes
+};
+
+class ExecutionService {
+ public:
+  explicit ExecutionService(ServiceOptions options);
+
+  /// In-flight request: either an immediate cache hit or a scheduler ticket.
+  class Pending {
+   public:
+    bool cache_hit() const { return ticket_ == nullptr; }
+    void cancel() {
+      if (ticket_ != nullptr) ticket_->cancel();
+    }
+
+   private:
+    friend class ExecutionService;
+    JobKey key_;
+    std::string cached_;  // canonical bytes when hit
+    std::shared_ptr<Ticket> ticket_;
+    std::chrono::steady_clock::time_point start_;
+  };
+
+  /// Cache lookup, then admission on miss (blocking when the queue is full —
+  /// the scheduler's backpressure applies to the service API unchanged).
+  Pending submit(JobSpec spec, JobPriority priority = JobPriority::kBatch,
+                 std::optional<double> deadline_s = {});
+
+  /// Blocks until done; inserts OK results into the cache.
+  Completion wait(Pending& pending);
+
+  /// submit + wait.
+  Completion run(JobSpec spec, JobPriority priority = JobPriority::kBatch,
+                 std::optional<double> deadline_s = {});
+
+  ResultCache& cache() { return cache_; }
+  const ResultCache& cache() const { return cache_; }
+  Scheduler& scheduler() { return scheduler_; }
+  const Scheduler& scheduler() const { return scheduler_; }
+
+ private:
+  ResultCache cache_;
+  Scheduler scheduler_;
+};
+
+}  // namespace dmis::svc

@@ -1,0 +1,445 @@
+#include "util/json.h"
+
+#include <cctype>
+#include <cerrno>
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace dmis::json {
+namespace {
+
+constexpr int kMaxDepth = 64;
+
+bool is_digit(char c) { return c >= '0' && c <= '9'; }
+
+/// True iff `s` is exactly one valid JSON number token.
+bool is_number_token(std::string_view s) {
+  std::size_t i = 0;
+  if (i < s.size() && s[i] == '-') ++i;
+  if (i >= s.size() || !is_digit(s[i])) return false;
+  if (s[i] == '0') {
+    ++i;
+  } else {
+    while (i < s.size() && is_digit(s[i])) ++i;
+  }
+  if (i < s.size() && s[i] == '.') {
+    ++i;
+    if (i >= s.size() || !is_digit(s[i])) return false;
+    while (i < s.size() && is_digit(s[i])) ++i;
+  }
+  if (i < s.size() && (s[i] == 'e' || s[i] == 'E')) {
+    ++i;
+    if (i < s.size() && (s[i] == '+' || s[i] == '-')) ++i;
+    if (i >= s.size() || !is_digit(s[i])) return false;
+    while (i < s.size() && is_digit(s[i])) ++i;
+  }
+  return i == s.size();
+}
+
+}  // namespace
+
+Value Value::null() { return Value(); }
+
+Value Value::boolean(bool b) {
+  Value v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+Value Value::number(std::uint64_t n) {
+  Value v;
+  v.kind_ = Kind::kNumber;
+  v.scalar_ = std::to_string(n);
+  return v;
+}
+
+Value Value::number(std::int64_t n) {
+  Value v;
+  v.kind_ = Kind::kNumber;
+  v.scalar_ = std::to_string(n);
+  return v;
+}
+
+Value Value::number(double d) {
+  DMIS_CHECK(d == d && d - d == 0.0, "JSON cannot represent nan/inf");
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", d);
+  Value v;
+  v.kind_ = Kind::kNumber;
+  v.scalar_ = buf;
+  return v;
+}
+
+Value Value::number_token(std::string token) {
+  DMIS_CHECK(is_number_token(token), "not a JSON number token: " << token);
+  Value v;
+  v.kind_ = Kind::kNumber;
+  v.scalar_ = std::move(token);
+  return v;
+}
+
+Value Value::string(std::string s) {
+  Value v;
+  v.kind_ = Kind::kString;
+  v.scalar_ = std::move(s);
+  return v;
+}
+
+Value Value::array() {
+  Value v;
+  v.kind_ = Kind::kArray;
+  return v;
+}
+
+Value Value::object() {
+  Value v;
+  v.kind_ = Kind::kObject;
+  return v;
+}
+
+bool Value::as_bool() const {
+  DMIS_CHECK(is_bool(), "JSON value is not a bool");
+  return bool_;
+}
+
+std::uint64_t Value::as_u64() const {
+  DMIS_CHECK(is_number(), "JSON value is not a number");
+  std::uint64_t out = 0;
+  const auto [ptr, ec] =
+      std::from_chars(scalar_.data(), scalar_.data() + scalar_.size(), out);
+  DMIS_CHECK(ec == std::errc() && ptr == scalar_.data() + scalar_.size(),
+             "JSON number is not an unsigned 64-bit integer: " << scalar_);
+  return out;
+}
+
+std::int64_t Value::as_i64() const {
+  DMIS_CHECK(is_number(), "JSON value is not a number");
+  std::int64_t out = 0;
+  const auto [ptr, ec] =
+      std::from_chars(scalar_.data(), scalar_.data() + scalar_.size(), out);
+  DMIS_CHECK(ec == std::errc() && ptr == scalar_.data() + scalar_.size(),
+             "JSON number is not a signed 64-bit integer: " << scalar_);
+  return out;
+}
+
+double Value::as_double() const {
+  DMIS_CHECK(is_number(), "JSON value is not a number");
+  errno = 0;
+  char* end = nullptr;
+  const double out = std::strtod(scalar_.c_str(), &end);
+  DMIS_CHECK(errno == 0 && end == scalar_.c_str() + scalar_.size(),
+             "JSON number out of double range: " << scalar_);
+  return out;
+}
+
+const std::string& Value::as_string() const {
+  DMIS_CHECK(is_string(), "JSON value is not a string");
+  return scalar_;
+}
+
+const std::vector<Value>& Value::as_array() const {
+  DMIS_CHECK(is_array(), "JSON value is not an array");
+  return array_;
+}
+
+const std::vector<Member>& Value::as_object() const {
+  DMIS_CHECK(is_object(), "JSON value is not an object");
+  return members_;
+}
+
+const Value* Value::find(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+void Value::push_back(Value v) {
+  DMIS_CHECK(is_array(), "push_back on a non-array JSON value");
+  array_.push_back(std::move(v));
+}
+
+void Value::set(std::string key, Value v) {
+  DMIS_CHECK(is_object(), "set on a non-object JSON value");
+  for (auto& [k, existing] : members_) {
+    if (k == key) {
+      existing = std::move(v);
+      return;
+    }
+  }
+  members_.emplace_back(std::move(key), std::move(v));
+}
+
+namespace {
+
+void write_escaped(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+void Value::write(std::ostream& os) const {
+  switch (kind_) {
+    case Kind::kNull: os << "null"; break;
+    case Kind::kBool: os << (bool_ ? "true" : "false"); break;
+    case Kind::kNumber: os << scalar_; break;
+    case Kind::kString: write_escaped(os, scalar_); break;
+    case Kind::kArray: {
+      os << '[';
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        if (i != 0) os << ',';
+        array_[i].write(os);
+      }
+      os << ']';
+      break;
+    }
+    case Kind::kObject: {
+      os << '{';
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        if (i != 0) os << ',';
+        write_escaped(os, members_[i].first);
+        os << ':';
+        members_[i].second.write(os);
+      }
+      os << '}';
+      break;
+    }
+  }
+}
+
+std::string Value::dump() const {
+  std::ostringstream oss;
+  write(oss);
+  return oss.str();
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value parse_document() {
+    Value v = parse_value(0);
+    skip_ws();
+    DMIS_CHECK(pos_ == text_.size(),
+               "trailing characters after JSON document at offset " << pos_);
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    DMIS_CHECK(false, "JSON parse error at offset " << pos_ << ": " << what);
+    std::abort();  // unreachable; DMIS_CHECK(false, ...) always throws
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  Value parse_value(int depth) {
+    if (depth > kMaxDepth) fail("nesting too deep");
+    skip_ws();
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object(depth);
+      case '[': return parse_array(depth);
+      case '"': return Value::string(parse_string());
+      case 't':
+        if (!consume_literal("true")) fail("bad literal");
+        return Value::boolean(true);
+      case 'f':
+        if (!consume_literal("false")) fail("bad literal");
+        return Value::boolean(false);
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        return Value::null();
+      default: return parse_number();
+    }
+  }
+
+  Value parse_object(int depth) {
+    expect('{');
+    Value obj = Value::object();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return obj;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      obj.set(std::move(key), parse_value(depth + 1));
+      skip_ws();
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == '}') {
+        ++pos_;
+        return obj;
+      }
+      fail("expected ',' or '}' in object");
+    }
+  }
+
+  Value parse_array(int depth) {
+    expect('[');
+    Value arr = Value::array();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return arr;
+    }
+    while (true) {
+      arr.push_back(parse_value(depth + 1));
+      skip_ws();
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == ']') {
+        ++pos_;
+        return arr;
+      }
+      fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) fail("control char in string");
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned int code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned int>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned int>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned int>(h - 'A' + 10);
+            } else {
+              fail("bad hex digit in \\u escape");
+            }
+          }
+          if (code > 0x7f) fail("non-ASCII \\u escape unsupported");
+          out.push_back(static_cast<char>(code));
+          break;
+        }
+        default: fail("bad escape character");
+      }
+    }
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    if (pos_ >= text_.size() || !is_digit(text_[pos_])) fail("bad number");
+    if (text_[pos_] == '0') {
+      ++pos_;
+    } else {
+      while (pos_ < text_.size() && is_digit(text_[pos_])) ++pos_;
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (pos_ >= text_.size() || !is_digit(text_[pos_])) {
+        fail("bad number fraction");
+      }
+      while (pos_ < text_.size() && is_digit(text_[pos_])) ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() || !is_digit(text_[pos_])) {
+        fail("bad number exponent");
+      }
+      while (pos_ < text_.size() && is_digit(text_[pos_])) ++pos_;
+    }
+    return Value::number_token(std::string(text_.substr(start, pos_ - start)));
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Value parse(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace dmis::json

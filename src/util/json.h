@@ -1,0 +1,99 @@
+// Minimal JSON document model for the service front end.
+//
+// The batch execution service (src/svc) speaks line-delimited JSON, so the
+// repository needs a parser/serializer with three properties the usual
+// "store everything as double" toy parsers lack:
+//   1. exact integers — seeds are full 64-bit words, so number tokens are
+//      kept verbatim and converted on access (as_u64 never round-trips
+//      through a double);
+//   2. deterministic output — objects preserve insertion order and numbers
+//      are emitted as their original/constructed token, so a serialized
+//      document is a pure function of its construction sequence (the
+//      byte-identical-response guarantee of DESIGN.md §11 rests on this);
+//   3. loud failure — malformed input throws PreconditionError with a
+//      character position, never yields a half-parsed value.
+// Full JSON except: no \uXXXX escapes beyond ASCII (rejected loudly), no
+// nesting deeper than kMaxDepth (stack safety on adversarial input).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace dmis::json {
+
+class Value;
+
+using Member = std::pair<std::string, Value>;
+
+class Value {
+ public:
+  enum class Kind : std::uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  Value() = default;  // null
+
+  static Value null();
+  static Value boolean(bool b);
+  /// Numbers from code: integers keep their exact decimal token; doubles are
+  /// formatted with enough digits to round-trip bit-for-bit.
+  static Value number(std::uint64_t v);
+  static Value number(std::int64_t v);
+  static Value number(double v);
+  /// A number from a pre-formatted token (must be a valid JSON number).
+  static Value number_token(std::string token);
+  static Value string(std::string s);
+  static Value array();
+  static Value object();
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Typed accessors; throw PreconditionError on kind mismatch (and, for
+  /// the integer accessors, on tokens outside the target range).
+  bool as_bool() const;
+  std::uint64_t as_u64() const;
+  std::int64_t as_i64() const;
+  double as_double() const;
+  const std::string& as_string() const;
+  const std::vector<Value>& as_array() const;
+  const std::vector<Member>& as_object() const;
+
+  /// Object member lookup; nullptr when absent (or not an object).
+  const Value* find(std::string_view key) const;
+
+  /// Mutators (builders). Throw on kind mismatch.
+  void push_back(Value v);
+  void set(std::string key, Value v);
+
+  /// Serializes compactly (no whitespace), deterministically.
+  void write(std::ostream& os) const;
+  std::string dump() const;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  std::string scalar_;        // number token or string payload
+  std::vector<Value> array_;  // also object member values? no: see members_
+  std::vector<Member> members_;
+};
+
+/// Parses one JSON document; the whole input must be consumed (trailing
+/// whitespace allowed). Throws PreconditionError on malformed input.
+Value parse(std::string_view text);
+
+}  // namespace dmis::json

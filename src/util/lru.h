@@ -1,0 +1,95 @@
+// Least-recently-used cache primitive.
+//
+// A plain single-threaded LRU map: the result cache of the batch execution
+// service (src/svc/cache.h) wraps one instance per shard behind a shard
+// mutex, but the primitive itself is synchronization-free so tests and other
+// subsystems can use it directly. Eviction order is exact LRU on get/put
+// touches; capacity is counted in entries.
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <unordered_map>
+#include <utility>
+
+#include "util/check.h"
+
+namespace dmis {
+
+template <typename K, typename V, typename Hash = std::hash<K>>
+class LruCache {
+ public:
+  /// A cache holding at most `capacity` entries. capacity >= 1.
+  explicit LruCache(std::size_t capacity) : capacity_(capacity) {
+    DMIS_CHECK(capacity >= 1, "LruCache capacity must be >= 1");
+  }
+
+  std::size_t size() const { return entries_.size(); }
+  std::size_t capacity() const { return capacity_; }
+
+  /// Looks up `key` and marks it most-recently-used. Returns nullptr on
+  /// miss. The pointer stays valid until the entry is evicted or the cache
+  /// is destroyed.
+  V* get(const K& key) {
+    const auto it = index_.find(key);
+    if (it == index_.end()) return nullptr;
+    entries_.splice(entries_.begin(), entries_, it->second);
+    return &it->second->second;
+  }
+
+  /// Lookup without touching the recency order (for stats/tests).
+  const V* peek(const K& key) const {
+    const auto it = index_.find(key);
+    return it == index_.end() ? nullptr : &it->second->second;
+  }
+
+  /// Inserts or overwrites `key`, marking it most-recently-used. Returns the
+  /// number of entries evicted to make room (0 or 1; overwrites evict
+  /// nothing).
+  std::size_t put(K key, V value) {
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      it->second->second = std::move(value);
+      entries_.splice(entries_.begin(), entries_, it->second);
+      return 0;
+    }
+    std::size_t evicted = 0;
+    if (entries_.size() >= capacity_) {
+      index_.erase(entries_.back().first);
+      entries_.pop_back();
+      evicted = 1;
+    }
+    entries_.emplace_front(std::move(key), std::move(value));
+    index_.emplace(entries_.front().first, entries_.begin());
+    return evicted;
+  }
+
+  /// Erases `key` if present; returns whether it was.
+  bool erase(const K& key) {
+    const auto it = index_.find(key);
+    if (it == index_.end()) return false;
+    entries_.erase(it->second);
+    index_.erase(it);
+    return true;
+  }
+
+  /// The least-recently-used entry — the next eviction victim — or nullptr
+  /// when empty. Lets wrappers account for what an imminent put will evict.
+  const std::pair<K, V>* lru_entry() const {
+    return entries_.empty() ? nullptr : &entries_.back();
+  }
+
+  /// Keys in most-recently-used-first order (for tests).
+  template <typename Fn>
+  void for_each_mru(Fn&& fn) const {
+    for (const auto& [k, v] : entries_) fn(k, v);
+  }
+
+ private:
+  using Entry = std::pair<K, V>;
+  std::size_t capacity_;
+  std::list<Entry> entries_;  // front = most recently used
+  std::unordered_map<K, typename std::list<Entry>::iterator, Hash> index_;
+};
+
+}  // namespace dmis

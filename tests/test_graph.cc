@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
 
 #include "graph/graph.h"
 #include "util/check.h"
@@ -118,6 +121,68 @@ TEST(Graph, LargeStarDegrees) {
   EXPECT_EQ(g.edge_count(), 1000u);
   EXPECT_TRUE(g.has_edge(0, 567));
   EXPECT_FALSE(g.has_edge(1, 2));
+}
+
+Graph graph_from_edges(NodeId n,
+                       const std::vector<std::pair<NodeId, NodeId>>& edges) {
+  GraphBuilder b(n);
+  for (const auto& [u, v] : edges) b.add_edge(u, v);
+  return std::move(b).build();
+}
+
+TEST(GraphDigest, InsertionOrderInvariant) {
+  // The digest is a function of the edge *set*: any insertion order (and
+  // either endpoint order) of the same edges produces the same value.
+  const std::vector<std::pair<NodeId, NodeId>> edges{
+      {0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 2}};
+  const Graph forward = graph_from_edges(5, edges);
+
+  std::vector<std::pair<NodeId, NodeId>> shuffled(edges.rbegin(),
+                                                  edges.rend());
+  for (auto& [u, v] : shuffled) std::swap(u, v);
+  const Graph backward = graph_from_edges(5, shuffled);
+
+  EXPECT_EQ(forward.content_digest(), backward.content_digest());
+  EXPECT_EQ(forward.content_digest(42), backward.content_digest(42));
+}
+
+TEST(GraphDigest, DistinguishesContent) {
+  const Graph base = graph_from_edges(4, {{0, 1}, {2, 3}});
+  // Different edge set, same counts.
+  const Graph other = graph_from_edges(4, {{0, 2}, {1, 3}});
+  EXPECT_NE(base.content_digest(), other.content_digest());
+  // A relabeling is a different labeled graph: digests differ even though
+  // the graphs are isomorphic (the digest is not an isomorphism invariant).
+  const Graph relabeled = graph_from_edges(4, {{1, 2}, {3, 0}});
+  EXPECT_NE(base.content_digest(), relabeled.content_digest());
+  // More nodes with the same edges also changes the digest.
+  const Graph padded = graph_from_edges(5, {{0, 1}, {2, 3}});
+  EXPECT_NE(base.content_digest(), padded.content_digest());
+  // Distinct digest seeds decorrelate the hash family.
+  EXPECT_NE(base.content_digest(1), base.content_digest(2));
+}
+
+TEST(GraphDigest, CollisionSmoke) {
+  // Hash a family of near-identical graphs (one edge toggled at a time) and
+  // require all digests distinct — a weak combiner (plain XOR or sum of
+  // unmixed pairs) fails this immediately.
+  std::vector<std::uint64_t> digests;
+  const NodeId n = 24;
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId u = 0; u < n; ++u) {
+    edges.emplace_back(u, (u + 1) % n);
+  }
+  digests.push_back(graph_from_edges(n, edges).content_digest());
+  for (std::size_t skip = 0; skip < edges.size(); ++skip) {
+    std::vector<std::pair<NodeId, NodeId>> subset;
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      if (i != skip) subset.push_back(edges[i]);
+    }
+    digests.push_back(graph_from_edges(n, subset).content_digest());
+  }
+  std::sort(digests.begin(), digests.end());
+  EXPECT_EQ(std::adjacent_find(digests.begin(), digests.end()),
+            digests.end());
 }
 
 }  // namespace

@@ -300,5 +300,152 @@ TEST(CostAccounting, BandwidthBitsEdgeCases) {
   EXPECT_EQ(congest_bandwidth_bits(2, 64), 64);
 }
 
+// Tags every event with an observer-specific label so fan-out order is
+// visible in a shared log.
+class TaggedObserver final : public RoundObserver {
+ public:
+  TaggedObserver(std::string tag, std::vector<std::string>* log)
+      : tag_(std::move(tag)), log_(log) {}
+  void on_round_begin(const RoundContext& ctx) override {
+    log_->push_back(tag_ + ":begin:" + std::to_string(ctx.round));
+  }
+  void on_round_end(const RoundContext& ctx) override {
+    log_->push_back(tag_ + ":end:" + std::to_string(ctx.round));
+  }
+
+ private:
+  std::string tag_;
+  std::vector<std::string>* log_;
+};
+
+TEST(ObserverRegistry, MultipleObserversSeeEventsInAttachOrder) {
+  std::vector<std::string> log;
+  TaggedObserver a("a", &log), b("b", &log), c("c", &log);
+  ObserverRegistry registry;
+  registry.attach(&a);
+  registry.attach(&b);
+  registry.attach(&c);
+  EXPECT_EQ(registry.size(), 3u);
+
+  RoundContext ctx;
+  ctx.round = 7;
+  registry.round_begin(ctx);
+  registry.round_end(ctx);
+  const std::vector<std::string> expected{"a:begin:7", "b:begin:7",
+                                          "c:begin:7", "a:end:7",
+                                          "b:end:7",   "c:end:7"};
+  EXPECT_EQ(log, expected);
+}
+
+TEST(ObserverRegistry, MultipleObserversOnLiveEngine) {
+  // Two independent observers on one engine run must each record the full
+  // event stream — fan-out, not round-robin.
+  const Graph g = cycle(4);
+  std::vector<std::unique_ptr<CongestProgram>> programs;
+  for (NodeId v = 0; v < 4; ++v) {
+    programs.push_back(std::make_unique<TwoRoundFlood>(v));
+  }
+  CongestEngine engine(g, std::move(programs), 64);
+  EventLog first, second;
+  engine.observers().attach(&first);
+  engine.observers().attach(&second);
+  engine.run(10);
+  EXPECT_FALSE(first.events.empty());
+  EXPECT_EQ(first.events, second.events);
+}
+
+// Detaches itself (and optionally a peer) from inside a callback.
+class SelfDetachingObserver final : public RoundObserver {
+ public:
+  SelfDetachingObserver(ObserverRegistry* registry,
+                        std::vector<std::string>* log, std::string tag)
+      : registry_(registry), log_(log), tag_(std::move(tag)) {}
+  void set_victim(RoundObserver* victim) { victim_ = victim; }
+  void on_round_begin(const RoundContext& ctx) override {
+    log_->push_back(tag_ + ":begin:" + std::to_string(ctx.round));
+    if (victim_ != nullptr) registry_->detach(victim_);
+    registry_->detach(this);
+  }
+
+ private:
+  ObserverRegistry* registry_;
+  std::vector<std::string>* log_;
+  std::string tag_;
+  RoundObserver* victim_ = nullptr;
+};
+
+TEST(ObserverRegistry, SelfDetachDuringDispatch) {
+  std::vector<std::string> log;
+  ObserverRegistry registry;
+  SelfDetachingObserver once(&registry, &log, "once");
+  TaggedObserver stays("stays", &log);
+  registry.attach(&once);
+  registry.attach(&stays);
+
+  RoundContext ctx;
+  ctx.round = 1;
+  registry.round_begin(ctx);
+  // The detached observer got the event that triggered the detach; the
+  // later-attached peer still got its event from the same dispatch.
+  EXPECT_EQ(log, (std::vector<std::string>{"once:begin:1", "stays:begin:1"}));
+  EXPECT_EQ(registry.size(), 1u);
+
+  ctx.round = 2;
+  registry.round_begin(ctx);
+  EXPECT_EQ(log.back(), "stays:begin:2");
+  EXPECT_EQ(log.size(), 3u);  // `once` saw nothing after detaching
+}
+
+TEST(ObserverRegistry, DetachPeerDuringDispatch) {
+  // An observer detaching a *later* peer mid-dispatch suppresses the peer's
+  // event for the current dispatch too — the slot is nulled immediately.
+  std::vector<std::string> log;
+  ObserverRegistry registry;
+  SelfDetachingObserver killer(&registry, &log, "killer");
+  TaggedObserver victim("victim", &log);
+  registry.attach(&killer);
+  registry.attach(&victim);
+  killer.set_victim(&victim);
+
+  RoundContext ctx;
+  ctx.round = 5;
+  registry.round_begin(ctx);
+  EXPECT_EQ(log, (std::vector<std::string>{"killer:begin:5"}));
+  EXPECT_TRUE(registry.empty());
+
+  // The registry stays usable after a dispatch that emptied it.
+  registry.round_end(ctx);
+  TaggedObserver late("late", &log);
+  registry.attach(&late);
+  ctx.round = 6;
+  registry.round_begin(ctx);
+  EXPECT_EQ(log.back(), "late:begin:6");
+}
+
+TEST(ObserverRegistry, DetachDuringRunLeavesEngineConsistent) {
+  // Detaching one of two observers partway through a live engine run: the
+  // survivor's log is a strict superset, and the engine finishes normally.
+  const Graph g = cycle(4);
+  std::vector<std::unique_ptr<CongestProgram>> programs;
+  for (NodeId v = 0; v < 4; ++v) {
+    programs.push_back(std::make_unique<TwoRoundFlood>(v));
+  }
+  CongestEngine engine(g, std::move(programs), 64);
+
+  std::vector<std::string> log;
+  SelfDetachingObserver first_round_only(&engine.observers(), &log, "fr");
+  EventLog full;
+  engine.observers().attach(&first_round_only);
+  engine.observers().attach(&full);
+  engine.run(10);
+
+  EXPECT_EQ(log, (std::vector<std::string>{"fr:begin:0"}));
+  const std::vector<std::string> expected{
+      "begin:0", "msgs:0:8:256", "wire:0:raw:8:256", "end:0",
+      "begin:1", "msgs:1:8:256", "wire:1:raw:8:256", "end:1"};
+  EXPECT_EQ(full.events, expected);
+  EXPECT_EQ(engine.observers().size(), 1u);
+}
+
 }  // namespace
 }  // namespace dmis

@@ -1,0 +1,350 @@
+// Tests for the batch execution service (src/svc/): job keys and canonical
+// results, the sharded result cache, the priority scheduler with deadlines
+// and cancellation, the submit/wait service composition, and the
+// line-delimited JSON front end behind `dmis serve` / `dmis batch`.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "graph/generators.h"
+#include "mis/replay.h"
+#include "runtime/repro.h"
+#include "svc/cache.h"
+#include "svc/frontend.h"
+#include "svc/job.h"
+#include "svc/scheduler.h"
+#include "svc/service.h"
+#include "util/check.h"
+
+namespace dmis::svc {
+namespace {
+
+JobSpec make_spec(std::uint64_t seed = 7, const char* algorithm = "luby",
+                  NodeId n = 48) {
+  JobSpec spec;
+  spec.algorithm = algorithm;
+  spec.seed = seed;
+  spec.graph = gnp(n, 6.0 / std::max<NodeId>(n - 1, 1), 11);
+  return spec;
+}
+
+TEST(JobKey, IdentitiesAndSeparations) {
+  const JobSpec a = make_spec(7);
+  EXPECT_EQ(job_key(a), job_key(a));
+  EXPECT_EQ(job_key(a).hex().size(), 32u);
+
+  JobSpec b = make_spec(8);
+  EXPECT_NE(job_key(a), job_key(b));
+  b = make_spec(7, "ghaffari");
+  EXPECT_NE(job_key(a), job_key(b));
+  b = make_spec(7);
+  b.max_rounds = 5;
+  EXPECT_NE(job_key(a), job_key(b));
+  b = make_spec(7);
+  b.graph = gnp(48, 6.0 / 47, 12);  // same shape parameters, other seed
+  EXPECT_NE(job_key(a), job_key(b));
+  b = make_spec(7);
+  b.faults.drop_rate = 0.01;
+  EXPECT_NE(job_key(a), job_key(b));
+}
+
+TEST(JobKey, EmptyFaultScheduleIsNormalized) {
+  // The CLI defaults the fault seed to the run seed even when no faults are
+  // requested; an irrelevant fault seed must not split cache keys.
+  JobSpec a = make_spec(7);
+  JobSpec b = make_spec(7);
+  a.faults.seed = 3;
+  b.faults.seed = 99;
+  ASSERT_TRUE(a.faults.empty());
+  EXPECT_EQ(job_key(a), job_key(b));
+  // ... but the seed matters as soon as the schedule is non-empty.
+  a.faults.drop_rate = b.faults.drop_rate = 0.5;
+  EXPECT_NE(job_key(a), job_key(b));
+}
+
+TEST(ExecuteJob, CanonicalBytesAreThreadInvariant) {
+  const JobSpec spec = make_spec(3, "congest");
+  const JobResult one = execute_job(spec, 1);
+  const JobResult four = execute_job(spec, 4);
+  EXPECT_EQ(one.status, JobStatus::kOk);
+  EXPECT_EQ(one.canonical, four.canonical);
+  EXPECT_NE(one.canonical.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(one.canonical.find("\"mis\":"), std::string::npos);
+}
+
+TEST(ExecuteJob, UnknownAlgorithmIsRejected) {
+  JobSpec spec = make_spec(3, "quantum");
+  const JobResult r = execute_job(spec, 1);
+  EXPECT_EQ(r.status, JobStatus::kRejected);
+  EXPECT_NE(r.canonical.find("\"status\":\"rejected\""), std::string::npos);
+  EXPECT_TRUE(r.bundle_text.empty());
+}
+
+TEST(ExecuteJob, FailedFaultJobEmitsReplayableBundle) {
+  // Drown a congest run in faults until the auditor trips, then verify the
+  // emitted bundle is the runtime's replayable format and reproduces.
+  JobSpec spec = make_spec(5, "congest", 60);
+  spec.faults.seed = 5;
+  spec.faults.drop_rate = 0.9;
+  spec.faults.corrupt_rate = 0.9;
+  const JobResult r = execute_job(spec, 1);
+  ASSERT_EQ(r.status, JobStatus::kFailed);
+  ASSERT_FALSE(r.bundle_text.empty());
+  EXPECT_NE(r.canonical.find("\"status\":\"failed\""), std::string::npos);
+
+  std::istringstream is(r.bundle_text);
+  const ReproBundle bundle = read_repro_bundle(is);
+  EXPECT_EQ(bundle.algorithm, "congest");
+  EXPECT_EQ(bundle.threads, 1);  // thread-invariance makes 1 canonical
+  const ReplayOutcome outcome = replay_bundle(bundle);
+  EXPECT_TRUE(outcome.reproduced);
+}
+
+TEST(ExecuteJob, PreCancelledTokenShortCircuits) {
+  CancelToken token;
+  token.cancel();
+  const JobResult r = execute_job(make_spec(), 1, &token);
+  EXPECT_EQ(r.status, JobStatus::kCancelled);
+  EXPECT_NE(r.canonical.find("\"reason\":\"cancelled\""), std::string::npos);
+}
+
+TEST(ResultCache, CountersAndEviction) {
+  ResultCache cache(/*capacity=*/2, /*shards=*/1);
+  JobKey k1{1, 1}, k2{2, 2}, k3{3, 3};
+  EXPECT_FALSE(cache.get(k1).has_value());
+  cache.put(k1, "r1");
+  cache.put(k2, "r2");
+  EXPECT_EQ(cache.get(k1).value(), "r1");
+  cache.put(k3, "r3");  // k2 is LRU now (k1 was touched) -> evicted
+  EXPECT_FALSE(cache.get(k2).has_value());
+  EXPECT_EQ(cache.get(k3).value(), "r3");
+
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.insertions, 3u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_EQ(stats.bytes, 4u);  // "r1" + "r3"
+  EXPECT_DOUBLE_EQ(stats.hit_rate(), 0.5);
+}
+
+TEST(Scheduler, TrySubmitBackpressure) {
+  SchedulerOptions options;
+  options.workers = 1;
+  options.queue_capacity = 1;
+  Scheduler scheduler(options);
+
+  // A long-ish job occupies the worker; the queue then has exactly one slot.
+  auto running = scheduler.submit(make_spec(1, "congest", 200));
+  std::shared_ptr<Ticket> queued;
+  std::vector<std::shared_ptr<Ticket>> rejected;
+  // The running job may drain the queue at any moment; keep pushing until a
+  // try_submit bounces while another is still queued.
+  for (std::uint64_t s = 2; s < 200; ++s) {
+    auto t = scheduler.try_submit(make_spec(s));
+    if (t == nullptr) {
+      EXPECT_GE(scheduler.stats().rejected, 1u);
+      break;
+    }
+    queued = std::move(t);
+  }
+  running->wait();
+  if (queued != nullptr) queued->wait();
+  EXPECT_GE(scheduler.stats().completed, 1u);
+}
+
+TEST(Scheduler, CancelBeforeRunAndZeroDeadline) {
+  SchedulerOptions options;
+  options.workers = 1;
+  Scheduler scheduler(options);
+  // Occupy the worker so the next submissions sit in the queue.
+  auto running = scheduler.submit(make_spec(1, "congest", 150));
+  auto cancelled = scheduler.submit(make_spec(2));
+  cancelled->cancel();
+  auto expired = scheduler.submit(make_spec(3), JobPriority::kBatch,
+                                  /*deadline_s=*/0.0);
+  EXPECT_EQ(cancelled->wait().status, JobStatus::kCancelled);
+  EXPECT_EQ(expired->wait().status, JobStatus::kCancelled);
+  EXPECT_EQ(running->wait().status, JobStatus::kOk);
+
+  const SchedulerStats stats = scheduler.stats();
+  EXPECT_EQ(stats.submitted, 3u);
+  EXPECT_EQ(stats.completed, 3u);
+  EXPECT_GE(stats.cancelled, 1u);
+  EXPECT_GE(stats.deadline_expired, 1u);
+  // Cancelled-while-queued jobs never execute.
+  EXPECT_EQ(stats.executed, 1u);
+}
+
+TEST(Scheduler, StrictPriorityOrder) {
+  SchedulerOptions options;
+  options.workers = 1;
+  Scheduler scheduler(options);
+  // Fill the worker, then queue background before interactive.
+  auto running = scheduler.submit(make_spec(1, "congest", 150));
+  auto background =
+      scheduler.submit(make_spec(2), JobPriority::kBackground);
+  auto interactive =
+      scheduler.submit(make_spec(3), JobPriority::kInteractive);
+  // The interactive job must complete no later than the background one:
+  // when it finishes, the background job either still waits or ran after.
+  interactive->wait();
+  EXPECT_EQ(scheduler.stats().executed >= 2 || !background->done(), true);
+  background->wait();
+  running->wait();
+}
+
+TEST(ExecutionService, SecondRunIsByteIdenticalCacheHit) {
+  ServiceOptions options;
+  ExecutionService service(options);
+  const JobSpec spec = make_spec(9, "congest");
+  const Completion first = service.run(spec);
+  const Completion second = service.run(spec);
+  EXPECT_EQ(first.status, JobStatus::kOk);
+  EXPECT_FALSE(first.cache_hit);
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(first.canonical, second.canonical);
+  EXPECT_EQ(service.cache().stats().hits, 1u);
+}
+
+TEST(ExecutionService, FailedJobsAreNotCached) {
+  ServiceOptions options;
+  ExecutionService service(options);
+  JobSpec spec = make_spec(5, "congest", 60);
+  spec.faults.seed = 5;
+  spec.faults.drop_rate = 0.9;
+  spec.faults.corrupt_rate = 0.9;
+  const Completion first = service.run(spec);
+  ASSERT_EQ(first.status, JobStatus::kFailed);
+  const Completion second = service.run(spec);
+  EXPECT_FALSE(second.cache_hit);  // failure did not poison the cache
+  EXPECT_EQ(service.cache().stats().entries, 0u);
+  // Deterministic failure: both runs produce the same canonical bytes.
+  EXPECT_EQ(first.canonical, second.canonical);
+}
+
+FrontEndOptions no_timing_options() {
+  FrontEndOptions options;
+  options.include_timing = false;
+  return options;
+}
+
+TEST(FrontEnd, ParseRequestFields) {
+  const Request r = parse_request(
+      R"({"id":"r1","algorithm":"congest","seed":3,"max_rounds":12,)"
+      R"("n":4,"edges":[[0,1],[2,3]],"priority":"interactive",)"
+      R"("deadline_ms":250,)"
+      R"("faults":{"drop":0.5,"crash":[[3,2]],"stall":[[1,4,2]]}})",
+      1);
+  EXPECT_EQ(r.id, "r1");
+  EXPECT_EQ(r.spec.algorithm, "congest");
+  EXPECT_EQ(r.spec.seed, 3u);
+  EXPECT_EQ(r.spec.max_rounds, 12u);
+  EXPECT_EQ(r.spec.graph.node_count(), 4u);
+  EXPECT_EQ(r.spec.graph.edge_count(), 2u);
+  EXPECT_EQ(r.priority, JobPriority::kInteractive);
+  ASSERT_TRUE(r.deadline_s.has_value());
+  EXPECT_DOUBLE_EQ(*r.deadline_s, 0.25);
+  EXPECT_DOUBLE_EQ(r.spec.faults.drop_rate, 0.5);
+  EXPECT_EQ(r.spec.faults.seed, 3u);  // defaults to the run seed
+  ASSERT_EQ(r.spec.faults.node_faults.size(), 2u);
+  EXPECT_EQ(r.spec.faults.node_faults[1].duration, 2u);
+
+  // Anonymous requests are named by sequence number.
+  const Request anon =
+      parse_request(R"({"algorithm":"luby","n":2,"edges":[[0,1]]})", 42);
+  EXPECT_EQ(anon.id, "#42");
+
+  EXPECT_THROW(parse_request("{}", 1), PreconditionError);
+  EXPECT_THROW(parse_request(R"({"algorithm":"luby"})", 1),
+               PreconditionError);  // no graph source
+  EXPECT_THROW(
+      parse_request(
+          R"({"algorithm":"luby","graph_file":"x","n":1,"edges":[]})", 1),
+      PreconditionError);  // two graph sources
+}
+
+TEST(FrontEnd, ServeStreamCachesDuplicates) {
+  ServiceOptions options;
+  ExecutionService service(options);
+  const std::string request =
+      R"({"algorithm":"luby","seed":7,"n":6,)"
+      R"("edges":[[0,1],[1,2],[2,3],[3,4],[4,5]]})";
+  std::istringstream in(request + "\n\n" + request + "\n");
+  std::ostringstream out;
+  const std::uint64_t handled =
+      serve_stream(in, out, service, no_timing_options());
+  EXPECT_EQ(handled, 2u);
+
+  std::istringstream lines(out.str());
+  std::string first, second;
+  std::getline(lines, first);
+  std::getline(lines, second);
+  EXPECT_NE(first.find("\"id\":\"#1\",\"cached\":false"), std::string::npos);
+  EXPECT_NE(second.find("\"id\":\"#2\",\"cached\":true"), std::string::npos);
+  // Identical result objects, byte for byte.
+  const std::string r1 = first.substr(first.find("\"result\":"));
+  const std::string r2 = second.substr(second.find("\"result\":"));
+  EXPECT_EQ(r1, r2);
+}
+
+TEST(FrontEnd, ServeStreamReportsErrorsAndKeepsGoing) {
+  ServiceOptions options;
+  ExecutionService service(options);
+  std::istringstream in(
+      "this is not json\n"
+      R"({"algorithm":"luby","seed":1,"n":2,"edges":[[0,1]]})"
+      "\n");
+  std::ostringstream out;
+  EXPECT_EQ(serve_stream(in, out, service, no_timing_options()), 2u);
+  std::istringstream lines(out.str());
+  std::string first, second;
+  std::getline(lines, first);
+  std::getline(lines, second);
+  EXPECT_NE(first.find("\"error\":"), std::string::npos);
+  EXPECT_NE(second.find("\"status\":\"ok\""), std::string::npos);
+}
+
+std::string run_batch_text(const std::string& requests, int workers,
+                           int threads) {
+  ServiceOptions options;
+  options.scheduler.workers = workers;
+  options.scheduler.total_threads = threads;
+  ExecutionService service(options);
+  std::istringstream in(requests);
+  std::ostringstream out;
+  run_batch(in, out, service, FrontEndOptions{});
+  return out.str();
+}
+
+TEST(FrontEnd, BatchOutputBitIdenticalAcrossWorkerCounts) {
+  std::string requests;
+  for (int i = 0; i < 3; ++i) {
+    for (std::uint64_t seed : {3u, 4u, 3u}) {  // duplicates interleaved
+      requests += R"({"algorithm":"congest","seed":)";
+      requests += std::to_string(seed + i);
+      requests += R"(,"n":24,"edges":[)";
+      for (int v = 0; v < 23; ++v) {
+        if (v != 0) requests += ",";
+        requests += "[";
+        requests += std::to_string(v);
+        requests += ",";
+        requests += std::to_string(v + 1);
+        requests += "]";
+      }
+      requests += "]}\n";
+    }
+  }
+  const std::string serial = run_batch_text(requests, 1, 1);
+  const std::string parallel = run_batch_text(requests, 4, 8);
+  EXPECT_EQ(serial, parallel);
+  EXPECT_NE(serial.find("\"cached\":true"), std::string::npos);
+  EXPECT_EQ(serial.find("elapsed_us"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dmis::svc

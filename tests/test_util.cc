@@ -1,9 +1,13 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "util/bits.h"
 #include "util/check.h"
+#include "util/json.h"
+#include "util/lru.h"
 #include "util/stats.h"
 #include "util/table.h"
 
@@ -145,6 +149,104 @@ TEST(Table, RejectsOverflowAndIncompleteRows) {
   EXPECT_THROW(TextTable({}), PreconditionError);
   TextTable t3({"a"});
   EXPECT_THROW(t3.cell(1), PreconditionError);  // cell before row
+}
+
+TEST(LruCache, InsertLookupEvict) {
+  LruCache<int, std::string> cache(2);
+  EXPECT_EQ(cache.capacity(), 2u);
+  EXPECT_EQ(cache.put(1, "one"), 0u);
+  EXPECT_EQ(cache.put(2, "two"), 0u);
+  EXPECT_EQ(cache.size(), 2u);
+  ASSERT_NE(cache.get(1), nullptr);
+  EXPECT_EQ(*cache.get(1), "one");
+  // 1 was touched, so inserting a third key evicts 2 (the LRU entry).
+  EXPECT_EQ(cache.put(3, "three"), 1u);
+  EXPECT_EQ(cache.get(2), nullptr);
+  EXPECT_NE(cache.get(1), nullptr);
+  EXPECT_NE(cache.get(3), nullptr);
+}
+
+TEST(LruCache, OverwriteAndPeekDoNotEvict) {
+  LruCache<int, int> cache(2);
+  cache.put(1, 10);
+  cache.put(2, 20);
+  // Overwriting an existing key is not an insertion: nothing is evicted.
+  EXPECT_EQ(cache.put(1, 11), 0u);
+  ASSERT_NE(cache.peek(1), nullptr);
+  EXPECT_EQ(*cache.peek(1), 11);
+  // peek does not touch: 2 was made LRU by the put(1, ...) overwrite, and
+  // peeking it must not rescue it.
+  cache.peek(2);
+  cache.put(3, 30);
+  EXPECT_EQ(cache.get(2), nullptr);
+  EXPECT_NE(cache.get(1), nullptr);
+}
+
+TEST(LruCache, EraseAndLruEntry) {
+  LruCache<int, int> cache(3);
+  cache.put(1, 10);
+  cache.put(2, 20);
+  cache.put(3, 30);
+  ASSERT_NE(cache.lru_entry(), nullptr);
+  EXPECT_EQ(cache.lru_entry()->first, 1);
+  EXPECT_TRUE(cache.erase(1));
+  EXPECT_FALSE(cache.erase(1));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.lru_entry()->first, 2);
+  std::vector<int> order;
+  cache.for_each_mru([&](const int& k, const int&) { order.push_back(k); });
+  EXPECT_EQ(order, (std::vector<int>{3, 2}));
+}
+
+TEST(Json, RoundTripDeterministic) {
+  json::Value obj = json::Value::object();
+  obj.set("name", json::Value::string("a\"b\\c\n"));
+  obj.set("count", json::Value::number(std::uint64_t{18446744073709551615u}));
+  obj.set("neg", json::Value::number(std::int64_t{-7}));
+  obj.set("rate", json::Value::number(0.25));
+  obj.set("flag", json::Value::boolean(true));
+  obj.set("nothing", json::Value::null());
+  json::Value arr = json::Value::array();
+  arr.push_back(json::Value::number(std::uint64_t{1}));
+  arr.push_back(json::Value::number(std::uint64_t{2}));
+  obj.set("list", std::move(arr));
+
+  const std::string text = obj.dump();
+  const json::Value parsed = json::parse(text);
+  // Serialization is canonical: parse(dump(x)).dump() == dump(x).
+  EXPECT_EQ(parsed.dump(), text);
+  // Insertion order is preserved (the canonical-bytes contract rests on it).
+  EXPECT_LT(text.find("\"name\""), text.find("\"count\""));
+  EXPECT_LT(text.find("\"count\""), text.find("\"list\""));
+  // Exact integer accessors never round-trip through double.
+  EXPECT_EQ(parsed.find("count")->as_u64(), 18446744073709551615u);
+  EXPECT_EQ(parsed.find("neg")->as_i64(), -7);
+  EXPECT_DOUBLE_EQ(parsed.find("rate")->as_double(), 0.25);
+  EXPECT_TRUE(parsed.find("flag")->as_bool());
+  EXPECT_EQ(parsed.find("name")->as_string(), "a\"b\\c\n");
+  EXPECT_EQ(parsed.find("missing"), nullptr);
+  EXPECT_EQ(parsed.find("list")->as_array().size(), 2u);
+}
+
+TEST(Json, ParseRejectsMalformed) {
+  EXPECT_THROW(json::parse("{"), PreconditionError);
+  EXPECT_THROW(json::parse("[1,]"), PreconditionError);
+  EXPECT_THROW(json::parse("{\"a\":1,}"), PreconditionError);
+  EXPECT_THROW(json::parse("nul"), PreconditionError);
+  EXPECT_THROW(json::parse("01"), PreconditionError);
+  EXPECT_THROW(json::parse("\"unterminated"), PreconditionError);
+  EXPECT_THROW(json::parse("1 2"), PreconditionError);
+  // Depth bomb: deeper than the parser's recursion cap.
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  EXPECT_THROW(json::parse(deep), PreconditionError);
+}
+
+TEST(Json, StringEscapes) {
+  const json::Value v = json::parse("\"a\\u0041\\n\\t\\\\\\\"\\u000a\"");
+  EXPECT_EQ(v.as_string(), "aA\n\t\\\"\n");
+  // Control characters are escaped on output.
+  EXPECT_EQ(json::Value::string(std::string("\x01", 1)).dump(), "\"\\u0001\"");
 }
 
 }  // namespace

@@ -17,6 +17,16 @@
 //   dmis replay --bundle FILE
 //       Re-run a crash-repro bundle (runtime/repro.h) and verify the
 //       recorded failure reproduces. Exit 0 iff it does.
+//   dmis serve [--threads T] [--workers W] [--queue-cap Q]
+//              [--cache-entries C] [--cache-shards S] [--bundle-dir D]
+//              [--socket PATH] [--no-timing]
+//       Line-delimited JSON request/response loop over stdin/stdout (or a
+//       Unix stream socket) backed by the execution service: scheduler,
+//       worker pool and result cache. Serving stats go to stderr on EOF.
+//   dmis batch --requests FILE [same flags as serve]
+//       Drain a request file through the same service: duplicate requests
+//       deduplicate to cache hits and output is bit-identical at any
+//       --workers/--threads setting.
 //
 // Fault injection (solve only, wire-model algorithms): --drop R --corrupt R
 // --duplicate R --delay R [--delay-rounds K] [--fault-seed S]
@@ -48,6 +58,8 @@
 #include "mis/sparsified.h"
 #include "mis/sparsified_congest.h"
 #include "runtime/repro.h"
+#include "svc/frontend.h"
+#include "svc/service.h"
 #include "clique/mst.h"
 #include "graph/mst_reference.h"
 
@@ -62,6 +74,10 @@ int usage() {
          "  dmis match [--seed S] [--graph FILE]\n"
          "  dmis mst [--seed S] [--graph FILE]\n"
          "  dmis replay --bundle FILE\n"
+         "  dmis serve [--threads T] [--workers W] [--queue-cap Q]\n"
+         "             [--cache-entries C] [--cache-shards S]\n"
+         "             [--bundle-dir D] [--socket PATH] [--no-timing]\n"
+         "  dmis batch --requests FILE [serve flags]\n"
          "families:   gnp regular ba geometric grid cycle path complete\n"
          "            hypercube caterpillar smallworld expander\n"
          "algorithms: greedy luby ghaffari beeping halfduplex sparsified\n"
@@ -389,6 +405,85 @@ int cmd_mst(int argc, char** argv) {
   return valid ? 0 : 1;
 }
 
+struct ServeFlags {
+  dmis::svc::ServiceOptions service;
+  dmis::svc::FrontEndOptions frontend;
+  std::optional<std::string> socket_path;
+  std::optional<std::string> requests_file;
+};
+
+ServeFlags parse_serve_flags(int argc, char** argv, int start) {
+  ServeFlags f;
+  int workers = 1;
+  int threads = 1;
+  for (int i = start; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = std::max(1, std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+      workers = std::max(1, std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--queue-cap") == 0 && i + 1 < argc) {
+      f.service.scheduler.queue_capacity =
+          std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--cache-entries") == 0 && i + 1 < argc) {
+      f.service.cache_entries = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--cache-shards") == 0 && i + 1 < argc) {
+      f.service.cache_shards = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--bundle-dir") == 0 && i + 1 < argc) {
+      f.frontend.bundle_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--socket") == 0 && i + 1 < argc) {
+      f.socket_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--no-timing") == 0) {
+      f.frontend.include_timing = false;
+    } else if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc) {
+      f.requests_file = argv[++i];
+    } else {
+      std::cerr << "unknown flag: " << argv[i] << "\n";
+      std::exit(2);
+    }
+  }
+  f.service.scheduler.workers = workers;
+  f.service.scheduler.total_threads = threads;
+  return f;
+}
+
+void print_serving_stats(const dmis::svc::ExecutionService& svc) {
+  svc.cache().stats_table().print(std::cerr);
+  svc.scheduler().stats_table().print(std::cerr);
+}
+
+int cmd_serve(int argc, char** argv) {
+  const ServeFlags flags = parse_serve_flags(argc, argv, 2);
+  dmis::svc::ExecutionService svc(flags.service);
+  if (flags.socket_path.has_value()) {
+    return dmis::svc::serve_unix_socket(*flags.socket_path, svc,
+                                        flags.frontend);
+  }
+  const std::uint64_t handled =
+      dmis::svc::serve_stream(std::cin, std::cout, svc, flags.frontend);
+  std::cerr << "served " << handled << " requests\n";
+  print_serving_stats(svc);
+  return 0;
+}
+
+int cmd_batch(int argc, char** argv) {
+  const ServeFlags flags = parse_serve_flags(argc, argv, 2);
+  if (!flags.requests_file.has_value()) {
+    std::cerr << "batch needs --requests FILE\n";
+    return 2;
+  }
+  std::ifstream in(*flags.requests_file);
+  if (!in.good()) {
+    std::cerr << "cannot read " << *flags.requests_file << "\n";
+    return 2;
+  }
+  dmis::svc::ExecutionService svc(flags.service);
+  const std::uint64_t handled =
+      dmis::svc::run_batch(in, std::cout, svc, flags.frontend);
+  std::cerr << "batched " << handled << " requests\n";
+  print_serving_stats(svc);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -401,6 +496,8 @@ int main(int argc, char** argv) {
     if (cmd == "match") return cmd_match(argc, argv);
     if (cmd == "mst") return cmd_mst(argc, argv);
     if (cmd == "replay") return cmd_replay(argc, argv);
+    if (cmd == "serve") return cmd_serve(argc, argv);
+    if (cmd == "batch") return cmd_batch(argc, argv);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

@@ -1,0 +1,69 @@
+# Service smoke test: the same request file through `dmis batch` and (twice
+# over, duplicated) through `dmis serve` must produce cache hits and
+# byte-identical result objects on both paths.
+execute_process(COMMAND ${DMIS_BIN} generate gnp 120 8 5
+                OUTPUT_FILE ${WORK_DIR}/svc_smoke.el RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "generate failed: ${rc}")
+endif()
+
+string(JOIN "\n" requests
+  "{\"id\":\"a\",\"algorithm\":\"luby\",\"seed\":3,\"graph_file\":\"${WORK_DIR}/svc_smoke.el\"}"
+  "{\"id\":\"b\",\"algorithm\":\"congest\",\"seed\":4,\"graph_file\":\"${WORK_DIR}/svc_smoke.el\"}"
+  "{\"id\":\"c\",\"algorithm\":\"luby\",\"seed\":3,\"graph_file\":\"${WORK_DIR}/svc_smoke.el\"}"
+  "")
+file(WRITE ${WORK_DIR}/svc_smoke_req.jsonl "${requests}")
+
+# Batch pass: the duplicate request must be a cache hit, and the whole run is
+# exercised with a parallel scheduler configuration.
+execute_process(
+  COMMAND ${DMIS_BIN} batch --requests ${WORK_DIR}/svc_smoke_req.jsonl
+          --workers 2 --threads 4
+  OUTPUT_FILE ${WORK_DIR}/svc_smoke_batch.jsonl
+  ERROR_QUIET RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "dmis batch failed: ${rc}")
+endif()
+file(READ ${WORK_DIR}/svc_smoke_batch.jsonl batch_out)
+if(NOT batch_out MATCHES "\"cached\":true")
+  message(FATAL_ERROR "batch produced no cache hit:\n${batch_out}")
+endif()
+
+# Serve pass over stdin: same requests, sequential protocol, timing off so
+# lines are directly comparable.
+execute_process(
+  COMMAND ${DMIS_BIN} serve --no-timing
+  INPUT_FILE ${WORK_DIR}/svc_smoke_req.jsonl
+  OUTPUT_FILE ${WORK_DIR}/svc_smoke_serve.jsonl
+  ERROR_QUIET RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "dmis serve failed: ${rc}")
+endif()
+file(READ ${WORK_DIR}/svc_smoke_serve.jsonl serve_out)
+if(NOT serve_out MATCHES "\"cached\":true")
+  message(FATAL_ERROR "serve produced no cache hit:\n${serve_out}")
+endif()
+
+# Both front ends must emit byte-identical result objects for every request:
+# strip each line down to its result payload and compare the sequences.
+function(extract_results text out_var)
+  string(REPLACE "\n" ";" lines "${text}")
+  set(results "")
+  foreach(line IN LISTS lines)
+    string(REGEX MATCH "\"result\":\\{[^\n]*\\}" match "${line}")
+    if(NOT match STREQUAL "")
+      list(APPEND results "${match}")
+    endif()
+  endforeach()
+  set(${out_var} "${results}" PARENT_SCOPE)
+endfunction()
+
+extract_results("${batch_out}" batch_results)
+extract_results("${serve_out}" serve_results)
+if(batch_results STREQUAL "")
+  message(FATAL_ERROR "no result objects in batch output:\n${batch_out}")
+endif()
+if(NOT batch_results STREQUAL serve_results)
+  message(FATAL_ERROR "batch/serve result divergence:\n"
+                      "batch: ${batch_results}\nserve: ${serve_results}")
+endif()
