@@ -18,12 +18,9 @@
 
 #include "bench_common.h"
 #include "graph/generators.h"
-#include "mis/beeping.h"
-#include "mis/clique_mis.h"
-#include "mis/ghaffari.h"
-#include "mis/luby.h"
-#include "mis/sparsified.h"
+#include "mis/registry.h"
 #include "runtime/cost.h"
+#include "util/check.h"
 #include "util/table.h"
 
 namespace dmis {
@@ -91,40 +88,20 @@ void run(NodeId n) {
   const std::uint64_t seed = 99;
   std::vector<AlgoRun> runs;
 
-  {
-    LubyOptions o;
-    o.randomness = RandomSource(seed);
-    const MisRun r = luby_mis(g, o);
-    runs.push_back({"luby", "CONGEST", r.rounds, r.mis_size(), r.costs});
-  }
-  {
-    GhaffariOptions o;
-    o.randomness = RandomSource(seed);
-    const MisRun r = ghaffari_mis(g, o);
-    runs.push_back(
-        {"ghaffari16", "CONGEST", r.rounds, r.mis_size(), r.costs});
-  }
-  {
-    BeepingOptions o;
-    o.randomness = RandomSource(seed);
-    const MisRun r = beeping_mis(g, o);
-    runs.push_back({"beeping", "BEEP", r.rounds, r.mis_size(), r.costs});
-  }
-  {
-    SparsifiedOptions o;
-    o.params = SparsifiedParams::from_n(n);
-    o.randomness = RandomSource(seed);
-    const MisRun r = sparsified_mis(g, o);
-    runs.push_back(
-        {"sparsified", "CONGEST", r.rounds, r.mis_size(), r.costs});
-  }
-  {
-    CliqueMisOptions o;
-    o.params = SparsifiedParams::from_n(n);
-    o.randomness = RandomSource(seed);
-    const CliqueMisResult r = clique_mis(g, o);
-    runs.push_back({"clique_sim", "CLIQUE", r.run.rounds, r.run.mis_size(),
-                    r.run.costs});
+  // Every registered algorithm, default options, one seed. Algorithms whose
+  // preconditions the dense workload violates (lowdeg rejects graphs above
+  // its packet budget) report as skipped rather than silently vanishing.
+  for (const AlgorithmDescriptor* d : AlgorithmRegistry::instance().all()) {
+    const AlgoOptions options(*d);
+    AlgoRunRequest request;
+    request.seed = seed;
+    try {
+      const AlgoResult r = run_registered_algorithm(*d, g, options, request);
+      runs.push_back({d->name, algo_model_name(d->model), r.run.rounds,
+                      r.run.mis_size(), r.run.costs});
+    } catch (const PreconditionError& e) {
+      std::cout << "skipped " << d->name << ": " << e.what() << "\n";
+    }
   }
 
   summary_table(runs, n);

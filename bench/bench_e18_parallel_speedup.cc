@@ -13,8 +13,7 @@
 
 #include "bench_common.h"
 #include "graph/generators.h"
-#include "mis/beeping.h"
-#include "mis/sparsified_congest.h"
+#include "mis/registry.h"
 #include "runtime/observer.h"
 #include "util/table.h"
 
@@ -43,7 +42,13 @@ void run(int max_threads) {
                    "speedup", "rounds", "checksum", "identical"});
   bench::BenchMeta meta{{"n", std::to_string(n)}, {"degree", "64"}};
 
-  for (const char* algorithm : {"beeping", "sparsified_congest"}) {
+  // The two heavyweight engines, dispatched through the registry (both are
+  // deterministic-parallel + observer-attachable, which is exactly what
+  // this bench exercises).
+  for (const char* algorithm : {"beeping", "congest"}) {
+    const AlgorithmDescriptor& descriptor =
+        AlgorithmRegistry::instance().require(algorithm);
+    const AlgoOptions options(descriptor);
     double base_s = 0.0;
     std::uint64_t base_checksum = 0;
     CostAccounting base_costs;
@@ -53,19 +58,12 @@ void run(int max_threads) {
         if (observed && threads != 1) continue;  // overhead measured at 1t
         TraceRecorder trace;
         const auto execute = [&](bool attach_trace) {
-          if (std::string(algorithm) == "beeping") {
-            BeepingOptions opts;
-            opts.randomness = RandomSource(99);
-            opts.threads = threads;
-            if (attach_trace) opts.observers.push_back(&trace);
-            return beeping_mis(g, opts);
-          }
-          SparsifiedOptions opts;
-          opts.params = SparsifiedParams::from_n(n);
-          opts.randomness = RandomSource(99);
-          opts.threads = threads;
-          if (attach_trace) opts.observers.push_back(&trace);
-          return sparsified_congest_mis(g, opts);
+          AlgoRunRequest request;
+          request.seed = 99;
+          request.threads = threads;
+          if (attach_trace) request.observers.push_back(&trace);
+          return run_registered_algorithm(descriptor, g, options, request)
+              .run;
         };
         // One untimed pass first, so the 1-thread baseline does not absorb
         // the page-fault/cache warmup for the whole series.

@@ -15,10 +15,12 @@
 #include <array>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "bench_common.h"
 #include "graph/generators.h"
 #include "graph/properties.h"
+#include "mis/registry.h"
 #include "mis/replay.h"
 #include "util/table.h"
 
@@ -49,19 +51,24 @@ void run(int argc, char** argv) {
       "every row replays\nbit-identically at any thread count.");
 
   const Graph g = gnp(n, 8.0 / std::max<NodeId>(n - 1, 1), 19);
-  // Per-algorithm rate ladders: a clique phase moves orders of magnitude
-  // more messages per decision than a beep round (the gather dominates), so
-  // the interesting regime — faults realized but sometimes recoverable —
-  // sits at much smaller rates there.
+  // The sweep population is every registered algorithm with the
+  // fault-injection capability. Rate ladders are per model: a clique phase
+  // moves orders of magnitude more messages per decision than a beep or
+  // CONGEST round (the gather dominates), so the interesting regime —
+  // faults realized but sometimes recoverable — sits at much smaller rates
+  // there.
+  const std::array<double, 4> wire_rates = {0.0, 0.002, 0.01, 0.05};
+  const std::array<double, 4> clique_rates = {0.0, 0.00003, 0.0001, 0.001};
   struct AlgoSweep {
-    const char* algo;
+    std::string algo;
     std::array<double, 4> rates;
   };
-  const AlgoSweep sweeps[] = {
-      {"beeping", {0.0, 0.002, 0.01, 0.05}},
-      {"congest", {0.0, 0.002, 0.01, 0.05}},
-      {"clique", {0.0, 0.00003, 0.0001, 0.001}},
-  };
+  std::vector<AlgoSweep> sweeps;
+  for (const AlgorithmDescriptor* d : AlgorithmRegistry::instance().all()) {
+    if (!d->caps.fault_injectable) continue;
+    sweeps.push_back({d->name, d->model == AlgoModel::kClique ? clique_rates
+                                                              : wire_rates});
+  }
   const char* kinds[] = {"drop", "corrupt"};
   const int kSeeds = 3;
 
@@ -69,7 +76,7 @@ void run(int argc, char** argv) {
                    "failed", "violations", "retries", "realized",
                    "undecided(mean)"});
   for (const AlgoSweep& sweep : sweeps) {
-    const char* algo = sweep.algo;
+    const std::string& algo = sweep.algo;
     for (const char* kind : kinds) {
       for (const double rate : sweep.rates) {
         double rounds_sum = 0;

@@ -5,6 +5,7 @@
 
 #include "rng/pow2_prob.h"
 #include "runtime/beeping.h"
+#include "mis/registry.h"
 #include "util/check.h"
 
 namespace dmis {
@@ -122,6 +123,41 @@ MisRun beeping_mis(const Graph& g, const BeepingOptions& options) {
   run.costs = engine.costs();
   run.rounds = run.costs.rounds;
   return run;
+}
+
+
+namespace {
+
+AlgoResult run_beeping_descriptor(const Graph& g, const AlgoOptions&,
+                                  const AlgoRunRequest& request) {
+  BeepingOptions o;
+  o.randomness = RandomSource(request.seed);
+  if (request.max_rounds != 0) o.max_iterations = request.max_rounds;
+  o.observers = request.observers;
+  o.faults = request.faults;
+  o.threads = request.threads;
+  AlgoResult out;
+  out.run = beeping_mis(g, o);
+  return out;
+}
+
+}  // namespace
+
+const AlgorithmDescriptor& beeping_descriptor() {
+  static const AlgorithmDescriptor descriptor = {
+      .name = "beeping",
+      .summary = "the beeping MIS dynamic on the full-duplex beep engine "
+                 "(Theorem 2.1 local complexity)",
+      .paper_ref = "§2.2",
+      .model = AlgoModel::kBeeping,
+      .output = AlgoOutputKind::kMis,
+      .caps = {.fault_injectable = true,
+               .observer_attachable = true,
+               .deterministic_parallel = true},
+      .options = {},
+      .run = run_beeping_descriptor,
+  };
+  return descriptor;
 }
 
 }  // namespace dmis

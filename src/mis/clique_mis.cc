@@ -7,6 +7,7 @@
 #include "graph/ops.h"
 #include "mis/cleanup.h"
 #include "mis/phase_wire.h"
+#include "mis/registry_support.h"
 #include "rng/pow2_prob.h"
 #include "util/bits.h"
 #include "util/check.h"
@@ -466,6 +467,53 @@ CliqueMisResult clique_mis(const Graph& g, const CliqueMisOptions& options) {
   run.costs = net.costs();
   run.rounds = run.costs.rounds;
   return result;
+}
+
+
+namespace {
+
+constexpr OptionField kCliqueOptionFields[] = {
+    DMIS_SPARSIFIED_PARAM_OPTION_FIELDS,
+    {"budget_constant", OptionType::kDouble, {.d = 6.0},
+     "phase budget when max_rounds=0: ceil(c * log2(D+2) / R)"},
+    {"max_phase_retries", OptionType::kU64, {.u = 3},
+     "re-executions of a fault-poisoned phase before the failure propagates"},
+};
+
+AlgoResult run_clique_descriptor(const Graph& g, const AlgoOptions& options,
+                                 const AlgoRunRequest& request) {
+  CliqueMisOptions o;
+  o.params = sparsified_params_from_options(options, g.node_count());
+  o.randomness = RandomSource(request.seed);
+  o.max_phases = request.max_rounds;  // 0 = derive from the graph
+  o.budget_constant = options.get_double("budget_constant");
+  o.max_phase_retries = options.get_u64("max_phase_retries");
+  o.observers = request.observers;
+  o.faults = request.faults;
+  CliqueMisResult r = clique_mis(g, o);
+  AlgoResult out;
+  out.run = std::move(r.run);
+  out.retries = r.stats.phase_retries;
+  return out;
+}
+
+}  // namespace
+
+const AlgorithmDescriptor& clique_mis_descriptor() {
+  static const AlgorithmDescriptor descriptor = {
+      .name = "clique",
+      .summary = "the headline congested-clique MIS: phase-wise simulation "
+                 "of the sparsified dynamic + leader cleanup (Theorem 1.1)",
+      .paper_ref = "§2.4",
+      .model = AlgoModel::kClique,
+      .output = AlgoOutputKind::kMis,
+      .caps = {.fault_injectable = true,
+               .observer_attachable = true,
+               .deterministic_parallel = false},
+      .options = kCliqueOptionFields,
+      .run = run_clique_descriptor,
+  };
+  return descriptor;
 }
 
 }  // namespace dmis

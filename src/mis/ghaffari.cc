@@ -7,6 +7,7 @@
 #include "rng/mix.h"
 #include "rng/pow2_prob.h"
 #include "runtime/congest.h"
+#include "mis/registry.h"
 #include "util/check.h"
 
 namespace dmis {
@@ -215,6 +216,41 @@ MisRun ghaffari_mis(const Graph& g, const GhaffariOptions& options) {
   run.costs = engine.costs();
   run.rounds = run.costs.rounds;
   return run;
+}
+
+
+namespace {
+
+AlgoResult run_ghaffari_descriptor(const Graph& g, const AlgoOptions&,
+                                   const AlgoRunRequest& request) {
+  GhaffariOptions o;
+  o.randomness = RandomSource(request.seed);
+  if (request.max_rounds != 0) o.max_iterations = request.max_rounds;
+  o.observers = request.observers;
+  o.faults = request.faults;
+  o.threads = request.threads;
+  AlgoResult out;
+  out.run = ghaffari_mis(g, o);
+  return out;
+}
+
+}  // namespace
+
+const AlgorithmDescriptor& ghaffari_descriptor() {
+  static const AlgorithmDescriptor descriptor = {
+      .name = "ghaffari",
+      .summary = "Ghaffari SODA'16 dynamic on the CONGEST engine, O(log D) "
+                 "rounds (the baseline Theorem 1.1 improves)",
+      .paper_ref = "§2.1",
+      .model = AlgoModel::kCongest,
+      .output = AlgoOutputKind::kMis,
+      .caps = {.fault_injectable = true,
+               .observer_attachable = true,
+               .deterministic_parallel = true},
+      .options = {},
+      .run = run_ghaffari_descriptor,
+  };
+  return descriptor;
 }
 
 }  // namespace dmis

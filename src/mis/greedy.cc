@@ -2,6 +2,7 @@
 
 #include <numeric>
 
+#include "mis/registry.h"
 #include "util/check.h"
 
 namespace dmis {
@@ -28,6 +29,33 @@ std::vector<char> greedy_mis(const Graph& g, std::span<const NodeId> order) {
     for (const NodeId u : g.neighbors(v)) blocked[u] = 1;
   }
   return in_mis;
+}
+
+namespace {
+
+AlgoResult run_greedy_descriptor(const Graph& g, const AlgoOptions&,
+                                 const AlgoRunRequest&) {
+  AlgoResult out;
+  out.run.in_mis = greedy_mis(g);
+  out.run.decided_round.assign(g.node_count(), 0);
+  return out;
+}
+
+}  // namespace
+
+const AlgorithmDescriptor& greedy_descriptor() {
+  static const AlgorithmDescriptor descriptor = {
+      .name = "greedy",
+      .summary = "sequential id-order greedy MIS (baseline; the residual "
+                 "cleanup subroutine)",
+      .paper_ref = "§2.4 part 2",
+      .model = AlgoModel::kCentralized,
+      .output = AlgoOutputKind::kMis,
+      .caps = {},
+      .options = {},
+      .run = run_greedy_descriptor,
+  };
+  return descriptor;
 }
 
 }  // namespace dmis

@@ -5,6 +5,7 @@
 
 #include "rng/pow2_prob.h"
 #include "runtime/beeping.h"
+#include "mis/registry.h"
 #include "util/bits.h"
 #include "util/check.h"
 
@@ -161,6 +162,41 @@ MisRun halfduplex_beeping_mis(const Graph& g,
   run.costs = engine.costs();
   run.rounds = run.costs.rounds;
   return run;
+}
+
+
+namespace {
+
+AlgoResult run_halfduplex_descriptor(const Graph& g, const AlgoOptions&,
+                                     const AlgoRunRequest& request) {
+  HalfDuplexBeepingOptions o;
+  o.randomness = RandomSource(request.seed);
+  if (request.max_rounds != 0) o.max_iterations = request.max_rounds;
+  o.observers = request.observers;
+  o.faults = request.faults;
+  o.threads = request.threads;
+  AlgoResult out;
+  out.run = halfduplex_beeping_mis(g, o);
+  return out;
+}
+
+}  // namespace
+
+const AlgorithmDescriptor& halfduplex_descriptor() {
+  static const AlgorithmDescriptor descriptor = {
+      .name = "halfduplex",
+      .summary = "MIS in the half-duplex beeping model (footnote 2): "
+                 "id-verification collision resolution, Theta(log n)/iter",
+      .paper_ref = "footnote 2",
+      .model = AlgoModel::kBeeping,
+      .output = AlgoOutputKind::kMis,
+      .caps = {.fault_injectable = true,
+               .observer_attachable = true,
+               .deterministic_parallel = true},
+      .options = {},
+      .run = run_halfduplex_descriptor,
+  };
+  return descriptor;
 }
 
 }  // namespace dmis

@@ -8,6 +8,7 @@
 #include "graph/ops.h"
 #include "mis/cleanup.h"
 #include "mis/ghaffari.h"
+#include "mis/registry.h"
 #include "rng/pow2_prob.h"
 #include "util/check.h"
 
@@ -186,6 +187,48 @@ LowDegResult lowdeg_mis(const Graph& g, const LowDegOptions& options) {
   result.run.costs = net.costs();
   result.run.rounds = result.run.costs.rounds;
   return result;
+}
+
+
+namespace {
+
+constexpr OptionField kLowDegOptionFields[] = {
+    {"max_ball_members", OptionType::kU64, {.u = 100000},
+     "precondition guard: largest radius-2T ball allowed (the paper's n^d)"},
+    {"max_packet_estimate", OptionType::kU64, {.u = 80000000},
+     "precondition guard: gather traffic estimate cap before materializing"},
+};
+
+AlgoResult run_lowdeg_descriptor(const Graph& g, const AlgoOptions& options,
+                                 const AlgoRunRequest& request) {
+  LowDegOptions o;
+  o.randomness = RandomSource(request.seed);
+  if (request.max_rounds != 0) {
+    o.simulated_iterations = static_cast<int>(request.max_rounds);
+  }
+  o.max_ball_members = options.get_u64("max_ball_members");
+  o.max_packet_estimate = options.get_u64("max_packet_estimate");
+  LowDegResult r = lowdeg_mis(g, o);
+  AlgoResult out;
+  out.run = std::move(r.run);
+  return out;
+}
+
+}  // namespace
+
+const AlgorithmDescriptor& lowdeg_descriptor() {
+  static const AlgorithmDescriptor descriptor = {
+      .name = "lowdeg",
+      .summary = "low-degree fast path (Lemma 2.15): gather 2T-balls, "
+                 "locally replay the SODA'16 dynamic; throws when too dense",
+      .paper_ref = "§2.5",
+      .model = AlgoModel::kClique,
+      .output = AlgoOutputKind::kMis,
+      .caps = {},
+      .options = kLowDegOptionFields,
+      .run = run_lowdeg_descriptor,
+  };
+  return descriptor;
 }
 
 }  // namespace dmis

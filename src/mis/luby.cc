@@ -4,6 +4,7 @@
 #include <optional>
 
 #include "runtime/congest.h"
+#include "mis/registry.h"
 #include "util/bits.h"
 #include "util/check.h"
 
@@ -130,6 +131,41 @@ MisRun luby_mis(const Graph& g, const LubyOptions& options) {
   run.costs = engine.costs();
   run.rounds = run.costs.rounds;
   return run;
+}
+
+
+namespace {
+
+AlgoResult run_luby_descriptor(const Graph& g, const AlgoOptions&,
+                               const AlgoRunRequest& request) {
+  LubyOptions o;
+  o.randomness = RandomSource(request.seed);
+  if (request.max_rounds != 0) o.max_iterations = request.max_rounds;
+  o.observers = request.observers;
+  o.faults = request.faults;
+  o.threads = request.threads;
+  AlgoResult out;
+  out.run = luby_mis(g, o);
+  return out;
+}
+
+}  // namespace
+
+const AlgorithmDescriptor& luby_descriptor() {
+  static const AlgorithmDescriptor descriptor = {
+      .name = "luby",
+      .summary = "Luby priority MIS on the CONGEST engine, O(log n) rounds "
+                 "w.h.p. (baseline)",
+      .paper_ref = "§1.1",
+      .model = AlgoModel::kCongest,
+      .output = AlgoOutputKind::kMis,
+      .caps = {.fault_injectable = true,
+               .observer_attachable = true,
+               .deterministic_parallel = true},
+      .options = {},
+      .run = run_luby_descriptor,
+  };
+  return descriptor;
 }
 
 }  // namespace dmis

@@ -1,0 +1,331 @@
+#include "mis/registry.h"
+
+#include <charconv>
+
+#include "graph/properties.h"
+#include "mis/reductions.h"
+#include "util/check.h"
+
+namespace dmis {
+namespace {
+
+bool wants_faults(const AlgorithmDescriptor& d) {
+  return d.caps.fault_injectable;
+}
+
+}  // namespace
+
+const char* algo_model_name(AlgoModel model) {
+  switch (model) {
+    case AlgoModel::kCentralized: return "centralized";
+    case AlgoModel::kCongest: return "CONGEST";
+    case AlgoModel::kBeeping: return "beeping";
+    case AlgoModel::kClique: return "clique";
+  }
+  return "?";
+}
+
+const char* algo_output_kind_name(AlgoOutputKind kind) {
+  switch (kind) {
+    case AlgoOutputKind::kMis: return "mis";
+    case AlgoOutputKind::kRulingSet: return "ruling2";
+  }
+  return "?";
+}
+
+const char* option_type_name(OptionType type) {
+  switch (type) {
+    case OptionType::kU64: return "u64";
+    case OptionType::kI64: return "i64";
+    case OptionType::kDouble: return "double";
+    case OptionType::kBool: return "bool";
+  }
+  return "?";
+}
+
+// ------------------------------------------------------------- AlgoOptions
+
+AlgoOptions::AlgoOptions(const AlgorithmDescriptor& descriptor)
+    : descriptor_(&descriptor) {
+  values_.reserve(descriptor.options.size());
+  for (const OptionField& field : descriptor.options) {
+    values_.push_back(field.def);
+  }
+}
+
+std::size_t AlgoOptions::index_of(std::string_view name,
+                                  OptionType type) const {
+  for (std::size_t i = 0; i < descriptor_->options.size(); ++i) {
+    const OptionField& field = descriptor_->options[i];
+    if (name == field.name) {
+      DMIS_CHECK(field.type == type,
+                 "algorithm '" << descriptor_->name << "' option '" << name
+                               << "' has type " << option_type_name(field.type)
+                               << ", accessed as " << option_type_name(type));
+      return i;
+    }
+  }
+  DMIS_CHECK(false, "algorithm '" << descriptor_->name
+                                  << "' has no option '" << name << "'");
+  return 0;
+}
+
+std::uint64_t AlgoOptions::get_u64(std::string_view name) const {
+  return values_[index_of(name, OptionType::kU64)].u;
+}
+std::int64_t AlgoOptions::get_i64(std::string_view name) const {
+  return values_[index_of(name, OptionType::kI64)].i;
+}
+double AlgoOptions::get_double(std::string_view name) const {
+  return values_[index_of(name, OptionType::kDouble)].d;
+}
+bool AlgoOptions::get_bool(std::string_view name) const {
+  return values_[index_of(name, OptionType::kBool)].b;
+}
+
+void AlgoOptions::set_u64(std::string_view name, std::uint64_t v) {
+  values_[index_of(name, OptionType::kU64)].u = v;
+}
+void AlgoOptions::set_i64(std::string_view name, std::int64_t v) {
+  values_[index_of(name, OptionType::kI64)].i = v;
+}
+void AlgoOptions::set_double(std::string_view name, double v) {
+  values_[index_of(name, OptionType::kDouble)].d = v;
+}
+void AlgoOptions::set_bool(std::string_view name, bool v) {
+  values_[index_of(name, OptionType::kBool)].b = v;
+}
+
+void AlgoOptions::set_from_text(std::string_view name,
+                                const std::string& text) {
+  // Route through the JSON scalar parsers: exact 64-bit integers, loud
+  // failures, and the same accepted grammar as the service request path.
+  for (const OptionField& field : descriptor_->options) {
+    if (name != field.name) continue;
+    if (field.type == OptionType::kBool) {
+      if (text == "true" || text == "1") {
+        set_bool(name, true);
+      } else if (text == "false" || text == "0") {
+        set_bool(name, false);
+      } else {
+        DMIS_CHECK(false, "algorithm '" << descriptor_->name << "' option '"
+                                        << name << "': bad bool '" << text
+                                        << "' (true|false|1|0)");
+      }
+      return;
+    }
+    json::Value parsed;
+    try {
+      parsed = json::parse(text);
+    } catch (const PreconditionError&) {
+      DMIS_CHECK(false, "algorithm '" << descriptor_->name << "' option '"
+                                      << name << "': bad "
+                                      << option_type_name(field.type) << " '"
+                                      << text << "'");
+    }
+    switch (field.type) {
+      case OptionType::kU64: set_u64(name, parsed.as_u64()); break;
+      case OptionType::kI64: set_i64(name, parsed.as_i64()); break;
+      case OptionType::kDouble: set_double(name, parsed.as_double()); break;
+      case OptionType::kBool: break;  // handled above
+    }
+    return;
+  }
+  DMIS_CHECK(false, "algorithm '" << descriptor_->name << "' has no option '"
+                                  << name << "'");
+}
+
+json::Value AlgoOptions::to_json() const {
+  json::Value object = json::Value::object();
+  for (std::size_t i = 0; i < descriptor_->options.size(); ++i) {
+    const OptionField& field = descriptor_->options[i];
+    const OptionValue& value = values_[i];
+    switch (field.type) {
+      case OptionType::kU64:
+        object.set(field.name, json::Value::number(value.u));
+        break;
+      case OptionType::kI64:
+        object.set(field.name, json::Value::number(value.i));
+        break;
+      case OptionType::kDouble:
+        object.set(field.name, json::Value::number(value.d));
+        break;
+      case OptionType::kBool:
+        object.set(field.name, json::Value::boolean(value.b));
+        break;
+    }
+  }
+  return object;
+}
+
+std::string AlgoOptions::canonical_json() const { return to_json().dump(); }
+
+AlgoOptions AlgoOptions::from_json(const AlgorithmDescriptor& descriptor,
+                                   const json::Value& object) {
+  DMIS_CHECK(object.is_object(), "algorithm '" << descriptor.name
+                                               << "' options must be a JSON "
+                                                  "object");
+  AlgoOptions out(descriptor);
+  for (const auto& [key, value] : object.as_object()) {
+    bool known = false;
+    for (const OptionField& field : descriptor.options) {
+      if (key != field.name) continue;
+      known = true;
+      switch (field.type) {
+        case OptionType::kU64: out.set_u64(key, value.as_u64()); break;
+        case OptionType::kI64: out.set_i64(key, value.as_i64()); break;
+        case OptionType::kDouble: out.set_double(key, value.as_double()); break;
+        case OptionType::kBool: out.set_bool(key, value.as_bool()); break;
+      }
+      break;
+    }
+    DMIS_CHECK(known, "algorithm '" << descriptor.name
+                                    << "' has no option '" << key
+                                    << "' (see `dmis solve " << descriptor.name
+                                    << " --help`)");
+  }
+  return out;
+}
+
+AlgoOptions AlgoOptions::parse(const AlgorithmDescriptor& descriptor,
+                               const std::string& text) {
+  if (text.empty()) return AlgoOptions(descriptor);
+  return from_json(descriptor, json::parse(text));
+}
+
+bool operator==(const AlgoOptions& a, const AlgoOptions& b) {
+  if (a.descriptor_ != b.descriptor_) return false;
+  for (std::size_t i = 0; i < a.values_.size(); ++i) {
+    const OptionField& field = a.descriptor_->options[i];
+    const OptionValue& x = a.values_[i];
+    const OptionValue& y = b.values_[i];
+    switch (field.type) {
+      case OptionType::kU64:
+        if (x.u != y.u) return false;
+        break;
+      case OptionType::kI64:
+        if (x.i != y.i) return false;
+        break;
+      case OptionType::kDouble:
+        if (x.d != y.d) return false;
+        break;
+      case OptionType::kBool:
+        if (x.b != y.b) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+// ------------------------------------------------------- AlgorithmRegistry
+
+AlgorithmRegistry::AlgorithmRegistry()
+    : descriptors_{
+          &greedy_descriptor(),
+          &luby_descriptor(),
+          &ghaffari_descriptor(),
+          &beeping_descriptor(),
+          &halfduplex_descriptor(),
+          &sparsified_descriptor(),
+          &sparsified_congest_descriptor(),
+          &clique_mis_descriptor(),
+          &lowdeg_descriptor(),
+          &ruling2_descriptor(),
+      } {}
+
+const AlgorithmRegistry& AlgorithmRegistry::instance() {
+  static const AlgorithmRegistry registry;
+  return registry;
+}
+
+const AlgorithmDescriptor* AlgorithmRegistry::find(
+    std::string_view name) const {
+  for (const AlgorithmDescriptor* d : descriptors_) {
+    if (name == d->name) return d;
+  }
+  return nullptr;
+}
+
+const AlgorithmDescriptor& AlgorithmRegistry::require(
+    std::string_view name) const {
+  const AlgorithmDescriptor* d = find(name);
+  DMIS_CHECK(d != nullptr, "unknown algorithm '"
+                               << name << "' (registered: " << joined_names()
+                               << ")");
+  return *d;
+}
+
+std::vector<std::string> AlgorithmRegistry::names() const {
+  return names_where(nullptr);
+}
+
+std::vector<std::string> AlgorithmRegistry::names_where(
+    bool (*predicate)(const AlgorithmDescriptor&)) const {
+  std::vector<std::string> out;
+  for (const AlgorithmDescriptor* d : descriptors_) {
+    if (predicate == nullptr || predicate(*d)) out.push_back(d->name);
+  }
+  return out;
+}
+
+std::string AlgorithmRegistry::joined_names(
+    bool (*predicate)(const AlgorithmDescriptor&)) const {
+  std::string out;
+  for (const AlgorithmDescriptor* d : descriptors_) {
+    if (predicate != nullptr && !predicate(*d)) continue;
+    if (!out.empty()) out += ' ';
+    out += d->name;
+  }
+  return out;
+}
+
+// --------------------------------------------------------------- execution
+
+void check_run_capabilities(const AlgorithmDescriptor& descriptor,
+                            const AlgoRunRequest& request) {
+  const bool faults_active =
+      request.faults != nullptr && request.faults->active();
+  DMIS_CHECK(!faults_active || descriptor.caps.fault_injectable,
+             "algorithm '" << descriptor.name
+                           << "' lacks capability fault-injection "
+                              "(fault-capable: "
+                           << AlgorithmRegistry::instance().joined_names(
+                                  wants_faults)
+                           << ")");
+  DMIS_CHECK(request.observers.empty() || descriptor.caps.observer_attachable,
+             "algorithm '" << descriptor.name
+                           << "' lacks capability observer-attachment "
+                              "(observer-capable: "
+                           << AlgorithmRegistry::instance().joined_names(
+                                  [](const AlgorithmDescriptor& d) {
+                                    return d.caps.observer_attachable;
+                                  })
+                           << ")");
+}
+
+AlgoResult run_registered_algorithm(const AlgorithmDescriptor& descriptor,
+                                    const Graph& g, const AlgoOptions& options,
+                                    const AlgoRunRequest& request) {
+  DMIS_CHECK(&options.descriptor() == &descriptor,
+             "options bound to algorithm '" << options.descriptor().name
+                                            << "', run requested for '"
+                                            << descriptor.name << "'");
+  check_run_capabilities(descriptor, request);
+  AlgoRunRequest effective = request;
+  if (!descriptor.caps.fault_injectable) effective.faults = nullptr;
+  if (!descriptor.caps.deterministic_parallel) effective.threads = 1;
+  return descriptor.run(g, options, effective);
+}
+
+bool algo_output_valid(const AlgorithmDescriptor& descriptor, const Graph& g,
+                       const std::vector<char>& in_set) {
+  switch (descriptor.output) {
+    case AlgoOutputKind::kMis:
+      return is_maximal_independent_set(g, in_set);
+    case AlgoOutputKind::kRulingSet:
+      return is_ruling_set(g, in_set, 2);
+  }
+  return false;
+}
+
+}  // namespace dmis

@@ -1,0 +1,250 @@
+// Unified algorithm registry: one typed descriptor per algorithm, every
+// layer dispatches through it (DESIGN.md §12).
+//
+// The paper's contribution is a *stack* of algorithms — the §2.1 baseline,
+// the beeping dynamic (§2.2), its sparsified refinement (§2.3), the clique
+// headline (§2.4–2.5) — plus the baselines they are measured against. Before
+// the registry, every layer that had to name an algorithm (the CLI, the
+// batch execution service, the fault/replay driver, the sweeping benches)
+// kept its own string-compare ladder, and the ladders drifted: `dmis serve`
+// rejected half the suite the CLI accepted.
+//
+// An AlgorithmDescriptor is the single source of truth for one algorithm:
+//   * its registry name and one-line summary (`dmis list`);
+//   * the communication model it runs in (AlgoModel);
+//   * capability flags — can a FaultPlane be attached, can RoundObservers be
+//     attached, is multi-threaded stepping supported (with the bit-identity
+//     contract of runtime/parallel.h);
+//   * a declarative option schema (OptionField list): every knob beyond the
+//     universal (seed, max_rounds, threads, faults) triple is a named, typed
+//     field with a default and a help line. AlgoOptions round-trips those
+//     values through util/json.h with a *canonical* encoding (every field,
+//     declaration order), which is what JobSpec hashing, repro bundles and
+//     the generated CLI flags all share;
+//   * a uniform `run` adapter normalizing the native result type (MisRun,
+//     CliqueMisResult, LowDegResult, CliqueRulingResult) into AlgoResult —
+//     one result model with the standard cost/retry ledger.
+//
+// Dispatch contract: name→descriptor lookup happens *here and only here*.
+// Consumers hold descriptors, never compare algorithm name strings.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/graph.h"
+#include "mis/common.h"
+#include "runtime/faults.h"
+#include "runtime/observer.h"
+#include "util/json.h"
+
+namespace dmis {
+
+/// Communication model an algorithm is stated in (paper §1).
+enum class AlgoModel : std::uint8_t {
+  kCentralized,  ///< sequential baseline, no communication model
+  kCongest,      ///< B-bit-per-edge-per-round message passing
+  kBeeping,      ///< 1-bit carrier sense
+  kClique,       ///< congested clique (all-to-all, Lenzen routing)
+};
+const char* algo_model_name(AlgoModel model);
+
+/// What the algorithm outputs (how `valid` is defined for it).
+enum class AlgoOutputKind : std::uint8_t {
+  kMis,        ///< maximal independent set of the input graph
+  kRulingSet,  ///< independent 2-ruling set (every node within distance 2)
+};
+const char* algo_output_kind_name(AlgoOutputKind kind);
+
+/// Capability flags, checked by every consumer before it asks for the
+/// corresponding feature. Violations are *sited, capability-named* errors
+/// ("algorithm 'x' lacks capability fault-injection"), never silent.
+struct AlgoCapabilities {
+  /// A FaultPlane may be attached to the engine's delivery choke point.
+  bool fault_injectable = false;
+  /// RoundObservers (auditors, cancellation watchdogs) may be attached.
+  bool observer_attachable = false;
+  /// threads > 1 is supported, with bit-identical results at any count.
+  bool deterministic_parallel = false;
+};
+
+enum class OptionType : std::uint8_t { kU64, kI64, kDouble, kBool };
+const char* option_type_name(OptionType type);
+
+/// Default (and runtime) value of one option field; the slot matching the
+/// field's type is the live one.
+struct OptionValue {
+  std::uint64_t u = 0;
+  std::int64_t i = 0;
+  double d = 0.0;
+  bool b = false;
+};
+
+/// One declared algorithm option: name, type, default, help line. The
+/// declaration *is* the wire format: canonical JSON emits every field in
+/// declaration order, the CLI generates a `--<name> <value>` flag per field,
+/// and JobKey hashing folds the canonical encoding.
+struct OptionField {
+  const char* name;
+  OptionType type;
+  OptionValue def;
+  const char* help;
+};
+
+struct AlgorithmDescriptor;
+
+/// Typed option values for one algorithm, bound to its descriptor. Values
+/// live in declaration order; accessors are by field name and throw
+/// PreconditionError on unknown names or type mismatches.
+class AlgoOptions {
+ public:
+  /// Defaults of every declared field.
+  explicit AlgoOptions(const AlgorithmDescriptor& descriptor);
+
+  const AlgorithmDescriptor& descriptor() const { return *descriptor_; }
+
+  std::uint64_t get_u64(std::string_view name) const;
+  std::int64_t get_i64(std::string_view name) const;
+  double get_double(std::string_view name) const;
+  bool get_bool(std::string_view name) const;
+
+  void set_u64(std::string_view name, std::uint64_t v);
+  void set_i64(std::string_view name, std::int64_t v);
+  void set_double(std::string_view name, double v);
+  void set_bool(std::string_view name, bool v);
+
+  /// Sets a field from flag text ("3", "0.5", "true"); throws on unknown
+  /// field names and unparsable values (the generated CLI flag path).
+  void set_from_text(std::string_view name, const std::string& text);
+
+  /// Canonical JSON object: every declared field, declaration order,
+  /// defaults included. Bit-exact round-trip: parse(dump) == dump.
+  json::Value to_json() const;
+  std::string canonical_json() const;
+
+  /// Parses a JSON object; unknown keys and type mismatches throw
+  /// PreconditionError naming the algorithm and the field.
+  static AlgoOptions from_json(const AlgorithmDescriptor& descriptor,
+                               const json::Value& object);
+  /// from_json over text; empty text means "all defaults".
+  static AlgoOptions parse(const AlgorithmDescriptor& descriptor,
+                           const std::string& text);
+
+  friend bool operator==(const AlgoOptions&, const AlgoOptions&);
+
+ private:
+  std::size_t index_of(std::string_view name, OptionType type) const;
+
+  const AlgorithmDescriptor* descriptor_;
+  std::vector<OptionValue> values_;  // parallel to descriptor options
+};
+
+/// Universal run parameters — the knobs every algorithm shares. Everything
+/// algorithm-specific rides in AlgoOptions instead.
+struct AlgoRunRequest {
+  std::uint64_t seed = 1;
+  /// Cap on the algorithm's own iteration/phase budget; 0 keeps its default.
+  std::uint64_t max_rounds = 0;
+  /// Worker threads; only honored when caps.deterministic_parallel (results
+  /// are bit-identical at any count either way).
+  int threads = 1;
+  /// Fault plane, or nullptr. Only legal when caps.fault_injectable; a null
+  /// or inactive plane is bit-identical to no plane.
+  FaultPlane* faults = nullptr;
+  /// Observers, attached to the engine. Only legal (when non-empty) for
+  /// caps.observer_attachable algorithms.
+  std::vector<RoundObserver*> observers;
+};
+
+/// The one result model every native result type normalizes into.
+struct AlgoResult {
+  MisRun run;
+  /// Phase re-executions under an active fault plane (clique driver);
+  /// 0 elsewhere. Mirrors run.costs.retries.
+  std::uint64_t retries = 0;
+};
+
+/// Static descriptor of one registered algorithm. Instances have static
+/// storage duration; consumers may hold the pointer for the process
+/// lifetime.
+struct AlgorithmDescriptor {
+  const char* name;
+  const char* summary;       ///< one line, shown by `dmis list`
+  const char* paper_ref;     ///< paper section / citation, e.g. "§2.2"
+  AlgoModel model = AlgoModel::kCongest;
+  AlgoOutputKind output = AlgoOutputKind::kMis;
+  AlgoCapabilities caps;
+  std::span<const OptionField> options;
+  /// Uniform entry point. Implementations assume the capability checks of
+  /// run_registered_algorithm already happened (a FaultPlane only arrives if
+  /// fault_injectable, observers only if observer_attachable).
+  AlgoResult (*run)(const Graph& g, const AlgoOptions& options,
+                    const AlgoRunRequest& request);
+};
+
+/// Per-algorithm descriptor accessors, defined next to each algorithm's
+/// implementation (the algorithm "registers" itself by exposing one).
+const AlgorithmDescriptor& greedy_descriptor();
+const AlgorithmDescriptor& luby_descriptor();
+const AlgorithmDescriptor& ghaffari_descriptor();
+const AlgorithmDescriptor& beeping_descriptor();
+const AlgorithmDescriptor& halfduplex_descriptor();
+const AlgorithmDescriptor& sparsified_descriptor();
+const AlgorithmDescriptor& sparsified_congest_descriptor();
+const AlgorithmDescriptor& clique_mis_descriptor();
+const AlgorithmDescriptor& lowdeg_descriptor();
+const AlgorithmDescriptor& ruling2_descriptor();
+
+/// The process-wide registry (immutable after construction).
+class AlgorithmRegistry {
+ public:
+  static const AlgorithmRegistry& instance();
+
+  /// nullptr for unknown names.
+  const AlgorithmDescriptor* find(std::string_view name) const;
+  /// Throws PreconditionError naming the registered set for unknown names.
+  const AlgorithmDescriptor& require(std::string_view name) const;
+
+  std::span<const AlgorithmDescriptor* const> all() const {
+    return descriptors_;
+  }
+  /// Registration-order names, optionally filtered by a capability
+  /// predicate.
+  std::vector<std::string> names() const;
+  std::vector<std::string> names_where(
+      bool (*predicate)(const AlgorithmDescriptor&)) const;
+  /// Space-joined names — error-message helper ("fault-capable: a b c").
+  std::string joined_names(
+      bool (*predicate)(const AlgorithmDescriptor&) = nullptr) const;
+
+ private:
+  AlgorithmRegistry();
+  std::vector<const AlgorithmDescriptor*> descriptors_;
+};
+
+/// The capability validation of run_registered_algorithm, separately
+/// callable: throws a capability-named PreconditionError if the request
+/// wants active faults or observers the descriptor does not support.
+/// Admission layers (the batch service, the fault driver) call this *before*
+/// entering a failure-capturing run, so a capability mismatch is a rejection
+/// rather than a recorded algorithm failure.
+void check_run_capabilities(const AlgorithmDescriptor& descriptor,
+                            const AlgoRunRequest& request);
+
+/// Capability-checked uniform execution: looks up nothing (callers resolved
+/// the descriptor already), validates the request against the descriptor's
+/// capabilities with capability-named PreconditionErrors, then invokes the
+/// adapter. `options` must be bound to `descriptor`.
+AlgoResult run_registered_algorithm(const AlgorithmDescriptor& descriptor,
+                                    const Graph& g, const AlgoOptions& options,
+                                    const AlgoRunRequest& request);
+
+/// Output validity under the descriptor's output kind: maximal independence
+/// for kMis, independent 2-ruling for kRulingSet.
+bool algo_output_valid(const AlgorithmDescriptor& descriptor, const Graph& g,
+                       const std::vector<char>& in_set);
+
+}  // namespace dmis

@@ -1,0 +1,42 @@
+// Shared option-schema fragments for algorithm descriptors (mis/registry.h).
+//
+// The sparsified family — the direct §2.3 runner, its CONGEST translation,
+// and the §2.4 clique simulation — share the three SparsifiedParams knobs.
+// Each descriptor's option array must be one contiguous static array, so the
+// shared fields are a macro fragment spliced into each; the resolution rule
+// (-1 = derive the field from SparsifiedParams::from_n, i.e. the paper's
+// parameterization at the input's n) lives here once.
+#pragma once
+
+#include "mis/registry.h"
+#include "mis/sparsified.h"
+
+/// Splice into an OptionField array: the three SparsifiedParams fields, each
+/// defaulting to "auto" (-1 → SparsifiedParams::from_n at run time).
+#define DMIS_SPARSIFIED_PARAM_OPTION_FIELDS                                  \
+  {"phase_length", dmis::OptionType::kI64, {.i = -1},                        \
+   "iterations per phase R; -1 = paper parameterization from n"},            \
+  {"superheavy_log2_threshold", dmis::OptionType::kI64, {.i = -1},           \
+   "super-heavy iff d_t0(v) >= 2^this; -1 = 2R from n"},                     \
+  {"sample_boost", dmis::OptionType::kI64, {.i = -1},                        \
+   "S-membership boost: r <= 2^this * p_t0; -1 = R from n"}
+
+namespace dmis {
+
+/// Params from the shared option fields: start from the paper's
+/// parameterization (from_n) and override any field set >= 0.
+inline SparsifiedParams sparsified_params_from_options(
+    const AlgoOptions& options, NodeId n) {
+  SparsifiedParams params = SparsifiedParams::from_n(n);
+  const std::int64_t r = options.get_i64("phase_length");
+  if (r >= 0) params.phase_length = static_cast<int>(r);
+  const std::int64_t threshold = options.get_i64("superheavy_log2_threshold");
+  if (threshold >= 0) {
+    params.superheavy_log2_threshold = static_cast<int>(threshold);
+  }
+  const std::int64_t boost = options.get_i64("sample_boost");
+  if (boost >= 0) params.sample_boost = static_cast<int>(boost);
+  return params;
+}
+
+}  // namespace dmis

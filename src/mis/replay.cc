@@ -1,15 +1,8 @@
 #include "mis/replay.h"
 
-#include <algorithm>
 #include <utility>
 
-#include "mis/beeping.h"
-#include "mis/clique_mis.h"
-#include "mis/ghaffari.h"
-#include "mis/halfduplex_beeping.h"
-#include "mis/luby.h"
-#include "mis/sparsified.h"
-#include "mis/sparsified_congest.h"
+#include "mis/registry.h"
 #include "util/check.h"
 
 namespace dmis {
@@ -48,85 +41,50 @@ RecordedFailure failure_from_violation(const InvariantViolation& v) {
 }  // namespace
 
 const std::vector<std::string>& fault_algorithm_names() {
-  static const std::vector<std::string> names = {
-      "beeping", "halfduplex", "luby", "ghaffari", "congest", "clique"};
+  static const std::vector<std::string> names =
+      AlgorithmRegistry::instance().names_where(
+          [](const AlgorithmDescriptor& d) {
+            return d.caps.fault_injectable;
+          });
   return names;
 }
 
 bool is_fault_algorithm(const std::string& name) {
-  const auto& names = fault_algorithm_names();
-  return std::find(names.begin(), names.end(), name) != names.end();
+  const AlgorithmDescriptor* d = AlgorithmRegistry::instance().find(name);
+  return d != nullptr && d->caps.fault_injectable;
 }
 
 FaultRunResult run_algorithm_with_faults(
     const Graph& g, const std::string& algorithm, std::uint64_t seed,
     int threads, const FaultSchedule& schedule, std::uint64_t max_rounds,
-    const std::vector<RoundObserver*>& extra_observers) {
-  DMIS_CHECK(is_fault_algorithm(algorithm),
-             "unknown algorithm '" << algorithm
-                                   << "' (see fault_algorithm_names())");
+    const std::vector<RoundObserver*>& extra_observers,
+    const std::string& options_json) {
+  const AlgorithmDescriptor& descriptor =
+      AlgorithmRegistry::instance().require(algorithm);
+  const AlgoOptions options = AlgoOptions::parse(descriptor, options_json);
   FaultPlane plane(schedule);
   InvariantAuditor auditor(g);
-  std::vector<RoundObserver*> observers = {&auditor};
-  observers.insert(observers.end(), extra_observers.begin(),
-                   extra_observers.end());
-  const RandomSource rs(seed);
+
+  AlgoRunRequest request;
+  request.seed = seed;
+  request.max_rounds = max_rounds;
+  request.threads = threads;
+  request.faults = &plane;
+  if (descriptor.caps.observer_attachable) {
+    request.observers.push_back(&auditor);
+  }
+  request.observers.insert(request.observers.end(), extra_observers.begin(),
+                           extra_observers.end());
+  // Admission: capability mismatches are rejections, thrown before the
+  // failure-capturing run below starts.
+  check_run_capabilities(descriptor, request);
 
   FaultRunResult out;
   bool finished = false;
   try {
-    if (algorithm == "beeping") {
-      BeepingOptions o;
-      o.randomness = rs;
-      if (max_rounds != 0) o.max_iterations = max_rounds;
-      o.observers = observers;
-      o.faults = &plane;
-      o.threads = threads;
-      out.run = beeping_mis(g, o);
-    } else if (algorithm == "halfduplex") {
-      HalfDuplexBeepingOptions o;
-      o.randomness = rs;
-      if (max_rounds != 0) o.max_iterations = max_rounds;
-      o.observers = observers;
-      o.faults = &plane;
-      o.threads = threads;
-      out.run = halfduplex_beeping_mis(g, o);
-    } else if (algorithm == "luby") {
-      LubyOptions o;
-      o.randomness = rs;
-      if (max_rounds != 0) o.max_iterations = max_rounds;
-      o.observers = observers;
-      o.faults = &plane;
-      o.threads = threads;
-      out.run = luby_mis(g, o);
-    } else if (algorithm == "ghaffari") {
-      GhaffariOptions o;
-      o.randomness = rs;
-      if (max_rounds != 0) o.max_iterations = max_rounds;
-      o.observers = observers;
-      o.faults = &plane;
-      o.threads = threads;
-      out.run = ghaffari_mis(g, o);
-    } else if (algorithm == "congest") {
-      SparsifiedOptions o;
-      o.params = SparsifiedParams::from_n(g.node_count());
-      o.randomness = rs;
-      if (max_rounds != 0) o.max_phases = max_rounds;
-      o.observers = observers;
-      o.faults = &plane;
-      o.threads = threads;
-      out.run = sparsified_congest_mis(g, o);
-    } else {  // "clique"
-      CliqueMisOptions o;
-      o.params = SparsifiedParams::from_n(g.node_count());
-      o.randomness = rs;
-      o.max_phases = max_rounds;  // 0 = derive from the graph
-      o.observers = observers;
-      o.faults = &plane;
-      CliqueMisResult r = clique_mis(g, o);
-      out.run = std::move(r.run);
-      out.retries = r.stats.phase_retries;
-    }
+    AlgoResult r = run_registered_algorithm(descriptor, g, options, request);
+    out.run = std::move(r.run);
+    out.retries = r.retries;
     finished = true;
   } catch (const PreconditionError& e) {
     out.failure = failure_from_site("precondition", e.what(), e.site());
@@ -136,7 +94,8 @@ FaultRunResult run_algorithm_with_faults(
 
   out.violations = auditor.violations();
   out.total_violations = auditor.total_violations();
-  if (finished && !out.run.in_mis.empty()) {
+  if (finished && descriptor.output == AlgoOutputKind::kMis &&
+      !out.run.in_mis.empty()) {
     // Final end-state audit: catches violations the per-iteration markers
     // missed (e.g. the clique driver, which has no iteration markers).
     std::vector<char> decided(out.run.decided_round.size(), 0);
@@ -161,12 +120,19 @@ ReproBundle make_repro_bundle(const Graph& g, const std::string& algorithm,
                               std::uint64_t seed, int threads,
                               std::uint64_t max_rounds,
                               const FaultSchedule& schedule,
-                              const FaultRunResult& result) {
+                              const FaultRunResult& result,
+                              const std::string& options_json) {
+  const AlgorithmDescriptor& descriptor =
+      AlgorithmRegistry::instance().require(algorithm);
+  const AlgoOptions options = AlgoOptions::parse(descriptor, options_json);
   ReproBundle bundle;
   bundle.algorithm = algorithm;
   bundle.seed = seed;
   bundle.threads = threads;
   bundle.max_rounds = max_rounds;
+  if (!(options == AlgoOptions(descriptor))) {
+    bundle.options_json = options.canonical_json();
+  }
   bundle.schedule = schedule;
   bundle.graph = g;
   bundle.failure = result.failure;
@@ -184,7 +150,7 @@ ReplayOutcome replay_bundle(const ReproBundle& bundle) {
   outcome.result =
       run_algorithm_with_faults(bundle.graph, bundle.algorithm, bundle.seed,
                                 bundle.threads, bundle.schedule,
-                                bundle.max_rounds);
+                                bundle.max_rounds, {}, bundle.options_json);
   outcome.observed = outcome.result.failure;
   outcome.reproduced = failures_match(outcome.expected, outcome.observed);
   return outcome;

@@ -23,9 +23,10 @@
 
 namespace dmis {
 
-/// Algorithm registry names accepted by run_algorithm_with_faults (also the
-/// `algorithm:` values of a bundle): "beeping", "halfduplex", "luby",
-/// "ghaffari", "congest" (the sparsified CONGEST translation), "clique".
+/// Registry names with the fault-injection capability (mis/registry.h) —
+/// the algorithms whose bundles can carry an *active* fault schedule. Any
+/// registered algorithm may run through run_algorithm_with_faults; only
+/// these accept a non-trivial schedule.
 const std::vector<std::string>& fault_algorithm_names();
 bool is_fault_algorithm(const std::string& name);
 
@@ -45,26 +46,37 @@ struct FaultRunResult {
   bool failed() const { return failure.kind != "none"; }
 };
 
-/// Runs `algorithm` on `g` under `schedule`. `max_rounds` caps the
-/// algorithm's own iteration/phase budget; 0 keeps its default. Throws
-/// PreconditionError for an unknown algorithm name; algorithm failures are
-/// *captured* in the result, never propagated. `extra_observers` are
-/// attached after the built-in invariant auditor (the batch execution
-/// service injects per-job deadline/cancellation observers here); whatever
-/// such an observer throws propagates out of this function uncaught — only
-/// the library's own PreconditionError/InvariantError become recorded
-/// failures.
+/// Runs any registered algorithm on `g` under `schedule`, dispatching
+/// through the AlgorithmRegistry. `max_rounds` caps the algorithm's own
+/// iteration/phase budget; 0 keeps its default. `options_json` is the
+/// algorithm's typed options (mis/registry.h); empty means defaults.
+///
+/// Admission errors — unknown algorithm name, bad options, an *active*
+/// schedule for a non-fault-capable algorithm, extra observers for a
+/// non-observable one — throw PreconditionError before the run starts.
+/// Algorithm failures during the run are *captured* in the result, never
+/// propagated. The built-in invariant auditor is attached only when the
+/// algorithm is observer-attachable; the final end-state audit runs for
+/// MIS-output algorithms regardless. `extra_observers` are attached after
+/// the auditor (the batch execution service injects per-job
+/// deadline/cancellation observers here); whatever such an observer throws
+/// propagates out of this function uncaught — only the library's own
+/// PreconditionError/InvariantError become recorded failures.
 FaultRunResult run_algorithm_with_faults(
     const Graph& g, const std::string& algorithm, std::uint64_t seed,
     int threads, const FaultSchedule& schedule, std::uint64_t max_rounds = 0,
-    const std::vector<RoundObserver*>& extra_observers = {});
+    const std::vector<RoundObserver*>& extra_observers = {},
+    const std::string& options_json = "");
 
-/// Packages a finished fault run as a replayable bundle.
+/// Packages a finished fault run as a replayable bundle. Non-default
+/// options are stored in canonical form; defaults (or empty `options_json`)
+/// keep the bundle's v1 byte format.
 ReproBundle make_repro_bundle(const Graph& g, const std::string& algorithm,
                               std::uint64_t seed, int threads,
                               std::uint64_t max_rounds,
                               const FaultSchedule& schedule,
-                              const FaultRunResult& result);
+                              const FaultRunResult& result,
+                              const std::string& options_json = "");
 
 /// Field-wise failure equivalence: kind, round, node and witness must agree;
 /// `detail` is informational only (it may embed build-dependent text).

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "mis/greedy.h"
+#include "mis/registry.h"
 #include "util/bits.h"
 #include "util/check.h"
 #include "wire/messages.h"
@@ -142,6 +143,46 @@ CliqueRulingResult clique_two_ruling_set(const Graph& g,
   result.stats.iterations = iteration;
   result.costs = net.costs();
   return result;
+}
+
+
+namespace {
+
+constexpr OptionField kRulingOptionFields[] = {
+    {"sampling_constant", OptionType::kDouble, {.d = 4.0},
+     "sampling aggressiveness: p = min(1, c * ln(n) / d)"},
+};
+
+AlgoResult run_ruling2_descriptor(const Graph& g, const AlgoOptions& options,
+                                  const AlgoRunRequest& request) {
+  CliqueRulingOptions o;
+  o.randomness = RandomSource(request.seed);
+  o.sampling_constant = options.get_double("sampling_constant");
+  if (request.max_rounds != 0) o.max_iterations = request.max_rounds;
+  CliqueRulingResult r = clique_two_ruling_set(g, o);
+  AlgoResult out;
+  out.run.in_mis = std::move(r.in_set);
+  out.run.decided_round.assign(g.node_count(), 0);
+  out.run.rounds = r.costs.rounds;
+  out.run.costs = r.costs;
+  return out;
+}
+
+}  // namespace
+
+const AlgorithmDescriptor& ruling2_descriptor() {
+  static const AlgorithmDescriptor descriptor = {
+      .name = "ruling2",
+      .summary = "direct congested-clique 2-ruling set (sample-to-leader, "
+                 "degree halving) - the related-work contrast",
+      .paper_ref = "[7,18]",
+      .model = AlgoModel::kClique,
+      .output = AlgoOutputKind::kRulingSet,
+      .caps = {},
+      .options = kRulingOptionFields,
+      .run = run_ruling2_descriptor,
+  };
+  return descriptor;
 }
 
 }  // namespace dmis

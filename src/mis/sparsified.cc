@@ -5,6 +5,7 @@
 
 #include "rng/pow2_prob.h"
 #include "runtime/parallel.h"
+#include "mis/registry_support.h"
 #include "util/check.h"
 #include "wire/messages.h"
 
@@ -331,6 +332,50 @@ MisRun sparsified_mis(const Graph& g, const SparsifiedOptions& options) {
 
   run.rounds = run.costs.rounds;
   return run;
+}
+
+
+namespace {
+
+constexpr OptionField kSparsifiedOptionFields[] = {
+    DMIS_SPARSIFIED_PARAM_OPTION_FIELDS,
+    {"immediate_superheavy_removal", OptionType::kBool, {.b = false},
+     "E9 ablation: remove super-heavy nodes eagerly instead of phase-commit"},
+};
+
+AlgoResult run_sparsified_descriptor(const Graph& g,
+                                     const AlgoOptions& options,
+                                     const AlgoRunRequest& request) {
+  SparsifiedOptions o;
+  o.params = sparsified_params_from_options(options, g.node_count());
+  o.params.immediate_superheavy_removal =
+      options.get_bool("immediate_superheavy_removal");
+  o.randomness = RandomSource(request.seed);
+  if (request.max_rounds != 0) o.max_phases = request.max_rounds;
+  o.observers = request.observers;
+  o.threads = request.threads;
+  AlgoResult out;
+  out.run = sparsified_mis(g, o);
+  return out;
+}
+
+}  // namespace
+
+const AlgorithmDescriptor& sparsified_descriptor() {
+  static const AlgorithmDescriptor descriptor = {
+      .name = "sparsified",
+      .summary = "sparsified beeping MIS, global lock-step runner (phase "
+                 "traces; the run the clique simulation must match)",
+      .paper_ref = "§2.3",
+      .model = AlgoModel::kBeeping,
+      .output = AlgoOutputKind::kMis,
+      .caps = {.fault_injectable = false,
+               .observer_attachable = true,
+               .deterministic_parallel = true},
+      .options = kSparsifiedOptionFields,
+      .run = run_sparsified_descriptor,
+  };
+  return descriptor;
 }
 
 }  // namespace dmis

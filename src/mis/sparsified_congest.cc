@@ -6,6 +6,7 @@
 
 #include "rng/pow2_prob.h"
 #include "runtime/congest.h"
+#include "mis/registry_support.h"
 #include "util/check.h"
 
 namespace dmis {
@@ -232,6 +233,50 @@ MisRun sparsified_congest_mis(const Graph& g,
   run.costs = engine.costs();
   run.rounds = run.costs.rounds;
   return run;
+}
+
+
+namespace {
+
+constexpr OptionField kCongestOptionFields[] = {
+    DMIS_SPARSIFIED_PARAM_OPTION_FIELDS,
+    {"immediate_superheavy_removal", OptionType::kBool, {.b = false},
+     "E9 ablation: remove super-heavy nodes eagerly instead of phase-commit"},
+};
+
+AlgoResult run_congest_descriptor(const Graph& g, const AlgoOptions& options,
+                                  const AlgoRunRequest& request) {
+  SparsifiedOptions o;
+  o.params = sparsified_params_from_options(options, g.node_count());
+  o.params.immediate_superheavy_removal =
+      options.get_bool("immediate_superheavy_removal");
+  o.randomness = RandomSource(request.seed);
+  if (request.max_rounds != 0) o.max_phases = request.max_rounds;
+  o.observers = request.observers;
+  o.faults = request.faults;
+  o.threads = request.threads;
+  AlgoResult out;
+  out.run = sparsified_congest_mis(g, o);
+  return out;
+}
+
+}  // namespace
+
+const AlgorithmDescriptor& sparsified_congest_descriptor() {
+  static const AlgorithmDescriptor descriptor = {
+      .name = "congest",
+      .summary = "sparsified MIS as real node programs on the enforcing "
+                 "CONGEST engine (bit-identical to the lock-step runner)",
+      .paper_ref = "§2.3",
+      .model = AlgoModel::kCongest,
+      .output = AlgoOutputKind::kMis,
+      .caps = {.fault_injectable = true,
+               .observer_attachable = true,
+               .deterministic_parallel = true},
+      .options = kCongestOptionFields,
+      .run = run_congest_descriptor,
+  };
+  return descriptor;
 }
 
 }  // namespace dmis

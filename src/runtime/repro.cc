@@ -110,6 +110,9 @@ void write_repro_bundle(std::ostream& os, const ReproBundle& bundle) {
   put(os, "seed", std::to_string(bundle.seed));
   put(os, "threads", std::to_string(bundle.threads));
   put(os, "max_rounds", std::to_string(bundle.max_rounds));
+  if (!bundle.options_json.empty()) {
+    put(os, "options", sanitize(bundle.options_json));
+  }
   const FaultSchedule& s = bundle.schedule;
   put(os, "fault_seed", std::to_string(s.seed));
   put(os, "drop_rate", format_rate(s.drop_rate));
@@ -153,6 +156,8 @@ ReproBundle read_repro_bundle(std::istream& is) {
       bundle.threads = static_cast<int>(parse_i64(p, value));
     } else if (key == "max_rounds") {
       bundle.max_rounds = parse_u64(p, value);
+    } else if (key == "options") {
+      bundle.options_json = value;
     } else if (key == "fault_seed") {
       bundle.schedule.seed = parse_u64(p, value);
     } else if (key == "drop_rate") {

@@ -41,10 +41,13 @@ struct RecordedFailure {
 };
 
 struct ReproBundle {
-  std::string algorithm;  ///< registry name (see mis/replay.h)
+  std::string algorithm;  ///< registry name (see mis/registry.h)
   std::uint64_t seed = 0;
   int threads = 1;
   std::uint64_t max_rounds = 0;  ///< algorithm iterations cap
+  /// Canonical algorithm-options JSON (mis/registry.h); empty means "all
+  /// defaults" — v1 bundles written before typed options parse as empty.
+  std::string options_json;
   FaultSchedule schedule;
   Graph graph;
   RecordedFailure failure;

@@ -174,6 +174,12 @@ Request parse_request(const std::string& line, std::uint64_t seq) {
   if (const json::Value* mr = req.find("max_rounds")) {
     out.spec.max_rounds = mr->as_u64();
   }
+  if (const json::Value* opts = req.find("options")) {
+    DMIS_CHECK(opts->is_object(), "\"options\" must be an object");
+    // Stored as text; admission validates it against the algorithm's option
+    // schema and the job key folds the canonical re-encoding.
+    out.spec.options_json = opts->dump();
+  }
   out.spec.graph = graph_from_request(req);
 
   if (const json::Value* faults = req.find("faults")) {

@@ -17,7 +17,10 @@
 //   {"id":"r1","algorithm":"luby","seed":7,"graph_file":"g.el"}
 //   {"id":2,"algorithm":"congest","seed":1,"n":4,"edges":[[0,1],[2,3]],
 //    "priority":"interactive","deadline_ms":500,"max_rounds":0,
+//    "options":{"phase_length":6},
 //    "faults":{"seed":9,"drop":0.01,"crash":[[3,2]],"stall":[[1,4,2]]}}
+// "algorithm" is any name `dmis list` prints; "options" is that algorithm's
+// typed option object (see `dmis solve <algorithm> --help`).
 //   {"cmd":"stats"}                      — serving counters snapshot
 // Response:
 //   {"id":"r1","cached":false,"result":{...canonical...},"elapsed_us":N}

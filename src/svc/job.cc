@@ -5,6 +5,7 @@
 #include <sstream>
 #include <vector>
 
+#include "mis/registry.h"
 #include "mis/replay.h"
 #include "rng/mix.h"
 #include "runtime/observer.h"
@@ -46,11 +47,29 @@ class KeyFolder {
   std::uint64_t h_;
 };
 
+/// The options bytes that enter the job key: the *canonical* encoding
+/// (every declared field, declaration order, defaults included), so an
+/// empty options object and explicitly-spelled defaults are the same
+/// computation and share a cache line. Unknown algorithms and unparsable
+/// options fold the raw text — those specs are rejected, never cached.
+std::string canonical_options(const JobSpec& spec) {
+  const AlgorithmDescriptor* descriptor =
+      AlgorithmRegistry::instance().find(spec.algorithm);
+  if (descriptor == nullptr) return spec.options_json;
+  try {
+    return AlgoOptions::parse(*descriptor, spec.options_json)
+        .canonical_json();
+  } catch (const PreconditionError&) {
+    return spec.options_json;
+  }
+}
+
 void fold_spec(KeyFolder& f, const JobSpec& spec) {
   f.add(spec.graph.content_digest(kGraphDigestSeed));
   f.add_string(spec.algorithm);
   f.add(spec.seed);
   f.add(spec.max_rounds);
+  f.add_string(canonical_options(spec));
   // Normalized fault schedule: an empty schedule contributes a constant, so
   // its (execution-irrelevant) seed cannot split cache keys.
   if (spec.faults.empty()) {
@@ -92,13 +111,14 @@ std::string mask_to_hex(const std::vector<char>& mask) {
 /// The canonical result JSON: field set and order are fixed, every value is
 /// a pure function of the spec — this exact byte string is what the result
 /// cache stores and what responses embed verbatim.
-std::string canonical_json(const JobSpec& spec, const FaultRunResult& r,
-                           JobStatus status) {
+std::string canonical_json(const JobSpec& spec, const AlgoOptions& options,
+                           const FaultRunResult& r, JobStatus status) {
   json::Value o = json::Value::object();
   o.set("status", json::Value::string(job_status_name(status)));
   o.set("algorithm", json::Value::string(spec.algorithm));
   o.set("seed", json::Value::number(spec.seed));
   o.set("max_rounds", json::Value::number(spec.max_rounds));
+  o.set("options", options.to_json());
   o.set("digest",
         json::Value::number(spec.graph.content_digest(kGraphDigestSeed)));
   o.set("n", json::Value::number(std::uint64_t{spec.graph.node_count()}));
@@ -217,32 +237,64 @@ JobResult make_cancelled_result(const JobSpec& spec,
 
 JobResult execute_job(const JobSpec& spec, int threads, CancelToken* cancel) {
   JobResult out;
-  if (!is_fault_algorithm(spec.algorithm)) {
+  // Admission, in order of specificity: the algorithm must exist, its
+  // options must parse, and the spec must not ask for a capability the
+  // algorithm lacks. Each rejection reason names its own failure.
+  const AlgorithmDescriptor* descriptor =
+      AlgorithmRegistry::instance().find(spec.algorithm);
+  if (descriptor == nullptr) {
     out.status = JobStatus::kRejected;
-    out.canonical = minimal_json(spec, JobStatus::kRejected,
-                                 "unknown algorithm '" + spec.algorithm + "'");
+    out.canonical = minimal_json(
+        spec, JobStatus::kRejected,
+        "unknown algorithm '" + spec.algorithm + "' (registered: " +
+            AlgorithmRegistry::instance().joined_names() + ")");
+    return out;
+  }
+  AlgoOptions options(*descriptor);
+  try {
+    options = AlgoOptions::parse(*descriptor, spec.options_json);
+  } catch (const PreconditionError& e) {
+    out.status = JobStatus::kRejected;
+    out.canonical = minimal_json(spec, JobStatus::kRejected, e.what());
+    return out;
+  }
+  if (!spec.faults.empty() && !descriptor->caps.fault_injectable) {
+    out.status = JobStatus::kRejected;
+    out.canonical = minimal_json(
+        spec, JobStatus::kRejected,
+        "algorithm '" + spec.algorithm +
+            "' lacks capability fault-injection (fault-capable: " +
+            AlgorithmRegistry::instance().joined_names(
+                [](const AlgorithmDescriptor& d) {
+                  return d.caps.fault_injectable;
+                }) +
+            ")");
     return out;
   }
   if (cancel != nullptr && cancel->expired()) {
     return make_cancelled_result(spec, cancel->reason());
   }
 
+  // Per-round preemption rides the observer capability; without it the job
+  // is only cancellable while queued (checked above).
   CancelObserver watchdog(cancel);
   std::vector<RoundObserver*> extra;
-  if (cancel != nullptr) extra.push_back(&watchdog);
+  if (cancel != nullptr && descriptor->caps.observer_attachable) {
+    extra.push_back(&watchdog);
+  }
 
   try {
-    const FaultRunResult r =
-        run_algorithm_with_faults(spec.graph, spec.algorithm, spec.seed,
-                                  threads, spec.faults, spec.max_rounds, extra);
+    const FaultRunResult r = run_algorithm_with_faults(
+        spec.graph, spec.algorithm, spec.seed, threads, spec.faults,
+        spec.max_rounds, extra, spec.options_json);
     out.status = r.failed() ? JobStatus::kFailed : JobStatus::kOk;
-    out.canonical = canonical_json(spec, r, out.status);
+    out.canonical = canonical_json(spec, options, r, out.status);
     if (r.failed()) {
       // threads=1 in the bundle: the recorded failure is thread-invariant,
       // and a fixed value keeps batch output bit-identical at any --threads.
       const ReproBundle bundle = make_repro_bundle(
           spec.graph, spec.algorithm, spec.seed, 1, spec.max_rounds,
-          spec.faults, r);
+          spec.faults, r, spec.options_json);
       std::ostringstream oss;
       write_repro_bundle(oss, bundle);
       out.bundle_text = oss.str();

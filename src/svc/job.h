@@ -27,12 +27,17 @@
 
 namespace dmis::svc {
 
-/// One computation request. Supported algorithms are the wire-model registry
-/// of mis/replay.h (fault_algorithm_names()).
+/// One computation request. Any algorithm of the AlgorithmRegistry
+/// (mis/registry.h) is accepted; capability mismatches — a fault schedule
+/// for a non-fault-capable algorithm — are rejected at admission.
 struct JobSpec {
   std::string algorithm;
   std::uint64_t seed = 1;
   std::uint64_t max_rounds = 0;  ///< 0 = algorithm default budget
+  /// Algorithm-specific typed options as JSON (mis/registry.h); empty means
+  /// defaults. Keys fold the *canonical* encoding, so spelling defaults out
+  /// explicitly hits the same cache line as omitting them.
+  std::string options_json;
   FaultSchedule faults;
   Graph graph;
 };
@@ -63,7 +68,8 @@ enum class JobStatus : std::uint8_t {
   kOk,         ///< run finished, invariants hold, result cacheable
   kFailed,     ///< run failed (violation/poisoned decode); repro bundle set
   kCancelled,  ///< cancelled or deadline-expired; never cached
-  kRejected,   ///< inadmissible spec (unknown algorithm)
+  kRejected,   ///< inadmissible spec: unknown algorithm, bad options, or a
+               ///< capability the algorithm lacks (the reason names which)
 };
 const char* job_status_name(JobStatus status);
 
@@ -117,8 +123,11 @@ class JobCancelledError : public std::runtime_error {
 
 /// Runs one job to a JobResult. `threads` is the intra-job WorkerPool lane
 /// count (a pure performance knob). Never throws for spec-level problems:
-/// unknown algorithms yield kRejected, cancellation yields kCancelled,
-/// algorithm failures yield kFailed with a replayable bundle.
+/// unknown algorithms, unparsable options and capability mismatches yield
+/// kRejected (the reason distinguishes them), cancellation yields
+/// kCancelled, algorithm failures yield kFailed with a replayable bundle.
+/// Deadline/cancel preemption is per-round and needs the observer
+/// capability; non-observable algorithms are only cancellable while queued.
 JobResult execute_job(const JobSpec& spec, int threads,
                       CancelToken* cancel = nullptr);
 

@@ -1,0 +1,293 @@
+// Tests for the algorithm registry (mis/registry.h): descriptor lookup,
+// the typed option schema and its canonical JSON encoding, capability
+// checking, and — the load-bearing property — bit-identity of registry
+// dispatch against the algorithms' direct entry points.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "graph/generators.h"
+#include "mis/beeping.h"
+#include "mis/ghaffari.h"
+#include "mis/luby.h"
+#include "mis/registry.h"
+#include "runtime/faults.h"
+#include "util/check.h"
+
+namespace dmis {
+namespace {
+
+// Low max degree so every registered algorithm — including lowdeg, whose
+// ball-gather rejects dense inputs — accepts the instance.
+Graph smoke_graph() { return gnp(96, 4.0 / 95.0, 21); }
+
+void expect_same_run(const MisRun& a, const MisRun& b) {
+  EXPECT_EQ(a.in_mis, b.in_mis);
+  EXPECT_EQ(a.decided_round, b.decided_round);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.costs.rounds, b.costs.rounds);
+  EXPECT_EQ(a.costs.messages, b.costs.messages);
+  EXPECT_EQ(a.costs.bits, b.costs.bits);
+  EXPECT_EQ(a.costs.beeps, b.costs.beeps);
+  EXPECT_EQ(a.costs.retries, b.costs.retries);
+  EXPECT_EQ(a.costs.by_type, b.costs.by_type);
+}
+
+TEST(Registry, ListsEveryAlgorithmOnce) {
+  const std::vector<std::string> names = AlgorithmRegistry::instance().names();
+  const std::vector<std::string> expected = {
+      "greedy", "luby",    "ghaffari", "beeping", "halfduplex",
+      "sparsified", "congest", "clique", "lowdeg", "ruling2"};
+  EXPECT_EQ(names, expected);
+  for (const std::string& name : names) {
+    const AlgorithmDescriptor* d = AlgorithmRegistry::instance().find(name);
+    ASSERT_NE(d, nullptr) << name;
+    EXPECT_EQ(d->name, name);
+    EXPECT_EQ(&AlgorithmRegistry::instance().require(name), d);
+  }
+}
+
+TEST(Registry, UnknownNameThrowsNamingTheRegisteredSet) {
+  EXPECT_EQ(AlgorithmRegistry::instance().find("quantum"), nullptr);
+  try {
+    AlgorithmRegistry::instance().require("quantum");
+    FAIL() << "expected PreconditionError";
+  } catch (const PreconditionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("unknown algorithm 'quantum'"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("greedy"), std::string::npos) << what;
+    EXPECT_NE(what.find("ruling2"), std::string::npos) << what;
+  }
+}
+
+TEST(Registry, EveryAlgorithmProducesValidOutputOnSmokeGraph) {
+  const Graph g = smoke_graph();
+  for (const AlgorithmDescriptor* d : AlgorithmRegistry::instance().all()) {
+    const AlgoOptions options(*d);
+    AlgoRunRequest request;
+    request.seed = 5;
+    const AlgoResult r = run_registered_algorithm(*d, g, options, request);
+    ASSERT_EQ(r.run.in_mis.size(), g.node_count()) << d->name;
+    ASSERT_EQ(r.run.decided_round.size(), g.node_count()) << d->name;
+    EXPECT_TRUE(algo_output_valid(*d, g, r.run.in_mis)) << d->name;
+    EXPECT_EQ(r.retries, r.run.costs.retries) << d->name;
+  }
+}
+
+// The canonical encoding is the wire format shared by JobKey hashing, repro
+// bundles and the generated CLI flags: every declared field, declaration
+// order, defaults included. These golden strings are a compatibility
+// contract — changing them invalidates cached job keys.
+TEST(AlgoOptions, GoldenCanonicalDefaults) {
+  const auto canonical = [](const char* name) {
+    const AlgorithmDescriptor& d = AlgorithmRegistry::instance().require(name);
+    return AlgoOptions(d).canonical_json();
+  };
+  EXPECT_EQ(canonical("greedy"), "{}");
+  EXPECT_EQ(canonical("luby"), "{}");
+  EXPECT_EQ(canonical("ghaffari"), "{}");
+  EXPECT_EQ(canonical("beeping"), "{}");
+  EXPECT_EQ(canonical("halfduplex"), "{}");
+  EXPECT_EQ(canonical("sparsified"),
+            "{\"phase_length\":-1,\"superheavy_log2_threshold\":-1,"
+            "\"sample_boost\":-1,\"immediate_superheavy_removal\":false}");
+  EXPECT_EQ(canonical("congest"),
+            "{\"phase_length\":-1,\"superheavy_log2_threshold\":-1,"
+            "\"sample_boost\":-1,\"immediate_superheavy_removal\":false}");
+  EXPECT_EQ(canonical("clique"),
+            "{\"phase_length\":-1,\"superheavy_log2_threshold\":-1,"
+            "\"sample_boost\":-1,\"budget_constant\":6,"
+            "\"max_phase_retries\":3}");
+  EXPECT_EQ(canonical("lowdeg"),
+            "{\"max_ball_members\":100000,\"max_packet_estimate\":80000000}");
+  EXPECT_EQ(canonical("ruling2"), "{\"sampling_constant\":4}");
+}
+
+TEST(AlgoOptions, CanonicalJsonRoundTripsBitExactly) {
+  for (const AlgorithmDescriptor* d : AlgorithmRegistry::instance().all()) {
+    const AlgoOptions defaults(*d);
+    const std::string canonical = defaults.canonical_json();
+    const AlgoOptions reparsed = AlgoOptions::parse(*d, canonical);
+    EXPECT_TRUE(reparsed == defaults) << d->name;
+    EXPECT_EQ(reparsed.canonical_json(), canonical) << d->name;
+    // Empty text means defaults — the same canonical bytes.
+    EXPECT_EQ(AlgoOptions::parse(*d, "").canonical_json(), canonical)
+        << d->name;
+  }
+}
+
+TEST(AlgoOptions, TypedAccessorsAndTextParsing) {
+  const AlgorithmDescriptor& d = AlgorithmRegistry::instance().require("clique");
+  AlgoOptions o(d);
+  EXPECT_EQ(o.get_i64("phase_length"), -1);
+  EXPECT_EQ(o.get_u64("max_phase_retries"), 3u);
+  EXPECT_DOUBLE_EQ(o.get_double("budget_constant"), 6.0);
+
+  o.set_i64("phase_length", 9);
+  o.set_from_text("budget_constant", "2.5");
+  o.set_from_text("max_phase_retries", "7");
+  EXPECT_EQ(o.get_i64("phase_length"), 9);
+  EXPECT_DOUBLE_EQ(o.get_double("budget_constant"), 2.5);
+  EXPECT_EQ(o.get_u64("max_phase_retries"), 7u);
+  EXPECT_NE(o.canonical_json().find("\"phase_length\":9"), std::string::npos);
+  EXPECT_FALSE(o == AlgoOptions(d));
+
+  EXPECT_THROW(o.get_u64("phase_length"), PreconditionError);  // wrong type
+  EXPECT_THROW(o.set_i64("no_such_option", 1), PreconditionError);
+  EXPECT_THROW(o.set_from_text("budget_constant", "fast"), PreconditionError);
+
+  const AlgorithmDescriptor& s =
+      AlgorithmRegistry::instance().require("sparsified");
+  AlgoOptions sp(s);
+  sp.set_from_text("immediate_superheavy_removal", "true");
+  EXPECT_TRUE(sp.get_bool("immediate_superheavy_removal"));
+  EXPECT_THROW(sp.set_from_text("immediate_superheavy_removal", "maybe"),
+               PreconditionError);
+}
+
+TEST(AlgoOptions, UnknownJsonKeyNamesAlgorithmAndHelp) {
+  const AlgorithmDescriptor& d = AlgorithmRegistry::instance().require("luby");
+  try {
+    AlgoOptions::parse(d, "{\"phase_length\":3}");
+    FAIL() << "expected PreconditionError";
+  } catch (const PreconditionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("algorithm 'luby'"), std::string::npos) << what;
+    EXPECT_NE(what.find("phase_length"), std::string::npos) << what;
+    EXPECT_NE(what.find("--help"), std::string::npos) << what;
+  }
+}
+
+// Registry dispatch must not perturb the execution: the adapter builds the
+// same options the pre-registry call sites built, so results are
+// bit-identical to the direct entry points.
+TEST(Registry, BeepingDispatchMatchesDirectEntryPoint) {
+  const Graph g = smoke_graph();
+  BeepingOptions direct;
+  direct.randomness = RandomSource(11);
+  const MisRun expected = beeping_mis(g, direct);
+
+  const AlgorithmDescriptor& d =
+      AlgorithmRegistry::instance().require("beeping");
+  AlgoRunRequest request;
+  request.seed = 11;
+  const AlgoResult r = run_registered_algorithm(d, g, AlgoOptions(d), request);
+  expect_same_run(r.run, expected);
+}
+
+TEST(Registry, LubyDispatchMatchesDirectEntryPoint) {
+  const Graph g = smoke_graph();
+  LubyOptions direct;
+  direct.randomness = RandomSource(23);
+  const MisRun expected = luby_mis(g, direct);
+
+  const AlgorithmDescriptor& d = AlgorithmRegistry::instance().require("luby");
+  AlgoRunRequest request;
+  request.seed = 23;
+  const AlgoResult r = run_registered_algorithm(d, g, AlgoOptions(d), request);
+  expect_same_run(r.run, expected);
+}
+
+TEST(Registry, GhaffariDispatchMatchesDirectEntryPoint) {
+  const Graph g = smoke_graph();
+  GhaffariOptions direct;
+  direct.randomness = RandomSource(37);
+  const MisRun expected = ghaffari_mis(g, direct);
+
+  const AlgorithmDescriptor& d =
+      AlgorithmRegistry::instance().require("ghaffari");
+  AlgoRunRequest request;
+  request.seed = 37;
+  const AlgoResult r = run_registered_algorithm(d, g, AlgoOptions(d), request);
+  expect_same_run(r.run, expected);
+}
+
+TEST(Registry, DeterministicParallelRunsAreThreadCountInvariant) {
+  const Graph g = smoke_graph();
+  const AlgorithmDescriptor& d =
+      AlgorithmRegistry::instance().require("congest");
+  AlgoRunRequest one;
+  one.seed = 3;
+  AlgoRunRequest eight = one;
+  eight.threads = 8;
+  const AlgoResult a = run_registered_algorithm(d, g, AlgoOptions(d), one);
+  const AlgoResult b = run_registered_algorithm(d, g, AlgoOptions(d), eight);
+  expect_same_run(a.run, b.run);
+}
+
+TEST(Registry, CapabilityViolationsAreNamedErrors) {
+  const Graph g = smoke_graph();
+  const AlgorithmDescriptor& greedy =
+      AlgorithmRegistry::instance().require("greedy");
+
+  FaultSchedule schedule;
+  schedule.drop_rate = 0.5;
+  FaultPlane plane(schedule);
+  AlgoRunRequest with_faults;
+  with_faults.faults = &plane;
+  try {
+    run_registered_algorithm(greedy, g, AlgoOptions(greedy), with_faults);
+    FAIL() << "expected PreconditionError";
+  } catch (const PreconditionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("lacks capability fault-injection"),
+              std::string::npos)
+        << what;
+    EXPECT_NE(what.find("fault-capable: "), std::string::npos) << what;
+    EXPECT_NE(what.find("beeping"), std::string::npos) << what;
+  }
+
+  RoundObserver observer;
+  AlgoRunRequest with_observers;
+  with_observers.observers.push_back(&observer);
+  EXPECT_THROW(
+      run_registered_algorithm(greedy, g, AlgoOptions(greedy), with_observers),
+      PreconditionError);
+}
+
+TEST(Registry, InactiveFaultPlaneAndThreadsAreToleratedEverywhere) {
+  // A null-schedule plane is bit-identical to no plane, and threads > 1 on a
+  // non-parallel algorithm is a no-op — neither is a capability violation.
+  const Graph g = smoke_graph();
+  FaultPlane inactive{FaultSchedule{}};
+  for (const AlgorithmDescriptor* d : AlgorithmRegistry::instance().all()) {
+    AlgoRunRequest request;
+    request.seed = 2;
+    request.threads = 8;
+    request.faults = &inactive;
+    const AlgoResult r = run_registered_algorithm(*d, g, AlgoOptions(*d),
+                                                  request);
+    EXPECT_TRUE(algo_output_valid(*d, g, r.run.in_mis)) << d->name;
+  }
+}
+
+TEST(Registry, MaxRoundsCapsTheIterationBudget) {
+  const Graph g = gnp(256, 8.0 / 255.0, 9);
+  const AlgorithmDescriptor& d =
+      AlgorithmRegistry::instance().require("beeping");
+  AlgoRunRequest full;
+  full.seed = 4;
+  AlgoRunRequest capped = full;
+  capped.max_rounds = 1;
+  const AlgoResult r_full = run_registered_algorithm(d, g, AlgoOptions(d),
+                                                     full);
+  const AlgoResult r_capped = run_registered_algorithm(d, g, AlgoOptions(d),
+                                                       capped);
+  EXPECT_LT(r_capped.run.rounds, r_full.run.rounds);
+}
+
+TEST(Registry, OptionsBoundToOtherDescriptorAreRejected) {
+  const Graph g = smoke_graph();
+  const AlgorithmDescriptor& luby = AlgorithmRegistry::instance().require(
+      "luby");
+  const AlgorithmDescriptor& greedy =
+      AlgorithmRegistry::instance().require("greedy");
+  EXPECT_THROW(
+      run_registered_algorithm(luby, g, AlgoOptions(greedy), AlgoRunRequest{}),
+      PreconditionError);
+}
+
+}  // namespace
+}  // namespace dmis

@@ -80,7 +80,93 @@ TEST(ExecuteJob, UnknownAlgorithmIsRejected) {
   const JobResult r = execute_job(spec, 1);
   EXPECT_EQ(r.status, JobStatus::kRejected);
   EXPECT_NE(r.canonical.find("\"status\":\"rejected\""), std::string::npos);
+  // The rejection names the problem and the registered set.
+  EXPECT_NE(r.canonical.find("unknown algorithm 'quantum'"),
+            std::string::npos);
+  EXPECT_NE(r.canonical.find("registered:"), std::string::npos);
   EXPECT_TRUE(r.bundle_text.empty());
+}
+
+TEST(ExecuteJob, MalformedOptionsAreRejected) {
+  JobSpec spec = make_spec(3, "luby");
+  spec.options_json = R"({"phase_length":3})";  // not a luby option
+  const JobResult r = execute_job(spec, 1);
+  EXPECT_EQ(r.status, JobStatus::kRejected);
+  EXPECT_NE(r.canonical.find("has no option 'phase_length'"),
+            std::string::npos);
+}
+
+TEST(ExecuteJob, CapabilityMismatchIsRejectedNotFailed) {
+  // greedy is not fault-injectable: asking for faults is an admission
+  // rejection naming the missing capability, never a recorded failure.
+  JobSpec spec = make_spec(3, "greedy");
+  spec.faults.drop_rate = 0.1;
+  const JobResult r = execute_job(spec, 1);
+  EXPECT_EQ(r.status, JobStatus::kRejected);
+  EXPECT_NE(r.canonical.find("lacks capability fault-injection"),
+            std::string::npos);
+  EXPECT_NE(r.canonical.find("fault-capable:"), std::string::npos);
+  EXPECT_TRUE(r.bundle_text.empty());
+
+  // Without faults the same algorithm is served fine.
+  const JobResult ok = execute_job(make_spec(3, "greedy"), 1);
+  EXPECT_EQ(ok.status, JobStatus::kOk);
+}
+
+// Tuned-but-consistent sparsified knobs (threshold and boost are coupled to
+// the phase length, so overriding one alone violates engine invariants).
+constexpr const char* kTunedSparsified =
+    R"({"phase_length":9,"superheavy_log2_threshold":18,"sample_boost":9})";
+
+TEST(ExecuteJob, CanonicalResultCarriesOptions) {
+  JobSpec spec = make_spec(4, "sparsified");
+  spec.options_json = kTunedSparsified;
+  const JobResult r = execute_job(spec, 1);
+  ASSERT_EQ(r.status, JobStatus::kOk);
+  // The canonical result echoes the full typed options, canonical order.
+  EXPECT_NE(r.canonical.find("\"options\":{\"phase_length\":9,"),
+            std::string::npos);
+}
+
+TEST(JobKey, OptionsFoldCanonically) {
+  // Absent options and explicitly spelled-out defaults are the same job:
+  // both must land on the same cache line.
+  JobSpec defaults_implicit = make_spec(7, "sparsified");
+  JobSpec defaults_explicit = make_spec(7, "sparsified");
+  defaults_explicit.options_json =
+      R"({"phase_length":-1,"superheavy_log2_threshold":-1,)"
+      R"("sample_boost":-1,"immediate_superheavy_removal":false})";
+  EXPECT_EQ(job_key(defaults_implicit), job_key(defaults_explicit));
+
+  // Key order in the request must not matter either.
+  JobSpec reordered = make_spec(7, "sparsified");
+  reordered.options_json =
+      R"({"immediate_superheavy_removal":false,"sample_boost":-1,)"
+      R"("superheavy_log2_threshold":-1,"phase_length":-1})";
+  EXPECT_EQ(job_key(defaults_implicit), job_key(reordered));
+
+  // Distinct option values are distinct jobs.
+  JobSpec tuned = make_spec(7, "sparsified");
+  tuned.options_json = kTunedSparsified;
+  EXPECT_NE(job_key(defaults_implicit), job_key(tuned));
+}
+
+TEST(ExecutionService, DistinctOptionsMissTheCacheIdenticalOnesHit) {
+  ServiceOptions service_options;
+  ExecutionService service(service_options);
+  JobSpec defaults = make_spec(9, "sparsified");
+  JobSpec tuned = make_spec(9, "sparsified");
+  tuned.options_json = kTunedSparsified;
+
+  const Completion first = service.run(defaults);
+  const Completion other = service.run(tuned);
+  const Completion again = service.run(defaults);
+  EXPECT_EQ(first.status, JobStatus::kOk);
+  EXPECT_EQ(other.status, JobStatus::kOk);
+  EXPECT_FALSE(other.cache_hit);  // different options, different key
+  EXPECT_TRUE(again.cache_hit);   // identical spec, byte-identical replay
+  EXPECT_EQ(first.canonical, again.canonical);
+  EXPECT_NE(first.canonical, other.canonical);
 }
 
 TEST(ExecuteJob, FailedFaultJobEmitsReplayableBundle) {
@@ -237,11 +323,12 @@ TEST(FrontEnd, ParseRequestFields) {
   const Request r = parse_request(
       R"({"id":"r1","algorithm":"congest","seed":3,"max_rounds":12,)"
       R"("n":4,"edges":[[0,1],[2,3]],"priority":"interactive",)"
-      R"("deadline_ms":250,)"
+      R"("deadline_ms":250,"options":{"phase_length":6},)"
       R"("faults":{"drop":0.5,"crash":[[3,2]],"stall":[[1,4,2]]}})",
       1);
   EXPECT_EQ(r.id, "r1");
   EXPECT_EQ(r.spec.algorithm, "congest");
+  EXPECT_EQ(r.spec.options_json, R"({"phase_length":6})");
   EXPECT_EQ(r.spec.seed, 3u);
   EXPECT_EQ(r.spec.max_rounds, 12u);
   EXPECT_EQ(r.spec.graph.node_count(), 4u);

@@ -3,10 +3,16 @@
 //   dmis generate <family> <n> [param] [seed] > graph.el
 //       Emit a graph as an edge list. Families: gnp regular ba geometric
 //       grid cycle path complete hypercube caterpillar smallworld expander.
-//   dmis solve <algorithm> [--seed S] [--graph FILE]
-//       Read an edge list (default stdin), compute an MIS, print stats and
-//       verification. Algorithms: greedy luby ghaffari beeping halfduplex
-//       sparsified congest clique lowdeg.
+//   dmis list [--json|--names]
+//       Print the algorithm registry (mis/registry.h): names, models,
+//       capabilities, option schemas. --json is machine-readable and is what
+//       docs/ALGORITHMS.md is regenerated from.
+//   dmis solve <algorithm> [--seed S] [--graph FILE] [--max-rounds N]
+//              [--options JSON] [--<option> VALUE ...] [--help]
+//       Read an edge list (default stdin), run any registered algorithm,
+//       print stats and verification. `--help` prints the algorithm's
+//       generated flag reference; `--<option>` flags are generated from its
+//       option schema (see `dmis list`).
 //   dmis color [--seed S] [--graph FILE]
 //       (Δ+1)-vertex-coloring via the clique-MIS reduction.
 //   dmis match [--seed S] [--graph FILE]
@@ -46,30 +52,29 @@
 #include "graph/generators.h"
 #include "graph/io.h"
 #include "graph/properties.h"
-#include "mis/beeping.h"
-#include "mis/clique_mis.h"
-#include "mis/ghaffari.h"
-#include "mis/greedy.h"
-#include "mis/halfduplex_beeping.h"
-#include "mis/lowdeg.h"
-#include "mis/luby.h"
 #include "mis/reductions.h"
+#include "mis/registry.h"
 #include "mis/replay.h"
-#include "mis/sparsified.h"
-#include "mis/sparsified_congest.h"
 #include "runtime/repro.h"
 #include "svc/frontend.h"
 #include "svc/service.h"
+#include "util/json.h"
+#include "wire/types.h"
 #include "clique/mst.h"
 #include "graph/mst_reference.h"
 
 namespace {
 
+namespace json = dmis::json;
+
 int usage() {
   std::cerr
       << "usage:\n"
-         "  dmis generate <family> <n> [param] [seed]\n"
+         "  dmis list [--json|--names]\n"
          "  dmis solve <algorithm> [--seed S] [--graph FILE] [--threads T]\n"
+         "             [--max-rounds N] [--options JSON] [--<option> V]\n"
+         "             [--help]\n"
+         "  dmis generate <family> <n> [param] [seed]\n"
          "  dmis color [--seed S] [--graph FILE]\n"
          "  dmis match [--seed S] [--graph FILE]\n"
          "  dmis mst [--seed S] [--graph FILE]\n"
@@ -80,8 +85,9 @@ int usage() {
          "  dmis batch --requests FILE [serve flags]\n"
          "families:   gnp regular ba geometric grid cycle path complete\n"
          "            hypercube caterpillar smallworld expander\n"
-         "algorithms: greedy luby ghaffari beeping halfduplex sparsified\n"
-         "            congest clique lowdeg\n"
+         "algorithms: "
+      << dmis::AlgorithmRegistry::instance().joined_names()
+      << "  (see `dmis list`)\n"
          "faults (solve): --drop R --corrupt R --duplicate R --delay R\n"
          "            [--delay-rounds K] [--fault-seed S] [--crash V:R]\n"
          "            [--stall V:R:D] [--bundle-out FILE]\n";
@@ -91,6 +97,7 @@ int usage() {
 struct Flags {
   std::uint64_t seed = 1;
   int threads = 1;
+  std::uint64_t max_rounds = 0;
   std::optional<std::string> graph_file;
   dmis::FaultSchedule faults;
   bool fault_seed_set = false;
@@ -112,13 +119,30 @@ dmis::NodeFaultSpec parse_node_fault(const char* arg) {
   return spec;
 }
 
-Flags parse_flags(int argc, char** argv, int start) {
+/// Parses the shared flag set. When `options` is given (solve), flags named
+/// after the algorithm's declared options — plus `--options JSON` — are
+/// routed into it, in command-line order (later flags win).
+bool has_option_field(const dmis::AlgorithmDescriptor& descriptor,
+                      const char* name) {
+  for (const dmis::OptionField& field : descriptor.options) {
+    if (std::strcmp(field.name, name) == 0) return true;
+  }
+  return false;
+}
+
+Flags parse_flags(int argc, char** argv, int start,
+                  dmis::AlgoOptions* options = nullptr) {
   Flags f;
   for (int i = start; i < argc; ++i) {
     if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
       f.seed = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       f.threads = std::max(1, std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--max-rounds") == 0 && i + 1 < argc) {
+      f.max_rounds = std::strtoull(argv[++i], nullptr, 10);
+    } else if (options != nullptr && std::strcmp(argv[i], "--options") == 0 &&
+               i + 1 < argc) {
+      *options = dmis::AlgoOptions::parse(options->descriptor(), argv[++i]);
     } else if (std::strcmp(argv[i], "--graph") == 0 && i + 1 < argc) {
       f.graph_file = argv[++i];
     } else if (std::strcmp(argv[i], "--drop") == 0 && i + 1 < argc) {
@@ -148,8 +172,18 @@ Flags parse_flags(int argc, char** argv, int start) {
       f.bundle_out = argv[++i];
     } else if (std::strcmp(argv[i], "--bundle") == 0 && i + 1 < argc) {
       f.bundle_in = argv[++i];
+    } else if (options != nullptr &&
+               std::strncmp(argv[i], "--", 2) == 0 && i + 1 < argc &&
+               has_option_field(options->descriptor(), argv[i] + 2)) {
+      // Generated per-algorithm flag, one per declared option field.
+      const char* name = argv[i] + 2;
+      options->set_from_text(name, argv[++i]);
     } else {
       std::cerr << "unknown flag: " << argv[i] << "\n";
+      if (options != nullptr) {
+        std::cerr << "(see `dmis solve " << options->descriptor().name
+                  << " --help` for this algorithm's flags)\n";
+      }
       std::exit(2);
     }
   }
@@ -209,21 +243,26 @@ int cmd_generate(int argc, char** argv) {
 // Faulted solve: route through the replay driver so the run carries an
 // invariant auditor and failures become replayable bundles instead of
 // uncaught exceptions.
-int solve_faulted(const std::string& algorithm, const Flags& flags,
+int solve_faulted(const dmis::AlgorithmDescriptor& descriptor,
+                  const dmis::AlgoOptions& options, const Flags& flags,
                   const dmis::Graph& g) {
-  if (!dmis::is_fault_algorithm(algorithm)) {
-    std::cerr << "fault injection needs a wire-model algorithm (";
-    const auto& names = dmis::fault_algorithm_names();
-    for (std::size_t i = 0; i < names.size(); ++i) {
-      std::cerr << (i != 0 ? " " : "") << names[i];
-    }
-    std::cerr << "), not '" << algorithm << "'\n";
+  const std::string algorithm = descriptor.name;
+  if (!descriptor.caps.fault_injectable) {
+    std::cerr << "algorithm '" << algorithm
+              << "' lacks capability fault-injection (fault-capable: "
+              << dmis::AlgorithmRegistry::instance().joined_names(
+                     [](const dmis::AlgorithmDescriptor& d) {
+                       return d.caps.fault_injectable;
+                     })
+              << ")\n";
     return 2;
   }
+  const std::string options_json = options.canonical_json();
   const dmis::FaultRunResult r = dmis::run_algorithm_with_faults(
-      g, algorithm, flags.seed, flags.threads, flags.faults);
+      g, algorithm, flags.seed, flags.threads, flags.faults, flags.max_rounds,
+      {}, options_json);
   const bool valid =
-      !r.failed() && dmis::is_maximal_independent_set(g, r.run.in_mis);
+      !r.failed() && dmis::algo_output_valid(descriptor, g, r.run.in_mis);
   std::cout << "graph: n=" << g.node_count() << " m=" << g.edge_count()
             << " Delta=" << g.max_degree() << "\n"
             << "algorithm: " << algorithm << " seed=" << flags.seed
@@ -250,7 +289,8 @@ int solve_faulted(const std::string& algorithm, const Flags& flags,
   }
   if (flags.bundle_out.has_value()) {
     const dmis::ReproBundle bundle = dmis::make_repro_bundle(
-        g, algorithm, flags.seed, flags.threads, 0, flags.faults, r);
+        g, algorithm, flags.seed, flags.threads, flags.max_rounds,
+        flags.faults, r, options_json);
     dmis::save_repro_bundle(*flags.bundle_out, bundle);
     std::cout << "bundle: " << *flags.bundle_out << "\n";
   }
@@ -281,65 +321,71 @@ int cmd_replay(int argc, char** argv) {
   return outcome.reproduced ? 0 : 1;
 }
 
+/// Generated per-algorithm flag reference — one entry per declared option
+/// field, straight from the descriptor.
+void print_solve_help(const dmis::AlgorithmDescriptor& d) {
+  std::cout << "dmis solve " << d.name << " — " << d.summary << "\n"
+            << "model: " << dmis::algo_model_name(d.model)
+            << "  output: " << dmis::algo_output_kind_name(d.output)
+            << "  paper: " << d.paper_ref << "\n"
+            << "capabilities:";
+  if (d.caps.fault_injectable) std::cout << " fault-injection";
+  if (d.caps.observer_attachable) std::cout << " observer-attachment";
+  if (d.caps.deterministic_parallel) std::cout << " deterministic-parallel";
+  if (!d.caps.fault_injectable && !d.caps.observer_attachable &&
+      !d.caps.deterministic_parallel) {
+    std::cout << " (none)";
+  }
+  std::cout << "\n"
+            << "universal flags: --seed S --threads T --graph FILE "
+               "--max-rounds N --options JSON\n";
+  if (d.options.empty()) {
+    std::cout << "options: (none)\n";
+    return;
+  }
+  std::cout << "options:\n";
+  for (const dmis::OptionField& field : d.options) {
+    std::cout << "  --" << field.name << " <"
+              << dmis::option_type_name(field.type) << ">  (default ";
+    switch (field.type) {
+      case dmis::OptionType::kU64: std::cout << field.def.u; break;
+      case dmis::OptionType::kI64: std::cout << field.def.i; break;
+      case dmis::OptionType::kDouble: std::cout << field.def.d; break;
+      case dmis::OptionType::kBool:
+        std::cout << (field.def.b ? "true" : "false");
+        break;
+    }
+    std::cout << ")\n      " << field.help << "\n";
+  }
+}
+
 int cmd_solve(int argc, char** argv) {
   if (argc < 3) return usage();
   const std::string algorithm = argv[2];
-  const Flags flags = parse_flags(argc, argv, 3);
+  const dmis::AlgorithmDescriptor& descriptor =
+      dmis::AlgorithmRegistry::instance().require(algorithm);
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0) {
+      print_solve_help(descriptor);
+      return 0;
+    }
+  }
+  dmis::AlgoOptions options(descriptor);
+  const Flags flags = parse_flags(argc, argv, 3, &options);
   const dmis::Graph g = load_graph(flags);
-  if (!flags.faults.empty()) return solve_faulted(algorithm, flags, g);
-  dmis::MisRun run;
-  const dmis::RandomSource rs(flags.seed);
-
-  if (algorithm == "greedy") {
-    run.in_mis = dmis::greedy_mis(g);
-    run.decided_round.assign(g.node_count(), 0);
-  } else if (algorithm == "luby") {
-    dmis::LubyOptions o;
-    o.randomness = rs;
-    o.threads = flags.threads;
-    run = dmis::luby_mis(g, o);
-  } else if (algorithm == "ghaffari") {
-    dmis::GhaffariOptions o;
-    o.randomness = rs;
-    o.threads = flags.threads;
-    run = dmis::ghaffari_mis(g, o);
-  } else if (algorithm == "beeping") {
-    dmis::BeepingOptions o;
-    o.randomness = rs;
-    o.threads = flags.threads;
-    run = dmis::beeping_mis(g, o);
-  } else if (algorithm == "halfduplex") {
-    dmis::HalfDuplexBeepingOptions o;
-    o.randomness = rs;
-    o.threads = flags.threads;
-    run = dmis::halfduplex_beeping_mis(g, o);
-  } else if (algorithm == "sparsified") {
-    dmis::SparsifiedOptions o;
-    o.params = dmis::SparsifiedParams::from_n(g.node_count());
-    o.randomness = rs;
-    o.threads = flags.threads;
-    run = dmis::sparsified_mis(g, o);
-  } else if (algorithm == "congest") {
-    dmis::SparsifiedOptions o;
-    o.params = dmis::SparsifiedParams::from_n(g.node_count());
-    o.randomness = rs;
-    o.threads = flags.threads;
-    run = dmis::sparsified_congest_mis(g, o);
-  } else if (algorithm == "clique") {
-    dmis::CliqueMisOptions o;
-    o.params = dmis::SparsifiedParams::from_n(g.node_count());
-    o.randomness = rs;
-    run = dmis::clique_mis(g, o).run;
-  } else if (algorithm == "lowdeg") {
-    dmis::LowDegOptions o;
-    o.randomness = rs;
-    run = dmis::lowdeg_mis(g, o).run;
-  } else {
-    std::cerr << "unknown algorithm: " << algorithm << "\n";
-    return 2;
+  if (!flags.faults.empty()) {
+    return solve_faulted(descriptor, options, flags, g);
   }
 
-  const bool valid = dmis::is_maximal_independent_set(g, run.in_mis);
+  dmis::AlgoRunRequest request;
+  request.seed = flags.seed;
+  request.max_rounds = flags.max_rounds;
+  request.threads = flags.threads;
+  const dmis::AlgoResult result =
+      dmis::run_registered_algorithm(descriptor, g, options, request);
+  const dmis::MisRun& run = result.run;
+
+  const bool valid = dmis::algo_output_valid(descriptor, g, run.in_mis);
   std::cout << "graph: n=" << g.node_count() << " m=" << g.edge_count()
             << " Delta=" << g.max_degree() << "\n"
             << "algorithm: " << algorithm << " seed=" << flags.seed << "\n"
@@ -359,6 +405,90 @@ int cmd_solve(int argc, char** argv) {
   }
   std::cout << "valid: " << (valid ? "yes" : "NO") << "\n";
   return valid ? 0 : 1;
+}
+
+/// `dmis list`: the registry, as a table (default), names only (--names),
+/// or the machine-readable JSON docs/ALGORITHMS.md is regenerated from
+/// (--json).
+int cmd_list(int argc, char** argv) {
+  bool as_json = false;
+  bool names_only = false;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      as_json = true;
+    } else if (std::strcmp(argv[i], "--names") == 0) {
+      names_only = true;
+    } else {
+      std::cerr << "unknown flag: " << argv[i] << " (list takes --json or "
+                   "--names)\n";
+      return 2;
+    }
+  }
+  const dmis::AlgorithmRegistry& registry =
+      dmis::AlgorithmRegistry::instance();
+  if (names_only) {
+    for (const dmis::AlgorithmDescriptor* d : registry.all()) {
+      std::cout << d->name << "\n";
+    }
+    return 0;
+  }
+  if (as_json) {
+    json::Value list = json::Value::array();
+    for (const dmis::AlgorithmDescriptor* d : registry.all()) {
+      json::Value entry = json::Value::object();
+      entry.set("name", json::Value::string(d->name));
+      entry.set("summary", json::Value::string(d->summary));
+      entry.set("paper_ref", json::Value::string(d->paper_ref));
+      entry.set("model",
+                json::Value::string(dmis::algo_model_name(d->model)));
+      entry.set("output",
+                json::Value::string(dmis::algo_output_kind_name(d->output)));
+      json::Value caps = json::Value::object();
+      caps.set("fault_injectable",
+               json::Value::boolean(d->caps.fault_injectable));
+      caps.set("observer_attachable",
+               json::Value::boolean(d->caps.observer_attachable));
+      caps.set("deterministic_parallel",
+               json::Value::boolean(d->caps.deterministic_parallel));
+      entry.set("capabilities", std::move(caps));
+      json::Value fields = json::Value::array();
+      for (const dmis::OptionField& field : d->options) {
+        json::Value fo = json::Value::object();
+        fo.set("name", json::Value::string(field.name));
+        fo.set("type",
+               json::Value::string(dmis::option_type_name(field.type)));
+        switch (field.type) {
+          case dmis::OptionType::kU64:
+            fo.set("default", json::Value::number(field.def.u));
+            break;
+          case dmis::OptionType::kI64:
+            fo.set("default", json::Value::number(field.def.i));
+            break;
+          case dmis::OptionType::kDouble:
+            fo.set("default", json::Value::number(field.def.d));
+            break;
+          case dmis::OptionType::kBool:
+            fo.set("default", json::Value::boolean(field.def.b));
+            break;
+        }
+        fo.set("help", json::Value::string(field.help));
+        fields.push_back(std::move(fo));
+      }
+      entry.set("options", std::move(fields));
+      list.push_back(std::move(entry));
+    }
+    std::cout << list.dump() << "\n";
+    return 0;
+  }
+  for (const dmis::AlgorithmDescriptor* d : registry.all()) {
+    std::cout << d->name << "\t" << dmis::algo_model_name(d->model) << "\t"
+              << dmis::algo_output_kind_name(d->output) << "\t"
+              << (d->caps.fault_injectable ? "F" : "-")
+              << (d->caps.observer_attachable ? "O" : "-")
+              << (d->caps.deterministic_parallel ? "P" : "-") << "\t"
+              << d->summary << "\n";
+  }
+  return 0;
 }
 
 int cmd_color(int argc, char** argv) {
@@ -490,6 +620,7 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
   try {
+    if (cmd == "list") return cmd_list(argc, argv);
     if (cmd == "generate") return cmd_generate(argc, argv);
     if (cmd == "solve") return cmd_solve(argc, argv);
     if (cmd == "color") return cmd_color(argc, argv);

@@ -1,0 +1,88 @@
+# Registry smoke test: the algorithm suite `dmis list` advertises is the
+# suite every front end actually serves. Runs `dmis list`, solves a small
+# G(n,p) with every listed algorithm, pushes every listed algorithm through
+# `dmis batch`, and runs `sparsified` (typed options attached) through
+# `dmis serve`.
+
+# 1. `dmis list` works in all three shapes; `--names` is the machine list.
+execute_process(COMMAND ${DMIS_BIN} list RESULT_VARIABLE rc OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "dmis list failed: ${rc}")
+endif()
+execute_process(COMMAND ${DMIS_BIN} list --json
+                RESULT_VARIABLE rc OUTPUT_VARIABLE list_json)
+if(NOT rc EQUAL 0 OR NOT list_json MATCHES "\"capabilities\"")
+  message(FATAL_ERROR "dmis list --json failed: ${rc}\n${list_json}")
+endif()
+execute_process(COMMAND ${DMIS_BIN} list --names
+                RESULT_VARIABLE rc OUTPUT_VARIABLE names_out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "dmis list --names failed: ${rc}")
+endif()
+string(STRIP "${names_out}" names_out)
+string(REPLACE "\n" ";" algorithms "${names_out}")
+list(LENGTH algorithms algorithm_count)
+if(algorithm_count LESS 10)
+  message(FATAL_ERROR "dmis list --names returned only ${algorithm_count} "
+                      "algorithms: ${algorithms}")
+endif()
+
+# 2. Every listed algorithm solves a small low-degree G(n,p) via the CLI.
+execute_process(COMMAND ${DMIS_BIN} generate gnp 150 4 21
+                OUTPUT_FILE ${WORK_DIR}/registry_smoke.el RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "generate failed: ${rc}")
+endif()
+foreach(algo IN LISTS algorithms)
+  execute_process(
+    COMMAND ${DMIS_BIN} solve ${algo} --graph ${WORK_DIR}/registry_smoke.el
+    RESULT_VARIABLE rc OUTPUT_QUIET)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "dmis solve ${algo} failed: ${rc}")
+  endif()
+endforeach()
+
+# 3. `dmis batch` accepts every algorithm `dmis list` prints.
+set(requests "")
+foreach(algo IN LISTS algorithms)
+  string(APPEND requests
+    "{\"id\":\"${algo}\",\"algorithm\":\"${algo}\",\"seed\":5,"
+    "\"graph_file\":\"${WORK_DIR}/registry_smoke.el\"}\n")
+endforeach()
+file(WRITE ${WORK_DIR}/registry_smoke_req.jsonl "${requests}")
+execute_process(
+  COMMAND ${DMIS_BIN} batch --requests ${WORK_DIR}/registry_smoke_req.jsonl
+  OUTPUT_FILE ${WORK_DIR}/registry_smoke_batch.jsonl
+  ERROR_QUIET RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "dmis batch failed: ${rc}")
+endif()
+file(READ ${WORK_DIR}/registry_smoke_batch.jsonl batch_out)
+foreach(algo IN LISTS algorithms)
+  if(NOT batch_out MATCHES "\"id\":\"${algo}\",\"cached\":false,\"result\":\\{\"status\":\"ok\"")
+    message(FATAL_ERROR "batch did not serve ${algo} ok:\n${batch_out}")
+  endif()
+endforeach()
+
+# 4. `sparsified` through `dmis serve`, with typed options in the request;
+# the canonical result must echo the full options object back.
+file(WRITE ${WORK_DIR}/registry_smoke_serve_req.jsonl
+  "{\"id\":\"s\",\"algorithm\":\"sparsified\",\"seed\":5,"
+  "\"options\":{\"phase_length\":6,\"superheavy_log2_threshold\":12,"
+  "\"sample_boost\":6},"
+  "\"graph_file\":\"${WORK_DIR}/registry_smoke.el\"}\n")
+execute_process(
+  COMMAND ${DMIS_BIN} serve --no-timing
+  INPUT_FILE ${WORK_DIR}/registry_smoke_serve_req.jsonl
+  OUTPUT_FILE ${WORK_DIR}/registry_smoke_serve.jsonl
+  ERROR_QUIET RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "dmis serve failed: ${rc}")
+endif()
+file(READ ${WORK_DIR}/registry_smoke_serve.jsonl serve_out)
+if(NOT serve_out MATCHES "\"status\":\"ok\"")
+  message(FATAL_ERROR "serve run of sparsified not ok:\n${serve_out}")
+endif()
+if(NOT serve_out MATCHES "\"options\":\\{\"phase_length\":6,")
+  message(FATAL_ERROR "serve result does not echo typed options:\n${serve_out}")
+endif()
