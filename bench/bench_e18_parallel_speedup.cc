@@ -1,15 +1,24 @@
 // E18 — runtime scaling of the deterministic parallel node stepping.
 //
-// The engines partition their per-round node fan-outs across a worker pool
-// (runtime/parallel.h); per-node randomness is counter-based, so results
-// must be bit-identical at any thread count. This bench measures wall-clock
-// speedup of beeping and CONGEST MIS on a large instance at 1/2/4 threads,
-// verifies the identical-results invariant, and measures the overhead of an
-// attached TraceRecorder observer versus an unobserved run.
+// The engines partition their per-round fan-outs over a live-node frontier
+// (runtime/parallel.h, DESIGN.md §13); per-node randomness is counter-based,
+// so results must be bit-identical at any thread count. This bench measures
+// wall-clock of beeping and CONGEST MIS on a large instance across a
+// 1/2/4/8-thread ladder, verifies the identical-results invariant, reports
+// the mean frontier occupancy (live/n averaged over rounds — the quantity
+// the frontier refactor makes the round cost proportional to), and measures
+// the overhead of an attached TraceRecorder observer versus an unobserved
+// run.
+//
+// Flags: --n-log2=K (instance size 2^K, default 20), --max-threads=T
+// (ladder top, default 8), --require-identical (exit nonzero if any thread
+// count diverges from the 1-thread checksum/costs — the CI smoke mode).
 //
 // Note: on a single-core host the speedup columns will sit near 1.0 — the
 // determinism check still exercises the multi-threaded code paths.
+#include <cstdlib>
 #include <iostream>
+#include <string>
 
 #include "bench_common.h"
 #include "graph/generators.h"
@@ -28,19 +37,44 @@ std::uint64_t mis_checksum(const MisRun& run) {
   return h;
 }
 
-void run(int max_threads) {
+/// Mean frontier occupancy: live/n at round begin, averaged over rounds.
+/// Deterministic per (algorithm, seed), so one probe pass per algorithm
+/// covers every row.
+class FrontierProbe final : public RoundObserver {
+ public:
+  void on_round_begin(const RoundContext& ctx) override {
+    live_sum_ += ctx.live;
+    ++rounds_;
+  }
+  double mean_occupancy(std::uint64_t n) const {
+    if (rounds_ == 0 || n == 0) return 0.0;
+    return static_cast<double>(live_sum_) /
+           (static_cast<double>(rounds_) * static_cast<double>(n));
+  }
+
+ private:
+  std::uint64_t live_sum_ = 0;
+  std::uint64_t rounds_ = 0;
+};
+
+int run(int n_log2, int max_threads, bool require_identical) {
   bench::print_banner(
       "E18 / runtime scaling",
-      "Deterministic parallel node stepping: wall-clock speedup at 1/2/4\n"
-      "threads with bit-identical MIS output and costs, plus the cost of an\n"
+      "Deterministic parallel node stepping over the live-node frontier:\n"
+      "wall-clock at a 1/2/4/8-thread ladder with bit-identical MIS output\n"
+      "and costs, mean frontier occupancy per round, and the cost of an\n"
       "attached TraceRecorder observer.");
 
-  const NodeId n = 1 << 16;
+  const NodeId n = NodeId{1} << n_log2;
   const Graph g = random_regular(n, 64, 18);
+  bool diverged = false;
 
   TextTable table({"algorithm", "n", "threads", "observer", "wall_s",
-                   "speedup", "rounds", "checksum", "identical"});
-  bench::BenchMeta meta{{"n", std::to_string(n)}, {"degree", "64"}};
+                   "speedup", "rounds", "frontier", "checksum", "identical"});
+  bench::BenchMeta meta{{"n", std::to_string(n)},
+                        {"degree", "64"},
+                        {"n_log2", std::to_string(n_log2)},
+                        {"max_threads", std::to_string(max_threads)}};
 
   // The two heavyweight engines, dispatched through the registry (both are
   // deterministic-parallel + observer-attachable, which is exactly what
@@ -52,27 +86,25 @@ void run(int max_threads) {
     double base_s = 0.0;
     std::uint64_t base_checksum = 0;
     CostAccounting base_costs;
-    bool warmed_up = false;
+    const auto execute = [&](int threads, RoundObserver* observer) {
+      AlgoRunRequest request;
+      request.seed = 99;
+      request.threads = threads;
+      if (observer != nullptr) request.observers.push_back(observer);
+      return run_registered_algorithm(descriptor, g, options, request).run;
+    };
+    // One untimed pass first, so the 1-thread baseline does not absorb the
+    // page-fault/cache warmup for the whole series; it doubles as the
+    // frontier-occupancy probe pass (occupancy is thread-invariant).
+    FrontierProbe probe;
+    execute(1, &probe);
+    const double occupancy = probe.mean_occupancy(n);
     for (int threads = 1; threads <= max_threads; threads *= 2) {
       for (const bool observed : {false, true}) {
         if (observed && threads != 1) continue;  // overhead measured at 1t
         TraceRecorder trace;
-        const auto execute = [&](bool attach_trace) {
-          AlgoRunRequest request;
-          request.seed = 99;
-          request.threads = threads;
-          if (attach_trace) request.observers.push_back(&trace);
-          return run_registered_algorithm(descriptor, g, options, request)
-              .run;
-        };
-        // One untimed pass first, so the 1-thread baseline does not absorb
-        // the page-fault/cache warmup for the whole series.
-        if (!warmed_up) {
-          execute(false);
-          warmed_up = true;
-        }
         bench::WallTimer timer;
-        const MisRun run = execute(observed);
+        const MisRun run = execute(threads, observed ? &trace : nullptr);
         const double wall = timer.seconds();
         const std::uint64_t checksum = mis_checksum(run);
         if (threads == 1 && !observed) {
@@ -93,9 +125,11 @@ void run(int max_threads) {
             .cell(wall, 3)
             .cell(base_s / wall, 2)
             .cell(run.costs.rounds)
+            .cell(occupancy, 4)
             .cell(checksum)
             .cell(identical ? 1 : 0);
         if (!identical) {
+          diverged = true;
           std::cerr << "ERROR: results diverged at " << threads
                     << " threads (" << algorithm << ")\n";
         }
@@ -106,21 +140,33 @@ void run(int max_threads) {
   bench::write_table_json("e18", table, meta);
   std::cout << "\nExpected: identical=1 everywhere (bit-identical MIS and "
                "costs at every\nthread count); speedup approaching the "
-               "physical core count on\nmulti-core hosts; the trace observer "
-               "within a few percent of unobserved.\n";
+               "physical core count on\nmulti-core hosts; frontier well "
+               "below 1.0 (shattering empties the\nfrontier early); the "
+               "trace observer within a few percent of unobserved.\n";
+  if (diverged && require_identical) {
+    std::cerr << "FAIL: --require-identical set and a thread count "
+                 "diverged\n";
+    return 1;
+  }
+  return 0;
 }
 
 }  // namespace
 }  // namespace dmis
 
 int main(int argc, char** argv) {
-  int max_threads = 4;
+  int n_log2 = 20;
+  int max_threads = 8;
+  bool require_identical = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg.rfind("--max-threads=", 0) == 0) {
+    if (arg.rfind("--n-log2=", 0) == 0) {
+      n_log2 = std::max(4, std::atoi(arg.c_str() + 9));
+    } else if (arg.rfind("--max-threads=", 0) == 0) {
       max_threads = std::max(1, std::atoi(arg.c_str() + 14));
+    } else if (arg == "--require-identical") {
+      require_identical = true;
     }
   }
-  dmis::run(max_threads);
-  return 0;
+  return dmis::run(n_log2, max_threads, require_identical);
 }

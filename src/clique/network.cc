@@ -224,6 +224,36 @@ std::uint64_t CliqueNetwork::scheduled_rounds(
   return batches.size() * kLenzenRoundsPerBatch;
 }
 
+void CliqueNetwork::retire_nodes(std::span<const NodeId> nodes) {
+  if (nodes.empty()) return;
+  if (retired_.empty()) retired_.assign(node_count_, 0);
+  for (const NodeId v : nodes) {
+    DMIS_CHECK(v < node_count_, "retired node out of range: " << v);
+    if (retired_[v] == 0) {
+      retired_[v] = 1;
+      ++retired_count_;
+    }
+  }
+  if (pending_.empty()) return;
+  // A delayed packet whose destination has left the computation matures
+  // into nothing: drop it now instead of delivering it in a later batch.
+  std::size_t kept = 0;
+  std::uint64_t dropped = 0;
+  for (PendingPacket& p : pending_) {
+    if (retired_[p.packet.dst] != 0) {
+      ++dropped;
+      continue;
+    }
+    pending_[kept++] = p;
+  }
+  pending_.resize(kept);
+  if (dropped > 0 && faults_ != nullptr) {
+    FaultStats delta;
+    delta.dropped = dropped;
+    faults_->record(delta);
+  }
+}
+
 bool CliqueNetwork::step() {
   emit_round_begin();
   costs_.rounds += 1;

@@ -23,6 +23,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "graph/graph.h"
@@ -67,9 +68,12 @@ struct RouteReport {
 /// The clique substrate implements the unified SimulationEngine contract
 /// (runtime/engine.h) so observers see the same event stream as on the other
 /// engines. It is driven by route()/charge_* calls rather than autonomous
-/// node stepping: step() executes one idle all-to-all round (charged, empty),
-/// live_count() is the clique size, and all_halted() is never true — halting
-/// is a property of the algorithms above the substrate, not of the network.
+/// node stepping: step() executes one idle all-to-all round (charged, empty)
+/// and all_halted() is never true — halting is a property of the algorithms
+/// above the substrate, not of the network. Drivers report decided nodes via
+/// retire_nodes(); live_count() is then the un-retired count (O(1)), and
+/// fault-delayed packets parked for a retired destination are dropped
+/// instead of being delivered to a node that already left the computation.
 class CliqueNetwork final : public SimulationEngine {
  public:
   CliqueNetwork(NodeId node_count, RandomSource randomness,
@@ -84,8 +88,20 @@ class CliqueNetwork final : public SimulationEngine {
   /// One idle synchronous round (nothing sent). Always returns true.
   bool step() override;
 
-  std::uint64_t live_count() const override { return node_count_; }
+  std::uint64_t live_count() const override {
+    return node_count_ - retired_count_;
+  }
   bool all_halted() const override { return false; }
+
+  /// Marks nodes as decided/left (the driver's frontier departure event).
+  /// Idempotent per node. Any fault-delayed packet whose destination is now
+  /// retired is dropped (tallied in the fault plane's realized stats) — it
+  /// could otherwise mature into a later batch and be delivered to a node
+  /// that already left the computation.
+  void retire_nodes(std::span<const NodeId> nodes);
+
+  /// Packets currently parked by fault-plane delay decisions (tests).
+  std::uint64_t pending_backlog() const { return pending_.size(); }
 
   /// Delivers `packets` (validated: src/dst < n, payload within B). On
   /// return the vector is sorted by (dst, src) — the per-destination
@@ -137,6 +153,10 @@ class CliqueNetwork final : public SimulationEngine {
   WireContext wire_ctx_;
   std::uint64_t route_invocations_ = 0;
   std::vector<PendingPacket> pending_;
+  // Frontier bookkeeping: retired_ is allocated lazily on the first
+  // retirement; retired_count_ keeps live_count() O(1).
+  std::vector<std::uint8_t> retired_;
+  std::uint64_t retired_count_ = 0;
 };
 
 }  // namespace dmis

@@ -27,7 +27,7 @@ class BeepingMisProgram final : public BeepProgram {
     return joined_ ? BeepAction::kBeep : BeepAction::kListen;
   }
 
-  void feedback(std::uint64_t round, bool heard_beep) override {
+  bool feedback(std::uint64_t round, bool heard_beep) override {
     if (round % 2 == 0) {
       joined_ = beeped_ && !heard_beep;
       p_ = heard_beep ? p_.halved() : p_.doubled_capped();
@@ -40,6 +40,7 @@ class BeepingMisProgram final : public BeepProgram {
         decided_round_ = static_cast<std::uint32_t>(round / 2);
       }
     }
+    return halted_;
   }
 
   bool halted() const override { return halted_; }

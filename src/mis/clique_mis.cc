@@ -172,6 +172,16 @@ CliqueMisResult clique_mis(const Graph& g, const CliqueMisOptions& options) {
   std::vector<char> alive(n, 1);
   std::vector<int> p_exp(n, 1);
   std::uint64_t live = n;
+  // Live-node frontier: the compact sorted list the per-phase loops iterate
+  // (cost scales with undecided nodes, not n), compacted once per phase at
+  // the apply step. `alive` stays authoritative for neighbor checks and the
+  // leader cleanup. Nodes that died last phase keep their per-phase state
+  // until the next phase's reset (the trace records it), then are scrubbed
+  // once via `newly_dead` — dead nodes' sampled/superheavy/realized slots
+  // are read through neighbor loops and must not go stale.
+  std::vector<NodeId> live_nodes(n);
+  for (NodeId v = 0; v < n; ++v) live_nodes[v] = v;
+  std::vector<NodeId> newly_dead;
 
   std::vector<char> superheavy(n, 0);
   std::vector<char> sampled(n, 0);
@@ -201,8 +211,7 @@ CliqueMisResult clique_mis(const Graph& g, const CliqueMisOptions& options) {
       // --- Step 1: one clique round exchanging p_{t0}(v) over graph
       // edges. ---
       std::uint64_t directed_live_pairs = 0;
-      for (NodeId v = 0; v < n; ++v) {
-        if (alive[v] == 0) continue;
+      for (const NodeId v : live_nodes) {
         for (const NodeId u : g.neighbors(v)) {
           if (alive[u] != 0) ++directed_live_pairs;
         }
@@ -211,7 +220,10 @@ CliqueMisResult clique_mis(const Graph& g, const CliqueMisOptions& options) {
                                     directed_live_pairs,
                                     encoded_bits<SparsifiedOpenerMsg>(ctx));
 
-      for (NodeId v = 0; v < n; ++v) {
+      // Scrub nodes that died last phase (their slots read as silent from
+      // now on, exactly as the old whole-array reset left them), then reset
+      // only the frontier. Idempotent across phase retries.
+      for (const NodeId v : newly_dead) {
         superheavy[v] = 0;
         sampled[v] = 0;
         committed[v] = 0;
@@ -219,7 +231,16 @@ CliqueMisResult clique_mis(const Graph& g, const CliqueMisOptions& options) {
         realized[v] = 0;
         join_iter[v] = kNeverDecided;
         removed_iter[v] = kNeverDecided;
-        if (alive[v] == 0) continue;
+      }
+      newly_dead.clear();
+      for (const NodeId v : live_nodes) {
+        superheavy[v] = 0;
+        sampled[v] = 0;
+        committed[v] = 0;
+        sh_or[v] = 0;
+        realized[v] = 0;
+        join_iter[v] = kNeverDecided;
+        removed_iter[v] = kNeverDecided;
         double d0 = 0.0;
         for (const NodeId u : g.neighbors(v)) {
           if (alive[u] != 0) d0 += Pow2Prob(p_exp[u]).value();
@@ -231,8 +252,8 @@ CliqueMisResult clique_mis(const Graph& g, const CliqueMisOptions& options) {
       // --- Step 2: super-heavy nodes commit and send their beep
       // vectors. ---
       std::uint64_t sh_messages = 0;
-      for (NodeId v = 0; v < n; ++v) {
-        if (alive[v] == 0 || superheavy[v] == 0) continue;
+      for (const NodeId v : live_nodes) {
+        if (superheavy[v] == 0) continue;
         int exp = p_exp[v];
         for (int i = 0; i < R; ++i) {
           if (Pow2Prob(exp).sample(sparsified_beep_word(seeds[v], i))) {
@@ -247,17 +268,18 @@ CliqueMisResult clique_mis(const Graph& g, const CliqueMisOptions& options) {
       net.charge_neighborhood_round(WireMessageType::kPhaseBeepVector,
                                     sh_messages,
                                     encoded_bits<PhaseBeepVectorMsg>(ctx));
-      for (NodeId v = 0; v < n; ++v) {
-        if (alive[v] == 0) continue;
+      for (const NodeId v : live_nodes) {
         for (const NodeId u : g.neighbors(v)) {
           if (alive[u] != 0 && superheavy[u] != 0) sh_or[v] |= committed[u];
         }
       }
 
       // --- Step 3: the sampled set S (locally decidable). ---
+      // live_nodes is sorted, so s_nodes stays sorted (the reconstruction
+      // below binary-searches it).
       std::vector<NodeId> s_nodes;
-      for (NodeId v = 0; v < n; ++v) {
-        if (alive[v] == 0 || superheavy[v] != 0) continue;
+      for (const NodeId v : live_nodes) {
+        if (superheavy[v] != 0) continue;
         const Pow2Prob p0(p_exp[v]);
         for (int i = 0; i < R; ++i) {
           if (p0.sample_boosted(sparsified_beep_word(seeds[v], i),
@@ -331,14 +353,13 @@ CliqueMisResult clique_mis(const Graph& g, const CliqueMisOptions& options) {
       // (phase-commit semantics); recording it keeps the trace comparable
       // with the direct run. It adds nothing to heard masks (already in
       // sh_or).
-      for (NodeId v = 0; v < n; ++v) {
-        if (alive[v] != 0 && superheavy[v] != 0) realized[v] = committed[v];
+      for (const NodeId v : live_nodes) {
+        if (superheavy[v] != 0) realized[v] = committed[v];
       }
 
       // --- Local reconstruction: every node derives its own end-of-phase
       // state from the received vectors. ---
-      for (NodeId v = 0; v < n; ++v) {
-        if (alive[v] == 0) continue;
+      for (const NodeId v : live_nodes) {
         // When does a neighbor join? (Joiners are S nodes.)
         std::uint32_t first_neighbor_join = kNeverDecided;
         std::uint64_t heard_mask = sh_or[v];
@@ -387,8 +408,7 @@ CliqueMisResult clique_mis(const Graph& g, const CliqueMisOptions& options) {
       }
 
       // --- Apply the phase outcome. ---
-      for (NodeId v = 0; v < n; ++v) {
-        if (alive[v] == 0) continue;
+      for (const NodeId v : live_nodes) {
         // Dying nodes freeze their p at the removal point too, matching the
         // direct run's persistent array (trace comparability across phases).
         p_exp[v] = p_exp_end[v];
@@ -397,13 +417,23 @@ CliqueMisResult clique_mis(const Graph& g, const CliqueMisOptions& options) {
           run.decided_round[v] =
               static_cast<std::uint32_t>(t0 + join_iter[v]);
           alive[v] = 0;
-          --live;
+          newly_dead.push_back(v);
         } else if (removed_iter[v] != kNeverDecided) {
           run.decided_round[v] =
               static_cast<std::uint32_t>(t0 + removed_iter[v]);
           alive[v] = 0;
-          --live;
+          newly_dead.push_back(v);
         }
+      }
+      if (!newly_dead.empty()) {
+        live_nodes.erase(
+            std::remove_if(live_nodes.begin(), live_nodes.end(),
+                           [&](NodeId v) { return alive[v] == 0; }),
+            live_nodes.end());
+        live -= newly_dead.size();
+        // Departure event to the substrate: live_count() tracks the
+        // frontier, and fault-delayed packets parked for dead nodes drop.
+        net.retire_nodes(newly_dead);
       }
 
       if (tracing) {

@@ -38,7 +38,7 @@ class GhaffariProgram final : public CongestProgram {
     }
   }
 
-  void receive(std::uint64_t round,
+  bool receive(std::uint64_t round,
                std::span<const CongestMessage> inbox) override {
     if (round % 2 == 0) {
       double d = 0.0;
@@ -59,6 +59,7 @@ class GhaffariProgram final : public CongestProgram {
         decided_round_ = static_cast<std::uint32_t>(round / 2);
       }
     }
+    return halted_;
   }
 
   bool halted() const override { return halted_; }

@@ -47,32 +47,32 @@ class HalfDuplexProgram final : public BeepProgram {
     return BeepAction::kListen;
   }
 
-  void feedback(std::uint64_t round, bool heard) override {
+  bool feedback(std::uint64_t round, bool heard) override {
     const std::uint64_t len = iteration_length();
     const std::uint64_t pos = round % len;
     if (pos == 0) {
       // Only listeners get real feedback in half duplex; the engine hands
       // beeping nodes `false` already.
       heard_candidacy_ = heard;
-      return;
+      return false;
     }
     if (pos <= static_cast<std::uint64_t>(id_bits_)) {
       if (candidate_ && !aborted_ && !verifying_bit_ && heard) {
         aborted_ = true;
       }
-      return;
+      return false;
     }
     // Announce feedback: decide, halt, or update p for the next iteration.
     const auto iter = static_cast<std::uint32_t>(round / len);
     if (joined_) {
       halted_ = true;
       decided_round_ = iter;
-      return;
+      return true;
     }
     if (heard) {
       halted_ = true;  // an MIS neighbor announced
       decided_round_ = iter;
-      return;
+      return true;
     }
     if (candidate_) {
       // Lost verification: contention witnessed — halve.
@@ -80,6 +80,7 @@ class HalfDuplexProgram final : public BeepProgram {
     } else {
       p_ = heard_candidacy_ ? p_.halved() : p_.doubled_capped();
     }
+    return false;
   }
 
   bool halted() const override { return halted_; }

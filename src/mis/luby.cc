@@ -32,7 +32,7 @@ class LubyProgram final : public CongestProgram {
     }
   }
 
-  void receive(std::uint64_t round,
+  bool receive(std::uint64_t round,
                std::span<const CongestMessage> inbox) override {
     if (round % 2 == 0) {
       bool local_min = true;
@@ -55,6 +55,7 @@ class LubyProgram final : public CongestProgram {
         decided_round_ = static_cast<std::uint32_t>(round / 2);
       }
     }
+    return halted_;
   }
 
   bool halted() const override { return halted_; }

@@ -45,7 +45,7 @@ class SparsifiedProgram final : public CongestProgram {
     }
   }
 
-  void receive(std::uint64_t round,
+  bool receive(std::uint64_t round,
                std::span<const CongestMessage> inbox) override {
     const std::uint64_t pos = round % phase_rounds_;
     if (pos == 0) {
@@ -58,7 +58,7 @@ class SparsifiedProgram final : public CongestProgram {
       superheavy_ = d0 >= superheavy_threshold_;
       removed_mid_ = false;
       deferred_ = false;
-      return;
+      return false;
     }
     const int iter = static_cast<int>((pos - 1) / 2);
     const std::uint64_t phase = round / phase_rounds_;
@@ -76,7 +76,7 @@ class SparsifiedProgram final : public CongestProgram {
         removed_mid_ = true;
         decided_round_ = global_iter;
       }
-      return;
+      return false;
     }
     // R2 feedback: removals from neighbor joins, then the deferred p update.
     if (!inbox.empty() && !removed_mid_) {
@@ -99,6 +99,7 @@ class SparsifiedProgram final : public CongestProgram {
     if (joined_ && announced_) halted_ = true;
     if (removed_mid_ && !joined_) halted_ = true;
     if (deferred_ && phase_over) halted_ = true;
+    return halted_;
   }
 
   bool halted() const override { return halted_; }

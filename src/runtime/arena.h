@@ -30,19 +30,23 @@ class DeliveryArena {
     DMIS_CHECK(lanes >= 1, "arena needs at least one lane");
   }
 
-  /// Starts a new round: every lane buffer is emptied, capacity kept.
+  /// Starts a new round: every lane buffer is emptied, capacity kept, and
+  /// slices from earlier rounds are invalidated (epoch bump, no O(n) sweep).
   void begin_round() {
     for (auto& buf : buffers_) buf.clear();
+    ++epoch_;
   }
 
-  /// Opens node's (empty) slot at the tail of `lane`. Every node must be
-  /// opened each round before its slice is read — slices do not survive
-  /// begin_round().
+  /// Opens node's (empty) slot at the tail of `lane`. With frontier
+  /// iteration only live nodes are opened each round; reading a node that
+  /// was not opened this round yields an empty span (stale epoch), never a
+  /// dangling view into a reused buffer.
   void open(int lane, std::size_t node) {
     Slice& s = slices_[node];
     s.lane = static_cast<std::uint32_t>(lane);
     s.offset = buffers_[static_cast<std::size_t>(lane)].size();
     s.length = 0;
+    s.epoch = epoch_;
   }
 
   /// Appends to node's slot, which must still be its lane's tail.
@@ -57,6 +61,7 @@ class DeliveryArena {
 
   std::span<const T> of(std::size_t node) const {
     const Slice& s = slices_[node];
+    if (s.epoch != epoch_) return {};
     return std::span<const T>(buffers_[s.lane]).subspan(s.offset, s.length);
   }
 
@@ -65,9 +70,11 @@ class DeliveryArena {
     std::uint32_t lane = 0;
     std::size_t offset = 0;
     std::size_t length = 0;
+    std::uint64_t epoch = 0;
   };
   std::vector<Slice> slices_;
   std::vector<std::vector<T>> buffers_;
+  std::uint64_t epoch_ = 0;
 };
 
 }  // namespace dmis

@@ -1,5 +1,7 @@
 #include "runtime/beeping.h"
 
+#include <algorithm>
+
 #include "util/check.h"
 
 namespace dmis {
@@ -13,42 +15,57 @@ BeepEngine::BeepEngine(const Graph& graph,
       pool_(threads),
       beeped_(graph.node_count(), 0),
       lane_beeps_(static_cast<std::size_t>(pool_.thread_count()), 0),
-      lane_faults_(static_cast<std::size_t>(pool_.thread_count())) {
+      lane_faults_(static_cast<std::size_t>(pool_.thread_count())),
+      lane_halts_(static_cast<std::size_t>(pool_.thread_count()), 0) {
   DMIS_CHECK(programs_.size() == graph_.node_count(),
              "program count " << programs_.size() << " != node count "
                               << graph_.node_count());
   for (const auto& p : programs_) {
     DMIS_CHECK(p != nullptr, "null program");
   }
+  // Seed the frontier: the one place halted() is polled. From here on a
+  // node leaves the frontier exactly once, via feedback()'s return value.
+  decided_.resize(programs_.size(), 0);
+  live_.reserve(programs_.size());
+  for (NodeId v = 0; v < graph_.node_count(); ++v) {
+    if (programs_[v]->halted()) {
+      decided_[v] = 1;
+    } else {
+      live_.push_back(v);
+    }
+  }
 }
 
 bool BeepEngine::step() {
-  if (all_halted()) return false;
+  if (live_.empty()) return false;
   emit_round_begin();
   const NodeId n = graph_.node_count();
   const FaultPlane* faults = faults_;
 
-  // Act phase: each node decides beep/listen into its own slot. A downed
-  // node (crashed/stalled by the fault plane) neither acts nor beeps.
-  pool_.parallel_for(n, [&](std::size_t begin, std::size_t end, int lane) {
-    CheckScope scope("beep.act");
-    CheckScope::set_round(round_);
-    std::uint64_t local_beeps = 0;
-    for (std::size_t i = begin; i < end; ++i) {
-      const NodeId v = static_cast<NodeId>(i);
-      BeepProgram& prog = *programs_[v];
-      if (prog.halted() ||
-          (faults != nullptr && faults->node_down(v, round_))) {
-        beeped_[v] = 0;
-        continue;
-      }
-      CheckScope::set_node(v);
-      const BeepAction a = prog.act(round_);
-      beeped_[v] = (a == BeepAction::kBeep) ? 1 : 0;
-      if (beeped_[v] != 0) ++local_beeps;
-    }
-    lane_beeps_[static_cast<std::size_t>(lane)] = local_beeps;
-  });
+  // Act phase, over the frontier only: each live node decides beep/listen
+  // into its own slot. A downed node (crashed/stalled by the fault plane)
+  // neither acts nor beeps. Retired nodes are never visited — their beep
+  // slots were zeroed when they left the frontier, so the mask neighbors
+  // read below is still correct for them.
+  pool_.parallel_for_indices(
+      live_, [&](const std::uint32_t* first, const std::uint32_t* last,
+                 int lane) {
+        CheckScope scope("beep.act");
+        CheckScope::set_round(round_);
+        std::uint64_t local_beeps = 0;
+        for (const std::uint32_t* p = first; p != last; ++p) {
+          const NodeId v = *p;
+          if (faults != nullptr && faults->node_down(v, round_)) {
+            beeped_[v] = 0;
+            continue;
+          }
+          CheckScope::set_node(v);
+          const BeepAction a = programs_[v]->act(round_);
+          beeped_[v] = (a == BeepAction::kBeep) ? 1 : 0;
+          if (beeped_[v] != 0) ++local_beeps;
+        }
+        lane_beeps_[static_cast<std::size_t>(lane)] = local_beeps;
+      });
   std::uint64_t beeps = 0;
   for (std::uint64_t& local : lane_beeps_) {
     beeps += local;
@@ -58,43 +75,53 @@ bool BeepEngine::step() {
   emit_messages(beeps, beeps);  // a beep is a 1-bit broadcast
   emit_wire(WireMessageType::kBeep, beeps, beeps);
 
-  // Feedback barrier: the beep mask is frozen; each node scans its
-  // neighborhood independently. The fault plane acts per (beeper, listener)
-  // edge: a drop decision silences that one edge, and a corrupt decision on
-  // the listener's self-coordinate flips its carrier sense (a phantom beep
-  // or a masked one) — both pure functions of (round, src, dst), so the
-  // outcome is identical at any thread count.
-  pool_.parallel_for(n, [&](std::size_t begin, std::size_t end, int lane) {
-    CheckScope scope("beep.feedback");
-    CheckScope::set_round(round_);
-    FaultStats& local_faults = lane_faults_[static_cast<std::size_t>(lane)];
-    for (std::size_t i = begin; i < end; ++i) {
-      const NodeId v = static_cast<NodeId>(i);
-      BeepProgram& prog = *programs_[v];
-      if (prog.halted()) continue;
-      if (faults != nullptr && faults->node_down(v, round_)) continue;
-      CheckScope::set_node(v);
-      bool heard = false;
-      // Half duplex: a beeping node cannot carrier-sense its neighbors.
-      if (mode_ == DuplexMode::kFullDuplex || beeped_[v] == 0) {
-        for (const NodeId u : graph_.neighbors(v)) {
-          if (beeped_[u] == 0) continue;
-          if (faults != nullptr &&
-              faults->on_message(round_, u, v, 0).drop) {
-            ++local_faults.dropped;
-            continue;
+  // Feedback barrier, over the frontier: the beep mask is frozen; each live
+  // node scans its neighborhood independently. The fault plane acts per
+  // (beeper, listener) edge: a drop decision silences that one edge, and a
+  // corrupt decision on the listener's self-coordinate flips its carrier
+  // sense (a phantom beep or a masked one) — both pure functions of
+  // (round, src, dst), so the outcome is identical at any thread count.
+  // feedback()'s return value is the decide notification: it marks the
+  // bitmap and bumps the lane's halt count for the compaction below.
+  std::fill(lane_halts_.begin(), lane_halts_.end(), 0);
+  pool_.parallel_for_indices(
+      live_, [&](const std::uint32_t* first, const std::uint32_t* last,
+                 int lane) {
+        CheckScope scope("beep.feedback");
+        CheckScope::set_round(round_);
+        FaultStats& local_faults =
+            lane_faults_[static_cast<std::size_t>(lane)];
+        std::uint64_t halts = 0;
+        for (const std::uint32_t* p = first; p != last; ++p) {
+          const NodeId v = *p;
+          if (faults != nullptr && faults->node_down(v, round_)) continue;
+          CheckScope::set_node(v);
+          bool heard = false;
+          // Half duplex: a beeping node cannot carrier-sense its neighbors.
+          if (mode_ == DuplexMode::kFullDuplex || beeped_[v] == 0) {
+            for (const NodeId u : graph_.neighbors(v)) {
+              if (beeped_[u] == 0) continue;
+              if (faults != nullptr &&
+                  faults->on_message(round_, u, v, 0).drop) {
+                ++local_faults.dropped;
+                continue;
+              }
+              heard = true;
+              break;
+            }
           }
-          heard = true;
-          break;
+          if (faults != nullptr &&
+              faults->on_message(round_, v, v, 0).corrupt) {
+            heard = !heard;
+            ++local_faults.corrupted;
+          }
+          if (programs_[v]->feedback(round_, heard)) {
+            decided_[v] = 1;
+            ++halts;
+          }
         }
-      }
-      if (faults != nullptr && faults->on_message(round_, v, v, 0).corrupt) {
-        heard = !heard;
-        ++local_faults.corrupted;
-      }
-      prog.feedback(round_, heard);
-    }
-  });
+        lane_halts_[static_cast<std::size_t>(lane)] = halts;
+      });
   if (faults_ != nullptr) {
     FaultStats realized;
     for (FaultStats& local : lane_faults_) {
@@ -105,19 +132,29 @@ bool BeepEngine::step() {
     tally_node_downtime(round_, n);
   }
 
+  // Frontier compaction: a pure function of this round's decide events,
+  // before emit_round_end so observers see the post-round live count.
+  // Departing nodes fall silent permanently — zero their beep slot once
+  // here instead of every round in the act phase.
+  std::uint64_t newly_halted = 0;
+  for (const std::uint64_t h : lane_halts_) newly_halted += h;
+  if (newly_halted > 0) {
+    std::size_t kept = 0;
+    for (const NodeId v : live_) {
+      if (decided_[v] == 0) {
+        live_[kept++] = v;
+      } else {
+        beeped_[v] = 0;
+      }
+    }
+    live_.resize(kept);
+  }
+
   const std::uint64_t finished = round_;
   ++round_;
   ++costs_.rounds;
   emit_round_end(finished);
-  return !all_halted();
-}
-
-std::uint64_t BeepEngine::live_count() const {
-  std::uint64_t live = 0;
-  for (const auto& p : programs_) {
-    if (!p->halted()) ++live;
-  }
-  return live;
+  return !live_.empty();
 }
 
 }  // namespace dmis

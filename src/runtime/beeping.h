@@ -6,9 +6,13 @@
 // point: the Beeping MIS algorithm needs only this 1-bit feedback.
 //
 // Implements the unified SimulationEngine contract (runtime/engine.h). The
-// act and feedback fan-outs are partitioned across a WorkerPool with a
+// engine owns a live-node frontier (decided bitmap + compact sorted live
+// array, compacted at the feedback barrier), and the act and feedback
+// fan-outs are partitioned over the *frontier* across a WorkerPool with a
 // barrier between them: act() writes only the node's own beep slot, and
-// feedback() reads the frozen beep mask — bit-identical at any thread count.
+// feedback() reads the frozen beep mask — bit-identical at any thread
+// count. A node's beep slot is zeroed when it leaves the frontier, so
+// neighbors of decided nodes still read a correct (silent) mask.
 #pragma once
 
 #include <cstdint>
@@ -37,10 +41,16 @@ class BeepProgram {
   /// Decide this round's action.
   virtual BeepAction act(std::uint64_t round) = 0;
 
-  /// Receive the round's feedback: did any live neighbor beep?
-  virtual void feedback(std::uint64_t round, bool heard_beep) = 0;
+  /// Receive the round's feedback: did any live neighbor beep? Returns
+  /// true iff the node has *now* halted — the decide notification the
+  /// engine uses to retire the node from its frontier. This is the only
+  /// moment a program may change its halted state, and the return value
+  /// must agree with halted() afterwards.
+  virtual bool feedback(std::uint64_t round, bool heard_beep) = 0;
 
-  /// Halted nodes neither beep nor hear (they left the problem).
+  /// Halted nodes neither beep nor hear (they left the problem). Read once
+  /// per node at construction to seed the frontier; afterwards halt
+  /// transitions flow through feedback()'s return value.
   virtual bool halted() const = 0;
 };
 
@@ -54,7 +64,8 @@ class BeepEngine final : public SimulationEngine {
   /// Executes one round; returns false if all programs have halted.
   bool step() override;
 
-  std::uint64_t live_count() const override;
+  /// O(1): the frontier size, maintained at the feedback barrier.
+  std::uint64_t live_count() const override { return live_.size(); }
   const BeepProgram& program(NodeId v) const { return *programs_[v]; }
 
  private:
@@ -62,9 +73,13 @@ class BeepEngine final : public SimulationEngine {
   std::vector<std::unique_ptr<BeepProgram>> programs_;
   DuplexMode mode_;
   WorkerPool pool_;
-  std::vector<char> beeped_;  // scratch
+  std::vector<char> beeped_;  // scratch; zeroed for retired nodes
   std::vector<std::uint64_t> lane_beeps_;
   std::vector<FaultStats> lane_faults_;
+  // Frontier (SoA): see runtime/congest.h — same layout and contract.
+  std::vector<std::uint8_t> decided_;
+  std::vector<NodeId> live_;
+  std::vector<std::uint64_t> lane_halts_;
 };
 
 }  // namespace dmis

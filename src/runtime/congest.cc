@@ -1,5 +1,7 @@
 #include "runtime/congest.h"
 
+#include <algorithm>
+
 #include "util/check.h"
 
 namespace dmis {
@@ -16,7 +18,8 @@ CongestEngine::CongestEngine(
       outboxes_(graph.node_count(), pool_.thread_count()),
       inboxes_(graph.node_count(), pool_.thread_count()),
       lane_costs_(static_cast<std::size_t>(pool_.thread_count())),
-      lane_faults_(static_cast<std::size_t>(pool_.thread_count())) {
+      lane_faults_(static_cast<std::size_t>(pool_.thread_count())),
+      lane_halts_(static_cast<std::size_t>(pool_.thread_count())) {
   DMIS_CHECK(programs_.size() == graph_.node_count(),
              "program count " << programs_.size() << " != node count "
                               << graph_.node_count());
@@ -24,54 +27,73 @@ CongestEngine::CongestEngine(
   for (const auto& p : programs_) {
     DMIS_CHECK(p != nullptr, "null program");
   }
+  // Seed the frontier: the one place halted() is polled. From here on a
+  // node leaves the frontier exactly once, via receive()'s return value.
+  decided_.resize(programs_.size(), 0);
+  live_.reserve(programs_.size());
+  for (NodeId v = 0; v < graph_.node_count(); ++v) {
+    if (programs_[v]->halted()) {
+      decided_[v] = 1;
+    } else {
+      live_.push_back(v);
+    }
+  }
 }
 
 bool CongestEngine::step() {
-  if (all_halted()) return false;
+  if (live_.empty()) return false;
   emit_round_begin();
   const NodeId n = graph_.node_count();
   const FaultPlane* faults = faults_;
   if (faults != nullptr && delayed_.empty()) delayed_.resize(n);
 
-  // Send phase: every live node fills its slot in the outbox arena through
-  // a typed outbox; the model's bandwidth and neighbor constraints are
-  // validated there, per message, at the encode choke point. A node the
-  // fault plane marks down (crashed/stalled) executes nothing this round.
+  // Send phase, over the frontier only: every live node fills its slot in
+  // the outbox arena through a typed outbox; the model's bandwidth and
+  // neighbor constraints are validated there, per message, at the encode
+  // choke point. A node the fault plane marks down (crashed/stalled)
+  // executes nothing this round — its slot stays open and empty. Decided
+  // nodes are never visited; their stale arena slots read as empty.
   outboxes_.begin_round();
-  pool_.parallel_for(n, [&](std::size_t begin, std::size_t end, int lane) {
-    CheckScope scope("congest.send");
-    CheckScope::set_round(round_);
-    for (std::size_t i = begin; i < end; ++i) {
-      const NodeId v = static_cast<NodeId>(i);
-      outboxes_.open(lane, i);
-      CongestProgram& prog = *programs_[v];
-      if (prog.halted()) continue;
-      if (faults != nullptr && faults->node_down(v, round_)) continue;
-      CheckScope::set_node(v);
-      CongestOutbox out(outboxes_, v, graph_, bandwidth_bits_, wire_ctx_);
-      prog.send(round_, out);
-    }
-  });
+  pool_.parallel_for_indices(
+      live_, [&](const std::uint32_t* first, const std::uint32_t* last,
+                 int lane) {
+        CheckScope scope("congest.send");
+        CheckScope::set_round(round_);
+        for (const std::uint32_t* p = first; p != last; ++p) {
+          const NodeId v = *p;
+          outboxes_.open(lane, v);
+          if (faults != nullptr && faults->node_down(v, round_)) continue;
+          CheckScope::set_node(v);
+          CongestOutbox out(outboxes_, v, graph_, bandwidth_bits_,
+                            wire_ctx_);
+          programs_[v]->send(round_, out);
+        }
+      });
 
-  // Delivery barrier: each live destination gathers from its neighbors'
-  // outbox slots in neighbor (= ascending sender id) order, which matches
-  // the sequential sender-order delivery exactly. The fault plane is
-  // consulted here, at the single wire choke point: decisions are pure
-  // functions of (round, src, dst, outbox index), so drops/corruptions/
-  // duplicates/delays are bit-identical at any thread count. Message/bit
-  // counts accumulate per lane/type and reduce in lane order below.
+  // Delivery barrier, over frontier destinations only: each live
+  // destination gathers from its live neighbors' outbox slots in neighbor
+  // (= ascending sender id) order, which matches the sequential
+  // sender-order delivery exactly — the frontier is sorted and
+  // parallel_for_indices partitions it contiguously, so (lane, position)
+  // order equals ascending node order. The fault plane is consulted here,
+  // at the single wire choke point: decisions are pure functions of
+  // (round, src, dst, outbox index), so drops/corruptions/duplicates/
+  // delays are bit-identical at any thread count. Message/bit counts
+  // accumulate per lane/type and reduce in lane order below. Halted
+  // senders are skipped via the decided bitmap — no virtual call.
   inboxes_.begin_round();
-  pool_.parallel_for(n, [&](std::size_t begin, std::size_t end, int lane) {
+  pool_.parallel_for_indices(
+      live_, [&](const std::uint32_t* first, const std::uint32_t* last,
+                 int lane) {
     CheckScope scope("congest.deliver");
     CheckScope::set_round(round_);
     CostAccounting& local = lane_costs_[static_cast<std::size_t>(lane)];
     FaultStats& local_faults = lane_faults_[static_cast<std::size_t>(lane)];
-    for (std::size_t i = begin; i < end; ++i) {
-      const NodeId u = static_cast<NodeId>(i);
-      inboxes_.open(lane, i);
+    for (const std::uint32_t* p = first; p != last; ++p) {
+      const NodeId u = *p;
+      inboxes_.open(lane, u);
       const bool receiver_up =
-          !programs_[u]->halted() &&
-          (faults == nullptr || !faults->node_down(u, round_));
+          faults == nullptr || !faults->node_down(u, round_);
       CheckScope::set_node(u);
       if (faults != nullptr && !delayed_[u].empty()) {
         // Matured delayed messages arrive first, in the order they were
@@ -93,7 +115,7 @@ bool CongestEngine::step() {
       }
       if (!receiver_up) continue;
       for (const NodeId v : graph_.neighbors(u)) {
-        if (programs_[v]->halted()) continue;
+        if (decided_[v] != 0) continue;
         std::uint64_t salt = 0;
         for (const auto& msg : outboxes_.of(v)) {
           const std::uint64_t this_salt = salt++;
@@ -165,33 +187,52 @@ bool CongestEngine::step() {
               delivered[t].bits);
   }
 
-  // Receive phase.
-  pool_.parallel_for(n, [&](std::size_t begin, std::size_t end, int) {
-    CheckScope scope("congest.receive");
-    CheckScope::set_round(round_);
-    for (std::size_t i = begin; i < end; ++i) {
-      const NodeId v = static_cast<NodeId>(i);
-      CongestProgram& prog = *programs_[v];
-      if (prog.halted()) continue;
-      if (faults != nullptr && faults->node_down(v, round_)) continue;
-      CheckScope::set_node(v);
-      prog.receive(round_, inboxes_.of(i));
+  // Receive phase, over the frontier: receive()'s return value is the
+  // decide notification — it marks the bitmap and bumps the lane's halt
+  // count; the frontier itself is compacted at the barrier below.
+  std::fill(lane_halts_.begin(), lane_halts_.end(), 0);
+  pool_.parallel_for_indices(
+      live_, [&](const std::uint32_t* first, const std::uint32_t* last,
+                 int lane) {
+        CheckScope scope("congest.receive");
+        CheckScope::set_round(round_);
+        std::uint64_t halts = 0;
+        for (const std::uint32_t* p = first; p != last; ++p) {
+          const NodeId v = *p;
+          if (faults != nullptr && faults->node_down(v, round_)) continue;
+          CheckScope::set_node(v);
+          if (programs_[v]->receive(round_, inboxes_.of(v))) {
+            decided_[v] = 1;
+            ++halts;
+          }
+        }
+        lane_halts_[static_cast<std::size_t>(lane)] = halts;
+      });
+
+  // Frontier compaction: a pure function of this round's decide events.
+  // Runs before emit_round_end so observers see the post-round live count,
+  // and only on rounds where something decided. Departing nodes release
+  // their fault-plane delay queue — a message delayed past its
+  // destination's halt would otherwise be parked forever.
+  std::uint64_t newly_halted = 0;
+  for (const std::uint64_t h : lane_halts_) newly_halted += h;
+  if (newly_halted > 0) {
+    std::size_t kept = 0;
+    for (const NodeId v : live_) {
+      if (decided_[v] == 0) {
+        live_[kept++] = v;
+      } else if (!delayed_.empty() && !delayed_[v].empty()) {
+        std::vector<DelayedMessage>().swap(delayed_[v]);
+      }
     }
-  });
+    live_.resize(kept);
+  }
 
   const std::uint64_t finished = round_;
   ++round_;
   ++costs_.rounds;
   emit_round_end(finished);
-  return !all_halted();
-}
-
-std::uint64_t CongestEngine::live_count() const {
-  std::uint64_t live = 0;
-  for (const auto& p : programs_) {
-    if (!p->halted()) ++live;
-  }
-  return live;
+  return !live_.empty();
 }
 
 }  // namespace dmis

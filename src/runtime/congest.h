@@ -10,12 +10,19 @@
 // Rounds, messages, and bits are counted exactly, broken down per type.
 //
 // Implements the unified SimulationEngine contract (runtime/engine.h) and
-// steps nodes through a WorkerPool: the send and receive fan-outs are
-// partitioned across threads, with a barrier between the phases. Outboxes
-// and inboxes live in per-round DeliveryArenas (runtime/arena.h) — flat
-// per-lane buffers reset, not freed, each round. Programs must confine
-// themselves to their own state (the model already demands this); send()
-// must not change halted(), which the engine reads at phase boundaries.
+// steps nodes through a WorkerPool. The engine owns a live-node frontier: a
+// decided bitmap plus a compact sorted array of undecided node ids,
+// compacted at the receive barrier (a node leaves exactly once, when
+// receive() reports it halted). All three per-round fan-outs — send,
+// deliver, receive — partition the *frontier* across lanes
+// (WorkerPool::parallel_for_indices), so round cost scales with the number
+// of undecided nodes, not n. Outboxes and inboxes live in per-round
+// DeliveryArenas (runtime/arena.h) — flat per-lane buffers reset, not
+// freed, each round; slots are opened only for frontier nodes, and stale
+// slots read as empty (epoch check). Programs must confine themselves to
+// their own state (the model already demands this); send() must not change
+// halted() — the halt decision is reported once, by receive()'s return
+// value, and the engine never polls halted() after construction.
 #pragma once
 
 #include <cstdint>
@@ -73,11 +80,17 @@ class CongestProgram {
   virtual void send(std::uint64_t round, CongestOutbox& out) = 0;
 
   /// Consume this round's inbox (messages from live neighbors only).
-  virtual void receive(std::uint64_t round,
+  /// Returns true iff the node has *now* halted — the decide notification
+  /// the engine uses to retire the node from its frontier. This is the only
+  /// moment a program may change its halted state, and the return value
+  /// must agree with halted() afterwards.
+  virtual bool receive(std::uint64_t round,
                        std::span<const CongestMessage> inbox) = 0;
 
   /// A halted node no longer sends or receives (it has decided and left the
-  /// problem, e.g. joined the MIS or saw an MIS neighbor).
+  /// problem, e.g. joined the MIS or saw an MIS neighbor). The engine reads
+  /// this once per node at construction to seed its frontier; afterwards
+  /// halt transitions flow through receive()'s return value.
   virtual bool halted() const = 0;
 };
 
@@ -148,9 +161,20 @@ class CongestEngine final : public SimulationEngine {
   /// Returns false if all programs have halted.
   bool step() override;
 
-  std::uint64_t live_count() const override;
+  /// O(1): the frontier size, maintained incrementally at the receive
+  /// barrier — never a scan over programs.
+  std::uint64_t live_count() const override { return live_.size(); }
   const CongestProgram& program(NodeId v) const { return *programs_[v]; }
   const WireContext& wire_context() const { return wire_ctx_; }
+
+  /// Total messages currently parked in fault-plane delay queues. Queues of
+  /// nodes that left the frontier are freed at compaction, so after a
+  /// destination halts its backlog never lingers (regression-tested).
+  std::uint64_t delayed_backlog() const {
+    std::uint64_t total = 0;
+    for (const auto& q : delayed_) total += q.size();
+    return total;
+  }
 
  private:
   /// A message held back by a fault-plane delay decision, delivered to its
@@ -173,6 +197,13 @@ class CongestEngine final : public SimulationEngine {
   // its destination's lane) and per-lane realized-fault tallies.
   std::vector<std::vector<DelayedMessage>> delayed_;
   std::vector<FaultStats> lane_faults_;
+  // Frontier (SoA): decided_[v] mirrors programs_[v]->halted(); live_ is the
+  // sorted compact array of undecided ids, compacted at the receive barrier.
+  // lane_halts_ carries each lane's newly-halted count to the barrier so
+  // compaction is skipped entirely on rounds where nothing decided.
+  std::vector<std::uint8_t> decided_;
+  std::vector<NodeId> live_;
+  std::vector<std::uint64_t> lane_halts_;
 };
 
 }  // namespace dmis

@@ -45,6 +45,8 @@ void WorkerPool::worker_loop(int lane) {
   std::uint64_t seen = 0;
   for (;;) {
     const std::function<void(std::size_t, std::size_t, int)>* job = nullptr;
+    const IndexFn* index_job = nullptr;
+    const std::uint32_t* index_data = nullptr;
     std::size_t n = 0;
     {
       std::unique_lock<std::mutex> lock(mutex_);
@@ -53,11 +55,19 @@ void WorkerPool::worker_loop(int lane) {
       if (shutdown_) return;
       seen = generation_;
       job = job_;
+      index_job = index_job_;
+      index_data = index_data_;
       n = job_n_;
     }
     const Chunk c = chunk_of(n, lane);
     try {
-      if (c.begin < c.end) (*job)(c.begin, c.end, lane);
+      if (c.begin < c.end) {
+        if (index_job != nullptr) {
+          (*index_job)(index_data + c.begin, index_data + c.end, lane);
+        } else {
+          (*job)(c.begin, c.end, lane);
+        }
+      }
     } catch (...) {
       errors_[static_cast<std::size_t>(lane)] = std::current_exception();
     }
@@ -79,6 +89,8 @@ void WorkerPool::parallel_for(
   {
     std::lock_guard<std::mutex> lock(mutex_);
     job_ = &fn;
+    index_job_ = nullptr;
+    index_data_ = nullptr;
     job_n_ = n;
     pending_ = threads_ - 1;
     ++generation_;
@@ -95,6 +107,43 @@ void WorkerPool::parallel_for(
     std::unique_lock<std::mutex> lock(mutex_);
     work_done_.wait(lock, [&] { return pending_ == 0; });
     job_ = nullptr;
+  }
+  for (const std::exception_ptr& e : errors_) {
+    if (e != nullptr) std::rethrow_exception(e);
+  }
+}
+
+void WorkerPool::parallel_for_indices(std::span<const std::uint32_t> indices,
+                                      const IndexFn& fn) {
+  const std::size_t n = indices.size();
+  if (threads_ == 1 || n == 0) {
+    if (n > 0) fn(indices.data(), indices.data() + n, 0);
+    return;
+  }
+  std::fill(errors_.begin(), errors_.end(), nullptr);
+  const std::uint32_t* data = indices.data();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = nullptr;
+    index_job_ = &fn;
+    index_data_ = data;
+    job_n_ = n;
+    pending_ = threads_ - 1;
+    ++generation_;
+  }
+  work_ready_.notify_all();
+  // The calling thread is lane 0.
+  const Chunk c = chunk_of(n, 0);
+  try {
+    if (c.begin < c.end) fn(data + c.begin, data + c.end, 0);
+  } catch (...) {
+    errors_[0] = std::current_exception();
+  }
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    work_done_.wait(lock, [&] { return pending_ == 0; });
+    index_job_ = nullptr;
+    index_data_ = nullptr;
   }
   for (const std::exception_ptr& e : errors_) {
     if (e != nullptr) std::rethrow_exception(e);

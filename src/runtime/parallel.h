@@ -22,9 +22,11 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <functional>
 #include <mutex>
+#include <span>
 #include <thread>
 #include <vector>
 
@@ -51,6 +53,23 @@ class WorkerPool {
   void parallel_for(
       std::size_t n,
       const std::function<void(std::size_t, std::size_t, int)>& fn);
+
+  /// Callback for parallel_for_indices: a contiguous pointer range into the
+  /// caller's index array plus the lane that owns it.
+  using IndexFn = std::function<void(const std::uint32_t*,
+                                     const std::uint32_t*, int)>;
+
+  /// Frontier variant of parallel_for: partitions the *positions* of
+  /// `indices` (not [0, n)) into thread_count() static contiguous chunks and
+  /// runs `fn(first, last, lane)` on each chunk's pointer range. The chunk
+  /// layout is a pure function of (indices.size(), threads), so iterating a
+  /// sorted frontier preserves the sequential ascending-index order within
+  /// and across lanes — the determinism argument above applies unchanged
+  /// with "node id" replaced by "frontier position". The span must stay
+  /// valid and unmodified until the call returns. Implemented natively (not
+  /// as a wrapper lambda) so the hot path does zero heap allocation.
+  void parallel_for_indices(std::span<const std::uint32_t> indices,
+                            const IndexFn& fn);
 
   /// Clamp a requested thread count to [1, hardware_concurrency].
   static int clamp_threads(int requested);
@@ -79,6 +98,8 @@ class WorkerPool {
   std::condition_variable work_ready_;
   std::condition_variable work_done_;
   const std::function<void(std::size_t, std::size_t, int)>* job_ = nullptr;
+  const IndexFn* index_job_ = nullptr;
+  const std::uint32_t* index_data_ = nullptr;
   std::size_t job_n_ = 0;
   std::uint64_t generation_ = 0;
   int pending_ = 0;

@@ -31,7 +31,9 @@ class ScriptedProgram final : public CongestProgram {
   void send(std::uint64_t round, CongestOutbox& out) override {
     send_(round, out);
   }
-  void receive(std::uint64_t, std::span<const CongestMessage>) override {}
+  bool receive(std::uint64_t, std::span<const CongestMessage>) override {
+    return false;
+  }
   bool halted() const override { return false; }
 
  private:

@@ -5,12 +5,19 @@
 // duplicates are counted, corruption triggers clique phase retries).
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "clique/network.h"
 #include "graph/generators.h"
 #include "graph/properties.h"
 #include "mis/beeping.h"
 #include "mis/ghaffari.h"
 #include "mis/luby.h"
 #include "mis/replay.h"
+#include "runtime/congest.h"
 #include "runtime/faults.h"
 
 namespace dmis {
@@ -144,7 +151,7 @@ TEST_P(FaultThreadInvariance, SameScheduleSameRun) {
   const FaultSchedule s = mixed_schedule(23);
   const FaultRunResult r1 =
       run_algorithm_with_faults(g, GetParam(), 5, 1, s, 40);
-  for (const int threads : {2, 8}) {
+  for (const int threads : {2, 4, 8}) {
     const FaultRunResult rt =
         run_algorithm_with_faults(g, GetParam(), 5, threads, s, 40);
     expect_same_run(r1.run, rt.run);
@@ -240,6 +247,131 @@ TEST(FaultEffects, CliqueRetriesPoisonedPhase) {
   EXPECT_GT(r.fault_stats.corrupted, 0u);
   EXPECT_TRUE(is_maximal_independent_set(g, r.run.in_mis));
   EXPECT_EQ(r.run.costs.retries, r.retries);
+}
+
+// --- Frontier maintenance under the fault plane (DESIGN.md §13). ---
+
+// A scripted CONGEST node: optionally broadcasts every round, and halts at
+// a fixed round via receive()'s decide notification.
+class ScriptedNode final : public CongestProgram {
+ public:
+  ScriptedNode(std::uint64_t halt_round, bool chatty)
+      : halt_round_(halt_round), chatty_(chatty) {}
+  void send(std::uint64_t round, CongestOutbox& out) override {
+    if (chatty_) out.push_raw(kAllNeighbors, round & 0xff, 8);
+  }
+  bool receive(std::uint64_t round,
+               std::span<const CongestMessage>) override {
+    if (!halted_ && round >= halt_round_) {
+      halted_ = true;
+      return true;
+    }
+    return false;
+  }
+  bool halted() const override { return halted_; }
+
+ private:
+  std::uint64_t halt_round_;
+  bool chatty_;
+  bool halted_ = false;
+};
+
+// The delayed-queue leak class: messages delayed past a receiver's halt
+// round used to sit in its queue for the rest of the run (they could never
+// be delivered — matured messages to halted receivers are discarded). The
+// frontier departure must free the queue instead.
+TEST(FrontierMaintenance, DelayQueueFreedWhenDestinationHalts) {
+  const Graph g = path(2);
+  std::vector<std::unique_ptr<CongestProgram>> programs;
+  programs.push_back(std::make_unique<ScriptedNode>(1000, true));  // sender
+  programs.push_back(std::make_unique<ScriptedNode>(2, false));    // halts
+  CongestEngine engine(g, std::move(programs), 32);
+  FaultSchedule s;
+  s.seed = 1;
+  s.delay_rate = 1.0;
+  s.delay_rounds = 100;  // far past the receiver's halt round
+  FaultPlane plane(s);
+  engine.set_fault_plane(&plane);
+
+  engine.step();  // round 0: one message parked for node 1
+  engine.step();  // round 1: two parked
+  EXPECT_EQ(engine.delayed_backlog(), 2u);
+  engine.step();  // round 2: third parked, then node 1 leaves the frontier
+  EXPECT_EQ(engine.delayed_backlog(), 0u);
+  EXPECT_EQ(plane.stats().delayed, 3u);
+  EXPECT_EQ(engine.live_count(), 1u);
+  // Once departed, nothing accrues for the dead destination again.
+  engine.step();
+  engine.step();
+  EXPECT_EQ(engine.delayed_backlog(), 0u);
+}
+
+// The frontier invariant under node crashes, stalls, and message faults:
+// live_count() (the O(1) frontier size) equals the scan over halted() after
+// every round, and step() reports completion exactly when it hits zero.
+TEST(FrontierMaintenance, LiveCountMatchesHaltedScanUnderFaults) {
+  const NodeId n = 12;
+  const Graph g = cycle(n);
+  std::vector<std::unique_ptr<CongestProgram>> programs;
+  for (NodeId v = 0; v < n; ++v) {
+    programs.push_back(std::make_unique<ScriptedNode>((v * 7) % 11, true));
+  }
+  CongestEngine engine(g, std::move(programs), 32);
+  FaultSchedule s;
+  s.seed = 9;
+  s.drop_rate = 0.1;
+  s.delay_rate = 0.3;
+  s.delay_rounds = 2;
+  s.node_faults.push_back({0, 1, 0});  // crash at round 1
+  s.node_faults.push_back({3, 1, 2});  // stall rounds [1, 3)
+  FaultPlane plane(s);
+  engine.set_fault_plane(&plane);
+
+  for (int round = 0; round < 20; ++round) {
+    const bool more = engine.step();
+    std::uint64_t undecided = 0;
+    for (NodeId v = 0; v < n; ++v) {
+      if (!engine.program(v).halted()) ++undecided;
+    }
+    EXPECT_EQ(engine.live_count(), undecided) << "round " << round;
+    EXPECT_EQ(more, undecided > 0) << "round " << round;
+    if (!more) break;
+  }
+  EXPECT_EQ(engine.live_count(), 0u);
+}
+
+// The clique substrate's version of the same leak: packets parked by a
+// delay decision for a destination that then retires must be dropped (and
+// tallied), not delivered to a node that already left the computation.
+TEST(FrontierMaintenance, CliqueRetirementDropsParkedPackets) {
+  CliqueNetwork net(4, RandomSource(1));
+  FaultSchedule s;
+  s.seed = 2;
+  s.delay_rate = 1.0;
+  s.delay_rounds = 50;
+  FaultPlane plane(s);
+  net.set_fault_plane(&plane);
+  std::vector<Packet> packets{
+      {0, 1, WirePayload{}}, {2, 1, WirePayload{}}, {0, 3, WirePayload{}}};
+  net.route(packets);
+  EXPECT_TRUE(packets.empty());  // everything parked, nothing delivered
+  EXPECT_EQ(net.pending_backlog(), 3u);
+  EXPECT_EQ(plane.stats().delayed, 3u);
+  EXPECT_EQ(net.live_count(), 4u);
+
+  const NodeId first[] = {1};
+  net.retire_nodes(first);
+  EXPECT_EQ(net.pending_backlog(), 1u);  // only the dst-3 packet survives
+  EXPECT_EQ(net.live_count(), 3u);
+  EXPECT_EQ(plane.stats().dropped, 2u);
+  net.retire_nodes(first);  // idempotent
+  EXPECT_EQ(net.live_count(), 3u);
+
+  const NodeId second[] = {3};
+  net.retire_nodes(second);
+  EXPECT_EQ(net.pending_backlog(), 0u);
+  EXPECT_EQ(net.live_count(), 2u);
+  EXPECT_EQ(plane.stats().dropped, 3u);
 }
 
 // Exhausted retries propagate the failure as a captured precondition, not a

@@ -18,9 +18,10 @@ using ::dmis::testing::standard_suite;
 class AlwaysBeeper final : public BeepProgram {
  public:
   BeepAction act(std::uint64_t) override { return BeepAction::kBeep; }
-  void feedback(std::uint64_t, bool heard) override {
+  bool feedback(std::uint64_t, bool heard) override {
     heard_ = heard;
     halted_ = true;
+    return true;
   }
   bool halted() const override { return halted_; }
   bool heard() const { return heard_; }

@@ -61,9 +61,10 @@ class TwoRoundFlood final : public CongestProgram {
   void send(std::uint64_t round, CongestOutbox& out) override {
     if (round < 2) out.push_raw(kAllNeighbors, self_, 32);
   }
-  void receive(std::uint64_t round,
+  bool receive(std::uint64_t round,
                std::span<const CongestMessage>) override {
     if (round >= 1) halted_ = true;
+    return halted_;
   }
   bool halted() const override { return halted_; }
 
@@ -95,7 +96,10 @@ TEST(Observer, BeepEngineReportsBeepsAsMessages) {
   class Beeper final : public BeepProgram {
    public:
     BeepAction act(std::uint64_t) override { return BeepAction::kBeep; }
-    void feedback(std::uint64_t, bool) override { halted_ = true; }
+    bool feedback(std::uint64_t, bool) override {
+      halted_ = true;
+      return true;
+    }
     bool halted() const override { return halted_; }
 
    private:

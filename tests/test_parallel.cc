@@ -5,17 +5,16 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
 #include <mutex>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "graph/generators.h"
-#include "graph/properties.h"
-#include "mis/beeping.h"
-#include "mis/halfduplex_beeping.h"
-#include "mis/luby.h"
+#include "mis/registry.h"
 #include "mis/sparsified.h"
 #include "mis/sparsified_congest.h"
 #include "runtime/parallel.h"
@@ -87,6 +86,95 @@ TEST(WorkerPool, PropagatesExceptions) {
   }
 }
 
+// --- parallel_for_indices: the frontier fan-out primitive. ---
+
+TEST(WorkerPool, IndicesCoverEveryElementExactlyOnce) {
+  for (const int threads : {1, 2, 3, 4, 7}) {
+    WorkerPool pool(threads);
+    for (const std::size_t n : {std::size_t{0}, std::size_t{1},
+                                std::size_t{5}, std::size_t{1000}}) {
+      // A sparse sorted id array, like a frontier after heavy shattering.
+      std::vector<std::uint32_t> indices(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        indices[i] = static_cast<std::uint32_t>(3 * i + 1);
+      }
+      std::vector<std::atomic<int>> hits(n);
+      for (auto& h : hits) h.store(0);
+      pool.parallel_for_indices(
+          indices, [&](const std::uint32_t* first, const std::uint32_t* last,
+                       int lane) {
+            EXPECT_GE(lane, 0);
+            EXPECT_LT(lane, threads);
+            for (const std::uint32_t* p = first; p != last; ++p) {
+              ASSERT_EQ(*p % 3, 1u);
+              hits[(*p - 1) / 3].fetch_add(1);
+            }
+          });
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(hits[i].load(), 1) << "n=" << n << " threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST(WorkerPool, IndicesPartitionMatchesParallelFor) {
+  // Both fan-outs share one chunk layout — a pure function of (size,
+  // threads) — so the frontier restriction of a run visits nodes in exactly
+  // the order the dense fan-out would, which is what the determinism
+  // argument of DESIGN.md §13 leans on.
+  WorkerPool pool(4);
+  const std::size_t n = 103;
+  std::vector<std::uint32_t> indices(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    indices[i] = static_cast<std::uint32_t>(2 * i);
+  }
+  std::vector<std::pair<std::size_t, std::size_t>> dense(4), sparse(4);
+  std::mutex m;
+  pool.parallel_for(n, [&](std::size_t begin, std::size_t end, int lane) {
+    std::lock_guard<std::mutex> lock(m);
+    dense[static_cast<std::size_t>(lane)] = {begin, end};
+  });
+  pool.parallel_for_indices(
+      indices,
+      [&](const std::uint32_t* first, const std::uint32_t* last, int lane) {
+        std::lock_guard<std::mutex> lock(m);
+        sparse[static_cast<std::size_t>(lane)] = {
+            static_cast<std::size_t>(first - indices.data()),
+            static_cast<std::size_t>(last - indices.data())};
+      });
+  EXPECT_EQ(dense, sparse);
+}
+
+TEST(WorkerPool, IndicesPropagateExceptionsAndInterleaveWithDense) {
+  for (const int threads : {1, 4}) {
+    WorkerPool pool(threads);
+    std::vector<std::uint32_t> indices(100);
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+      indices[i] = static_cast<std::uint32_t>(i);
+    }
+    EXPECT_THROW(pool.parallel_for_indices(
+                     indices,
+                     [&](const std::uint32_t* first, const std::uint32_t*,
+                         int) {
+                       if (first == indices.data()) {
+                         throw std::runtime_error("chunk failure");
+                       }
+                     }),
+                 std::runtime_error);
+    // The pool stays usable, and the two job kinds alternate cleanly (the
+    // dispatch fields of the previous kind must not linger).
+    std::atomic<int> done{0};
+    pool.parallel_for(8, [&](std::size_t begin, std::size_t end, int) {
+      done.fetch_add(static_cast<int>(end - begin));
+    });
+    EXPECT_EQ(done.load(), 8);
+    pool.parallel_for_indices(
+        indices, [&](const std::uint32_t* first, const std::uint32_t* last,
+                     int) { done.fetch_add(static_cast<int>(last - first)); });
+    EXPECT_EQ(done.load(), 108);
+  }
+}
+
 TEST(WorkerPool, ClampThreads) {
   EXPECT_EQ(WorkerPool::clamp_threads(0), 1);
   EXPECT_EQ(WorkerPool::clamp_threads(-3), 1);
@@ -97,7 +185,7 @@ TEST(WorkerPool, ClampThreads) {
   }
 }
 
-// --- Determinism: identical results and costs at 1 vs 4 threads. ---
+// --- Determinism: identical results and costs at any thread count. ---
 
 void expect_identical(const MisRun& a, const MisRun& b, const char* what) {
   EXPECT_EQ(a.in_mis, b.in_mis) << what;
@@ -108,56 +196,71 @@ void expect_identical(const MisRun& a, const MisRun& b, const char* what) {
   EXPECT_EQ(a.costs.beeps, b.costs.beeps) << what;
 }
 
-TEST(Determinism, BeepingIdenticalAcrossThreadCounts) {
+// Registry-driven: every algorithm that advertises deterministic_parallel is
+// held to the same contract by one loop — a new registration is covered the
+// day it sets the flag, with no per-algorithm test body to remember to add.
+class RegistryDeterminism
+    : public ::testing::TestWithParam<const AlgorithmDescriptor*> {};
+
+TEST_P(RegistryDeterminism, IdenticalAcrossThreadCounts) {
+  const AlgorithmDescriptor& algo = *GetParam();
+  ASSERT_TRUE(algo.caps.deterministic_parallel) << algo.name;
+  // Shattering-heavy instance: expected degree ~12 at n = 600 decides most
+  // nodes in the first few rounds and leaves a long sparse tail — the
+  // frontier's adversarial case, where a compaction or lane-merge ordering
+  // bug would show up as cross-thread divergence.
   const Graph g = gnp(600, 12.0 / 599, 31);
-  BeepingOptions base;
-  base.randomness = RandomSource(77);
-  const MisRun one = beeping_mis(g, base);
-  EXPECT_TRUE(is_maximal_independent_set(g, one.in_mis));
-  for (const int threads : {2, 4}) {
-    BeepingOptions opts = base;
-    opts.threads = threads;
-    expect_identical(one, beeping_mis(g, opts), "beeping");
+  const AlgoOptions options(algo);
+  AlgoRunRequest request;
+  request.seed = 77;
+  const AlgoResult one = run_registered_algorithm(algo, g, options, request);
+  EXPECT_TRUE(algo_output_valid(algo, g, one.run.in_mis)) << algo.name;
+  for (const int threads : {2, 4, 8}) {
+    AlgoRunRequest threaded = request;
+    threaded.threads = threads;
+    const AlgoResult t = run_registered_algorithm(algo, g, options, threaded);
+    expect_identical(one.run, t.run, algo.name);
+    EXPECT_EQ(one.retries, t.retries) << algo.name;
   }
 }
 
-TEST(Determinism, HalfDuplexIdenticalAcrossThreadCounts) {
-  const Graph g = gnp(500, 10.0 / 499, 32);
-  HalfDuplexBeepingOptions base;
-  base.randomness = RandomSource(78);
-  const MisRun one = halfduplex_beeping_mis(g, base);
-  HalfDuplexBeepingOptions four = base;
-  four.threads = 4;
-  expect_identical(one, halfduplex_beeping_mis(g, four), "halfduplex");
+std::vector<const AlgorithmDescriptor*> deterministic_parallel_algorithms() {
+  std::vector<const AlgorithmDescriptor*> out;
+  for (const AlgorithmDescriptor* algo : AlgorithmRegistry::instance().all()) {
+    if (algo->caps.deterministic_parallel) out.push_back(algo);
+  }
+  return out;
 }
 
-TEST(Determinism, SparsifiedRunnerIdenticalAcrossThreadCounts) {
-  const Graph g = gnp(500, 16.0 / 499, 33);
-  SparsifiedOptions base;
-  base.params = SparsifiedParams::from_n(500);
-  base.randomness = RandomSource(79);
-  const MisRun one = sparsified_mis(g, base);
-  SparsifiedOptions four = base;
-  four.threads = 4;
-  expect_identical(one, sparsified_mis(g, four), "sparsified");
-}
+struct DescriptorPrinter {
+  std::string operator()(
+      const ::testing::TestParamInfo<const AlgorithmDescriptor*>& info) const {
+    return info.param->name;
+  }
+};
 
-TEST(Determinism, CongestEngineIdenticalAcrossThreadCounts) {
-  const Graph g = gnp(400, 14.0 / 399, 34);
-  SparsifiedOptions base;
-  base.params = SparsifiedParams::from_n(400);
-  base.randomness = RandomSource(80);
-  const MisRun one = sparsified_congest_mis(g, base);
-  SparsifiedOptions four = base;
-  four.threads = 4;
-  expect_identical(one, sparsified_congest_mis(g, four),
-                   "sparsified_congest");
-  // Luby exercises targeted (non-broadcast) CONGEST traffic.
-  LubyOptions lb;
-  lb.randomness = RandomSource(81);
-  const MisRun luby_one = luby_mis(g, lb);
-  lb.threads = 4;
-  expect_identical(luby_one, luby_mis(g, lb), "luby");
+INSTANTIATE_TEST_SUITE_P(Registry, RegistryDeterminism,
+                         ::testing::ValuesIn(
+                             deterministic_parallel_algorithms()),
+                         DescriptorPrinter{});
+
+TEST(RegistryDeterminism, FlagAuditCoversTheEngines) {
+  // The flag audit: the loop above is only as good as the flags. Every
+  // engine-backed MIS algorithm is expected to advertise the capability;
+  // only the clique driver (sequential by design) and the centralized
+  // baselines may opt out.
+  const auto flagged = deterministic_parallel_algorithms();
+  EXPECT_GE(flagged.size(), 6u);
+  for (const char* name : {"beeping", "halfduplex", "luby", "ghaffari",
+                           "sparsified", "congest"}) {
+    const AlgorithmDescriptor* algo = AlgorithmRegistry::instance().find(name);
+    ASSERT_NE(algo, nullptr) << name;
+    EXPECT_TRUE(algo->caps.deterministic_parallel) << name;
+  }
+  const AlgorithmDescriptor* clique =
+      AlgorithmRegistry::instance().find("clique");
+  ASSERT_NE(clique, nullptr);
+  EXPECT_FALSE(clique->caps.deterministic_parallel);
 }
 
 TEST(Determinism, ThreadedCongestMatchesLockStepRunner) {

@@ -22,13 +22,14 @@ class FloodProgram final : public CongestProgram {
     }
   }
 
-  void receive(std::uint64_t round,
+  bool receive(std::uint64_t round,
                std::span<const CongestMessage> inbox) override {
     for (const auto& m : inbox) {
       heard_.push_back(m.src);
       EXPECT_EQ(m.payload, m.src);
     }
     if (round + 1 >= static_cast<std::uint64_t>(ttl_)) halted_ = true;
+    return halted_;
   }
 
   bool halted() const override { return halted_; }
@@ -81,7 +82,9 @@ class OversizedSender final : public CongestProgram {
   void send(std::uint64_t, CongestOutbox& out) override {
     out.push_raw(kAllNeighbors, 0, 500);
   }
-  void receive(std::uint64_t, std::span<const CongestMessage>) override {}
+  bool receive(std::uint64_t, std::span<const CongestMessage>) override {
+    return false;
+  }
   bool halted() const override { return false; }
 };
 
@@ -99,7 +102,9 @@ class NonNeighborSender final : public CongestProgram {
   void send(std::uint64_t, CongestOutbox& out) override {
     out.push_raw(3, 1, 8);  // node 3 is not adjacent in a path 0-1-2-3
   }
-  void receive(std::uint64_t, std::span<const CongestMessage>) override {}
+  bool receive(std::uint64_t, std::span<const CongestMessage>) override {
+    return false;
+  }
   bool halted() const override { return false; }
 };
 
@@ -131,9 +136,10 @@ class ScheduledBeeper final : public BeepProgram {
   BeepAction act(std::uint64_t round) override {
     return (round == self_) ? BeepAction::kBeep : BeepAction::kListen;
   }
-  void feedback(std::uint64_t round, bool heard) override {
+  bool feedback(std::uint64_t round, bool heard) override {
     heard_.push_back(heard);
     if (round + 1 >= rounds_) halted_ = true;
+    return halted_;
   }
   bool halted() const override { return halted_; }
   const std::vector<bool>& heard() const { return heard_; }
@@ -177,7 +183,10 @@ TEST(BeepEngine, HaltedNodesAreSilentAndDeaf) {
   class OneShot final : public BeepProgram {
    public:
     BeepAction act(std::uint64_t) override { return BeepAction::kBeep; }
-    void feedback(std::uint64_t, bool) override { halted_ = true; }
+    bool feedback(std::uint64_t, bool) override {
+      halted_ = true;
+      return true;
+    }
     bool halted() const override { return halted_; }
 
    private:

@@ -79,10 +79,11 @@ class ChatterProgram final : public CongestProgram {
     out.broadcast(msg);
   }
 
-  void receive(std::uint64_t, std::span<const CongestMessage> inbox) override {
+  bool receive(std::uint64_t, std::span<const CongestMessage> inbox) override {
     for (const CongestMessage& m : inbox) {
       checksum_ += m.payload + static_cast<std::uint64_t>(m.bits);
     }
+    return false;
   }
 
   bool halted() const override { return false; }
