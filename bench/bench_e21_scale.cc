@@ -1,0 +1,136 @@
+// E21 — scaling ladder of the storage-backend graph substrate.
+//
+// The tentpole claim of the storage refactor (DESIGN.md §14): sparse
+// instances up to n = 10^7 build through the streaming two-pass
+// GraphBuilder, run under the registry engines, and stay within a small
+// multiple of the final CSR footprint. The ladder sweeps
+// n = 2^16, 2^18, 2^20, 2^22, 10^7 G(n,p) graphs at average degree 8 and
+// reports, per rung: build wall-clock, process peak RSS after the build
+// and after the solve (bench_common.h, getrusage ru_maxrss — monotone, so
+// ascending rungs attribute their own high-water mark), rounds, solve
+// wall-clock, communication bits, and MIS size. `norm_rounds` divides
+// rounds by log2(Delta) * sqrt(log2 n) — the Ghaffari'17 round-complexity
+// shape — so a flat column is the paper's scaling story in one number.
+//
+// Flags: --algo=NAME (any `dmis list` name, default sparsified),
+// --n-log2=K (single rung of size 2^K — the CI smoke mode),
+// --seed=S (default 21), --threads=T (bench_common.h).
+//
+// The default engine is the paper's sparsified variant because it scales:
+// id-carrying codecs (congest, luby, ghaffari, ruling2) are specified
+// against kMaxIdBits = 21 (wire/types.h) and reject n > 2^21, while the
+// sparsified phase messages are id-free. Pick those engines with --algo
+// only for rungs at or below 2^21.
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "graph/generators.h"
+#include "mis/registry.h"
+#include "util/table.h"
+
+namespace dmis {
+namespace {
+
+constexpr double kAvgDegree = 8.0;
+
+int run(const std::string& algorithm, const std::vector<std::uint64_t>& sizes,
+        std::uint64_t seed, int threads) {
+  bench::print_banner(
+      "E21 / storage scaling ladder",
+      "Streaming builds + CSR storage backends at the 10^7-node scale:\n"
+      "build wall and peak RSS per rung, rounds against the\n"
+      "log(Delta)*sqrt(log n) shape of the paper, solve wall and bits.");
+
+  const AlgorithmDescriptor& descriptor =
+      AlgorithmRegistry::instance().require(algorithm);
+  const AlgoOptions options(descriptor);
+
+  TextTable table({"n", "m", "Delta", "build_wall_s", "build_rss_mb",
+                   "rounds", "norm_rounds", "wall_s", "bits", "mis_size",
+                   "peak_rss_mb"});
+  bench::BenchMeta meta{{"algorithm", algorithm},
+                        {"avg_degree", "8"},
+                        {"seed", std::to_string(seed)}};
+
+  for (const std::uint64_t n64 : sizes) {
+    // The table renders only at the end; rung-by-rung progress goes to
+    // stderr so long ladders are observable (and a crash names its rung).
+    std::cerr << "[e21] rung n=" << n64 << "...\n";
+    const auto n = static_cast<NodeId>(n64);
+    const double p = kAvgDegree / static_cast<double>(n64 - 1);
+    bench::WallTimer build_timer;
+    const Graph g = gnp(n, p, seed);
+    const double build_wall = build_timer.seconds();
+    const double build_rss_mb =
+        static_cast<double>(bench::peak_rss_bytes()) / (1024.0 * 1024.0);
+
+    AlgoRunRequest request;
+    request.seed = seed;
+    request.threads = threads;
+    bench::WallTimer solve_timer;
+    const MisRun run =
+        run_registered_algorithm(descriptor, g, options, request).run;
+    const double solve_wall = solve_timer.seconds();
+    const double peak_rss_mb =
+        static_cast<double>(bench::peak_rss_bytes()) / (1024.0 * 1024.0);
+
+    const double log_delta =
+        std::log2(std::max<double>(2.0, g.max_degree()));
+    const double sqrt_log_n =
+        std::sqrt(std::log2(std::max<double>(2.0, static_cast<double>(n64))));
+    const double norm_rounds =
+        static_cast<double>(run.costs.rounds) / (log_delta * sqrt_log_n);
+
+    table.row()
+        .cell(n64)
+        .cell(g.edge_count())
+        .cell(static_cast<std::uint64_t>(g.max_degree()))
+        .cell(build_wall, 3)
+        .cell(build_rss_mb, 1)
+        .cell(run.costs.rounds)
+        .cell(norm_rounds, 2)
+        .cell(solve_wall, 3)
+        .cell(run.costs.bits)
+        .cell(run.mis_size())
+        .cell(peak_rss_mb, 1);
+  }
+  table.print(std::cout);
+  bench::write_table_json("e21", table, meta);
+  std::cout << "\nExpected: norm_rounds roughly flat up the ladder (the\n"
+               "O(log Delta * sqrt(log n)) shape); build_rss within a small\n"
+               "multiple of the 12-bytes-per-half-edge CSR footprint;\n"
+               "build_wall growing linearly in m.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace dmis
+
+int main(int argc, char** argv) {
+  const int threads = dmis::bench::threads_from_args(argc, argv);
+  std::string algorithm = "sparsified";
+  std::uint64_t seed = 21;
+  int n_log2 = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--algo=", 0) == 0) {
+      algorithm = arg.substr(7);
+    } else if (arg.rfind("--n-log2=", 0) == 0) {
+      n_log2 = std::max(4, std::atoi(arg.c_str() + 9));
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    }
+  }
+  std::vector<std::uint64_t> sizes;
+  if (n_log2 != 0) {
+    sizes.push_back(std::uint64_t{1} << n_log2);
+  } else {
+    sizes = {std::uint64_t{1} << 16, std::uint64_t{1} << 18,
+             std::uint64_t{1} << 20, std::uint64_t{1} << 22, 10'000'000};
+  }
+  return dmis::run(algorithm, sizes, seed, threads);
+}

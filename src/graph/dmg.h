@@ -1,0 +1,58 @@
+// The .dmg on-disk CSR container and its O(1) mmap loader (DESIGN.md §14).
+//
+// Layout (fixed-width little-endian fields; the endianness tag makes a
+// cross-endian load fail loudly instead of silently misreading):
+//
+//   offset  size  field
+//   ------  ----  -----------------------------------------------------
+//        0     8  magic: the bytes "DMISGRPH"
+//        8     4  version (kDmgVersion)
+//       12     4  endianness tag (kDmgEndianTag, written native)
+//       16     8  node_count n
+//       24     8  edge_count m (undirected; the adjacency holds 2m entries)
+//       32     8  max_degree
+//       40     8  content_digest under kGraphContentDigestSeed
+//       48  8(n+1)  offsets[n+1]  (uint64, CSR row starts, offsets[n]=2m)
+//        +  4(2m)   adjacency     (uint32, sorted within each node range)
+//
+// Both array sections are naturally aligned (the header is 48 bytes). The
+// loader maps the file read-only and wraps it as a Graph without touching
+// the arrays: header checks plus two O(1) offset probes are all that runs
+// before the first neighbors() call. The header digest becomes the graph's
+// cached content digest, so service job keys fold without a rehash;
+// `verify_digest` opts into the full recomputation scan.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace dmis {
+
+inline constexpr char kDmgMagic[8] = {'D', 'M', 'I', 'S', 'G', 'R', 'P', 'H'};
+inline constexpr std::uint32_t kDmgVersion = 1;
+inline constexpr std::uint32_t kDmgEndianTag = 0x01020304;
+inline constexpr std::size_t kDmgHeaderBytes = 48;
+
+/// Serializes the graph's CSR arrays to `path`, digest precomputed under
+/// kGraphContentDigestSeed.
+void write_dmg_file(const Graph& g, const std::string& path);
+
+/// Maps `path` read-only and adopts it as a Graph in O(1) — no array scan;
+/// pages fault in lazily as neighbors() walks them. Bad magic, version,
+/// endianness, or a size that disagrees with the header fail loudly with
+/// the path in the message. With `verify_digest`, the offsets and adjacency
+/// are additionally validated (monotone, in-range, sorted) and the content
+/// digest recomputed and compared against the header — a full scan.
+Graph load_dmg_file(const std::string& path, bool verify_digest = false);
+
+/// True iff `path` exists and starts with the .dmg magic.
+bool is_dmg_file(const std::string& path);
+
+/// Loads a graph from either container: a .dmg (sniffed by magic, mmap) or
+/// a plain-text edge list (graph/io.h). `verify_digest` applies to the .dmg
+/// path only.
+Graph load_graph_file(const std::string& path, bool verify_digest = false);
+
+}  // namespace dmis

@@ -2,10 +2,21 @@
 
 #include <algorithm>
 
+#include "graph/storage.h"
 #include "rng/mix.h"
 #include "util/check.h"
 
 namespace dmis {
+namespace {
+
+// Edge-log chunk sizing: start small so the thousands of tiny graphs the
+// test suite builds don't each commit megabytes, grow geometrically so huge
+// builds stay at O(log m) chunks, cap so freed-chunk granularity during the
+// scatter pass stays fine-grained (16 MiB a chunk).
+constexpr std::size_t kMinChunkEdges = std::size_t{1} << 12;
+constexpr std::size_t kMaxChunkEdges = std::size_t{1} << 21;
+
+}  // namespace
 
 NodeId Graph::degree(NodeId v) const {
   DMIS_CHECK(v < node_count_, "node out of range: " << v);
@@ -30,28 +41,24 @@ bool Graph::has_edge(NodeId u, NodeId v) const {
 std::vector<Edge> Graph::edges() const {
   std::vector<Edge> out;
   out.reserve(edge_count());
-  for (NodeId u = 0; u < node_count_; ++u) {
-    for (const NodeId v : neighbors(u)) {
-      if (u < v) out.emplace_back(u, v);
-    }
-  }
+  for_each_edge([&out](NodeId u, NodeId v) { out.emplace_back(u, v); });
   return out;
 }
 
 std::uint64_t Graph::content_digest(std::uint64_t seed) const {
+  if (cached_digest_.has_value() && cached_digest_->seed == seed) {
+    return cached_digest_->value;
+  }
   // Commutative combine (sum and xor of strong per-edge hashes) makes the
   // digest independent of enumeration order by construction; folding both
   // aggregates through mix64 restores avalanche over the combined word.
   std::uint64_t sum = 0;
   std::uint64_t xr = 0;
-  for (NodeId u = 0; u < node_count_; ++u) {
-    for (const NodeId v : neighbors(u)) {
-      if (u >= v) continue;
-      const std::uint64_t h = mix64(seed, u, v);
-      sum += h;
-      xr ^= h;
-    }
-  }
+  for_each_edge([&](NodeId u, NodeId v) {
+    const std::uint64_t h = mix64(seed, u, v);
+    sum += h;
+    xr ^= h;
+  });
   return mix64(seed, node_count_, sum, xr);
 }
 
@@ -61,61 +68,103 @@ double Graph::average_degree() const {
          static_cast<double>(node_count_);
 }
 
-GraphBuilder::GraphBuilder(NodeId node_count) : node_count_(node_count) {}
+Graph Graph::adopt_storage(std::shared_ptr<const GraphStorage> storage,
+                           NodeId node_count, NodeId max_degree,
+                           std::span<const std::uint64_t> offsets,
+                           std::span<const NodeId> adj,
+                           std::optional<CachedDigest> digest) {
+  Graph g;
+  g.node_count_ = node_count;
+  g.max_degree_ = max_degree;
+  g.offsets_ = offsets;
+  g.adj_ = adj;
+  g.storage_ = std::move(storage);
+  g.cached_digest_ = digest;
+  return g;
+}
+
+GraphBuilder::GraphBuilder(NodeId node_count)
+    : node_count_(node_count),
+      degree_(new std::uint64_t[static_cast<std::size_t>(node_count) + 1]()) {
+}
 
 void GraphBuilder::add_edge(NodeId u, NodeId v) {
   DMIS_CHECK(u < node_count_ && v < node_count_,
              "edge endpoint out of range: {" << u << "," << v << "} with n="
                                              << node_count_);
   DMIS_CHECK(u != v, "self-loop at node " << u);
-  half_edges_.emplace_back(u, v);
-  half_edges_.emplace_back(v, u);
+  if (chunks_.empty() || chunks_.back().size == chunks_.back().capacity) {
+    const std::size_t capacity =
+        std::clamp(static_cast<std::size_t>(edge_count_), kMinChunkEdges,
+                   kMaxChunkEdges);
+    chunks_.push_back(
+        {std::unique_ptr<Edge[]>(new Edge[capacity]), 0, capacity});
+  }
+  Chunk& chunk = chunks_.back();
+  chunk.edges[chunk.size++] = {u, v};
+  ++degree_[u];
+  ++degree_[v];
+  ++edge_count_;
 }
 
 Graph GraphBuilder::build() && {
-  // Counting sort by source, then sort+dedup each adjacency range.
-  Graph g;
-  g.node_count_ = node_count_;
-  g.offsets_.assign(static_cast<std::size_t>(node_count_) + 1, 0);
-  for (const auto& [src, dst] : half_edges_) {
-    (void)dst;
-    ++g.offsets_[src + 1];
-  }
-  for (NodeId v = 0; v < node_count_; ++v) {
-    g.offsets_[v + 1] += g.offsets_[v];
-  }
-  g.adj_.resize(half_edges_.size());
-  {
-    std::vector<std::uint64_t> cursor(g.offsets_.begin(),
-                                      g.offsets_.end() - 1);
-    for (const auto& [src, dst] : half_edges_) {
-      g.adj_[cursor[src]++] = dst;
-    }
-  }
-  half_edges_.clear();
+  const std::size_t n = node_count_;
+  auto storage = std::make_shared<OwnedGraphStorage>();
+  storage->offsets = std::move(degree_);
+  std::uint64_t* const offsets = storage->offsets.get();
 
-  // Sort and deduplicate each range in place, compacting the arrays.
+  // Pass 1 happened in add_edge: offsets[v] holds deg(v). Exclusive prefix
+  // sum turns it into scatter cursors.
+  std::uint64_t run = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    const std::uint64_t d = offsets[v];
+    offsets[v] = run;
+    run += d;
+  }
+  offsets[n] = run;  // == 2 * edge_count_
+
+  // Pass 2: scatter both directions of each logged edge, radix by source.
+  // The adjacency array is deliberately uninitialized (its pages commit as
+  // they are written) and each log chunk is freed the moment it drains, so
+  // the half-edge log and the CSR never coexist in full.
+  storage->adj = std::unique_ptr<NodeId[]>(new NodeId[run]);
+  NodeId* const adj = storage->adj.get();
+  for (Chunk& chunk : chunks_) {
+    for (std::size_t i = 0; i < chunk.size; ++i) {
+      const auto [u, v] = chunk.edges[i];
+      adj[offsets[u]++] = v;
+      adj[offsets[v]++] = u;
+    }
+    chunk.edges.reset();
+  }
+  chunks_.clear();
+  chunks_.shrink_to_fit();
+
+  // After the scatter, offsets[v] is the *end* of v's range. Sort and
+  // deduplicate each range in place, compacting left and rewriting
+  // offsets[v] to the compacted start as we go.
+  NodeId max_degree = 0;
   std::uint64_t write = 0;
   std::uint64_t range_begin = 0;
-  for (NodeId v = 0; v < node_count_; ++v) {
-    const std::uint64_t range_end = g.offsets_[v + 1];
-    const auto first = g.adj_.begin() + static_cast<std::ptrdiff_t>(range_begin);
-    const auto last = g.adj_.begin() + static_cast<std::ptrdiff_t>(range_end);
-    std::sort(first, last);
-    const auto unique_end = std::unique(first, last);
+  for (std::size_t v = 0; v < n; ++v) {
+    const std::uint64_t range_end = offsets[v];
+    std::sort(adj + range_begin, adj + range_end);
+    NodeId* const unique_end =
+        std::unique(adj + range_begin, adj + range_end);
     const std::uint64_t deg =
-        static_cast<std::uint64_t>(unique_end - first);
-    std::move(first, unique_end,
-              g.adj_.begin() + static_cast<std::ptrdiff_t>(write));
-    g.offsets_[v] = write;
+        static_cast<std::uint64_t>(unique_end - (adj + range_begin));
+    std::move(adj + range_begin, unique_end, adj + write);
+    offsets[v] = write;
     write += deg;
     range_begin = range_end;
-    g.max_degree_ = std::max<NodeId>(g.max_degree_, static_cast<NodeId>(deg));
+    max_degree = std::max<NodeId>(max_degree, static_cast<NodeId>(deg));
   }
-  g.offsets_[node_count_] = write;
-  g.adj_.resize(write);
-  g.adj_.shrink_to_fit();
-  return g;
+  offsets[n] = write;
+
+  const std::span<const std::uint64_t> offsets_view{offsets, n + 1};
+  const std::span<const NodeId> adj_view{adj, write};
+  return Graph::adopt_storage(std::move(storage), node_count_, max_degree,
+                              offsets_view, adj_view);
 }
 
 Graph graph_from_edges(NodeId node_count, std::span<const Edge> edges) {

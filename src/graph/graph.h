@@ -5,9 +5,16 @@
 // node removal during an execution is handled by per-algorithm alive masks,
 // or by materializing induced subgraphs (ops.h) when a residual graph is
 // handed off (e.g. the leader cleanup of paper §2.4).
+//
+// The CSR arrays live behind a storage backend (graph/storage.h): either
+// heap arrays owned by the graph (GraphBuilder and every in-process
+// construction path) or a read-only mmap of an on-disk .dmg container
+// (graph/dmg.h) that loads in O(1). Copies of a Graph share the backing.
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <optional>
 #include <span>
 #include <utility>
 #include <vector>
@@ -19,6 +26,15 @@ inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
 
 /// An undirected edge as an (u, v) pair; orientation is not meaningful.
 using Edge = std::pair<NodeId, NodeId>;
+
+/// Digest seed shared by the service job keys (svc/job.cc) and the .dmg
+/// container header (graph/dmg.h). A .dmg file precomputes the digest under
+/// exactly this seed, so file-backed job specs fold their cache key without
+/// rehashing the arrays.
+inline constexpr std::uint64_t kGraphContentDigestSeed =
+    0x6772646967657374ULL;  // "grdigest"
+
+class GraphStorage;
 
 class Graph {
  public:
@@ -38,7 +54,21 @@ class Graph {
   /// O(log deg) adjacency test.
   bool has_edge(NodeId u, NodeId v) const;
 
-  /// All undirected edges with u < v, in lexicographic order.
+  /// Visits every undirected edge as visit(u, v) with u < v, in
+  /// lexicographic order, without materializing a list. Prefer this over
+  /// edges() wherever the caller only scans.
+  template <typename Visitor>
+  void for_each_edge(Visitor&& visit) const {
+    for (NodeId u = 0; u < node_count_; ++u) {
+      for (const NodeId v : neighbors(u)) {
+        if (u < v) visit(u, v);
+      }
+    }
+  }
+
+  /// All undirected edges with u < v, in lexicographic order. Materializes
+  /// a full vector — reach for for_each_edge() unless a random-access edge
+  /// list is semantically required (e.g. line-graph vertex numbering).
   std::vector<Edge> edges() const;
 
   /// Average degree (0 for the empty graph).
@@ -51,20 +81,57 @@ class Graph {
   /// edge set — a node relabeling changes the digest, which is what a cache
   /// key wants (the algorithms are label-sensitive). Collisions are 2^-64
   /// territory; callers needing wider keys can combine digests under
-  /// different seeds.
+  /// different seeds. A .dmg-backed graph answers its header's precomputed
+  /// seed from cache (O(1)); any other seed is a full scan.
   std::uint64_t content_digest(std::uint64_t seed = 0) const;
 
- private:
-  friend class GraphBuilder;
+  /// Raw CSR views in storage layout (DESIGN.md §14): csr_offsets() has
+  /// node_count()+1 entries, csr_adjacency() is sorted within each node's
+  /// range. This is what the .dmg writer serializes.
+  std::span<const std::uint64_t> csr_offsets() const { return offsets_; }
+  std::span<const NodeId> csr_adjacency() const { return adj_; }
 
+  /// A digest value pinned for one seed (the .dmg header's precomputed
+  /// digest); content_digest(seed) returns it without scanning.
+  struct CachedDigest {
+    std::uint64_t seed = 0;
+    std::uint64_t value = 0;
+  };
+
+  /// The pinned digest, if this graph carries one (.dmg-backed graphs do).
+  const std::optional<CachedDigest>& cached_digest() const {
+    return cached_digest_;
+  }
+
+  /// Internal (GraphBuilder, graph/dmg.cc): adopts a prebuilt CSR backing.
+  /// `offsets` and `adj` must point into memory kept alive by `storage`,
+  /// already sorted per node range with `max_degree` consistent; no
+  /// validation happens here (the O(1)-load contract of the mmap path).
+  static Graph adopt_storage(std::shared_ptr<const GraphStorage> storage,
+                             NodeId node_count, NodeId max_degree,
+                             std::span<const std::uint64_t> offsets,
+                             std::span<const NodeId> adj,
+                             std::optional<CachedDigest> digest = {});
+
+ private:
   NodeId node_count_ = 0;
   NodeId max_degree_ = 0;
-  std::vector<std::uint64_t> offsets_;  // size node_count_ + 1
-  std::vector<NodeId> adj_;             // sorted within each node's range
+  std::span<const std::uint64_t> offsets_;  // size node_count_ + 1
+  std::span<const NodeId> adj_;             // sorted within each node's range
+  std::shared_ptr<const GraphStorage> storage_;
+  std::optional<CachedDigest> cached_digest_;
 };
 
 /// Accumulates edges, then builds a Graph. Self-loops are rejected; parallel
 /// edges are deduplicated (generators may propose duplicates).
+///
+/// Construction is streaming and two-pass (DESIGN.md §14): add_edge counts
+/// both endpoint degrees and appends the edge once to a chunked log; build()
+/// turns the counts into CSR offsets, scatters the log into an
+/// *uninitialized* adjacency array (radix by source), freeing each log chunk
+/// as it drains, then sorts and dedups each range in place. The edge log and
+/// the CSR are never resident in full at the same time, which is what keeps
+/// peak build memory near the final CSR size.
 class GraphBuilder {
  public:
   explicit GraphBuilder(NodeId node_count);
@@ -72,15 +139,25 @@ class GraphBuilder {
   /// Adds the undirected edge {u, v}. u != v; both < node_count.
   void add_edge(NodeId u, NodeId v);
 
-  std::uint64_t pending_edge_count() const { return half_edges_.size() / 2; }
+  std::uint64_t pending_edge_count() const { return edge_count_; }
 
-  /// Builds and resets the builder. Duplicate edges are merged.
+  /// Builds the graph. The builder is spent afterwards (&&-qualified: the
+  /// degree table moves into the graph's offsets array).
   Graph build() &&;
 
  private:
+  struct Chunk {
+    std::unique_ptr<Edge[]> edges;
+    std::size_t size = 0;
+    std::size_t capacity = 0;
+  };
+
   NodeId node_count_;
-  // Flat list of (src, dst) half-edges; both directions are stored.
-  std::vector<std::pair<NodeId, NodeId>> half_edges_;
+  std::uint64_t edge_count_ = 0;
+  // Degree counts during accumulation (size node_count_+1); build() prefix-
+  // sums it in place and moves it into the graph as the offsets array.
+  std::unique_ptr<std::uint64_t[]> degree_;
+  std::vector<Chunk> chunks_;  // the edge log, each edge stored once
 };
 
 /// Convenience: build from an explicit edge list.

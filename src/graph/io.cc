@@ -1,20 +1,81 @@
 #include "graph/io.h"
 
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
 #include <fstream>
 #include <istream>
+#include <optional>
 #include <ostream>
+#include <vector>
 
 #include "util/check.h"
 
 namespace dmis {
+namespace {
+
+bool is_space(char c) {
+  return std::isspace(static_cast<unsigned char>(c)) != 0;
+}
+
+/// One parsed "u v" line, or nothing for blank/comment lines. Errors carry
+/// the source name and 1-based line number.
+struct SnapLine {
+  bool has_edge = false;
+  std::uint64_t u = 0;
+  std::uint64_t v = 0;
+};
+
+SnapLine parse_snap_line(const std::string& line, const std::string& source,
+                         std::uint64_t line_no) {
+  const char* p = line.c_str();
+  while (is_space(*p)) ++p;
+  if (*p == '\0' || *p == '#' || *p == '%') return {};  // blank or comment
+  SnapLine out;
+  std::uint64_t* const fields[2] = {&out.u, &out.v};
+  for (int i = 0; i < 2; ++i) {
+    while (is_space(*p)) ++p;
+    DMIS_CHECK(*p != '-', source << " line " << line_no
+                                 << ": negative node id in '" << line << "'");
+    DMIS_CHECK(std::isdigit(static_cast<unsigned char>(*p)) != 0,
+               source << " line " << line_no << ": expected two node ids, got '"
+                      << line << "'");
+    char* end = nullptr;
+    errno = 0;
+    *fields[i] = std::strtoull(p, &end, 10);
+    DMIS_CHECK(errno != ERANGE, source << " line " << line_no
+                                       << ": node id overflows in '" << line
+                                       << "'");
+    p = end;
+  }
+  while (is_space(*p)) ++p;
+  DMIS_CHECK(*p == '\0', source << " line " << line_no
+                                << ": trailing tokens after the edge in '"
+                                << line << "'");
+  out.has_edge = true;
+  return out;
+}
+
+void check_snap_id(std::uint64_t id, std::uint64_t node_count,
+                   const std::string& source, std::uint64_t line_no) {
+  if (node_count != 0) {
+    DMIS_CHECK(id < node_count, source << " line " << line_no << ": node id "
+                                       << id << " out of range (node count "
+                                       << node_count << ")");
+  } else {
+    DMIS_CHECK(id < kInvalidNode, source << " line " << line_no << ": node id "
+                                         << id << " exceeds the 32-bit node "
+                                         << "id space");
+  }
+}
+
+}  // namespace
 
 void write_edge_list(const Graph& g, std::ostream& os) {
   os << g.node_count() << ' ' << g.edge_count() << '\n';
-  for (NodeId u = 0; u < g.node_count(); ++u) {
-    for (const NodeId v : g.neighbors(u)) {
-      if (u < v) os << u << ' ' << v << '\n';
-    }
-  }
+  g.for_each_edge(
+      [&os](NodeId u, NodeId v) { os << u << ' ' << v << '\n'; });
   DMIS_CHECK(os.good(), "write failed");
 }
 
@@ -44,6 +105,57 @@ Graph read_edge_list_file(const std::string& path) {
   std::ifstream is(path);
   DMIS_CHECK(is.is_open(), "cannot open for reading: " << path);
   return read_edge_list(is);
+}
+
+Graph read_snap_edge_list(std::istream& is, std::uint64_t node_count,
+                          const std::string& source) {
+  // With a pinned node count the edges stream straight into the builder;
+  // with an inferred one they are staged once (max id is unknown until EOF).
+  std::optional<GraphBuilder> builder;
+  if (node_count != 0) {
+    DMIS_CHECK(node_count <= kInvalidNode,
+               source << ": node count too large: " << node_count);
+    builder.emplace(static_cast<NodeId>(node_count));
+  }
+  std::vector<Edge> staged;
+  std::uint64_t max_id = 0;
+  bool any_edge = false;
+
+  std::string line;
+  std::uint64_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();  // CRLF input
+    const SnapLine parsed = parse_snap_line(line, source, line_no);
+    if (!parsed.has_edge) continue;
+    DMIS_CHECK(parsed.u != parsed.v, source << " line " << line_no
+                                            << ": self-loop at node "
+                                            << parsed.u);
+    check_snap_id(parsed.u, node_count, source, line_no);
+    check_snap_id(parsed.v, node_count, source, line_no);
+    if (builder.has_value()) {
+      builder->add_edge(static_cast<NodeId>(parsed.u),
+                        static_cast<NodeId>(parsed.v));
+    } else {
+      staged.emplace_back(static_cast<NodeId>(parsed.u),
+                          static_cast<NodeId>(parsed.v));
+      max_id = std::max({max_id, parsed.u, parsed.v});
+      any_edge = true;
+    }
+  }
+  DMIS_CHECK(is.eof(), source << ": read failed at line " << line_no);
+  if (!builder.has_value()) {
+    builder.emplace(static_cast<NodeId>(any_edge ? max_id + 1 : 0));
+    for (const auto& [u, v] : staged) builder->add_edge(u, v);
+  }
+  return std::move(*builder).build();
+}
+
+Graph read_snap_edge_list_file(const std::string& path,
+                               std::uint64_t node_count) {
+  std::ifstream is(path);
+  DMIS_CHECK(is.is_open(), "cannot open for reading: " << path);
+  return read_snap_edge_list(is, node_count, path);
 }
 
 }  // namespace dmis

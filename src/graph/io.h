@@ -1,8 +1,17 @@
-// Plain-text edge-list serialization:
-//   line 1: "<node_count> <edge_count>"
-//   then one "u v" pair per line (u < v).
+// Plain-text graph serialization.
+//
+// Two text formats are read:
+//   * the repo's own edge list — line 1 "<node_count> <edge_count>", then
+//     one "u v" pair per line (u < v);
+//   * SNAP-style edge lists (real-world datasets) — no header, one
+//     whitespace-separated "u v" pair per line, '#'/'%' comment lines and
+//     blank lines ignored; node count is inferred as max id + 1 unless
+//     given. Self-loops, negative/overflowing ids, and malformed lines are
+//     rejected with line-numbered errors.
+// The binary mmap-able container lives in graph/dmg.h.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 
@@ -15,5 +24,13 @@ Graph read_edge_list(std::istream& is);
 
 void write_edge_list_file(const Graph& g, const std::string& path);
 Graph read_edge_list_file(const std::string& path);
+
+/// Parses a SNAP-style edge list (see file comment). `node_count` == 0
+/// infers max id + 1; a nonzero value pins it and makes ids >= node_count
+/// line-numbered errors. `source` names the stream in error messages.
+Graph read_snap_edge_list(std::istream& is, std::uint64_t node_count = 0,
+                          const std::string& source = "<stream>");
+Graph read_snap_edge_list_file(const std::string& path,
+                               std::uint64_t node_count = 0);
 
 }  // namespace dmis

@@ -24,9 +24,9 @@ MstResult kruskal_msf(const Graph& g, const WeightFn& weight) {
   };
   std::vector<Entry> entries;
   entries.reserve(g.edge_count());
-  for (const auto& [u, v] : g.edges()) {
+  g.for_each_edge([&](NodeId u, NodeId v) {
     entries.push_back({weight(u, v), u, v});
-  }
+  });
   std::sort(entries.begin(), entries.end(), [](const Entry& a,
                                                const Entry& b) {
     if (a.w != b.w) return a.w < b.w;

@@ -1,0 +1,43 @@
+// Backing stores for Graph's CSR arrays (DESIGN.md §14).
+//
+// A Graph is a pair of read-only views (offsets, adjacency) plus a shared
+// handle to whatever owns the bytes behind them. Two backends exist:
+//   * OwnedGraphStorage  — heap arrays, produced by GraphBuilder (and by
+//     every in-process construction path: generators, ops, transforms);
+//   * MappedGraphStorage — a read-only mmap of a .dmg container
+//     (graph/dmg.h), private to dmg.cc so <sys/mman.h> stays out of
+//     headers.
+// Copies of a Graph share the backing; the last copy standing unmaps or
+// frees it. All algorithm-facing code sees only the read-only Graph API and
+// cannot tell the backends apart.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "graph/graph.h"
+
+namespace dmis {
+
+/// Owner of one immutable CSR topology's bytes. The base class carries no
+/// accessors on purpose: Graph holds spans resolved once at adoption time,
+/// so the per-call read path has no virtual dispatch.
+class GraphStorage {
+ public:
+  GraphStorage() = default;
+  GraphStorage(const GraphStorage&) = delete;
+  GraphStorage& operator=(const GraphStorage&) = delete;
+  virtual ~GraphStorage() = default;
+};
+
+/// Heap-owned arrays (the GraphBuilder path). Raw arrays rather than
+/// vectors: the builder allocates `adj` uninitialized so pages are only
+/// committed as the scatter pass writes them, and dedup slack at the tail
+/// is kept rather than paying a reallocation copy spike at peak memory.
+class OwnedGraphStorage final : public GraphStorage {
+ public:
+  std::unique_ptr<std::uint64_t[]> offsets;
+  std::unique_ptr<NodeId[]> adj;
+};
+
+}  // namespace dmis

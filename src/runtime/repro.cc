@@ -131,9 +131,8 @@ void write_repro_bundle(std::ostream& os, const ReproBundle& bundle) {
   put(os, "failure_detail", sanitize(bundle.failure.detail));
   os << "graph: " << bundle.graph.node_count() << " "
      << bundle.graph.edge_count() << "\n";
-  for (const Edge& e : bundle.graph.edges()) {
-    os << e.first << " " << e.second << "\n";
-  }
+  bundle.graph.for_each_edge(
+      [&os](NodeId u, NodeId v) { os << u << " " << v << "\n"; });
 }
 
 ReproBundle read_repro_bundle(std::istream& is) {

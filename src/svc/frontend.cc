@@ -13,7 +13,7 @@
 #include <utility>
 #include <vector>
 
-#include "graph/io.h"
+#include "graph/dmg.h"
 #include "util/check.h"
 #include "util/json.h"
 
@@ -62,14 +62,20 @@ void parse_node_faults(const json::Value& arr, bool is_stall,
   }
 }
 
-Graph graph_from_request(const json::Value& req) {
+/// Resolves the request's graph source. "graph_file" accepts either text
+/// edge lists or .dmg containers (sniffed by magic): a .dmg maps in O(1)
+/// and its header digest rides into the spec as the cached content digest.
+/// When set, `source` receives the file path (JobSpec provenance).
+Graph graph_from_request(const json::Value& req, bool verify_digest,
+                         std::string* source) {
   const json::Value* file = req.find("graph_file");
   const json::Value* edges = req.find("edges");
   DMIS_CHECK((file != nullptr) != (edges != nullptr),
              "request needs exactly one graph source: "
              "\"graph_file\" or \"n\"+\"edges\"");
   if (file != nullptr) {
-    return read_edge_list_file(file->as_string());
+    if (source != nullptr) *source = file->as_string();
+    return load_graph_file(file->as_string(), verify_digest);
   }
   const json::Value* n = req.find("n");
   DMIS_CHECK(n != nullptr, "inline \"edges\" need a node count \"n\"");
@@ -148,7 +154,8 @@ std::string maybe_write_bundle(const FrontEndOptions& options,
 
 }  // namespace
 
-Request parse_request(const std::string& line, std::uint64_t seq) {
+Request parse_request(const std::string& line, std::uint64_t seq,
+                      bool verify_graph_digest) {
   const json::Value req = json::parse(line);
   DMIS_CHECK(req.is_object(), "request must be a JSON object");
 
@@ -180,7 +187,8 @@ Request parse_request(const std::string& line, std::uint64_t seq) {
     // schema and the job key folds the canonical re-encoding.
     out.spec.options_json = opts->dump();
   }
-  out.spec.graph = graph_from_request(req);
+  out.spec.graph =
+      graph_from_request(req, verify_graph_digest, &out.spec.graph_source);
 
   if (const json::Value* faults = req.find("faults")) {
     DMIS_CHECK(faults->is_object(), "\"faults\" must be an object");
@@ -226,7 +234,7 @@ std::string handle_request_line(ExecutionService& service,
                                 const std::string& line, std::uint64_t seq) {
   Request request;
   try {
-    request = parse_request(line, seq);
+    request = parse_request(line, seq, options.verify_digest);
   } catch (const std::exception& e) {
     return format_error(anon_id(seq), e.what());
   }
@@ -279,7 +287,7 @@ std::uint64_t run_batch(std::istream& in, std::ostream& out,
     ++seq;
     Slot slot;
     try {
-      Request request = parse_request(line, seq);
+      Request request = parse_request(line, seq, batch_options.verify_digest);
       slot.id = request.id;
       if (request.stats) {
         slot.stats = true;

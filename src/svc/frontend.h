@@ -15,6 +15,11 @@
 //
 // Request object (all fields but "algorithm" + graph source optional):
 //   {"id":"r1","algorithm":"luby","seed":7,"graph_file":"g.el"}
+//   {"id":"r2","algorithm":"luby","seed":7,"graph_file":"g.dmg"}
+// "graph_file" accepts a text edge list or a .dmg container (graph/dmg.h,
+// sniffed by magic). A .dmg maps in O(1) and its precomputed header digest
+// feeds the job key directly, so digest-keyed requests dedup/cache without
+// the service ever rehashing — or even reading — the arrays.
 //   {"id":2,"algorithm":"congest","seed":1,"n":4,"edges":[[0,1],[2,3]],
 //    "priority":"interactive","deadline_ms":500,"max_rounds":0,
 //    "options":{"phase_length":6},
@@ -45,6 +50,10 @@ struct FrontEndOptions {
   /// When non-empty, failed jobs write their repro bundle to
   /// `<bundle_dir>/<jobkey>.bundle` and reference it in the response.
   std::string bundle_dir;
+  /// Recompute and check the stored content digest (plus offsets/adjacency
+  /// structure) of every .dmg referenced by a "graph_file" field — a full
+  /// scan, trading the O(1) load away for end-to-end integrity.
+  bool verify_digest = false;
 };
 
 /// One parsed request line.
@@ -57,8 +66,10 @@ struct Request {
 };
 
 /// Parses one request line; throws PreconditionError on malformed input.
-/// `seq` names anonymous requests ("#<seq>").
-Request parse_request(const std::string& line, std::uint64_t seq);
+/// `seq` names anonymous requests ("#<seq>"). `verify_graph_digest` applies
+/// to .dmg "graph_file" sources (FrontEndOptions::verify_digest).
+Request parse_request(const std::string& line, std::uint64_t seq,
+                      bool verify_graph_digest = false);
 
 /// Handles one request line end-to-end (parse, execute/lookup, format).
 /// Parse failures become {"error": ...} responses, never exceptions.

@@ -18,8 +18,11 @@ namespace {
 // Domain-separation tags for the two independent key folds.
 constexpr std::uint64_t kKeyTagHi = 0x6a6f626b65792d68ULL;  // "jobkey-h"
 constexpr std::uint64_t kKeyTagLo = 0x6a6f626b65792d6cULL;  // "jobkey-l"
-// Seed of the graph content digest folded into job keys.
-constexpr std::uint64_t kGraphDigestSeed = 0x6772646967657374ULL;
+// Seed of the graph content digest folded into job keys: the shared
+// graph-layer seed (graph/graph.h), which is also what a .dmg header
+// precomputes — file-backed specs fold their key from the cached header
+// digest without rehashing the arrays.
+constexpr std::uint64_t kGraphDigestSeed = kGraphContentDigestSeed;
 
 class KeyFolder {
  public:

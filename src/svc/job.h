@@ -40,6 +40,14 @@ struct JobSpec {
   std::string options_json;
   FaultSchedule faults;
   Graph graph;
+  /// Provenance of the graph content when it arrived by file reference
+  /// (the "graph_file" request field — an edge list or a mmap-backed .dmg,
+  /// graph/dmg.h). Deliberately excluded from the key and from the
+  /// canonical result bytes: the spec is content-addressed, and the same
+  /// content must produce the same bytes whether it arrived inline or by
+  /// file. A .dmg-sourced graph carries its header digest as a cached
+  /// content digest, so job_key() folds it without rehashing the arrays.
+  std::string graph_source;
 };
 
 /// 128-bit content hash of a JobSpec. Two independent 64-bit folds push the

@@ -1,0 +1,262 @@
+// The .dmg container: round-trip fidelity, O(1)-load digest caching, loud
+// failures on every corrupted-header axis, and mmap lifetime semantics.
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include "graph/dmg.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "graph/io.h"
+#include "graph/properties.h"
+#include "mis/registry.h"
+#include "util/check.h"
+
+namespace dmis {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+std::vector<char> read_bytes(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(is), std::istreambuf_iterator<char>()};
+}
+
+void write_bytes(const std::string& path, const std::vector<char>& bytes) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// A written-then-corrupted copy of a valid small .dmg, for the failure
+/// tests: `mutate` edits the raw bytes before they are rewritten.
+template <typename Mutator>
+std::string corrupted_dmg(const std::string& name, Mutator&& mutate) {
+  const Graph g = gnp(64, 0.1, 5);
+  const std::string path = temp_path(name);
+  write_dmg_file(g, path);
+  std::vector<char> bytes = read_bytes(path);
+  mutate(bytes);
+  write_bytes(path, bytes);
+  return path;
+}
+
+TEST(Dmg, RoundTripPreservesStructureAndDigest) {
+  const Graph original = gnp(500, 0.02, 42);
+  const std::string path = temp_path("roundtrip.dmg");
+  write_dmg_file(original, path);
+
+  const Graph loaded = load_dmg_file(path);
+  EXPECT_EQ(loaded.node_count(), original.node_count());
+  EXPECT_EQ(loaded.edge_count(), original.edge_count());
+  EXPECT_EQ(loaded.max_degree(), original.max_degree());
+  for (NodeId v = 0; v < original.node_count(); ++v) {
+    const auto a = original.neighbors(v);
+    const auto b = loaded.neighbors(v);
+    ASSERT_EQ(a.size(), b.size()) << "node " << v;
+    EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin())) << "node " << v;
+  }
+  // The cached header digest must agree with a from-scratch recomputation.
+  EXPECT_EQ(loaded.content_digest(kGraphContentDigestSeed),
+            original.content_digest(kGraphContentDigestSeed));
+}
+
+TEST(Dmg, EveryRegistryAlgorithmBitIdenticalAcrossBackends) {
+  const Graph owned = gnp(200, 0.05, 9);
+  const std::string path = temp_path("backends.dmg");
+  write_dmg_file(owned, path);
+  const Graph mapped = load_dmg_file(path);
+
+  for (const AlgorithmDescriptor* d : AlgorithmRegistry::instance().all()) {
+    const AlgoOptions options(*d);
+    AlgoRunRequest request;
+    request.seed = 1234;
+    const MisRun a = run_registered_algorithm(*d, owned, options, request).run;
+    const MisRun b =
+        run_registered_algorithm(*d, mapped, options, request).run;
+    EXPECT_EQ(a.in_mis, b.in_mis) << d->name;
+    EXPECT_EQ(a.rounds, b.rounds) << d->name;
+    EXPECT_EQ(a.costs.messages, b.costs.messages) << d->name;
+    EXPECT_EQ(a.costs.bits, b.costs.bits) << d->name;
+    EXPECT_TRUE(is_maximal_independent_set(mapped, b.in_mis)) << d->name;
+  }
+}
+
+TEST(Dmg, LoadIsO1NoArrayScan) {
+  // Not a timing test: the digest arriving pre-cached is the observable
+  // consequence of the loader not scanning the arrays. A cache-less graph
+  // would have to walk every edge to answer content_digest.
+  const Graph g = gnp(300, 0.03, 77);
+  const std::string path = temp_path("o1.dmg");
+  write_dmg_file(g, path);
+  const Graph loaded = load_dmg_file(path);
+  ASSERT_TRUE(loaded.cached_digest().has_value());
+  EXPECT_EQ(loaded.cached_digest()->seed, kGraphContentDigestSeed);
+  EXPECT_EQ(loaded.cached_digest()->value,
+            g.content_digest(kGraphContentDigestSeed));
+}
+
+TEST(Dmg, VerifyDigestAcceptsIntactFile) {
+  const Graph g = gnp(150, 0.05, 3);
+  const std::string path = temp_path("verify_ok.dmg");
+  write_dmg_file(g, path);
+  const Graph loaded = load_dmg_file(path, /*verify_digest=*/true);
+  EXPECT_EQ(loaded.edge_count(), g.edge_count());
+}
+
+TEST(Dmg, BadMagicFailsLoudly) {
+  const std::string path =
+      corrupted_dmg("bad_magic.dmg", [](std::vector<char>& b) { b[0] = 'X'; });
+  try {
+    load_dmg_file(path);
+    FAIL() << "expected PreconditionError";
+  } catch (const PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("magic"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos) << e.what();
+  }
+}
+
+TEST(Dmg, BadVersionFailsLoudly) {
+  const std::string path =
+      corrupted_dmg("bad_version.dmg", [](std::vector<char>& b) { b[8] = 99; });
+  try {
+    load_dmg_file(path);
+    FAIL() << "expected PreconditionError";
+  } catch (const PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("version"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Dmg, OppositeEndiannessFailsLoudly) {
+  // Reverse the endian tag in place: exactly what the file would look like
+  // written on an opposite-endianness host.
+  const std::string path =
+      corrupted_dmg("bad_endian.dmg", [](std::vector<char>& b) {
+        std::swap(b[12], b[15]);
+        std::swap(b[13], b[14]);
+      });
+  try {
+    load_dmg_file(path);
+    FAIL() << "expected PreconditionError";
+  } catch (const PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("endian"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Dmg, TruncatedHeaderFailsLoudly) {
+  const std::string path =
+      corrupted_dmg("short_header.dmg",
+                    [](std::vector<char>& b) { b.resize(kDmgHeaderBytes / 2); });
+  EXPECT_THROW(load_dmg_file(path), PreconditionError);
+}
+
+TEST(Dmg, TruncatedArraysFailLoudly) {
+  const std::string path = corrupted_dmg(
+      "short_arrays.dmg", [](std::vector<char>& b) { b.resize(b.size() - 8); });
+  try {
+    load_dmg_file(path);
+    FAIL() << "expected PreconditionError";
+  } catch (const PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("truncated"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Dmg, TrailingBytesFailLoudly) {
+  const std::string path = corrupted_dmg(
+      "trailing.dmg", [](std::vector<char>& b) { b.push_back('\0'); });
+  EXPECT_THROW(load_dmg_file(path), PreconditionError);
+}
+
+TEST(Dmg, DigestMismatchCaughtOnlyUnderVerify) {
+  // Flip one adjacency byte (u32 entries start after the offsets block) but
+  // keep it a structurally valid graph: adjust within a neighbor list so the
+  // O(1) probes still pass.
+  const Graph g = complete(8);  // dense, so every adjacency byte is id data
+  const std::string path = temp_path("digest_flip.dmg");
+  write_dmg_file(g, path);
+  std::vector<char> bytes = read_bytes(path);
+  // Node 0's neighbor list is 1..7; rewriting its first entry from 1 to 2
+  // keeps entries in-range but breaks strict sortedness — caught by the
+  // structural half of verification. To hit the *digest* check, rewrite the
+  // stored digest instead: content mismatches header.
+  bytes[40] = static_cast<char>(bytes[40] ^ 0x5a);
+  write_bytes(path, bytes);
+
+  // The O(1) path trusts the header: the load succeeds, the lie undetected.
+  EXPECT_NO_THROW(load_dmg_file(path));
+  // --verify-digest recomputes and compares: loud failure, path included.
+  try {
+    load_dmg_file(path, /*verify_digest=*/true);
+    FAIL() << "expected PreconditionError";
+  } catch (const PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("digest"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Dmg, CorruptAdjacencyCaughtUnderVerify) {
+  const std::string path =
+      corrupted_dmg("bad_adj.dmg", [](std::vector<char>& b) {
+        // Last adjacency entry (final 4 bytes) -> out-of-range id.
+        b[b.size() - 1] = static_cast<char>(0xff);
+        b[b.size() - 2] = static_cast<char>(0xff);
+      });
+  EXPECT_NO_THROW(load_dmg_file(path));
+  EXPECT_THROW(load_dmg_file(path, /*verify_digest=*/true),
+               PreconditionError);
+}
+
+TEST(Dmg, CopiesShareTheMappingAndOutliveTheOriginal) {
+  const Graph g = gnp(100, 0.05, 11);
+  const std::string path = temp_path("lifetime.dmg");
+  write_dmg_file(g, path);
+  std::optional<Graph> first(load_dmg_file(path));
+  Graph copy = *first;       // shares the backing storage
+  first.reset();             // dropping the original must not unmap
+  EXPECT_EQ(copy.edge_count(), g.edge_count());
+  EXPECT_EQ(copy.neighbors(0).size(), g.neighbors(0).size());
+}
+
+TEST(Dmg, MappingSurvivesUnlink) {
+  // POSIX keeps mapped pages alive after the directory entry goes away —
+  // the loader must not depend on the path outliving the load.
+  const Graph g = gnp(100, 0.05, 13);
+  const std::string path = temp_path("unlinked.dmg");
+  write_dmg_file(g, path);
+  const Graph loaded = load_dmg_file(path);
+  ASSERT_EQ(::unlink(path.c_str()), 0);
+  EXPECT_EQ(loaded.edge_count(), g.edge_count());
+  EXPECT_EQ(loaded.content_digest(kGraphContentDigestSeed),
+            g.content_digest(kGraphContentDigestSeed));
+}
+
+TEST(Dmg, LoadGraphFileAutoDetectsBothContainers) {
+  const Graph g = gnp(80, 0.06, 17);
+  const std::string dmg_path = temp_path("auto.dmg");
+  const std::string el_path = temp_path("auto.el");
+  write_dmg_file(g, dmg_path);
+  write_edge_list_file(g, el_path);
+
+  EXPECT_TRUE(is_dmg_file(dmg_path));
+  EXPECT_FALSE(is_dmg_file(el_path));
+  EXPECT_FALSE(is_dmg_file(temp_path("nonexistent.dmg")));
+
+  const Graph from_dmg = load_graph_file(dmg_path);
+  const Graph from_el = load_graph_file(el_path);
+  EXPECT_EQ(from_dmg.content_digest(kGraphContentDigestSeed),
+            from_el.content_digest(kGraphContentDigestSeed));
+}
+
+}  // namespace
+}  // namespace dmis

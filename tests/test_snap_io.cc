@@ -1,0 +1,149 @@
+// SNAP-style edge-list parsing: tolerated noise (comments, blanks,
+// whitespace, CRLF), rejected malformations (self-loops, bad tokens,
+// out-of-range ids) with line-numbered errors, and the inferred-vs-pinned
+// node-count modes. Fixtures live under tests/data/.
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "graph/graph.h"
+#include "graph/io.h"
+#include "util/check.h"
+
+namespace dmis {
+namespace {
+
+std::string fixture(const std::string& name) {
+  return std::string(DMIS_TEST_DATA_DIR) + "/" + name;
+}
+
+TEST(SnapIo, ParsesCommentsBlanksAndWhitespace) {
+  std::istringstream in(
+      "# SNAP-style comment\n"
+      "% Matrix-Market-style comment\n"
+      "\n"
+      "0 1\n"
+      "  1\t2  \n"
+      "\t3 0\r\n"
+      "   \n");
+  const Graph g = read_snap_edge_list(in);
+  EXPECT_EQ(g.node_count(), 4u);
+  EXPECT_EQ(g.edge_count(), 3u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 2));
+  EXPECT_TRUE(g.has_edge(0, 3));
+}
+
+TEST(SnapIo, InfersNodeCountAsMaxIdPlusOne) {
+  std::istringstream in("5 9\n");
+  const Graph g = read_snap_edge_list(in);
+  EXPECT_EQ(g.node_count(), 10u);
+  EXPECT_EQ(g.edge_count(), 1u);
+}
+
+TEST(SnapIo, PinnedNodeCountAdmitsIsolatedTail) {
+  std::istringstream in("0 1\n");
+  const Graph g = read_snap_edge_list(in, /*node_count=*/7);
+  EXPECT_EQ(g.node_count(), 7u);
+  EXPECT_EQ(g.degree(6), 0u);
+}
+
+TEST(SnapIo, DuplicateEdgesCollapse) {
+  std::istringstream in("0 1\n1 0\n0 1\n");
+  const Graph g = read_snap_edge_list(in);
+  EXPECT_EQ(g.edge_count(), 1u);
+}
+
+TEST(SnapIo, EmptyInputYieldsEmptyGraph) {
+  std::istringstream in("# nothing but comments\n\n");
+  const Graph g = read_snap_edge_list(in);
+  EXPECT_EQ(g.node_count(), 0u);
+  EXPECT_EQ(g.edge_count(), 0u);
+}
+
+TEST(SnapIo, SelfLoopRejectedWithLineNumber) {
+  std::istringstream in("0 1\n2 2\n");
+  try {
+    read_snap_edge_list(in, 0, "selfloop.txt");
+    FAIL() << "expected PreconditionError";
+  } catch (const PreconditionError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("self-loop"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("selfloop.txt"), std::string::npos) << msg;
+  }
+}
+
+TEST(SnapIo, NegativeIdRejectedWithLineNumber) {
+  std::istringstream in("0 1\n-3 4\n");
+  try {
+    read_snap_edge_list(in);
+    FAIL() << "expected PreconditionError";
+  } catch (const PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(SnapIo, MalformedTokenRejectedWithLineNumber) {
+  std::istringstream in("0 1\n2 banana\n");
+  EXPECT_THROW(read_snap_edge_list(in), PreconditionError);
+}
+
+TEST(SnapIo, MissingEndpointRejected) {
+  std::istringstream in("7\n");
+  EXPECT_THROW(read_snap_edge_list(in), PreconditionError);
+}
+
+TEST(SnapIo, TrailingTokenRejected) {
+  std::istringstream in("0 1 99\n");
+  EXPECT_THROW(read_snap_edge_list(in), PreconditionError);
+}
+
+TEST(SnapIo, OverflowingIdRejected) {
+  std::istringstream in("0 99999999999999999999999999\n");
+  EXPECT_THROW(read_snap_edge_list(in), PreconditionError);
+}
+
+TEST(SnapIo, IdAtOrAbovePinnedCountRejectedWithLineNumber) {
+  std::istringstream in("0 1\n1 5\n");
+  try {
+    read_snap_edge_list(in, /*node_count=*/5);
+    FAIL() << "expected PreconditionError";
+  } catch (const PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(SnapIo, GoodFixtureParses) {
+  const Graph g = read_snap_edge_list_file(fixture("snap_good.txt"));
+  EXPECT_EQ(g.node_count(), 6u);
+  EXPECT_EQ(g.edge_count(), 6u);
+  EXPECT_TRUE(g.has_edge(4, 5));
+}
+
+TEST(SnapIo, SelfLoopFixtureRejectedWithFileName) {
+  try {
+    read_snap_edge_list_file(fixture("snap_selfloop.txt"));
+    FAIL() << "expected PreconditionError";
+  } catch (const PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("snap_selfloop.txt"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(SnapIo, MalformedFixtureRejected) {
+  EXPECT_THROW(read_snap_edge_list_file(fixture("snap_malformed.txt")),
+               PreconditionError);
+}
+
+TEST(SnapIo, MissingFileRejected) {
+  EXPECT_THROW(read_snap_edge_list_file(fixture("no_such_file.txt")),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace dmis

@@ -3,16 +3,27 @@
 //   dmis generate <family> <n> [param] [seed] > graph.el
 //       Emit a graph as an edge list. Families: gnp regular ba geometric
 //       grid cycle path complete hypercube caterpillar smallworld expander.
+//   dmis ingest --out FILE.dmg (<family> <n> [param] [seed] |
+//               --edges FILE [--nodes N])
+//       Build a graph once and write the mmap-able .dmg container
+//       (graph/dmg.h): from a generator spec, or from a SNAP-style edge
+//       list ('#'/'%' comments, blank lines, whitespace variants; node
+//       count inferred as max id + 1 unless --nodes pins it). Solve and
+//       service requests then load it in O(1) and reuse its precomputed
+//       content digest for cache keys.
 //   dmis list [--json|--names]
 //       Print the algorithm registry (mis/registry.h): names, models,
 //       capabilities, option schemas. --json is machine-readable and is what
 //       docs/ALGORITHMS.md is regenerated from.
 //   dmis solve <algorithm> [--seed S] [--graph FILE] [--max-rounds N]
-//              [--options JSON] [--<option> VALUE ...] [--help]
-//       Read an edge list (default stdin), run any registered algorithm,
-//       print stats and verification. `--help` prints the algorithm's
-//       generated flag reference; `--<option>` flags are generated from its
-//       option schema (see `dmis list`).
+//              [--options JSON] [--<option> VALUE ...] [--verify-digest]
+//              [--help]
+//       Read a graph (default stdin edge list; --graph FILE accepts an
+//       edge list or a .dmg, sniffed by magic), run any registered
+//       algorithm, print stats and verification. `--help` prints the
+//       algorithm's generated flag reference; `--<option>` flags are
+//       generated from its option schema (see `dmis list`).
+//       --verify-digest recomputes a .dmg's stored digest before solving.
 //   dmis color [--seed S] [--graph FILE]
 //       (Δ+1)-vertex-coloring via the clique-MIS reduction.
 //   dmis match [--seed S] [--graph FILE]
@@ -49,6 +60,7 @@
 #include <string>
 #include <vector>
 
+#include "graph/dmg.h"
 #include "graph/generators.h"
 #include "graph/io.h"
 #include "graph/properties.h"
@@ -73,8 +85,10 @@ int usage() {
          "  dmis list [--json|--names]\n"
          "  dmis solve <algorithm> [--seed S] [--graph FILE] [--threads T]\n"
          "             [--max-rounds N] [--options JSON] [--<option> V]\n"
-         "             [--help]\n"
+         "             [--verify-digest] [--help]\n"
          "  dmis generate <family> <n> [param] [seed]\n"
+         "  dmis ingest --out FILE.dmg (<family> <n> [param] [seed] |\n"
+         "              --edges FILE [--nodes N])\n"
          "  dmis color [--seed S] [--graph FILE]\n"
          "  dmis match [--seed S] [--graph FILE]\n"
          "  dmis mst [--seed S] [--graph FILE]\n"
@@ -82,6 +96,7 @@ int usage() {
          "  dmis serve [--threads T] [--workers W] [--queue-cap Q]\n"
          "             [--cache-entries C] [--cache-shards S]\n"
          "             [--bundle-dir D] [--socket PATH] [--no-timing]\n"
+         "             [--verify-digest]\n"
          "  dmis batch --requests FILE [serve flags]\n"
          "families:   gnp regular ba geometric grid cycle path complete\n"
          "            hypercube caterpillar smallworld expander\n"
@@ -99,6 +114,7 @@ struct Flags {
   int threads = 1;
   std::uint64_t max_rounds = 0;
   std::optional<std::string> graph_file;
+  bool verify_digest = false;
   dmis::FaultSchedule faults;
   bool fault_seed_set = false;
   std::optional<std::string> bundle_out;
@@ -145,6 +161,8 @@ Flags parse_flags(int argc, char** argv, int start,
       *options = dmis::AlgoOptions::parse(options->descriptor(), argv[++i]);
     } else if (std::strcmp(argv[i], "--graph") == 0 && i + 1 < argc) {
       f.graph_file = argv[++i];
+    } else if (std::strcmp(argv[i], "--verify-digest") == 0) {
+      f.verify_digest = true;
     } else if (std::strcmp(argv[i], "--drop") == 0 && i + 1 < argc) {
       f.faults.drop_rate = std::atof(argv[++i]);
     } else if (std::strcmp(argv[i], "--corrupt") == 0 && i + 1 < argc) {
@@ -193,9 +211,51 @@ Flags parse_flags(int argc, char** argv, int start,
 
 dmis::Graph load_graph(const Flags& f) {
   if (f.graph_file.has_value()) {
-    return dmis::read_edge_list_file(*f.graph_file);
+    // Accepts both containers: .dmg (sniffed by magic, O(1) mmap) and the
+    // plain-text edge list.
+    return dmis::load_graph_file(*f.graph_file, f.verify_digest);
   }
   return dmis::read_edge_list(std::cin);
+}
+
+/// The generator-family dispatch shared by `generate` and `ingest`.
+std::optional<dmis::Graph> generate_family(const std::string& family,
+                                           dmis::NodeId n, double param,
+                                           std::uint64_t seed) {
+  if (family == "gnp") {
+    return dmis::gnp(n, param / std::max<dmis::NodeId>(n - 1, 1), seed);
+  }
+  if (family == "regular") {
+    return dmis::random_regular(n, static_cast<dmis::NodeId>(param), seed);
+  }
+  if (family == "ba") {
+    const auto m = static_cast<dmis::NodeId>(param);
+    return dmis::barabasi_albert(n, m + 1, m, seed);
+  }
+  if (family == "geometric") {
+    return dmis::random_geometric(n, param, seed);
+  }
+  if (family == "grid") {
+    const auto side = static_cast<dmis::NodeId>(std::sqrt(double(n)));
+    return dmis::grid2d(side, side);
+  }
+  if (family == "cycle") return dmis::cycle(n);
+  if (family == "path") return dmis::path(n);
+  if (family == "complete") return dmis::complete(n);
+  if (family == "hypercube") {
+    return dmis::hypercube(static_cast<int>(std::log2(double(n))));
+  }
+  if (family == "caterpillar") {
+    return dmis::caterpillar(n, static_cast<dmis::NodeId>(param));
+  }
+  if (family == "smallworld") {
+    return dmis::watts_strogatz(n, 3, param, seed);
+  }
+  if (family == "expander") {
+    return dmis::margulis_expander(
+        static_cast<dmis::NodeId>(std::sqrt(double(n))));
+  }
+  return std::nullopt;
 }
 
 int cmd_generate(int argc, char** argv) {
@@ -204,39 +264,75 @@ int cmd_generate(int argc, char** argv) {
   const auto n = static_cast<dmis::NodeId>(std::strtoul(argv[3], nullptr, 10));
   const double param = argc > 4 ? std::atof(argv[4]) : 8.0;
   const std::uint64_t seed = argc > 5 ? std::strtoull(argv[5], nullptr, 10) : 1;
-  dmis::Graph g;
-  if (family == "gnp") {
-    g = dmis::gnp(n, param / std::max<dmis::NodeId>(n - 1, 1), seed);
-  } else if (family == "regular") {
-    g = dmis::random_regular(n, static_cast<dmis::NodeId>(param), seed);
-  } else if (family == "ba") {
-    const auto m = static_cast<dmis::NodeId>(param);
-    g = dmis::barabasi_albert(n, m + 1, m, seed);
-  } else if (family == "geometric") {
-    g = dmis::random_geometric(n, param, seed);
-  } else if (family == "grid") {
-    const auto side = static_cast<dmis::NodeId>(std::sqrt(double(n)));
-    g = dmis::grid2d(side, side);
-  } else if (family == "cycle") {
-    g = dmis::cycle(n);
-  } else if (family == "path") {
-    g = dmis::path(n);
-  } else if (family == "complete") {
-    g = dmis::complete(n);
-  } else if (family == "hypercube") {
-    g = dmis::hypercube(static_cast<int>(std::log2(double(n))));
-  } else if (family == "caterpillar") {
-    g = dmis::caterpillar(n, static_cast<dmis::NodeId>(param));
-  } else if (family == "smallworld") {
-    g = dmis::watts_strogatz(n, 3, param, seed);
-  } else if (family == "expander") {
-    g = dmis::margulis_expander(
-        static_cast<dmis::NodeId>(std::sqrt(double(n))));
-  } else {
+  const std::optional<dmis::Graph> g = generate_family(family, n, param, seed);
+  if (!g.has_value()) {
     std::cerr << "unknown family: " << family << "\n";
     return 2;
   }
-  dmis::write_edge_list(g, std::cout);
+  dmis::write_edge_list(*g, std::cout);
+  return 0;
+}
+
+/// `dmis ingest`: build once (generator spec or SNAP-style edge list),
+/// write the mmap-able .dmg container with its digest precomputed.
+int cmd_ingest(int argc, char** argv) {
+  std::optional<std::string> out;
+  std::optional<std::string> edges_file;
+  std::uint64_t nodes = 0;
+  std::vector<std::string> spec;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out = argv[++i];
+    } else if (std::strcmp(argv[i], "--edges") == 0 && i + 1 < argc) {
+      edges_file = argv[++i];
+    } else if (std::strcmp(argv[i], "--nodes") == 0 && i + 1 < argc) {
+      nodes = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strncmp(argv[i], "--", 2) == 0) {
+      std::cerr << "unknown flag: " << argv[i] << "\n";
+      return 2;
+    } else {
+      spec.emplace_back(argv[i]);
+    }
+  }
+  if (!out.has_value()) {
+    std::cerr << "ingest needs --out FILE.dmg\n";
+    return 2;
+  }
+  if (edges_file.has_value() == !spec.empty()) {
+    std::cerr << "ingest needs exactly one source: a generator spec "
+                 "(<family> <n> [param] [seed]) or --edges FILE\n";
+    return 2;
+  }
+  dmis::Graph g;
+  if (edges_file.has_value()) {
+    g = dmis::read_snap_edge_list_file(*edges_file, nodes);
+  } else {
+    if (spec.size() < 2) return usage();
+    const auto n =
+        static_cast<dmis::NodeId>(std::strtoul(spec[1].c_str(), nullptr, 10));
+    const double param = spec.size() > 2 ? std::atof(spec[2].c_str()) : 8.0;
+    const std::uint64_t seed =
+        spec.size() > 3 ? std::strtoull(spec[3].c_str(), nullptr, 10) : 1;
+    const std::optional<dmis::Graph> built =
+        generate_family(spec[0], n, param, seed);
+    if (!built.has_value()) {
+      std::cerr << "unknown family: " << spec[0] << "\n";
+      return 2;
+    }
+    g = *built;
+  }
+  dmis::write_dmg_file(g, *out);
+  const std::uint64_t bytes =
+      dmis::kDmgHeaderBytes + g.csr_offsets().size_bytes() +
+      g.csr_adjacency().size_bytes();
+  std::printf("ingested: n=%u m=%llu Delta=%u\n", g.node_count(),
+              static_cast<unsigned long long>(g.edge_count()),
+              g.max_degree());
+  std::printf("digest: %016llx (seed grdigest)\n",
+              static_cast<unsigned long long>(
+                  g.content_digest(dmis::kGraphContentDigestSeed)));
+  std::printf("wrote: %s (%llu bytes)\n", out->c_str(),
+              static_cast<unsigned long long>(bytes));
   return 0;
 }
 
@@ -564,6 +660,8 @@ ServeFlags parse_serve_flags(int argc, char** argv, int start) {
       f.socket_path = argv[++i];
     } else if (std::strcmp(argv[i], "--no-timing") == 0) {
       f.frontend.include_timing = false;
+    } else if (std::strcmp(argv[i], "--verify-digest") == 0) {
+      f.frontend.verify_digest = true;
     } else if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc) {
       f.requests_file = argv[++i];
     } else {
@@ -622,6 +720,7 @@ int main(int argc, char** argv) {
   try {
     if (cmd == "list") return cmd_list(argc, argv);
     if (cmd == "generate") return cmd_generate(argc, argv);
+    if (cmd == "ingest") return cmd_ingest(argc, argv);
     if (cmd == "solve") return cmd_solve(argc, argv);
     if (cmd == "color") return cmd_color(argc, argv);
     if (cmd == "match") return cmd_match(argc, argv);

@@ -1,0 +1,97 @@
+# Ingest smoke test: the .dmg container path end to end. Generates a graph,
+# ingests it to .dmg twice (generator spec and edge-list routes must agree),
+# solves every registered algorithm from both the text and binary container
+# and diffs the outputs, then pushes mixed-container requests through
+# `dmis batch` asserting the digest-keyed dedup: identical content behind
+# different file formats is one job, served once and cached once.
+
+set(el ${WORK_DIR}/ingest_smoke.el)
+set(dmg ${WORK_DIR}/ingest_smoke.dmg)
+
+# 1. Generate the reference edge list, then ingest the *same spec* to .dmg.
+execute_process(COMMAND ${DMIS_BIN} generate gnp 200 6 31
+                OUTPUT_FILE ${el} RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "generate failed: ${rc}")
+endif()
+execute_process(COMMAND ${DMIS_BIN} ingest --out ${dmg} gnp 200 6 31
+                RESULT_VARIABLE rc OUTPUT_VARIABLE ingest_out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "ingest failed: ${rc}\n${ingest_out}")
+endif()
+if(NOT ingest_out MATCHES "digest: [0-9a-f]+")
+  message(FATAL_ERROR "ingest did not report a digest:\n${ingest_out}")
+endif()
+
+# 2. Every registered algorithm produces byte-identical output from the
+# text container and the mmap-backed one (--verify-digest exercises the
+# full-validation load path on the second run).
+execute_process(COMMAND ${DMIS_BIN} list --names
+                RESULT_VARIABLE rc OUTPUT_VARIABLE names_out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "dmis list --names failed: ${rc}")
+endif()
+string(STRIP "${names_out}" names_out)
+string(REPLACE "\n" ";" algorithms "${names_out}")
+foreach(algo IN LISTS algorithms)
+  execute_process(
+    COMMAND ${DMIS_BIN} solve ${algo} --graph ${el} --seed 77
+    OUTPUT_FILE ${WORK_DIR}/ingest_smoke_el.out RESULT_VARIABLE rc_el)
+  execute_process(
+    COMMAND ${DMIS_BIN} solve ${algo} --graph ${dmg} --seed 77
+            --verify-digest
+    OUTPUT_FILE ${WORK_DIR}/ingest_smoke_dmg.out RESULT_VARIABLE rc_dmg)
+  if(NOT rc_el EQUAL 0 OR NOT rc_dmg EQUAL 0)
+    message(FATAL_ERROR "solve ${algo} failed: el=${rc_el} dmg=${rc_dmg}")
+  endif()
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+            ${WORK_DIR}/ingest_smoke_el.out ${WORK_DIR}/ingest_smoke_dmg.out
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+            "solve ${algo}: .el and .dmg outputs differ (container leaked "
+            "into the result)")
+  endif()
+endforeach()
+
+# 3. Digest-keyed dedup across containers: the same content as .el and as
+# .dmg is the same JobKey, so batch runs the job once and answers the .dmg
+# request from cache; both responses embed byte-identical result objects.
+file(WRITE ${WORK_DIR}/ingest_smoke_req.jsonl
+  "{\"id\":\"el\",\"algorithm\":\"luby\",\"seed\":9,\"graph_file\":\"${el}\"}\n"
+  "{\"id\":\"dmg\",\"algorithm\":\"luby\",\"seed\":9,\"graph_file\":\"${dmg}\"}\n")
+execute_process(
+  COMMAND ${DMIS_BIN} batch --requests ${WORK_DIR}/ingest_smoke_req.jsonl
+  OUTPUT_FILE ${WORK_DIR}/ingest_smoke_batch.jsonl
+  ERROR_QUIET RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "dmis batch failed: ${rc}")
+endif()
+file(READ ${WORK_DIR}/ingest_smoke_batch.jsonl batch_out)
+if(NOT batch_out MATCHES "\"id\":\"el\",\"cached\":false")
+  message(FATAL_ERROR "first request not a cache miss:\n${batch_out}")
+endif()
+if(NOT batch_out MATCHES "\"id\":\"dmg\",\"cached\":true")
+  message(FATAL_ERROR
+          ".dmg request with identical content was not served from cache "
+          "(digest keying broken):\n${batch_out}")
+endif()
+string(REGEX MATCHALL "\"result\":\\{[^\n]*\\}" results "${batch_out}")
+list(GET results 0 first_result)
+list(GET results 1 second_result)
+if(NOT first_result STREQUAL second_result)
+  message(FATAL_ERROR "cached result bytes differ from the executed "
+                      "ones:\n${batch_out}")
+endif()
+
+# 4. Ingest also accepts a headerless SNAP-style edge list.
+file(WRITE ${WORK_DIR}/ingest_smoke_snap.txt
+  "# tiny SNAP-style list\n0 1\n1 2\n2 3\n")
+execute_process(
+  COMMAND ${DMIS_BIN} ingest --out ${WORK_DIR}/ingest_smoke_snap.dmg
+          --edges ${WORK_DIR}/ingest_smoke_snap.txt
+  RESULT_VARIABLE rc OUTPUT_VARIABLE snap_out)
+if(NOT rc EQUAL 0 OR NOT snap_out MATCHES "n=4 m=3")
+  message(FATAL_ERROR "SNAP ingest failed: ${rc}\n${snap_out}")
+endif()
