@@ -1,0 +1,258 @@
+// E22 — durable result store: crash recovery, warm restarts, scan cost.
+//
+// The durable tier's pitch (DESIGN.md §15) is that determinism turns a disk
+// cache into a proof-carrying shortcut that survives process death: a key's
+// canonical bytes never change, so a record written once is a warm hit for
+// every future process. This experiment measures the three costs of that
+// promise: (a) cold vs warm serving — a fresh process over a populated
+// --store-dir must serve the same workload from disk hits instead of
+// re-executing; (b) the recovery scan — opening a store walks every segment
+// record by record, so scan time must stay linear and small across a store
+// size ladder; (c) chaos — a child process is SIGKILL'd at a deterministic
+// pseudo-random point mid-append, and the parent asserts the recovered
+// store is fsck-clean with a valid record prefix (no torn record served,
+// no previously-durable record lost).
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cmath>
+#include <csignal>
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "graph/generators.h"
+#include "rng/mix.h"
+#include "svc/service.h"
+#include "svc/store.h"
+#include "util/table.h"
+
+namespace dmis {
+namespace {
+
+NodeId n_from_args(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--n=", 0) == 0) {
+      return static_cast<NodeId>(std::max(8, std::atoi(arg.c_str() + 4)));
+    }
+    if (arg == "--n" && i + 1 < argc) {
+      return static_cast<NodeId>(std::max(8, std::atoi(argv[i + 1])));
+    }
+  }
+  return 300;
+}
+
+std::string make_temp_dir(const char* tag) {
+  std::string tmpl = std::string("/tmp/dmis-e22-") + tag + "-XXXXXX";
+  std::vector<char> buf(tmpl.begin(), tmpl.end());
+  buf.push_back('\0');
+  if (::mkdtemp(buf.data()) == nullptr) {
+    std::cerr << "e22: mkdtemp failed for " << tmpl << "\n";
+    std::exit(1);
+  }
+  return std::string(buf.data());
+}
+
+svc::JobKey chaos_key(std::uint64_t round, std::uint64_t i) {
+  return svc::JobKey{mix64(round, i), mix64(i, round)};
+}
+
+std::string chaos_payload(std::uint64_t round, std::uint64_t i) {
+  return "e22-round-" + std::to_string(round) + "-rec-" + std::to_string(i) +
+         ":" + std::string(180, static_cast<char>('a' + (i % 26)));
+}
+
+/// Child body for the chaos phase: append records for `round` into `dir`
+/// until killed. Never returns normally in practice — the parent SIGKILLs
+/// it mid-loop; the bound is only a runaway backstop.
+[[noreturn]] void chaos_child(const std::string& dir, std::uint64_t round) {
+  svc::ResultStore store(svc::StoreOptions{dir, 64u << 10});
+  for (std::uint64_t i = 0; i < 2'000'000; ++i) {
+    store.put(chaos_key(round, i), chaos_payload(round, i));
+  }
+  ::_exit(0);
+}
+
+void run(int argc, char** argv) {
+  const NodeId n = n_from_args(argc, argv);
+  const int threads = bench::threads_from_args(argc, argv);
+  bench::print_banner(
+      "E22 / durable store: crash recovery, warm restart, scan cost",
+      "Three phases over the WAL-style result store. cold/warm: the same\n"
+      "job ladder served by a fresh process before and after the store is\n"
+      "populated — warm must serve from disk hits. recover: opening-scan\n"
+      "time across a store size ladder. chaos: SIGKILL a child mid-append\n"
+      "at deterministic pseudo-random delays; recovery must be fsck-clean\n"
+      "with a valid record prefix every round.");
+
+  TextTable table({"phase", "param", "records", "wall_ms", "recs_per_s",
+                   "hit_rate", "recovered", "torn_bytes", "clean"});
+  bool all_clean = true;
+
+  // ---- Phase A: cold vs warm serving over the same --store-dir. --------
+  const std::string serve_dir = make_temp_dir("serve");
+  const Graph g = gnp(n, 8.0 / std::max<NodeId>(n - 1, 1), 23);
+  const int kJobs = 24;
+  double cold_jobs_per_s = 0, warm_jobs_per_s = 0, warm_hit_rate = 0;
+  for (const bool warm : {false, true}) {
+    svc::ServiceOptions options;
+    options.scheduler.workers = 1;
+    options.scheduler.total_threads = threads;
+    options.store_dir = serve_dir;
+    svc::ExecutionService service(options);
+
+    const bench::WallTimer loop_timer;
+    for (int j = 0; j < kJobs; ++j) {
+      svc::JobSpec spec;
+      spec.algorithm = "congest";
+      spec.seed = 4000 + static_cast<std::uint64_t>(j);
+      spec.graph = g;
+      (void)service.run(std::move(spec));
+    }
+    const double wall_s = loop_timer.seconds();
+    const svc::CacheStats cache = service.cache().stats();
+    const svc::StoreStats store = service.store()->stats();
+    const double hit_rate = static_cast<double>(cache.store_hits) / kJobs;
+    (warm ? warm_jobs_per_s : cold_jobs_per_s) = kJobs / wall_s;
+    if (warm) warm_hit_rate = hit_rate;
+    table.row()
+        .cell(warm ? "warm" : "cold")
+        .cell(static_cast<std::uint64_t>(n))
+        .cell(kJobs)
+        .cell(wall_s * 1e3)
+        .cell(kJobs / wall_s)
+        .cell(hit_rate)
+        .cell(store.recovered_records)
+        .cell(store.torn_bytes_truncated)
+        .cell(1);
+    service.seal_store();
+  }
+  if (warm_hit_rate < 1.0) {
+    std::cerr << "e22: FAIL — warm restart hit rate " << warm_hit_rate
+              << " < 1.0 (disk tier did not serve the repeat workload)\n";
+    all_clean = false;
+  }
+
+  // ---- Phase B: recovery-scan time vs store size. ----------------------
+  for (const std::uint64_t records : {1000ULL, 5000ULL, 20000ULL}) {
+    const std::string dir = make_temp_dir("ladder");
+    {
+      svc::ResultStore store(svc::StoreOptions{dir, 1u << 20});
+      for (std::uint64_t i = 0; i < records; ++i) {
+        store.put(chaos_key(0xABCD, i), chaos_payload(0xABCD, i));
+      }
+      store.seal();
+    }
+    const bench::WallTimer open_timer;
+    svc::ResultStore reopened(svc::StoreOptions{dir, 1u << 20});
+    const double open_s = open_timer.seconds();
+    const svc::StoreStats stats = reopened.stats();
+    const svc::StoreFsckReport report = svc::ResultStore::fsck(dir);
+    table.row()
+        .cell("recover")
+        .cell(records)
+        .cell(stats.records)
+        .cell(open_s * 1e3)
+        .cell(records / std::max(open_s, 1e-9))
+        .cell(0.0)
+        .cell(stats.recovered_records)
+        .cell(stats.torn_bytes_truncated)
+        .cell(report.clean() ? 1 : 0);
+    if (!report.clean() || stats.recovered_records != records) {
+      std::cerr << "e22: FAIL — ladder store of " << records
+                << " records recovered " << stats.recovered_records
+                << ", fsck clean=" << report.clean() << "\n";
+      all_clean = false;
+    }
+    std::filesystem::remove_all(dir);
+  }
+
+  // ---- Phase C: chaos — SIGKILL mid-append, recover, verify prefix. ----
+  const std::string chaos_dir = make_temp_dir("chaos");
+  const int kRounds = 6;
+  std::uint64_t prev_recovered = 0;
+  for (int round = 0; round < kRounds; ++round) {
+    const std::uint64_t delay_us =
+        1000 + mix64(static_cast<std::uint64_t>(round), 0xC4A05) % 15000;
+    const pid_t pid = ::fork();
+    if (pid == 0) chaos_child(chaos_dir, static_cast<std::uint64_t>(round));
+    if (pid < 0) {
+      std::cerr << "e22: fork failed\n";
+      std::exit(1);
+    }
+    ::usleep(static_cast<useconds_t>(delay_us));
+    ::kill(pid, SIGKILL);
+    int wstatus = 0;
+    ::waitpid(pid, &wstatus, 0);
+
+    const svc::StoreFsckReport report = svc::ResultStore::fsck(chaos_dir);
+    const bench::WallTimer open_timer;
+    svc::ResultStore recovered(svc::StoreOptions{chaos_dir, 64u << 10});
+    const double open_s = open_timer.seconds();
+    const svc::StoreStats stats = recovered.stats();
+
+    // Valid prefix for this round's keys: hits for i < k, misses after.
+    // (Earlier rounds' records were durable before this child started, so
+    // only the just-killed round can have a torn tail.)
+    bool prefix_ok = true;
+    std::uint64_t hits = 0;
+    while (recovered.get(chaos_key(static_cast<std::uint64_t>(round), hits))
+               .has_value()) {
+      ++hits;
+    }
+    for (std::uint64_t i = hits + 1; i < hits + 16; ++i) {
+      if (recovered.get(chaos_key(static_cast<std::uint64_t>(round), i))
+              .has_value()) {
+        prefix_ok = false;
+      }
+    }
+    const bool round_ok = report.clean() && prefix_ok &&
+                          stats.recovered_records >= prev_recovered;
+    if (!round_ok) {
+      std::cerr << "e22: FAIL — chaos round " << round
+                << ": fsck clean=" << report.clean()
+                << " prefix_ok=" << prefix_ok << " recovered="
+                << stats.recovered_records << " prev=" << prev_recovered
+                << "\n";
+      all_clean = false;
+    }
+    prev_recovered = stats.recovered_records;
+    table.row()
+        .cell("chaos")
+        .cell(round)
+        .cell(hits)
+        .cell(open_s * 1e3)
+        .cell(delay_us)
+        .cell(0.0)
+        .cell(stats.recovered_records)
+        .cell(stats.torn_bytes_truncated)
+        .cell(round_ok ? 1 : 0);
+  }
+  std::filesystem::remove_all(chaos_dir);
+  std::filesystem::remove_all(serve_dir);
+
+  table.print(std::cout);
+  bench::write_table_json(
+      "e22", table,
+      {{"n", std::to_string(n)},
+       {"jobs", std::to_string(kJobs)},
+       {"algorithm", "congest"},
+       {"chaos_rounds", std::to_string(kRounds)},
+       {"cold_jobs_per_s", std::to_string(cold_jobs_per_s)},
+       {"warm_jobs_per_s", std::to_string(warm_jobs_per_s)},
+       {"warm_hit_rate", std::to_string(warm_hit_rate)},
+       {"all_clean", all_clean ? "true" : "false"}});
+  if (!all_clean) std::exit(1);
+}
+
+}  // namespace
+}  // namespace dmis
+
+int main(int argc, char** argv) {
+  dmis::run(argc, argv);
+  return 0;
+}

@@ -98,7 +98,7 @@ void write_dmg_file(const Graph& g, const std::string& path) {
   header.content_digest = g.content_digest(kGraphContentDigestSeed);
 
   std::ofstream os(path, std::ios::binary | std::ios::trunc);
-  DMIS_CHECK(os.is_open(), "cannot open for writing: " << path);
+  DMIS_CHECK_ENV(os.is_open(), "cannot open for writing: " << path);
   os.write(reinterpret_cast<const char*>(&header), sizeof(header));
   const auto offsets = g.csr_offsets();
   os.write(reinterpret_cast<const char*>(offsets.data()),
@@ -107,16 +107,16 @@ void write_dmg_file(const Graph& g, const std::string& path) {
   os.write(reinterpret_cast<const char*>(adj.data()),
            static_cast<std::streamsize>(adj.size_bytes()));
   os.flush();
-  DMIS_CHECK(os.good(), "write failed: " << path);
+  DMIS_CHECK_ENV(os.good(), "write failed: " << path);
 }
 
 Graph load_dmg_file(const std::string& path, bool verify_digest) {
   const int fd = ::open(path.c_str(), O_RDONLY);
-  DMIS_CHECK(fd >= 0, "cannot open for reading: " << path);
+  DMIS_CHECK_ENV(fd >= 0, "cannot open for reading: " << path);
   struct stat st{};
   if (::fstat(fd, &st) != 0) {
     ::close(fd);
-    DMIS_CHECK(false, "cannot stat: " << path);
+    DMIS_CHECK_ENV(false, "cannot stat: " << path);
   }
   const std::size_t file_size = static_cast<std::size_t>(st.st_size);
   if (file_size < kDmgHeaderBytes) {
@@ -126,7 +126,7 @@ Graph load_dmg_file(const std::string& path, bool verify_digest) {
   }
   void* base = ::mmap(nullptr, file_size, PROT_READ, MAP_PRIVATE, fd, 0);
   ::close(fd);  // the mapping keeps the file alive; the fd is not needed
-  DMIS_CHECK(base != MAP_FAILED, "mmap failed: " << path);
+  DMIS_CHECK_ENV(base != MAP_FAILED, "mmap failed: " << path);
   auto storage = std::make_shared<MappedGraphStorage>(base, file_size);
 
   DmgHeader header{};

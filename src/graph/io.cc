@@ -97,13 +97,13 @@ Graph read_edge_list(std::istream& is) {
 
 void write_edge_list_file(const Graph& g, const std::string& path) {
   std::ofstream os(path);
-  DMIS_CHECK(os.is_open(), "cannot open for writing: " << path);
+  DMIS_CHECK_ENV(os.is_open(), "cannot open for writing: " << path);
   write_edge_list(g, os);
 }
 
 Graph read_edge_list_file(const std::string& path) {
   std::ifstream is(path);
-  DMIS_CHECK(is.is_open(), "cannot open for reading: " << path);
+  DMIS_CHECK_ENV(is.is_open(), "cannot open for reading: " << path);
   return read_edge_list(is);
 }
 
@@ -154,7 +154,7 @@ Graph read_snap_edge_list(std::istream& is, std::uint64_t node_count,
 Graph read_snap_edge_list_file(const std::string& path,
                                std::uint64_t node_count) {
   std::ifstream is(path);
-  DMIS_CHECK(is.is_open(), "cannot open for reading: " << path);
+  DMIS_CHECK_ENV(is.is_open(), "cannot open for reading: " << path);
   return read_snap_edge_list(is, node_count, path);
 }
 

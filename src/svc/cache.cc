@@ -1,5 +1,6 @@
 #include "svc/cache.h"
 
+#include "svc/store.h"
 #include "util/check.h"
 
 namespace dmis::svc {
@@ -15,17 +16,28 @@ ResultCache::ResultCache(std::size_t capacity, std::size_t shards) {
 }
 
 std::optional<std::string> ResultCache::get(const JobKey& key) {
-  Shard& shard = shard_of(key);
-  std::lock_guard<std::mutex> lock(shard.mutex);
-  if (const std::string* value = shard.lru.get(key)) {
-    ++shard.hits;
-    return *value;
+  {
+    Shard& shard = shard_of(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    if (const std::string* value = shard.lru.get(key)) {
+      ++shard.hits;
+      return *value;
+    }
+    ++shard.misses;
   }
-  ++shard.misses;
+  // Disk tier probe outside the shard lock — store I/O must not serialize
+  // unrelated RAM lookups on this shard.
+  if (store_ != nullptr) {
+    if (std::optional<std::string> disk = store_->get(key)) {
+      store_hits_.fetch_add(1, std::memory_order_relaxed);
+      insert_ram(key, *disk);
+      return disk;
+    }
+  }
   return std::nullopt;
 }
 
-void ResultCache::put(const JobKey& key, const std::string& canonical) {
+void ResultCache::insert_ram(const JobKey& key, const std::string& canonical) {
   Shard& shard = shard_of(key);
   std::lock_guard<std::mutex> lock(shard.mutex);
   if (const std::string* existing = shard.lru.peek(key)) {
@@ -39,6 +51,15 @@ void ResultCache::put(const JobKey& key, const std::string& canonical) {
   shard.bytes += canonical.size();
 }
 
+void ResultCache::put(const JobKey& key, const std::string& canonical) {
+  insert_ram(key, canonical);
+  if (store_ != nullptr) {
+    // Write-through. A false return is an I/O failure the store already
+    // counted and reported; serving continues from RAM.
+    store_->put(key, canonical);
+  }
+}
+
 CacheStats ResultCache::stats() const {
   CacheStats out;
   for (const auto& shard : shards_) {
@@ -50,6 +71,7 @@ CacheStats ResultCache::stats() const {
     out.entries += shard->lru.size();
     out.bytes += shard->bytes;
   }
+  out.store_hits = store_hits_.load(std::memory_order_relaxed);
   return out;
 }
 
@@ -63,6 +85,7 @@ TextTable ResultCache::stats_table() const {
   table.row().cell("cache_evictions").cell(s.evictions);
   table.row().cell("cache_entries").cell(s.entries);
   table.row().cell("cache_bytes").cell(s.bytes);
+  table.row().cell("cache_store_hits").cell(s.store_hits);
   return table;
 }
 

@@ -10,6 +10,7 @@
 // convention like every other stats source.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -23,13 +24,16 @@
 
 namespace dmis::svc {
 
+class ResultStore;
+
 struct CacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
   std::uint64_t insertions = 0;
   std::uint64_t evictions = 0;
   std::uint64_t entries = 0;
-  std::uint64_t bytes = 0;  ///< sum of cached canonical-result sizes
+  std::uint64_t bytes = 0;       ///< sum of cached canonical-result sizes
+  std::uint64_t store_hits = 0;  ///< RAM misses satisfied by the disk tier
 
   double hit_rate() const {
     const std::uint64_t lookups = hits + misses;
@@ -48,11 +52,20 @@ class ResultCache {
 
   std::size_t shard_count() const { return shards_.size(); }
 
-  /// Canonical result bytes for `key`, or nullopt (counts a hit/miss).
+  /// Attaches the durable disk tier (svc/store.h). With a store attached,
+  /// get() falls back to a digest-verified store probe on RAM miss and
+  /// repopulates the LRU on a disk hit; put() writes through. The store
+  /// must outlive the cache. Pass nullptr to detach.
+  void attach_store(ResultStore* store) { store_ = store; }
+  ResultStore* store() const { return store_; }
+
+  /// Canonical result bytes for `key`, or nullopt (counts a hit/miss; a
+  /// disk-tier hit counts a RAM miss plus a store hit).
   std::optional<std::string> get(const JobKey& key);
 
-  /// Inserts (or refreshes) `key`. Only kOk results belong here — the
-  /// service enforces that; the cache itself is value-agnostic.
+  /// Inserts (or refreshes) `key`, writing through to the attached store
+  /// (if any). Only kOk results belong here — the service enforces that;
+  /// the cache itself is value-agnostic.
   void put(const JobKey& key, const std::string& canonical);
 
   /// Aggregated over shards.
@@ -79,7 +92,13 @@ class ResultCache {
     return *shards_[static_cast<std::size_t>(key.hi) % shards_.size()];
   }
 
+  /// RAM insert only — shared by put() and the read-through repopulate,
+  /// which must not write back what it just read from disk.
+  void insert_ram(const JobKey& key, const std::string& canonical);
+
   std::vector<std::unique_ptr<Shard>> shards_;
+  ResultStore* store_ = nullptr;
+  std::atomic<std::uint64_t> store_hits_{0};
 };
 
 }  // namespace dmis::svc

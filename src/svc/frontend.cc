@@ -4,6 +4,8 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <cerrno>
+#include <csignal>
 #include <cstring>
 #include <fstream>
 #include <istream>
@@ -93,24 +95,41 @@ std::string escape_id(const std::string& id) {
   return json::Value::string(id).dump();
 }
 
-std::string format_error(const std::string& id, const std::string& message) {
+std::string format_error(const std::string& id, const std::string& message,
+                         bool retryable = false) {
   std::ostringstream oss;
   oss << "{\"id\":" << escape_id(id)
-      << ",\"error\":" << json::Value::string(message).dump() << "}";
+      << ",\"error\":" << json::Value::string(message).dump();
+  // The taxonomy bit for clients: environmental failures may heal, so the
+  // same request is worth resubmitting; deterministic ones never are.
+  if (retryable) oss << ",\"retryable\":true";
+  oss << "}";
   return oss.str();
 }
+
+/// Repro-bundle write outcome: `path` on success, `error` when the bundle
+/// could not be written (non-fatal — the response still carries the
+/// result, plus a "bundle_error" field instead of a "bundle" path).
+struct BundleOutcome {
+  std::string path;
+  std::string error;
+};
 
 /// The response line. `canonical` is embedded verbatim: the byte-identity
 /// guarantee of the result object is end-to-end, parser to output.
 std::string format_response(const std::string& id, const Completion& c,
                             bool include_timing,
-                            const std::string& bundle_path) {
+                            const BundleOutcome& bundle) {
   std::ostringstream oss;
   oss << "{\"id\":" << escape_id(id)
       << ",\"cached\":" << (c.cache_hit ? "true" : "false")
       << ",\"result\":" << c.canonical;
-  if (!bundle_path.empty()) {
-    oss << ",\"bundle\":" << json::Value::string(bundle_path).dump();
+  if (c.status == JobStatus::kEnvError) oss << ",\"retryable\":true";
+  if (!bundle.path.empty()) {
+    oss << ",\"bundle\":" << json::Value::string(bundle.path).dump();
+  }
+  if (!bundle.error.empty()) {
+    oss << ",\"bundle_error\":" << json::Value::string(bundle.error).dump();
   }
   if (include_timing) {
     oss << ",\"elapsed_us\":"
@@ -129,30 +148,71 @@ std::string format_stats(const std::string& id,
       << "\"cache\":{\"hits\":" << c.hits << ",\"misses\":" << c.misses
       << ",\"insertions\":" << c.insertions
       << ",\"evictions\":" << c.evictions << ",\"entries\":" << c.entries
-      << ",\"bytes\":" << c.bytes << "},"
+      << ",\"bytes\":" << c.bytes
+      << ",\"store_hits\":" << c.store_hits << "},"
       << "\"scheduler\":{\"submitted\":" << s.submitted
       << ",\"executed\":" << s.executed << ",\"completed\":" << s.completed
       << ",\"cancelled\":" << s.cancelled
       << ",\"deadline_expired\":" << s.deadline_expired
-      << ",\"rejected\":" << s.rejected
-      << ",\"max_queue_depth\":" << s.max_queue_depth << "}}}";
+      << ",\"rejected\":" << s.rejected << ",\"retries\":" << s.retries
+      << ",\"env_errors\":" << s.env_errors
+      << ",\"max_queue_depth\":" << s.max_queue_depth << "}";
+  if (const ResultStore* store = service.store()) {
+    const StoreStats st = store->stats();
+    oss << ",\"store\":{\"segments\":" << st.segments
+        << ",\"records\":" << st.records
+        << ",\"recovered\":" << st.recovered_records
+        << ",\"torn_bytes_truncated\":" << st.torn_bytes_truncated
+        << ",\"corrupt_skipped\":" << st.corrupt_records_skipped
+        << ",\"appends\":" << st.appends
+        << ",\"read_hits\":" << st.read_hits << "}";
+  }
+  oss << "}}";
   return oss.str();
 }
 
-/// Writes the bundle once and returns its path ("" when not configured or
-/// nothing to write).
-std::string maybe_write_bundle(const FrontEndOptions& options,
-                               const JobKey& key,
-                               const std::string& bundle_text) {
+/// Writes the bundle once. A write failure is degraded service, not failed
+/// service: the outcome carries the error text for the response's
+/// "bundle_error" field and serving continues.
+BundleOutcome maybe_write_bundle(const FrontEndOptions& options,
+                                 const JobKey& key,
+                                 const std::string& bundle_text) {
   if (options.bundle_dir.empty() || bundle_text.empty()) return {};
-  const std::string path = options.bundle_dir + "/" + key.hex() + ".bundle";
-  std::ofstream os(path, std::ios::binary);
-  DMIS_CHECK(os.good(), "cannot write bundle file " << path);
-  os << bundle_text;
-  return path;
+  BundleOutcome out;
+  out.path = options.bundle_dir + "/" + key.hex() + ".bundle";
+  std::ofstream os(out.path, std::ios::binary);
+  if (os.good()) {
+    os << bundle_text;
+    os.flush();
+  }
+  if (!os.good()) {
+    out.error = "cannot write bundle file " + out.path;
+    out.path.clear();
+  }
+  return out;
 }
 
+volatile std::sig_atomic_t g_drain_requested = 0;
+
+void drain_signal_handler(int) { g_drain_requested = 1; }
+
 }  // namespace
+
+void install_drain_handlers() {
+  struct sigaction action {};
+  action.sa_handler = drain_signal_handler;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // no SA_RESTART: blocked accept/read must EINTR out
+  ::sigaction(SIGINT, &action, nullptr);
+  ::sigaction(SIGTERM, &action, nullptr);
+}
+
+bool drain_requested() { return g_drain_requested != 0; }
+
+std::string service_stats_json(const ExecutionService& service,
+                               const std::string& id) {
+  return format_stats(id, service);
+}
 
 Request parse_request(const std::string& line, std::uint64_t seq,
                       bool verify_graph_digest) {
@@ -235,6 +295,10 @@ std::string handle_request_line(ExecutionService& service,
   Request request;
   try {
     request = parse_request(line, seq, options.verify_digest);
+  } catch (const EnvironmentError& e) {
+    // e.g. an unreadable "graph_file": the request may be fine once the
+    // world heals, so clients are told the resubmit is worth it.
+    return format_error(anon_id(seq), e.what(), /*retryable=*/true);
   } catch (const std::exception& e) {
     return format_error(anon_id(seq), e.what());
   }
@@ -242,10 +306,10 @@ std::string handle_request_line(ExecutionService& service,
   const Completion completion = service.run(std::move(request.spec),
                                             request.priority,
                                             request.deadline_s);
-  const std::string bundle_path =
+  const BundleOutcome bundle =
       maybe_write_bundle(options, completion.key, completion.bundle_text);
   return format_response(request.id, completion, options.include_timing,
-                         bundle_path);
+                         bundle);
 }
 
 std::uint64_t serve_stream(std::istream& in, std::ostream& out,
@@ -253,7 +317,10 @@ std::uint64_t serve_stream(std::istream& in, std::ostream& out,
                            const FrontEndOptions& options) {
   std::uint64_t handled = 0;
   std::string line;
-  while (std::getline(in, line)) {
+  // A drain signal ends the loop at the next request boundary; the request
+  // being handled always finishes (handling is synchronous). getline
+  // interrupted by the un-restarted signal fails and exits the loop too.
+  while (!drain_requested() && std::getline(in, line)) {
     if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
     ++handled;
     out << handle_request_line(service, options, line, handled) << "\n";
@@ -319,10 +386,10 @@ std::uint64_t run_batch(std::istream& in, std::ostream& out,
   for (ExecutionService::Pending& p : pending) {
     completions.push_back(service.wait(p));
   }
-  std::vector<std::string> bundle_paths(completions.size());
+  std::vector<BundleOutcome> bundles(completions.size());
   for (std::size_t i = 0; i < completions.size(); ++i) {
-    bundle_paths[i] = maybe_write_bundle(batch_options, completions[i].key,
-                                         completions[i].bundle_text);
+    bundles[i] = maybe_write_bundle(batch_options, completions[i].key,
+                                    completions[i].bundle_text);
   }
 
   // Emit in request order; duplicates of an earlier request are cache hits
@@ -341,7 +408,7 @@ std::uint64_t run_batch(std::istream& in, std::ostream& out,
     Completion c = completions[slot.unique_index];
     c.cache_hit = c.cache_hit || !slot.first_occurrence;
     out << format_response(slot.id, c, /*include_timing=*/false,
-                           bundle_paths[slot.unique_index])
+                           bundles[slot.unique_index])
         << "\n";
   }
   out.flush();
@@ -377,19 +444,22 @@ int serve_unix_socket(const std::string& path, ExecutionService& service,
   }
 
   std::uint64_t seq = 0;
-  for (;;) {
+  while (!drain_requested()) {
     const int client = ::accept(listener, nullptr, nullptr);
     if (client < 0) {
+      if (errno == EINTR) continue;  // signal delivery: re-check the drain flag
       std::perror("accept");
       ::close(listener);
+      ::unlink(path.c_str());
       return 1;
     }
     // One serve-style session per connection: read lines, answer in order.
     std::string buffer;
     char chunk[4096];
     bool open = true;
-    while (open) {
+    while (open && !drain_requested()) {
       const ssize_t got = ::read(client, chunk, sizeof(chunk));
+      if (got < 0 && errno == EINTR) continue;
       if (got <= 0) break;
       buffer.append(chunk, static_cast<std::size_t>(got));
       std::size_t newline;
@@ -415,6 +485,11 @@ int serve_unix_socket(const std::string& path, ExecutionService& service,
     }
     ::close(client);
   }
+  // Graceful drain: stop listening and remove the path so an immediate
+  // restart binds without EADDRINUSE-style failures.
+  ::close(listener);
+  ::unlink(path.c_str());
+  return 0;
 }
 
 }  // namespace dmis::svc

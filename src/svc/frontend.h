@@ -90,9 +90,27 @@ std::uint64_t run_batch(std::istream& in, std::ostream& out,
                         const FrontEndOptions& options);
 
 /// Accept loop on a Unix stream socket: one client at a time, each
-/// connection a serve_stream-style session. Runs until the process is
-/// signalled; returns nonzero on setup failure.
+/// connection a serve_stream-style session. Runs until EOF-equivalent
+/// shutdown or a requested drain (install_drain_handlers); on drain the
+/// in-flight request finishes, the listening socket is closed and the path
+/// unlinked so an immediate restart can bind again. Returns nonzero on
+/// setup failure, zero on graceful shutdown.
 int serve_unix_socket(const std::string& path, ExecutionService& service,
                       const FrontEndOptions& options);
+
+/// Installs SIGINT/SIGTERM handlers that request a graceful drain instead
+/// of killing the process: serve loops finish the in-flight request, stop
+/// accepting, and return, after which the caller seals the store and emits
+/// a final stats line. Deliberately without SA_RESTART, so blocking
+/// accept(2)/read(2) calls are interrupted (EINTR) and re-check the flag.
+void install_drain_handlers();
+
+/// True once a drain signal has arrived (async-signal-safe flag).
+bool drain_requested();
+
+/// The serving-counters JSON emitted for {"cmd":"stats"} requests and as
+/// the final stats line on drain, as one response line with the given id.
+std::string service_stats_json(const ExecutionService& service,
+                               const std::string& id = "drain");
 
 }  // namespace dmis::svc

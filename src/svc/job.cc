@@ -10,6 +10,7 @@
 #include "rng/mix.h"
 #include "runtime/observer.h"
 #include "runtime/repro.h"
+#include "util/check.h"
 #include "util/json.h"
 
 namespace dmis::svc {
@@ -203,6 +204,7 @@ const char* job_status_name(JobStatus status) {
     case JobStatus::kFailed: return "failed";
     case JobStatus::kCancelled: return "cancelled";
     case JobStatus::kRejected: return "rejected";
+    case JobStatus::kEnvError: return "env_error";
   }
   return "?";
 }
@@ -225,6 +227,26 @@ CancelToken::Reason CancelToken::reason() const {
     return Reason::kDeadline;
   }
   return Reason::kNone;
+}
+
+namespace {
+std::atomic<int> g_inject_env_failures{0};
+
+/// Consumes one injected failure if any are armed.
+bool take_injected_env_failure() {
+  int remaining = g_inject_env_failures.load(std::memory_order_relaxed);
+  while (remaining > 0) {
+    if (g_inject_env_failures.compare_exchange_weak(
+            remaining, remaining - 1, std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
+}
+}  // namespace
+
+void inject_env_failures_for_testing(int count) {
+  g_inject_env_failures.store(count, std::memory_order_relaxed);
 }
 
 JobResult make_cancelled_result(const JobSpec& spec,
@@ -287,6 +309,8 @@ JobResult execute_job(const JobSpec& spec, int threads, CancelToken* cancel) {
   }
 
   try {
+    DMIS_CHECK_ENV(!take_injected_env_failure(),
+                   "injected environment failure (testing hook)");
     const FaultRunResult r = run_algorithm_with_faults(
         spec.graph, spec.algorithm, spec.seed, threads, spec.faults,
         spec.max_rounds, extra, spec.options_json);
@@ -304,6 +328,18 @@ JobResult execute_job(const JobSpec& spec, int threads, CancelToken* cancel) {
     }
   } catch (const JobCancelledError& e) {
     out = make_cancelled_result(spec, e.reason());
+  } catch (const EnvironmentError& e) {
+    // The environmental class of the taxonomy: graph file vanished, store
+    // or bundle I/O failed. The spec itself is fine, so the result is
+    // retryable and deliberately not canonical — it is never cached.
+    out.status = JobStatus::kEnvError;
+    out.retryable = true;
+    out.canonical = minimal_json(spec, JobStatus::kEnvError, e.what());
+  } catch (const std::bad_alloc&) {
+    out.status = JobStatus::kEnvError;
+    out.retryable = true;
+    out.canonical =
+        minimal_json(spec, JobStatus::kEnvError, "out of memory");
   }
   return out;
 }

@@ -78,6 +78,8 @@ enum class JobStatus : std::uint8_t {
   kCancelled,  ///< cancelled or deadline-expired; never cached
   kRejected,   ///< inadmissible spec: unknown algorithm, bad options, or a
                ///< capability the algorithm lacks (the reason names which)
+  kEnvError,   ///< environmental failure (I/O, ENOMEM): the spec is fine,
+               ///< the world is not — retryable, never cached
 };
 const char* job_status_name(JobStatus status);
 
@@ -91,6 +93,11 @@ struct JobResult {
   /// failed. Written with threads=1 — valid for any execution by the
   /// thread-invariance contract.
   std::string bundle_text;
+  /// The error-taxonomy bit (DESIGN.md §15): true iff status == kEnvError.
+  /// Deterministic failures re-run to the identical failure, so retrying
+  /// them is pure waste; environmental ones may succeed on retry, and the
+  /// scheduler does so (bounded, deterministic backoff) before reporting.
+  bool retryable = false;
 };
 
 /// Cooperative cancellation: checked by the per-job deadline observer at
@@ -143,5 +150,11 @@ JobResult execute_job(const JobSpec& spec, int threads,
 /// expired while queued).
 JobResult make_cancelled_result(const JobSpec& spec,
                                 CancelToken::Reason reason);
+
+/// Test hook: the next `count` executions of execute_job throw an
+/// EnvironmentError before running — exercises the kEnvError path and the
+/// scheduler's bounded retry without needing real I/O failures. Process-wide
+/// and self-consuming; pass 0 to clear.
+void inject_env_failures_for_testing(int count);
 
 }  // namespace dmis::svc

@@ -1,6 +1,7 @@
 #include "svc/scheduler.h"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "runtime/parallel.h"
@@ -48,7 +49,9 @@ Scheduler::Scheduler(SchedulerOptions options)
     : workers_count_(std::max(options.workers, 1)),
       threads_per_job_(WorkerPool::lanes_per_worker(options.total_threads,
                                                     options.workers)),
-      queue_capacity_(std::max<std::size_t>(options.queue_capacity, 1)) {
+      queue_capacity_(std::max<std::size_t>(options.queue_capacity, 1)),
+      max_retries_(std::max(options.max_retries, 0)),
+      retry_backoff_s_(std::max(options.retry_backoff_s, 0.0)) {
   workers_.reserve(static_cast<std::size_t>(workers_count_));
   for (int w = 0; w < workers_count_; ++w) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -151,6 +154,7 @@ void Scheduler::worker_loop() {
     JobResult result;
     const CancelToken::Reason pre = ticket->token_.reason();
     bool executed = false;
+    std::uint64_t attempts_retried = 0;
     if (pre != CancelToken::Reason::kNone) {
       // Expired while queued: complete without running — an abandoned or
       // impossible deadline must not occupy a worker.
@@ -158,12 +162,29 @@ void Scheduler::worker_loop() {
     } else {
       result = execute_job(ticket->spec_, threads_per_job_, &ticket->token_);
       executed = true;
+      // The retry half of the error taxonomy: environmental failures may
+      // heal (a file reappears, memory frees up), so re-run up to
+      // max_retries_ times with a deterministic linear backoff.
+      // Deterministic failures never reach here — execute_job marks only
+      // kEnvError retryable.
+      for (int attempt = 1;
+           result.status == JobStatus::kEnvError && attempt <= max_retries_ &&
+           ticket->token_.reason() == CancelToken::Reason::kNone;
+           ++attempt) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(
+            retry_backoff_s_ * static_cast<double>(attempt)));
+        ++attempts_retried;
+        result =
+            execute_job(ticket->spec_, threads_per_job_, &ticket->token_);
+      }
     }
 
     {
       std::lock_guard<std::mutex> lock(mutex_);
       if (executed) ++stats_.executed;
       ++stats_.completed;
+      stats_.retries += attempts_retried;
+      if (result.status == JobStatus::kEnvError) ++stats_.env_errors;
       if (result.status == JobStatus::kCancelled) {
         const CancelToken::Reason reason = ticket->token_.reason();
         if (reason == CancelToken::Reason::kDeadline) {
@@ -191,6 +212,8 @@ TextTable Scheduler::stats_table() const {
   table.row().cell("jobs_cancelled").cell(s.cancelled);
   table.row().cell("jobs_deadline_expired").cell(s.deadline_expired);
   table.row().cell("jobs_rejected").cell(s.rejected);
+  table.row().cell("jobs_retried").cell(s.retries);
+  table.row().cell("jobs_env_error").cell(s.env_errors);
   table.row().cell("max_queue_depth").cell(s.max_queue_depth);
   return table;
 }

@@ -48,6 +48,13 @@ struct SchedulerOptions {
   int workers = 1;            ///< concurrent jobs
   int total_threads = 1;      ///< budget shared by all concurrent jobs
   std::size_t queue_capacity = 256;  ///< admission bound (queued, not running)
+  /// Bounded retry of *environmental* failures (kEnvError) — deterministic
+  /// failures re-run to the identical failure and are never retried. Each
+  /// retry waits attempt * retry_backoff_s (deterministic, not jittered: a
+  /// reproducible schedule is worth more here than thundering-herd
+  /// avoidance in a single-process service).
+  int max_retries = 2;
+  double retry_backoff_s = 0.01;
 };
 
 struct SchedulerStats {
@@ -57,6 +64,8 @@ struct SchedulerStats {
   std::uint64_t cancelled = 0;  ///< explicit cancel or shutdown
   std::uint64_t deadline_expired = 0;
   std::uint64_t rejected = 0;   ///< try_submit refusals (queue full)
+  std::uint64_t retries = 0;    ///< env-error re-executions (kEnvError only)
+  std::uint64_t env_errors = 0;  ///< jobs that ended kEnvError after retries
   std::uint64_t max_queue_depth = 0;
 
   friend bool operator==(const SchedulerStats&, const SchedulerStats&) =
@@ -136,6 +145,8 @@ class Scheduler {
   int workers_count_;
   int threads_per_job_;
   std::size_t queue_capacity_;
+  int max_retries_;
+  double retry_backoff_s_;
 
   mutable std::mutex mutex_;
   std::condition_variable work_cv_;   // workers wait for jobs / shutdown

@@ -5,8 +5,14 @@
 namespace dmis::svc {
 
 ExecutionService::ExecutionService(ServiceOptions options)
-    : cache_(options.cache_entries, options.cache_shards),
-      scheduler_(options.scheduler) {}
+    : store_(options.store_dir.empty()
+                 ? nullptr
+                 : std::make_unique<ResultStore>(StoreOptions{
+                       options.store_dir, options.store_segment_bytes})),
+      cache_(options.cache_entries, options.cache_shards),
+      scheduler_(options.scheduler) {
+  if (store_ != nullptr) cache_.attach_store(store_.get());
+}
 
 ExecutionService::Pending ExecutionService::submit(
     JobSpec spec, JobPriority priority, std::optional<double> deadline_s) {

@@ -17,6 +17,7 @@
 #include "svc/cache.h"
 #include "svc/job.h"
 #include "svc/scheduler.h"
+#include "svc/store.h"
 #include "util/table.h"
 
 namespace dmis::svc {
@@ -25,6 +26,10 @@ struct ServiceOptions {
   SchedulerOptions scheduler;
   std::size_t cache_entries = 4096;
   std::size_t cache_shards = 8;
+  /// Non-empty: open (recovering) a durable ResultStore there and attach it
+  /// under the LRU — RAM misses probe disk, OK results write through.
+  std::string store_dir;
+  std::uint64_t store_segment_bytes = 4u << 20;
 };
 
 /// Terminal outcome of one service request.
@@ -75,8 +80,21 @@ class ExecutionService {
   const ResultCache& cache() const { return cache_; }
   Scheduler& scheduler() { return scheduler_; }
   const Scheduler& scheduler() const { return scheduler_; }
+  /// The durable tier, or nullptr when the service runs RAM-only.
+  ResultStore* store() { return store_.get(); }
+  const ResultStore* store() const { return store_.get(); }
+
+  /// Drain-time durability point: flush + seal the store (no-op without
+  /// one). Called by the frontends after the last in-flight job completes.
+  void seal_store() {
+    if (store_ != nullptr) store_->seal();
+  }
 
  private:
+  // Destruction order matters: scheduler_ first (declared last) so no
+  // worker is completing into the cache while the cache or its disk tier
+  // is going away; cache_ before store_ because it holds a store pointer.
+  std::unique_ptr<ResultStore> store_;
   ResultCache cache_;
   Scheduler scheduler_;
 };

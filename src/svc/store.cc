@@ -1,0 +1,649 @@
+#include "svc/store.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <tuple>
+#include <utility>
+
+#include "rng/mix.h"
+#include "util/check.h"
+
+namespace dmis::svc {
+namespace {
+
+// Domain-separation tag of the record digest fold ("drs-rcrd").
+constexpr std::uint64_t kRecordDigestTag = 0x6472732d72637264ULL;
+// A len field above this is garbage, not a record: no canonical result is
+// remotely this large, and the cap keeps `32 + len` overflow-free.
+constexpr std::uint64_t kMaxPayloadLen = 1ull << 30;
+
+struct StoreHeader {
+  char magic[8];
+  std::uint32_t version;
+  std::uint32_t endian_tag;
+};
+static_assert(sizeof(StoreHeader) == kStoreHeaderBytes,
+              "store segment header must be exactly 16 bytes");
+
+/// Digest over the whole record frame content: length, key, payload bytes
+/// (folded in little-endian 8-byte words, same scheme as job keys).
+std::uint64_t record_digest(std::uint64_t payload_len, const JobKey& key,
+                            const char* payload) {
+  std::uint64_t h = mix64(kRecordDigestTag);
+  h = mix64(h, payload_len);
+  h = mix64(h, key.hi);
+  h = mix64(h, key.lo);
+  std::uint64_t word = 0;
+  int filled = 0;
+  for (std::uint64_t i = 0; i < payload_len; ++i) {
+    word |= static_cast<std::uint64_t>(static_cast<unsigned char>(payload[i]))
+            << (8 * filled);
+    if (++filled == 8) {
+      h = mix64(h, word);
+      word = 0;
+      filled = 0;
+    }
+  }
+  if (filled != 0) h = mix64(h, word);
+  return h;
+}
+
+std::uint64_t load_u64(const char* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+void store_u64(char* p, std::uint64_t v) { std::memcpy(p, &v, sizeof(v)); }
+
+/// One complete, digest-valid record found by a scan.
+struct ScannedRecord {
+  JobKey key;
+  std::uint64_t offset;  ///< frame start within the segment
+  std::uint64_t payload_len;
+};
+
+/// Outcome of scanning one segment's bytes. `valid_end` is the offset just
+/// past the last structurally complete record (valid or corrupt) — the
+/// truncation point that removes exactly the torn tail and nothing else.
+struct SegmentScan {
+  bool alien = false;  ///< bad magic/version/endianness — not crash damage
+  std::string alien_reason;
+  std::uint64_t valid_end = 0;
+  std::uint64_t torn_bytes = 0;
+  std::uint64_t corrupt_records = 0;
+  std::vector<ScannedRecord> records;
+};
+
+SegmentScan scan_segment_bytes(const char* data, std::uint64_t size,
+                               const std::string& path,
+                               std::vector<std::string>* notes) {
+  SegmentScan scan;
+  const auto note = [&](std::string line) {
+    std::fprintf(stderr, "store: %s\n", line.c_str());
+    if (notes != nullptr) notes->push_back(std::move(line));
+  };
+  if (size < kStoreHeaderBytes) {
+    // A crash between creat() and the completed header write: the whole
+    // file is a torn tail.
+    scan.valid_end = 0;
+    scan.torn_bytes = size;
+    if (size > 0) note(path + ": torn header (" + std::to_string(size) +
+                       " bytes) — truncating");
+    return scan;
+  }
+  StoreHeader header{};
+  std::memcpy(&header, data, sizeof(header));
+  if (std::memcmp(header.magic, kStoreMagic, sizeof(kStoreMagic)) != 0) {
+    scan.alien = true;
+    scan.alien_reason = path + ": bad magic — not a result-store segment";
+    return scan;
+  }
+  if (header.endian_tag != kStoreEndianTag) {
+    scan.alien = true;
+    scan.alien_reason =
+        path + ": bad endianness tag — written on an incompatible host";
+    return scan;
+  }
+  if (header.version != kStoreVersion) {
+    scan.alien = true;
+    scan.alien_reason = path + ": unsupported segment version " +
+                        std::to_string(header.version) +
+                        " (this build reads version " +
+                        std::to_string(kStoreVersion) + ")";
+    return scan;
+  }
+
+  std::uint64_t o = kStoreHeaderBytes;
+  scan.valid_end = o;
+  while (o < size) {
+    if (size - o < kStoreRecordFrameBytes) {
+      scan.torn_bytes = size - o;
+      break;
+    }
+    const std::uint64_t len = load_u64(data + o);
+    if (len > kMaxPayloadLen || kStoreRecordFrameBytes + len > size - o) {
+      // Either a torn length word or a record whose promised extent runs
+      // off the file — indistinguishable from here; both are the tail.
+      scan.torn_bytes = size - o;
+      break;
+    }
+    JobKey key;
+    key.hi = load_u64(data + o + 8);
+    key.lo = load_u64(data + o + 16);
+    const char* payload = data + o + 24;
+    const std::uint64_t stored = load_u64(payload + len);
+    const std::uint64_t end = o + kStoreRecordFrameBytes + len;
+    if (record_digest(len, key, payload) != stored) {
+      ++scan.corrupt_records;
+      note(path + ": digest mismatch at offset " + std::to_string(o) +
+           " (key " + key.hex() + ") — skipping record");
+    } else {
+      scan.records.push_back({key, o, len});
+    }
+    scan.valid_end = end;
+    o = end;
+  }
+  if (scan.torn_bytes > 0) {
+    note(path + ": torn tail of " + std::to_string(scan.torn_bytes) +
+         " bytes at offset " + std::to_string(scan.valid_end));
+  }
+  return scan;
+}
+
+/// pread exactly `size` bytes at `offset`; returns false on error or EOF.
+bool pread_fully(int fd, char* out, std::size_t size, off_t offset) {
+  std::size_t got = 0;
+  while (got < size) {
+    const ssize_t n = ::pread(fd, out + got, size - got,
+                              offset + static_cast<off_t>(got));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;
+    got += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Reads all of fd (size bytes) into a buffer; returns false on I/O error.
+bool read_all(int fd, std::uint64_t size, std::vector<char>& out) {
+  out.resize(static_cast<std::size_t>(size));
+  return pread_fully(fd, out.data(), out.size(), 0);
+}
+
+/// Ascending list of segment ids present in `dir` (from seg-NNNNNN.drs
+/// names). Throws EnvironmentError when the directory cannot be read.
+std::vector<std::uint64_t> list_segment_ids(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  DMIS_CHECK_ENV(d != nullptr,
+                 "cannot open store directory: " << dir << " ("
+                                                 << std::strerror(errno)
+                                                 << ")");
+  std::vector<std::uint64_t> ids;
+  while (dirent* entry = ::readdir(d)) {
+    const std::string name = entry->d_name;
+    if (name.size() != 14 || name.rfind("seg-", 0) != 0 ||
+        name.compare(name.size() - 4, 4, ".drs") != 0) {
+      continue;
+    }
+    char* end = nullptr;
+    const std::uint64_t id = std::strtoull(name.c_str() + 4, &end, 10);
+    if (end == name.c_str() + 10 && id > 0) ids.push_back(id);
+  }
+  ::closedir(d);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+bool write_fully(int fd, const char* data, std::size_t size, off_t offset) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::pwrite(fd, data + sent, size - sent,
+                               offset + static_cast<off_t>(sent));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string store_segment_name(std::uint64_t id) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "seg-%06llu.drs",
+                static_cast<unsigned long long>(id));
+  return buf;
+}
+
+ResultStore::ResultStore(StoreOptions options) : options_(std::move(options)) {
+  DMIS_CHECK(!options_.dir.empty(), "ResultStore needs a directory");
+  options_.segment_bytes =
+      std::max<std::uint64_t>(options_.segment_bytes, kStoreHeaderBytes +
+                                                          kStoreRecordFrameBytes);
+  std::lock_guard<std::mutex> lock(mutex_);
+  open_dir_locked();
+  recover_locked();
+}
+
+ResultStore::~ResultStore() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (Segment& seg : segments_) {
+    if (seg.fd >= 0) {
+      ::fsync(seg.fd);
+      ::close(seg.fd);
+    }
+  }
+}
+
+void ResultStore::open_dir_locked() {
+  struct stat st{};
+  if (::stat(options_.dir.c_str(), &st) != 0) {
+    DMIS_CHECK_ENV(errno == ENOENT, "cannot stat store directory: "
+                                        << options_.dir << " ("
+                                        << std::strerror(errno) << ")");
+    DMIS_CHECK_ENV(::mkdir(options_.dir.c_str(), 0777) == 0,
+                   "cannot create store directory: "
+                       << options_.dir << " (" << std::strerror(errno) << ")");
+  } else {
+    DMIS_CHECK(S_ISDIR(st.st_mode),
+               "store path is not a directory: " << options_.dir);
+  }
+}
+
+ResultStore::Segment ResultStore::open_segment_locked(std::uint64_t id,
+                                                      bool create) {
+  Segment seg;
+  seg.path = options_.dir + "/" + store_segment_name(id);
+  const int flags = O_RDWR | (create ? O_CREAT | O_EXCL : 0);
+  seg.fd = ::open(seg.path.c_str(), flags, 0666);
+  DMIS_CHECK_ENV(seg.fd >= 0, "cannot open store segment: "
+                                  << seg.path << " (" << std::strerror(errno)
+                                  << ")");
+  if (create) {
+    StoreHeader header{};
+    std::memcpy(header.magic, kStoreMagic, sizeof(kStoreMagic));
+    header.version = kStoreVersion;
+    header.endian_tag = kStoreEndianTag;
+    if (!write_fully(seg.fd, reinterpret_cast<const char*>(&header),
+                     sizeof(header), 0)) {
+      const int saved = errno;
+      ::close(seg.fd);
+      DMIS_CHECK_ENV(false, "cannot write store segment header: "
+                                << seg.path << " (" << std::strerror(saved)
+                                << ")");
+    }
+    fsync_dir_locked();  // the new directory entry must survive a crash
+  }
+  seg.size = kStoreHeaderBytes;
+  return seg;
+}
+
+void ResultStore::fsync_dir_locked() {
+  const int dfd = ::open(options_.dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+}
+
+void ResultStore::recover_locked() {
+  const std::vector<std::uint64_t> ids = list_segment_ids(options_.dir);
+  for (const std::uint64_t id : ids) {
+    Segment seg = open_segment_locked(id, /*create=*/false);
+    struct stat st{};
+    if (::fstat(seg.fd, &st) != 0) {
+      const int saved = errno;
+      ::close(seg.fd);
+      DMIS_CHECK_ENV(false, "cannot stat store segment: "
+                                << seg.path << " (" << std::strerror(saved)
+                                << ")");
+    }
+    const auto file_size = static_cast<std::uint64_t>(st.st_size);
+    std::vector<char> bytes;
+    if (!read_all(seg.fd, file_size, bytes)) {
+      const int saved = errno;
+      ::close(seg.fd);
+      DMIS_CHECK_ENV(false, "cannot read store segment: "
+                                << seg.path << " (" << std::strerror(saved)
+                                << ")");
+    }
+    const SegmentScan scan =
+        scan_segment_bytes(bytes.data(), file_size, seg.path, nullptr);
+    if (scan.alien) {
+      ::close(seg.fd);
+      DMIS_CHECK(false, scan.alien_reason
+                            << " — `dmis store fsck` reports without opening");
+    }
+    if (scan.valid_end == 0) {
+      // Torn header: reclaim the file as an empty segment.
+      ::ftruncate(seg.fd, 0);
+      StoreHeader header{};
+      std::memcpy(header.magic, kStoreMagic, sizeof(kStoreMagic));
+      header.version = kStoreVersion;
+      header.endian_tag = kStoreEndianTag;
+      DMIS_CHECK_ENV(write_fully(seg.fd,
+                                 reinterpret_cast<const char*>(&header),
+                                 sizeof(header), 0),
+                     "cannot rewrite torn segment header: " << seg.path);
+      ::fsync(seg.fd);
+    } else if (scan.torn_bytes > 0) {
+      ::ftruncate(seg.fd, static_cast<off_t>(scan.valid_end));
+      ::fsync(seg.fd);
+    }
+    stats_.torn_bytes_truncated += scan.torn_bytes;
+    stats_.corrupt_records_skipped += scan.corrupt_records;
+    seg.size = std::max<std::uint64_t>(scan.valid_end, kStoreHeaderBytes);
+    const auto segment_index = static_cast<std::uint32_t>(segments_.size());
+    for (const ScannedRecord& r : scan.records) {
+      const auto [it, inserted] =
+          index_.emplace(r.key, RecordLoc{segment_index, r.offset,
+                                          r.payload_len});
+      if (inserted) {
+        ++stats_.recovered_records;
+        stats_.payload_bytes += r.payload_len;
+      } else {
+        ++stats_.duplicate_records;
+      }
+    }
+    segments_.push_back(std::move(seg));
+    next_segment_id_ = id + 1;
+  }
+  if (segments_.empty()) {
+    segments_.push_back(open_segment_locked(next_segment_id_, /*create=*/true));
+    ++next_segment_id_;
+  }
+  stats_.segments = segments_.size();
+  stats_.records = index_.size();
+}
+
+std::optional<std::string> ResultStore::get(const JobKey& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.reads;
+  const auto it = index_.find(key);
+  if (it == index_.end()) return std::nullopt;
+  const RecordLoc loc = it->second;
+  const Segment& seg = segments_[loc.segment];
+  std::vector<char> frame(
+      static_cast<std::size_t>(kStoreRecordFrameBytes + loc.payload_len));
+  const bool ok = seg.fd >= 0 &&
+                  pread_fully(seg.fd, frame.data(), frame.size(),
+                              static_cast<off_t>(loc.offset));
+  const char* payload = frame.data() + 24;
+  if (!ok || load_u64(frame.data()) != loc.payload_len ||
+      load_u64(frame.data() + 8) != key.hi ||
+      load_u64(frame.data() + 16) != key.lo ||
+      record_digest(loc.payload_len, key, payload) !=
+          load_u64(payload + loc.payload_len)) {
+    // Never serve bytes that fail their digest: drop the record and miss.
+    ++stats_.read_corrupt;
+    stats_.payload_bytes -= loc.payload_len;
+    index_.erase(it);
+    stats_.records = index_.size();
+    std::fprintf(stderr,
+                 "store: %s: record for key %s failed digest on read — "
+                 "dropped\n",
+                 seg.path.c_str(), key.hex().c_str());
+    return std::nullopt;
+  }
+  ++stats_.read_hits;
+  return std::string(payload, static_cast<std::size_t>(loc.payload_len));
+}
+
+bool ResultStore::contains(const JobKey& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return index_.count(key) != 0;
+}
+
+std::uint64_t ResultStore::record_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return index_.size();
+}
+
+bool ResultStore::roll_if_needed_locked(std::size_t incoming_bytes) {
+  Segment& active = segments_.back();
+  if (active.size + incoming_bytes <= options_.segment_bytes ||
+      active.size <= kStoreHeaderBytes) {
+    return true;
+  }
+  // Roll: seal the full segment's bytes before any record lands in a new
+  // one, so segment order is also durability order.
+  ::fsync(active.fd);
+  try {
+    segments_.push_back(open_segment_locked(next_segment_id_, /*create=*/true));
+  } catch (const EnvironmentError& e) {
+    // Rolling is an optimization; appending to the oversized segment keeps
+    // serving (and durability) intact.
+    std::fprintf(stderr, "store: segment roll failed, continuing: %s\n",
+                 e.what());
+    return false;
+  }
+  ++next_segment_id_;
+  stats_.segments = segments_.size();
+  return true;
+}
+
+bool ResultStore::append_locked(const JobKey& key,
+                                const std::string& payload) {
+  if (sealed_) {
+    // A put after seal() reopens the active segment (drain is normally the
+    // last thing a process does; reopening keeps the API total).
+    Segment& active = segments_.back();
+    if (active.fd < 0) {
+      active.fd = ::open(active.path.c_str(), O_RDWR);
+      if (active.fd < 0) {
+        ++stats_.append_errors;
+        return false;
+      }
+    }
+    sealed_ = false;
+  }
+  roll_if_needed_locked(kStoreRecordFrameBytes + payload.size());
+  Segment& active = segments_.back();
+  std::vector<char> frame(kStoreRecordFrameBytes + payload.size());
+  store_u64(frame.data(), payload.size());
+  store_u64(frame.data() + 8, key.hi);
+  store_u64(frame.data() + 16, key.lo);
+  std::memcpy(frame.data() + 24, payload.data(), payload.size());
+  store_u64(frame.data() + 24 + payload.size(),
+            record_digest(payload.size(), key, payload.data()));
+  if (!write_fully(active.fd, frame.data(), frame.size(),
+                   static_cast<off_t>(active.size))) {
+    // Back the partial frame out so the on-disk tail stays a record
+    // boundary; if even that fails, recovery truncates it on next open.
+    ::ftruncate(active.fd, static_cast<off_t>(active.size));
+    ++stats_.append_errors;
+    std::fprintf(stderr, "store: append failed on %s (%s)\n",
+                 active.path.c_str(), std::strerror(errno));
+    return false;
+  }
+  index_.emplace(key, RecordLoc{
+                          static_cast<std::uint32_t>(segments_.size() - 1),
+                          active.size, payload.size()});
+  active.size += frame.size();
+  ++stats_.appends;
+  stats_.records = index_.size();
+  stats_.payload_bytes += payload.size();
+  return true;
+}
+
+bool ResultStore::put(const JobKey& key, const std::string& canonical) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (index_.count(key) != 0) {
+    // Determinism: the durable bytes for this key are already exactly
+    // `canonical`; rewriting them would only grow the log.
+    ++stats_.append_skipped;
+    return true;
+  }
+  return append_locked(key, canonical);
+}
+
+void ResultStore::flush() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!segments_.empty() && segments_.back().fd >= 0) {
+    ::fsync(segments_.back().fd);
+  }
+}
+
+void ResultStore::seal() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (segments_.empty() || sealed_) return;
+  Segment& active = segments_.back();
+  if (active.fd >= 0) ::fsync(active.fd);
+  sealed_ = true;
+}
+
+std::uint64_t ResultStore::compact() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Stable order: rewrite in (segment, offset) order so compaction is a
+  // pure function of the live record set.
+  std::vector<std::pair<JobKey, RecordLoc>> live(index_.begin(), index_.end());
+  std::sort(live.begin(), live.end(), [](const auto& a, const auto& b) {
+    return std::tie(a.second.segment, a.second.offset) <
+           std::tie(b.second.segment, b.second.offset);
+  });
+
+  std::uint64_t old_bytes = 0;
+  for (const Segment& seg : segments_) old_bytes += seg.size;
+
+  std::vector<Segment> fresh;
+  std::unordered_map<JobKey, RecordLoc, JobKeyHash> fresh_index;
+  fresh.push_back(open_segment_locked(next_segment_id_++, /*create=*/true));
+  for (const auto& [key, loc] : live) {
+    const Segment& src = segments_[loc.segment];
+    std::vector<char> frame(
+        static_cast<std::size_t>(kStoreRecordFrameBytes + loc.payload_len));
+    const bool ok = pread_fully(src.fd, frame.data(), frame.size(),
+                                static_cast<off_t>(loc.offset));
+    const char* payload = frame.data() + 24;
+    if (!ok || record_digest(loc.payload_len, key, payload) !=
+                   load_u64(payload + loc.payload_len)) {
+      ++stats_.read_corrupt;
+      stats_.payload_bytes -= loc.payload_len;
+      std::fprintf(stderr,
+                   "store: compact dropped corrupt record for key %s\n",
+                   key.hex().c_str());
+      continue;
+    }
+    Segment& dst = fresh.back();
+    if (dst.size + frame.size() > options_.segment_bytes &&
+        dst.size > kStoreHeaderBytes) {
+      ::fsync(dst.fd);
+      fresh.push_back(open_segment_locked(next_segment_id_++, /*create=*/true));
+    }
+    Segment& active = fresh.back();
+    DMIS_CHECK_ENV(write_fully(active.fd, frame.data(), frame.size(),
+                               static_cast<off_t>(active.size)),
+                   "compact write failed on " << active.path);
+    fresh_index.emplace(key, RecordLoc{
+                                 static_cast<std::uint32_t>(fresh.size() - 1),
+                                 active.size, loc.payload_len});
+    active.size += frame.size();
+  }
+  // Durability barrier: every fresh segment is on disk before any old one
+  // goes away — a crash in between recovers duplicates, never losses.
+  for (const Segment& seg : fresh) ::fsync(seg.fd);
+  fsync_dir_locked();
+  for (Segment& seg : segments_) {
+    if (seg.fd >= 0) ::close(seg.fd);
+    ::unlink(seg.path.c_str());
+  }
+  fsync_dir_locked();
+  segments_ = std::move(fresh);
+  index_ = std::move(fresh_index);
+  sealed_ = false;
+  stats_.segments = segments_.size();
+  stats_.records = index_.size();
+  std::uint64_t new_bytes = 0;
+  for (const Segment& seg : segments_) new_bytes += seg.size;
+  return old_bytes > new_bytes ? old_bytes - new_bytes : 0;
+}
+
+StoreStats ResultStore::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+TextTable ResultStore::stats_table() const {
+  const StoreStats s = stats();
+  TextTable table({"metric", "value"});
+  table.row().cell("store_segments").cell(s.segments);
+  table.row().cell("store_records").cell(s.records);
+  table.row().cell("store_payload_bytes").cell(s.payload_bytes);
+  table.row().cell("store_recovered_records").cell(s.recovered_records);
+  table.row().cell("store_torn_bytes_truncated").cell(s.torn_bytes_truncated);
+  table.row().cell("store_corrupt_records_skipped")
+      .cell(s.corrupt_records_skipped);
+  table.row().cell("store_duplicate_records").cell(s.duplicate_records);
+  table.row().cell("store_appends").cell(s.appends);
+  table.row().cell("store_append_skipped").cell(s.append_skipped);
+  table.row().cell("store_append_errors").cell(s.append_errors);
+  table.row().cell("store_reads").cell(s.reads);
+  table.row().cell("store_read_hits").cell(s.read_hits);
+  table.row().cell("store_read_corrupt").cell(s.read_corrupt);
+  return table;
+}
+
+StoreFsckReport ResultStore::fsck(const std::string& dir) {
+  StoreFsckReport report;
+  std::vector<std::uint64_t> ids;
+  try {
+    ids = list_segment_ids(dir);
+  } catch (const EnvironmentError& e) {
+    ++report.unrecoverable;
+    report.notes.emplace_back(e.what());
+    return report;
+  }
+  std::unordered_map<JobKey, bool, JobKeyHash> seen;
+  for (const std::uint64_t id : ids) {
+    const std::string path = dir + "/" + store_segment_name(id);
+    ++report.segments;
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+      ++report.unrecoverable;
+      report.notes.push_back(path + ": unreadable (" +
+                             std::strerror(errno) + ")");
+      continue;
+    }
+    struct stat st{};
+    std::vector<char> bytes;
+    if (::fstat(fd, &st) != 0 ||
+        !read_all(fd, static_cast<std::uint64_t>(st.st_size), bytes)) {
+      ++report.unrecoverable;
+      report.notes.push_back(path + ": read failed (" +
+                             std::strerror(errno) + ")");
+      ::close(fd);
+      continue;
+    }
+    ::close(fd);
+    const SegmentScan scan = scan_segment_bytes(
+        bytes.data(), static_cast<std::uint64_t>(st.st_size), path,
+        &report.notes);
+    if (scan.alien) {
+      ++report.unrecoverable;
+      report.notes.push_back(scan.alien_reason);
+      continue;
+    }
+    report.torn_tail_bytes += scan.torn_bytes;
+    report.corrupt_records += scan.corrupt_records;
+    for (const ScannedRecord& r : scan.records) {
+      ++report.valid_records;
+      if (seen.emplace(r.key, true).second) {
+        ++report.distinct_keys;
+        report.payload_bytes += r.payload_len;
+      } else {
+        ++report.duplicate_records;
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace dmis::svc

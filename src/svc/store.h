@@ -1,0 +1,186 @@
+// Crash-safe durable result store (DESIGN.md §15).
+//
+// The disk tier under the sharded LRU result cache: an append-only log of
+// (JobKey, canonical result bytes) records across numbered segment files.
+// Determinism makes this trivially coherent — a key's bytes are a pure
+// function of its spec, so a persisted record is exactly what re-executing
+// would produce, forever; there is no invalidation problem, only integrity.
+//
+// Segment layout (`seg-NNNNNN.drs`, fixed-width little-endian fields):
+//
+//   offset  size  field
+//   ------  ----  ---------------------------------------------
+//        0     8  magic: the bytes "DMISRSLT"
+//        8     4  version (kStoreVersion)
+//       12     4  endianness tag (kStoreEndianTag, written native)
+//       16     …  records, back to back
+//
+// Record framing (32 bytes of frame around the payload):
+//
+//   u64 payload_len | u64 key.hi | u64 key.lo | payload | u64 digest
+//
+// where `digest` is a seeded mix64 fold over (len, key, payload bytes).
+// Each append is a single write(2) of the whole record; the active segment
+// is fsync'd when it rolls at `segment_bytes` and on flush()/seal(), and
+// the directory is fsync'd whenever a segment is created, so a sealed
+// store survives power loss, and an unsealed one loses at most the
+// unsynced tail — never its prefix.
+//
+// Recovery invariant: a `kill -9` at ANY byte offset recovers a valid
+// prefix. The opening scan walks every segment record by record; an
+// incomplete record at the tail of the last segment is a *torn tail* and is
+// truncated away (counted, stderr-loud); a complete record whose digest
+// does not match is *corrupt* and is skipped (counted, stderr-loud) without
+// ending the scan. Reads re-verify the digest against the mapped-in bytes,
+// so a record that rots after the scan is a miss, never a wrong answer —
+// no torn or corrupt record is ever served.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "svc/job.h"
+#include "util/table.h"
+
+namespace dmis::svc {
+
+inline constexpr char kStoreMagic[8] = {'D', 'M', 'I', 'S',
+                                        'R', 'S', 'L', 'T'};
+inline constexpr std::uint32_t kStoreVersion = 1;
+inline constexpr std::uint32_t kStoreEndianTag = 0x01020304;
+inline constexpr std::size_t kStoreHeaderBytes = 16;
+/// Frame bytes around each payload: len + key.hi + key.lo + digest.
+inline constexpr std::size_t kStoreRecordFrameBytes = 32;
+/// Segment file name for 1-based id `n`: seg-%06u.drs.
+std::string store_segment_name(std::uint64_t id);
+
+struct StoreOptions {
+  std::string dir;  ///< created if absent; must be a directory
+  /// Roll (fsync + start a new segment) once the active segment exceeds
+  /// this many bytes. Small values exercise rolling; the default keeps
+  /// segment count low for typical result sizes.
+  std::uint64_t segment_bytes = 4u << 20;
+};
+
+struct StoreStats {
+  // Live state after recovery + this process's appends.
+  std::uint64_t segments = 0;
+  std::uint64_t records = 0;        ///< distinct keys indexed
+  std::uint64_t payload_bytes = 0;  ///< sum of indexed payload sizes
+  // Recovery-scan outcome of the opening scan.
+  std::uint64_t recovered_records = 0;     ///< valid records found on open
+  std::uint64_t torn_bytes_truncated = 0;  ///< tail bytes cut by recovery
+  std::uint64_t corrupt_records_skipped = 0;
+  std::uint64_t duplicate_records = 0;  ///< same key seen again (first wins)
+  // Serving counters.
+  std::uint64_t appends = 0;
+  std::uint64_t append_skipped = 0;  ///< key already durable (no rewrite)
+  std::uint64_t append_errors = 0;   ///< I/O failures, non-fatal by contract
+  std::uint64_t reads = 0;
+  std::uint64_t read_hits = 0;
+  std::uint64_t read_corrupt = 0;  ///< digest mismatch on read — never served
+
+  friend bool operator==(const StoreStats&, const StoreStats&) = default;
+};
+
+/// Read-only integrity report over a store directory (`dmis store fsck`).
+/// Recoverable damage (torn tails, corrupt records) is counted but does not
+/// make the store unusable; `unrecoverable` counts segments that cannot be
+/// scanned at all (unreadable, bad magic/version/endianness) — zero after
+/// any crash of a well-formed store.
+struct StoreFsckReport {
+  std::uint64_t segments = 0;
+  std::uint64_t valid_records = 0;
+  std::uint64_t distinct_keys = 0;
+  std::uint64_t duplicate_records = 0;
+  std::uint64_t corrupt_records = 0;
+  std::uint64_t torn_tail_bytes = 0;
+  std::uint64_t payload_bytes = 0;
+  std::uint64_t unrecoverable = 0;
+  std::vector<std::string> notes;  ///< one human-readable line per finding
+
+  bool clean() const { return unrecoverable == 0; }
+};
+
+class ResultStore {
+ public:
+  /// Opens (creating the directory if needed) and runs the recovery scan:
+  /// torn tails are truncated in place, corrupt records skipped; both are
+  /// reported on stderr and in stats(). Throws EnvironmentError when the
+  /// directory cannot be created/read, PreconditionError when a segment is
+  /// structurally alien (bad magic/version/endianness) — that is
+  /// corruption fsck must surface, not a crash artifact.
+  explicit ResultStore(StoreOptions options);
+  ~ResultStore();
+
+  ResultStore(const ResultStore&) = delete;
+  ResultStore& operator=(const ResultStore&) = delete;
+
+  const std::string& dir() const { return options_.dir; }
+
+  /// Digest-verified read of `key`'s canonical bytes. A record failing its
+  /// digest re-check is dropped from the index and reported as a miss.
+  std::optional<std::string> get(const JobKey& key);
+
+  /// Appends (key, canonical). Returns false on I/O failure — durability
+  /// degrades, serving must not: the error is counted and the store stays
+  /// usable. A key already indexed is skipped (determinism: same key, same
+  /// bytes) and reported as success.
+  bool put(const JobKey& key, const std::string& canonical);
+
+  bool contains(const JobKey& key) const;
+  std::uint64_t record_count() const;
+
+  /// fsync the active segment: everything appended so far is durable.
+  void flush();
+  /// Drain-time durability point: flush, then close the active segment so
+  /// the store directory is quiescent (a subsequent put reopens it).
+  void seal();
+
+  /// Rewrites every indexed record into fresh segments and deletes the old
+  /// ones — drops corrupt records, duplicates, and torn tails from disk.
+  /// New segments are fully written and fsync'd before any old segment is
+  /// unlinked, so a crash mid-compact never loses indexed records (at
+  /// worst the next recovery sees duplicates). Returns bytes reclaimed.
+  std::uint64_t compact();
+
+  StoreStats stats() const;
+  TextTable stats_table() const;
+
+  /// Read-only scan of `dir` (no truncation, no repair) — `dmis store
+  /// fsck`. Never throws on damaged segments; they are reported instead.
+  static StoreFsckReport fsck(const std::string& dir);
+
+ private:
+  struct RecordLoc {
+    std::uint32_t segment;  ///< index into segments_
+    std::uint64_t offset;   ///< of the record frame start
+    std::uint64_t payload_len;
+  };
+  struct Segment {
+    std::string path;
+    int fd = -1;  ///< O_RDWR; active segment appends, all segments pread
+    std::uint64_t size = kStoreHeaderBytes;
+  };
+
+  void open_dir_locked();
+  void recover_locked();
+  Segment open_segment_locked(std::uint64_t id, bool create);
+  bool roll_if_needed_locked(std::size_t incoming_bytes);
+  bool append_locked(const JobKey& key, const std::string& payload);
+  void fsync_dir_locked();
+
+  StoreOptions options_;
+  mutable std::mutex mutex_;
+  std::vector<Segment> segments_;  ///< ascending id order; back() is active
+  std::uint64_t next_segment_id_ = 1;
+  bool sealed_ = false;
+  std::unordered_map<JobKey, RecordLoc, JobKeyHash> index_;
+  StoreStats stats_;
+};
+
+}  // namespace dmis::svc

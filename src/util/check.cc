@@ -52,6 +52,13 @@ void throw_precondition_failure(const char* expr, const char* file, int line,
       format_failure("precondition", expr, file, line, msg, site), site);
 }
 
+void throw_environment_failure(const char* expr, const char* file, int line,
+                               const std::string& msg) {
+  const FailureSite site = CheckScope::current();
+  throw EnvironmentError(
+      format_failure("environment", expr, file, line, msg, site), site);
+}
+
 void throw_invariant_failure(const char* expr, const char* file, int line,
                              const std::string& msg) {
   const FailureSite site = CheckScope::current();

@@ -49,6 +49,19 @@ class PreconditionError : public std::invalid_argument {
   FailureSite site_{};
 };
 
+/// Thrown by DMIS_CHECK_ENV when an *environmental* precondition fails: the
+/// spec/request is fine but the world is not — an unreadable graph file,
+/// store or bundle I/O, exhausted memory. The distinction is the service's
+/// retry taxonomy (DESIGN.md §15): deterministic failures are never retried
+/// (re-running reproduces them bit for bit), environmental ones get bounded
+/// retry with deterministic backoff and a "retryable":true marker in error
+/// responses. Subclasses PreconditionError so call sites that only care
+/// about "caller-visible failure" keep working unchanged.
+class EnvironmentError : public PreconditionError {
+ public:
+  using PreconditionError::PreconditionError;
+};
+
 /// Thrown by DMIS_ASSERT when an internal invariant is broken (a bug).
 class InvariantError : public std::logic_error {
  public:
@@ -88,6 +101,8 @@ namespace detail {
 
 [[noreturn]] void throw_precondition_failure(const char* expr, const char* file,
                                              int line, const std::string& msg);
+[[noreturn]] void throw_environment_failure(const char* expr, const char* file,
+                                            int line, const std::string& msg);
 [[noreturn]] void throw_invariant_failure(const char* expr, const char* file,
                                           int line, const std::string& msg);
 
@@ -111,6 +126,18 @@ namespace detail {
       dmis_check_oss_ << msg; /* NOLINT */                                   \
       ::dmis::detail::throw_precondition_failure(#cond, __FILE__, __LINE__,  \
                                                  dmis_check_oss_.str());     \
+    }                                                                        \
+  } while (false)
+
+// Environmental precondition: same loudness as DMIS_CHECK, but the thrown
+// type is EnvironmentError — the retryable class of the error taxonomy.
+#define DMIS_CHECK_ENV(cond, msg)                                            \
+  do {                                                                       \
+    if (!(cond)) [[unlikely]] {                                              \
+      std::ostringstream dmis_check_oss_;                                    \
+      dmis_check_oss_ << msg; /* NOLINT */                                   \
+      ::dmis::detail::throw_environment_failure(#cond, __FILE__, __LINE__,   \
+                                                dmis_check_oss_.str());      \
     }                                                                        \
   } while (false)
 

@@ -1,0 +1,468 @@
+// Crash-safety tests for the durable result store (src/svc/store.h): the
+// valid-prefix recovery invariant under truncation at every byte offset,
+// checked-in corruption fixtures (torn tail, bit flip, bad magic) in the
+// style of test_dmg.cc, digest-verified reads, segment rolling, compaction,
+// the disk tier under the service cache (warm restart byte-identity), and
+// the environmental-error retry taxonomy.
+#include <gtest/gtest.h>
+#include <sys/stat.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "graph/generators.h"
+#include "svc/cache.h"
+#include "svc/frontend.h"
+#include "svc/job.h"
+#include "svc/scheduler.h"
+#include "svc/service.h"
+#include "svc/store.h"
+#include "util/check.h"
+
+namespace dmis::svc {
+namespace {
+
+/// A fresh (emptied) per-test scratch directory: stores mutate their
+/// directory in place, so a rerun must never see the previous run's state.
+std::string temp_dir(const std::string& name) {
+  const std::string path =
+      std::string(::testing::TempDir()) + "/dmis_store_" + name;
+  std::filesystem::remove_all(path);
+  ::mkdir(path.c_str(), 0777);
+  return path;
+}
+
+std::vector<char> read_bytes(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(is),
+          std::istreambuf_iterator<char>()};
+}
+
+void write_bytes(const std::string& path, const std::vector<char>& bytes,
+                 std::size_t limit = SIZE_MAX) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  os.write(bytes.data(),
+           static_cast<std::streamsize>(std::min(limit, bytes.size())));
+}
+
+JobKey key_of(std::uint64_t i) { return JobKey{i, 1000 + i}; }
+
+std::string payload_of(std::uint64_t i) {
+  return "payload-" + std::to_string(i) + ":" +
+         std::string(20 + i % 7, static_cast<char>('a' + i % 26));
+}
+
+/// A store directory seeded with records 1..count, then closed.
+std::string seeded_store(const std::string& name, std::uint64_t count,
+                         std::uint64_t segment_bytes = 4u << 20) {
+  const std::string dir = temp_dir(name);
+  ResultStore store(StoreOptions{dir, segment_bytes});
+  for (std::uint64_t i = 1; i <= count; ++i) {
+    EXPECT_TRUE(store.put(key_of(i), payload_of(i)));
+  }
+  store.seal();
+  return dir;
+}
+
+/// Copies a checked-in fixture segment into a fresh store directory as its
+/// first segment (recovery mutates in place, so tests never touch data/).
+std::string store_dir_from_fixture(const std::string& test_name,
+                                   const std::string& fixture) {
+  const std::string dir = temp_dir(test_name);
+  write_bytes(dir + "/" + store_segment_name(1),
+              read_bytes(std::string(DMIS_TEST_DATA_DIR) + "/" + fixture));
+  return dir;
+}
+
+TEST(Store, RoundTripSurvivesReopenByteIdentical) {
+  const std::string dir = seeded_store("roundtrip", 17);
+  ResultStore store(StoreOptions{dir});
+  EXPECT_EQ(store.record_count(), 17u);
+  EXPECT_EQ(store.stats().recovered_records, 17u);
+  EXPECT_EQ(store.stats().torn_bytes_truncated, 0u);
+  for (std::uint64_t i = 1; i <= 17; ++i) {
+    const std::optional<std::string> got = store.get(key_of(i));
+    ASSERT_TRUE(got.has_value()) << "key " << i;
+    EXPECT_EQ(*got, payload_of(i));
+  }
+  EXPECT_FALSE(store.get(key_of(99)).has_value());
+  EXPECT_FALSE(store.contains(key_of(99)));
+  EXPECT_TRUE(store.contains(key_of(3)));
+}
+
+TEST(Store, PutDeduplicatesByKey) {
+  const std::string dir = temp_dir("dedup");
+  ResultStore store(StoreOptions{dir});
+  EXPECT_TRUE(store.put(key_of(1), payload_of(1)));
+  // Determinism: same key means same bytes, so the rewrite is skipped but
+  // still reported as success.
+  EXPECT_TRUE(store.put(key_of(1), payload_of(1)));
+  EXPECT_EQ(store.record_count(), 1u);
+  EXPECT_EQ(store.stats().appends, 1u);
+  EXPECT_EQ(store.stats().append_skipped, 1u);
+}
+
+// The tentpole property: a kill -9 at ANY byte offset recovers a valid
+// prefix. Truncating at every offset of the last record (and every earlier
+// record's tail region too, via the loop floor) must yield a store with
+// all fully-written records intact, the partial one truncated away, and a
+// clean fsck.
+TEST(Store, TruncationAtEveryByteOffsetRecoversValidPrefix) {
+  const std::string base = seeded_store("prefix_base", 3);
+  const std::vector<char> bytes =
+      read_bytes(base + "/" + store_segment_name(1));
+  // Frame = 32 bytes around each payload; records start after the header.
+  std::size_t last_start = kStoreHeaderBytes;
+  for (std::uint64_t i = 1; i <= 2; ++i) {
+    last_start += kStoreRecordFrameBytes + payload_of(i).size();
+  }
+  ASSERT_LT(last_start, bytes.size());
+
+  for (std::size_t cut = last_start; cut <= bytes.size(); ++cut) {
+    const std::string dir =
+        temp_dir("prefix_cut_" + std::to_string(cut));
+    write_bytes(dir + "/" + store_segment_name(1), bytes, cut);
+
+    // fsck first (read-only): recoverable damage only, never unrecoverable.
+    const StoreFsckReport report = ResultStore::fsck(dir);
+    EXPECT_TRUE(report.clean()) << "cut " << cut;
+    EXPECT_EQ(report.torn_tail_bytes,
+              cut == bytes.size() ? 0u : cut - last_start)
+        << "cut " << cut;
+
+    ResultStore store(StoreOptions{dir});
+    const bool last_complete = cut == bytes.size();
+    EXPECT_EQ(store.record_count(), last_complete ? 3u : 2u) << "cut " << cut;
+    for (std::uint64_t i = 1; i <= 2; ++i) {
+      const std::optional<std::string> got = store.get(key_of(i));
+      ASSERT_TRUE(got.has_value()) << "cut " << cut << " key " << i;
+      EXPECT_EQ(*got, payload_of(i));
+    }
+    EXPECT_EQ(store.get(key_of(3)).has_value(), last_complete)
+        << "cut " << cut;
+    if (!last_complete) {
+      EXPECT_EQ(store.stats().torn_bytes_truncated, cut - last_start);
+    }
+    // The truncated store must accept appends again — the torn tail was
+    // physically removed, so the next record lands on a clean boundary.
+    EXPECT_TRUE(store.put(key_of(50), payload_of(50)));
+    EXPECT_TRUE(store.get(key_of(50)).has_value());
+  }
+}
+
+TEST(Store, TornHeaderRecoversAsEmptySegment) {
+  const std::string base = seeded_store("torn_header_base", 1);
+  const std::vector<char> bytes =
+      read_bytes(base + "/" + store_segment_name(1));
+  for (const std::size_t cut : {std::size_t{0}, std::size_t{7},
+                                kStoreHeaderBytes - 1}) {
+    const std::string dir = temp_dir("torn_header_" + std::to_string(cut));
+    write_bytes(dir + "/" + store_segment_name(1), bytes, cut);
+    EXPECT_TRUE(ResultStore::fsck(dir).clean()) << "cut " << cut;
+    ResultStore store(StoreOptions{dir});
+    EXPECT_EQ(store.record_count(), 0u);
+    EXPECT_TRUE(store.put(key_of(1), payload_of(1)));
+    EXPECT_EQ(*store.get(key_of(1)), payload_of(1));
+  }
+}
+
+TEST(StoreFixture, TornTailTruncatedAndPrefixServed) {
+  const std::string dir =
+      store_dir_from_fixture("fixture_torn", "store_torn_tail.drs");
+  const StoreFsckReport report = ResultStore::fsck(dir);
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.valid_records, 3u);
+  EXPECT_EQ(report.torn_tail_bytes, 13u);
+
+  ResultStore store(StoreOptions{dir});
+  EXPECT_EQ(store.record_count(), 3u);
+  EXPECT_EQ(store.stats().torn_bytes_truncated, 13u);
+  // Fixture payloads: "fixture-payload-<i>:" + 40 x ('a'+i).
+  for (std::uint64_t i = 1; i <= 3; ++i) {
+    const std::optional<std::string> got = store.get(key_of(i));
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, "fixture-payload-" + std::to_string(i) + ":" +
+                        std::string(40, static_cast<char>('a' + i)));
+  }
+}
+
+TEST(StoreFixture, BitFlippedRecordSkippedOthersServed) {
+  const std::string dir =
+      store_dir_from_fixture("fixture_flip", "store_bit_flip.drs");
+  const StoreFsckReport report = ResultStore::fsck(dir);
+  EXPECT_TRUE(report.clean());  // recoverable: the record is skipped
+  EXPECT_EQ(report.corrupt_records, 1u);
+  EXPECT_EQ(report.valid_records, 3u);  // 4 on disk, 1 corrupt
+
+  ResultStore store(StoreOptions{dir});
+  EXPECT_EQ(store.stats().corrupt_records_skipped, 1u);
+  EXPECT_EQ(store.record_count(), 3u);
+  EXPECT_TRUE(store.get(key_of(1)).has_value());
+  EXPECT_FALSE(store.get(key_of(2)).has_value());  // the flipped record
+  EXPECT_TRUE(store.get(key_of(3)).has_value());
+  EXPECT_TRUE(store.get(key_of(4)).has_value());
+}
+
+TEST(StoreFixture, BadMagicRefusedOnOpenAndUnrecoverableInFsck) {
+  const std::string dir =
+      store_dir_from_fixture("fixture_magic", "store_bad_magic.drs");
+  const StoreFsckReport report = ResultStore::fsck(dir);
+  EXPECT_FALSE(report.clean());
+  EXPECT_EQ(report.unrecoverable, 1u);
+  ASSERT_FALSE(report.notes.empty());
+  EXPECT_NE(report.notes.back().find("bad magic"), std::string::npos);
+
+  try {
+    ResultStore store(StoreOptions{dir});
+    FAIL() << "alien segment must not open";
+  } catch (const PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("bad magic"), std::string::npos);
+  }
+}
+
+TEST(Store, ReadRevalidatesDigestAgainstPostOpenCorruption) {
+  const std::string dir = seeded_store("rot", 2);
+  ResultStore store(StoreOptions{dir});
+  ASSERT_TRUE(store.get(key_of(1)).has_value());
+
+  // Rot a payload byte on disk *after* the recovery scan indexed it.
+  const std::string seg = dir + "/" + store_segment_name(1);
+  std::vector<char> bytes = read_bytes(seg);
+  bytes[kStoreHeaderBytes + 24 + 3] ^= 0x10;  // inside record 1's payload
+  write_bytes(seg, bytes);
+
+  // Never serve bytes that fail their digest: miss, counted, dropped.
+  EXPECT_FALSE(store.get(key_of(1)).has_value());
+  EXPECT_EQ(store.stats().read_corrupt, 1u);
+  EXPECT_FALSE(store.contains(key_of(1)));
+  EXPECT_TRUE(store.get(key_of(2)).has_value());  // untouched record fine
+}
+
+TEST(Store, SegmentRollingSpreadsRecordsAndRecovers) {
+  // Tiny segments force a roll every record or two.
+  const std::string dir = seeded_store("roll", 20, /*segment_bytes=*/128);
+  ResultStore store(StoreOptions{dir, 128});
+  EXPECT_GT(store.stats().segments, 3u);
+  EXPECT_EQ(store.record_count(), 20u);
+  for (std::uint64_t i = 1; i <= 20; ++i) {
+    ASSERT_EQ(*store.get(key_of(i)), payload_of(i)) << "key " << i;
+  }
+}
+
+TEST(Store, CompactDropsDeadBytesAndKeepsEveryLiveRecord) {
+  const std::string dir = seeded_store("compact", 12, /*segment_bytes=*/160);
+  // Corrupt one record on disk so recovery skips it — compaction must then
+  // drop its bytes from disk for good.
+  const std::string seg1 = dir + "/" + store_segment_name(1);
+  std::vector<char> bytes = read_bytes(seg1);
+  bytes[kStoreHeaderBytes + 26] ^= 0x01;  // first record's payload
+  write_bytes(seg1, bytes);
+
+  ResultStore store(StoreOptions{dir, 160});
+  const std::uint64_t live = store.record_count();
+  EXPECT_EQ(live, 11u);
+  const std::uint64_t reclaimed = store.compact();
+  EXPECT_GT(reclaimed, 0u);
+  EXPECT_EQ(store.record_count(), live);
+  for (std::uint64_t i = 2; i <= 12; ++i) {
+    ASSERT_EQ(*store.get(key_of(i)), payload_of(i)) << "key " << i;
+  }
+
+  // The compacted directory stands on its own: fresh open, clean fsck,
+  // zero corrupt records left on disk.
+  const StoreFsckReport report = ResultStore::fsck(dir);
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.corrupt_records, 0u);
+  EXPECT_EQ(report.valid_records, live);
+  ResultStore reopened(StoreOptions{dir, 160});
+  EXPECT_EQ(reopened.record_count(), live);
+}
+
+TEST(Store, SealedStoreReopensOnPut) {
+  const std::string dir = temp_dir("seal");
+  ResultStore store(StoreOptions{dir});
+  EXPECT_TRUE(store.put(key_of(1), payload_of(1)));
+  store.seal();
+  EXPECT_TRUE(store.get(key_of(1)).has_value());  // reads still served
+  EXPECT_TRUE(store.put(key_of(2), payload_of(2)));
+  EXPECT_TRUE(store.get(key_of(2)).has_value());
+}
+
+TEST(Cache, ReadThroughRepopulatesAndWriteThroughPersists) {
+  const std::string dir = temp_dir("cache_tier");
+  ResultStore store(StoreOptions{dir});
+  ResultCache cache(/*capacity=*/64, /*shards=*/4);
+  cache.attach_store(&store);
+
+  const JobKey key = key_of(1);
+  cache.put(key, payload_of(1));
+  EXPECT_EQ(store.record_count(), 1u);  // write-through
+
+  // A fresh cache over the same store: RAM miss, disk hit, repopulated.
+  ResultCache cold(/*capacity=*/64, /*shards=*/4);
+  cold.attach_store(&store);
+  const std::optional<std::string> first = cold.get(key);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(*first, payload_of(1));
+  EXPECT_EQ(cold.stats().store_hits, 1u);
+  EXPECT_EQ(cold.stats().misses, 1u);
+
+  // Second read is a RAM hit; the store is not probed again.
+  const StoreStats before = store.stats();
+  ASSERT_TRUE(cold.get(key).has_value());
+  EXPECT_EQ(cold.stats().hits, 1u);
+  EXPECT_EQ(store.stats().reads, before.reads);
+  // Repopulation must not append a duplicate record.
+  EXPECT_EQ(store.stats().appends, 1u);
+}
+
+JobSpec make_spec(std::uint64_t seed = 7, const char* algorithm = "luby",
+                  NodeId n = 48) {
+  JobSpec spec;
+  spec.algorithm = algorithm;
+  spec.seed = seed;
+  spec.graph = gnp(n, 6.0 / std::max<NodeId>(n - 1, 1), 11);
+  return spec;
+}
+
+TEST(Service, WarmRestartServesByteIdenticalResultsFromStore) {
+  const std::string dir = temp_dir("svc_store");
+  ServiceOptions options;
+  options.store_dir = dir;
+
+  std::string cold_bytes;
+  {
+    ExecutionService service(options);
+    const Completion cold = service.run(make_spec(7));
+    EXPECT_EQ(cold.status, JobStatus::kOk);
+    EXPECT_FALSE(cold.cache_hit);
+    cold_bytes = cold.canonical;
+    service.seal_store();
+  }
+
+  // A new process generation over the same directory: the run is a cache
+  // hit served from disk, byte-identical to the cold execution.
+  ExecutionService warm(options);
+  const Completion hit = warm.run(make_spec(7));
+  EXPECT_EQ(hit.status, JobStatus::kOk);
+  EXPECT_TRUE(hit.cache_hit);
+  EXPECT_EQ(hit.canonical, cold_bytes);
+  EXPECT_EQ(warm.cache().stats().store_hits, 1u);
+  EXPECT_EQ(warm.scheduler().stats().executed, 0u);
+}
+
+TEST(ExecuteJob, EnvironmentalFailureIsRetryableNeverCached) {
+  inject_env_failures_for_testing(1);
+  const JobResult r = execute_job(make_spec(3), 1);
+  inject_env_failures_for_testing(0);
+  EXPECT_EQ(r.status, JobStatus::kEnvError);
+  EXPECT_TRUE(r.retryable);
+  EXPECT_NE(r.canonical.find("\"status\":\"env_error\""), std::string::npos);
+  EXPECT_NE(r.canonical.find("injected environment failure"),
+            std::string::npos);
+}
+
+TEST(Scheduler, RetriesEnvironmentalFailuresWithBoundedBackoff) {
+  SchedulerOptions options;
+  options.workers = 1;
+  options.max_retries = 2;
+  options.retry_backoff_s = 0.001;
+  {
+    // One transient failure: the retry heals it.
+    Scheduler scheduler(options);
+    inject_env_failures_for_testing(1);
+    const JobResult& r = scheduler.submit(make_spec(11))->wait();
+    EXPECT_EQ(r.status, JobStatus::kOk);
+    EXPECT_EQ(scheduler.stats().retries, 1u);
+    EXPECT_EQ(scheduler.stats().env_errors, 0u);
+  }
+  {
+    // Persistent failure: 1 + max_retries attempts, then reported as the
+    // retryable class — not silently converted to anything else.
+    Scheduler scheduler(options);
+    inject_env_failures_for_testing(10);
+    const JobResult& r = scheduler.submit(make_spec(12))->wait();
+    inject_env_failures_for_testing(0);
+    EXPECT_EQ(r.status, JobStatus::kEnvError);
+    EXPECT_TRUE(r.retryable);
+    EXPECT_EQ(scheduler.stats().retries, 2u);
+    EXPECT_EQ(scheduler.stats().env_errors, 1u);
+  }
+}
+
+TEST(Taxonomy, EnvironmentErrorIsAPreconditionError) {
+  // Classification without breaking existing catch sites: environmental
+  // failures remain caller-visible PreconditionErrors, with the subclass
+  // carrying the retryable distinction.
+  try {
+    DMIS_CHECK_ENV(false, "disk on fire");
+    FAIL();
+  } catch (const EnvironmentError& e) {
+    EXPECT_NE(std::string(e.what()).find("environment"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("disk on fire"), std::string::npos);
+  }
+  try {
+    DMIS_CHECK_ENV(false, "still on fire");
+    FAIL();
+  } catch (const PreconditionError&) {
+    SUCCEED();  // subclassing keeps legacy handlers working
+  }
+}
+
+TEST(FrontEnd, UnreadableGraphFileIsRetryableError) {
+  ExecutionService service(ServiceOptions{});
+  FrontEndOptions options;
+  const std::string response = handle_request_line(
+      service, options,
+      R"({"id":"r","algorithm":"luby","graph_file":"/nonexistent/g.el"})", 1);
+  EXPECT_NE(response.find("\"error\":"), std::string::npos);
+  EXPECT_NE(response.find("\"retryable\":true"), std::string::npos);
+}
+
+TEST(FrontEnd, MalformedRequestIsNotRetryable) {
+  ExecutionService service(ServiceOptions{});
+  FrontEndOptions options;
+  const std::string response =
+      handle_request_line(service, options, R"({"id":"r"})", 1);
+  EXPECT_NE(response.find("\"error\":"), std::string::npos);
+  EXPECT_EQ(response.find("\"retryable\""), std::string::npos);
+}
+
+TEST(FrontEnd, UnwritableBundleDirDegradesToBundleErrorField) {
+  // A failing faulted job with an unwritable --bundle-dir must still
+  // answer, carrying "bundle_error" instead of a "bundle" path.
+  JobSpec failing = make_spec(5, "congest", 60);
+  failing.faults.seed = 5;
+  failing.faults.drop_rate = 0.9;
+  failing.faults.corrupt_rate = 0.9;
+
+  std::ostringstream line;
+  line << R"({"id":"f","algorithm":"congest","seed":5,"n":60,"edges":[)";
+  bool first = true;
+  for (NodeId u = 0; u < failing.graph.node_count(); ++u) {
+    for (const NodeId v : failing.graph.neighbors(u)) {
+      if (u < v) {
+        line << (first ? "" : ",") << "[" << u << "," << v << "]";
+        first = false;
+      }
+    }
+  }
+  line << R"(],"faults":{"seed":5,"drop":0.9,"corrupt":0.9}})";
+
+  ExecutionService service(ServiceOptions{});
+  FrontEndOptions options;
+  options.bundle_dir = "/nonexistent-bundle-dir";
+  const std::string response =
+      handle_request_line(service, options, line.str(), 1);
+  EXPECT_NE(response.find("\"status\":\"failed\""), std::string::npos);
+  EXPECT_NE(response.find("\"bundle_error\":"), std::string::npos);
+  EXPECT_EQ(response.find("\"bundle\":"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dmis::svc

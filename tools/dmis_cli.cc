@@ -36,14 +36,23 @@
 //       recorded failure reproduces. Exit 0 iff it does.
 //   dmis serve [--threads T] [--workers W] [--queue-cap Q]
 //              [--cache-entries C] [--cache-shards S] [--bundle-dir D]
-//              [--socket PATH] [--no-timing]
+//              [--store-dir D] [--socket PATH] [--no-timing]
 //       Line-delimited JSON request/response loop over stdin/stdout (or a
 //       Unix stream socket) backed by the execution service: scheduler,
-//       worker pool and result cache. Serving stats go to stderr on EOF.
+//       worker pool and result cache. --store-dir attaches the crash-safe
+//       durable result store (svc/store.h) under the cache, so results
+//       survive restarts. SIGINT/SIGTERM drain gracefully: the in-flight
+//       request finishes, the store is sealed, and a final stats line goes
+//       to stderr. Serving stats also go to stderr on EOF.
 //   dmis batch --requests FILE [same flags as serve]
 //       Drain a request file through the same service: duplicate requests
 //       deduplicate to cache hits and output is bit-identical at any
 //       --workers/--threads setting.
+//   dmis store (fsck|stats|compact) --store-dir D
+//       Offline result-store maintenance: fsck is a read-only integrity
+//       scan (exit 0 iff nothing unrecoverable), stats opens (recovering)
+//       and prints counters, compact rewrites live records and reclaims
+//       space from torn tails, corrupt records and duplicates.
 //
 // Fault injection (solve only, wire-model algorithms): --drop R --corrupt R
 // --duplicate R --delay R [--delay-rounds K] [--fault-seed S]
@@ -70,6 +79,7 @@
 #include "runtime/repro.h"
 #include "svc/frontend.h"
 #include "svc/service.h"
+#include "svc/store.h"
 #include "util/json.h"
 #include "wire/types.h"
 #include "clique/mst.h"
@@ -95,9 +105,10 @@ int usage() {
          "  dmis replay --bundle FILE\n"
          "  dmis serve [--threads T] [--workers W] [--queue-cap Q]\n"
          "             [--cache-entries C] [--cache-shards S]\n"
-         "             [--bundle-dir D] [--socket PATH] [--no-timing]\n"
-         "             [--verify-digest]\n"
+         "             [--bundle-dir D] [--store-dir D] [--socket PATH]\n"
+         "             [--no-timing] [--verify-digest]\n"
          "  dmis batch --requests FILE [serve flags]\n"
+         "  dmis store (fsck|stats|compact) --store-dir D\n"
          "families:   gnp regular ba geometric grid cycle path complete\n"
          "            hypercube caterpillar smallworld expander\n"
          "algorithms: "
@@ -656,6 +667,11 @@ ServeFlags parse_serve_flags(int argc, char** argv, int start) {
       f.service.cache_shards = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--bundle-dir") == 0 && i + 1 < argc) {
       f.frontend.bundle_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--store-dir") == 0 && i + 1 < argc) {
+      f.service.store_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--store-segment-bytes") == 0 &&
+               i + 1 < argc) {
+      f.service.store_segment_bytes = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--socket") == 0 && i + 1 < argc) {
       f.socket_path = argv[++i];
     } else if (std::strcmp(argv[i], "--no-timing") == 0) {
@@ -677,19 +693,31 @@ ServeFlags parse_serve_flags(int argc, char** argv, int start) {
 void print_serving_stats(const dmis::svc::ExecutionService& svc) {
   svc.cache().stats_table().print(std::cerr);
   svc.scheduler().stats_table().print(std::cerr);
+  if (svc.store() != nullptr) svc.store()->stats_table().print(std::cerr);
+}
+
+/// Drain-time epilogue shared by both serve modes: make everything
+/// appended durable, then emit one machine-parsable stats line.
+void finish_serving(dmis::svc::ExecutionService& svc) {
+  svc.seal_store();
+  std::cerr << dmis::svc::service_stats_json(svc, "drain") << "\n";
 }
 
 int cmd_serve(int argc, char** argv) {
   const ServeFlags flags = parse_serve_flags(argc, argv, 2);
   dmis::svc::ExecutionService svc(flags.service);
+  dmis::svc::install_drain_handlers();
   if (flags.socket_path.has_value()) {
-    return dmis::svc::serve_unix_socket(*flags.socket_path, svc,
-                                        flags.frontend);
+    const int rc = dmis::svc::serve_unix_socket(*flags.socket_path, svc,
+                                                flags.frontend);
+    finish_serving(svc);
+    return rc;
   }
   const std::uint64_t handled =
       dmis::svc::serve_stream(std::cin, std::cout, svc, flags.frontend);
   std::cerr << "served " << handled << " requests\n";
   print_serving_stats(svc);
+  finish_serving(svc);
   return 0;
 }
 
@@ -709,7 +737,66 @@ int cmd_batch(int argc, char** argv) {
       dmis::svc::run_batch(in, std::cout, svc, flags.frontend);
   std::cerr << "batched " << handled << " requests\n";
   print_serving_stats(svc);
+  svc.seal_store();
   return 0;
+}
+
+int cmd_store(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string verb = argv[2];
+  std::string dir;
+  std::uint64_t segment_bytes = 4u << 20;
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--store-dir") == 0 && i + 1 < argc) {
+      dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--store-segment-bytes") == 0 &&
+               i + 1 < argc) {
+      segment_bytes = std::strtoull(argv[++i], nullptr, 10);
+    } else {
+      std::cerr << "unknown flag: " << argv[i] << "\n";
+      return 2;
+    }
+  }
+  if (dir.empty()) {
+    std::cerr << "store " << verb << " needs --store-dir D\n";
+    return 2;
+  }
+
+  if (verb == "fsck") {
+    // Read-only: no truncation, no repair — exit 0 iff nothing
+    // unrecoverable. Torn tails and corrupt records are recoverable by
+    // definition (the next open truncates/skips them) and only reported.
+    const dmis::svc::StoreFsckReport report =
+        dmis::svc::ResultStore::fsck(dir);
+    std::cout << "segments:           " << report.segments << "\n"
+              << "valid records:      " << report.valid_records << "\n"
+              << "distinct keys:      " << report.distinct_keys << "\n"
+              << "duplicate records:  " << report.duplicate_records << "\n"
+              << "corrupt records:    " << report.corrupt_records << "\n"
+              << "torn tail bytes:    " << report.torn_tail_bytes << "\n"
+              << "payload bytes:      " << report.payload_bytes << "\n"
+              << "unrecoverable:      " << report.unrecoverable << "\n";
+    for (const std::string& note : report.notes) {
+      std::cout << "note: " << note << "\n";
+    }
+    std::cout << (report.clean() ? "fsck: clean\n" : "fsck: UNRECOVERABLE\n");
+    return report.clean() ? 0 : 1;
+  }
+  if (verb == "stats") {
+    dmis::svc::ResultStore store({dir, segment_bytes});
+    store.stats_table().print(std::cout);
+    return 0;
+  }
+  if (verb == "compact") {
+    dmis::svc::ResultStore store({dir, segment_bytes});
+    const std::uint64_t before = store.record_count();
+    const std::uint64_t reclaimed = store.compact();
+    std::cout << "records kept:    " << store.record_count() << "/" << before
+              << "\nbytes reclaimed: " << reclaimed << "\n";
+    return 0;
+  }
+  std::cerr << "unknown store verb '" << verb << "' (fsck|stats|compact)\n";
+  return 2;
 }
 
 }  // namespace
@@ -728,6 +815,7 @@ int main(int argc, char** argv) {
     if (cmd == "replay") return cmd_replay(argc, argv);
     if (cmd == "serve") return cmd_serve(argc, argv);
     if (cmd == "batch") return cmd_batch(argc, argv);
+    if (cmd == "store") return cmd_store(argc, argv);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

@@ -1,0 +1,116 @@
+# Crash-recovery smoke test (DESIGN.md §15): run a serving workload with a
+# durable --store-dir, `kill -9` the server mid-workload, restart against the
+# same directory, and assert (a) `dmis store fsck` is clean after the crash,
+# (b) the warm pass serves cache hits from the recovered store, and (c) every
+# result that completed before the crash is byte-identical on the warm pass —
+# no torn record is ever served.
+execute_process(COMMAND ${DMIS_BIN} generate gnp 150 8 7
+                OUTPUT_FILE ${WORK_DIR}/store_smoke.el RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "generate failed: ${rc}")
+endif()
+
+set(requests "")
+foreach(i RANGE 1 12)
+  string(APPEND requests
+    "{\"id\":\"j${i}\",\"algorithm\":\"congest\",\"seed\":${i},"
+    "\"graph_file\":\"${WORK_DIR}/store_smoke.el\"}\n")
+endforeach()
+file(WRITE ${WORK_DIR}/store_smoke_req.jsonl "${requests}")
+
+set(STORE_DIR ${WORK_DIR}/store_smoke_dir)
+file(REMOVE_RECURSE ${STORE_DIR})
+
+# Crash pass: background the server, wait until at least three responses are
+# out (so some records are durable), then SIGKILL it mid-workload. The kill
+# is unconditional — if the workload already finished, the crash lands after
+# the last append, which recovery must handle just the same.
+file(WRITE ${WORK_DIR}/store_smoke_crash.sh
+"set -u
+\"$1\" serve --no-timing --store-dir \"$2\" < \"$3\" > \"$4\" 2>/dev/null &
+pid=$!
+for _ in $(seq 1 500); do
+  lines=$(grep -c '\"id\"' \"$4\" 2>/dev/null || true)
+  [ \"\${lines:-0}\" -ge 3 ] && break
+  sleep 0.01
+done
+kill -9 \"$pid\" 2>/dev/null
+wait \"$pid\" 2>/dev/null
+exit 0
+")
+execute_process(
+  COMMAND bash ${WORK_DIR}/store_smoke_crash.sh ${DMIS_BIN} ${STORE_DIR}
+          ${WORK_DIR}/store_smoke_req.jsonl ${WORK_DIR}/store_smoke_cold.jsonl
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "crash pass driver failed: ${rc}")
+endif()
+file(READ ${WORK_DIR}/store_smoke_cold.jsonl cold_out)
+if(NOT cold_out MATCHES "\"result\":")
+  message(FATAL_ERROR "no responses completed before the crash:\n${cold_out}")
+endif()
+
+# The crashed store must be fsck-clean: torn tails are recoverable damage,
+# unrecoverable segments mean the format or the write path is broken.
+execute_process(COMMAND ${DMIS_BIN} store fsck --store-dir ${STORE_DIR}
+                OUTPUT_VARIABLE fsck_out ERROR_VARIABLE fsck_err
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0 OR NOT fsck_out MATCHES "fsck: clean")
+  message(FATAL_ERROR "post-crash fsck not clean (rc=${rc}):\n"
+                      "${fsck_out}${fsck_err}")
+endif()
+
+# Warm pass: a fresh process over the same --store-dir. Every job that
+# completed before the crash must come back as a disk-tier cache hit.
+execute_process(
+  COMMAND ${DMIS_BIN} serve --no-timing --store-dir ${STORE_DIR}
+  INPUT_FILE ${WORK_DIR}/store_smoke_req.jsonl
+  OUTPUT_FILE ${WORK_DIR}/store_smoke_warm.jsonl
+  ERROR_QUIET RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "warm serve failed: ${rc}")
+endif()
+file(READ ${WORK_DIR}/store_smoke_warm.jsonl warm_out)
+string(REGEX MATCHALL "\"cached\":true" warm_hits "${warm_out}")
+list(LENGTH warm_hits warm_hit_count)
+if(warm_hit_count EQUAL 0)
+  message(FATAL_ERROR "warm restart produced no cache hits:\n${warm_out}")
+endif()
+
+# Byte-identical replay: every result object from the crash pass must come
+# back byte-identical for the same request id on the warm pass (the
+# `cached` flag legitimately differs, the canonical bytes must not).
+string(REPLACE "\n" ";" cold_lines "${cold_out}")
+string(REPLACE "\n" ";" warm_lines "${warm_out}")
+foreach(line IN LISTS cold_lines)
+  string(REGEX MATCH "\"id\":\"([^\"]+)\"" _ "${line}")
+  set(id "${CMAKE_MATCH_1}")
+  string(REGEX MATCH "\"result\":\\{[^\n]*\\}" cold_result "${line}")
+  if(id STREQUAL "" OR cold_result STREQUAL "")
+    continue()
+  endif()
+  set(matched FALSE)
+  foreach(wline IN LISTS warm_lines)
+    if(wline MATCHES "\"id\":\"${id}\"")
+      string(REGEX MATCH "\"result\":\\{[^\n]*\\}" warm_result "${wline}")
+      if(warm_result STREQUAL cold_result)
+        set(matched TRUE)
+      endif()
+    endif()
+  endforeach()
+  if(NOT matched)
+    message(FATAL_ERROR "pre-crash result for id ${id} not replayed "
+                        "byte-identically:\n${cold_result}\n"
+                        "warm output:\n${warm_out}")
+  endif()
+endforeach()
+
+# The warm pass appended nothing new for cached jobs; fsck must still be
+# clean after recovery truncated any torn tail in place.
+execute_process(COMMAND ${DMIS_BIN} store fsck --store-dir ${STORE_DIR}
+                OUTPUT_VARIABLE fsck_out ERROR_QUIET RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0 OR NOT fsck_out MATCHES "fsck: clean")
+  message(FATAL_ERROR "post-recovery fsck not clean (rc=${rc}):\n${fsck_out}")
+endif()
+
+message(STATUS "store smoke: ${warm_hit_count} warm hits, fsck clean")
