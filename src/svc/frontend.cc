@@ -16,6 +16,8 @@
 #include <vector>
 
 #include "graph/dmg.h"
+#include "svc/net/graph_store.h"
+#include "svc/net/line_chunker.h"
 #include "util/check.h"
 #include "util/json.h"
 
@@ -67,14 +69,27 @@ void parse_node_faults(const json::Value& arr, bool is_stall,
 /// Resolves the request's graph source. "graph_file" accepts either text
 /// edge lists or .dmg containers (sniffed by magic): a .dmg maps in O(1)
 /// and its header digest rides into the spec as the cached content digest.
-/// When set, `source` receives the file path (JobSpec provenance).
+/// "graph_digest" resolves through the digest-addressed content directory.
+/// When set, `source` receives the provenance string (JobSpec::graph_source;
+/// never part of the job key, so every source of the same bytes shares one
+/// cache line).
 Graph graph_from_request(const json::Value& req, bool verify_digest,
-                         std::string* source) {
+                         const std::string& graphs_dir, std::string* source) {
   const json::Value* file = req.find("graph_file");
   const json::Value* edges = req.find("edges");
-  DMIS_CHECK((file != nullptr) != (edges != nullptr),
+  const json::Value* digest = req.find("graph_digest");
+  const int sources = (file != nullptr) + (edges != nullptr) +
+                      (digest != nullptr);
+  DMIS_CHECK(sources == 1,
              "request needs exactly one graph source: "
-             "\"graph_file\" or \"n\"+\"edges\"");
+             "\"graph_file\", \"graph_digest\" or \"n\"+\"edges\"");
+  if (digest != nullptr) {
+    DMIS_CHECK(!graphs_dir.empty(),
+               "\"graph_digest\" needs a graph directory "
+               "(serve with --graphs-dir)");
+    if (source != nullptr) *source = "digest:" + digest->as_string();
+    return net::resolve_graph(graphs_dir, digest->as_string(), verify_digest);
+  }
   if (file != nullptr) {
     if (source != nullptr) *source = file->as_string();
     return load_graph_file(file->as_string(), verify_digest);
@@ -95,16 +110,10 @@ std::string escape_id(const std::string& id) {
   return json::Value::string(id).dump();
 }
 
-std::string format_error(const std::string& id, const std::string& message,
-                         bool retryable = false) {
-  std::ostringstream oss;
-  oss << "{\"id\":" << escape_id(id)
-      << ",\"error\":" << json::Value::string(message).dump();
-  // The taxonomy bit for clients: environmental failures may heal, so the
-  // same request is worth resubmitting; deterministic ones never are.
-  if (retryable) oss << ",\"retryable\":true";
-  oss << "}";
-  return oss.str();
+std::string oversized_line_error(const std::string& id,
+                                 std::size_t max_line_bytes) {
+  return format_error_response(
+      id, "request line exceeds " + std::to_string(max_line_bytes) + " bytes");
 }
 
 /// Repro-bundle write outcome: `path` on success, `error` when the bundle
@@ -143,6 +152,7 @@ std::string format_stats(const std::string& id,
                          const ExecutionService& service) {
   const CacheStats c = service.cache().stats();
   const SchedulerStats s = service.scheduler().stats();
+  const LatencyHistogram& l = service.latency();
   std::ostringstream oss;
   oss << "{\"id\":" << escape_id(id) << ",\"stats\":{"
       << "\"cache\":{\"hits\":" << c.hits << ",\"misses\":" << c.misses
@@ -156,7 +166,11 @@ std::string format_stats(const std::string& id,
       << ",\"deadline_expired\":" << s.deadline_expired
       << ",\"rejected\":" << s.rejected << ",\"retries\":" << s.retries
       << ",\"env_errors\":" << s.env_errors
-      << ",\"max_queue_depth\":" << s.max_queue_depth << "}";
+      << ",\"max_queue_depth\":" << s.max_queue_depth << "},"
+      << "\"latency\":{\"count\":" << l.count()
+      << ",\"p50_us\":" << l.percentile_us(0.50)
+      << ",\"p90_us\":" << l.percentile_us(0.90)
+      << ",\"p99_us\":" << l.percentile_us(0.99) << "}";
   if (const ResultStore* store = service.store()) {
     const StoreStats st = store->stats();
     oss << ",\"store\":{\"segments\":" << st.segments
@@ -209,13 +223,28 @@ void install_drain_handlers() {
 
 bool drain_requested() { return g_drain_requested != 0; }
 
+void reset_drain_flag() { g_drain_requested = 0; }
+
+std::string format_error_response(const std::string& id,
+                                  const std::string& message,
+                                  bool retryable) {
+  std::ostringstream oss;
+  oss << "{\"id\":" << escape_id(id)
+      << ",\"error\":" << json::Value::string(message).dump();
+  // The taxonomy bit for clients: environmental failures may heal, so the
+  // same request is worth resubmitting; deterministic ones never are.
+  if (retryable) oss << ",\"retryable\":true";
+  oss << "}";
+  return oss.str();
+}
+
 std::string service_stats_json(const ExecutionService& service,
                                const std::string& id) {
   return format_stats(id, service);
 }
 
 Request parse_request(const std::string& line, std::uint64_t seq,
-                      bool verify_graph_digest) {
+                      bool verify_graph_digest, const std::string& graphs_dir) {
   const json::Value req = json::parse(line);
   DMIS_CHECK(req.is_object(), "request must be a JSON object");
 
@@ -247,8 +276,8 @@ Request parse_request(const std::string& line, std::uint64_t seq,
     // schema and the job key folds the canonical re-encoding.
     out.spec.options_json = opts->dump();
   }
-  out.spec.graph =
-      graph_from_request(req, verify_graph_digest, &out.spec.graph_source);
+  out.spec.graph = graph_from_request(req, verify_graph_digest, graphs_dir,
+                                      &out.spec.graph_source);
 
   if (const json::Value* faults = req.find("faults")) {
     DMIS_CHECK(faults->is_object(), "\"faults\" must be an object");
@@ -294,13 +323,14 @@ std::string handle_request_line(ExecutionService& service,
                                 const std::string& line, std::uint64_t seq) {
   Request request;
   try {
-    request = parse_request(line, seq, options.verify_digest);
+    request = parse_request(line, seq, options.verify_digest,
+                            options.graphs_dir);
   } catch (const EnvironmentError& e) {
     // e.g. an unreadable "graph_file": the request may be fine once the
     // world heals, so clients are told the resubmit is worth it.
-    return format_error(anon_id(seq), e.what(), /*retryable=*/true);
+    return format_error_response(anon_id(seq), e.what(), /*retryable=*/true);
   } catch (const std::exception& e) {
-    return format_error(anon_id(seq), e.what());
+    return format_error_response(anon_id(seq), e.what());
   }
   if (request.stats) return format_stats(request.id, service);
   const Completion completion = service.run(std::move(request.spec),
@@ -316,12 +346,45 @@ std::uint64_t serve_stream(std::istream& in, std::ostream& out,
                            ExecutionService& service,
                            const FrontEndOptions& options) {
   std::uint64_t handled = 0;
+  net::LineChunker chunker(options.max_line_bytes);
   std::string line;
+  char chunk[65536];
   // A drain signal ends the loop at the next request boundary; the request
-  // being handled always finishes (handling is synchronous). getline
-  // interrupted by the un-restarted signal fails and exits the loop too.
-  while (!drain_requested() && std::getline(in, line)) {
-    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+  // being handled always finishes (handling is synchronous). A blocked
+  // peek() interrupted by the un-restarted signal fails and exits too.
+  while (!drain_requested()) {
+    // Block for one byte, then drain what is already buffered: interactive
+    // clients get per-line turnaround, bulk pipes still move in big chunks.
+    if (in.peek() == std::char_traits<char>::eof()) break;
+    std::size_t got = 0;
+    chunk[got++] = static_cast<char>(in.get());
+    const std::streamsize more = in.readsome(
+        chunk + got, static_cast<std::streamsize>(sizeof(chunk) - got));
+    if (more > 0) got += static_cast<std::size_t>(more);
+    chunker.append(chunk, got);
+    for (bool draining_lines = true; draining_lines;) {
+      switch (chunker.next_line(&line)) {
+        case net::LineChunker::Next::kLine:
+          if (line.find_first_not_of(" \t\r") == std::string::npos) break;
+          ++handled;
+          out << handle_request_line(service, options, line, handled) << "\n";
+          out.flush();
+          break;
+        case net::LineChunker::Next::kOversized:
+          ++handled;
+          out << oversized_line_error(anon_id(handled), options.max_line_bytes)
+              << "\n";
+          out.flush();
+          break;
+        case net::LineChunker::Next::kNeedMore:
+          draining_lines = false;
+          break;
+      }
+    }
+  }
+  // Getline semantics at EOF: an unterminated trailing line still answers.
+  if (chunker.flush_eof(&line) &&
+      line.find_first_not_of(" \t\r") != std::string::npos) {
     ++handled;
     out << handle_request_line(service, options, line, handled) << "\n";
     out.flush();
@@ -354,7 +417,8 @@ std::uint64_t run_batch(std::istream& in, std::ostream& out,
     ++seq;
     Slot slot;
     try {
-      Request request = parse_request(line, seq, batch_options.verify_digest);
+      Request request = parse_request(line, seq, batch_options.verify_digest,
+                                      batch_options.graphs_dir);
       slot.id = request.id;
       if (request.stats) {
         slot.stats = true;
@@ -398,7 +462,7 @@ std::uint64_t run_batch(std::istream& in, std::ostream& out,
   for (const Slot& slot : slots) {
     ++handled;
     if (!slot.error.empty()) {
-      out << format_error(slot.id, slot.error) << "\n";
+      out << format_error_response(slot.id, slot.error) << "\n";
       continue;
     }
     if (slot.stats) {
@@ -454,35 +518,58 @@ int serve_unix_socket(const std::string& path, ExecutionService& service,
       return 1;
     }
     // One serve-style session per connection: read lines, answer in order.
-    std::string buffer;
-    char chunk[4096];
+    // The same LineChunker as the stdin and TCP transports does the partial
+    // read reassembly (and oversized-line rejection with resync).
+    net::LineChunker chunker(options.max_line_bytes);
+    char chunk[65536];
+    std::string line;
     bool open = true;
-    while (open && !drain_requested()) {
+    const auto send_all = [&](const std::string& response) {
+      std::size_t sent = 0;
+      while (sent < response.size()) {
+        const ssize_t n = ::send(client, response.data() + sent,
+                                 response.size() - sent, MSG_NOSIGNAL);
+        if (n < 0 && errno == EINTR) continue;
+        if (n <= 0) {
+          open = false;
+          return;
+        }
+        sent += static_cast<std::size_t>(n);
+      }
+    };
+    const auto answer_line = [&] {
+      if (line.find_first_not_of(" \t\r") == std::string::npos) return;
+      ++seq;
+      send_all(handle_request_line(service, options, line, seq) + "\n");
+    };
+    bool at_eof = false;
+    while (open && !at_eof && !drain_requested()) {
       const ssize_t got = ::read(client, chunk, sizeof(chunk));
       if (got < 0 && errno == EINTR) continue;
-      if (got <= 0) break;
-      buffer.append(chunk, static_cast<std::size_t>(got));
-      std::size_t newline;
-      while ((newline = buffer.find('\n')) != std::string::npos) {
-        const std::string line = buffer.substr(0, newline);
-        buffer.erase(0, newline + 1);
-        if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
-        ++seq;
-        const std::string response =
-            handle_request_line(service, options, line, seq) + "\n";
-        std::size_t sent = 0;
-        while (sent < response.size()) {
-          const ssize_t n = ::send(client, response.data() + sent,
-                                   response.size() - sent, MSG_NOSIGNAL);
-          if (n <= 0) {
-            open = false;
+      if (got <= 0) {
+        at_eof = true;
+        break;
+      }
+      chunker.append(chunk, static_cast<std::size_t>(got));
+      for (bool draining_lines = true; open && draining_lines;) {
+        switch (chunker.next_line(&line)) {
+          case net::LineChunker::Next::kLine:
+            answer_line();
             break;
-          }
-          sent += static_cast<std::size_t>(n);
+          case net::LineChunker::Next::kOversized:
+            ++seq;
+            send_all(oversized_line_error(anon_id(seq),
+                                          options.max_line_bytes) +
+                     "\n");
+            break;
+          case net::LineChunker::Next::kNeedMore:
+            draining_lines = false;
+            break;
         }
-        if (!open) break;
       }
     }
+    // Half-close: answer an unterminated trailing line (getline semantics).
+    if (open && at_eof && chunker.flush_eof(&line)) answer_line();
     ::close(client);
   }
   // Graceful drain: stop listening and remove the path so an immediate

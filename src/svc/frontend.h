@@ -20,6 +20,13 @@
 // sniffed by magic). A .dmg maps in O(1) and its precomputed header digest
 // feeds the job key directly, so digest-keyed requests dedup/cache without
 // the service ever rehashing — or even reading — the arrays.
+//   {"id":"r3","algorithm":"luby","seed":7,"graph_digest":"3c5f..."}
+// "graph_digest" resolves the graph from the digest-addressed content
+// directory (svc/net/graph_store.h, FrontEndOptions::graphs_dir): clients
+// upload once with `dmis graphs put` and then name the graph by its 16-hex
+// content digest — the sharded deployment's way to keep multi-megabyte
+// graphs out of every request line. An unknown digest is a deterministic
+// error (upload first), not a retryable one.
 //   {"id":2,"algorithm":"congest","seed":1,"n":4,"edges":[[0,1],[2,3]],
 //    "priority":"interactive","deadline_ms":500,"max_rounds":0,
 //    "options":{"phase_length":6},
@@ -54,6 +61,12 @@ struct FrontEndOptions {
   /// structure) of every .dmg referenced by a "graph_file" field — a full
   /// scan, trading the O(1) load away for end-to-end integrity.
   bool verify_digest = false;
+  /// Digest-addressed graph directory backing "graph_digest" requests
+  /// (svc/net/graph_store.h). Empty: such requests are rejected.
+  std::string graphs_dir;
+  /// Longest accepted request line; longer lines are answered with an error
+  /// and the stream resyncs at the next newline (LineChunker semantics).
+  std::size_t max_line_bytes = 8u << 20;
 };
 
 /// One parsed request line.
@@ -67,9 +80,18 @@ struct Request {
 
 /// Parses one request line; throws PreconditionError on malformed input.
 /// `seq` names anonymous requests ("#<seq>"). `verify_graph_digest` applies
-/// to .dmg "graph_file" sources (FrontEndOptions::verify_digest).
+/// to .dmg "graph_file" sources (FrontEndOptions::verify_digest);
+/// `graphs_dir` backs "graph_digest" sources (empty rejects them).
 Request parse_request(const std::string& line, std::uint64_t seq,
-                      bool verify_graph_digest = false);
+                      bool verify_graph_digest = false,
+                      const std::string& graphs_dir = {});
+
+/// One {"id":...,"error":...} response line, with the taxonomy bit
+/// ("retryable":true) when the failure is environmental. Shared by every
+/// front end and the router (which answers some errors without a worker).
+std::string format_error_response(const std::string& id,
+                                  const std::string& message,
+                                  bool retryable = false);
 
 /// Handles one request line end-to-end (parse, execute/lookup, format).
 /// Parse failures become {"error": ...} responses, never exceptions.
@@ -107,6 +129,10 @@ void install_drain_handlers();
 
 /// True once a drain signal has arrived (async-signal-safe flag).
 bool drain_requested();
+
+/// Clears the drain flag so another serve loop can run in the same process
+/// (in-process transport tests; a CLI that serves in phases).
+void reset_drain_flag();
 
 /// The serving-counters JSON emitted for {"cmd":"stats"} requests and as
 /// the final stats line on drain, as one response line with the given id.

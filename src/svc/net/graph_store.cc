@@ -1,0 +1,212 @@
+#include "svc/net/graph_store.h"
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "graph/dmg.h"
+#include "util/check.h"
+
+namespace dmis::svc::net {
+namespace {
+
+constexpr std::size_t kDigestHexLen = 16;
+
+void ensure_dir(const std::string& dir) {
+  struct stat st {};
+  if (::stat(dir.c_str(), &st) != 0) {
+    DMIS_CHECK_ENV(::mkdir(dir.c_str(), 0777) == 0,
+                   "cannot create graph store directory: "
+                       << dir << " (" << std::strerror(errno) << ")");
+  } else {
+    DMIS_CHECK(S_ISDIR(st.st_mode),
+               "graph store path is not a directory: " << dir);
+  }
+}
+
+std::string entry_path(const std::string& dir, const std::string& digest_hex) {
+  return dir + "/" + digest_hex + ".dmg";
+}
+
+std::uint64_t file_bytes(const std::string& path) {
+  struct stat st {};
+  return ::stat(path.c_str(), &st) == 0
+             ? static_cast<std::uint64_t>(st.st_size)
+             : 0;
+}
+
+GraphPutResult put_built_graph(const std::string& dir, const Graph& g) {
+  ensure_dir(dir);
+  GraphPutResult out;
+  out.digest_hex = graph_digest_hex(g);
+  out.nodes = g.node_count();
+  out.edges = g.edge_count();
+  const std::string path = entry_path(dir, out.digest_hex);
+  struct stat st {};
+  if (::stat(path.c_str(), &st) == 0) {
+    out.created = false;  // content-addressed: same name implies same bytes
+    out.bytes = static_cast<std::uint64_t>(st.st_size);
+    return out;
+  }
+  // Dot-temp plus rename: a reader never maps a half-written container, and
+  // racing puts of the same content are benign (identical bytes, last
+  // rename wins).
+  const std::string tmp =
+      dir + "/.tmp-" + out.digest_hex + "-" + std::to_string(::getpid());
+  write_dmg_file(g, tmp);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int err = errno;
+    ::unlink(tmp.c_str());
+    DMIS_CHECK_ENV(false, "cannot publish graph into store: "
+                              << path << " (" << std::strerror(err) << ")");
+  }
+  out.created = true;
+  out.bytes = file_bytes(path);
+  return out;
+}
+
+}  // namespace
+
+std::string graph_digest_hex(std::uint64_t digest) {
+  char buf[kDigestHexLen + 1];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(digest));
+  return std::string(buf, kDigestHexLen);
+}
+
+std::string graph_digest_hex(const Graph& g) {
+  return graph_digest_hex(g.content_digest(kGraphContentDigestSeed));
+}
+
+bool is_graph_digest(const std::string& text) {
+  if (text.size() != kDigestHexLen) return false;
+  for (const char c : text) {
+    if (!((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))) return false;
+  }
+  return true;
+}
+
+GraphPutResult put_graph(const std::string& dir, const std::string& src_path) {
+  return put_built_graph(dir, load_graph_file(src_path));
+}
+
+GraphPutResult put_graph(const std::string& dir, const Graph& g) {
+  return put_built_graph(dir, g);
+}
+
+Graph resolve_graph(const std::string& dir, const std::string& digest_hex,
+                    bool verify) {
+  DMIS_CHECK(!dir.empty(),
+             "graph_digest requests need a graph store (--graphs-dir)");
+  DMIS_CHECK(is_graph_digest(digest_hex),
+             "malformed graph_digest '" << digest_hex
+                                        << "' (want 16 lowercase hex chars)");
+  const std::string path = entry_path(dir, digest_hex);
+  struct stat st {};
+  // A digest the store has never seen is a client-side precondition — the
+  // graph must be uploaded (`dmis graphs put`) before it can be referenced —
+  // not an environmental fault worth retrying.
+  DMIS_CHECK(::stat(path.c_str(), &st) == 0,
+             "unknown graph_digest " << digest_hex << " (no " << path
+                                     << "; upload with `dmis graphs put`)");
+  Graph g = load_dmg_file(path, verify);
+  const std::string actual = graph_digest_hex(g);
+  DMIS_CHECK(actual == digest_hex,
+             "graph store corruption: " << path << " carries digest " << actual
+                                        << " (run `dmis graphs gc`)");
+  return g;
+}
+
+std::vector<GraphEntry> list_graphs(const std::string& dir) {
+  std::vector<GraphEntry> out;
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return out;
+  while (dirent* entry = ::readdir(d)) {
+    const std::string name = entry->d_name;
+    if (name.size() != kDigestHexLen + 4 ||
+        name.compare(kDigestHexLen, 4, ".dmg") != 0 ||
+        !is_graph_digest(name.substr(0, kDigestHexLen))) {
+      continue;
+    }
+    const std::string path = dir + "/" + name;
+    GraphEntry ge;
+    ge.digest_hex = name.substr(0, kDigestHexLen);
+    ge.bytes = file_bytes(path);
+    try {
+      const Graph g = load_dmg_file(path);
+      ge.nodes = g.node_count();
+      ge.edges = g.edge_count();
+    } catch (const std::exception&) {
+      // Unmappable entry: listed with zero shape; gc removes it.
+    }
+    out.push_back(std::move(ge));
+  }
+  ::closedir(d);
+  std::sort(out.begin(), out.end(),
+            [](const GraphEntry& a, const GraphEntry& b) {
+              return a.digest_hex < b.digest_hex;
+            });
+  return out;
+}
+
+GraphGcReport gc_graphs(const std::string& dir) {
+  GraphGcReport report;
+  DIR* d = ::opendir(dir.c_str());
+  DMIS_CHECK_ENV(d != nullptr, "cannot open graph store directory: "
+                                   << dir << " ("
+                                   << std::strerror(errno) << ")");
+  std::vector<std::string> names;
+  while (dirent* entry = ::readdir(d)) {
+    const std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    names.push_back(name);
+  }
+  ::closedir(d);
+  std::sort(names.begin(), names.end());
+
+  for (const std::string& name : names) {
+    const std::string path = dir + "/" + name;
+    struct stat st {};
+    if (::stat(path.c_str(), &st) != 0 || !S_ISREG(st.st_mode)) continue;
+    std::string reason;
+    if (name.rfind(".tmp-", 0) == 0) {
+      reason = "stray temp file from an interrupted put";
+    } else if (name.size() != kDigestHexLen + 4 ||
+               name.compare(kDigestHexLen, 4, ".dmg") != 0 ||
+               !is_graph_digest(name.substr(0, kDigestHexLen))) {
+      continue;  // foreign file: not ours to delete
+    } else {
+      // Full verification: structure checks plus digest recomputation.
+      try {
+        const Graph g = load_dmg_file(path, /*verify_digest=*/true);
+        const std::string actual = graph_digest_hex(g);
+        if (actual != name.substr(0, kDigestHexLen)) {
+          reason = "content digest " + actual + " does not match name";
+        }
+      } catch (const std::exception& e) {
+        reason = e.what();
+      }
+    }
+    if (reason.empty()) {
+      ++report.kept;
+      continue;
+    }
+    const std::uint64_t bytes = static_cast<std::uint64_t>(st.st_size);
+    if (::unlink(path.c_str()) == 0) {
+      ++report.removed;
+      report.reclaimed_bytes += bytes;
+      report.notes.push_back("removed " + name + ": " + reason);
+    } else {
+      report.notes.push_back("cannot remove " + name + ": " +
+                             std::strerror(errno));
+    }
+  }
+  return report;
+}
+
+}  // namespace dmis::svc::net

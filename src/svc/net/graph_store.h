@@ -1,0 +1,92 @@
+// Digest-addressed graph content store (DESIGN.md §16).
+//
+// Clients upload a graph once (`dmis graphs put`) and reference it in every
+// subsequent request by its 16-hex content digest instead of resending
+// edges. The store is a flat directory of .dmg containers named by digest:
+//
+//   <dir>/<16 lowercase hex>.dmg
+//
+// The name *is* the contract: a file's name must equal the content digest
+// stored in its .dmg header (which `put` computed from the edge set). A
+// resolve therefore maps the file in O(1) and cross-checks name against
+// header without scanning the arrays — the same trusted-digest fast path
+// the service's job keys already ride (graph/dmg.h). Since the digest is a
+// pure function of the edge set, a digest-addressed request hashes to the
+// same JobKey as the equivalent inline-edges request, so caches, stores and
+// routing agree across both arrival paths — byte-identical responses
+// included.
+//
+// Writes are crash-safe by construction: `put` writes to a dot-temp file in
+// the same directory and rename(2)s it into place, so a reader never
+// observes a half-written container, and concurrent puts of the same graph
+// are idempotent (last rename wins, contents identical). Workers of a
+// sharded deployment point at one shared directory; the router resolves
+// digests through the same code path when computing routing keys.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace dmis::svc::net {
+
+/// The digest spelling used in file names and "graph_digest" request
+/// fields: 16 lowercase hex chars of content_digest(kGraphContentDigestSeed).
+std::string graph_digest_hex(std::uint64_t digest);
+std::string graph_digest_hex(const Graph& g);
+
+/// True iff `text` is a well-formed digest spelling (16 lowercase hex).
+bool is_graph_digest(const std::string& text);
+
+struct GraphPutResult {
+  std::string digest_hex;
+  bool created = false;       ///< false: the digest was already present
+  std::uint64_t bytes = 0;    ///< container size on disk
+  NodeId nodes = 0;
+  std::uint64_t edges = 0;
+};
+
+/// Ingests `src_path` (edge list or .dmg, sniffed by magic) into the store,
+/// creating `dir` if needed. Idempotent: re-putting existing content reports
+/// created=false and rewrites nothing.
+GraphPutResult put_graph(const std::string& dir, const std::string& src_path);
+
+/// Stores an already-built graph (bench/test convenience; same semantics).
+GraphPutResult put_graph(const std::string& dir, const Graph& g);
+
+/// Resolves a digest to its graph: O(1) mmap of <dir>/<digest>.dmg plus a
+/// name-vs-header cross-check. An unknown digest throws PreconditionError
+/// (the client must `dmis graphs put` first — not an environmental fault);
+/// a name/header mismatch throws too (the store is corrupt at that entry;
+/// `dmis graphs gc` removes it). `verify` additionally recomputes the
+/// digest from the arrays — a full scan.
+Graph resolve_graph(const std::string& dir, const std::string& digest_hex,
+                    bool verify = false);
+
+struct GraphEntry {
+  std::string digest_hex;
+  NodeId nodes = 0;
+  std::uint64_t edges = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// Every well-named entry, sorted by digest. Header-only reads — O(1) per
+/// entry. A missing or empty directory lists as empty.
+std::vector<GraphEntry> list_graphs(const std::string& dir);
+
+struct GraphGcReport {
+  std::uint64_t kept = 0;
+  std::uint64_t removed = 0;
+  std::uint64_t reclaimed_bytes = 0;
+  std::vector<std::string> notes;  ///< one per removed file, with the reason
+};
+
+/// Full-verification sweep: recomputes every entry's digest and removes
+/// entries whose contents do not match their name (torn writes that somehow
+/// bypassed the rename protocol, bit rot, misnamed files) plus stray
+/// `.tmp-*` files from crashed puts. Valid entries are never touched.
+GraphGcReport gc_graphs(const std::string& dir);
+
+}  // namespace dmis::svc::net

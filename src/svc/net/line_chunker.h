@@ -1,0 +1,110 @@
+// Partial-read line reassembly shared by every serving transport.
+//
+// The protocol is one JSON request per '\n'-terminated line, but no
+// transport guarantees whole lines per read: a TCP segment can carry one
+// byte of a request or three requests and a half. LineChunker turns an
+// arbitrary byte-chunk stream back into lines:
+//
+//   LineChunker chunker(max_line_bytes);
+//   chunker.append(buf, got);                 // whatever read(2) returned
+//   std::string line;
+//   while (true) {
+//     switch (chunker.next_line(&line)) {
+//       case LineChunker::Next::kLine:      handle(line); continue;
+//       case LineChunker::Next::kOversized: reject();     continue;
+//       case LineChunker::Next::kNeedMore:  break;        // read again
+//     }
+//     break;
+//   }
+//
+// Oversized lines (no '\n' within max_line_bytes, or a terminated line
+// longer than that) are *rejected and resynchronized*, not fatal: the
+// offending line's bytes are discarded through its terminating newline and
+// the stream continues at the next line — one kOversized event per bad
+// line, so the caller can answer it with a protocol error response. A
+// trailing unterminated line at EOF is surfaced by flush_eof() (getline
+// semantics: the last line does not need a newline).
+//
+// Carriage returns immediately before the newline are stripped, so CRLF
+// clients work unchanged.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace dmis::svc::net {
+
+class LineChunker {
+ public:
+  static constexpr std::size_t kDefaultMaxLineBytes = 8u << 20;
+
+  explicit LineChunker(std::size_t max_line_bytes = kDefaultMaxLineBytes)
+      : max_line_bytes_(max_line_bytes) {}
+
+  /// Feeds one read's worth of bytes. While discarding an oversized line,
+  /// incoming bytes up to (and including) its terminating newline are
+  /// dropped without buffering, so a hostile never-ending line costs O(1)
+  /// memory, not O(stream).
+  void append(const char* data, std::size_t n) {
+    std::size_t begin = 0;
+    if (discarding_) {
+      std::size_t i = 0;
+      while (i < n && data[i] != '\n') ++i;
+      if (i == n) return;  // still inside the oversized line
+      discarding_ = false;
+      begin = i + 1;
+    }
+    buffer_.append(data + begin, n - begin);
+  }
+
+  enum class Next {
+    kLine,      ///< `out` holds the next complete line
+    kNeedMore,  ///< no complete line buffered; append more bytes
+    kOversized  ///< a line exceeded max_line_bytes and was discarded
+  };
+
+  /// Pops the next complete line into `out` (newline and a trailing '\r'
+  /// stripped). Call in a loop until kNeedMore.
+  Next next_line(std::string* out) {
+    const std::size_t newline = buffer_.find('\n');
+    if (newline == std::string::npos) {
+      if (buffer_.size() > max_line_bytes_) {
+        // Unterminated and already too long: drop what we have and keep
+        // dropping until the newline shows up in a later append.
+        buffer_.clear();
+        discarding_ = true;
+        return Next::kOversized;
+      }
+      return Next::kNeedMore;
+    }
+    if (newline > max_line_bytes_) {
+      buffer_.erase(0, newline + 1);
+      return Next::kOversized;
+    }
+    out->assign(buffer_, 0, newline);
+    buffer_.erase(0, newline + 1);
+    if (!out->empty() && out->back() == '\r') out->pop_back();
+    return Next::kLine;
+  }
+
+  /// EOF: surfaces a trailing line that never got its newline. Returns true
+  /// and fills `out` iff such a partial exists (it is consumed).
+  bool flush_eof(std::string* out) {
+    if (discarding_ || buffer_.empty()) return false;
+    out->assign(buffer_);
+    buffer_.clear();
+    if (!out->empty() && out->back() == '\r') out->pop_back();
+    return true;
+  }
+
+  /// Bytes buffered awaiting their newline (0 while discarding).
+  std::size_t buffered_bytes() const { return buffer_.size(); }
+  std::size_t max_line_bytes() const { return max_line_bytes_; }
+
+ private:
+  std::string buffer_;
+  std::size_t max_line_bytes_;
+  bool discarding_ = false;
+};
+
+}  // namespace dmis::svc::net

@@ -1,0 +1,779 @@
+#include "svc/net/router.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <sstream>
+#include <utility>
+
+#include "rng/mix.h"
+#include "svc/frontend.h"
+#include "svc/net/line_chunker.h"
+#include "svc/net/tcp.h"
+#include "util/check.h"
+#include "util/json.h"
+
+namespace dmis::svc::net {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr std::uint64_t kRingSalt = 0x726f75746572ULL;  // "router"
+
+bool blank_line(const std::string& line) {
+  return line.find_first_not_of(" \t\r") == std::string::npos;
+}
+
+std::string self_exe() {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  DMIS_CHECK_ENV(n > 0, "cannot resolve /proc/self/exe: "
+                            << std::strerror(errno));
+  return std::string(buf, static_cast<std::size_t>(n));
+}
+
+void sleep_ms(int ms) {
+  timespec ts{ms / 1000, static_cast<long>(ms % 1000) * 1'000'000L};
+  ::nanosleep(&ts, nullptr);
+}
+
+}  // namespace
+
+HashRing::HashRing(std::size_t workers, int vnodes) : workers_(workers) {
+  DMIS_CHECK(workers > 0, "hash ring needs at least one worker");
+  DMIS_CHECK(vnodes > 0, "hash ring needs at least one vnode per worker");
+  ring_.reserve(workers * static_cast<std::size_t>(vnodes));
+  for (std::uint32_t w = 0; w < workers; ++w) {
+    for (int v = 0; v < vnodes; ++v) {
+      ring_.emplace_back(
+          mix64(kRingSalt, w, static_cast<std::uint64_t>(v)), w);
+    }
+  }
+  std::sort(ring_.begin(), ring_.end());
+}
+
+std::size_t HashRing::slot_for(const JobKey& key) const {
+  const std::uint64_t h = mix64(key.hi, key.lo);
+  const auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), h,
+      [](const std::pair<std::uint64_t, std::uint32_t>& entry,
+         std::uint64_t value) { return entry.first < value; });
+  return it == ring_.end() ? 0 : static_cast<std::size_t>(it - ring_.begin());
+}
+
+std::size_t HashRing::pick(const JobKey& key) const {
+  return ring_[slot_for(key)].second;
+}
+
+// ---------------------------------------------------------------------------
+
+struct Router::Worker {
+  std::size_t index = 0;
+  TcpEndpoint addr;
+  pid_t pid = 0;         // spawn mode only
+  int announce_fd = -1;  // child's stdout pipe, held open for its lifetime
+  int fd = -1;
+  LineChunker chunker;
+  std::string outbuf;
+  std::size_t out_off = 0;
+  std::deque<std::uint64_t> inflight;  // seqs sent, responses pending (FIFO)
+  bool dead = false;  // revive exhausted; spawn mode clears this on respawn
+
+  std::size_t pending_out() const { return outbuf.size() - out_off; }
+};
+
+struct Router::Client {
+  int in_fd = -1;
+  int out_fd = -1;
+  LineChunker chunker;
+  std::string outbuf;
+  std::size_t out_off = 0;
+  std::deque<std::uint64_t> queue;  // this client's requests, arrival order
+  bool eof = false;
+  bool closed = false;
+  bool owns_fds = false;  // accepted TCP client: close on removal
+
+  std::size_t pending_out() const { return outbuf.size() - out_off; }
+};
+
+struct Router::Pending {
+  std::size_t client = 0;
+  std::string id;
+  std::string line;  // forwarded bytes; cleared once answered
+  JobKey key;
+  int worker = -1;
+  int attempts = 0;  // sends so far
+  bool done = false;
+  bool stats_request = false;  // response rendered lazily at emission time
+  std::string response;        // cleared once emitted
+  Clock::time_point start;
+};
+
+Router::Router(RouterOptions options)
+    : options_(std::move(options)),
+      ring_(options_.spawn_workers > 0
+                ? static_cast<std::size_t>(options_.spawn_workers)
+                : options_.worker_addrs.size(),
+            options_.vnodes) {
+  // Client/worker sockets can vanish mid-write; every send path handles the
+  // error return, so the signal is pure noise.
+  ::signal(SIGPIPE, SIG_IGN);
+  const std::size_t n = ring_.worker_count();
+  workers_.resize(n);
+  stats_.per_worker.assign(n, 0);
+  if (!options_.store_dir.empty()) {
+    // Workers open <store_dir>/worker<i>; the store creates one level, so
+    // the shared parent must exist first.
+    const int rc = ::mkdir(options_.store_dir.c_str(), 0777);
+    DMIS_CHECK_ENV(rc == 0 || errno == EEXIST,
+                   "cannot create store directory " << options_.store_dir
+                                                    << ": "
+                                                    << std::strerror(errno));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_[i].index = i;
+    if (options_.spawn_workers > 0) {
+      spawn_worker(i);
+    } else {
+      workers_[i].addr = parse_endpoint(options_.worker_addrs[i]);
+    }
+    std::string error;
+    DMIS_CHECK_ENV(connect_worker(i, &error),
+                   "cannot connect to worker " << i << ": " << error);
+  }
+}
+
+Router::~Router() {
+  for (Worker& worker : workers_) {
+    if (worker.fd >= 0) ::close(worker.fd);
+    if (worker.pid > 0) ::kill(worker.pid, SIGTERM);
+  }
+  for (Worker& worker : workers_) {
+    if (worker.pid <= 0) continue;
+    // Bounded graceful wait (workers seal their stores on SIGTERM), then
+    // the hammer.
+    int status = 0;
+    bool reaped = false;
+    for (int i = 0; i < 100; ++i) {
+      if (::waitpid(worker.pid, &status, WNOHANG) > 0) {
+        reaped = true;
+        break;
+      }
+      sleep_ms(20);
+    }
+    if (!reaped) {
+      ::kill(worker.pid, SIGKILL);
+      ::waitpid(worker.pid, &status, 0);
+    }
+    if (worker.announce_fd >= 0) ::close(worker.announce_fd);
+  }
+}
+
+std::size_t Router::worker_count() const { return workers_.size(); }
+
+pid_t Router::worker_pid(std::size_t i) const { return workers_[i].pid; }
+
+std::string Router::worker_addr(std::size_t i) const {
+  return workers_[i].addr.str();
+}
+
+void Router::spawn_worker(std::size_t i) {
+  Worker& worker = workers_[i];
+  const std::string exe = options_.exe.empty() ? self_exe() : options_.exe;
+
+  std::vector<std::string> args = {exe, "serve", "--tcp", "127.0.0.1:0"};
+  if (!options_.store_dir.empty()) {
+    args.push_back("--store-dir");
+    args.push_back(options_.store_dir + "/worker" + std::to_string(i));
+  }
+  if (!options_.graphs_dir.empty()) {
+    args.push_back("--graphs-dir");
+    args.push_back(options_.graphs_dir);
+  }
+  args.insert(args.end(), options_.worker_flags.begin(),
+              options_.worker_flags.end());
+
+  int announce[2];
+  DMIS_CHECK_ENV(::pipe(announce) == 0, "pipe: " << std::strerror(errno));
+  const pid_t pid = ::fork();
+  DMIS_CHECK_ENV(pid >= 0, "fork: " << std::strerror(errno));
+  if (pid == 0) {
+    // Child: stdout carries the {"listening":...} announcement; stdin is
+    // detached (a TCP worker never reads it); stderr stays inherited so
+    // worker drain stats land in the router's stderr.
+    const int devnull = ::open("/dev/null", O_RDONLY);
+    if (devnull >= 0) ::dup2(devnull, 0);
+    ::dup2(announce[1], 1);
+    // Everything above stderr is the router's plumbing (worker sockets,
+    // client connections, the front-end listener): a worker holding those
+    // open would keep dead clients' pipes readable forever and hold TCP
+    // connections the router believes closed. Workers start with clean
+    // tables.
+    for (int fd = 3; fd < 1024; ++fd) ::close(fd);
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (std::string& a : args) argv.push_back(a.data());
+    argv.push_back(nullptr);
+    ::execv(exe.c_str(), argv.data());
+    std::fprintf(stderr, "router: execv %s: %s\n", exe.c_str(),
+                 std::strerror(errno));
+    ::_exit(127);
+  }
+  ::close(announce[1]);
+
+  // Read the worker's listening line (poll-bounded; a worker that never
+  // announces is killed and reported).
+  LineChunker chunker;
+  std::string line;
+  bool announced = false;
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(options_.spawn_timeout_ms);
+  while (!announced && Clock::now() < deadline) {
+    pollfd pfd{announce[0], POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 100);
+    if (ready < 0 && errno != EINTR) break;
+    if (ready <= 0) continue;
+    char chunk[512];
+    const ssize_t got = ::read(announce[0], chunk, sizeof(chunk));
+    if (got <= 0) break;
+    chunker.append(chunk, static_cast<std::size_t>(got));
+    announced = chunker.next_line(&line) == LineChunker::Next::kLine;
+  }
+  if (!announced) {
+    ::kill(pid, SIGKILL);
+    ::waitpid(pid, nullptr, 0);
+    ::close(announce[0]);
+    DMIS_CHECK_ENV(false, "worker " << i << " never announced its address");
+  }
+  const json::Value announce_json = json::parse(line);
+  const json::Value* listening = announce_json.find("listening");
+  DMIS_CHECK(listening != nullptr,
+             "worker announcement lacks \"listening\": " << line);
+
+  if (worker.announce_fd >= 0) ::close(worker.announce_fd);
+  worker.announce_fd = announce[0];
+  worker.pid = pid;
+  worker.addr = parse_endpoint(listening->as_string());
+  worker.dead = false;
+  std::fprintf(stderr, "router: worker %zu pid %d listening %s\n", i,
+               static_cast<int>(pid), worker.addr.str().c_str());
+}
+
+bool Router::connect_worker(std::size_t i, std::string* error) {
+  Worker& worker = workers_[i];
+  const int fd = connect_tcp(worker.addr, error);
+  if (fd < 0) return false;
+  worker.fd = fd;
+  worker.chunker = LineChunker(options_.max_line_bytes);
+  worker.outbuf.clear();
+  worker.out_off = 0;
+  worker.dead = false;
+  return true;
+}
+
+bool Router::revive_worker(std::size_t i) {
+  Worker& worker = workers_[i];
+  std::string error;
+  for (int attempt = 0; attempt < options_.reconnect_attempts; ++attempt) {
+    if (worker.pid > 0) {
+      int status = 0;
+      if (::waitpid(worker.pid, &status, WNOHANG) > 0) {
+        // The process is gone: restart it (new pid, new ephemeral port;
+        // ring ownership is index-keyed so the key range is unchanged).
+        worker.pid = 0;
+        ++stats_.restarts;
+        try {
+          spawn_worker(i);
+        } catch (const std::exception& e) {
+          std::fprintf(stderr, "router: worker %zu restart failed: %s\n", i,
+                       e.what());
+          sleep_ms(options_.reconnect_delay_ms);
+          continue;
+        }
+      }
+    }
+    if (connect_worker(i, &error)) return true;
+    sleep_ms(options_.reconnect_delay_ms);
+  }
+  std::fprintf(stderr, "router: worker %zu unreachable (%s)\n", i,
+               error.c_str());
+  worker.dead = true;
+  return false;
+}
+
+void Router::worker_down(std::size_t i) {
+  Worker& worker = workers_[i];
+  if (worker.fd >= 0) ::close(worker.fd);
+  worker.fd = -1;
+  worker.outbuf.clear();
+  worker.out_off = 0;
+  // Everything unanswered goes back through dispatch: the worker processed
+  // some prefix of these, but determinism makes re-execution harmless (same
+  // spec, same canonical bytes — at worst a cache/store hit on the revived
+  // worker).
+  while (!worker.inflight.empty()) {
+    reassign_queue_.push_back(worker.inflight.front());
+    worker.inflight.pop_front();
+  }
+}
+
+void Router::send_to_worker(std::size_t i, std::uint64_t seq) {
+  Worker& worker = workers_[i];
+  Pending& p = pending_[seq];
+  ++p.attempts;
+  if (p.attempts > 1) ++stats_.resends;
+  ++stats_.forwarded;
+  worker.outbuf.append(p.line);
+  worker.outbuf.push_back('\n');
+  worker.inflight.push_back(seq);
+  flush_worker(i);
+}
+
+void Router::flush_worker(std::size_t i) {
+  Worker& worker = workers_[i];
+  while (worker.fd >= 0 && worker.pending_out() > 0) {
+    const ssize_t n = ::send(worker.fd, worker.outbuf.data() + worker.out_off,
+                             worker.pending_out(),
+                             MSG_DONTWAIT | MSG_NOSIGNAL);
+    if (n > 0) {
+      worker.out_off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    if (n < 0 && errno == EINTR) continue;
+    worker_down(i);
+    return;
+  }
+  if (worker.pending_out() == 0) {
+    worker.outbuf.clear();
+    worker.out_off = 0;
+  }
+}
+
+void Router::read_worker(std::size_t i) {
+  Worker& worker = workers_[i];
+  char chunk[65536];
+  const ssize_t got = ::read(worker.fd, chunk, sizeof(chunk));
+  if (got < 0 && (errno == EINTR || errno == EAGAIN)) return;
+  if (got <= 0) {
+    worker_down(i);
+    return;
+  }
+  worker.chunker.append(chunk, static_cast<std::size_t>(got));
+  std::string line;
+  while (worker.chunker.next_line(&line) == LineChunker::Next::kLine) {
+    if (worker.inflight.empty()) {
+      std::fprintf(stderr, "router: worker %zu sent an unmatched response\n",
+                   i);
+      continue;
+    }
+    const std::uint64_t seq = worker.inflight.front();
+    worker.inflight.pop_front();
+    complete(seq, std::move(line));
+    line = {};
+  }
+}
+
+void Router::reap_and_restart_exited() {
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    Worker& worker = workers_[i];
+    if (worker.pid <= 0) continue;
+    int status = 0;
+    if (::waitpid(worker.pid, &status, WNOHANG) <= 0) continue;
+    worker.pid = 0;
+    std::fprintf(stderr, "router: worker %zu exited; restarting\n", i);
+    worker_down(i);
+    ++stats_.restarts;
+    try {
+      spawn_worker(i);
+      std::string error;
+      if (!connect_worker(i, &error)) {
+        std::fprintf(stderr, "router: worker %zu reconnect failed: %s\n", i,
+                     error.c_str());
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "router: worker %zu restart failed: %s\n", i,
+                   e.what());
+      worker.dead = true;
+    }
+  }
+}
+
+void Router::handle_client_line(std::size_t client_index,
+                                const std::string& line) {
+  const std::uint64_t seq = next_seq_++;
+  pending_.emplace_back();
+  Pending& p = pending_[seq];
+  p.client = client_index;
+  p.start = Clock::now();
+  ++stats_.requests;
+  clients_[client_index].queue.push_back(seq);
+
+  Request request;
+  try {
+    request = parse_request(line, seq + 1, options_.verify_digest,
+                            options_.graphs_dir);
+  } catch (const EnvironmentError& e) {
+    ++stats_.parse_errors;
+    complete(seq, format_error_response("#" + std::to_string(seq + 1),
+                                        e.what(), /*retryable=*/true));
+    return;
+  } catch (const std::exception& e) {
+    ++stats_.parse_errors;
+    complete(seq, format_error_response("#" + std::to_string(seq + 1),
+                                        e.what()));
+    return;
+  }
+  p.id = request.id;
+  if (request.stats) {
+    // Rendered when it reaches the front of the client's queue, so the
+    // counters reflect every request that precedes it in the stream.
+    p.stats_request = true;
+    p.done = true;
+    emit_ready(client_index);
+    return;
+  }
+  // The routing key *is* the job key: the same 128-bit spec hash that names
+  // cache lines and store records names the owning worker, so every path to
+  // the same computation converges on the same shard.
+  p.key = job_key(request.spec);
+  p.line = line;
+  p.worker = static_cast<int>(ring_.pick(p.key));
+  ++stats_.per_worker[static_cast<std::size_t>(p.worker)];
+  reassign_queue_.push_back(seq);  // dispatched by the loop's drain pass
+}
+
+void Router::complete(std::uint64_t seq, std::string response) {
+  Pending& p = pending_[seq];
+  p.done = true;
+  p.response = std::move(response);
+  p.line.clear();
+  p.line.shrink_to_fit();
+  latency_.record_us(std::chrono::duration<double, std::micro>(
+                         Clock::now() - p.start)
+                         .count());
+  emit_ready(p.client);
+}
+
+void Router::fail_pending(std::uint64_t seq, const std::string& message) {
+  ++stats_.failed;
+  complete(seq,
+           format_error_response(pending_[seq].id, message, /*retryable=*/true));
+}
+
+void Router::reassign_or_fail(std::uint64_t seq) {
+  Pending& p = pending_[seq];
+  if (p.done) return;
+  if (p.attempts >= options_.max_attempts_per_request) {
+    fail_pending(seq, "worker unreachable after " +
+                          std::to_string(p.attempts) + " attempts");
+    return;
+  }
+  auto usable = [&](std::size_t w) {
+    if (workers_[w].fd >= 0) return true;
+    if (workers_[w].dead) return false;
+    return revive_worker(w);
+  };
+  std::size_t target = static_cast<std::size_t>(p.worker);
+  if (!usable(target)) {
+    // The owner is gone for good: walk the ring to the first live successor.
+    const std::size_t rerouted = ring_.pick_alive(p.key, usable);
+    if (!usable(rerouted)) {
+      fail_pending(seq, "all workers unreachable");
+      return;
+    }
+    if (rerouted != target) {
+      ++stats_.reroutes;
+      p.worker = static_cast<int>(rerouted);
+    }
+    target = rerouted;
+  }
+  send_to_worker(target, seq);
+}
+
+void Router::emit_ready(std::size_t client_index) {
+  Client& client = clients_[client_index];
+  while (!client.queue.empty() && pending_[client.queue.front()].done) {
+    Pending& p = pending_[client.queue.front()];
+    if (p.stats_request) p.response = stats_json(p.id);
+    client.outbuf.append(p.response);
+    client.outbuf.push_back('\n');
+    p.response.clear();
+    p.response.shrink_to_fit();
+    client.queue.pop_front();
+  }
+  flush_client(client_index);
+}
+
+void Router::flush_client(std::size_t client_index) {
+  Client& client = clients_[client_index];
+  while (!client.closed && client.pending_out() > 0) {
+    const ssize_t n = ::write(client.out_fd,
+                              client.outbuf.data() + client.out_off,
+                              client.pending_out());
+    if (n > 0) {
+      client.out_off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    if (n < 0 && errno == EINTR) continue;
+    client.closed = true;  // client gone; its unread responses are dropped
+    return;
+  }
+  if (client.pending_out() == 0) {
+    client.outbuf.clear();
+    client.out_off = 0;
+  }
+}
+
+std::uint64_t Router::serve_fds(int in_fd, int out_fd) {
+  Client client;
+  client.in_fd = in_fd;
+  client.out_fd = out_fd;
+  client.chunker = LineChunker(options_.max_line_bytes);
+  // Nonblocking writes keep one slow client from stalling every worker; the
+  // original flags are restored on exit (the fd is borrowed, not owned).
+  const int out_flags = ::fcntl(out_fd, F_GETFL);
+  if (out_flags >= 0) ::fcntl(out_fd, F_SETFL, out_flags | O_NONBLOCK);
+  clients_.push_back(std::move(client));
+  const std::uint64_t handled = run_loop(-1);
+  if (out_flags >= 0) ::fcntl(out_fd, F_SETFL, out_flags);
+  clients_.clear();
+  return handled;
+}
+
+int Router::serve_tcp_frontend(int listener_fd) {
+  run_loop(listener_fd);
+  ::close(listener_fd);
+  clients_.clear();
+  return 0;
+}
+
+std::uint64_t Router::run_loop(int listener_fd) {
+  const std::uint64_t entry_requests = stats_.requests;
+  for (;;) {
+    const bool draining = drain_requested();
+
+    // Dispatch pass: everything waiting for a worker (fresh requests and
+    // orphans of dead connections) goes out before we sleep in poll.
+    while (!reassign_queue_.empty()) {
+      const std::uint64_t seq = reassign_queue_.front();
+      reassign_queue_.pop_front();
+      reassign_or_fail(seq);
+    }
+
+    // Exit conditions. serve_fds: the client stream ended and every
+    // response is out. TCP front end: drain only.
+    bool inflight = false;
+    for (const Worker& worker : workers_) {
+      inflight |= !worker.inflight.empty();
+    }
+    bool clients_idle = true;
+    for (const Client& client : clients_) {
+      clients_idle &= client.closed ||
+                      (client.eof && client.queue.empty() &&
+                       client.pending_out() == 0);
+    }
+    if (draining && !inflight && clients_idle) break;
+    if (listener_fd < 0 && clients_idle && !inflight) break;
+
+    std::vector<pollfd> fds;
+    struct Slot {
+      enum Kind { kListener, kClientIn, kClientOut, kWorker } kind;
+      std::size_t index;
+    };
+    std::vector<Slot> slots;
+    if (listener_fd >= 0 && !draining) {
+      fds.push_back({listener_fd, POLLIN, 0});
+      slots.push_back({Slot::kListener, 0});
+    }
+    for (std::size_t c = 0; c < clients_.size(); ++c) {
+      Client& client = clients_[c];
+      if (client.closed) continue;
+      short in_events = 0;
+      if (!client.eof && !draining) in_events |= POLLIN;
+      if (client.in_fd == client.out_fd) {
+        if (client.pending_out() > 0) in_events |= POLLOUT;
+        if (in_events != 0) {
+          fds.push_back({client.in_fd, in_events, 0});
+          slots.push_back({Slot::kClientIn, c});
+        }
+      } else {
+        if (in_events != 0) {
+          fds.push_back({client.in_fd, in_events, 0});
+          slots.push_back({Slot::kClientIn, c});
+        }
+        if (client.pending_out() > 0) {
+          fds.push_back({client.out_fd, POLLOUT, 0});
+          slots.push_back({Slot::kClientOut, c});
+        }
+      }
+    }
+    for (std::size_t w = 0; w < workers_.size(); ++w) {
+      if (workers_[w].fd < 0) continue;
+      short events = POLLIN;
+      if (workers_[w].pending_out() > 0) events |= POLLOUT;
+      fds.push_back({workers_[w].fd, events, 0});
+      slots.push_back({Slot::kWorker, w});
+    }
+    if (fds.empty()) {
+      if (draining || listener_fd < 0) break;
+      sleep_ms(50);
+      continue;
+    }
+
+    const int ready = ::poll(fds.data(), fds.size(), 100);
+    if (ready < 0) {
+      if (errno == EINTR) continue;  // drain signal: loop re-checks the flag
+      std::perror("router: poll");
+      return stats_.requests - entry_requests;
+    }
+
+    for (std::size_t i = 0; i < fds.size(); ++i) {
+      const short revents = fds[i].revents;
+      if (revents == 0) continue;
+      const Slot slot = slots[i];
+      switch (slot.kind) {
+        case Slot::kListener: {
+          const int accepted = ::accept(listener_fd, nullptr, nullptr);
+          if (accepted >= 0) {
+            const int flags = ::fcntl(accepted, F_GETFL);
+            if (flags >= 0) ::fcntl(accepted, F_SETFL, flags | O_NONBLOCK);
+            Client client;
+            client.in_fd = accepted;
+            client.out_fd = accepted;
+            client.owns_fds = true;
+            client.chunker = LineChunker(options_.max_line_bytes);
+            clients_.push_back(std::move(client));
+          }
+          break;
+        }
+        case Slot::kClientIn: {
+          Client& client = clients_[slot.index];
+          // A pipe/FIFO whose writers are gone reports a bare POLLHUP with
+          // no POLLIN; the read below returns 0 and records the EOF.
+          if ((revents & (POLLIN | POLLHUP)) != 0 && !client.eof) {
+            char chunk[65536];
+            const ssize_t got = ::read(client.in_fd, chunk, sizeof(chunk));
+            if (got > 0) {
+              client.chunker.append(chunk, static_cast<std::size_t>(got));
+              std::string line;
+              for (bool more = true; more;) {
+                switch (client.chunker.next_line(&line)) {
+                  case LineChunker::Next::kLine:
+                    if (!blank_line(line)) {
+                      handle_client_line(slot.index, line);
+                    }
+                    break;
+                  case LineChunker::Next::kOversized: {
+                    const std::uint64_t seq = next_seq_++;
+                    pending_.emplace_back();
+                    pending_[seq].client = slot.index;
+                    pending_[seq].start = Clock::now();
+                    ++stats_.requests;
+                    clients_[slot.index].queue.push_back(seq);
+                    ++stats_.parse_errors;
+                    complete(seq, format_error_response(
+                                      "#" + std::to_string(seq + 1),
+                                      "request line exceeds " +
+                                          std::to_string(
+                                              options_.max_line_bytes) +
+                                          " bytes"));
+                    break;
+                  }
+                  case LineChunker::Next::kNeedMore:
+                    more = false;
+                    break;
+                }
+              }
+            } else if (got == 0) {
+              Client& c2 = clients_[slot.index];
+              c2.eof = true;
+              std::string line;
+              if (c2.chunker.flush_eof(&line) && !blank_line(line)) {
+                handle_client_line(slot.index, line);
+              }
+            } else if (errno != EINTR && errno != EAGAIN) {
+              clients_[slot.index].closed = true;
+            }
+          }
+          if ((revents & POLLOUT) != 0) flush_client(slot.index);
+          if ((revents & (POLLERR | POLLNVAL)) != 0) {
+            clients_[slot.index].closed = true;
+          }
+          break;
+        }
+        case Slot::kClientOut:
+          flush_client(slot.index);
+          break;
+        case Slot::kWorker: {
+          Worker& worker = workers_[slot.index];
+          if (worker.fd < 0) break;  // went down earlier this iteration
+          if ((revents & POLLIN) != 0) read_worker(slot.index);
+          if (worker.fd >= 0 && (revents & POLLOUT) != 0) {
+            flush_worker(slot.index);
+          }
+          if (worker.fd >= 0 &&
+              (revents & (POLLERR | POLLNVAL)) != 0) {
+            worker_down(slot.index);
+          }
+          if (worker.fd >= 0 && (revents & POLLHUP) != 0 &&
+              (revents & POLLIN) == 0) {
+            worker_down(slot.index);
+          }
+          break;
+        }
+      }
+    }
+
+    // Supervision tick: restart spawned workers that exited, even idle ones.
+    if (options_.spawn_workers > 0) reap_and_restart_exited();
+
+    // Drop disconnected TCP clients (their pending responses are already
+    // marked done or will be discarded on completion).
+    for (std::size_t c = 0; c < clients_.size(); ++c) {
+      Client& client = clients_[c];
+      if (client.closed && client.owns_fds && client.in_fd >= 0) {
+        ::close(client.in_fd);
+        client.in_fd = -1;
+        client.out_fd = -1;
+      }
+    }
+  }
+  return stats_.requests - entry_requests;
+}
+
+std::string Router::stats_json(const std::string& id) const {
+  std::ostringstream oss;
+  oss << "{\"id\":" << json::Value::string(id).dump() << ",\"stats\":{"
+      << "\"router\":{\"workers\":" << workers_.size()
+      << ",\"requests\":" << stats_.requests
+      << ",\"forwarded\":" << stats_.forwarded
+      << ",\"resends\":" << stats_.resends
+      << ",\"reroutes\":" << stats_.reroutes
+      << ",\"restarts\":" << stats_.restarts
+      << ",\"parse_errors\":" << stats_.parse_errors
+      << ",\"failed\":" << stats_.failed << ",\"per_worker\":[";
+  for (std::size_t i = 0; i < stats_.per_worker.size(); ++i) {
+    if (i > 0) oss << ",";
+    oss << stats_.per_worker[i];
+  }
+  oss << "],\"latency\":{\"count\":" << latency_.count()
+      << ",\"p50_us\":" << latency_.percentile_us(0.50)
+      << ",\"p90_us\":" << latency_.percentile_us(0.90)
+      << ",\"p99_us\":" << latency_.percentile_us(0.99) << "}}}}";
+  return oss.str();
+}
+
+}  // namespace dmis::svc::net

@@ -1,0 +1,190 @@
+// Multi-process sharded serving: the router (DESIGN.md §16).
+//
+// `dmis serve --router --workers N` turns the single-process service into
+// the paper's deployment shape — many cooperating processes behind one
+// front end. The router owns no scheduler and no cache; it
+//
+//   * spawns and supervises N worker processes (each a plain
+//     `dmis serve --tcp 127.0.0.1:0` with its own scheduler, LRU and
+//     `--store-dir <base>/worker<i>` segment namespace), or connects to
+//     externally started workers (`--worker-addr host:port`, repeatable);
+//   * routes every request by consistent hash of its JobKey over a fixed
+//     ring of virtual nodes, so a given job always lands on the same
+//     worker and that worker's cache + durable store stay authoritative
+//     for its key range;
+//   * pipelines: requests to different workers are in flight
+//     simultaneously (each worker connection is FIFO, so responses match
+//     sends per connection), and responses are emitted to each client in
+//     that client's request order through a reorder buffer;
+//   * survives worker death: unanswered requests on a dead connection are
+//     re-sent after reconnect/restart — safe because identical specs
+//     produce identical canonical bytes, so at-least-once delivery cannot
+//     change any response — with bounded attempts, then rerouted to the
+//     ring successor, then failed with the retryable taxonomy bit;
+//   * restarts spawned workers that exit, automatically.
+//
+// The router answers {"cmd":"stats"} itself (routing counters + its own
+// request-latency histogram); per-worker serving stats remain one
+// connection away on each worker. Parse failures are answered locally and
+// never forwarded. Anonymous request ids ("#<seq>") are numbered by the
+// worker that executes them, so sharded deployments should send explicit
+// ids (every client in this repo does).
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "svc/job.h"
+#include "util/stats.h"
+
+namespace dmis::svc::net {
+
+/// Consistent-hash ring: `vnodes` virtual nodes per worker, placement a
+/// pure function of (worker index, vnode index) — every router instance
+/// over the same worker count agrees on ownership, and ownership is stable
+/// across worker restarts (index-keyed, not address-keyed).
+class HashRing {
+ public:
+  HashRing(std::size_t workers, int vnodes = 64);
+
+  std::size_t worker_count() const { return workers_; }
+
+  /// The owning worker for a key.
+  std::size_t pick(const JobKey& key) const;
+
+  /// Walks the ring clockwise from the key's position and returns the first
+  /// worker for which `alive(worker)` holds; falls back to pick() when none
+  /// does. Used for reroute-on-failure.
+  template <typename AlivePredicate>
+  std::size_t pick_alive(const JobKey& key, AlivePredicate&& alive) const {
+    std::size_t slot = slot_for(key);
+    for (std::size_t step = 0; step < ring_.size(); ++step) {
+      const std::size_t worker = ring_[(slot + step) % ring_.size()].second;
+      if (alive(worker)) return worker;
+    }
+    return ring_[slot].second;
+  }
+
+ private:
+  std::size_t slot_for(const JobKey& key) const;
+
+  std::size_t workers_;
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> ring_;  // sorted
+};
+
+struct RouterOptions {
+  /// Spawn mode: number of worker processes to launch (0 = external mode,
+  /// which requires worker_addrs).
+  int spawn_workers = 0;
+  std::vector<std::string> worker_addrs;  ///< external mode: host:port each
+  /// Binary to exec for spawned workers; empty resolves /proc/self/exe.
+  std::string exe;
+  /// Extra `dmis serve` flags forwarded verbatim to every spawned worker
+  /// (threads, cache sizing, timing...).
+  std::vector<std::string> worker_flags;
+  /// Non-empty: worker i serves with `--store-dir <store_dir>/worker<i>` —
+  /// one segment namespace per key range.
+  std::string store_dir;
+  /// Shared digest-addressed graph directory: used by the router to resolve
+  /// "graph_digest" while computing routing keys, and forwarded to spawned
+  /// workers as their --graphs-dir.
+  std::string graphs_dir;
+  bool verify_digest = false;  ///< routing-side parse option
+  int vnodes = 64;
+  /// Reconnect/restart attempts per worker revival, and the wait between
+  /// them. Deterministic backoff, same rationale as the scheduler's.
+  int reconnect_attempts = 40;
+  int reconnect_delay_ms = 50;
+  /// Sends per request (first try + resends/reroutes) before the router
+  /// answers with a retryable error itself.
+  int max_attempts_per_request = 4;
+  std::size_t max_line_bytes = 8u << 20;
+  int spawn_timeout_ms = 10'000;  ///< waiting for a worker's listening line
+};
+
+struct RouterStats {
+  std::uint64_t requests = 0;      ///< client lines handled (any outcome)
+  std::uint64_t forwarded = 0;     ///< sends to workers, resends included
+  std::uint64_t resends = 0;       ///< re-sent after a dead connection
+  std::uint64_t reroutes = 0;      ///< moved to a ring successor
+  std::uint64_t restarts = 0;      ///< spawned worker restarts
+  std::uint64_t parse_errors = 0;  ///< answered locally, never forwarded
+  std::uint64_t failed = 0;        ///< answered with a router-side error
+  std::vector<std::uint64_t> per_worker;  ///< requests routed per worker
+};
+
+class Router {
+ public:
+  explicit Router(RouterOptions options);
+  /// Terminates spawned workers (SIGTERM, bounded wait, then SIGKILL).
+  ~Router();
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  std::size_t worker_count() const;
+  /// Spawned worker's pid (0 in external mode).
+  pid_t worker_pid(std::size_t i) const;
+  /// Current address (changes across restarts in spawn mode).
+  std::string worker_addr(std::size_t i) const;
+
+  /// Serves one client over an fd pair (stdin/stdout: 0, 1; a socketpair in
+  /// tests/benches). Returns at client EOF once every request is answered,
+  /// or on drain. Returns the number of client lines handled.
+  std::uint64_t serve_fds(int in_fd, int out_fd);
+
+  /// Accept loop for a TCP client front end; runs until drain. Takes
+  /// ownership of the listener fd.
+  int serve_tcp_frontend(int listener_fd);
+
+  RouterStats stats() const { return stats_; }
+  /// Router-side wall latency (arrival to response emission) per request.
+  const LatencyHistogram& latency() const { return latency_; }
+  /// One response line: {"id":...,"stats":{"router":{...}}} with the
+  /// routing counters and the p50/p90/p99 of the router-side request
+  /// latency histogram. Field order is fixed (deterministic output).
+  std::string stats_json(const std::string& id) const;
+
+ private:
+  struct Worker;
+  struct Client;
+  struct Pending;
+
+  void spawn_worker(std::size_t i);
+  bool connect_worker(std::size_t i, std::string* error);
+  /// Bounded reconnect/restart; true when the worker is usable again.
+  bool revive_worker(std::size_t i);
+  void worker_down(std::size_t i);
+  void send_to_worker(std::size_t i, std::uint64_t seq);
+  void flush_worker(std::size_t i);
+  void read_worker(std::size_t i);
+  void reap_and_restart_exited();
+
+  void handle_client_line(std::size_t client_index, const std::string& line);
+  void complete(std::uint64_t seq, std::string response);
+  void fail_pending(std::uint64_t seq, const std::string& message);
+  void reassign_or_fail(std::uint64_t seq);
+  void emit_ready(std::size_t client_index);
+  void flush_client(std::size_t client_index);
+
+  /// The shared poll loop behind both front ends. `listener_fd` < 0 means
+  /// fixed client set (serve_fds); otherwise accept until drain.
+  std::uint64_t run_loop(int listener_fd);
+
+  RouterOptions options_;
+  HashRing ring_;
+  std::vector<Worker> workers_;
+  std::vector<Client> clients_;
+  std::vector<Pending> pending_;   // indexed by seq (monotone, never shrinks
+                                   // within one serve call)
+  std::deque<std::uint64_t> reassign_queue_;  // awaiting (re)dispatch
+  std::uint64_t next_seq_ = 0;
+  RouterStats stats_;
+  LatencyHistogram latency_;
+};
+
+}  // namespace dmis::svc::net

@@ -1,0 +1,301 @@
+#include "svc/net/tcp.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <cstdlib>
+#include <vector>
+
+#include "svc/net/line_chunker.h"
+#include "util/check.h"
+
+namespace dmis::svc::net {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+sockaddr_in make_addr(const TcpEndpoint& endpoint) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(endpoint.port);
+  // Numeric addresses only (plus the "localhost" spelling): the serving
+  // plane is loopback/LAN-addressed by supervisors, not DNS clients.
+  const std::string host =
+      endpoint.host == "localhost" ? "127.0.0.1" : endpoint.host;
+  DMIS_CHECK(::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1,
+             "not an IPv4 address: '" << endpoint.host << "'");
+  return addr;
+}
+
+/// One client connection of the serve loop.
+struct Conn {
+  int fd = -1;
+  LineChunker chunker;
+  std::string outbuf;        // response bytes not yet accepted by the kernel
+  std::size_t out_off = 0;   // sent prefix of outbuf
+  Clock::time_point last_activity;
+  bool eof = false;     // client half-closed; flush remaining output, then close
+  bool closed = false;  // marked for removal this iteration
+
+  explicit Conn(int f, std::size_t max_line, Clock::time_point now)
+      : fd(f), chunker(max_line), last_activity(now) {}
+
+  std::size_t pending_out() const { return outbuf.size() - out_off; }
+};
+
+/// Pushes as much pending output as the kernel will take right now.
+/// Nonblocking: EAGAIN leaves the rest for POLLOUT; a hard error closes.
+void flush_output(Conn& conn) {
+  while (conn.pending_out() > 0) {
+    const ssize_t n =
+        ::send(conn.fd, conn.outbuf.data() + conn.out_off, conn.pending_out(),
+               MSG_DONTWAIT | MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.out_off += static_cast<std::size_t>(n);
+      conn.last_activity = Clock::now();
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    if (n < 0 && errno == EINTR) continue;
+    conn.closed = true;  // peer gone mid-write; nothing recoverable
+    return;
+  }
+  conn.outbuf.clear();
+  conn.out_off = 0;
+}
+
+void enqueue_response(Conn& conn, const std::string& line) {
+  conn.outbuf.append(line);
+  conn.outbuf.push_back('\n');
+  flush_output(conn);
+}
+
+std::string oversized_error(std::uint64_t seq, std::size_t max_line_bytes) {
+  return "{\"id\":\"#" + std::to_string(seq) +
+         "\",\"error\":\"request line exceeds " +
+         std::to_string(max_line_bytes) + " bytes\"}";
+}
+
+bool blank_line(const std::string& line) {
+  return line.find_first_not_of(" \t\r") == std::string::npos;
+}
+
+/// Feeds every complete buffered line through the service.
+void handle_buffered_lines(Conn& conn, ExecutionService& service,
+                           const FrontEndOptions& options,
+                           const TcpServeOptions& tcp, std::uint64_t& seq) {
+  std::string line;
+  for (;;) {
+    switch (conn.chunker.next_line(&line)) {
+      case LineChunker::Next::kLine:
+        if (blank_line(line)) continue;
+        ++seq;
+        enqueue_response(conn,
+                         handle_request_line(service, options, line, seq));
+        continue;
+      case LineChunker::Next::kOversized:
+        ++seq;
+        enqueue_response(conn, oversized_error(seq, tcp.max_line_bytes));
+        continue;
+      case LineChunker::Next::kNeedMore:
+        return;
+    }
+  }
+}
+
+}  // namespace
+
+TcpEndpoint parse_endpoint(const std::string& spec) {
+  const std::size_t colon = spec.rfind(':');
+  DMIS_CHECK(colon != std::string::npos && colon > 0 &&
+                 colon + 1 < spec.size(),
+             "malformed endpoint '" << spec << "' (want host:port)");
+  TcpEndpoint out;
+  out.host = spec.substr(0, colon);
+  char* end = nullptr;
+  const unsigned long port = std::strtoul(spec.c_str() + colon + 1, &end, 10);
+  DMIS_CHECK(end != nullptr && *end == '\0' && port <= 65535,
+             "malformed port in endpoint '" << spec << "'");
+  out.port = static_cast<std::uint16_t>(port);
+  return out;
+}
+
+int listen_tcp(const TcpEndpoint& endpoint) {
+  const sockaddr_in addr = make_addr(endpoint);
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  DMIS_CHECK_ENV(fd >= 0, "socket: " << std::strerror(errno));
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const int err = errno;
+    ::close(fd);
+    DMIS_CHECK_ENV(false, "bind " << endpoint.str() << ": "
+                                  << std::strerror(err));
+  }
+  if (::listen(fd, 64) != 0) {
+    const int err = errno;
+    ::close(fd);
+    DMIS_CHECK_ENV(false, "listen " << endpoint.str() << ": "
+                                    << std::strerror(err));
+  }
+  return fd;
+}
+
+TcpEndpoint local_endpoint(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  DMIS_CHECK_ENV(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr),
+                               &len) == 0,
+                 "getsockname: " << std::strerror(errno));
+  char host[INET_ADDRSTRLEN] = {};
+  ::inet_ntop(AF_INET, &addr.sin_addr, host, sizeof(host));
+  TcpEndpoint out;
+  out.host = host;
+  out.port = ntohs(addr.sin_port);
+  return out;
+}
+
+int connect_tcp(const TcpEndpoint& endpoint, std::string* error) {
+  const sockaddr_in addr = make_addr(endpoint);
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error != nullptr) *error = std::strerror(errno);
+    return -1;
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    if (error != nullptr) {
+      *error = endpoint.str() + ": " + std::strerror(errno);
+    }
+    ::close(fd);
+    return -1;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+int serve_tcp(int listener_fd, ExecutionService& service,
+              const FrontEndOptions& options, const TcpServeOptions& tcp) {
+  std::vector<Conn> conns;
+  std::uint64_t seq = 0;
+
+  while (!drain_requested()) {
+    std::vector<pollfd> fds;
+    const bool accepting =
+        conns.size() < static_cast<std::size_t>(tcp.max_connections);
+    fds.push_back({listener_fd, static_cast<short>(accepting ? POLLIN : 0),
+                   0});
+    for (const Conn& conn : conns) {
+      short events = 0;
+      if (!conn.eof) events |= POLLIN;
+      if (conn.pending_out() > 0) events |= POLLOUT;
+      fds.push_back({conn.fd, events, 0});
+    }
+
+    // The timeout bounds both idle reaping and drain-flag latency.
+    const int timeout_ms =
+        tcp.idle_timeout_ms > 0 ? std::min(tcp.idle_timeout_ms, 250) : 250;
+    const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;  // drain signal: loop re-checks the flag
+      std::perror("poll");
+      break;
+    }
+    const Clock::time_point now = Clock::now();
+
+    if ((fds[0].revents & POLLIN) != 0) {
+      const int client = ::accept(listener_fd, nullptr, nullptr);
+      if (client >= 0) {
+        const int one = 1;
+        ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        conns.emplace_back(client, tcp.max_line_bytes, now);
+        // The new conn has no pollfd this iteration; it is polled next turn.
+      }
+    }
+
+    for (std::size_t i = 0; i < conns.size() && i + 1 < fds.size(); ++i) {
+      Conn& conn = conns[i];
+      const short revents = fds[i + 1].revents;
+      if (revents == 0) continue;
+      if ((revents & POLLIN) != 0) {
+        char chunk[65536];
+        const ssize_t got = ::read(conn.fd, chunk, sizeof(chunk));
+        if (got > 0) {
+          conn.last_activity = now;
+          conn.chunker.append(chunk, static_cast<std::size_t>(got));
+          handle_buffered_lines(conn, service, options, tcp, seq);
+        } else if (got == 0) {
+          // Half-close: an unterminated trailing line still gets answered
+          // (getline semantics), then remaining output flushes and we close.
+          conn.eof = true;
+          std::string line;
+          if (conn.chunker.flush_eof(&line) && !blank_line(line)) {
+            ++seq;
+            enqueue_response(conn,
+                             handle_request_line(service, options, line, seq));
+          }
+          if (conn.pending_out() == 0) conn.closed = true;
+        } else if (errno != EINTR && errno != EAGAIN) {
+          conn.closed = true;
+        }
+      }
+      if (!conn.closed && (revents & POLLOUT) != 0) flush_output(conn);
+      if (!conn.closed && conn.eof && conn.pending_out() == 0) {
+        conn.closed = true;
+      }
+      if (!conn.closed && (revents & (POLLERR | POLLNVAL)) != 0) {
+        conn.closed = true;
+      }
+      // POLLHUP with readable data is handled by the read path above; a
+      // bare hangup with nothing pending means the peer is simply gone.
+      if (!conn.closed && (revents & POLLHUP) != 0 &&
+          (revents & POLLIN) == 0) {
+        conn.closed = true;
+      }
+    }
+
+    if (tcp.idle_timeout_ms > 0) {
+      for (Conn& conn : conns) {
+        if (conn.closed || conn.pending_out() > 0) continue;
+        const auto idle_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                                 now - conn.last_activity)
+                                 .count();
+        if (idle_ms >= tcp.idle_timeout_ms) conn.closed = true;
+      }
+    }
+
+    for (std::size_t i = 0; i < conns.size();) {
+      if (conns[i].closed) {
+        ::close(conns[i].fd);
+        conns.erase(conns.begin() + static_cast<std::ptrdiff_t>(i));
+      } else {
+        ++i;
+      }
+    }
+  }
+
+  // Graceful drain: responses already produced are flushed (bounded), then
+  // everything closes so a restart can bind immediately.
+  for (Conn& conn : conns) {
+    for (int attempt = 0; attempt < 20 && conn.pending_out() > 0; ++attempt) {
+      pollfd pfd{conn.fd, POLLOUT, 0};
+      if (::poll(&pfd, 1, 50) > 0) flush_output(conn);
+    }
+    ::close(conn.fd);
+  }
+  ::close(listener_fd);
+  return 0;
+}
+
+}  // namespace dmis::svc::net

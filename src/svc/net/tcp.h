@@ -1,0 +1,65 @@
+// TCP transport for the serving protocol (DESIGN.md §16).
+//
+// `dmis serve --tcp host:port` speaks the exact line-delimited JSON
+// protocol of the stdin and Unix-socket front ends, over a poll(2)-based
+// connection loop:
+//   * many concurrent connections, each with its own LineChunker for
+//     partial-read reassembly and its own pending-output buffer for
+//     partial writes (sends never block the loop: EAGAIN parks the
+//     remainder until POLLOUT);
+//   * request handling is synchronous and interleaves across connections
+//     at line granularity — the service's cache/scheduler semantics are
+//     identical to the other transports;
+//   * idle connections are closed after idle_timeout_ms of silence;
+//   * oversized request lines are answered with a protocol error response
+//     and the stream resynchronizes at the next newline;
+//   * SIGINT/SIGTERM (install_drain_handlers) drain gracefully: the
+//     in-flight request finishes, buffered responses are flushed, every
+//     socket is closed, and serve_tcp returns 0 so the caller can seal the
+//     store and emit the final stats line.
+//
+// Port 0 binds an ephemeral port — local_endpoint() reports what the
+// kernel picked, and the CLI announces it as a {"listening":...} line on
+// stdout so supervisors (the router, smoke scripts) can find the worker.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "svc/frontend.h"
+
+namespace dmis::svc::net {
+
+struct TcpEndpoint {
+  std::string host;  ///< IPv4 dotted quad or a name resolvable by inet_pton
+  std::uint16_t port = 0;
+
+  std::string str() const { return host + ":" + std::to_string(port); }
+};
+
+/// Parses "host:port". Throws PreconditionError on malformed specs.
+TcpEndpoint parse_endpoint(const std::string& spec);
+
+/// Binds and listens (SO_REUSEADDR; port 0 = ephemeral). Returns the
+/// listener fd; throws EnvironmentError on failure.
+int listen_tcp(const TcpEndpoint& endpoint);
+
+/// The locally bound address of a socket — resolves ephemeral ports.
+TcpEndpoint local_endpoint(int fd);
+
+/// Blocking connect. Returns the fd, or -1 with `error` filled.
+int connect_tcp(const TcpEndpoint& endpoint, std::string* error);
+
+struct TcpServeOptions {
+  int idle_timeout_ms = 60'000;  ///< 0 disables idle reaping
+  std::size_t max_line_bytes = 8u << 20;
+  int max_connections = 64;  ///< accept pauses (backlog holds) at the cap
+};
+
+/// The poll loop described in the file comment. Takes ownership of
+/// `listener_fd` (closed before returning). Returns 0 on graceful drain or
+/// nonzero on an unrecoverable poll-loop failure.
+int serve_tcp(int listener_fd, ExecutionService& service,
+              const FrontEndOptions& options, const TcpServeOptions& tcp);
+
+}  // namespace dmis::svc::net

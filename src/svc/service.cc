@@ -46,6 +46,7 @@ Completion ExecutionService::wait(Pending& pending) {
   out.elapsed_s = std::chrono::duration<double>(
                       std::chrono::steady_clock::now() - pending.start_)
                       .count();
+  latency_.record_us(out.elapsed_s * 1e6);
   return out;
 }
 

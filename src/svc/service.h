@@ -18,6 +18,7 @@
 #include "svc/job.h"
 #include "svc/scheduler.h"
 #include "svc/store.h"
+#include "util/stats.h"
 #include "util/table.h"
 
 namespace dmis::svc {
@@ -84,6 +85,10 @@ class ExecutionService {
   ResultStore* store() { return store_.get(); }
   const ResultStore* store() const { return store_.get(); }
 
+  /// Wall-latency histogram over every wait() (submit-to-completion, cache
+  /// hits included). Feeds the "latency" section of the stats line.
+  const LatencyHistogram& latency() const { return latency_; }
+
   /// Drain-time durability point: flush + seal the store (no-op without
   /// one). Called by the frontends after the last in-flight job completes.
   void seal_store() {
@@ -97,6 +102,7 @@ class ExecutionService {
   std::unique_ptr<ResultStore> store_;
   ResultCache cache_;
   Scheduler scheduler_;
+  LatencyHistogram latency_;  // atomics only; safe at any destruction point
 };
 
 }  // namespace dmis::svc

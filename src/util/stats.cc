@@ -1,6 +1,7 @@
 #include "util/stats.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <cstddef>
 
@@ -72,6 +73,38 @@ double percentile(std::vector<double> values, double q) {
       std::min<double>(static_cast<double>(n) - 1.0,
                        std::floor(q * static_cast<double>(n))));
   return values[rank];
+}
+
+void LatencyHistogram::record_us(double us) {
+  std::size_t bucket = 0;
+  if (us >= 1.0) {
+    const auto v = static_cast<std::uint64_t>(us);
+    bucket = 64 - static_cast<std::size_t>(std::countl_zero(v));
+    if (bucket >= kBuckets) bucket = kBuckets - 1;
+  }
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t LatencyHistogram::count() const {
+  std::uint64_t total = 0;
+  for (const auto& b : buckets_) total += b.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::uint64_t LatencyHistogram::percentile_us(double q) const {
+  DMIS_CHECK(q >= 0.0 && q <= 1.0, "quantile out of [0,1]: " << q);
+  const std::uint64_t total = count();
+  if (total == 0) return 0;
+  // Nearest rank: the ceil(q * total)-th observation, 1-based.
+  std::uint64_t rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(total)));
+  if (rank == 0) rank = 1;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i].load(std::memory_order_relaxed);
+    if (seen >= rank) return i == 0 ? 1 : (1ULL << i);
+  }
+  return 1ULL << (kBuckets - 1);
 }
 
 }  // namespace dmis

@@ -1,6 +1,8 @@
-// Streaming and batch statistics used by the experiment harnesses.
+// Streaming and batch statistics used by the experiment harnesses and the
+// serving layer.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -35,5 +37,29 @@ class Accumulator {
 /// Batch percentile helper. Quantile q in [0,1] via nearest-rank on a copy of
 /// the data (the input vector is not modified).
 double percentile(std::vector<double> values, double q);
+
+/// Fixed-bucket latency histogram for serving stats (DESIGN.md §16).
+///
+/// Bucket i counts latencies in [2^(i-1), 2^i) microseconds (bucket 0 is
+/// [0, 1)), so percentile_us() reports the power-of-two *upper bound* of the
+/// nearest-rank bucket — a deliberately coarse but deterministic figure:
+/// identical request streams produce identical stats lines, byte for byte,
+/// regardless of thread interleaving. Recording is a single relaxed atomic
+/// increment; O(1) memory, no per-request allocation.
+class LatencyHistogram {
+ public:
+  /// 40 buckets cover [1us, 2^39us ≈ 9.1 min) — far beyond any deadline.
+  static constexpr std::size_t kBuckets = 40;
+
+  void record_us(double us);
+
+  std::uint64_t count() const;
+  /// Upper bound (us) of the bucket holding the nearest-rank observation;
+  /// 0 when empty. q in [0,1].
+  std::uint64_t percentile_us(double q) const;
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+};
 
 }  // namespace dmis

@@ -1,0 +1,698 @@
+// Tests for the sharded serving layer (src/svc/net/): LineChunker framing
+// torture (byte-at-a-time delivery, multi-request segments, oversized
+// rejection with resync), endpoint parsing, consistent-hash ring
+// determinism, the digest-addressed graph content store, graph_digest
+// request equivalence (same JobKey and byte-identical result vs inline
+// edges), the TCP serve loop over real loopback sockets (partial reads,
+// mid-request connection drops, graceful drain), the router's
+// route/reorder/supervise cycle in both external and spawn mode, and the
+// kill-a-worker rerouting path asserting byte-identical retried results.
+#include <gtest/gtest.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "svc/frontend.h"
+#include "svc/job.h"
+#include "svc/net/graph_store.h"
+#include "svc/net/line_chunker.h"
+#include "svc/net/router.h"
+#include "svc/net/tcp.h"
+#include "svc/service.h"
+#include "util/check.h"
+#include "util/stats.h"
+
+namespace dmis::svc::net {
+namespace {
+
+std::string temp_dir(const std::string& name) {
+  const std::string path =
+      std::string(::testing::TempDir()) + "/dmis_net_" + name;
+  std::filesystem::remove_all(path);
+  ::mkdir(path.c_str(), 0777);
+  return path;
+}
+
+// ---------------------------------------------------------------------------
+// LineChunker framing torture.
+
+std::vector<std::string> feed(LineChunker& chunker, const std::string& bytes,
+                              std::size_t chunk_size,
+                              int* oversized = nullptr) {
+  std::vector<std::string> lines;
+  std::string line;
+  for (std::size_t off = 0; off < bytes.size(); off += chunk_size) {
+    chunker.append(bytes.data() + off,
+                   std::min(chunk_size, bytes.size() - off));
+    for (;;) {
+      const LineChunker::Next next = chunker.next_line(&line);
+      if (next == LineChunker::Next::kLine) {
+        lines.push_back(line);
+      } else if (next == LineChunker::Next::kOversized) {
+        if (oversized != nullptr) ++*oversized;
+      } else {
+        break;
+      }
+    }
+  }
+  return lines;
+}
+
+TEST(LineChunker, OneByteAtATimeMatchesWholeStream) {
+  const std::string stream = "alpha\nbeta\r\n\ngamma delta\n";
+  for (const std::size_t chunk : {std::size_t{1}, std::size_t{2},
+                                  std::size_t{3}, stream.size()}) {
+    LineChunker chunker;
+    const std::vector<std::string> lines = feed(chunker, stream, chunk);
+    ASSERT_EQ(lines.size(), 4u) << "chunk=" << chunk;
+    EXPECT_EQ(lines[0], "alpha");
+    EXPECT_EQ(lines[1], "beta");  // CRLF stripped
+    EXPECT_EQ(lines[2], "");
+    EXPECT_EQ(lines[3], "gamma delta");
+    EXPECT_EQ(chunker.buffered_bytes(), 0u);
+  }
+}
+
+TEST(LineChunker, MultipleRequestsInOneSegment) {
+  LineChunker chunker;
+  const std::vector<std::string> lines =
+      feed(chunker, "one\ntwo\nthree\ntail-no-newline", 1u << 20);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[2], "three");
+  std::string tail;
+  ASSERT_TRUE(chunker.flush_eof(&tail));
+  EXPECT_EQ(tail, "tail-no-newline");
+  EXPECT_FALSE(chunker.flush_eof(&tail));  // consumed
+}
+
+TEST(LineChunker, OversizedTerminatedLineIsRejectedAndResyncs) {
+  LineChunker chunker(8);
+  int oversized = 0;
+  const std::vector<std::string> lines =
+      feed(chunker, "0123456789abcdef\nok\n", 1, &oversized);
+  EXPECT_EQ(oversized, 1);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "ok");
+}
+
+TEST(LineChunker, HostileUnterminatedLineCostsConstantMemory) {
+  LineChunker chunker(8);
+  std::string line;
+  chunker.append("0123456789", 10);  // over budget, no newline yet
+  EXPECT_EQ(chunker.next_line(&line), LineChunker::Next::kOversized);
+  // While discarding, further bytes are dropped without buffering and EOF
+  // surfaces no phantom partial line.
+  chunker.append("xxxxxxxxxxxxxxxx", 16);
+  EXPECT_EQ(chunker.next_line(&line), LineChunker::Next::kNeedMore);
+  EXPECT_EQ(chunker.buffered_bytes(), 0u);
+  EXPECT_FALSE(chunker.flush_eof(&line));
+  // The newline ends the discard; the stream resumes at the next line.
+  chunker.append("zz\nnext\n", 8);
+  ASSERT_EQ(chunker.next_line(&line), LineChunker::Next::kLine);
+  EXPECT_EQ(line, "next");
+}
+
+TEST(LineChunker, EofFlushStripsCarriageReturn) {
+  LineChunker chunker;
+  chunker.append("partial\r", 8);
+  std::string line;
+  ASSERT_TRUE(chunker.flush_eof(&line));
+  EXPECT_EQ(line, "partial");
+}
+
+// ---------------------------------------------------------------------------
+// Endpoint parsing.
+
+TEST(TcpEndpointParse, AcceptsHostPortAndRejectsMalformed) {
+  const TcpEndpoint e = parse_endpoint("127.0.0.1:8423");
+  EXPECT_EQ(e.host, "127.0.0.1");
+  EXPECT_EQ(e.port, 8423);
+  EXPECT_EQ(e.str(), "127.0.0.1:8423");
+  EXPECT_EQ(parse_endpoint("localhost:0").port, 0);
+  EXPECT_THROW(parse_endpoint("no-colon"), PreconditionError);
+  EXPECT_THROW(parse_endpoint(":99"), PreconditionError);
+  EXPECT_THROW(parse_endpoint("1.2.3.4:"), PreconditionError);
+  EXPECT_THROW(parse_endpoint("1.2.3.4:notaport"), PreconditionError);
+  EXPECT_THROW(parse_endpoint("1.2.3.4:70000"), PreconditionError);
+}
+
+// ---------------------------------------------------------------------------
+// Consistent-hash ring.
+
+TEST(HashRing, DeterministicAndStableAcrossInstances) {
+  const HashRing a(4), b(4);
+  for (std::uint64_t i = 0; i < 512; ++i) {
+    const JobKey key{i * 0x9e3779b97f4a7c15ULL, i};
+    EXPECT_EQ(a.pick(key), b.pick(key));
+    EXPECT_LT(a.pick(key), 4u);
+  }
+}
+
+TEST(HashRing, SpreadsKeysOverEveryWorker) {
+  const HashRing ring(4);
+  std::vector<int> hits(4, 0);
+  for (std::uint64_t i = 0; i < 2048; ++i) {
+    ++hits[ring.pick(JobKey{i, ~i})];
+  }
+  for (int worker = 0; worker < 4; ++worker) {
+    EXPECT_GT(hits[worker], 0) << "worker " << worker << " owns no keys";
+  }
+}
+
+TEST(HashRing, PickAliveSkipsDeadWorkersDeterministically) {
+  const HashRing ring(3);
+  const JobKey key{42, 43};
+  const std::size_t owner = ring.pick(key);
+  // All alive: pick_alive agrees with pick.
+  EXPECT_EQ(ring.pick_alive(key, [](std::size_t) { return true; }), owner);
+  // Owner dead: the successor differs from the owner and is itself stable.
+  const std::size_t successor =
+      ring.pick_alive(key, [&](std::size_t w) { return w != owner; });
+  EXPECT_NE(successor, owner);
+  EXPECT_EQ(ring.pick_alive(key, [&](std::size_t w) { return w != owner; }),
+            successor);
+  // Nobody alive: falls back to the true owner rather than looping forever.
+  EXPECT_EQ(ring.pick_alive(key, [](std::size_t) { return false; }), owner);
+}
+
+// ---------------------------------------------------------------------------
+// Digest-addressed graph content store.
+
+TEST(GraphStore, PutIsIdempotentAndResolvesRoundTrip) {
+  const std::string dir = temp_dir("graphstore");
+  const Graph g = gnp(40, 0.2, 7);
+
+  const GraphPutResult first = put_graph(dir, g);
+  EXPECT_TRUE(first.created);
+  EXPECT_EQ(first.digest_hex, graph_digest_hex(g));
+  EXPECT_TRUE(is_graph_digest(first.digest_hex));
+  EXPECT_EQ(first.nodes, g.node_count());
+  EXPECT_EQ(first.edges, g.edge_count());
+
+  const GraphPutResult again = put_graph(dir, g);
+  EXPECT_FALSE(again.created);
+  EXPECT_EQ(again.digest_hex, first.digest_hex);
+
+  const Graph back = resolve_graph(dir, first.digest_hex, /*verify=*/true);
+  EXPECT_EQ(back.node_count(), g.node_count());
+  EXPECT_EQ(back.edge_count(), g.edge_count());
+  EXPECT_EQ(back.edges(), g.edges());
+
+  const std::vector<GraphEntry> entries = list_graphs(dir);
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].digest_hex, first.digest_hex);
+  EXPECT_EQ(entries[0].edges, g.edge_count());
+}
+
+TEST(GraphStore, UnknownDigestIsAPreconditionNotAnEnvironmentFault) {
+  const std::string dir = temp_dir("graphstore_unknown");
+  EXPECT_THROW(resolve_graph(dir, "0123456789abcdef"), PreconditionError);
+  EXPECT_FALSE(is_graph_digest("0123456789ABCDEF"));  // uppercase
+  EXPECT_FALSE(is_graph_digest("012345"));            // short
+  EXPECT_FALSE(is_graph_digest("0123456789abcdeg"));  // non-hex
+}
+
+TEST(GraphStore, GcRemovesCorruptEntriesAndStrayTemps) {
+  const std::string dir = temp_dir("graphstore_gc");
+  const GraphPutResult good = put_graph(dir, gnp(40, 0.2, 7));
+  const GraphPutResult bad = put_graph(dir, gnp(40, 0.2, 8));
+
+  {  // Flip one payload byte of the second entry: name no longer matches.
+    const std::string path = dir + "/" + bad.digest_hex + ".dmg";
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good());
+    f.seekp(-1, std::ios::end);
+    char byte = 0;
+    f.seekg(-1, std::ios::end).read(&byte, 1);
+    f.seekp(-1, std::ios::end);
+    byte = static_cast<char>(byte ^ 0x40);
+    f.write(&byte, 1);
+  }
+  {  // A crashed put leaves a dot-temp behind.
+    std::ofstream(dir + "/.tmp-crashed") << "half a container";
+  }
+
+  const GraphGcReport report = gc_graphs(dir);
+  EXPECT_EQ(report.kept, 1u);
+  EXPECT_EQ(report.removed, 2u);
+  EXPECT_GT(report.reclaimed_bytes, 0u);
+
+  // The valid entry survived untouched; the corrupt one is gone.
+  EXPECT_NO_THROW(resolve_graph(dir, good.digest_hex, /*verify=*/true));
+  EXPECT_THROW(resolve_graph(dir, bad.digest_hex), PreconditionError);
+  ASSERT_EQ(list_graphs(dir).size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// graph_digest requests: same JobKey, byte-identical results vs inline
+// edges (the property that makes at-least-once rerouting safe).
+
+std::string inline_edges_json(const Graph& g) {
+  std::ostringstream oss;
+  oss << "\"n\":" << g.node_count() << ",\"edges\":[";
+  bool first = true;
+  g.for_each_edge([&](NodeId u, NodeId v) {
+    if (!first) oss << ',';
+    first = false;
+    oss << '[' << u << ',' << v << ']';
+  });
+  oss << ']';
+  return oss.str();
+}
+
+std::string result_suffix(const std::string& response) {
+  const std::size_t at = response.find("\"result\"");
+  EXPECT_NE(at, std::string::npos) << response;
+  return response.substr(at == std::string::npos ? 0 : at);
+}
+
+TEST(GraphDigestRequests, ShareJobKeysAndCanonicalBytesWithInlineEdges) {
+  const std::string dir = temp_dir("digest_requests");
+  const Graph g = gnp(48, 0.15, 11);
+  const std::string digest = put_graph(dir, g).digest_hex;
+
+  const std::string inline_line =
+      R"({"id":"a","algorithm":"luby","seed":5,)" + inline_edges_json(g) + "}";
+  const std::string digest_line =
+      R"({"id":"a","algorithm":"luby","seed":5,"graph_digest":")" + digest +
+      "\"}";
+
+  // Identical JobKeys: caches, stores and the router's ring all agree
+  // across the two arrival paths.
+  const Request by_edges = parse_request(inline_line, 1);
+  const Request by_digest = parse_request(digest_line, 2, false, dir);
+  EXPECT_EQ(job_key(by_edges.spec), job_key(by_digest.spec));
+
+  // End to end through the service: the digest request hits the cache line
+  // the inline request populated, and the canonical result bytes match.
+  ServiceOptions service_options;
+  ExecutionService service(service_options);
+  FrontEndOptions options;
+  options.include_timing = false;
+  options.graphs_dir = dir;
+  std::istringstream in(inline_line + "\n" + digest_line + "\n");
+  std::ostringstream out;
+  EXPECT_EQ(serve_stream(in, out, service, options), 2u);
+
+  std::istringstream responses(out.str());
+  std::string inline_response, digest_response;
+  ASSERT_TRUE(std::getline(responses, inline_response));
+  ASSERT_TRUE(std::getline(responses, digest_response));
+  EXPECT_NE(inline_response.find("\"cached\":false"), std::string::npos);
+  EXPECT_NE(digest_response.find("\"cached\":true"), std::string::npos);
+  EXPECT_EQ(result_suffix(inline_response), result_suffix(digest_response));
+}
+
+TEST(GraphDigestRequests, RejectedWithoutAGraphsDirectory) {
+  const std::string line =
+      R"({"id":"a","algorithm":"luby","seed":5,"graph_digest":"0123456789abcdef"})";
+  EXPECT_THROW(parse_request(line, 1), PreconditionError);
+}
+
+// ---------------------------------------------------------------------------
+// Latency histogram.
+
+TEST(LatencyHistogram, DeterministicPowerOfTwoPercentiles) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentile_us(0.5), 0u);
+
+  h.record_us(100.0);     // bucket upper bound 128
+  h.record_us(1000.0);    // 1024
+  h.record_us(10000.0);   // 16384
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.percentile_us(0.0), 128u);
+  EXPECT_EQ(h.percentile_us(0.5), 1024u);
+  EXPECT_EQ(h.percentile_us(0.99), 16384u);
+}
+
+// ---------------------------------------------------------------------------
+// TCP serve loop over real loopback sockets. Each test drains the server
+// with a self-delivered SIGTERM and then clears the process-wide flag so
+// later in-process serve loops (including other tests in a full-binary
+// run) start fresh.
+
+ssize_t send_all(int fd, const std::string& bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + off, bytes.size() - off,
+                             MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return -1;
+    off += static_cast<std::size_t>(n);
+  }
+  return static_cast<ssize_t>(off);
+}
+
+/// Reads '\n'-terminated lines off a socket until `count` arrived or the
+/// peer closed.
+std::vector<std::string> recv_lines(int fd, std::size_t count) {
+  std::vector<std::string> lines;
+  LineChunker chunker;
+  char buf[4096];
+  std::string line;
+  while (lines.size() < count) {
+    const ssize_t got = ::recv(fd, buf, sizeof(buf), 0);
+    if (got < 0 && errno == EINTR) continue;
+    if (got <= 0) break;
+    chunker.append(buf, static_cast<std::size_t>(got));
+    while (chunker.next_line(&line) == LineChunker::Next::kLine) {
+      lines.push_back(line);
+    }
+  }
+  return lines;
+}
+
+class TcpServerFixture : public ::testing::Test {
+ protected:
+  void start(TcpServeOptions tcp_options = {}) {
+    reset_drain_flag();
+    install_drain_handlers();
+    service_.emplace(ServiceOptions{});
+    const int listener = listen_tcp(parse_endpoint("127.0.0.1:0"));
+    endpoint_ = local_endpoint(listener);
+    FrontEndOptions options;
+    options.include_timing = false;
+    options.max_line_bytes = tcp_options.max_line_bytes;
+    server_ = std::thread([this, listener, options, tcp_options] {
+      serve_rc_ = serve_tcp(listener, *service_, options, tcp_options);
+    });
+  }
+
+  void TearDown() override {
+    if (server_.joinable()) {
+      ::raise(SIGTERM);
+      server_.join();
+      EXPECT_EQ(serve_rc_, 0);  // graceful drain
+    }
+    reset_drain_flag();
+  }
+
+  int connect() {
+    std::string error;
+    const int fd = connect_tcp(endpoint_, &error);
+    EXPECT_GE(fd, 0) << error;
+    return fd;
+  }
+
+  std::optional<ExecutionService> service_;
+  TcpEndpoint endpoint_;
+  std::thread server_;
+  int serve_rc_ = -1;
+};
+
+constexpr const char* kTinyRequest =
+    R"({"id":"%ID%","algorithm":"luby","seed":%SEED%,"n":8,)"
+    R"("edges":[[0,1],[1,2],[2,3],[3,4],[4,5],[5,6],[6,7]]})";
+
+std::string tiny_request(const std::string& id, int seed) {
+  std::string line = kTinyRequest;
+  line.replace(line.find("%ID%"), 4, id);
+  line.replace(line.find("%SEED%"), 6, std::to_string(seed));
+  return line;
+}
+
+TEST_F(TcpServerFixture, ByteAtATimeDeliveryAndMultiRequestSegments) {
+  start();
+  const int fd = connect();
+
+  // One byte per segment: the connection's LineChunker reassembles.
+  const std::string dribble = tiny_request("r1", 1) + "\n";
+  for (const char byte : dribble) {
+    ASSERT_EQ(send_all(fd, std::string(1, byte)), 1);
+  }
+  std::vector<std::string> lines = recv_lines(fd, 1);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("\"id\":\"r1\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"result\""), std::string::npos);
+
+  // Three requests in one segment: three responses, in order.
+  ASSERT_GT(send_all(fd, tiny_request("r2", 2) + "\n" +
+                             tiny_request("r3", 3) + "\n" +
+                             tiny_request("r4", 2) + "\n"),
+            0);
+  lines = recv_lines(fd, 3);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_NE(lines[0].find("\"id\":\"r2\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"id\":\"r3\""), std::string::npos);
+  // Same spec as r2: served from cache with identical canonical bytes.
+  EXPECT_NE(lines[2].find("\"id\":\"r4\""), std::string::npos);
+  EXPECT_NE(lines[2].find("\"cached\":true"), std::string::npos);
+  EXPECT_EQ(result_suffix(lines[0]), result_suffix(lines[2]));
+
+  ::close(fd);
+}
+
+TEST_F(TcpServerFixture, OversizedLineGetsAnErrorAndTheStreamResyncs) {
+  TcpServeOptions tcp_options;
+  tcp_options.max_line_bytes = 128;
+  start(tcp_options);
+  const int fd = connect();
+
+  ASSERT_GT(send_all(fd, std::string(300, 'x') + "\n"), 0);
+  std::vector<std::string> lines = recv_lines(fd, 1);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("\"error\""), std::string::npos);
+  EXPECT_NE(lines[0].find("exceeds 128 bytes"), std::string::npos);
+
+  // The same connection keeps working after the rejection.
+  ASSERT_GT(send_all(fd, tiny_request("after", 9) + "\n"), 0);
+  lines = recv_lines(fd, 1);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("\"id\":\"after\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"result\""), std::string::npos);
+
+  ::close(fd);
+}
+
+TEST_F(TcpServerFixture, MidRequestConnectionDropLeavesServerServing) {
+  start();
+
+  int fd = connect();
+  const std::string request = tiny_request("dropped", 4) + "\n";
+  // Half a request, then a hard close: the server must discard the partial
+  // line and keep accepting.
+  ASSERT_GT(send_all(fd, request.substr(0, request.size() / 2)), 0);
+  ::close(fd);
+
+  fd = connect();
+  ASSERT_GT(send_all(fd, tiny_request("survivor", 5) + "\n"), 0);
+  const std::vector<std::string> lines = recv_lines(fd, 1);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("\"id\":\"survivor\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"result\""), std::string::npos);
+  ::close(fd);
+}
+
+TEST_F(TcpServerFixture, StatsResponsesCarryTheLatencyHistogram) {
+  start();
+  const int fd = connect();
+  ASSERT_GT(send_all(fd, tiny_request("warm", 6) + "\n" +
+                             R"({"id":"s","cmd":"stats"})" + "\n"),
+            0);
+  const std::vector<std::string> lines = recv_lines(fd, 2);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[1].find("\"latency\":{\"count\":1"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"p50_us\":"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"p99_us\":"), std::string::npos);
+  ::close(fd);
+}
+
+// ---------------------------------------------------------------------------
+// Router. External mode runs against in-process TCP workers; spawn mode
+// (supervision, kill-one rerouting) execs the real `dmis` binary next to
+// this test's build tree.
+
+/// Writes request lines into a pipe, serves them through the router over
+/// pipe fds (the serve_fds front end), and returns the response lines.
+std::vector<std::string> route_requests(Router& router,
+                                        const std::vector<std::string>& lines,
+                                        std::uint64_t* handled = nullptr) {
+  int to_router[2], from_router[2];
+  DMIS_CHECK_ENV(::pipe(to_router) == 0 && ::pipe(from_router) == 0,
+                 "pipe: " << std::strerror(errno));
+  std::string bytes;
+  for (const std::string& line : lines) {
+    bytes += line;
+    bytes += '\n';
+  }
+  // Request bytes fit a pipe buffer for every workload in this file, so the
+  // write completes before the router starts reading.
+  DMIS_CHECK(bytes.size() < 60000, "request batch outgrows the pipe buffer");
+  DMIS_CHECK_ENV(::write(to_router[1], bytes.data(), bytes.size()) ==
+                     static_cast<ssize_t>(bytes.size()),
+                 "write: " << std::strerror(errno));
+  ::close(to_router[1]);
+
+  const std::uint64_t got = router.serve_fds(to_router[0], from_router[1]);
+  if (handled != nullptr) *handled = got;
+  ::close(to_router[0]);
+  ::close(from_router[1]);
+
+  std::vector<std::string> responses;
+  LineChunker chunker;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::read(from_router[0], buf, sizeof(buf));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    chunker.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(from_router[0]);
+  std::string line;
+  while (chunker.next_line(&line) == LineChunker::Next::kLine) {
+    responses.push_back(line);
+  }
+  return responses;
+}
+
+std::vector<std::string> distinct_requests(int count) {
+  std::vector<std::string> lines;
+  for (int i = 0; i < count; ++i) {
+    lines.push_back(tiny_request("r" + std::to_string(i), 100 + i));
+  }
+  return lines;
+}
+
+TEST(RouterExternalMode, RoutesReordersAndAnswersStatsLocally) {
+  reset_drain_flag();
+  install_drain_handlers();
+
+  // Two in-process workers, each a full TCP service of its own.
+  ExecutionService worker_a{ServiceOptions{}}, worker_b{ServiceOptions{}};
+  const int listener_a = listen_tcp(parse_endpoint("127.0.0.1:0"));
+  const int listener_b = listen_tcp(parse_endpoint("127.0.0.1:0"));
+  RouterOptions options;
+  options.worker_addrs = {local_endpoint(listener_a).str(),
+                          local_endpoint(listener_b).str()};
+  FrontEndOptions frontend;
+  frontend.include_timing = false;
+  std::thread thread_a([&] {
+    serve_tcp(listener_a, worker_a, frontend, TcpServeOptions{});
+  });
+  std::thread thread_b([&] {
+    serve_tcp(listener_b, worker_b, frontend, TcpServeOptions{});
+  });
+
+  {
+    Router router(options);
+    ASSERT_EQ(router.worker_count(), 2u);
+
+    std::vector<std::string> lines = distinct_requests(10);
+    lines.push_back(R"({"id":"stats","cmd":"stats"})");
+    lines.push_back(R"(this is not json)");
+    std::uint64_t handled = 0;
+    const std::vector<std::string> responses =
+        route_requests(router, lines, &handled);
+    EXPECT_EQ(handled, 12u);
+    ASSERT_EQ(responses.size(), 12u);
+
+    // Responses come back in client order even though two workers answered
+    // them concurrently.
+    for (int i = 0; i < 10; ++i) {
+      EXPECT_NE(responses[i].find("\"id\":\"r" + std::to_string(i) + "\""),
+                std::string::npos)
+          << responses[i];
+      EXPECT_NE(responses[i].find("\"result\""), std::string::npos);
+    }
+    // The stats request is answered by the router itself, after everything
+    // before it was forwarded.
+    EXPECT_NE(responses[10].find("\"router\":{\"workers\":2"),
+              std::string::npos)
+        << responses[10];
+    EXPECT_NE(responses[10].find("\"forwarded\":10"), std::string::npos);
+    // The parse failure is answered locally too, never forwarded.
+    EXPECT_NE(responses[11].find("\"error\""), std::string::npos);
+
+    const RouterStats stats = router.stats();
+    EXPECT_EQ(stats.requests, 12u);
+    EXPECT_EQ(stats.forwarded, 10u);
+    EXPECT_EQ(stats.parse_errors, 1u);
+    ASSERT_EQ(stats.per_worker.size(), 2u);
+    EXPECT_EQ(stats.per_worker[0] + stats.per_worker[1], 10u);
+    EXPECT_GT(stats.per_worker[0], 0u);  // deterministic spread: both
+    EXPECT_GT(stats.per_worker[1], 0u);  // workers own part of the ring
+  }
+
+  ::raise(SIGTERM);
+  thread_a.join();
+  thread_b.join();
+  reset_drain_flag();
+}
+
+/// The dmis CLI next to this test binary (build/tests/ -> build/tools/),
+/// or empty when not built.
+std::string dmis_binary() {
+  char exe[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", exe, sizeof(exe) - 1);
+  if (n <= 0) return {};
+  exe[n] = '\0';
+  const std::string path =
+      std::filesystem::path(exe).parent_path().parent_path() / "tools" /
+      "dmis";
+  struct stat st{};
+  return (::stat(path.c_str(), &st) == 0 && (st.st_mode & S_IXUSR)) ? path
+                                                                    : "";
+}
+
+TEST(RouterSpawnMode, KillAWorkerMidWorkloadReroutesByteIdentically) {
+  const std::string exe = dmis_binary();
+  if (exe.empty()) {
+    GTEST_SKIP() << "dmis CLI not built next to this test binary";
+  }
+  reset_drain_flag();
+
+  RouterOptions options;
+  options.spawn_workers = 2;
+  options.exe = exe;
+  options.store_dir = temp_dir("router_stores");
+  options.worker_flags = {"--no-timing"};
+  Router router(options);
+  ASSERT_EQ(router.worker_count(), 2u);
+  ASSERT_GT(router.worker_pid(0), 0);
+  ASSERT_GT(router.worker_pid(1), 0);
+
+  // Baseline pass: every request executes once, spread over both workers.
+  const std::vector<std::string> lines = distinct_requests(12);
+  const std::vector<std::string> first = route_requests(router, lines);
+  ASSERT_EQ(first.size(), 12u);
+  for (const std::string& response : first) {
+    EXPECT_NE(response.find("\"result\""), std::string::npos) << response;
+  }
+
+  // SIGKILL one worker, then replay the same workload. The router detects
+  // the dead connection on the next send, restarts the worker, and re-sends
+  // the orphaned requests. Determinism makes the retry invisible: every
+  // retried response carries the exact bytes of the baseline pass.
+  ASSERT_EQ(::kill(router.worker_pid(0), SIGKILL), 0);
+  const std::vector<std::string> second = route_requests(router, lines);
+  ASSERT_EQ(second.size(), 12u);
+  for (std::size_t i = 0; i < second.size(); ++i) {
+    EXPECT_EQ(result_suffix(first[i]), result_suffix(second[i]))
+        << "response " << i << " changed across the kill";
+  }
+
+  const RouterStats stats = router.stats();
+  EXPECT_EQ(stats.requests, 24u);
+  EXPECT_GE(stats.restarts, 1u);
+  EXPECT_EQ(stats.failed, 0u);
+  // The restarted worker came back on a fresh port with its store intact.
+  EXPECT_GT(router.worker_pid(0), 0);
+  EXPECT_NE(router.worker_addr(0), "");
+}
+
+}  // namespace
+}  // namespace dmis::svc::net

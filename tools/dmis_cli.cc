@@ -36,14 +36,36 @@
 //       recorded failure reproduces. Exit 0 iff it does.
 //   dmis serve [--threads T] [--workers W] [--queue-cap Q]
 //              [--cache-entries C] [--cache-shards S] [--bundle-dir D]
-//              [--store-dir D] [--socket PATH] [--no-timing]
-//       Line-delimited JSON request/response loop over stdin/stdout (or a
-//       Unix stream socket) backed by the execution service: scheduler,
-//       worker pool and result cache. --store-dir attaches the crash-safe
-//       durable result store (svc/store.h) under the cache, so results
-//       survive restarts. SIGINT/SIGTERM drain gracefully: the in-flight
-//       request finishes, the store is sealed, and a final stats line goes
-//       to stderr. Serving stats also go to stderr on EOF.
+//              [--store-dir D] [--socket PATH] [--tcp HOST:PORT]
+//              [--graphs-dir D] [--idle-timeout-ms N] [--max-line-bytes N]
+//              [--no-timing]
+//       Line-delimited JSON request/response loop over stdin/stdout, a
+//       Unix stream socket, or TCP (svc/net/tcp.h: a poll loop serving
+//       many connections; --tcp 127.0.0.1:0 binds an ephemeral port and
+//       announces it as a {"listening":...,"pid":...} line on stdout),
+//       backed by the execution service: scheduler, worker pool and
+//       result cache. --store-dir attaches the crash-safe durable result
+//       store (svc/store.h) under the cache, so results survive restarts.
+//       --graphs-dir enables "graph_digest" request fields resolved from
+//       the digest-addressed content store. SIGINT/SIGTERM drain
+//       gracefully: the in-flight request finishes, the store is sealed,
+//       and a final stats line goes to stderr. Serving stats also go to
+//       stderr on EOF.
+//   dmis serve --router (--workers N | --worker-addr H:P ...)
+//              [--store-dir D] [--graphs-dir D] [--tcp HOST:PORT]
+//              [serve flags forwarded to spawned workers]
+//       Sharded serving (svc/net/router.h): spawn and supervise N TCP
+//       worker processes (or connect to externally started ones), route
+//       each request to the consistent-hash owner of its JobKey, pipeline
+//       across workers, resend/reroute on worker death, restart spawned
+//       workers automatically. Front end is stdin/stdout, or TCP with
+//       --tcp. The final router stats line goes to stderr on drain/EOF.
+//   dmis graphs (put FILE... |list|gc) --graphs-dir D
+//       Digest-addressed graph content store (svc/net/graph_store.h):
+//       `put` ingests edge lists or .dmg files and names them by content
+//       digest (idempotent; prints the digest to reference in requests),
+//       `list` prints every entry, `gc` removes corrupt/misnamed entries
+//       and stray temp files.
 //   dmis batch --requests FILE [same flags as serve]
 //       Drain a request file through the same service: duplicate requests
 //       deduplicate to cache hits and output is bit-identical at any
@@ -60,6 +82,8 @@
 // writes a replayable bundle to --bundle-out.
 //
 // Exit code 0 iff the produced object verifies.
+#include <unistd.h>
+
 #include <cmath>
 #include <cstdlib>
 #include <cstring>
@@ -78,6 +102,9 @@
 #include "mis/replay.h"
 #include "runtime/repro.h"
 #include "svc/frontend.h"
+#include "svc/net/graph_store.h"
+#include "svc/net/router.h"
+#include "svc/net/tcp.h"
 #include "svc/service.h"
 #include "svc/store.h"
 #include "util/json.h"
@@ -106,9 +133,14 @@ int usage() {
          "  dmis serve [--threads T] [--workers W] [--queue-cap Q]\n"
          "             [--cache-entries C] [--cache-shards S]\n"
          "             [--bundle-dir D] [--store-dir D] [--socket PATH]\n"
+         "             [--tcp HOST:PORT] [--graphs-dir D]\n"
+         "             [--idle-timeout-ms N] [--max-line-bytes N]\n"
          "             [--no-timing] [--verify-digest]\n"
+         "  dmis serve --router (--workers N | --worker-addr H:P ...)\n"
+         "             [--store-dir D] [--graphs-dir D] [--tcp HOST:PORT]\n"
          "  dmis batch --requests FILE [serve flags]\n"
          "  dmis store (fsck|stats|compact) --store-dir D\n"
+         "  dmis graphs (put FILE...|list|gc) --graphs-dir D\n"
          "families:   gnp regular ba geometric grid cycle path complete\n"
          "            hypercube caterpillar smallworld expander\n"
          "algorithms: "
@@ -645,39 +677,77 @@ int cmd_mst(int argc, char** argv) {
 struct ServeFlags {
   dmis::svc::ServiceOptions service;
   dmis::svc::FrontEndOptions frontend;
+  dmis::svc::net::TcpServeOptions tcp;
   std::optional<std::string> socket_path;
+  std::optional<std::string> tcp_endpoint;
   std::optional<std::string> requests_file;
+  bool router = false;
+  int workers = 1;  ///< scheduler workers; in router mode, process count
+  std::vector<std::string> worker_addrs;
+  /// Serve flags captured verbatim for re-exec by spawned router workers.
+  std::vector<std::string> worker_flags;
 };
 
 ServeFlags parse_serve_flags(int argc, char** argv, int start) {
   ServeFlags f;
-  int workers = 1;
   int threads = 1;
+  // Flags a router worker should inherit are mirrored into worker_flags as
+  // they parse (store/graphs dirs and transport flags are owned by the
+  // router itself and set explicitly in RouterOptions instead).
+  const auto fwd = [&f](const char* flag) { f.worker_flags.push_back(flag); };
+  const auto fwd_kv = [&f](const char* flag, const char* value) {
+    f.worker_flags.push_back(flag);
+    f.worker_flags.push_back(value);
+  };
   for (int i = start; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       threads = std::max(1, std::atoi(argv[++i]));
+      fwd_kv("--threads", argv[i]);
     } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
-      workers = std::max(1, std::atoi(argv[++i]));
+      f.workers = std::max(1, std::atoi(argv[++i]));
     } else if (std::strcmp(argv[i], "--queue-cap") == 0 && i + 1 < argc) {
       f.service.scheduler.queue_capacity =
           std::strtoull(argv[++i], nullptr, 10);
+      fwd_kv("--queue-cap", argv[i]);
     } else if (std::strcmp(argv[i], "--cache-entries") == 0 && i + 1 < argc) {
       f.service.cache_entries = std::strtoull(argv[++i], nullptr, 10);
+      fwd_kv("--cache-entries", argv[i]);
     } else if (std::strcmp(argv[i], "--cache-shards") == 0 && i + 1 < argc) {
       f.service.cache_shards = std::strtoull(argv[++i], nullptr, 10);
+      fwd_kv("--cache-shards", argv[i]);
     } else if (std::strcmp(argv[i], "--bundle-dir") == 0 && i + 1 < argc) {
       f.frontend.bundle_dir = argv[++i];
+      fwd_kv("--bundle-dir", argv[i]);
     } else if (std::strcmp(argv[i], "--store-dir") == 0 && i + 1 < argc) {
       f.service.store_dir = argv[++i];
     } else if (std::strcmp(argv[i], "--store-segment-bytes") == 0 &&
                i + 1 < argc) {
       f.service.store_segment_bytes = std::strtoull(argv[++i], nullptr, 10);
+      fwd_kv("--store-segment-bytes", argv[i]);
     } else if (std::strcmp(argv[i], "--socket") == 0 && i + 1 < argc) {
       f.socket_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--tcp") == 0 && i + 1 < argc) {
+      f.tcp_endpoint = argv[++i];
+    } else if (std::strcmp(argv[i], "--graphs-dir") == 0 && i + 1 < argc) {
+      f.frontend.graphs_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--idle-timeout-ms") == 0 &&
+               i + 1 < argc) {
+      f.tcp.idle_timeout_ms = std::atoi(argv[++i]);
+      fwd_kv("--idle-timeout-ms", argv[i]);
+    } else if (std::strcmp(argv[i], "--max-line-bytes") == 0 && i + 1 < argc) {
+      f.tcp.max_line_bytes = std::strtoull(argv[++i], nullptr, 10);
+      f.frontend.max_line_bytes = f.tcp.max_line_bytes;
+      fwd_kv("--max-line-bytes", argv[i]);
+    } else if (std::strcmp(argv[i], "--router") == 0) {
+      f.router = true;
+    } else if (std::strcmp(argv[i], "--worker-addr") == 0 && i + 1 < argc) {
+      f.worker_addrs.emplace_back(argv[++i]);
     } else if (std::strcmp(argv[i], "--no-timing") == 0) {
       f.frontend.include_timing = false;
+      fwd("--no-timing");
     } else if (std::strcmp(argv[i], "--verify-digest") == 0) {
       f.frontend.verify_digest = true;
+      fwd("--verify-digest");
     } else if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc) {
       f.requests_file = argv[++i];
     } else {
@@ -685,7 +755,7 @@ ServeFlags parse_serve_flags(int argc, char** argv, int start) {
       std::exit(2);
     }
   }
-  f.service.scheduler.workers = workers;
+  f.service.scheduler.workers = f.workers;
   f.service.scheduler.total_threads = threads;
   return f;
 }
@@ -703,10 +773,56 @@ void finish_serving(dmis::svc::ExecutionService& svc) {
   std::cerr << dmis::svc::service_stats_json(svc, "drain") << "\n";
 }
 
+/// Binds the --tcp endpoint and announces the bound address (resolving an
+/// ephemeral port 0) as one stdout line supervisors can parse.
+int listen_and_announce(const std::string& endpoint_spec) {
+  const int listener =
+      dmis::svc::net::listen_tcp(dmis::svc::net::parse_endpoint(endpoint_spec));
+  const dmis::svc::net::TcpEndpoint bound =
+      dmis::svc::net::local_endpoint(listener);
+  std::cout << "{\"listening\":\"" << bound.str()
+            << "\",\"pid\":" << ::getpid() << "}\n";
+  std::cout.flush();
+  return listener;
+}
+
+/// `dmis serve --router`: the sharded deployment front end.
+int run_router(const ServeFlags& flags) {
+  dmis::svc::net::RouterOptions options;
+  if (flags.worker_addrs.empty()) {
+    options.spawn_workers = flags.workers;
+  } else {
+    options.worker_addrs = flags.worker_addrs;
+  }
+  options.worker_flags = flags.worker_flags;
+  options.store_dir = flags.service.store_dir;
+  options.graphs_dir = flags.frontend.graphs_dir;
+  options.verify_digest = flags.frontend.verify_digest;
+  options.max_line_bytes = flags.frontend.max_line_bytes;
+  dmis::svc::install_drain_handlers();
+  dmis::svc::net::Router router(options);
+  if (flags.tcp_endpoint.has_value()) {
+    router.serve_tcp_frontend(listen_and_announce(*flags.tcp_endpoint));
+  } else {
+    const std::uint64_t handled = router.serve_fds(0, 1);
+    std::cerr << "routed " << handled << " requests\n";
+  }
+  std::cerr << router.stats_json("drain") << "\n";
+  return 0;
+}
+
 int cmd_serve(int argc, char** argv) {
   const ServeFlags flags = parse_serve_flags(argc, argv, 2);
+  if (flags.router) return run_router(flags);
   dmis::svc::ExecutionService svc(flags.service);
   dmis::svc::install_drain_handlers();
+  if (flags.tcp_endpoint.has_value()) {
+    const int rc = dmis::svc::net::serve_tcp(
+        listen_and_announce(*flags.tcp_endpoint), svc, flags.frontend,
+        flags.tcp);
+    finish_serving(svc);
+    return rc;
+  }
   if (flags.socket_path.has_value()) {
     const int rc = dmis::svc::serve_unix_socket(*flags.socket_path, svc,
                                                 flags.frontend);
@@ -799,6 +915,62 @@ int cmd_store(int argc, char** argv) {
   return 2;
 }
 
+/// `dmis graphs`: digest-addressed content store maintenance.
+int cmd_graphs(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string verb = argv[2];
+  std::string dir;
+  std::vector<std::string> files;
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--graphs-dir") == 0 && i + 1 < argc) {
+      dir = argv[++i];
+    } else if (std::strncmp(argv[i], "--", 2) == 0) {
+      std::cerr << "unknown flag: " << argv[i] << "\n";
+      return 2;
+    } else {
+      files.emplace_back(argv[i]);
+    }
+  }
+  if (dir.empty()) {
+    std::cerr << "graphs " << verb << " needs --graphs-dir D\n";
+    return 2;
+  }
+
+  if (verb == "put") {
+    if (files.empty()) {
+      std::cerr << "graphs put needs at least one graph file\n";
+      return 2;
+    }
+    for (const std::string& file : files) {
+      const dmis::svc::net::GraphPutResult r =
+          dmis::svc::net::put_graph(dir, file);
+      std::cout << r.digest_hex << "  n=" << r.nodes << " m=" << r.edges
+                << " bytes=" << r.bytes
+                << (r.created ? "" : "  (already present)") << "\n";
+    }
+    return 0;
+  }
+  if (verb == "list") {
+    for (const dmis::svc::net::GraphEntry& e :
+         dmis::svc::net::list_graphs(dir)) {
+      std::cout << e.digest_hex << "  n=" << e.nodes << " m=" << e.edges
+                << " bytes=" << e.bytes << "\n";
+    }
+    return 0;
+  }
+  if (verb == "gc") {
+    const dmis::svc::net::GraphGcReport r = dmis::svc::net::gc_graphs(dir);
+    for (const std::string& note : r.notes) {
+      std::cout << "removed: " << note << "\n";
+    }
+    std::cout << "kept:      " << r.kept << "\nremoved:   " << r.removed
+              << "\nreclaimed: " << r.reclaimed_bytes << " bytes\n";
+    return 0;
+  }
+  std::cerr << "unknown graphs verb '" << verb << "' (put|list|gc)\n";
+  return 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -816,6 +988,7 @@ int main(int argc, char** argv) {
     if (cmd == "serve") return cmd_serve(argc, argv);
     if (cmd == "batch") return cmd_batch(argc, argv);
     if (cmd == "store") return cmd_store(argc, argv);
+    if (cmd == "graphs") return cmd_graphs(argc, argv);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

@@ -1,0 +1,173 @@
+# Sharded-serving smoke test (DESIGN.md §16): upload a graph to the
+# digest-addressed content store, run a digest-referencing workload through
+# `dmis serve --router --workers 2` (two spawned TCP workers), `kill -9` one
+# worker mid-stream, and assert (a) every request is still answered (the
+# router restarts the worker and re-sends its orphaned requests), (b) both
+# per-worker stores are fsck-clean after the crash, (c) a warm router
+# restart over the same stores serves cache hits with byte-identical result
+# objects, and (d) a graph_digest request answers byte-identically to the
+# equivalent graph_file request — the content store changes transport
+# economics, never bytes.
+# Big enough that the 16-job workload runs for close to a second —
+# the mid-stream kill below must land while both workers still hold
+# unanswered requests.
+execute_process(COMMAND ${DMIS_BIN} generate gnp 20000 8 7
+                OUTPUT_FILE ${WORK_DIR}/net_smoke.el RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "generate failed: ${rc}")
+endif()
+
+# Digest upload. `graphs put` prints "<digest>  n=... m=... bytes=...".
+set(GRAPHS_DIR ${WORK_DIR}/net_smoke_graphs)
+file(REMOVE_RECURSE ${GRAPHS_DIR})
+execute_process(
+  COMMAND ${DMIS_BIN} graphs put --graphs-dir ${GRAPHS_DIR}
+          ${WORK_DIR}/net_smoke.el
+  OUTPUT_VARIABLE put_out RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0 OR NOT put_out MATCHES "^([0-9a-f]+)  ")
+  message(FATAL_ERROR "graphs put failed (rc=${rc}):\n${put_out}")
+endif()
+set(digest "${CMAKE_MATCH_1}")
+
+set(requests "")
+foreach(i RANGE 1 16)
+  string(APPEND requests
+    "{\"id\":\"j${i}\",\"algorithm\":\"congest\",\"seed\":${i},"
+    "\"graph_digest\":\"${digest}\"}\n")
+endforeach()
+file(WRITE ${WORK_DIR}/net_smoke_req.jsonl "${requests}")
+
+set(STORE_DIR ${WORK_DIR}/net_smoke_stores)
+file(REMOVE_RECURSE ${STORE_DIR})
+
+# Crash pass: background the router, wait until a couple of responses are
+# out (both workers are mid-workload by then — requests pipeline to both up
+# front), SIGKILL worker 0 via the pid the router announced on stderr, and
+# wait for the router itself to finish. The router must exit 0 with every
+# request answered despite the crash.
+file(WRITE ${WORK_DIR}/net_smoke_crash.sh
+"set -u
+\"$1\" serve --router --workers 2 --no-timing --store-dir \"$2\" \\
+    --graphs-dir \"$3\" < \"$4\" > \"$5\" 2> \"$6\" &
+router=$!
+for _ in $(seq 1 1000); do
+  lines=$(grep -c '\"id\"' \"$5\" 2>/dev/null || true)
+  [ \"\${lines:-0}\" -ge 1 ] && break
+  sleep 0.01
+done
+wpid=$(sed -n 's/^router: worker 0 pid \\([0-9]*\\) .*/\\1/p' \"$6\" | head -1)
+if [ -n \"\$wpid\" ]; then kill -9 \"\$wpid\" 2>/dev/null; fi
+wait \"$router\"
+exit $?
+")
+execute_process(
+  COMMAND bash ${WORK_DIR}/net_smoke_crash.sh ${DMIS_BIN} ${STORE_DIR}
+          ${GRAPHS_DIR} ${WORK_DIR}/net_smoke_req.jsonl
+          ${WORK_DIR}/net_smoke_cold.jsonl ${WORK_DIR}/net_smoke_cold.err
+  RESULT_VARIABLE rc)
+file(READ ${WORK_DIR}/net_smoke_cold.jsonl cold_out)
+file(READ ${WORK_DIR}/net_smoke_cold.err cold_err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "router exited nonzero after the worker kill "
+                      "(rc=${rc}):\n${cold_err}")
+endif()
+
+# Every request answered with a result, the crash notwithstanding.
+foreach(i RANGE 1 16)
+  if(NOT cold_out MATCHES "\"id\":\"j${i}\",[^\n]*\"result\":")
+    message(FATAL_ERROR "request j${i} was not answered with a result:\n"
+                        "${cold_out}\nstderr:\n${cold_err}")
+  endif()
+endforeach()
+# The drain stats line on stderr must record the supervision cycle (either
+# detection path — poll-loop reap or send-failure revival — counts it).
+if(NOT cold_err MATCHES "\"restarts\":[1-9]")
+  message(FATAL_ERROR "router never restarted the killed worker:\n"
+                      "${cold_err}")
+endif()
+
+# Both per-worker stores must be fsck-clean — the SIGKILL at worst tore the
+# dying worker's last append, which recovery truncates.
+foreach(w 0 1)
+  execute_process(COMMAND ${DMIS_BIN} store fsck
+                  --store-dir ${STORE_DIR}/worker${w}
+                  OUTPUT_VARIABLE fsck_out ERROR_VARIABLE fsck_err
+                  RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0 OR NOT fsck_out MATCHES "fsck: clean")
+    message(FATAL_ERROR "worker${w} store not fsck-clean (rc=${rc}):\n"
+                        "${fsck_out}${fsck_err}")
+  endif()
+endforeach()
+
+# Warm restart: a fresh router over the same stores. Completed jobs come
+# back as cache hits with byte-identical result objects.
+execute_process(
+  COMMAND ${DMIS_BIN} serve --router --workers 2 --no-timing
+          --store-dir ${STORE_DIR} --graphs-dir ${GRAPHS_DIR}
+  INPUT_FILE ${WORK_DIR}/net_smoke_req.jsonl
+  OUTPUT_FILE ${WORK_DIR}/net_smoke_warm.jsonl
+  ERROR_QUIET RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "warm router pass failed: ${rc}")
+endif()
+file(READ ${WORK_DIR}/net_smoke_warm.jsonl warm_out)
+string(REGEX MATCHALL "\"cached\":true" warm_hits "${warm_out}")
+list(LENGTH warm_hits warm_hit_count)
+if(warm_hit_count EQUAL 0)
+  message(FATAL_ERROR "warm router restart produced no cache hits:\n"
+                      "${warm_out}")
+endif()
+string(REPLACE "\n" ";" cold_lines "${cold_out}")
+string(REPLACE "\n" ";" warm_lines "${warm_out}")
+foreach(line IN LISTS cold_lines)
+  string(REGEX MATCH "\"id\":\"([^\"]+)\"" _ "${line}")
+  set(id "${CMAKE_MATCH_1}")
+  string(REGEX MATCH "\"result\":\\{[^\n]*\\}" cold_result "${line}")
+  if(id STREQUAL "" OR cold_result STREQUAL "")
+    continue()
+  endif()
+  set(matched FALSE)
+  foreach(wline IN LISTS warm_lines)
+    if(wline MATCHES "\"id\":\"${id}\"")
+      string(REGEX MATCH "\"result\":\\{[^\n]*\\}" warm_result "${wline}")
+      if(warm_result STREQUAL cold_result)
+        set(matched TRUE)
+      endif()
+    endif()
+  endforeach()
+  if(NOT matched)
+    message(FATAL_ERROR "result for id ${id} not replayed byte-identically "
+                        "across the warm router restart:\n${cold_result}\n"
+                        "warm output:\n${warm_out}")
+  endif()
+endforeach()
+
+# Arrival-path identity: the same job by graph_file and by graph_digest,
+# served single-process, must produce byte-identical result objects.
+file(WRITE ${WORK_DIR}/net_smoke_ident.jsonl
+  "{\"id\":\"by_file\",\"algorithm\":\"congest\",\"seed\":3,"
+  "\"graph_file\":\"${WORK_DIR}/net_smoke.el\"}\n"
+  "{\"id\":\"by_digest\",\"algorithm\":\"congest\",\"seed\":3,"
+  "\"graph_digest\":\"${digest}\"}\n")
+execute_process(
+  COMMAND ${DMIS_BIN} serve --no-timing --graphs-dir ${GRAPHS_DIR}
+  INPUT_FILE ${WORK_DIR}/net_smoke_ident.jsonl
+  OUTPUT_VARIABLE ident_out ERROR_QUIET RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "identity serve failed: ${rc}")
+endif()
+if(NOT ident_out MATCHES "\"id\":\"by_digest\",\"cached\":true")
+  message(FATAL_ERROR "graph_digest request missed the graph_file request's "
+                      "cache line:\n${ident_out}")
+endif()
+string(REGEX MATCHALL "\"result\":\\{[^\n]*\\}" ident_results "${ident_out}")
+list(REMOVE_DUPLICATES ident_results)
+list(LENGTH ident_results ident_distinct)
+if(NOT ident_distinct EQUAL 1)
+  message(FATAL_ERROR "graph_file and graph_digest results differ:\n"
+                      "${ident_out}")
+endif()
+
+message(STATUS "net smoke: 16/16 answered across a worker kill, "
+               "${warm_hit_count} warm hits, both stores fsck clean, "
+               "digest==file identity held")
