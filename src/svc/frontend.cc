@@ -352,10 +352,14 @@ std::uint64_t serve_stream(std::istream& in, std::ostream& out,
   // A drain signal ends the loop at the next request boundary; the request
   // being handled always finishes (handling is synchronous). A blocked
   // peek() interrupted by the un-restarted signal fails and exits too.
+  bool saw_eof = false;
   while (!drain_requested()) {
     // Block for one byte, then drain what is already buffered: interactive
     // clients get per-line turnaround, bulk pipes still move in big chunks.
-    if (in.peek() == std::char_traits<char>::eof()) break;
+    if (in.peek() == std::char_traits<char>::eof()) {
+      saw_eof = true;
+      break;
+    }
     std::size_t got = 0;
     chunk[got++] = static_cast<char>(in.get());
     const std::streamsize more = in.readsome(
@@ -382,8 +386,12 @@ std::uint64_t serve_stream(std::istream& in, std::ostream& out,
       }
     }
   }
-  // Getline semantics at EOF: an unterminated trailing line still answers.
-  if (chunker.flush_eof(&line) &&
+  // Getline semantics at EOF: an unterminated trailing line still answers —
+  // but only on a true end of stream. A drain exit (including a signal
+  // failing the blocked peek above) may leave a half-received request
+  // buffered, and answering that with a parse error would fault a request
+  // the client never finished sending.
+  if (saw_eof && !drain_requested() && chunker.flush_eof(&line) &&
       line.find_first_not_of(" \t\r") != std::string::npos) {
     ++handled;
     out << handle_request_line(service, options, line, handled) << "\n";

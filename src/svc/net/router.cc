@@ -3,8 +3,10 @@
 #include <fcntl.h>
 #include <poll.h>
 #include <signal.h>
+#include <sys/resource.h>
 #include <sys/socket.h>
 #include <sys/stat.h>
+#include <sys/syscall.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -30,6 +32,7 @@ namespace {
 using Clock = std::chrono::steady_clock;
 
 constexpr std::uint64_t kRingSalt = 0x726f75746572ULL;  // "router"
+
 
 bool blank_line(const std::string& line) {
   return line.find_first_not_of(" \t\r") == std::string::npos;
@@ -88,7 +91,12 @@ struct Router::Worker {
   std::string outbuf;
   std::size_t out_off = 0;
   std::deque<std::uint64_t> inflight;  // seqs sent, responses pending (FIFO)
-  bool dead = false;  // revive exhausted; spawn mode clears this on respawn
+  bool dead = false;       // revival exhausted its attempt budget
+  // Revival state machine (tick_revivals): armed by worker_down, one
+  // attempt per due tick, disarmed on reconnect or on exhaustion (dead).
+  bool reviving = false;
+  int revive_attempts = 0;
+  Clock::time_point next_revive{};
 
   std::size_t pending_out() const { return outbuf.size() - out_off; }
 };
@@ -103,6 +111,7 @@ struct Router::Client {
   bool eof = false;
   bool closed = false;
   bool owns_fds = false;  // accepted TCP client: close on removal
+  bool recycled = false;  // slot returned to free_clients_, awaiting reuse
 
   std::size_t pending_out() const { return outbuf.size() - out_off; }
 };
@@ -219,8 +228,21 @@ void Router::spawn_worker(std::size_t i) {
     // client connections, the front-end listener): a worker holding those
     // open would keep dead clients' pipes readable forever and hold TCP
     // connections the router believes closed. Workers start with clean
-    // tables.
-    for (int fd = 3; fd < 1024; ++fd) ::close(fd);
+    // tables — close_range covers every fd (a router carrying thousands of
+    // client sockets exceeds any hardcoded bound), with an RLIMIT_NOFILE
+    // sweep as the fallback on kernels without the syscall.
+#ifdef SYS_close_range
+    if (::syscall(SYS_close_range, 3u, ~0u, 0u) != 0)
+#endif
+    {
+      rlimit nofile{};
+      rlim_t max_fd = 1024;
+      if (::getrlimit(RLIMIT_NOFILE, &nofile) == 0 &&
+          nofile.rlim_cur != RLIM_INFINITY) {
+        max_fd = nofile.rlim_cur;
+      }
+      for (rlim_t fd = 3; fd < max_fd; ++fd) ::close(static_cast<int>(fd));
+    }
     std::vector<char*> argv;
     argv.reserve(args.size() + 1);
     for (std::string& a : args) argv.push_back(a.data());
@@ -279,37 +301,51 @@ bool Router::connect_worker(std::size_t i, std::string* error) {
   worker.outbuf.clear();
   worker.out_off = 0;
   worker.dead = false;
+  worker.reviving = false;
+  worker.revive_attempts = 0;
   return true;
 }
 
-bool Router::revive_worker(std::size_t i) {
-  Worker& worker = workers_[i];
-  std::string error;
-  for (int attempt = 0; attempt < options_.reconnect_attempts; ++attempt) {
+// One attempt per due worker per call, never a sleep: the old synchronous
+// retry loop (attempts x delay, plus a spawn timeout each) froze all client
+// and worker I/O for seconds whenever a worker died; here the poll loop
+// keeps servicing traffic between attempts.
+void Router::tick_revivals() {
+  const Clock::time_point now = Clock::now();
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    Worker& worker = workers_[i];
+    if (!worker.reviving || worker.fd >= 0 || worker.dead) continue;
+    if (now < worker.next_revive) continue;
+    ++worker.revive_attempts;
+    worker.next_revive =
+        now + std::chrono::milliseconds(options_.reconnect_delay_ms);
+    std::string error = "connect failed";
+    bool connectable = true;
     if (worker.pid > 0) {
       int status = 0;
-      if (::waitpid(worker.pid, &status, WNOHANG) > 0) {
-        // The process is gone: restart it (new pid, new ephemeral port;
-        // ring ownership is index-keyed so the key range is unchanged).
-        worker.pid = 0;
+      if (::waitpid(worker.pid, &status, WNOHANG) > 0) worker.pid = 0;
+    }
+    if (options_.spawn_workers > 0 && worker.pid == 0) {
+      // The process is gone: restart it (new pid, new ephemeral port; ring
+      // ownership is index-keyed so the key range is unchanged).
+      try {
+        spawn_worker(i);
         ++stats_.restarts;
-        try {
-          spawn_worker(i);
-        } catch (const std::exception& e) {
-          std::fprintf(stderr, "router: worker %zu restart failed: %s\n", i,
-                       e.what());
-          sleep_ms(options_.reconnect_delay_ms);
-          continue;
-        }
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "router: worker %zu restart failed: %s\n", i,
+                     e.what());
+        error = e.what();
+        connectable = false;
       }
     }
-    if (connect_worker(i, &error)) return true;
-    sleep_ms(options_.reconnect_delay_ms);
+    if (connectable && connect_worker(i, &error)) continue;
+    if (worker.revive_attempts >= options_.reconnect_attempts) {
+      std::fprintf(stderr, "router: worker %zu unreachable (%s)\n", i,
+                   error.c_str());
+      worker.dead = true;
+      worker.reviving = false;
+    }
   }
-  std::fprintf(stderr, "router: worker %zu unreachable (%s)\n", i,
-               error.c_str());
-  worker.dead = true;
-  return false;
 }
 
 void Router::worker_down(std::size_t i) {
@@ -326,11 +362,18 @@ void Router::worker_down(std::size_t i) {
     reassign_queue_.push_back(worker.inflight.front());
     worker.inflight.pop_front();
   }
+  if (!worker.dead && !worker.reviving) {
+    worker.reviving = true;
+    worker.revive_attempts = 0;
+    worker.next_revive = Clock::now();  // first attempt on the next tick
+  }
 }
 
 void Router::send_to_worker(std::size_t i, std::uint64_t seq) {
   Worker& worker = workers_[i];
-  Pending& p = pending_[seq];
+  const auto it = pending_.find(seq);
+  if (it == pending_.end()) return;  // already answered and reclaimed
+  Pending& p = it->second;
   ++p.attempts;
   if (p.attempts > 1) ++stats_.resends;
   ++stats_.forwarded;
@@ -385,7 +428,7 @@ void Router::read_worker(std::size_t i) {
   }
 }
 
-void Router::reap_and_restart_exited() {
+void Router::reap_exited() {
   for (std::size_t i = 0; i < workers_.size(); ++i) {
     Worker& worker = workers_[i];
     if (worker.pid <= 0) continue;
@@ -393,27 +436,13 @@ void Router::reap_and_restart_exited() {
     if (::waitpid(worker.pid, &status, WNOHANG) <= 0) continue;
     worker.pid = 0;
     std::fprintf(stderr, "router: worker %zu exited; restarting\n", i);
-    worker_down(i);
-    ++stats_.restarts;
-    try {
-      spawn_worker(i);
-      std::string error;
-      if (!connect_worker(i, &error)) {
-        std::fprintf(stderr, "router: worker %zu reconnect failed: %s\n", i,
-                     error.c_str());
-      }
-    } catch (const std::exception& e) {
-      std::fprintf(stderr, "router: worker %zu restart failed: %s\n", i,
-                   e.what());
-      worker.dead = true;
-    }
+    worker_down(i);  // arms the revival state machine; the tick respawns
   }
 }
 
 void Router::handle_client_line(std::size_t client_index,
                                 const std::string& line) {
   const std::uint64_t seq = next_seq_++;
-  pending_.emplace_back();
   Pending& p = pending_[seq];
   p.client = client_index;
   p.start = Clock::now();
@@ -455,41 +484,57 @@ void Router::handle_client_line(std::size_t client_index,
 }
 
 void Router::complete(std::uint64_t seq, std::string response) {
-  Pending& p = pending_[seq];
+  const auto it = pending_.find(seq);
+  if (it == pending_.end()) return;  // already answered and reclaimed
+  Pending& p = it->second;
   p.done = true;
   p.response = std::move(response);
   p.line.clear();
-  p.line.shrink_to_fit();
   latency_.record_us(std::chrono::duration<double, std::micro>(
                          Clock::now() - p.start)
                          .count());
-  emit_ready(p.client);
+  const std::size_t client = p.client;  // emit_ready may erase p
+  emit_ready(client);
 }
 
 void Router::fail_pending(std::uint64_t seq, const std::string& message) {
+  const auto it = pending_.find(seq);
+  if (it == pending_.end()) return;
   ++stats_.failed;
   complete(seq,
-           format_error_response(pending_[seq].id, message, /*retryable=*/true));
+           format_error_response(it->second.id, message, /*retryable=*/true));
 }
 
 void Router::reassign_or_fail(std::uint64_t seq) {
-  Pending& p = pending_[seq];
-  if (p.done) return;
+  const auto it = pending_.find(seq);
+  if (it == pending_.end() || it->second.done) return;
+  Pending& p = it->second;
   if (p.attempts >= options_.max_attempts_per_request) {
     fail_pending(seq, "worker unreachable after " +
                           std::to_string(p.attempts) + " attempts");
     return;
   }
-  auto usable = [&](std::size_t w) {
-    if (workers_[w].fd >= 0) return true;
-    if (workers_[w].dead) return false;
-    return revive_worker(w);
-  };
+  const auto connected = [&](std::size_t w) { return workers_[w].fd >= 0; };
   std::size_t target = static_cast<std::size_t>(p.worker);
-  if (!usable(target)) {
-    // The owner is gone for good: walk the ring to the first live successor.
-    const std::size_t rerouted = ring_.pick_alive(p.key, usable);
-    if (!usable(rerouted)) {
+  if (!connected(target)) {
+    if (!workers_[target].dead) {
+      // The owner is mid-revival: hold the request and let the next
+      // dispatch pass retry (revival is bounded, so this wait is too).
+      reassign_queue_.push_back(seq);
+      return;
+    }
+    // The owner is gone for good: walk the ring to the first connected
+    // successor.
+    const std::size_t rerouted = ring_.pick_alive(p.key, connected);
+    if (!connected(rerouted)) {
+      bool reviving = false;
+      for (const Worker& worker : workers_) {
+        reviving |= worker.reviving && !worker.dead;
+      }
+      if (reviving) {  // someone may still come back; wait for the verdict
+        reassign_queue_.push_back(seq);
+        return;
+      }
       fail_pending(seq, "all workers unreachable");
       return;
     }
@@ -504,14 +549,21 @@ void Router::reassign_or_fail(std::uint64_t seq) {
 
 void Router::emit_ready(std::size_t client_index) {
   Client& client = clients_[client_index];
-  while (!client.queue.empty() && pending_[client.queue.front()].done) {
-    Pending& p = pending_[client.queue.front()];
-    if (p.stats_request) p.response = stats_json(p.id);
-    client.outbuf.append(p.response);
-    client.outbuf.push_back('\n');
-    p.response.clear();
-    p.response.shrink_to_fit();
+  while (!client.queue.empty()) {
+    const auto it = pending_.find(client.queue.front());
+    if (it == pending_.end()) {  // defensive: emitted entries leave the queue
+      client.queue.pop_front();
+      continue;
+    }
+    Pending& p = it->second;
+    if (!p.done) break;
+    if (!client.closed) {  // a dead client's responses are discarded
+      if (p.stats_request) p.response = stats_json(p.id);
+      client.outbuf.append(p.response);
+      client.outbuf.push_back('\n');
+    }
     client.queue.pop_front();
+    pending_.erase(it);  // answered: the request's slot is reclaimed
   }
   flush_client(client_index);
 }
@@ -550,13 +602,26 @@ std::uint64_t Router::serve_fds(int in_fd, int out_fd) {
   const std::uint64_t handled = run_loop(-1);
   if (out_flags >= 0) ::fcntl(out_fd, F_SETFL, out_flags);
   clients_.clear();
+  free_clients_.clear();
+  pending_.clear();
+  reassign_queue_.clear();
   return handled;
 }
 
 int Router::serve_tcp_frontend(int listener_fd) {
   run_loop(listener_fd);
   ::close(listener_fd);
+  // The drain exit fires at the top of an iteration, before that iteration's
+  // lifecycle pass could retire connections the drain made idle — close the
+  // survivors here so no accepted fd outlives the front end. (Every response
+  // has been flushed: the exit condition requires it.)
+  for (Client& client : clients_) {
+    if (client.owns_fds && client.in_fd >= 0) ::close(client.in_fd);
+  }
   clients_.clear();
+  free_clients_.clear();
+  pending_.clear();
+  reassign_queue_.clear();
   return 0;
 }
 
@@ -565,24 +630,35 @@ std::uint64_t Router::run_loop(int listener_fd) {
   for (;;) {
     const bool draining = drain_requested();
 
-    // Dispatch pass: everything waiting for a worker (fresh requests and
-    // orphans of dead connections) goes out before we sleep in poll.
-    while (!reassign_queue_.empty()) {
+    // Supervision tick: reap exited spawned workers (even idle ones) and
+    // advance each down worker's revival state machine by one bounded,
+    // non-blocking attempt.
+    if (options_.spawn_workers > 0) reap_exited();
+    tick_revivals();
+
+    // Dispatch pass: one sweep over everything waiting for a worker (fresh
+    // requests and orphans of dead connections). Requests whose owner is
+    // mid-revival re-queue themselves; the snapshot bound keeps the sweep
+    // from spinning on them.
+    for (std::size_t sweep = reassign_queue_.size();
+         sweep > 0 && !reassign_queue_.empty(); --sweep) {
       const std::uint64_t seq = reassign_queue_.front();
       reassign_queue_.pop_front();
       reassign_or_fail(seq);
     }
 
     // Exit conditions. serve_fds: the client stream ended and every
-    // response is out. TCP front end: drain only.
-    bool inflight = false;
+    // response is out. TCP front end: drain only. A drain does not wait
+    // for idle clients to hang up — only for queued work to finish and
+    // produced responses to flush.
+    bool inflight = !reassign_queue_.empty();
     for (const Worker& worker : workers_) {
       inflight |= !worker.inflight.empty();
     }
     bool clients_idle = true;
     for (const Client& client : clients_) {
       clients_idle &= client.closed ||
-                      (client.eof && client.queue.empty() &&
+                      ((client.eof || draining) && client.queue.empty() &&
                        client.pending_out() == 0);
     }
     if (draining && !inflight && clients_idle) break;
@@ -627,13 +703,23 @@ std::uint64_t Router::run_loop(int listener_fd) {
       fds.push_back({workers_[w].fd, events, 0});
       slots.push_back({Slot::kWorker, w});
     }
+    // A worker mid-revival wants ticks at its retry cadence even when no
+    // fd is ready (its socket is down, so nothing polls for it).
+    bool reviving_any = false;
+    for (const Worker& worker : workers_) {
+      reviving_any |= worker.reviving && !worker.dead && worker.fd < 0;
+    }
+    const int timeout_ms =
+        reviving_any ? std::max(10, std::min(options_.reconnect_delay_ms, 100))
+                     : 100;
+
     if (fds.empty()) {
-      if (draining || listener_fd < 0) break;
-      sleep_ms(50);
+      if (!reviving_any && (draining || listener_fd < 0)) break;
+      sleep_ms(timeout_ms);
       continue;
     }
 
-    const int ready = ::poll(fds.data(), fds.size(), 100);
+    const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
     if (ready < 0) {
       if (errno == EINTR) continue;  // drain signal: loop re-checks the flag
       std::perror("router: poll");
@@ -655,7 +741,12 @@ std::uint64_t Router::run_loop(int listener_fd) {
             client.out_fd = accepted;
             client.owns_fds = true;
             client.chunker = LineChunker(options_.max_line_bytes);
-            clients_.push_back(std::move(client));
+            if (free_clients_.empty()) {
+              clients_.push_back(std::move(client));
+            } else {
+              clients_[free_clients_.back()] = std::move(client);
+              free_clients_.pop_back();
+            }
           }
           break;
         }
@@ -678,7 +769,6 @@ std::uint64_t Router::run_loop(int listener_fd) {
                     break;
                   case LineChunker::Next::kOversized: {
                     const std::uint64_t seq = next_seq_++;
-                    pending_.emplace_back();
                     pending_[seq].client = slot.index;
                     pending_[seq].start = Clock::now();
                     ++stats_.requests;
@@ -737,17 +827,29 @@ std::uint64_t Router::run_loop(int listener_fd) {
       }
     }
 
-    // Supervision tick: restart spawned workers that exited, even idle ones.
-    if (options_.spawn_workers > 0) reap_and_restart_exited();
-
-    // Drop disconnected TCP clients (their pending responses are already
-    // marked done or will be discarded on completion).
+    // Accepted-client lifecycle. A connection whose stream ended — or that
+    // a drain is retiring — closes once every response is emitted and
+    // flushed (serve_tcp's eof-and-flushed rule); its fd drops immediately
+    // so completed connections never accumulate, and fully drained slots
+    // are recycled through free_clients_ so a long-running front end holds
+    // per-connection state only for live connections.
     for (std::size_t c = 0; c < clients_.size(); ++c) {
       Client& client = clients_[c];
-      if (client.closed && client.owns_fds && client.in_fd >= 0) {
+      if (!client.closed && client.owns_fds && client.queue.empty() &&
+          client.pending_out() == 0 && (client.eof || draining)) {
+        client.closed = true;
+      }
+      if (!client.closed || !client.owns_fds) continue;
+      if (client.in_fd >= 0) {
         ::close(client.in_fd);
         client.in_fd = -1;
         client.out_fd = -1;
+      }
+      if (!client.recycled && client.queue.empty()) {
+        client = Client();
+        client.closed = true;
+        client.recycled = true;
+        free_clients_.push_back(c);
       }
     }
   }

@@ -36,6 +36,7 @@
 #include <cstdint>
 #include <deque>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "svc/job.h"
@@ -156,13 +157,16 @@ class Router {
 
   void spawn_worker(std::size_t i);
   bool connect_worker(std::size_t i, std::string* error);
-  /// Bounded reconnect/restart; true when the worker is usable again.
-  bool revive_worker(std::size_t i);
+  /// Advances every down worker's revival state machine by at most one
+  /// bounded attempt. Never sleeps: attempt pacing and the attempt budget
+  /// are per-worker state, and the poll loop drives the ticks, so client
+  /// and other-worker I/O keeps flowing while a worker is down.
+  void tick_revivals();
   void worker_down(std::size_t i);
   void send_to_worker(std::size_t i, std::uint64_t seq);
   void flush_worker(std::size_t i);
   void read_worker(std::size_t i);
-  void reap_and_restart_exited();
+  void reap_exited();
 
   void handle_client_line(std::size_t client_index, const std::string& line);
   void complete(std::uint64_t seq, std::string response);
@@ -179,8 +183,11 @@ class Router {
   HashRing ring_;
   std::vector<Worker> workers_;
   std::vector<Client> clients_;
-  std::vector<Pending> pending_;   // indexed by seq (monotone, never shrinks
-                                   // within one serve call)
+  std::vector<std::size_t> free_clients_;  // recycled accepted-client slots
+  // Live requests only, keyed by seq: each entry is erased as its response
+  // is emitted (or discarded with its dead client), so a long-running
+  // router holds memory proportional to in-flight work, not history.
+  std::unordered_map<std::uint64_t, Pending> pending_;
   std::deque<std::uint64_t> reassign_queue_;  // awaiting (re)dispatch
   std::uint64_t next_seq_ = 0;
   RouterStats stats_;

@@ -18,7 +18,9 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <istream>
 #include <sstream>
+#include <streambuf>
 #include <string>
 #include <thread>
 #include <vector>
@@ -359,6 +361,7 @@ ssize_t send_all(int fd, const std::string& bytes) {
 
 /// Reads '\n'-terminated lines off a socket until `count` arrived or the
 /// peer closed.
+
 std::vector<std::string> recv_lines(int fd, std::size_t count) {
   std::vector<std::string> lines;
   LineChunker chunker;
@@ -512,6 +515,55 @@ TEST_F(TcpServerFixture, StatsResponsesCarryTheLatencyHistogram) {
 }
 
 // ---------------------------------------------------------------------------
+// Drain vs. a half-received request on the stream front end.
+
+/// Serves scripted chunks one underflow at a time and raises SIGTERM just
+/// before handing out the second chunk — a deterministic stand-in for a
+/// drain signal arriving while a request line is only partially received.
+class ScriptedDrainBuf : public std::streambuf {
+ public:
+  ScriptedDrainBuf(std::string first, std::string second)
+      : chunks_{std::move(first), std::move(second)} {}
+
+ protected:
+  int_type underflow() override {
+    if (next_ >= chunks_.size()) return traits_type::eof();
+    if (next_ == 1) ::raise(SIGTERM);  // the drain lands mid-stream
+    current_ = chunks_[next_++];
+    setg(current_.data(), current_.data(),
+         current_.data() + current_.size());
+    return traits_type::to_int_type(current_[0]);
+  }
+
+ private:
+  std::vector<std::string> chunks_;
+  std::string current_;
+  std::size_t next_ = 0;
+};
+
+TEST(ServeStreamDrain, DoesNotAnswerAHalfReceivedLineOnDrain) {
+  reset_drain_flag();
+  install_drain_handlers();
+  ExecutionService service{ServiceOptions{}};
+  FrontEndOptions options;
+  options.include_timing = false;
+
+  // The drain arrives after one complete request and half of the next: the
+  // complete one answers, and the half-received one must be dropped — not
+  // answered with a spurious parse error as if the client had finished it.
+  ScriptedDrainBuf buf(tiny_request("done", 1) + "\n",
+                       R"({"id":"half","alg)");
+  std::istream in(&buf);
+  std::ostringstream out;
+  EXPECT_EQ(serve_stream(in, out, service, options), 1u);
+  EXPECT_NE(out.str().find("\"id\":\"done\""), std::string::npos);
+  EXPECT_NE(out.str().find("\"result\""), std::string::npos);
+  EXPECT_EQ(out.str().find("\"id\":\"half\""), std::string::npos);
+  EXPECT_EQ(out.str().find("error"), std::string::npos);
+  reset_drain_flag();
+}
+
+// ---------------------------------------------------------------------------
 // Router. External mode runs against in-process TCP workers; spawn mode
 // (supervision, kill-one rerouting) execs the real `dmis` binary next to
 // this test's build tree.
@@ -630,6 +682,56 @@ TEST(RouterExternalMode, RoutesReordersAndAnswersStatsLocally) {
   ::raise(SIGTERM);
   thread_a.join();
   thread_b.join();
+  reset_drain_flag();
+}
+
+TEST(RouterTcpFrontend, ClosesFinishedConnectionsAndDrainsPastIdleOnes) {
+  reset_drain_flag();
+  install_drain_handlers();
+
+  // One in-process TCP worker behind a router TCP front end.
+  ExecutionService worker{ServiceOptions{}};
+  const int worker_listener = listen_tcp(parse_endpoint("127.0.0.1:0"));
+  RouterOptions options;
+  options.worker_addrs = {local_endpoint(worker_listener).str()};
+  FrontEndOptions frontend_options;
+  frontend_options.include_timing = false;
+  std::thread worker_thread([&] {
+    serve_tcp(worker_listener, worker, frontend_options, TcpServeOptions{});
+  });
+
+  Router router(options);
+  const int frontend_listener = listen_tcp(parse_endpoint("127.0.0.1:0"));
+  const TcpEndpoint frontend_addr = local_endpoint(frontend_listener);
+  std::thread router_thread(
+      [&] { router.serve_tcp_frontend(frontend_listener); });
+
+  // A client that half-closes after its request gets its response and then
+  // EOF: the router closes finished connections (eof-and-flushed) instead
+  // of leaking the fd and its Client slot until the process hits EMFILE.
+  std::string error;
+  const int fd = connect_tcp(frontend_addr, &error);
+  ASSERT_GE(fd, 0) << error;
+  ASSERT_GT(send_all(fd, tiny_request("bye", 3) + "\n"), 0);
+  ASSERT_EQ(::shutdown(fd, SHUT_WR), 0);
+  // Ask for more lines than were requested: recv_lines only returns early
+  // because the router hung up after the last response.
+  const std::vector<std::string> lines = recv_lines(fd, 2);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("\"id\":\"bye\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"result\""), std::string::npos);
+  ::close(fd);
+
+  // A connected-but-idle client (no EOF, nothing sent) must not wedge the
+  // graceful drain: the router force-closes it once its output is flushed.
+  const int idle = connect_tcp(frontend_addr, &error);
+  ASSERT_GE(idle, 0) << error;
+  ::raise(SIGTERM);
+  router_thread.join();  // hangs forever if drain waits for idle clients
+  worker_thread.join();
+  char byte = 0;
+  EXPECT_LE(::recv(idle, &byte, 1, 0), 0);  // closed (or reset) by the drain
+  ::close(idle);
   reset_drain_flag();
 }
 
