@@ -48,8 +48,12 @@ void summary_table(const std::vector<AlgoRun>& runs, NodeId n) {
         .cell(r.mis_size);
   }
   table.print(std::cout);
-  bench::write_table_json(
-      "e10", table, {{"n", std::to_string(static_cast<std::uint64_t>(n))}});
+  // E10 runs every registered algorithm, so the width meta carries the wire
+  // ceiling itself (the bound shared by all id-carrying rows) rather than
+  // one descriptor's max_nodes.
+  bench::BenchMeta meta{{"n", std::to_string(static_cast<std::uint64_t>(n))}};
+  bench::append_width_meta(meta, n, kMaxWireNodes);
+  bench::write_table_json("e10", table, meta);
 }
 
 void per_type_table(const std::vector<AlgoRun>& runs, NodeId n) {
@@ -71,10 +75,11 @@ void per_type_table(const std::vector<AlgoRun>& runs, NodeId n) {
     }
   }
   table.print(std::cout);
-  bench::write_table_json(
-      "e10_types", table,
-      {{"n", std::to_string(static_cast<std::uint64_t>(n))},
-       {"bandwidth_bits", std::to_string(congest_bandwidth_bits(n))}});
+  bench::BenchMeta meta{
+      {"n", std::to_string(static_cast<std::uint64_t>(n))},
+      {"bandwidth_bits", std::to_string(congest_bandwidth_bits(n))}};
+  bench::append_width_meta(meta, n, kMaxWireNodes);
+  bench::write_table_json("e10_types", table, meta);
 }
 
 void run(NodeId n) {

@@ -14,14 +14,20 @@
 //
 // Flags: --algo=NAME (any `dmis list` name, default sparsified),
 // --n-log2=K (single rung of size 2^K — the CI smoke mode),
-// --seed=S (default 21), --threads=T (bench_common.h).
+// --seed=S (default 21), --threads=T (bench_common.h),
+// --check-threads=1,2,4,8 (determinism ladder: re-solve each rung at every
+// listed worker count and assert the MIS membership vector is
+// byte-identical — the checksum column is FNV-1a over in_mis).
 //
-// The default engine is the paper's sparsified variant because it scales:
-// id-carrying codecs (congest, luby, ghaffari, ruling2) are specified
-// against kMaxIdBits = 21 (wire/types.h) and reject n > 2^21, while the
-// sparsified phase messages are id-free. Pick those engines with --algo
-// only for rungs at or below 2^21.
+// Since the wide-field wire contract, id-carrying codecs (congest, luby,
+// ghaffari, clique, lowdeg, ruling2) are specified against
+// kMaxIdBits = 30 (wire/types.h) and run the full ladder — every rung up
+// to 10^7 sits below the 2^30 ceiling. Each engine publishes that ceiling
+// through its registry descriptor (max_nodes; 0 = unbounded, as for the
+// id-free sparsified default); rungs above it are skipped loudly rather
+// than tripping the codec admission check mid-ladder.
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <string>
@@ -30,6 +36,7 @@
 #include "bench_common.h"
 #include "graph/generators.h"
 #include "mis/registry.h"
+#include "util/check.h"
 #include "util/table.h"
 
 namespace dmis {
@@ -37,8 +44,27 @@ namespace {
 
 constexpr double kAvgDegree = 8.0;
 
+/// FNV-1a over the MIS membership vector: one u64 that differs iff any
+/// node's in/out decision differs, so the thread ladder compares a column.
+std::uint64_t mis_checksum(const std::vector<char>& in_mis) {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (const char c : in_mis) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::string hex64(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
 int run(const std::string& algorithm, const std::vector<std::uint64_t>& sizes,
-        std::uint64_t seed, int threads) {
+        std::uint64_t seed, int threads,
+        const std::vector<int>& check_threads) {
   bench::print_banner(
       "E21 / storage scaling ladder",
       "Streaming builds + CSR storage backends at the 10^7-node scale:\n"
@@ -51,15 +77,32 @@ int run(const std::string& algorithm, const std::vector<std::uint64_t>& sizes,
 
   TextTable table({"n", "m", "Delta", "build_wall_s", "build_rss_mb",
                    "rounds", "norm_rounds", "wall_s", "bits", "mis_size",
-                   "peak_rss_mb"});
+                   "checksum", "peak_rss_mb"});
   bench::BenchMeta meta{{"algorithm", algorithm},
                         {"avg_degree", "8"},
                         {"seed", std::to_string(seed)}};
+  std::uint64_t max_rung = 0;
+  for (const std::uint64_t n64 : sizes) max_rung = std::max(max_rung, n64);
+  bench::append_width_meta(meta, max_rung, descriptor.max_nodes);
+  if (!check_threads.empty()) {
+    std::string counts;
+    for (const int t : check_threads) {
+      if (!counts.empty()) counts += ",";
+      counts += std::to_string(t);
+    }
+    meta.emplace_back("check_threads", counts);
+  }
 
   for (const std::uint64_t n64 : sizes) {
     // The table renders only at the end; rung-by-rung progress goes to
     // stderr so long ladders are observable (and a crash names its rung).
     std::cerr << "[e21] rung n=" << n64 << "...\n";
+    if (descriptor.max_nodes != 0 && n64 > descriptor.max_nodes) {
+      std::cerr << "[e21] skipping rung n=" << n64 << ": above algorithm '"
+                << algorithm << "' node ceiling " << descriptor.max_nodes
+                << "\n";
+      continue;
+    }
     const auto n = static_cast<NodeId>(n64);
     const double p = kAvgDegree / static_cast<double>(n64 - 1);
     bench::WallTimer build_timer;
@@ -77,6 +120,26 @@ int run(const std::string& algorithm, const std::vector<std::uint64_t>& sizes,
     const double solve_wall = solve_timer.seconds();
     const double peak_rss_mb =
         static_cast<double>(bench::peak_rss_bytes()) / (1024.0 * 1024.0);
+    const std::uint64_t checksum = mis_checksum(run.in_mis);
+
+    // Determinism ladder: the same rung re-solved at each worker count must
+    // reproduce the membership vector byte-for-byte (the engines' claim of
+    // deterministic parallelism, now across the wide-field packing).
+    for (const int t : check_threads) {
+      if (t == threads) continue;
+      AlgoRunRequest check = request;
+      check.threads = t;
+      const MisRun rerun =
+          run_registered_algorithm(descriptor, g, options, check).run;
+      const std::uint64_t other = mis_checksum(rerun.in_mis);
+      DMIS_CHECK(other == checksum,
+                 "thread-ladder divergence at n=" << n64 << ": " << t
+                     << " threads gave in_mis checksum " << hex64(other)
+                     << ", " << threads << " threads gave "
+                     << hex64(checksum));
+      std::cerr << "[e21] n=" << n64 << " threads=" << t << " checksum "
+                << hex64(other) << " OK\n";
+    }
 
     const double log_delta =
         std::log2(std::max<double>(2.0, g.max_degree()));
@@ -96,6 +159,7 @@ int run(const std::string& algorithm, const std::vector<std::uint64_t>& sizes,
         .cell(solve_wall, 3)
         .cell(run.costs.bits)
         .cell(run.mis_size())
+        .cell(hex64(checksum))
         .cell(peak_rss_mb, 1);
   }
   table.print(std::cout);
@@ -115,6 +179,7 @@ int main(int argc, char** argv) {
   std::string algorithm = "sparsified";
   std::uint64_t seed = 21;
   int n_log2 = 0;
+  std::vector<int> check_threads;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--algo=", 0) == 0) {
@@ -123,6 +188,17 @@ int main(int argc, char** argv) {
       n_log2 = std::max(4, std::atoi(arg.c_str() + 9));
     } else if (arg.rfind("--seed=", 0) == 0) {
       seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg.rfind("--check-threads=", 0) == 0) {
+      std::string list = arg.substr(16);
+      for (std::size_t pos = 0; pos < list.size();) {
+        const std::size_t comma = list.find(',', pos);
+        const std::string tok =
+            list.substr(pos, comma == std::string::npos ? comma : comma - pos);
+        if (const int t = std::atoi(tok.c_str()); t >= 1) {
+          check_threads.push_back(t);
+        }
+        pos = comma == std::string::npos ? list.size() : comma + 1;
+      }
     }
   }
   std::vector<std::uint64_t> sizes;
@@ -132,5 +208,5 @@ int main(int argc, char** argv) {
     sizes = {std::uint64_t{1} << 16, std::uint64_t{1} << 18,
              std::uint64_t{1} << 20, std::uint64_t{1} << 22, 10'000'000};
   }
-  return dmis::run(algorithm, sizes, seed, threads);
+  return dmis::run(algorithm, sizes, seed, threads, check_threads);
 }

@@ -44,7 +44,14 @@ InducedSubgraph induced_subgraph(const Graph& g,
 std::vector<NodeId> bfs_ball(const Graph& g, NodeId v, int radius) {
   DMIS_CHECK(v < g.node_count(), "node out of range: " << v);
   DMIS_CHECK(radius >= 0, "negative radius: " << radius);
-  std::vector<std::uint32_t> dist(g.node_count(), kUnreachable);
+  // Callers (is_ruling_set, the lowdeg gather, the local oracle) invoke this
+  // once per node, so the distance scratch is reused across calls — entries
+  // touched by a BFS are restored to kUnreachable before returning, keeping
+  // each call O(ball), not O(n). thread_local keeps parallel gathers safe.
+  thread_local std::vector<std::uint32_t> dist;
+  if (dist.size() < g.node_count()) {
+    dist.resize(g.node_count(), kUnreachable);
+  }
   std::vector<NodeId> out;
   std::deque<NodeId> queue;
   dist[v] = 0;
@@ -62,6 +69,7 @@ std::vector<NodeId> bfs_ball(const Graph& g, NodeId v, int radius) {
       }
     }
   }
+  for (const NodeId u : out) dist[u] = kUnreachable;
   std::sort(out.begin(), out.end());
   return out;
 }

@@ -540,6 +540,7 @@ const AlgorithmDescriptor& clique_mis_descriptor() {
       .caps = {.fault_injectable = true,
                .observer_attachable = true,
                .deterministic_parallel = false},
+      .max_nodes = kMaxWireNodes,
       .options = kCliqueOptionFields,
       .run = run_clique_descriptor,
   };

@@ -248,6 +248,7 @@ const AlgorithmDescriptor& ghaffari_descriptor() {
       .caps = {.fault_injectable = true,
                .observer_attachable = true,
                .deterministic_parallel = true},
+      .max_nodes = kMaxWireNodes,
       .options = {},
       .run = run_ghaffari_descriptor,
   };

@@ -225,6 +225,7 @@ const AlgorithmDescriptor& lowdeg_descriptor() {
       .model = AlgoModel::kClique,
       .output = AlgoOutputKind::kMis,
       .caps = {},
+      .max_nodes = kMaxWireNodes,
       .options = kLowDegOptionFields,
       .run = run_lowdeg_descriptor,
   };

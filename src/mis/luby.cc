@@ -23,8 +23,19 @@ class LubyProgram final : public CongestProgram {
     if (round % 2 == 0) {
       // Round A: broadcast this iteration's priority (3·ceil(log2 n) random
       // bits; the id is the tiebreak, so local minima are unique w.h.p.).
-      priority_ = rs_.word(RngStream::kLubyPriority, self_, round / 2) >>
-                  (64 - rand_bits_);
+      // The full 3·id_bits width is drawn and charged — it rides inside
+      // B = 4·id_bits — one RngStream word per 64-bit chunk: the low chunk
+      // from kLubyPriority (bit-identical to the pre-wide draw whenever the
+      // priority fits one word), the high chunk from kLubyPriorityHi.
+      const std::uint64_t iter = round / 2;
+      priority_ = WideUint{};
+      for (int i = 0; 64 * i < rand_bits_; ++i) {
+        const int chunk = rand_bits_ - 64 * i < 64 ? rand_bits_ - 64 * i : 64;
+        const RngStream stream = i == 0 ? RngStream::kLubyPriority
+                                        : RngStream::kLubyPriorityHi;
+        priority_.w[static_cast<std::size_t>(i)] =
+            rs_.word(stream, self_, iter) >> (64 - chunk);
+      }
       out.broadcast(LubyPriorityMsg{priority_});
     } else if (joined_) {
       // Round B: announce membership.
@@ -67,7 +78,7 @@ class LubyProgram final : public CongestProgram {
   WireContext ctx_;
   int rand_bits_;
   RandomSource rs_;
-  std::uint64_t priority_ = 0;
+  WideUint priority_{};
   bool joined_ = false;
   bool halted_ = false;
   std::uint32_t decided_round_ = kNeverDecided;
@@ -163,6 +174,7 @@ const AlgorithmDescriptor& luby_descriptor() {
       .caps = {.fault_injectable = true,
                .observer_attachable = true,
                .deterministic_parallel = true},
+      .max_nodes = kMaxWireNodes,
       .options = {},
       .run = run_luby_descriptor,
   };

@@ -5,6 +5,7 @@
 #include "graph/properties.h"
 #include "mis/reductions.h"
 #include "util/check.h"
+#include "wire/types.h"
 
 namespace dmis {
 namespace {
@@ -303,6 +304,33 @@ void check_run_capabilities(const AlgorithmDescriptor& descriptor,
                            << ")");
 }
 
+void check_node_admission(const AlgorithmDescriptor& descriptor,
+                          std::uint64_t node_count) {
+  if (descriptor.max_nodes == 0 || node_count <= descriptor.max_nodes) return;
+  // Render powers of two as such: the common bound is the codec id-width
+  // ceiling 2^kMaxIdBits, and "2^30" is what an operator can act on.
+  int log2 = -1;
+  if ((descriptor.max_nodes & (descriptor.max_nodes - 1)) == 0) {
+    log2 = 0;
+    for (std::uint64_t v = descriptor.max_nodes; v > 1; v >>= 1) ++log2;
+  }
+  std::ostringstream bound;
+  bound << descriptor.max_nodes;
+  if (log2 >= 0) bound << " = 2^" << log2;
+  DMIS_CHECK(false, "graph with n = "
+                        << node_count << " nodes exceeds algorithm '"
+                        << descriptor.name << "' node ceiling " << bound.str()
+                        << " (id-carrying wire codecs are specified against "
+                           "kMaxIdBits = "
+                        << kMaxIdBits
+                        << "; unbounded algorithms: "
+                        << AlgorithmRegistry::instance().joined_names(
+                               [](const AlgorithmDescriptor& d) {
+                                 return d.max_nodes == 0;
+                               })
+                        << ")");
+}
+
 AlgoResult run_registered_algorithm(const AlgorithmDescriptor& descriptor,
                                     const Graph& g, const AlgoOptions& options,
                                     const AlgoRunRequest& request) {
@@ -311,6 +339,7 @@ AlgoResult run_registered_algorithm(const AlgorithmDescriptor& descriptor,
                                             << "', run requested for '"
                                             << descriptor.name << "'");
   check_run_capabilities(descriptor, request);
+  check_node_admission(descriptor, g.node_count());
   AlgoRunRequest effective = request;
   if (!descriptor.caps.fault_injectable) effective.faults = nullptr;
   if (!descriptor.caps.deterministic_parallel) effective.threads = 1;

@@ -177,6 +177,13 @@ struct AlgorithmDescriptor {
   AlgoModel model = AlgoModel::kCongest;
   AlgoOutputKind output = AlgoOutputKind::kMis;
   AlgoCapabilities caps;
+  /// Largest node count the algorithm admits; 0 = unbounded. Every engine
+  /// that opens an id-carrying WireContext (the CONGEST engine and the
+  /// congested clique) is bounded by kMaxWireNodes = 2^kMaxIdBits
+  /// (wire/types.h); id-free engines (beeping, centralized) leave this 0.
+  /// Admission layers reject larger graphs with a bound-naming error via
+  /// check_node_admission — never the engine's generic for_nodes throw.
+  std::uint64_t max_nodes = 0;
   std::span<const OptionField> options;
   /// Uniform entry point. Implementations assume the capability checks of
   /// run_registered_algorithm already happened (a FaultPlane only arrives if
@@ -233,6 +240,15 @@ class AlgorithmRegistry {
 /// rather than a recorded algorithm failure.
 void check_run_capabilities(const AlgorithmDescriptor& descriptor,
                             const AlgoRunRequest& request);
+
+/// Node-ceiling admission: throws a PreconditionError naming the
+/// algorithm's actual bound (descriptor.max_nodes, derived from kMaxIdBits
+/// for wire-bound engines) when the graph is too large. No-op for
+/// unbounded algorithms. Called by run_registered_algorithm and, earlier,
+/// by the service's admission ladder so oversized jobs are *rejected*
+/// rather than recorded as algorithm failures.
+void check_node_admission(const AlgorithmDescriptor& descriptor,
+                          std::uint64_t node_count);
 
 /// Capability-checked uniform execution: looks up nothing (callers resolved
 /// the descriptor already), validates the request against the descriptor's

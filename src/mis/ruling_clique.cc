@@ -179,6 +179,7 @@ const AlgorithmDescriptor& ruling2_descriptor() {
       .model = AlgoModel::kClique,
       .output = AlgoOutputKind::kRulingSet,
       .caps = {},
+      .max_nodes = kMaxWireNodes,
       .options = kRulingOptionFields,
       .run = run_ruling2_descriptor,
   };

@@ -274,6 +274,7 @@ const AlgorithmDescriptor& sparsified_congest_descriptor() {
       .caps = {.fault_injectable = true,
                .observer_attachable = true,
                .deterministic_parallel = true},
+      .max_nodes = kMaxWireNodes,
       .options = kCongestOptionFields,
       .run = run_congest_descriptor,
   };

@@ -24,6 +24,9 @@ enum class RngStream : std::uint64_t {
   kRouting = 5,       // Valiant intermediate choices
   kAux = 6,           // miscellaneous (tests, examples)
   kFaults = 7,        // fault-plane drop/corrupt/delay decisions
+  kLubyPriorityHi = 8,  // high word of Luby priorities wider than 64 bits
+                        // (id_bits > 21; the low word stays on
+                        // kLubyPriority so narrow runs are unchanged)
 };
 
 class RandomSource {

@@ -132,9 +132,13 @@ bool CongestEngine::step() {
               continue;
             }
             if (d.corrupt && msg.bits >= 1) {
+              // The flipped bit indexes the significant payload bits across
+              // words (LSB-first), matching the wide-field packing order.
               const int bit =
                   faults->corrupt_bit(round_, v, u, this_salt, msg.bits);
-              FaultPlane::corrupt_word(delivered.payload, bit);
+              FaultPlane::corrupt_word(
+                  delivered.payload[static_cast<std::size_t>(bit / 64)],
+                  bit % 64);
               ++local_faults.corrupted;
             }
             if (d.duplicate) {

@@ -25,6 +25,7 @@
 // value, and the engine never polls halted() after construction.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -39,11 +40,20 @@
 
 namespace dmis {
 
-/// A received message: sender plus a payload of `bits` significant bits,
-/// tagged with its wire type.
+/// Inline payload capacity of one CONGEST message, in 64-bit words. Derived
+/// from the model: B at the codec's id-width ceiling is
+/// congest_bandwidth_bits(2^kMaxIdBits) = 4·kMaxIdBits = 120 bits, so two
+/// words bound every admissible message (Luby's 3·id_bits priority is the
+/// widest typed one at 90 bits). push_typed static_asserts each type.
+inline constexpr int kCongestPayloadWords =
+    (congest_bandwidth_bits(static_cast<NodeId>(kMaxWireNodes)) + 63) / 64;
+inline constexpr int kCongestPayloadBits = 64 * kCongestPayloadWords;
+
+/// A received message: sender plus a payload of `bits` significant bits
+/// (LSB-first across `payload` words), tagged with its wire type.
 struct CongestMessage {
   NodeId src = kInvalidNode;
-  std::uint64_t payload = 0;
+  std::array<std::uint64_t, kCongestPayloadWords> payload{};
   int bits = 0;
   WireMessageType type = WireMessageType::kRaw;
 };
@@ -55,8 +65,7 @@ Msg decode_message(const WireContext& ctx, const CongestMessage& m) {
              "message type '" << wire_message_type_name(m.type)
                               << "' decoded as '"
                               << wire_message_type_name(Msg::kType) << "'");
-  const std::uint64_t word[1] = {m.payload};
-  return decode_words<Msg>(ctx, word, m.bits);
+  return decode_words<Msg>(ctx, m.payload, m.bits);
 }
 
 class CongestOutbox;
@@ -69,7 +78,7 @@ class CongestProgram {
 
   struct Outgoing {
     NodeId dst = kAllNeighbors;
-    std::uint64_t payload = 0;
+    std::array<std::uint64_t, kCongestPayloadWords> payload{};
     int bits = 0;
     WireMessageType type = WireMessageType::kRaw;
   };
@@ -109,15 +118,23 @@ class CongestOutbox {
     push_typed(CongestProgram::kAllNeighbors, msg);
   }
 
+  /// Single-word raw payload (tests, fault injection); messages wider than
+  /// one word go through the typed path or push_raw_words.
   void push_raw(NodeId dst, std::uint64_t payload, int bits,
                 WireMessageType type = WireMessageType::kRaw) {
-    DMIS_CHECK(bits >= 0 && bits <= bandwidth_bits_,
-               "node " << src_ << " message of " << bits
-                       << " bits exceeds B=" << bandwidth_bits_);
-    DMIS_CHECK(dst == CongestProgram::kAllNeighbors ||
-                   graph_.has_edge(src_, dst),
-               "node " << src_ << " sent to non-neighbor " << dst);
-    arena_.append(src_, {dst, payload, bits, type});
+    CongestProgram::Outgoing out;
+    out.dst = dst;
+    out.payload[0] = payload;
+    out.bits = bits;
+    out.type = type;
+    push_outgoing(src_, out);
+  }
+
+  /// Multi-word raw payload, LSB-first across `words`.
+  void push_raw_words(
+      NodeId dst, const std::array<std::uint64_t, kCongestPayloadWords>& words,
+      int bits, WireMessageType type = WireMessageType::kRaw) {
+    push_outgoing(src_, {dst, words, bits, type});
   }
 
   const WireContext& ctx() const { return ctx_; }
@@ -135,11 +152,26 @@ class CongestOutbox {
 
   template <class Msg>
   void push_typed(NodeId dst, const Msg& msg) {
-    static_assert(max_encoded_bits<Msg>() <= 64,
-                  "CONGEST payloads are single words");
-    std::uint64_t word[1] = {0};
-    const int bits = encode_words(ctx_, msg, word);
-    push_raw(dst, word[0], bits, Msg::kType);
+    static_assert(max_encoded_bits<Msg>() <= kCongestPayloadBits,
+                  "message type cannot fit a CONGEST payload even at the "
+                  "worst-case B; widen kCongestPayloadWords deliberately");
+    CongestProgram::Outgoing out;
+    out.dst = dst;
+    out.type = Msg::kType;
+    out.bits = encode_words(ctx_, msg, out.payload);
+    push_outgoing(src_, out);
+  }
+
+  /// The model's send choke point: destination must be a neighbor (or the
+  /// broadcast sentinel) and the payload must fit B.
+  void push_outgoing(NodeId src, const CongestProgram::Outgoing& out) {
+    DMIS_CHECK(out.bits >= 0 && out.bits <= bandwidth_bits_,
+               "node " << src << " message of " << out.bits
+                       << " bits exceeds B=" << bandwidth_bits_);
+    DMIS_CHECK(out.dst == CongestProgram::kAllNeighbors ||
+                   graph_.has_edge(src, out.dst),
+               "node " << src << " sent to non-neighbor " << out.dst);
+    arena_.append(src, out);
   }
 
   DeliveryArena<CongestProgram::Outgoing>& arena_;

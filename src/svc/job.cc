@@ -263,8 +263,9 @@ JobResult make_cancelled_result(const JobSpec& spec,
 JobResult execute_job(const JobSpec& spec, int threads, CancelToken* cancel) {
   JobResult out;
   // Admission, in order of specificity: the algorithm must exist, its
-  // options must parse, and the spec must not ask for a capability the
-  // algorithm lacks. Each rejection reason names its own failure.
+  // options must parse, the spec must not ask for a capability the
+  // algorithm lacks, and the graph must fit the algorithm's node ceiling.
+  // Each rejection reason names its own failure.
   const AlgorithmDescriptor* descriptor =
       AlgorithmRegistry::instance().find(spec.algorithm);
   if (descriptor == nullptr) {
@@ -294,6 +295,17 @@ JobResult execute_job(const JobSpec& spec, int threads, CancelToken* cancel) {
                   return d.caps.fault_injectable;
                 }) +
             ")");
+    return out;
+  }
+  // Node-ceiling admission: id-carrying engines are bounded by the wire
+  // codecs' kMaxIdBits (descriptor.max_nodes); an oversized graph is a
+  // rejection naming the actual bound, never an engine-level throw recorded
+  // as an algorithm failure.
+  try {
+    check_node_admission(*descriptor, spec.graph.node_count());
+  } catch (const PreconditionError& e) {
+    out.status = JobStatus::kRejected;
+    out.canonical = minimal_json(spec, JobStatus::kRejected, e.what());
     return out;
   }
   if (cancel != nullptr && cancel->expired()) {

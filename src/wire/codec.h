@@ -21,6 +21,10 @@
 //                                       validated < ctx.node_count
 //   word(name, v)                     — full 64-bit word
 //   vec(name, v)                      — phase beep vector, ctx.phase_len wide
+//   wide(name, v, bits)               — WideUint of up to kMaxWideFieldBits
+//                                       bits (fields whose width scales with
+//                                       id_bits past one word, e.g. Luby's
+//                                       3·id_bits priority)
 //
 // Field widths depend only on the WireContext, never on field values, so
 // every message of a type costs the same bits in a given run — the invariant
@@ -36,6 +40,7 @@
 #pragma once
 
 #include <array>
+#include <compare>
 #include <cstdint>
 #include <span>
 
@@ -44,6 +49,50 @@
 #include "wire/types.h"
 
 namespace dmis {
+
+/// Capacity of one wide codec field, in 64-bit words. Two words cover every
+/// id-derived width at the kMaxIdBits ceiling (3·30 = 90 bits for Luby's
+/// priority); widening a field past this is a deliberate contract change —
+/// the static_asserts in wire/messages.h must move with it.
+inline constexpr int kWideFieldWords = 2;
+inline constexpr int kMaxWideFieldBits = 64 * kWideFieldWords;
+
+/// Value of a wide codec field: an unsigned integer of up to
+/// kMaxWideFieldBits bits, stored LSB-first (w[0] low, w[1] high) — the same
+/// word order BitWriter packs, so corruption bit indices line up. Ordered as
+/// the integer it represents (high word first), which is what Luby's
+/// priority comparison needs.
+struct WideUint {
+  std::array<std::uint64_t, kWideFieldWords> w{};
+
+  static constexpr WideUint of(std::uint64_t lo, std::uint64_t hi = 0) {
+    WideUint v;
+    v.w[0] = lo;
+    v.w[1] = hi;
+    return v;
+  }
+
+  /// True iff every bit at position >= `bits` is zero (the value fits its
+  /// declared field width).
+  constexpr bool fits(int bits) const {
+    for (int i = 0; i < kWideFieldWords; ++i) {
+      const int low = bits - 64 * i;
+      if (low >= 64) continue;
+      const std::uint64_t tail = low <= 0 ? w[i] : w[i] >> low;
+      if (tail != 0) return false;
+    }
+    return true;
+  }
+
+  friend constexpr bool operator==(const WideUint&, const WideUint&) = default;
+  friend constexpr std::strong_ordering operator<=>(const WideUint& a,
+                                                    const WideUint& b) {
+    for (int i = kWideFieldWords - 1; i >= 0; --i) {
+      if (a.w[i] != b.w[i]) return a.w[i] <=> b.w[i];
+    }
+    return std::strong_ordering::equal;
+  }
+};
 
 /// Inline payload of a routed clique packet: at most kMaxPayloadWords 64-bit
 /// words of which `bits` are significant, plus the type tag. This is the
@@ -96,6 +145,11 @@ class MeasureSink {
   constexpr void id(const char*, NodeId&) { add(ctx_.id_bits); }
   constexpr void word(const char*, std::uint64_t&) { add(64); }
   constexpr void vec(const char*, std::uint64_t&) { add(ctx_.phase_len); }
+  constexpr void wide(const char*, WideUint&, int bits) {
+    DMIS_CHECK_CX(bits >= 0 && bits <= kMaxWideFieldBits,
+                  "wide field width exceeds kMaxWideFieldBits");
+    bits_ += bits;
+  }
 
  private:
   constexpr void add(int bits) {
@@ -149,6 +203,22 @@ class EncodeSink {
                                 << ctx_.phase_len);
     writer_.put(v, ctx_.phase_len);
   }
+  /// Writes a wide value LSB-first in <=64-bit chunks. The width is still
+  /// value-independent (it depends only on the WireContext through the
+  /// caller's `bits` expression), so per-type accounting stays exact.
+  void wide(const char* name, WideUint& v, int bits) {
+    DMIS_CHECK(bits >= 0 && bits <= kMaxWideFieldBits,
+               "wide field '" << name << "' declared width " << bits
+                              << " exceeds " << kMaxWideFieldBits << " bits");
+    DMIS_CHECK(v.fits(bits), "wide field '"
+                                 << name
+                                 << "' has bits beyond its declared width "
+                                 << bits);
+    for (int i = 0; 64 * i < bits; ++i) {
+      const int chunk = bits - 64 * i < 64 ? bits - 64 * i : 64;
+      writer_.put(v.w[static_cast<std::size_t>(i)], chunk);
+    }
+  }
 
  private:
   BitWriter& writer_;
@@ -195,6 +265,14 @@ class DecodeSink {
   void vec(const char* name, std::uint64_t& v) {
     (void)name;
     v = reader_.get(ctx_.phase_len);
+  }
+  void wide(const char* name, WideUint& v, int bits) {
+    (void)name;
+    v = WideUint{};
+    for (int i = 0; 64 * i < bits; ++i) {
+      const int chunk = bits - 64 * i < 64 ? bits - 64 * i : 64;
+      v.w[static_cast<std::size_t>(i)] = reader_.get(chunk);
+    }
   }
 
  private:

@@ -15,6 +15,7 @@
 //     budgets and are called out in DESIGN.md §9.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <tuple>
 
@@ -51,13 +52,15 @@ struct JoinAnnounceMsg {
 };
 
 /// Luby's random priority: 3·ceil(log2 n) bits keeps local minima unique
-/// w.h.p. while fitting comfortably inside B.
+/// w.h.p. while fitting inside B = 4·ceil(log2 n). A wide field — the full
+/// 3·id_bits width is drawn and charged (90 bits at the kMaxIdBits ceiling,
+/// past one word), with the sender id as the deterministic tiebreak.
 struct LubyPriorityMsg {
-  std::uint64_t priority = 0;
+  WideUint priority{};
   static constexpr WireMessageType kType = WireMessageType::kLubyPriority;
   template <class S>
   constexpr void visit(S& s) {
-    s.uint("priority", priority, 3 * s.ctx().id_bits);
+    s.wide("priority", priority, 3 * s.ctx().id_bits);
   }
 };
 
@@ -299,10 +302,37 @@ using AllWireMessages =
                ResidualEdgeMsg, MisDecisionMsg, TriangleEdgeMsg,
                TriangleCountMsg, LeaderElectMsg, DegreeAnnounceMsg>;
 
-// Every packet-borne message must fit the inline payload even at worst-case
-// widths; the widest (MstReportMsg) is 1 + 64 + 2·21 = 107 bits.
-static_assert(max_encoded_bits<MstReportMsg>() <= kMaxPayloadBits);
-static_assert(max_encoded_bits<GatherAnnotationMsg>() <= kMaxPayloadBits);
+// Compile-time derivation of the payload bound. Every packet-borne message
+// must fit the inline payload at worst-case widths (ids at kMaxIdBits,
+// vectors at kMaxPhaseLen); PhaseDecorationMsg is deliberately absent — it
+// never rides a packet (kType = kRaw, shipped as gather annotation rows)
+// and exceeds kMaxPayloadBits at the ceiling. Growing any message past
+// kMaxPayloadBits means raising kMaxPayloadWords *and* re-auditing every
+// engine that stores payload words inline (runtime/congest.h,
+// clique/network.h) — these asserts make that a deliberate act.
+inline constexpr int kWidestPacketMessageBits = std::max(
+    {max_encoded_bits<BeepMsg>(), max_encoded_bits<JoinAnnounceMsg>(),
+     max_encoded_bits<LubyPriorityMsg>(), max_encoded_bits<GhaffariProbeMsg>(),
+     max_encoded_bits<SparsifiedOpenerMsg>(),
+     max_encoded_bits<PhaseBeepVectorMsg>(), max_encoded_bits<PhaseOutcomeMsg>(),
+     max_encoded_bits<GatherEdgeMsg>(), max_encoded_bits<GatherAnnotationMsg>(),
+     max_encoded_bits<MstReportMsg>(), max_encoded_bits<MstChosenMsg>(),
+     max_encoded_bits<MstLabelMsg>(), max_encoded_bits<ResidualPresenceMsg>(),
+     max_encoded_bits<ResidualEdgeMsg>(), max_encoded_bits<MisDecisionMsg>(),
+     max_encoded_bits<TriangleEdgeMsg>(), max_encoded_bits<TriangleCountMsg>(),
+     max_encoded_bits<LeaderElectMsg>(), max_encoded_bits<DegreeAnnounceMsg>()});
+// The widest packet message is MstReportMsg: 1 + 64 + 2·kMaxIdBits = 125.
+static_assert(kWidestPacketMessageBits ==
+              1 + 64 + 2 * kMaxIdBits);
+// Tight fit: kMaxPayloadWords is exactly what the widest message needs.
+static_assert(kWidestPacketMessageBits <= kMaxPayloadBits);
+static_assert(kWidestPacketMessageBits > kMaxPayloadBits - 64,
+              "kMaxPayloadWords is over-provisioned; shrink it deliberately");
+// Luby's wide priority spans words at the ceiling but fits the wide-field
+// capacity: 3·kMaxIdBits = 90 <= kMaxWideFieldBits.
+static_assert(max_encoded_bits<LubyPriorityMsg>() == 3 * kMaxIdBits);
+static_assert(max_encoded_bits<LubyPriorityMsg>() <= kMaxWideFieldBits);
+// Annotation-row-only decoration: width independent of id_bits.
 static_assert(max_encoded_bits<PhaseDecorationMsg>() == 7 + 63 + 64);
 
 }  // namespace dmis

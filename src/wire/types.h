@@ -78,8 +78,15 @@ constexpr const char* wire_message_type_name(WireMessageType t) {
 
 /// Ceiling on the id field width the codecs are specified against: the
 /// compile-time max-bit bound of every message assumes ids of at most
-/// kMaxIdBits bits (n <= 2^21 nodes — far above any simulated clique).
-inline constexpr int kMaxIdBits = 21;
+/// kMaxIdBits bits (n <= kMaxWireNodes). Fields whose width is a multiple
+/// of id_bits (Luby's 3·id_bits priority) exceed one 64-bit word at this
+/// ceiling and use the codec's wide-field kind (wire/codec.h).
+inline constexpr int kMaxIdBits = 30;
+
+/// Largest node count any id-carrying wire context admits: ids wider than
+/// kMaxIdBits have no codec. This is the admission ceiling the registry
+/// descriptors surface for every engine that opens a WireContext.
+inline constexpr std::uint64_t kMaxWireNodes = std::uint64_t{1} << kMaxIdBits;
 
 /// Upper bound on the sparsified phase length R (beep vectors are packed
 /// into one 64-bit word with R <= 63; see SparsifiedParams).
@@ -89,6 +96,22 @@ inline constexpr int kMaxPhaseLen = 63;
 /// here is public knowledge in the model's sense (derivable from n and the
 /// algorithm parameters every node starts with), so carrying it out-of-band
 /// costs no bandwidth.
+namespace wire_detail {
+
+/// Runtime half of for_nodes' id-width check. The bound in the message is
+/// *derived* from kMaxIdBits (it can never drift from the constant); the
+/// function is deliberately non-constexpr, so a violating compile-time
+/// for_nodes is itself the loud failure.
+[[noreturn]] inline void throw_id_width_exceeded(NodeId n) {
+  DMIS_CHECK(false, "node count " << n << " needs " << bits_for_range(n)
+                                  << " id bits, exceeding the codec id-width "
+                                     "ceiling kMaxIdBits = "
+                                  << kMaxIdBits << " (max n = 2^" << kMaxIdBits
+                                  << " = " << kMaxWireNodes << ")");
+}
+
+}  // namespace wire_detail
+
 struct WireContext {
   NodeId node_count = 0;
   int id_bits = 1;     ///< bits per node-id field: bits_for_range(n)
@@ -99,10 +122,11 @@ struct WireContext {
     WireContext ctx;
     ctx.node_count = n;
     ctx.id_bits = bits_for_range(n);
-    DMIS_CHECK_CX(ctx.id_bits <= kMaxIdBits,
-                  "node count exceeds the codec id-width bound 2^21");
+    if (ctx.id_bits > kMaxIdBits) [[unlikely]] {
+      wire_detail::throw_id_width_exceeded(n);
+    }
     DMIS_CHECK_CX(phase_len >= 0 && phase_len <= kMaxPhaseLen,
-                  "phase length out of [0,63]");
+                  "phase length out of [0, kMaxPhaseLen]");
     ctx.phase_len = phase_len;
     return ctx;
   }

@@ -104,7 +104,7 @@ TEST(FailureInjection, MistypedDecodeRejected) {
   // A raw payload presented to a typed decoder fails on the tag, not by
   // silently reinterpreting bits.
   const WireContext ctx = WireContext::for_nodes(8);
-  CongestMessage msg{0, 0b101, 3, WireMessageType::kRaw};
+  CongestMessage msg{0, {0b101}, 3, WireMessageType::kRaw};
   EXPECT_THROW(decode_message<JoinAnnounceMsg>(ctx, msg), PreconditionError);
 }
 
@@ -152,14 +152,19 @@ TEST(FailureInjection, CliqueMisParameterValidation) {
 // ------------------------------------------------------------------------
 
 constexpr WireContext kCorruptCtx = WireContext::for_nodes(8, 7);
+// id_bits = 22 pushes the Luby priority (3·id_bits = 66 bits) across the
+// one-word boundary, so flips land in the second word of a wide field and
+// the cross-word LSB-first bit indexing is itself under test.
+constexpr WireContext kWideCorruptCtx =
+    WireContext::for_nodes(NodeId{1} << 22, 7);
 
 template <class Msg>
-void corruption_sweep() {
+void corruption_sweep(const WireContext& ctx) {
   SCOPED_TRACE(wire_message_type_name(Msg::kType));
   const Msg original{};
   std::array<std::uint64_t, 4> words{};
-  const int bits = encode_words(kCorruptCtx, original, words);
-  ASSERT_EQ(bits, encoded_bits<Msg>(kCorruptCtx));
+  const int bits = encode_words(ctx, original, words);
+  ASSERT_EQ(bits, encoded_bits<Msg>(ctx));
   for (int bit = 0; bit < bits; ++bit) {
     std::array<std::uint64_t, 4> corrupted = words;
     corrupted[bit / 64] ^= (1ULL << (bit % 64));
@@ -167,7 +172,7 @@ void corruption_sweep() {
     bool threw = false;
     Msg decoded{};
     try {
-      decoded = decode_words<Msg>(kCorruptCtx, corrupted, bits);
+      decoded = decode_words<Msg>(ctx, corrupted, bits);
     } catch (const PreconditionError&) {
       threw = true;  // validated field caught the flip
     }
@@ -175,43 +180,57 @@ void corruption_sweep() {
     // Silent path: the decoded message must be the *corrupted* one, never
     // the original — re-encoding must reproduce the flipped bits exactly.
     std::array<std::uint64_t, 4> reencoded{};
-    ASSERT_EQ(encode_words(kCorruptCtx, decoded, reencoded), bits);
+    ASSERT_EQ(encode_words(ctx, decoded, reencoded), bits);
     EXPECT_EQ(reencoded, corrupted)
         << "bit " << bit << " was silently absorbed";
   }
 }
 
 TEST(CorruptionAdversary, EveryMessageTypeEveryBit) {
-  std::apply([](auto... msgs) { (corruption_sweep<decltype(msgs)>(), ...); },
-             AllWireMessages{});
+  std::apply(
+      [](auto... msgs) { (corruption_sweep<decltype(msgs)>(kCorruptCtx), ...); },
+      AllWireMessages{});
+}
+
+TEST(CorruptionAdversary, EveryMessageTypeEveryBitWideContext) {
+  std::apply(
+      [](auto... msgs) {
+        (corruption_sweep<decltype(msgs)>(kWideCorruptCtx), ...);
+      },
+      AllWireMessages{});
 }
 
 template <class Msg>
-void padding_and_truncation_sweep() {
+void padding_and_truncation_sweep(const WireContext& ctx) {
   SCOPED_TRACE(wire_message_type_name(Msg::kType));
   const Msg original{};
   std::array<std::uint64_t, 4> words{};
-  const int bits = encode_words(kCorruptCtx, original, words);
+  const int bits = encode_words(ctx, original, words);
   if (bits < static_cast<int>(words.size()) * 64) {
     // A flip past the declared width is detected by the padding check.
     std::array<std::uint64_t, 4> padded = words;
     padded[bits / 64] ^= (1ULL << (bits % 64));
-    EXPECT_THROW(decode_words<Msg>(kCorruptCtx, padded, bits),
-                 PreconditionError);
+    EXPECT_THROW(decode_words<Msg>(ctx, padded, bits), PreconditionError);
   }
   if (bits > 0) {
     // Truncation (a short read) is a size mismatch, not a reinterpretation.
-    EXPECT_THROW(decode_words<Msg>(kCorruptCtx, words, bits - 1),
-                 PreconditionError);
+    EXPECT_THROW(decode_words<Msg>(ctx, words, bits - 1), PreconditionError);
   }
-  EXPECT_THROW(decode_words<Msg>(kCorruptCtx, words, bits + 1),
-               PreconditionError);
+  EXPECT_THROW(decode_words<Msg>(ctx, words, bits + 1), PreconditionError);
 }
 
 TEST(CorruptionAdversary, PaddingAndTruncationRejected) {
   std::apply(
       [](auto... msgs) {
-        (padding_and_truncation_sweep<decltype(msgs)>(), ...);
+        (padding_and_truncation_sweep<decltype(msgs)>(kCorruptCtx), ...);
+      },
+      AllWireMessages{});
+}
+
+TEST(CorruptionAdversary, PaddingAndTruncationRejectedWideContext) {
+  std::apply(
+      [](auto... msgs) {
+        (padding_and_truncation_sweep<decltype(msgs)>(kWideCorruptCtx), ...);
       },
       AllWireMessages{});
 }
@@ -235,6 +254,30 @@ TEST(CorruptionAdversary, FaultPlaneFlipsOnlySignificantBits) {
     } catch (const PreconditionError&) {
       // id decoded >= n: the loud path.
     }
+  }
+}
+
+TEST(CorruptionAdversary, FaultPlaneIndexesAcrossPayloadWords) {
+  // A wide field spans payload words; corrupt_payload(bit) must flip
+  // exactly words[bit/64] bit bit%64 — deterministic, involutive, and
+  // never silently absorbed by the decoder.
+  LubyPriorityMsg msg;
+  msg.priority = WideUint::of(0x0123456789ABCDEFULL, 0x2);  // 66-bit value
+  const WirePayload clean = encode_payload(kWideCorruptCtx, msg);
+  ASSERT_EQ(clean.bits, 66);  // 3 * 22: genuinely two words
+  for (int bit = 0; bit < clean.bits; ++bit) {
+    WirePayload p = clean;
+    FaultPlane::corrupt_payload(p, bit);
+    EXPECT_EQ(p.words[static_cast<std::size_t>(bit / 64)] ^
+                  clean.words[static_cast<std::size_t>(bit / 64)],
+              1ULL << (bit % 64));
+    WirePayload twice = p;
+    FaultPlane::corrupt_payload(twice, bit);  // involution
+    EXPECT_EQ(twice.words, clean.words);
+    const LubyPriorityMsg out =
+        decode_payload<LubyPriorityMsg>(kWideCorruptCtx, p);
+    EXPECT_NE(out.priority, msg.priority)
+        << "flip at bit " << bit << " vanished";
   }
 }
 

@@ -14,6 +14,7 @@
 #include "mis/registry.h"
 #include "runtime/faults.h"
 #include "util/check.h"
+#include "wire/types.h"
 
 namespace dmis {
 namespace {
@@ -276,6 +277,46 @@ TEST(Registry, MaxRoundsCapsTheIterationBudget) {
   const AlgoResult r_capped = run_registered_algorithm(d, g, AlgoOptions(d),
                                                        capped);
   EXPECT_LT(r_capped.run.rounds, r_full.run.rounds);
+}
+
+TEST(Registry, NodeCeilingsFollowTheWireContract) {
+  // Engines whose codecs carry node ids are specified against kMaxIdBits
+  // and publish the wire ceiling; id-free engines stay unbounded. This
+  // enumeration is deliberate — a new algorithm must pick a side.
+  const std::vector<std::string> wire_bounded = {"luby",  "ghaffari", "congest",
+                                                 "clique", "lowdeg", "ruling2"};
+  const std::vector<std::string> unbounded = {"greedy", "beeping", "halfduplex",
+                                              "sparsified"};
+  for (const std::string& name : wire_bounded) {
+    EXPECT_EQ(AlgorithmRegistry::instance().require(name).max_nodes,
+              kMaxWireNodes)
+        << name;
+  }
+  for (const std::string& name : unbounded) {
+    EXPECT_EQ(AlgorithmRegistry::instance().require(name).max_nodes, 0u)
+        << name;
+  }
+}
+
+TEST(Registry, NodeAdmissionErrorNamesTheActualBound) {
+  const AlgorithmDescriptor& luby = AlgorithmRegistry::instance().require(
+      "luby");
+  check_node_admission(luby, 1);                  // trivially admitted
+  check_node_admission(luby, kMaxWireNodes);      // the bound is inclusive
+  try {
+    check_node_admission(luby, kMaxWireNodes + 1);
+    FAIL() << "expected PreconditionError";
+  } catch (const PreconditionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("algorithm 'luby'"), std::string::npos) << what;
+    EXPECT_NE(what.find("2^30"), std::string::npos) << what;
+    EXPECT_NE(what.find("kMaxIdBits"), std::string::npos) << what;
+    // The error steers to engines that do accept the instance.
+    EXPECT_NE(what.find("sparsified"), std::string::npos) << what;
+  }
+  const AlgorithmDescriptor& greedy =
+      AlgorithmRegistry::instance().require("greedy");
+  check_node_admission(greedy, kMaxWireNodes + 1);  // unbounded: anything goes
 }
 
 TEST(Registry, OptionsBoundToOtherDescriptorAreRejected) {

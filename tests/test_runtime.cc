@@ -26,7 +26,7 @@ class FloodProgram final : public CongestProgram {
                std::span<const CongestMessage> inbox) override {
     for (const auto& m : inbox) {
       heard_.push_back(m.src);
-      EXPECT_EQ(m.payload, m.src);
+      EXPECT_EQ(m.payload[0], m.src);
     }
     if (round + 1 >= static_cast<std::uint64_t>(ttl_)) halted_ = true;
     return halted_;

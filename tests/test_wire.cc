@@ -84,6 +84,13 @@ class FillSink {
   void vec(const char*, std::uint64_t& v) {
     v = rng_.next() & low_mask(ctx_.phase_len);
   }
+  void wide(const char*, WideUint& v, int bits) {
+    v = WideUint{};
+    for (int i = 0; 64 * i < bits; ++i) {
+      const int chunk = bits - 64 * i < 64 ? bits - 64 * i : 64;
+      v.w[static_cast<std::size_t>(i)] = rng_.next() & low_mask(chunk);
+    }
+  }
 
  private:
   WireContext ctx_;
@@ -206,10 +213,15 @@ struct FuzzFn {
 // --------------------------------------------------------- exhaustive runs --
 
 TEST(WireCodec, RoundTripEveryTypeAcrossContexts) {
+  // The last three rungs straddle the old id-width wall: 21 (the former
+  // kMaxIdBits), 22 (the first width whose Luby priority spans two words),
+  // and kMaxIdBits itself.
   const WireContext contexts[] = {
       WireContext::for_nodes(2, 1),
       WireContext::for_nodes(6, 5),
       WireContext::for_nodes(4096, 63),
+      WireContext::for_nodes(NodeId{1} << 21, kMaxPhaseLen),
+      WireContext::for_nodes(NodeId{1} << 22, kMaxPhaseLen),
       WireContext::for_nodes(NodeId{1} << kMaxIdBits, kMaxPhaseLen),
   };
   SplitMix64 rng(2024);
@@ -224,6 +236,9 @@ TEST(WireCodec, CorruptionEveryTypeFailsLoudly) {
   const WireContext contexts[] = {
       WireContext::for_nodes(6, 5),
       WireContext::for_nodes(4096, 63),
+      WireContext::for_nodes(NodeId{1} << 21, kMaxPhaseLen),
+      WireContext::for_nodes(NodeId{1} << 22, kMaxPhaseLen),
+      WireContext::for_nodes(NodeId{1} << kMaxIdBits, kMaxPhaseLen),
   };
   SplitMix64 rng(77);
   for (const WireContext& ctx : contexts) {
@@ -259,6 +274,63 @@ TEST(WireCodec, WidthsMatchTheModelBudget) {
   EXPECT_EQ(encoded_bits<MstReportMsg>(big), 1 + 64 + 12 + 12);
   static_assert(max_encoded_bits<MstReportMsg>() == 1 + 64 + 2 * kMaxIdBits);
   static_assert(max_encoded_bits<LubyPriorityMsg>() == 3 * kMaxIdBits);
+  // Boundary widths around the one-word wall: 63 (last single-word Luby
+  // priority), 66 (first two-word), 90 (the ceiling).
+  EXPECT_EQ(encoded_bits<LubyPriorityMsg>(
+                WireContext::for_nodes(NodeId{1} << 21)),
+            63);
+  EXPECT_EQ(encoded_bits<LubyPriorityMsg>(
+                WireContext::for_nodes(NodeId{1} << 22)),
+            66);
+  EXPECT_EQ(encoded_bits<LubyPriorityMsg>(
+                WireContext::for_nodes(NodeId{1} << kMaxIdBits)),
+            90);
+}
+
+// ------------------------------------------------------------- wide fields --
+
+TEST(WideField, OrdersAsTheIntegerItRepresents) {
+  const WideUint small = WideUint::of(~std::uint64_t{0}, 0);
+  const WideUint big = WideUint::of(0, 1);
+  EXPECT_LT(small, big);
+  EXPECT_GT(big, small);
+  EXPECT_EQ(WideUint::of(7, 3), WideUint::of(7, 3));
+  EXPECT_LT(WideUint::of(6, 3), WideUint::of(7, 3));
+}
+
+TEST(WideField, FitsChecksBitsBeyondTheDeclaredWidth) {
+  EXPECT_TRUE(WideUint::of(0x7).fits(3));
+  EXPECT_FALSE(WideUint::of(0x8).fits(3));
+  EXPECT_TRUE(WideUint::of(~std::uint64_t{0}).fits(64));
+  EXPECT_FALSE(WideUint::of(0, 1).fits(64));
+  EXPECT_TRUE(WideUint::of(~std::uint64_t{0}, 0x3).fits(66));
+  EXPECT_FALSE(WideUint::of(0, 0x4).fits(66));
+}
+
+TEST(WideField, EncodeRejectsValueWiderThanTheField) {
+  // id_bits = 22 declares a 66-bit priority; bit 66 set must throw on
+  // encode, not be silently truncated.
+  const WireContext ctx = WireContext::for_nodes(NodeId{1} << 22);
+  LubyPriorityMsg msg;
+  msg.priority = WideUint::of(0, 0x4);  // bit 66
+  std::array<std::uint64_t, kWideFieldWords> words{};
+  EXPECT_THROW((void)encode_words(ctx, msg, words), PreconditionError);
+}
+
+TEST(WideField, RoundTripsAcrossTheWordBoundary) {
+  // Straddle widths 63/64/65/66 via id_bits 21 and 22 to pin the chunked
+  // LSB-first packing: the low word goes first, the high word carries the
+  // remaining bits.
+  const WireContext ctx22 = WireContext::for_nodes(NodeId{1} << 22);
+  LubyPriorityMsg msg;
+  msg.priority = WideUint::of(0xFFFFFFFFFFFFFFFFULL, 0x3);  // all 66 bits set
+  std::array<std::uint64_t, kWideFieldWords> words{};
+  const int bits = encode_words(ctx22, msg, words);
+  EXPECT_EQ(bits, 66);
+  EXPECT_EQ(words[0], 0xFFFFFFFFFFFFFFFFULL);
+  EXPECT_EQ(words[1], 0x3u);
+  const LubyPriorityMsg back = decode_words<LubyPriorityMsg>(ctx22, words, 66);
+  EXPECT_EQ(back.priority, msg.priority);
 }
 
 TEST(WireCodec, OutOfRangeEncodeThrows) {

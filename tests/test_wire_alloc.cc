@@ -74,14 +74,15 @@ class ChatterProgram final : public CongestProgram {
 
   void send(std::uint64_t round, CongestOutbox& out) override {
     LubyPriorityMsg msg;
-    msg.priority = (id_ * 1315423911u + round) &
-                   ((std::uint64_t{1} << (3 * out.ctx().id_bits)) - 1);
+    msg.priority = WideUint::of(
+        (id_ * 1315423911u + round) &
+        ((std::uint64_t{1} << (3 * out.ctx().id_bits)) - 1));
     out.broadcast(msg);
   }
 
   bool receive(std::uint64_t, std::span<const CongestMessage> inbox) override {
     for (const CongestMessage& m : inbox) {
-      checksum_ += m.payload + static_cast<std::uint64_t>(m.bits);
+      checksum_ += m.payload[0] + static_cast<std::uint64_t>(m.bits);
     }
     return false;
   }

@@ -590,6 +590,8 @@ int cmd_list(int argc, char** argv) {
       caps.set("deterministic_parallel",
                json::Value::boolean(d->caps.deterministic_parallel));
       entry.set("capabilities", std::move(caps));
+      // 0 = unbounded; wire-bound engines carry 2^kMaxIdBits (wire/types.h).
+      entry.set("max_nodes", json::Value::number(d->max_nodes));
       json::Value fields = json::Value::array();
       for (const dmis::OptionField& field : d->options) {
         json::Value fo = json::Value::object();
@@ -620,12 +622,24 @@ int cmd_list(int argc, char** argv) {
     return 0;
   }
   for (const dmis::AlgorithmDescriptor* d : registry.all()) {
+    // max-n column: the admission ceiling, so an operator can see which
+    // algorithms admit a given graph before submitting. "-" = unbounded.
+    std::string max_n = "-";
+    if (d->max_nodes != 0) {
+      if ((d->max_nodes & (d->max_nodes - 1)) == 0) {
+        int log2 = 0;
+        for (std::uint64_t v = d->max_nodes; v > 1; v >>= 1) ++log2;
+        max_n = "2^" + std::to_string(log2);
+      } else {
+        max_n = std::to_string(d->max_nodes);
+      }
+    }
     std::cout << d->name << "\t" << dmis::algo_model_name(d->model) << "\t"
               << dmis::algo_output_kind_name(d->output) << "\t"
               << (d->caps.fault_injectable ? "F" : "-")
               << (d->caps.observer_attachable ? "O" : "-")
               << (d->caps.deterministic_parallel ? "P" : "-") << "\t"
-              << d->summary << "\n";
+              << max_n << "\t" << d->summary << "\n";
   }
   return 0;
 }
